@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE`` — corpus recipe-count scale (default 0.25; use 1.0
+  to regenerate the paper's figures from the full 45,772-recipe corpus).
+* ``REPRO_BENCH_SAMPLES`` — random recipes per null model for fig4
+  (default 10,000; the paper uses 100,000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import build_workspace
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "10000"))
+
+
+@pytest.fixture(scope="session")
+def workspace():
+    return build_workspace(recipe_scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_samples():
+    return BENCH_SAMPLES

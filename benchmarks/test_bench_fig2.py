@@ -1,0 +1,16 @@
+"""Bench ``fig2``: regenerate the category-composition heat-map.
+
+Prints the 23x21 share matrix (regions + WORLD by category) and asserts
+the paper's qualitative claims.
+"""
+
+from repro.experiments import run_fig2
+
+
+def test_bench_fig2(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_fig2, args=(workspace,), rounds=3, iterations=1
+    )
+    print("\n" + result.render())
+    assert result.world_leaders_match
+    assert result.all_regional_claims_hold

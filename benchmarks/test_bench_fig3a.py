@@ -1,0 +1,23 @@
+"""Bench ``fig3a``: regenerate the recipe-size distribution.
+
+Prints per-region means plus the WORLD distribution; the paper reports a
+bounded, thin-tailed distribution with mean about nine.
+"""
+
+from repro.experiments import run_fig3a
+
+
+def test_bench_fig3a(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_fig3a, args=(workspace,), rounds=3, iterations=1
+    )
+    print("\n" + result.render())
+    print(
+        "\nWORLD size histogram:",
+        {
+            int(size): round(float(p), 4)
+            for size, p in zip(result.world.sizes, result.world.probability)
+        },
+    )
+    assert result.mean_close_to_paper
+    assert result.bounded_thin_tail

@@ -1,0 +1,19 @@
+"""Bench ``fig3b``: regenerate the ingredient-popularity scaling curves.
+
+Prints each region's top ingredient and top-20 usage share, plus the
+normalised-curve collapse error quantifying the paper's "exceptionally
+consistent scaling phenomenon".
+"""
+
+from repro.experiments import run_fig3b
+
+
+def test_bench_fig3b(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_fig3b, args=(workspace,), rounds=3, iterations=1
+    )
+    print("\n" + result.render())
+    assert result.collapse_error < 0.15
+    # Every cuisine concentrates a large share of mentions in its head.
+    for code in result.curves:
+        assert result.top_share(code, 20) > 0.2, code

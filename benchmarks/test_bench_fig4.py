@@ -1,0 +1,30 @@
+"""Bench ``fig4``: regenerate the food-pairing Z-score figure.
+
+The paper's central result: Z-scores of all 22 cuisines against four null
+models. Prints the full table (sorted by Z against the uniform-random
+model) and asserts the published shape: 16 uniform / 6 contrasting
+cuisines, signs matching Fig 4, frequency model explaining the pattern,
+category model not.
+
+``REPRO_BENCH_SAMPLES`` sets the random recipes per model (paper: 100,000).
+"""
+
+from repro.experiments import run_fig4
+
+
+def test_bench_fig4(benchmark, workspace, bench_samples):
+    result = benchmark.pedantic(
+        run_fig4,
+        args=(workspace,),
+        kwargs={"n_samples": bench_samples},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    assert result.all_signs_match
+    assert result.uniform_count == 16
+    assert result.contrasting_count == 6
+    assert result.frequency_explains_everywhere
+    mean_cat = sum(abs(r.z_category) for r in result.rows) / len(result.rows)
+    mean_freq = sum(abs(r.z_frequency) for r in result.rows) / len(result.rows)
+    assert mean_cat > mean_freq

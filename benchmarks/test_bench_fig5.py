@@ -1,0 +1,18 @@
+"""Bench ``fig5``: regenerate the top-contributing-ingredients figure.
+
+For every cuisine, the three ingredients whose removal moves the cuisine's
+mean pairing score the most in the direction of its pairing character
+(leave-one-out chi, Section IV.C).
+"""
+
+from repro.experiments import run_fig5
+
+
+def test_bench_fig5(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_fig5, args=(workspace,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    assert result.all_signs_consistent
+    assert len(result.positive_rows()) == 16
+    assert len(result.negative_rows()) == 6

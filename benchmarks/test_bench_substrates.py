@@ -1,0 +1,172 @@
+"""Throughput benches for the substrates: storage engine, aliasing, corpus.
+
+Not paper figures — these track the performance of the infrastructure the
+experiments run on (bulk insert, indexed lookup, hash join, SQL group-by,
+phrase aliasing, corpus generation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.aliasing import AliasingPipeline
+from repro.corpus import CorpusGenerator
+from repro.db import Column, ColumnType, Database, Schema, col, count
+
+ROWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def engine_db():
+    db = Database("bench")
+    db.create_table(
+        "events",
+        Schema(
+            [
+                Column("event_id", ColumnType.INT, primary_key=True),
+                Column("bucket", ColumnType.INT, indexed=True),
+                Column("value", ColumnType.FLOAT),
+            ]
+        ),
+    )
+    rng = np.random.default_rng(0)
+    buckets = rng.integers(0, 100, ROWS)
+    values = rng.random(ROWS)
+    db.table("events").bulk_insert(
+        {
+            "event_id": index,
+            "bucket": int(buckets[index]),
+            "value": float(values[index]),
+        }
+        for index in range(ROWS)
+    )
+    db.create_table(
+        "buckets",
+        Schema(
+            [
+                Column("bucket", ColumnType.INT, primary_key=True),
+                Column("label", ColumnType.TEXT),
+            ]
+        ),
+    )
+    db.table("buckets").bulk_insert(
+        {"bucket": b, "label": f"bucket-{b}"} for b in range(100)
+    )
+    return db
+
+
+class TestEngine:
+    def test_bench_bulk_insert(self, benchmark):
+        def run():
+            db = Database()
+            db.create_table(
+                "t",
+                Schema(
+                    [
+                        Column("k", ColumnType.INT, primary_key=True),
+                        Column("v", ColumnType.INT, indexed=True),
+                    ]
+                ),
+            )
+            db.table("t").bulk_insert(
+                {"k": i, "v": i % 50} for i in range(5000)
+            )
+            return len(db.table("t"))
+
+        assert benchmark(run) == 5000
+
+    def test_bench_indexed_lookup(self, benchmark, engine_db):
+        table = engine_db.table("events")
+
+        def run():
+            return sum(len(table.lookup("bucket", b)) for b in range(100))
+
+        assert benchmark(run) == ROWS
+
+    def test_bench_full_scan_filter(self, benchmark, engine_db):
+        def run():
+            return (
+                engine_db.query("events").where(col("value") > 0.5).count()
+            )
+
+        assert 0 < benchmark(run) < ROWS
+
+    def test_bench_hash_join_group_by(self, benchmark, engine_db):
+        def run():
+            return (
+                engine_db.query("events")
+                .join("buckets", on=("bucket", "bucket"))
+                .group_by("label", n=count())
+                .count()
+            )
+
+        assert benchmark(run) == 100
+
+    def test_bench_sql_aggregate(self, benchmark, engine_db):
+        def run():
+            return engine_db.sql(
+                "SELECT bucket, COUNT(*) AS n FROM events "
+                "GROUP BY bucket ORDER BY n DESC LIMIT 10"
+            )
+
+        assert len(benchmark(run)) == 10
+
+
+class TestAliasingThroughput:
+    def test_bench_phrase_aliasing(self, benchmark, workspace):
+        pipeline = AliasingPipeline(workspace.catalog)
+        phrases = [
+            phrase
+            for raw in workspace.corpus.raw_recipes[:400]
+            for phrase in raw.ingredient_phrases
+        ]
+
+        def run():
+            return sum(
+                len(pipeline.resolve_phrase(phrase).ingredients)
+                for phrase in phrases
+            )
+
+        assert benchmark(run) > 0
+
+
+class TestCorpusGeneration:
+    def test_bench_small_corpus_generation(self, benchmark):
+        def run():
+            generator = CorpusGenerator(
+                recipe_scale=0.02, include_world_only=False
+            )
+            return len(generator.generate().raw_recipes)
+
+        assert benchmark.pedantic(run, rounds=2, iterations=1) > 1000
+
+
+class TestDmlAndTransactions:
+    def test_bench_sql_insert(self, benchmark):
+        def run():
+            db = Database()
+            db.create_table(
+                "t",
+                Schema(
+                    [
+                        Column("k", ColumnType.INT, primary_key=True),
+                        Column("v", ColumnType.TEXT),
+                    ]
+                ),
+            )
+            values = ", ".join(f"({i}, 'v{i}')" for i in range(500))
+            db.sql(f"INSERT INTO t (k, v) VALUES {values}")
+            return len(db.table("t"))
+
+        assert benchmark(run) == 500
+
+    def test_bench_transaction_snapshot_overhead(self, benchmark, engine_db):
+        from repro.db import transaction
+
+        def run():
+            with transaction(engine_db):
+                engine_db.table("events").update(
+                    {"value": 0.0}, col("event_id") == 0
+                )
+            return True
+
+        assert benchmark(run)

@@ -1,0 +1,19 @@
+"""Bench ``table1``: regenerate Table 1 (recipes & ingredients per region).
+
+Prints the same rows the paper reports; at scale 1.0 the counts match the
+published numbers exactly.
+"""
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark, workspace):
+    result = benchmark.pedantic(
+        run_table1, args=(workspace,), rounds=3, iterations=1
+    )
+    print("\n" + result.render())
+    # Shape assertions: unique-ingredient counts are calibrated exactly.
+    for row in result.rows:
+        assert row.ingredients == row.published_ingredients, row.code
+    if workspace.recipe_scale == 1.0:
+        assert result.all_match

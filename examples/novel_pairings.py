@@ -1,0 +1,102 @@
+"""Food design: novel flavor pairings and recipe tweaking.
+
+The paper's abstract proposes using culinary fingerprints "for
+applications aimed at food design, generating novel flavor pairings and
+tweaking recipes". This example implements both:
+
+1. *Novel pairings*: for a cuisine, find ingredient pairs that share many
+   flavor molecules but are never (or rarely) used together in its recipes
+   — candidate pairings in the cuisine's own uniform-blending style.
+2. *Recipe tweaking*: take a real recipe and propose a single-ingredient
+   swap that moves its pairing score in the direction of the cuisine's
+   character.
+
+Run:
+    python examples/novel_pairings.py [REGION_CODE]
+"""
+
+import itertools
+import sys
+from collections import Counter
+
+from repro.experiments import build_workspace
+from repro.flavordb import shared_descriptors
+from repro.pairing import build_cuisine_view, recipe_score_from_matrix
+
+
+def novel_pairings(view, top: int = 8):
+    """Pairs with high molecular overlap never co-used in a recipe."""
+    co_used = Counter()
+    for recipe in view.recipes:
+        for left, right in itertools.combinations(sorted(recipe), 2):
+            co_used[(int(left), int(right))] += 1
+    candidates = []
+    usage_rank = view.frequencies.argsort()[::-1][:60]  # popular pantry
+    popular = set(int(index) for index in usage_rank)
+    for left, right in itertools.combinations(sorted(popular), 2):
+        if co_used[(left, right)] == 0:
+            candidates.append((view.overlap[left, right], left, right))
+    candidates.sort(reverse=True)
+    return candidates[:top]
+
+
+def best_swap(view, recipe):
+    """The single swap that most increases the recipe's pairing score."""
+    base = recipe_score_from_matrix(view.overlap, recipe)
+    best = (0.0, None, None)
+    members = set(int(index) for index in recipe)
+    for position, member in enumerate(recipe):
+        for candidate in range(view.ingredient_count):
+            if candidate in members:
+                continue
+            trial = recipe.copy()
+            trial[position] = candidate
+            score = recipe_score_from_matrix(view.overlap, trial)
+            gain = score - base
+            if gain > best[0]:
+                best = (gain, int(member), candidate)
+    return base, best
+
+
+def main() -> None:
+    code = (sys.argv[1] if len(sys.argv) > 1 else "ITA").upper()
+    print("building workspace (reduced scale)...")
+    workspace = build_workspace(recipe_scale=0.15, include_world_only=False)
+    cuisine = workspace.cuisines[code]
+    view = build_cuisine_view(cuisine, workspace.catalog)
+
+    print(f"\n=== novel pairings for {code} ===")
+    print("(high flavor-molecule overlap, never co-used in the cuisine)")
+    for overlap, left, right in novel_pairings(view):
+        left_ingredient = view.ingredients[left]
+        right_ingredient = view.ingredients[right]
+        why = ", ".join(
+            descriptor
+            for descriptor, _weight in shared_descriptors(
+                left_ingredient, right_ingredient, top=3
+            )
+        )
+        print(
+            f"  {left_ingredient.name} + {right_ingredient.name}: "
+            f"{overlap:.0f} shared molecules"
+            + (f" ({why})" if why else "")
+        )
+
+    print(f"\n=== recipe tweak for {code} ===")
+    recipe = view.recipes[0].copy()
+    names = ", ".join(
+        view.ingredients[int(index)].name for index in recipe
+    )
+    base, (gain, removed, added) = best_swap(view, recipe)
+    print(f"recipe: {names}")
+    print(f"pairing score N_s = {base:.3f}")
+    if added is not None:
+        print(
+            f"suggested swap: {view.ingredients[removed].name} -> "
+            f"{view.ingredients[added].name} "
+            f"(N_s {base:.3f} -> {base + gain:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: the full pipeline in one script.
+
+Generates a reduced-scale synthetic corpus, aliases the raw ingredient
+phrases onto the catalog, groups recipes into cuisines, and runs the
+food-pairing analysis for two cuisines with opposite characters.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.aliasing import AliasingPipeline
+from repro.corpus import CorpusGenerator
+from repro.datamodel import build_cuisines
+from repro.pairing import NullModel, analyze_cuisine
+
+
+def main() -> None:
+    # 1. Generate a scaled-down corpus (scale=1.0 is the paper's 45,772).
+    generator = CorpusGenerator(recipe_scale=0.1, include_world_only=False)
+    corpus = generator.generate()
+    print(f"generated {len(corpus.raw_recipes)} raw recipes")
+    example = corpus.raw_recipes[0]
+    print(f"\nexample raw recipe: {example.title!r} [{example.source}]")
+    for phrase in example.ingredient_phrases[:5]:
+        print(f"  - {phrase}")
+
+    # 2. Alias free-text phrases to canonical catalog ingredients.
+    pipeline = AliasingPipeline(generator.catalog)
+    result = pipeline.resolve_corpus(corpus.raw_recipes)
+    print(f"\naliasing: {result.report}")
+
+    # 3. Group into cuisines and analyse food pairing.
+    cuisines = build_cuisines(result.recipes)
+    for code in ("ITA", "SCND"):
+        analysis = analyze_cuisine(
+            cuisines[code],
+            generator.catalog,
+            models=(NullModel.RANDOM, NullModel.FREQUENCY),
+            n_samples=5_000,
+        )
+        random_z = analysis.z(NullModel.RANDOM)
+        frequency_z = analysis.z(NullModel.FREQUENCY)
+        print(
+            f"\n{code}: <N_s> = {analysis.cuisine_mean:.3f}, "
+            f"Z(random) = {random_z:+.1f} -> {analysis.direction} pairing; "
+            f"Z(frequency) = {frequency_z:+.1f} "
+            "(popularity explains most of the deviation)"
+        )
+
+
+if __name__ == "__main__":
+    main()

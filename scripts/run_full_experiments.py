@@ -1,0 +1,51 @@
+"""Run every experiment at full scale (45,772 recipes, 100k null samples).
+
+Writes rendered tables to results/full_scale/<experiment>.txt.
+Usage: python scripts/run_full_experiments.py [outdir]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    build_workspace,
+    run_fig2,
+    run_fig3a,
+    run_fig3b,
+    run_fig4,
+    run_fig5,
+    run_table1,
+)
+
+OUT = Path(sys.argv[1] if len(sys.argv) > 1 else "results/full_scale")
+OUT.mkdir(parents=True, exist_ok=True)
+
+
+def save(name, result, elapsed):
+    text = result.render()
+    (OUT / f"{name}.txt").write_text(text + f"\n\n[{elapsed:.1f}s]\n")
+    print(f"=== {name} ({elapsed:.1f}s) ===")
+    print(text[:1500])
+    sys.stdout.flush()
+
+
+t0 = time.time()
+ws = build_workspace(recipe_scale=1.0)
+print(f"workspace built in {time.time()-t0:.0f}s: "
+      f"{len(ws.recipes)} recipes, report={ws.report}")
+sys.stdout.flush()
+
+for name, runner, kwargs in [
+    ("table1", run_table1, {}),
+    ("fig2", run_fig2, {}),
+    ("fig3a", run_fig3a, {}),
+    ("fig3b", run_fig3b, {}),
+    ("fig5", run_fig5, {}),
+    ("fig4", run_fig4, {"n_samples": 100_000}),
+]:
+    t = time.time()
+    result = runner(ws, **kwargs)
+    save(name, result, time.time() - t)
+
+print("done in %.0fs total" % (time.time() - t0))

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs to build an editable wheel (PEP 660), which is
+impossible offline without the `wheel` distribution. `python setup.py
+develop` performs the equivalent editable install using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

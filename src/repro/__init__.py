@@ -1,0 +1,49 @@
+"""Reproduction of Singh & Bagler, "Data-driven investigations of culinary
+patterns in traditional recipes across the world" (ICDE 2018).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.datamodel` — entities and the paper's published facts
+* :mod:`repro.db` — embedded relational storage engine
+* :mod:`repro.flavordb` — synthetic FlavorDB (catalog + molecule universe)
+* :mod:`repro.aliasing` — ingredient aliasing NLP pipeline
+* :mod:`repro.corpus` — synthetic recipe-corpus generator
+* :mod:`repro.culinarydb` — the CulinaryDB relational database
+* :mod:`repro.pairing` — food-pairing analysis (the core contribution)
+* :mod:`repro.analysis` — descriptive analytics and extensions
+* :mod:`repro.experiments` — per-table/figure reproduction harness
+"""
+
+from .aliasing import AliasingPipeline
+from .corpus import DEFAULT_SEED, CorpusGenerator
+from .culinarydb import CulinaryDB, build_culinarydb
+from .datamodel import Category, Cuisine, Ingredient, Recipe, build_cuisines
+from .experiments import EXPERIMENTS, build_workspace
+from .flavordb import IngredientCatalog, default_catalog
+from .generation import RecipeDesigner, RecipeTweaker
+from .pairing import NullModel, analyze_cuisine, food_pairing_score
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AliasingPipeline",
+    "DEFAULT_SEED",
+    "CorpusGenerator",
+    "CulinaryDB",
+    "build_culinarydb",
+    "Category",
+    "Cuisine",
+    "Ingredient",
+    "Recipe",
+    "build_cuisines",
+    "EXPERIMENTS",
+    "build_workspace",
+    "IngredientCatalog",
+    "default_catalog",
+    "NullModel",
+    "RecipeDesigner",
+    "RecipeTweaker",
+    "analyze_cuisine",
+    "food_pairing_score",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Typo-tolerant token correction for the aliasing pipeline.
+
+The paper's protocol involves "robust string processing to take into
+account variations in writing ingredient spellings" while taking "care
+... to minimize the false positives" (Section IV.A). This module adds a
+conservative fallback for tokens the exact matcher could not place:
+
+* a candidate correction must be within Damerau–Levenshtein distance 1
+  (one insertion, deletion, substitution or adjacent transposition) of a
+  known vocabulary token,
+* short tokens (< :data:`MIN_TOKEN_LENGTH` characters) are never
+  corrected — nearly everything is within distance 1 of a 3-letter word,
+* a token with two or more distinct candidate corrections is left alone
+  (ambiguity means risk of a false positive),
+* the correction must itself be a token of some catalog surface form, so
+  corrected phrases re-enter the ordinary n-gram matching path.
+
+:class:`TokenCorrector` is deterministic and index-based: candidate
+lookups run against a precomputed deletion-neighbourhood map (the
+SymSpell idea), so correcting a token is a handful of dictionary probes
+rather than a scan of the vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+#: Tokens shorter than this are never fuzzy-corrected.
+MIN_TOKEN_LENGTH = 5
+
+
+def _deletions(token: str) -> set[str]:
+    """All strings obtained by deleting exactly one character."""
+    return {token[:i] + token[i + 1 :] for i in range(len(token))}
+
+
+def damerau_levenshtein_within_one(left: str, right: str) -> bool:
+    """Whether two strings are within Damerau–Levenshtein distance 1."""
+    if left == right:
+        return True
+    len_left, len_right = len(left), len(right)
+    if abs(len_left - len_right) > 1:
+        return False
+    if len_left == len_right:
+        # substitution or adjacent transposition
+        diffs = [i for i in range(len_left) if left[i] != right[i]]
+        if len(diffs) == 1:
+            return True
+        if len(diffs) == 2 and diffs[1] == diffs[0] + 1:
+            i, j = diffs
+            return left[i] == right[j] and left[j] == right[i]
+        return False
+    # insertion/deletion: align the longer against the shorter
+    longer, shorter = (left, right) if len_left > len_right else (right, left)
+    for i in range(len(longer)):
+        if longer[:i] + longer[i + 1 :] == shorter:
+            return True
+    return False
+
+
+class TokenCorrector:
+    """Single-edit token correction against a fixed vocabulary."""
+
+    def __init__(self, vocabulary: Iterable[str]) -> None:
+        self._vocabulary = frozenset(
+            token for token in vocabulary if len(token) >= MIN_TOKEN_LENGTH
+        )
+        # Deletion-neighbourhood index: delete-1 form -> vocabulary tokens.
+        self._neighbourhood: dict[str, set[str]] = {}
+        for token in self._vocabulary:
+            self._add(token, token)
+            for deleted in _deletions(token):
+                self._add(deleted, token)
+
+    def _add(self, key: str, token: str) -> None:
+        self._neighbourhood.setdefault(key, set()).add(token)
+
+    def __len__(self) -> int:
+        return len(self._vocabulary)
+
+    def candidates(self, token: str) -> set[str]:
+        """Vocabulary tokens within edit distance 1 of ``token``."""
+        if len(token) < MIN_TOKEN_LENGTH:
+            return set()
+        probes = {token} | _deletions(token)
+        found: set[str] = set()
+        for probe in probes:
+            for candidate in self._neighbourhood.get(probe, ()):
+                if damerau_levenshtein_within_one(token, candidate):
+                    found.add(candidate)
+        return found
+
+    def correct(self, token: str) -> str | None:
+        """The unique single-edit correction, or ``None``.
+
+        Returns ``None`` when the token is already in the vocabulary
+        (nothing to correct), too short, unmatched, or ambiguous.
+        """
+        if token in self._vocabulary:
+            return None
+        found = self.candidates(token)
+        if len(found) == 1:
+            return next(iter(found))
+        return None
+
+
+def vocabulary_from_names(names: Iterable[str]) -> frozenset[str]:
+    """All whitespace-separated tokens of the given surface forms."""
+    tokens: set[str] = set()
+    for name in names:
+        tokens.update(name.split(" "))
+    return frozenset(tokens)

@@ -1,0 +1,143 @@
+"""Greedy longest-match n-gram matching of content tokens to ingredients.
+
+The paper creates n-grams (up to 6-grams) from ingredient phrases and maps
+them onto the curated ingredient list. :class:`NGramMatcher` implements
+that: scanning content tokens left to right, it tries the longest n-gram
+first ("extra virgin olive oil" before "olive oil" before "olive"), so
+multi-word ingredients win over their sub-words. Unmatched tokens are kept
+as leftovers for the manual-curation report.
+
+A first-token index records, for every token that can start a known name,
+the longest name starting with it; the scan then skips n-gram lengths that
+cannot possibly match. The ablation benchmark
+``bench_ablation_ngram`` measures what this saves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+from ..datamodel import Ingredient
+
+#: Maximum n-gram length, per the paper.
+MAX_NGRAM = 6
+
+#: Descriptors that may legitimately remain unmatched next to a matched
+#: ingredient ("dried oregano" matches oregano, "dried" is soft leftover).
+#: Soft leftovers do not demote a phrase to a partial match.
+SOFT_DESCRIPTORS: frozenset[str] = frozenset(
+    """
+    dried ground whole sweet baby raw wild organic instant light dark mini
+    premium quality style real homemade natural pure genuine authentic
+    regular reduced fat low sodium free skinned boned flat leaf italian
+    extra hot split
+    english french virgin
+    """.split()
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TokenMatch:
+    """One matched n-gram within a token sequence."""
+
+    start: int
+    length: int
+    surface: str
+    ingredient: Ingredient
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MatchOutcome:
+    """Everything the matcher found in one token sequence."""
+
+    matches: tuple[TokenMatch, ...]
+    leftover_tokens: tuple[str, ...]
+
+    @property
+    def hard_leftovers(self) -> tuple[str, ...]:
+        """Leftover tokens that are not soft descriptors."""
+        return tuple(
+            token
+            for token in self.leftover_tokens
+            if token not in SOFT_DESCRIPTORS
+        )
+
+
+class NGramMatcher:
+    """Greedy longest-first n-gram matcher over a resolver function."""
+
+    def __init__(
+        self,
+        resolve: Callable[[str], Ingredient | None],
+        known_names: frozenset[str],
+        max_ngram: int = MAX_NGRAM,
+        use_first_token_index: bool = True,
+    ) -> None:
+        """
+        Args:
+            resolve: maps a candidate surface form (synonyms included) to an
+                ingredient, or ``None``.
+            known_names: every resolvable surface form; used to build the
+                first-token index.
+            max_ngram: longest n-gram to try.
+            use_first_token_index: disable only for the ablation benchmark.
+        """
+        self._resolve = resolve
+        self._max_ngram = max_ngram
+        self._first_token_longest: dict[str, int] = {}
+        if use_first_token_index:
+            for name in known_names:
+                tokens = name.split(" ")
+                first = tokens[0]
+                current = self._first_token_longest.get(first, 0)
+                if len(tokens) > current:
+                    self._first_token_longest[first] = len(tokens)
+        self._use_index = use_first_token_index
+
+    def add_name(self, name: str) -> None:
+        """Register a new resolvable surface form (curation workflow).
+
+        Keeps the first-token index consistent; the resolver callback is
+        expected to know the name already.
+        """
+        if not self._use_index:
+            return
+        tokens = name.split(" ")
+        first = tokens[0]
+        current = self._first_token_longest.get(first, 0)
+        if len(tokens) > current:
+            self._first_token_longest[first] = len(tokens)
+
+    def match(self, tokens: Sequence[str]) -> MatchOutcome:
+        """Scan ``tokens`` and return matches plus leftovers."""
+        matches: list[TokenMatch] = []
+        leftovers: list[str] = []
+        position = 0
+        count = len(tokens)
+        while position < count:
+            first = tokens[position]
+            if self._use_index:
+                cap = self._first_token_longest.get(first, 0)
+                if cap == 0:
+                    leftovers.append(first)
+                    position += 1
+                    continue
+                longest = min(self._max_ngram, cap, count - position)
+            else:
+                longest = min(self._max_ngram, count - position)
+            matched = False
+            for length in range(longest, 0, -1):
+                surface = " ".join(tokens[position : position + length])
+                ingredient = self._resolve(surface)
+                if ingredient is not None:
+                    matches.append(
+                        TokenMatch(position, length, surface, ingredient)
+                    )
+                    position += length
+                    matched = True
+                    break
+            if not matched:
+                leftovers.append(first)
+                position += 1
+        return MatchOutcome(tuple(matches), tuple(leftovers))

@@ -1,0 +1,108 @@
+"""Phrase normalisation: raw ingredient line -> content tokens.
+
+Implements the paper's multi-step protocol (Section IV.A): lower-casing,
+punctuation and special-character removal, stopword (including culinary
+stopword) removal, and singularisation — then additionally strips
+quantities, units and measure words so only content tokens remain.
+
+Example::
+
+    >>> normalize_phrase("2 Jalapeno Peppers, roasted and slit")
+    ['jalapeno', 'pepper']
+    >>> normalize_phrase("1 (14 ounce) can diced tomatoes, drained")
+    ['tomato']
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+from .singularize import singularize
+from .stopwords import (
+    CONTEXTUAL_MEASURES,
+    CULINARY_STOPWORDS,
+    ENGLISH_STOPWORDS,
+    MEASURE_WORDS,
+    UNITS,
+    is_quantity_token,
+)
+
+_PUNCTUATION_RE = re.compile(r"[^\w\s/\-.]", flags=re.UNICODE)
+# Dots that are not decimal points ("2.5") are punctuation.
+_LONE_DOT_RE = re.compile(r"(?<!\d)\.|\.(?!\d)")
+_HYPHEN_RE = re.compile(r"[-–—]+")
+_WHITESPACE_RE = re.compile(r"\s+")
+# "250g" / "2kg": a number fused with a unit suffix.
+_FUSED_QUANTITY_RE = re.compile(r"\b(\d+(?:\.\d+)?)([a-z]+)\b")
+
+#: Unicode vulgar fractions normalised to ASCII a/b form.
+_VULGAR_FRACTIONS = {
+    "½": "1/2", "⅓": "1/3", "⅔": "2/3", "¼": "1/4", "¾": "3/4",
+    "⅛": "1/8", "⅜": "3/8", "⅝": "5/8", "⅞": "7/8",
+}
+
+
+def basic_clean(phrase: str) -> str:
+    """Lower-case, normalise unicode, replace punctuation with spaces."""
+    text = phrase.strip().lower()
+    for vulgar, ascii_form in _VULGAR_FRACTIONS.items():
+        text = text.replace(vulgar, f" {ascii_form} ")
+    text = unicodedata.normalize("NFKD", text)
+    text = "".join(char for char in text if not unicodedata.combining(char))
+    text = _HYPHEN_RE.sub(" ", text)
+    text = _PUNCTUATION_RE.sub(" ", text)
+    text = _LONE_DOT_RE.sub(" ", text)
+    text = _FUSED_QUANTITY_RE.sub(r"\1 \2", text)
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def tokenize(phrase: str) -> list[str]:
+    """Split a cleaned phrase into raw tokens."""
+    cleaned = basic_clean(phrase)
+    if not cleaned:
+        return []
+    return cleaned.split(" ")
+
+
+def normalize_phrase(phrase: str) -> list[str]:
+    """Full normalisation: raw line -> singularised content tokens.
+
+    Order of operations matters: singularise first (so plural units like
+    "cups" are recognised), then drop quantities, units, measure words and
+    stopwords, handling contextual measures ("cloves garlic") by looking at
+    the following content token.
+    """
+    raw_tokens = tokenize(phrase)
+    singular = [singularize(token) for token in raw_tokens]
+    content: list[str] = []
+    for position, token in enumerate(singular):
+        if not token or is_quantity_token(token):
+            continue
+        if token in UNITS or token in MEASURE_WORDS:
+            continue
+        if token in ENGLISH_STOPWORDS or token in CULINARY_STOPWORDS:
+            continue
+        context = CONTEXTUAL_MEASURES.get(token)
+        if context is not None and _next_content_token(
+            singular, position
+        ) in context:
+            continue
+        content.append(token)
+    return content
+
+
+def _next_content_token(tokens: list[str], position: int) -> str | None:
+    """First following token that is not a stopword/quantity/unit."""
+    for token in tokens[position + 1 :]:
+        if not token or is_quantity_token(token):
+            continue
+        if (
+            token in UNITS
+            or token in MEASURE_WORDS
+            or token in ENGLISH_STOPWORDS
+            or token in CULINARY_STOPWORDS
+        ):
+            continue
+        return token
+    return None

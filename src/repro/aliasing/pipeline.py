@@ -1,0 +1,251 @@
+"""The end-to-end ingredient aliasing pipeline.
+
+Maps raw recipe records onto resolved :class:`~repro.datamodel.Recipe`
+objects: each ingredient phrase is normalised
+(:mod:`repro.aliasing.normalize`), matched against the catalog
+(:mod:`repro.aliasing.matcher`), and classified as exact / partial /
+unrecognised. Partial and unrecognised phrases feed a
+:class:`MatchReport` that surfaces the most frequent unmatched n-grams —
+the paper's mechanism for discovering ingredients "either not present in
+the database or variations of existing entities" for manual curation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from ..datamodel import Ingredient, RawRecipe, Recipe
+from ..flavordb import IngredientCatalog, default_catalog
+from .matcher import MAX_NGRAM, MatchOutcome, NGramMatcher
+from .normalize import normalize_phrase
+
+
+class MatchKind(enum.Enum):
+    """Classification of one phrase's aliasing outcome."""
+
+    EXACT = "exact"  # every content token consumed (soft leftovers allowed)
+    PARTIAL = "partial"  # matched something, hard leftovers remain
+    UNRECOGNIZED = "unrecognized"  # nothing matched
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PhraseResolution:
+    """Result of aliasing one ingredient phrase."""
+
+    phrase: str
+    content_tokens: tuple[str, ...]
+    ingredients: tuple[Ingredient, ...]
+    leftover_tokens: tuple[str, ...]
+    kind: MatchKind
+
+
+class MatchReport:
+    """Aggregate aliasing statistics plus a curation queue.
+
+    Collects, per the paper's protocol, n-grams (up to 6) built from the
+    leftover tokens of partial/unrecognised phrases, ranked by frequency,
+    so a curator can spot missing ingredients or unmapped variants.
+    """
+
+    def __init__(self) -> None:
+        self.phrase_counts: Counter[MatchKind] = Counter()
+        self.recipes_total = 0
+        self.recipes_resolved = 0
+        self._unmatched_ngrams: Counter[str] = Counter()
+
+    def record_phrase(self, resolution: PhraseResolution) -> None:
+        self.phrase_counts[resolution.kind] += 1
+        if resolution.kind is MatchKind.EXACT:
+            return
+        tokens = resolution.leftover_tokens
+        for length in range(1, min(MAX_NGRAM, len(tokens)) + 1):
+            for start in range(len(tokens) - length + 1):
+                self._unmatched_ngrams[
+                    " ".join(tokens[start : start + length])
+                ] += 1
+
+    def record_recipe(self, resolved: bool) -> None:
+        self.recipes_total += 1
+        if resolved:
+            self.recipes_resolved += 1
+
+    @property
+    def phrases_total(self) -> int:
+        return sum(self.phrase_counts.values())
+
+    def exact_rate(self) -> float:
+        """Fraction of phrases aliased exactly (0 when nothing processed)."""
+        total = self.phrases_total
+        if total == 0:
+            return 0.0
+        return self.phrase_counts[MatchKind.EXACT] / total
+
+    def top_unmatched(self, limit: int = 20) -> list[tuple[str, int]]:
+        """Most frequent unmatched n-grams, for manual curation."""
+        return self._unmatched_ngrams.most_common(limit)
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchReport(phrases={self.phrases_total}, "
+            f"exact={self.phrase_counts[MatchKind.EXACT]}, "
+            f"partial={self.phrase_counts[MatchKind.PARTIAL]}, "
+            f"unrecognized={self.phrase_counts[MatchKind.UNRECOGNIZED]}, "
+            f"recipes={self.recipes_resolved}/{self.recipes_total})"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AliasingResult:
+    """Output of aliasing a corpus: resolved recipes plus the report."""
+
+    recipes: tuple[Recipe, ...]
+    report: MatchReport
+
+
+class AliasingPipeline:
+    """Normalise, match and resolve ingredient phrases against a catalog."""
+
+    def __init__(
+        self,
+        catalog: IngredientCatalog | None = None,
+        max_ngram: int = MAX_NGRAM,
+        use_first_token_index: bool = True,
+        fuzzy: bool = False,
+    ) -> None:
+        """
+        Args:
+            catalog: ingredient catalog (defaults to the shared one).
+            max_ngram: longest n-gram tried by the matcher.
+            use_first_token_index: matcher acceleration toggle (ablation).
+            fuzzy: enable conservative single-edit typo correction for
+                tokens the exact matcher leaves over (see
+                :mod:`repro.aliasing.fuzzy`).
+        """
+        self._catalog = catalog if catalog is not None else default_catalog()
+        # Key every resolvable surface form by its *normalised* token string
+        # so names containing stopwords ("hearts of palm" -> "heart palm")
+        # still match the normalised phrase stream. Canonical names take
+        # precedence over synonyms on collision.
+        self._normalized_map: dict[str, Ingredient] = {}
+        canonical_names = [i.name for i in self._catalog.ingredients]
+        synonyms = sorted(self._catalog.known_names() - set(canonical_names))
+        for surface in canonical_names + synonyms:
+            key = " ".join(normalize_phrase(surface))
+            if key and key not in self._normalized_map:
+                self._normalized_map[key] = self._catalog.get(surface)
+        self._matcher = NGramMatcher(
+            self._normalized_map.get,
+            frozenset(self._normalized_map),
+            max_ngram=max_ngram,
+            use_first_token_index=use_first_token_index,
+        )
+        self._corrector = None
+        if fuzzy:
+            from .fuzzy import TokenCorrector, vocabulary_from_names
+
+            self._corrector = TokenCorrector(
+                vocabulary_from_names(self._normalized_map)
+            )
+
+    @property
+    def catalog(self) -> IngredientCatalog:
+        return self._catalog
+
+    def normalized_names(self) -> frozenset[str]:
+        """All normalised surface forms the matcher can resolve."""
+        return frozenset(self._normalized_map)
+
+    def register_alias(self, normalized_key: str, ingredient: Ingredient) -> None:
+        """Add a runtime alias: a normalised surface form -> ingredient.
+
+        Used by the manual-curation workflow
+        (:class:`repro.aliasing.curation.CurationSession`). Existing keys
+        are not overwritten — canonical mappings win.
+        """
+        if normalized_key not in self._normalized_map:
+            self._normalized_map[normalized_key] = ingredient
+            self._matcher.add_name(normalized_key)
+
+    def resolve_phrase(self, phrase: str) -> PhraseResolution:
+        """Alias one raw ingredient line."""
+        tokens = tuple(normalize_phrase(phrase))
+        outcome: MatchOutcome = self._matcher.match(list(tokens))
+        if self._corrector is not None and outcome.hard_leftovers:
+            corrected = self._correct_tokens(tokens)
+            if corrected != tokens:
+                retried = self._matcher.match(list(corrected))
+                # Accept the correction only if it strictly improves the
+                # match (paper: minimise false positives).
+                if len(retried.matches) > len(outcome.matches) or (
+                    len(retried.matches) == len(outcome.matches)
+                    and len(retried.hard_leftovers)
+                    < len(outcome.hard_leftovers)
+                ):
+                    tokens = corrected
+                    outcome = retried
+        ingredients = tuple(match.ingredient for match in outcome.matches)
+        if not ingredients:
+            kind = MatchKind.UNRECOGNIZED
+        elif outcome.hard_leftovers:
+            kind = MatchKind.PARTIAL
+        else:
+            kind = MatchKind.EXACT
+        return PhraseResolution(
+            phrase=phrase,
+            content_tokens=tokens,
+            ingredients=ingredients,
+            leftover_tokens=outcome.leftover_tokens,
+            kind=kind,
+        )
+
+    def _correct_tokens(self, tokens: tuple[str, ...]) -> tuple[str, ...]:
+        assert self._corrector is not None
+        corrected = []
+        for token in tokens:
+            replacement = self._corrector.correct(token)
+            corrected.append(replacement if replacement is not None else token)
+        return tuple(corrected)
+
+    def resolve_recipe(
+        self, raw: RawRecipe, report: MatchReport | None = None
+    ) -> Recipe | None:
+        """Alias one raw recipe; ``None`` when no ingredient resolved.
+
+        Matched ingredients from partial phrases are kept (the paper
+        maximises information retrieval while labelling partial matches for
+        curation); duplicate ingredient mentions collapse.
+        """
+        ingredient_ids: set[int] = set()
+        for phrase in raw.ingredient_phrases:
+            resolution = self.resolve_phrase(phrase)
+            if report is not None:
+                report.record_phrase(resolution)
+            ingredient_ids.update(
+                ingredient.ingredient_id
+                for ingredient in resolution.ingredients
+            )
+        resolved = bool(ingredient_ids)
+        if report is not None:
+            report.record_recipe(resolved)
+        if not resolved:
+            return None
+        return Recipe(
+            recipe_id=raw.recipe_id,
+            region_code=raw.region_code,
+            ingredient_ids=frozenset(ingredient_ids),
+            title=raw.title,
+            source=raw.source,
+        )
+
+    def resolve_corpus(self, raws: Iterable[RawRecipe]) -> AliasingResult:
+        """Alias a whole corpus, collecting the curation report."""
+        report = MatchReport()
+        recipes = []
+        for raw in raws:
+            recipe = self.resolve_recipe(raw, report)
+            if recipe is not None:
+                recipes.append(recipe)
+        return AliasingResult(tuple(recipes), report)

@@ -1,0 +1,90 @@
+"""Rule-based English singularisation.
+
+The paper uses the ``inflect`` package to convert phrase tokens to singular
+form; ``inflect`` is unavailable offline, so this module implements the
+subset of English pluralisation that actually occurs in ingredient phrases:
+
+* an irregular table (``leaves`` → ``leaf``, ``geese`` → ``goose``),
+* an invariant table for words that end in ``s`` but are singular
+  (``asparagus``, ``couscous``, ``molasses``),
+* suffix rules: ``-ies`` → ``-y``, ``-oes`` → ``-o``,
+  ``-(s|x|z|ch|sh)es`` → drop ``es``, default ``-s`` → drop ``s``.
+
+The rules are conservative: when unsure, a token is left untouched, because
+a false singularisation ("swiss" → "swis") breaks matching while a missed
+plural merely leaves one token unmatched.
+"""
+
+from __future__ import annotations
+
+#: Irregular plural -> singular.
+IRREGULAR_PLURALS: dict[str, str] = {
+    "leaves": "leaf",
+    "loaves": "loaf",
+    "halves": "half",
+    "calves": "calf",
+    "knives": "knife",
+    "wives": "wife",
+    "geese": "goose",
+    "feet": "foot",
+    "teeth": "tooth",
+    "mice": "mouse",
+    "children": "child",
+    "men": "man",
+    "women": "woman",
+    "people": "person",
+    "anchovies": "anchovy",
+    "cookies": "cookie",
+    "brownies": "brownie",
+    "smoothies": "smoothie",
+    "cherries": "cherry",
+    "berries": "berry",
+}
+
+#: Words ending in 's' (or other plural-looking suffixes) that are singular
+#: or identical in both numbers and must never be trimmed.
+INVARIANT_WORDS: frozenset[str] = frozenset(
+    """
+    asparagus couscous molasses swiss citrus hummus grits bass sea-bass
+    watercress cress brussels chassis analysis dashi wasabi octopus
+    lemongrass schnapps dill pus us gas christmas paris texas swordfish
+    shellfish cuttlefish whitefish catfish monkfish species series
+    sugarsnaps hollandaise mayonnaise bearnaise anise
+    """.split()
+)
+
+# Stems whose plural appends "es". A single trailing "s" is NOT in this
+# list: "cheeses" singularises to "cheese" (drop one "s"), while "glasses"
+# (double-s stem) drops the whole "es".
+_ES_STEMS = ("ss", "x", "z", "ch", "sh")
+
+
+def singularize(token: str) -> str:
+    """Singularise one lower-case token; unknown forms pass through."""
+    if len(token) < 3:
+        return token
+    irregular = IRREGULAR_PLURALS.get(token)
+    if irregular is not None:
+        return irregular
+    if token in INVARIANT_WORDS:
+        return token
+    if token.endswith("ies") and len(token) > 4:
+        return token[:-3] + "y"
+    if token.endswith("oes") and len(token) > 4:
+        return token[:-2]
+    if token.endswith("es") and len(token) > 4:
+        stem = token[:-2]
+        if any(stem.endswith(suffix) for suffix in _ES_STEMS):
+            return stem
+        # 'es' after other letters is usually just 's' plural: grapes, limes
+        return token[:-1]
+    if token.endswith("ss") or token.endswith("us") or token.endswith("is"):
+        return token
+    if token.endswith("s"):
+        return token[:-1]
+    return token
+
+
+def singularize_phrase(tokens: list[str]) -> list[str]:
+    """Singularise every token of a phrase."""
+    return [singularize(token) for token in tokens]

@@ -1,0 +1,86 @@
+"""Stopword, unit and measure-word lists for ingredient-phrase parsing.
+
+The paper removes "stopwords, including some culinary stopwords" with NLTK;
+NLTK is not available offline, so we carry our own lists:
+
+* :data:`ENGLISH_STOPWORDS` — ordinary function words,
+* :data:`CULINARY_STOPWORDS` — preparation/state descriptors ("chopped",
+  "fresh", "to taste") that never distinguish ingredients,
+* :data:`UNITS` — measurement units ("cup", "tbsp", "g"),
+* :data:`MEASURE_WORDS` — countable containers and portions ("can",
+  "bunch", "head") that precede the actual ingredient.
+
+All entries are lower-case and singular; the normaliser singularises tokens
+before checking membership, so "cups" and "cloves" are caught too.
+"""
+
+from __future__ import annotations
+
+ENGLISH_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about after all an and any as at be been before both but by each for
+    from had has have if in into is it its more most no not of off on only
+    or other out over own per plus same so some such than that the their
+    them then there these they this to too under until up very when which
+    while with without you your
+    """.split()
+)
+
+CULINARY_STOPWORDS: frozenset[str] = frozenset(
+    """
+    additional approximately assorted baked beaten blanched boiled boiling
+    boneless bottled braised brewed bruised chilled chopped coarse coarsely
+    cold cooked cooled cored crumbled crushed cubed cut deboned deseeded
+    deveined diced divided drained dry fine finely firm firmly
+    flaked fresh freshly frozen garnish grated halved heaping
+    julienned jumbo large lean lightly medium melted mild minced mixed more
+    needed optional packed peeled pitted plain prepared pressed pureed
+    quartered ripe roasted room rough roughly scrubbed seeded seedless
+    separated shaved shelled shredded shucked sifted skinless slit sliced
+    slivered small soaked softened stemmed storebought strained
+    temperature taste tender thawed thick thickly thin thinly toasted torn
+    trimmed uncooked unsalted unsweetened warm washed well zested
+    rinsed removed reserved serving preferably garnishing thread threads
+    """.split()
+)
+
+#: Measurement units, singular. Checked after singularisation.
+UNITS: frozenset[str] = frozenset(
+    """
+    cup tablespoon tbsp tbs teaspoon tsp ounce oz fluid fl pound lb lbs
+    gram g kilogram kg milligram mg milliliter ml millilitre liter litre l
+    quart qt pint pt gallon gal dash pinch drop splash shot jigger gill
+    inch cm centimeter millimeter mm
+    """.split()
+)
+
+#: Container / portion words that precede ingredients ("a can of beans").
+MEASURE_WORDS: frozenset[str] = frozenset(
+    """
+    bag bar block bottle box bunch can carton container cube ear envelope
+    fillet handful head jar knob loaf pack package packet pat piece rasher
+    scoop sheet slab slice sprig stalk stick strip tin tub wedge
+    """.split()
+)
+
+#: Words that look like units only in a specific context: "2 cloves garlic"
+#: uses "clove" as a measure word, while "1 tsp cloves" is the spice. The
+#: normaliser drops these when the named ingredient follows them.
+CONTEXTUAL_MEASURES: dict[str, frozenset[str]] = {
+    "clove": frozenset({"garlic"}),
+    "head": frozenset({"cabbage", "lettuce", "cauliflower", "broccoli", "garlic"}),
+    "ear": frozenset({"corn"}),
+    "stick": frozenset({"butter", "celery"}),
+}
+
+
+def is_quantity_token(token: str) -> bool:
+    """Whether a token is purely numeric/fractional ("2", "1/2", "2.5",
+    "2-3", unicode vulgar fractions)."""
+    if not token:
+        return False
+    cleaned = token.replace("/", "").replace(".", "").replace("-", "")
+    if cleaned.isdigit():
+        return True
+    vulgar = {"½", "⅓", "⅔", "¼", "¾", "⅛", "⅜", "⅝", "⅞"}
+    return all(char.isdigit() or char in vulgar for char in token)

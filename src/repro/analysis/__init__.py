@@ -1,0 +1,96 @@
+"""Descriptive analytics over resolved cuisines.
+
+Recipe-size statistics (Fig 3a), ingredient popularity scaling (Fig 3b),
+category composition (Fig 2), plus the paper's discussed extensions:
+flavor networks, higher-order n-tuple sharing and the copy-mutate culinary
+evolution model.
+"""
+
+from .authenticity import (
+    authenticity_scores,
+    cuisine_similarity,
+    ingredient_prevalence,
+    most_authentic,
+    similarity_matrix,
+)
+from .categories import (
+    CATEGORY_ORDER,
+    CategoryComposition,
+    category_composition,
+    composition_matrix,
+    world_composition,
+)
+from .evolution import (
+    EvolutionResult,
+    copy_mutate_evolution,
+    zipf_fit_exponent,
+)
+from .network import (
+    backbone,
+    cuisine_flavor_network,
+    flavor_communities,
+    flavor_network,
+    popular_pair_strength,
+)
+from .ntuples import TupleSharing, cuisine_tuple_sharing, recipe_tuple_sharing
+from .pairshare import PairShareDistribution, pair_share_distribution
+from .robustness import (
+    BootstrapResult,
+    PerturbationResult,
+    bootstrap_pairing_direction,
+    perturb_flavor_profiles,
+)
+from .popularity import (
+    PopularityCurve,
+    popularity_curve,
+    scaling_collapse_error,
+)
+from .sizes import SizeDistribution, pooled_size_distribution, size_distribution
+from .stats import (
+    PoissonFit,
+    ZipfFit,
+    fit_recipe_sizes,
+    fit_zipf,
+    size_distributions_consistent,
+)
+
+__all__ = [
+    "authenticity_scores",
+    "cuisine_similarity",
+    "ingredient_prevalence",
+    "most_authentic",
+    "similarity_matrix",
+    "CATEGORY_ORDER",
+    "CategoryComposition",
+    "category_composition",
+    "composition_matrix",
+    "world_composition",
+    "EvolutionResult",
+    "copy_mutate_evolution",
+    "zipf_fit_exponent",
+    "backbone",
+    "cuisine_flavor_network",
+    "flavor_communities",
+    "flavor_network",
+    "popular_pair_strength",
+    "TupleSharing",
+    "PairShareDistribution",
+    "pair_share_distribution",
+    "BootstrapResult",
+    "PerturbationResult",
+    "bootstrap_pairing_direction",
+    "perturb_flavor_profiles",
+    "cuisine_tuple_sharing",
+    "recipe_tuple_sharing",
+    "PopularityCurve",
+    "popularity_curve",
+    "scaling_collapse_error",
+    "SizeDistribution",
+    "pooled_size_distribution",
+    "size_distribution",
+    "PoissonFit",
+    "ZipfFit",
+    "fit_recipe_sizes",
+    "fit_zipf",
+    "size_distributions_consistent",
+]

@@ -1,0 +1,124 @@
+"""Ingredient authenticity: which ingredients make a cuisine *its own*.
+
+The flavor-network literature the paper builds on (Ahn et al. [6])
+quantifies an ingredient's *authenticity* for a cuisine as its relative
+prevalence: how much more of the cuisine's recipes use it than the
+average cuisine does. Authentic ingredients are the cuisine's signature
+("every region has its special ingredients that are most popular and
+dominate the cuisine", Section II.B); the paper's culinary-fingerprint
+framing rests on exactly this property.
+
+* :func:`ingredient_prevalence` — fraction of a cuisine's recipes using
+  each ingredient;
+* :func:`authenticity_scores` — prevalence in the target cuisine minus
+  the mean prevalence in all other cuisines;
+* :func:`most_authentic` — the top signature ingredients per cuisine;
+* :func:`cuisine_similarity` — cosine similarity of prevalence vectors,
+  a cuisine-to-cuisine distance the examples use to draw the "map" of
+  world cuisines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..datamodel import ConfigurationError, Cuisine, LookupFailure
+from ..flavordb import IngredientCatalog
+
+
+def ingredient_prevalence(cuisine: Cuisine) -> dict[int, float]:
+    """Fraction of the cuisine's recipes containing each ingredient."""
+    total = len(cuisine)
+    if total == 0:
+        raise ConfigurationError(
+            f"cuisine {cuisine.region_code!r} has no recipes"
+        )
+    return {
+        ingredient_id: count / total
+        for ingredient_id, count in cuisine.ingredient_usage.items()
+    }
+
+
+def authenticity_scores(
+    cuisines: Mapping[str, Cuisine], target_code: str
+) -> dict[int, float]:
+    """Relative prevalence of every target-cuisine ingredient.
+
+    ``authenticity(i) = prevalence_target(i) - mean_other prevalence(i)``;
+    positive values mark ingredients used distinctively often by the
+    target cuisine.
+
+    Raises:
+        LookupFailure: if ``target_code`` is not among ``cuisines``.
+        ConfigurationError: with fewer than two cuisines.
+    """
+    if target_code not in cuisines:
+        raise LookupFailure(f"unknown cuisine {target_code!r}")
+    if len(cuisines) < 2:
+        raise ConfigurationError(
+            "authenticity needs at least two cuisines to compare"
+        )
+    target_prevalence = ingredient_prevalence(cuisines[target_code])
+    others = [
+        ingredient_prevalence(cuisine)
+        for code, cuisine in cuisines.items()
+        if code != target_code
+    ]
+    scores: dict[int, float] = {}
+    for ingredient_id, prevalence in target_prevalence.items():
+        elsewhere = sum(
+            other.get(ingredient_id, 0.0) for other in others
+        ) / len(others)
+        scores[ingredient_id] = prevalence - elsewhere
+    return scores
+
+
+def most_authentic(
+    cuisines: Mapping[str, Cuisine],
+    target_code: str,
+    catalog: IngredientCatalog,
+    top: int = 10,
+) -> list[tuple[str, float]]:
+    """The cuisine's most authentic ingredients, by name."""
+    scores = authenticity_scores(cuisines, target_code)
+    ranked = sorted(scores.items(), key=lambda item: -item[1])[:top]
+    return [
+        (catalog.by_id(ingredient_id).name, score)
+        for ingredient_id, score in ranked
+    ]
+
+
+def cuisine_similarity(left: Cuisine, right: Cuisine) -> float:
+    """Cosine similarity of two cuisines' prevalence vectors (0..1)."""
+    left_prevalence = ingredient_prevalence(left)
+    right_prevalence = ingredient_prevalence(right)
+    ids = sorted(set(left_prevalence) | set(right_prevalence))
+    left_vector = np.asarray(
+        [left_prevalence.get(ingredient_id, 0.0) for ingredient_id in ids]
+    )
+    right_vector = np.asarray(
+        [right_prevalence.get(ingredient_id, 0.0) for ingredient_id in ids]
+    )
+    denominator = np.linalg.norm(left_vector) * np.linalg.norm(right_vector)
+    if denominator == 0:
+        return 0.0
+    return float(left_vector @ right_vector / denominator)
+
+
+def similarity_matrix(
+    cuisines: Mapping[str, Cuisine],
+) -> tuple[list[str], np.ndarray]:
+    """Pairwise cuisine similarity (symmetric, unit diagonal)."""
+    codes = sorted(cuisines)
+    size = len(codes)
+    matrix = np.eye(size)
+    for i in range(size):
+        for j in range(i + 1, size):
+            value = cuisine_similarity(
+                cuisines[codes[i]], cuisines[codes[j]]
+            )
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return codes, matrix

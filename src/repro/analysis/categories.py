@@ -1,0 +1,112 @@
+"""Category-composition analysis (Fig 2).
+
+For each region, the share of ingredient mentions falling in each of the
+21 categories. The paper's heat-map highlights: at the WORLD level (with
+the Additive category excluded, "data not shown") Vegetable, Spice, Dairy,
+Herb, Plant, Meat and Fruit are used most; France, the British Isles and
+Scandinavia use dairy more prominently than vegetables; the Indian
+Subcontinent, Africa, the Middle East and the Caribbean are spice-forward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+import numpy as np
+
+from ..datamodel import Category, Cuisine, WORLD_CODE
+from ..flavordb import IngredientCatalog
+
+#: Canonical category order for heat-map rows/columns.
+CATEGORY_ORDER: tuple[Category, ...] = tuple(Category)
+
+
+@dataclasses.dataclass(frozen=True)
+class CategoryComposition:
+    """Category usage shares of one cuisine.
+
+    Attributes:
+        region_code: cuisine identifier.
+        mentions: raw ingredient-mention counts per category.
+        shares: mention fractions per category (sums to 1).
+    """
+
+    region_code: str
+    mentions: dict[Category, int]
+    shares: dict[Category, float]
+
+    def share(self, category: Category) -> float:
+        return self.shares.get(category, 0.0)
+
+    def ranked(
+        self, exclude: tuple[Category, ...] = (Category.ADDITIVE,)
+    ) -> list[tuple[Category, float]]:
+        """Categories by descending share, Additive excluded by default
+        (the paper excludes it from Fig 2)."""
+        return sorted(
+            (
+                (category, share)
+                for category, share in self.shares.items()
+                if category not in exclude
+            ),
+            key=lambda item: -item[1],
+        )
+
+
+def category_composition(
+    cuisine: Cuisine, catalog: IngredientCatalog
+) -> CategoryComposition:
+    """Category composition of one cuisine."""
+    mentions: Counter[Category] = Counter()
+    for ingredient_id, count in cuisine.ingredient_usage.items():
+        mentions[catalog.by_id(ingredient_id).category] += count
+    total = sum(mentions.values())
+    shares = {
+        category: count / total for category, count in mentions.items()
+    }
+    return CategoryComposition(
+        region_code=cuisine.region_code,
+        mentions=dict(mentions),
+        shares=shares,
+    )
+
+
+def world_composition(
+    cuisines: dict[str, Cuisine], catalog: IngredientCatalog
+) -> CategoryComposition:
+    """Aggregate category composition over all cuisines (WORLD row)."""
+    mentions: Counter[Category] = Counter()
+    for cuisine in cuisines.values():
+        for ingredient_id, count in cuisine.ingredient_usage.items():
+            mentions[catalog.by_id(ingredient_id).category] += count
+    total = sum(mentions.values())
+    return CategoryComposition(
+        region_code=WORLD_CODE,
+        mentions=dict(mentions),
+        shares={
+            category: count / total for category, count in mentions.items()
+        },
+    )
+
+
+def composition_matrix(
+    cuisines: dict[str, Cuisine], catalog: IngredientCatalog
+) -> tuple[list[str], np.ndarray]:
+    """The Fig 2 heat-map: rows = regions (+WORLD last), cols = categories.
+
+    Returns:
+        (row labels, shares matrix) with columns in :data:`CATEGORY_ORDER`.
+    """
+    rows: list[str] = []
+    data: list[list[float]] = []
+    for code in sorted(cuisines):
+        composition = category_composition(cuisines[code], catalog)
+        rows.append(code)
+        data.append(
+            [composition.share(category) for category in CATEGORY_ORDER]
+        )
+    world = world_composition(cuisines, catalog)
+    rows.append(WORLD_CODE)
+    data.append([world.share(category) for category in CATEGORY_ORDER])
+    return rows, np.asarray(data, dtype=np.float64)

@@ -1,0 +1,107 @@
+"""Higher-order flavor sharing: triples and quadruples.
+
+Section V of the paper asks, as an open question, what the food-pairing
+patterns look like at "higher order n-tuples (i.e. instead of pairs what
+if one were to compute triples and quadruples of ingredients)". This
+module implements that extension with two natural generalisations of the
+pairing score:
+
+* *common sharing* — the number of molecules common to ALL k ingredients
+  of a tuple, averaged over every k-subset of a recipe;
+* *mean pairwise sharing* — the ordinary pair score averaged over the
+  pairs inside each k-subset (a consistency check: for k = 2 both
+  definitions coincide with N_s).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import numpy as np
+
+from ..datamodel import Cuisine, ValidationError
+from ..flavordb import IngredientCatalog
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TupleSharing:
+    """Cuisine-level higher-order sharing statistics for one k."""
+
+    region_code: str
+    k: int
+    mean_common: float  # molecules shared by all k, recipe-averaged
+    mean_pairwise: float  # mean pair overlap within k-subsets
+
+
+def recipe_tuple_sharing(
+    profiles: list[frozenset[int]], k: int
+) -> tuple[float, float]:
+    """(common, pairwise) sharing of one recipe's k-subsets.
+
+    Raises:
+        ValidationError: if the recipe has fewer than ``k`` profiles.
+    """
+    if k < 2:
+        raise ValidationError("tuple order k must be >= 2")
+    if len(profiles) < k:
+        raise ValidationError(
+            f"recipe has {len(profiles)} pairable ingredients, needs >= {k}"
+        )
+    common_total = 0.0
+    pairwise_total = 0.0
+    subsets = 0
+    for subset in itertools.combinations(profiles, k):
+        intersection = frozenset.intersection(*subset)
+        common_total += len(intersection)
+        pair_sum = 0
+        for left, right in itertools.combinations(subset, 2):
+            pair_sum += len(left & right)
+        pairwise_total += 2.0 * pair_sum / (k * (k - 1))
+        subsets += 1
+    return common_total / subsets, pairwise_total / subsets
+
+
+def cuisine_tuple_sharing(
+    cuisine: Cuisine,
+    catalog: IngredientCatalog,
+    k: int,
+    max_recipes: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> TupleSharing:
+    """Average k-tuple sharing over a cuisine's recipes.
+
+    Recipes with fewer than ``k`` pairable ingredients are skipped. With
+    ``max_recipes`` set, a deterministic subsample (or ``rng``-driven one)
+    bounds the cost for large cuisines.
+    """
+    recipes = list(cuisine.recipes)
+    if max_recipes is not None and len(recipes) > max_recipes:
+        if rng is None:
+            recipes = recipes[:max_recipes]
+        else:
+            indices = rng.choice(len(recipes), max_recipes, replace=False)
+            recipes = [recipes[int(index)] for index in indices]
+    commons: list[float] = []
+    pairwise: list[float] = []
+    for recipe in recipes:
+        profiles = [
+            catalog.by_id(ingredient_id).flavor_profile
+            for ingredient_id in sorted(recipe.ingredient_ids)
+            if catalog.by_id(ingredient_id).has_flavor_profile
+        ]
+        if len(profiles) < k:
+            continue
+        common, pair = recipe_tuple_sharing(profiles, k)
+        commons.append(common)
+        pairwise.append(pair)
+    if not commons:
+        raise ValidationError(
+            f"cuisine {cuisine.region_code!r} has no recipes of order {k}"
+        )
+    return TupleSharing(
+        region_code=cuisine.region_code,
+        k=k,
+        mean_common=float(np.mean(commons)),
+        mean_pairwise=float(np.mean(pairwise)),
+    )

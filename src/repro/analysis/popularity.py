@@ -1,0 +1,97 @@
+"""Ingredient popularity scaling (Fig 3b).
+
+For each cuisine the paper plots the frequency of use of ingredients,
+normalised by the most popular ingredient, against popularity rank — an
+"exceptionally consistent scaling phenomenon" across all regions — with a
+cumulative-share inset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..datamodel import Cuisine
+from ..flavordb import IngredientCatalog
+
+
+@dataclasses.dataclass(frozen=True)
+class PopularityCurve:
+    """Rank-ordered ingredient popularity of one cuisine.
+
+    Attributes:
+        region_code: cuisine identifier.
+        names: ingredient names, most popular first.
+        counts: recipe-usage count per ingredient (descending).
+        normalized: ``counts / counts[0]`` (the Fig 3b y-axis).
+        cumulative_share: running share of total mentions (the inset).
+    """
+
+    region_code: str
+    names: tuple[str, ...]
+    counts: np.ndarray
+    normalized: np.ndarray
+    cumulative_share: np.ndarray
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """1-based popularity ranks."""
+        return np.arange(1, len(self.counts) + 1)
+
+    def top(self, count: int) -> list[tuple[str, int]]:
+        """The ``count`` most popular ingredients with usage counts."""
+        return [
+            (self.names[i], int(self.counts[i]))
+            for i in range(min(count, len(self.names)))
+        ]
+
+    def rank_of(self, name: str) -> int:
+        """1-based rank of an ingredient.
+
+        Raises:
+            ValueError: if the ingredient is not used by the cuisine.
+        """
+        try:
+            return self.names.index(name) + 1
+        except ValueError as exc:
+            raise ValueError(
+                f"{name!r} not used in cuisine {self.region_code!r}"
+            ) from exc
+
+
+def popularity_curve(
+    cuisine: Cuisine, catalog: IngredientCatalog
+) -> PopularityCurve:
+    """Rank-frequency popularity curve of one cuisine."""
+    usage = cuisine.ingredient_usage
+    ordered = sorted(
+        usage.items(),
+        key=lambda item: (-item[1], catalog.by_id(item[0]).name),
+    )
+    names = tuple(catalog.by_id(ingredient_id).name for ingredient_id, _ in ordered)
+    counts = np.asarray([count for _, count in ordered], dtype=np.float64)
+    total = counts.sum()
+    return PopularityCurve(
+        region_code=cuisine.region_code,
+        names=names,
+        counts=counts,
+        normalized=counts / counts[0],
+        cumulative_share=np.cumsum(counts) / total,
+    )
+
+
+def scaling_collapse_error(curves: list[PopularityCurve]) -> float:
+    """How tightly the normalised curves collapse onto each other.
+
+    Evaluates every curve's normalised popularity at a shared set of
+    absolute ranks (up to the shortest curve) and returns the mean
+    inter-cuisine standard deviation — small values mean the Fig 3b
+    "consistent scaling" holds.
+    """
+    shortest = min(len(curve.normalized) for curve in curves)
+    positions = np.unique(
+        np.logspace(0, np.log10(shortest - 1), 25).astype(int)
+    )
+    stacked = np.stack([curve.normalized[positions] for curve in curves])
+    return float(stacked.std(axis=0).mean())

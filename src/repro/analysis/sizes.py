@@ -1,0 +1,78 @@
+"""Recipe-size statistics (Fig 3a).
+
+The paper reports a bounded, thin-tailed recipe size distribution with an
+average of nine ingredients per recipe, consistent across all 22 regions,
+with a cumulative inset. :func:`size_distribution` produces exactly the
+series plotted there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..datamodel import Cuisine
+
+
+@dataclasses.dataclass(frozen=True)
+class SizeDistribution:
+    """Recipe-size histogram of one cuisine.
+
+    Attributes:
+        region_code: cuisine identifier.
+        sizes: support of the histogram (distinct recipe sizes, ascending).
+        probability: fraction of recipes at each size (sums to 1).
+        cumulative: running sum of ``probability`` (the Fig 3a inset).
+        mean: average recipe size.
+        std: standard deviation of recipe size.
+    """
+
+    region_code: str
+    sizes: np.ndarray
+    probability: np.ndarray
+    cumulative: np.ndarray
+    mean: float
+    std: float
+
+    def probability_at(self, size: int) -> float:
+        """P(recipe size == size); 0 outside the support."""
+        matches = np.flatnonzero(self.sizes == size)
+        if len(matches) == 0:
+            return 0.0
+        return float(self.probability[matches[0]])
+
+
+def size_distribution(cuisine: Cuisine) -> SizeDistribution:
+    """Recipe-size distribution of one cuisine."""
+    raw_sizes = np.asarray(cuisine.recipe_sizes, dtype=np.int64)
+    values, counts = np.unique(raw_sizes, return_counts=True)
+    probability = counts / counts.sum()
+    return SizeDistribution(
+        region_code=cuisine.region_code,
+        sizes=values,
+        probability=probability,
+        cumulative=np.cumsum(probability),
+        mean=float(raw_sizes.mean()),
+        std=float(raw_sizes.std(ddof=0)),
+    )
+
+
+def pooled_size_distribution(
+    cuisines: dict[str, Cuisine], region_code: str = "WORLD"
+) -> SizeDistribution:
+    """Size distribution pooled over several cuisines (the WORLD curve)."""
+    pooled: list[int] = []
+    for cuisine in cuisines.values():
+        pooled.extend(cuisine.recipe_sizes)
+    raw_sizes = np.asarray(pooled, dtype=np.int64)
+    values, counts = np.unique(raw_sizes, return_counts=True)
+    probability = counts / counts.sum()
+    return SizeDistribution(
+        region_code=region_code,
+        sizes=values,
+        probability=probability,
+        cumulative=np.cumsum(probability),
+        mean=float(raw_sizes.mean()),
+        std=float(raw_sizes.std(ddof=0)),
+    )

@@ -1,0 +1,131 @@
+"""Statistical characterisation of the corpus distributions (scipy).
+
+Formal backing for the paper's descriptive claims:
+
+* Fig 3a — the recipe-size distribution is "bounded and thin-tailed": fit
+  a (shifted) Poisson and compare tail mass against exponential decay;
+* Fig 3a — regional size distributions are mutually consistent:
+  two-sample Kolmogorov–Smirnov tests between regions;
+* Fig 3b — popularity curves follow a truncated power law: fit the Zipf
+  exponent with a log-log linear model and report the goodness of fit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy import stats
+
+from ..datamodel import ConfigurationError, Cuisine
+
+
+@dataclasses.dataclass(frozen=True)
+class PoissonFit:
+    """Shifted-Poisson fit of a recipe-size sample.
+
+    Attributes:
+        shift: support offset (the minimum observed size).
+        lam: fitted Poisson rate of ``size - shift``.
+        pvalue: chi-square goodness-of-fit p-value (binned).
+        tail_mass_beyond_20: observed P(size > 20).
+    """
+
+    shift: int
+    lam: float
+    pvalue: float
+    tail_mass_beyond_20: float
+
+    @property
+    def mean(self) -> float:
+        return self.shift + self.lam
+
+
+def fit_recipe_sizes(sizes: np.ndarray) -> PoissonFit:
+    """Fit a shifted Poisson to recipe sizes and test the fit.
+
+    Raises:
+        ConfigurationError: on an empty sample.
+    """
+    if len(sizes) == 0:
+        raise ConfigurationError("no sizes to fit")
+    sizes = np.asarray(sizes, dtype=np.int64)
+    shift = int(sizes.min())
+    lam = float((sizes - shift).mean())
+    # Chi-square against the fitted Poisson, binning the tail at +4 sd.
+    cutoff = int(np.ceil(lam + 4 * np.sqrt(max(lam, 1e-9))))
+    observed = np.zeros(cutoff + 2)
+    for size in sizes - shift:
+        observed[min(int(size), cutoff + 1)] += 1
+    expected = np.zeros_like(observed)
+    probabilities = stats.poisson.pmf(np.arange(cutoff + 1), lam)
+    expected[: cutoff + 1] = probabilities * len(sizes)
+    expected[cutoff + 1] = max(
+        (1 - probabilities.sum()) * len(sizes), 1e-9
+    )
+    keep = expected >= 5  # standard chi-square validity rule
+    if keep.sum() < 3:
+        pvalue = float("nan")
+    else:
+        observed_kept = observed[keep]
+        expected_kept = expected[keep]
+        expected_kept = expected_kept * (
+            observed_kept.sum() / expected_kept.sum()
+        )
+        statistic, pvalue = stats.chisquare(observed_kept, expected_kept)
+        pvalue = float(pvalue)
+    return PoissonFit(
+        shift=shift,
+        lam=lam,
+        pvalue=pvalue,
+        tail_mass_beyond_20=float((sizes > 20).mean()),
+    )
+
+
+def size_distributions_consistent(
+    left: Cuisine, right: Cuisine, alpha: float = 0.001
+) -> tuple[bool, float]:
+    """Two-sample KS test on recipe sizes of two cuisines.
+
+    Returns:
+        (consistent, pvalue): ``consistent`` is True when the KS test does
+        NOT reject identity at level ``alpha`` — i.e. the Fig 3a claim
+        that size statistics generalise across cuisines.
+    """
+    statistic, pvalue = stats.ks_2samp(
+        np.asarray(left.recipe_sizes), np.asarray(right.recipe_sizes)
+    )
+    return bool(pvalue > alpha), float(pvalue)
+
+
+@dataclasses.dataclass(frozen=True)
+class ZipfFit:
+    """Log-log linear fit of a popularity rank curve.
+
+    Attributes:
+        exponent: fitted Zipf exponent (positive).
+        r_squared: goodness of the log-log linear fit.
+        head_ranks: number of ranks used (power law holds before the
+            finite-size cutoff).
+    """
+
+    exponent: float
+    r_squared: float
+    head_ranks: int
+
+
+def fit_zipf(counts: np.ndarray, head_fraction: float = 0.5) -> ZipfFit:
+    """Fit ``count ~ rank^-s`` on the head of a rank-frequency curve."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if len(counts) < 8:
+        raise ConfigurationError("need at least 8 ranks for a Zipf fit")
+    head = max(8, int(len(counts) * head_fraction))
+    ranks = np.arange(1, head + 1)
+    log_rank = np.log(ranks)
+    log_count = np.log(counts[:head])
+    result = stats.linregress(log_rank, log_count)
+    return ZipfFit(
+        exponent=float(-result.slope),
+        r_squared=float(result.rvalue**2),
+        head_ranks=head,
+    )

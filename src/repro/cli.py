@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — list available experiments.
+* ``run <id>`` — run one experiment and print its table
+  (``--scale``/``--samples`` control corpus size and null-model samples).
+* ``build-db --out DIR`` — generate the corpus, alias it, build CulinaryDB
+  and persist it as CSV.
+* ``query --db DIR "SELECT ..."`` — run SQL against a persisted database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from .experiments import EXPERIMENTS, build_workspace
+from .experiments.fig4 import run_fig4
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Data-driven investigations of culinary "
+            "patterns in traditional recipes across the world' (ICDE 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="recipe-count scale factor (1.0 = full 45,772-recipe corpus)",
+    )
+    run.add_argument(
+        "--samples",
+        type=int,
+        default=100_000,
+        help="random recipes per null model (fig4 only)",
+    )
+    run.add_argument("--seed", type=int, default=None, help="corpus seed")
+
+    build = sub.add_parser(
+        "build-db", help="generate corpus and persist CulinaryDB as CSV"
+    )
+    build.add_argument("--out", required=True, help="output directory")
+    build.add_argument("--scale", type=float, default=1.0)
+    build.add_argument("--seed", type=int, default=None)
+
+    query = sub.add_parser("query", help="run SQL against a persisted DB")
+    query.add_argument("--db", required=True, help="database directory")
+    query.add_argument("sql", help="SELECT statement")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write text tables"
+    )
+    report.add_argument("--out", required=True, help="output directory")
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--samples", type=int, default=100_000)
+    report.add_argument("--seed", type=int, default=None)
+    report.add_argument(
+        "--csv",
+        action="store_true",
+        help="also write the raw figure series as CSV",
+    )
+
+    alias = sub.add_parser(
+        "alias", help="alias a raw ingredient phrase against the catalog"
+    )
+    alias.add_argument("phrase", nargs="+", help="the ingredient line")
+    alias.add_argument(
+        "--fuzzy", action="store_true", help="enable typo correction"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name, (_runner, description) in sorted(EXPERIMENTS.items()):
+            print(f"{name:8s} {description}")
+        return 0
+
+    if args.command == "run":
+        started = time.time()
+        workspace_kwargs = {"recipe_scale": args.scale}
+        if args.seed is not None:
+            workspace_kwargs["seed"] = args.seed
+        workspace = build_workspace(**workspace_kwargs)
+        runner, description = EXPERIMENTS[args.experiment]
+        print(f"# {args.experiment}: {description}")
+        if runner is run_fig4:
+            result = runner(workspace, n_samples=args.samples)
+        else:
+            result = runner(workspace)
+        print(result.render())
+        print(f"\n[{time.time() - started:.1f}s]")
+        return 0
+
+    if args.command == "build-db":
+        from .culinarydb import CulinaryDB, build_culinarydb
+
+        workspace_kwargs = {"recipe_scale": args.scale}
+        if args.seed is not None:
+            workspace_kwargs["seed"] = args.seed
+        workspace = build_workspace(**workspace_kwargs)
+        database = build_culinarydb(
+            workspace.recipes,
+            workspace.catalog,
+            raw_recipes=workspace.corpus.raw_recipes,
+        )
+        CulinaryDB(database).save(args.out)
+        print(f"wrote {database!r} to {args.out}")
+        return 0
+
+    if args.command == "query":
+        from .culinarydb import CulinaryDB
+        from .reporting import render_dict_table
+
+        culinary = CulinaryDB.load(args.db)
+        rows = culinary.db.sql(args.sql)
+        print(render_dict_table(rows))
+        return 0
+
+    if args.command == "report":
+        from pathlib import Path
+
+        from .experiments.fig4 import run_fig4 as fig4_runner
+
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        workspace_kwargs = {"recipe_scale": args.scale}
+        if args.seed is not None:
+            workspace_kwargs["seed"] = args.seed
+        workspace = build_workspace(**workspace_kwargs)
+        csv_exporters = {}
+        if args.csv:
+            from .reporting import (
+                export_fig2,
+                export_fig3a,
+                export_fig3b,
+                export_fig4,
+                export_fig5,
+            )
+
+            csv_exporters = {
+                "fig2": export_fig2,
+                "fig3a": export_fig3a,
+                "fig3b": export_fig3b,
+                "fig4": export_fig4,
+                "fig5": export_fig5,
+            }
+        for name, (runner, description) in sorted(EXPERIMENTS.items()):
+            started = time.time()
+            if runner is fig4_runner:
+                result = runner(workspace, n_samples=args.samples)
+            else:
+                result = runner(workspace)
+            text = f"# {name}: {description}\n\n{result.render()}\n"
+            (out / f"{name}.txt").write_text(text, encoding="utf-8")
+            exporter = csv_exporters.get(name)
+            if exporter is not None:
+                exporter(result, out)
+            print(f"{name}: written ({time.time() - started:.1f}s)")
+        return 0
+
+    if args.command == "alias":
+        from .aliasing import AliasingPipeline
+
+        pipeline = AliasingPipeline(fuzzy=args.fuzzy)
+        resolution = pipeline.resolve_phrase(" ".join(args.phrase))
+        names = ", ".join(i.name for i in resolution.ingredients) or "(none)"
+        print(f"kind: {resolution.kind.value}")
+        print(f"ingredients: {names}")
+        if resolution.leftover_tokens:
+            print(f"leftover: {' '.join(resolution.leftover_tokens)}")
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""The paper's primary contribution, under its canonical location.
+
+The food-pairing analysis lives in :mod:`repro.pairing`; this package
+re-exports it so the conventional ``repro.core`` import path works::
+
+    from repro.core import analyze_cuisine, food_pairing_score
+"""
+
+from ..pairing import *  # noqa: F401,F403 - deliberate façade
+from ..pairing import __all__  # noqa: F401

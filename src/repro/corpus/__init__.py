@@ -1,0 +1,48 @@
+"""Synthetic recipe-corpus generation (the scraped-data substitute).
+
+Generates raw, noisy recipe records for the paper's 22 regions (plus the
+four WORLD-only mini-regions) with the published recipe counts, unique
+ingredient counts, size distribution, popularity scaling and per-region
+food-pairing character.
+"""
+
+from .assembler import RecipeAssembler, overlap_matrix
+from .generator import (
+    DEFAULT_SEED,
+    SOURCE_TOTALS,
+    CorpusGenerator,
+    GeneratedCorpus,
+    generate_default_corpus,
+)
+from .pantry import HEAD_SIZE, RegionPantry, build_pantry, zipf_weights
+from .profiles import (
+    BASE_CATEGORY_WEIGHTS,
+    REGION_GENERATOR_PROFILES,
+    WORLD_ONLY_PROFILES,
+    RegionGeneratorProfile,
+)
+from .renderer import PhraseRenderer, pluralize
+from .sizes import MAX_RECIPE_SIZE, MIN_RECIPE_SIZE, sample_recipe_sizes
+
+__all__ = [
+    "RecipeAssembler",
+    "overlap_matrix",
+    "DEFAULT_SEED",
+    "SOURCE_TOTALS",
+    "CorpusGenerator",
+    "GeneratedCorpus",
+    "generate_default_corpus",
+    "HEAD_SIZE",
+    "RegionPantry",
+    "build_pantry",
+    "zipf_weights",
+    "BASE_CATEGORY_WEIGHTS",
+    "REGION_GENERATOR_PROFILES",
+    "WORLD_ONLY_PROFILES",
+    "RegionGeneratorProfile",
+    "PhraseRenderer",
+    "pluralize",
+    "MAX_RECIPE_SIZE",
+    "MIN_RECIPE_SIZE",
+    "sample_recipe_sizes",
+]

@@ -1,0 +1,331 @@
+"""Synthetic corpus generation: the full 45,772-recipe CulinaryDB stand-in.
+
+:class:`CorpusGenerator` orchestrates the substrate: for every region it
+builds the pantry (:mod:`repro.corpus.pantry`), samples recipe sizes
+(:mod:`repro.corpus.sizes`), assembles ingredient sets with the region's
+flavor-affinity bias (:mod:`repro.corpus.assembler`), enforces Table 1's
+exact unique-ingredient counts, renders noisy raw phrases
+(:mod:`repro.corpus.renderer`), and attributes recipes to the paper's four
+sources with their exact published totals.
+
+Everything is deterministic given ``seed``; the default seed is the one
+all experiments and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import Counter
+
+import numpy as np
+
+from ..aliasing import AliasingPipeline
+from ..datamodel import ConfigurationError, RawRecipe
+from ..flavordb import IngredientCatalog, default_catalog, stable_seed
+from .assembler import RecipeAssembler
+from .pantry import RegionPantry, build_pantry
+from .profiles import (
+    REGION_GENERATOR_PROFILES,
+    WORLD_ONLY_PROFILES,
+    RegionGeneratorProfile,
+)
+from .renderer import PhraseRenderer
+from .sizes import sample_recipe_sizes
+
+#: Seed used by all experiments unless overridden.
+DEFAULT_SEED = 20180417
+
+#: The paper's source totals (Section III.A). TarlaDalal recipes belong to
+#: the Indian Subcontinent; the other three sources split the rest.
+SOURCE_TOTALS = {
+    "AllRecipes": 16177,
+    "Food Network": 15917,
+    "Epicurious": 11069,
+    "TarlaDalal": 2609,
+}
+
+_GENERAL_SOURCES = ("AllRecipes", "Food Network", "Epicurious")
+
+_DISH_TYPES = (
+    "stew", "salad", "soup", "roast", "curry", "bake", "stir fry",
+    "pie", "braise", "bowl", "skillet", "casserole", "gratin", "fritters",
+)
+
+_REGION_ADJECTIVES = {
+    "AFR": "African", "ANZ": "Aussie", "BRI": "British", "CAN": "Canadian",
+    "CBN": "Caribbean", "CHN": "Chinese", "DACH": "Alpine",
+    "EE": "Eastern European", "FRA": "French", "GRC": "Greek",
+    "INSC": "Indian", "ITA": "Italian", "JPN": "Japanese", "KOR": "Korean",
+    "MEX": "Mexican", "ME": "Levantine", "SCND": "Nordic",
+    "SAM": "South American", "SEA": "Southeast Asian", "ESP": "Spanish",
+    "THA": "Thai", "USA": "American", "Portugal": "Portuguese",
+    "Belgium": "Belgian", "Central America": "Central American",
+    "Netherlands": "Dutch",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratedCorpus:
+    """Everything one generation run produces.
+
+    Attributes:
+        raw_recipes: the noisy scraped-style records, id order.
+        intended_ingredients: recipe id -> the exact canonical ingredient
+            ids the raw phrases were rendered from (ground truth for
+            aliasing fidelity checks).
+        pantries: region code -> the pantry used.
+        seed: generation seed.
+    """
+
+    raw_recipes: tuple[RawRecipe, ...]
+    intended_ingredients: dict[int, frozenset[int]]
+    pantries: dict[str, RegionPantry]
+    seed: int
+
+    def region_codes(self) -> tuple[str, ...]:
+        return tuple(self.pantries)
+
+
+class CorpusGenerator:
+    """Deterministic generator for the synthetic recipe corpus."""
+
+    def __init__(
+        self,
+        catalog: IngredientCatalog | None = None,
+        seed: int = DEFAULT_SEED,
+        include_world_only: bool = True,
+        recipe_scale: float = 1.0,
+    ) -> None:
+        """
+        Args:
+            catalog: ingredient catalog (defaults to the shared one).
+            seed: generation seed; all randomness derives from it.
+            include_world_only: also generate the 207 recipes from the four
+                WORLD-only mini-regions.
+            recipe_scale: multiply per-region recipe counts (tests use
+                small scales). Pantry sizes are preserved, so scales below
+                ~0.05 are clamped per region to keep every pantry
+                ingredient reachable.
+        """
+        if recipe_scale <= 0:
+            raise ConfigurationError("recipe_scale must be positive")
+        self._catalog = catalog if catalog is not None else default_catalog()
+        self._pipeline = AliasingPipeline(self._catalog)
+        self._renderer = PhraseRenderer(self._pipeline)
+        self._seed = seed
+        self._include_world_only = include_world_only
+        self._recipe_scale = recipe_scale
+
+    @property
+    def catalog(self) -> IngredientCatalog:
+        return self._catalog
+
+    def profiles(self) -> tuple[RegionGeneratorProfile, ...]:
+        """Profiles this generator will realise, region order."""
+        profiles = tuple(REGION_GENERATOR_PROFILES.values())
+        if self._include_world_only:
+            profiles += WORLD_ONLY_PROFILES
+        return profiles
+
+    def generate(self) -> GeneratedCorpus:
+        """Generate the full corpus."""
+        raw_recipes: list[RawRecipe] = []
+        intended: dict[int, frozenset[int]] = {}
+        pantries: dict[str, RegionPantry] = {}
+        region_recipe_ingredients: list[tuple[str, list[np.ndarray], RegionPantry]] = []
+
+        for profile in self.profiles():
+            pantry = build_pantry(profile, self._catalog)
+            pantries[profile.code] = pantry
+            recipes = self._assemble_region(profile, pantry)
+            region_recipe_ingredients.append((profile.code, recipes, pantry))
+
+        source_labels = self._source_labels(
+            [
+                (code, len(recipes))
+                for code, recipes, _pantry in region_recipe_ingredients
+            ]
+        )
+
+        recipe_id = 1
+        for code, recipes, pantry in region_recipe_ingredients:
+            render_rng = np.random.Generator(
+                np.random.PCG64(stable_seed("render", code, str(self._seed)))
+            )
+            for indices in recipes:
+                ingredients = [pantry.ingredients[int(i)] for i in indices]
+                phrases = tuple(
+                    self._renderer.render(ingredient, render_rng)
+                    for ingredient in ingredients
+                )
+                title = self._title(code, ingredients[0].name, render_rng)
+                raw_recipes.append(
+                    RawRecipe(
+                        recipe_id=recipe_id,
+                        title=title,
+                        source=source_labels[recipe_id - 1],
+                        region_code=code,
+                        ingredient_phrases=phrases,
+                        instructions=self._instructions(ingredients),
+                    )
+                )
+                intended[recipe_id] = frozenset(
+                    ingredient.ingredient_id for ingredient in ingredients
+                )
+                recipe_id += 1
+
+        return GeneratedCorpus(
+            raw_recipes=tuple(raw_recipes),
+            intended_ingredients=intended,
+            pantries=pantries,
+            seed=self._seed,
+        )
+
+    # ------------------------------------------------------------------
+    # per-region assembly
+    # ------------------------------------------------------------------
+    def _region_recipe_count(self, profile: RegionGeneratorProfile) -> int:
+        scaled = int(round(profile.recipe_count * self._recipe_scale))
+        # Keep enough recipes that every pantry ingredient can appear.
+        minimum = math.ceil(
+            profile.ingredient_count / max(profile.mean_recipe_size - 2, 1)
+        )
+        return max(scaled, minimum, 10)
+
+    def _assemble_region(
+        self, profile: RegionGeneratorProfile, pantry: RegionPantry
+    ) -> list[np.ndarray]:
+        rng = np.random.Generator(
+            np.random.PCG64(
+                stable_seed("assemble", profile.code, str(self._seed))
+            )
+        )
+        count = self._region_recipe_count(profile)
+        sizes = sample_recipe_sizes(rng, count, profile.mean_recipe_size)
+        assembler = RecipeAssembler(pantry)
+        recipes = assembler.assemble_many(rng, sizes)
+        self._enforce_coverage(recipes, pantry, rng)
+        return recipes
+
+    def _enforce_coverage(
+        self,
+        recipes: list[np.ndarray],
+        pantry: RegionPantry,
+        rng: np.random.Generator,
+    ) -> None:
+        """Guarantee every pantry ingredient is used at least once.
+
+        Table 1's unique-ingredient counts are exact, so rare pantry tail
+        ingredients that random assembly missed are swapped into recipes,
+        replacing an ingredient that occurs at least twice corpus-wide.
+        """
+        usage = Counter[int]()
+        for indices in recipes:
+            usage.update(int(i) for i in indices)
+        unused = [
+            index for index in range(pantry.size) if usage[index] == 0
+        ]
+        if not unused:
+            return
+        order = rng.permutation(len(recipes))
+        cursor = 0
+        for missing in unused:
+            placed = False
+            for _attempt in range(len(recipes)):
+                recipe = recipes[order[cursor % len(recipes)]]
+                cursor += 1
+                members = set(int(i) for i in recipe)
+                if missing in members:
+                    continue
+                replaceable = [
+                    slot
+                    for slot, index in enumerate(recipe)
+                    if usage[int(index)] >= 2
+                ]
+                if not replaceable:
+                    continue
+                # Replace the most-used member: losing one occurrence of a
+                # very popular ingredient distorts the popularity and
+                # pairing structure the least.
+                slot = max(
+                    replaceable, key=lambda s: usage[int(recipe[s])]
+                )
+                usage[int(recipe[slot])] -= 1
+                recipe[slot] = missing
+                usage[missing] += 1
+                placed = True
+                break
+            if not placed:
+                raise ConfigurationError(
+                    f"could not place pantry ingredient index {missing} for "
+                    f"region {pantry.profile.code}; corpus too small"
+                )
+
+    # ------------------------------------------------------------------
+    # sources, titles, instructions
+    # ------------------------------------------------------------------
+    def _source_labels(
+        self, region_counts: list[tuple[str, int]]
+    ) -> list[str]:
+        """Assign a source to every recipe, in global recipe order.
+
+        TarlaDalal's quota goes to Indian Subcontinent recipes first; the
+        three general sources split everything else proportionally to
+        their published totals, deterministically.
+        """
+        total = sum(count for _code, count in region_counts)
+        scale = total / sum(SOURCE_TOTALS.values())
+        tarladalal_quota = int(round(SOURCE_TOTALS["TarlaDalal"] * scale))
+        labels: list[str] = []
+        general_weights = np.asarray(
+            [SOURCE_TOTALS[name] for name in _GENERAL_SOURCES], np.float64
+        )
+        general_weights /= general_weights.sum()
+        rng = np.random.Generator(
+            np.random.PCG64(stable_seed("sources", str(self._seed)))
+        )
+        general_assigned = Counter[str]()
+        general_total = 0
+        for code, count in region_counts:
+            for _ in range(count):
+                if code == "INSC" and tarladalal_quota > 0:
+                    labels.append("TarlaDalal")
+                    tarladalal_quota -= 1
+                    continue
+                general_total += 1
+                # Largest-deficit assignment keeps realised counts within
+                # one recipe of the target proportions.
+                deficits = [
+                    general_weights[i] * general_total
+                    - general_assigned[name]
+                    for i, name in enumerate(_GENERAL_SOURCES)
+                ]
+                pick = _GENERAL_SOURCES[int(np.argmax(deficits))]
+                general_assigned[pick] += 1
+                labels.append(pick)
+        del rng  # reserved for future stochastic assignment
+        return labels
+
+    def _title(
+        self, code: str, main_ingredient: str, rng: np.random.Generator
+    ) -> str:
+        adjective = _REGION_ADJECTIVES.get(code, code.title())
+        dish = _DISH_TYPES[int(rng.integers(len(_DISH_TYPES)))]
+        return f"{adjective} {main_ingredient} {dish}".title()
+
+    def _instructions(self, ingredients) -> str:
+        head = ", ".join(
+            ingredient.name for ingredient in ingredients[:3]
+        )
+        return (
+            f"Prepare the {head}. Combine all ingredients and cook until "
+            "done. Season, rest briefly and serve."
+        )
+
+
+def generate_default_corpus(
+    seed: int = DEFAULT_SEED, recipe_scale: float = 1.0
+) -> GeneratedCorpus:
+    """Convenience wrapper: generate with default catalog and options."""
+    return CorpusGenerator(seed=seed, recipe_scale=recipe_scale).generate()

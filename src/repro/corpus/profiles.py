@@ -1,0 +1,403 @@
+"""Generator profiles for the 22 regions (plus the WORLD-only mini-regions).
+
+The synthetic corpus must reproduce the paper's published *shape*:
+
+* Table 1 — recipe and unique-ingredient counts per region (exact),
+* Fig 2 — category-composition emphasis (France/British Isles/Scandinavia
+  dairy-forward; Indian Subcontinent/Africa/Middle East/Caribbean
+  spice-forward),
+* Fig 3 — recipe sizes (mean ≈ 9) and Zipf-like ingredient popularity,
+* Fig 4 — the sign and rough ordering of food-pairing Z-scores: 16 regions
+  uniform (positive), 6 contrasting (negative),
+* Fig 5 — culinarily plausible top-contributing ingredients.
+
+Each :class:`RegionGeneratorProfile` encodes how its cuisine's popularity
+head relates to the flavor-family structure of the catalog:
+
+* *uniform* regions concentrate their most popular ingredients in one or
+  two flavor families (``signature_families``), so popularity-weighted
+  ingredient pairs share many molecules;
+* *contrasting* regions spread their head across many families
+  (``spread_head=True``), so popular pairs share fewer molecules than an
+  average pantry pair.
+
+``pairing_bias`` additionally tilts in-recipe ingredient choice toward
+(positive) or away from (negative) flavor overlap with the ingredients
+already in the recipe — the residual the frequency-preserving null model
+cannot explain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..datamodel import Category
+
+#: Baseline category attractiveness, shared by all regions. Tuned so the
+#: WORLD aggregate of Fig 2 leads with Vegetable, Spice, Dairy, Herb,
+#: Plant, Meat, Fruit (Section II.A).
+BASE_CATEGORY_WEIGHTS: dict[Category, float] = {
+    Category.VEGETABLE: 2.00,
+    Category.SPICE: 1.10,
+    Category.DAIRY: 1.30,
+    Category.HERB: 1.25,
+    Category.PLANT: 1.15,
+    Category.MEAT: 1.35,
+    Category.FRUIT: 0.95,
+    Category.ADDITIVE: 0.90,
+    Category.CEREAL: 0.80,
+    Category.BAKERY: 0.70,
+    Category.LEGUME: 0.70,
+    Category.NUTS_AND_SEEDS: 0.70,
+    Category.DISH: 0.40,
+    Category.FISH: 0.60,
+    Category.MAIZE: 0.50,
+    Category.SEAFOOD: 0.50,
+    Category.BEVERAGE_ALCOHOLIC: 0.50,
+    Category.FUNGUS: 0.50,
+    Category.BEVERAGE: 0.40,
+    Category.ESSENTIAL_OIL: 0.15,
+    Category.FLOWER: 0.15,
+}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RegionGeneratorProfile:
+    """Everything the corpus generator needs to synthesise one cuisine.
+
+    Attributes:
+        code: region code (Table 1) or a WORLD-only region name.
+        recipe_count: number of recipes to generate (Table 1).
+        ingredient_count: unique ingredients the cuisine must use (Table 1).
+        pairing_bias: in-recipe flavor-affinity tilt; positive = uniform
+            pairing, negative = contrasting pairing.
+        signature_ingredients: iconic ingredients pinned to the top
+            popularity ranks, most-popular first.
+        signature_families: flavor families the popularity head is drawn
+            from (after the pinned signatures).
+        spread_head: when True, head top-up maximises family diversity
+            instead of drawing from ``signature_families``.
+        baseline_families: for spread-head regions, families boosted in the
+            pantry *tail*; they raise the uniform-random baseline overlap
+            that the cuisine's contrasting head undercuts.
+        category_multipliers: per-category emphasis applied on top of
+            :data:`BASE_CATEGORY_WEIGHTS` (Fig 2 shape).
+        mean_recipe_size: target mean ingredients per recipe (Fig 3a).
+        zipf_exponent: popularity decay exponent (Fig 3b).
+    """
+
+    code: str
+    recipe_count: int
+    ingredient_count: int
+    pairing_bias: float
+    signature_ingredients: tuple[str, ...]
+    signature_families: tuple[str, ...]
+    spread_head: bool = False
+    baseline_families: tuple[str, ...] = ()
+    category_multipliers: dict[Category, float] = dataclasses.field(
+        default_factory=dict
+    )
+    mean_recipe_size: float = 9.0
+    zipf_exponent: float = 1.0
+
+    def category_weight(self, category: Category) -> float:
+        base = BASE_CATEGORY_WEIGHTS[category]
+        return base * self.category_multipliers.get(category, 1.0)
+
+
+_DAIRY_FORWARD = {Category.DAIRY: 2.2}
+_SPICE_FORWARD = {Category.SPICE: 2.0}
+
+#: Generator profiles for the paper's 22 regions, keyed by region code.
+REGION_GENERATOR_PROFILES: dict[str, RegionGeneratorProfile] = {
+    profile.code: profile
+    for profile in (
+        # ---- uniform (positive) regions, strongest bias first ----------
+        RegionGeneratorProfile(
+            code="ITA", recipe_count=7504, ingredient_count=452,
+            pairing_bias=1.25,
+            signature_ingredients=(
+                "tomato", "basil", "olive oil", "garlic", "parmesan cheese",
+                "oregano", "onion", "mozzarella cheese", "pasta", "rosemary",
+                "thyme", "sun dried tomato", "zucchini", "parsley",
+                "tomato paste",
+            ),
+            signature_families=("herb-terpene", "green-aldehyde"),
+            mean_recipe_size=8.8,
+        ),
+        RegionGeneratorProfile(
+            code="AFR", recipe_count=651, ingredient_count=303,
+            pairing_bias=0.85,
+            signature_ingredients=(
+                "dried chili", "cumin", "coriander seed", "dried ginger",
+                "cinnamon", "peanut", "tomato", "okra", "sweet potato",
+                "plantain", "lamb", "berbere",
+            ),
+            signature_families=("warm-phenolic", "pungent-alkaloid"),
+            category_multipliers=_SPICE_FORWARD,
+            mean_recipe_size=9.2,
+        ),
+        RegionGeneratorProfile(
+            code="CBN", recipe_count=1103, ingredient_count=340,
+            pairing_bias=0.80,
+            signature_ingredients=(
+                "allspice", "habanero pepper", "thyme", "scallion",
+                "coconut milk", "lime", "dried ginger", "rum", "plantain",
+                "jerk seasoning", "cinnamon",
+            ),
+            signature_families=("warm-phenolic", "pungent-alkaloid"),
+            category_multipliers=_SPICE_FORWARD,
+            mean_recipe_size=9.3,
+        ),
+        RegionGeneratorProfile(
+            code="GRC", recipe_count=934, ingredient_count=280,
+            pairing_bias=0.75,
+            signature_ingredients=(
+                "olive oil", "oregano", "feta cheese", "lemon", "tomato",
+                "eggplant", "mint", "dill", "yogurt", "cucumber", "parsley",
+            ),
+            signature_families=("herb-terpene", "green-aldehyde"),
+            mean_recipe_size=8.9,
+        ),
+        RegionGeneratorProfile(
+            code="ESP", recipe_count=816, ingredient_count=312,
+            pairing_bias=0.70,
+            signature_ingredients=(
+                "olive oil", "paprika", "garlic", "saffron", "tomato",
+                "chorizo", "sherry vinegar", "almond", "red bell pepper",
+                "parsley",
+            ),
+            signature_families=("green-aldehyde", "warm-phenolic"),
+            mean_recipe_size=8.7,
+        ),
+        RegionGeneratorProfile(
+            code="USA", recipe_count=16118, ingredient_count=612,
+            pairing_bias=0.68,
+            signature_ingredients=(
+                "butter", "sugar", "flour", "egg", "milk", "brown sugar",
+                "vanilla", "cream", "cheddar cheese", "cinnamon",
+                "baking powder", "chicken", "beef", "maple syrup",
+            ),
+            signature_families=("caramel-furanone", "buttery-diketone"),
+            mean_recipe_size=9.1,
+        ),
+        RegionGeneratorProfile(
+            code="INSC", recipe_count=4058, ingredient_count=378,
+            pairing_bias=0.62,
+            signature_ingredients=(
+                "turmeric", "cumin", "coriander seed", "garam masala",
+                "dried ginger", "green chili", "asafoetida", "fenugreek leaf",
+                "ghee", "yogurt", "onion", "tomato", "cardamom", "clove",
+                "cinnamon", "mustard seed",
+            ),
+            signature_families=("warm-phenolic", "pungent-alkaloid"),
+            category_multipliers={Category.SPICE: 2.0, Category.MEAT: 0.6},
+            mean_recipe_size=9.6,
+        ),
+        RegionGeneratorProfile(
+            code="ME", recipe_count=993, ingredient_count=313,
+            pairing_bias=0.58,
+            signature_ingredients=(
+                "cumin", "sumac", "olive oil", "parsley", "mint",
+                "lemon juice", "chickpea", "za'atar", "cinnamon", "allspice",
+                "tahini",
+            ),
+            signature_families=("warm-phenolic", "herb-terpene"),
+            category_multipliers=_SPICE_FORWARD,
+            mean_recipe_size=9.0,
+        ),
+        RegionGeneratorProfile(
+            code="MEX", recipe_count=3138, ingredient_count=376,
+            pairing_bias=0.55,
+            signature_ingredients=(
+                "jalapeno pepper", "cilantro", "lime", "tomato", "onion",
+                "cumin", "ancho chili", "avocado", "tomatillo",
+                "corn tortilla", "serrano pepper",
+            ),
+            signature_families=("pungent-alkaloid", "green-aldehyde"),
+            mean_recipe_size=9.0,
+        ),
+        RegionGeneratorProfile(
+            code="ANZ", recipe_count=494, ingredient_count=294,
+            pairing_bias=0.55,
+            signature_ingredients=(
+                "butter", "golden syrup", "brown sugar", "cream", "sugar",
+                "rolled oat", "lamb", "pumpkin", "kiwi",
+            ),
+            signature_families=("caramel-furanone", "buttery-diketone"),
+            mean_recipe_size=8.6,
+        ),
+        RegionGeneratorProfile(
+            code="SAM", recipe_count=310, ingredient_count=221,
+            pairing_bias=0.45,
+            signature_ingredients=(
+                "corn", "black bean", "cilantro", "lime", "arbol chili",
+                "quinoa", "beef", "cumin", "plantain",
+            ),
+            signature_families=("green-aldehyde", "legume-green"),
+            mean_recipe_size=8.5,
+        ),
+        RegionGeneratorProfile(
+            code="FRA", recipe_count=2703, ingredient_count=424,
+            pairing_bias=0.42,
+            signature_ingredients=(
+                "butter", "cream", "white wine", "shallot", "thyme",
+                "tarragon", "gruyere cheese", "brie cheese", "baguette",
+                "dijon mustard", "creme fraiche",
+            ),
+            signature_families=("buttery-diketone", "dairy-lactone"),
+            category_multipliers=_DAIRY_FORWARD,
+            mean_recipe_size=9.2,
+        ),
+        RegionGeneratorProfile(
+            code="THA", recipe_count=667, ingredient_count=265,
+            pairing_bias=0.38,
+            signature_ingredients=(
+                "fish sauce", "lemongrass", "thai basil", "coconut milk",
+                "lime", "galangal", "bird chili", "kaffir lime leaf",
+                "cilantro", "palm sugar",
+            ),
+            signature_families=("citrus-terpene", "pungent-alkaloid"),
+            mean_recipe_size=9.4,
+        ),
+        RegionGeneratorProfile(
+            code="CHN", recipe_count=941, ingredient_count=302,
+            pairing_bias=0.34,
+            signature_ingredients=(
+                "soy sauce", "scallion", "ginger", "garlic", "sesame oil",
+                "rice", "shaoxing wine", "star anise", "szechuan pepper",
+                "hoisin sauce",
+            ),
+            signature_families=("allium-sulfur", "pungent-alkaloid"),
+            mean_recipe_size=8.8,
+        ),
+        RegionGeneratorProfile(
+            code="SEA", recipe_count=611, ingredient_count=266,
+            pairing_bias=0.30,
+            signature_ingredients=(
+                "garlic", "shallot", "bird chili", "shrimp paste",
+                "coconut milk", "lemongrass", "fish sauce", "palm sugar",
+                "lime",
+            ),
+            signature_families=("pungent-alkaloid", "allium-sulfur"),
+            mean_recipe_size=9.1,
+        ),
+        RegionGeneratorProfile(
+            code="CAN", recipe_count=1112, ingredient_count=368,
+            pairing_bias=0.25,
+            signature_ingredients=(
+                "maple syrup", "butter", "potato", "cheddar cheese", "bacon",
+                "rolled oat", "cream", "salmon",
+            ),
+            signature_families=("caramel-furanone", "buttery-diketone"),
+            mean_recipe_size=8.9,
+        ),
+        # ---- contrasting (negative) regions, strongest first ------------
+        RegionGeneratorProfile(
+            code="SCND", recipe_count=404, ingredient_count=245,
+            pairing_bias=-1.60,
+            signature_ingredients=(
+                "butter", "sour cream", "cream", "dill", "milk",
+                "pickled herring", "rye bread", "potato", "lingonberry",
+                "cardamom", "smoked salmon", "mustard seed",
+            ),
+            signature_families=(),
+            spread_head=True,
+            baseline_families=('herb-terpene', 'berry-ester', 'warm-phenolic'),
+            category_multipliers={Category.DAIRY: 2.6, Category.FISH: 1.8},
+            mean_recipe_size=8.4,
+        ),
+        RegionGeneratorProfile(
+            code="JPN", recipe_count=580, ingredient_count=283,
+            pairing_bias=-1.45,
+            signature_ingredients=(
+                "rice", "soy sauce", "mirin", "nori", "bonito flake",
+                "sake", "ginger", "sesame seed", "wasabi", "dashi",
+            ),
+            signature_families=(),
+            spread_head=True,
+            baseline_families=('herb-terpene', 'citrus-terpene', 'green-aldehyde'),
+            category_multipliers={Category.FISH: 2.2, Category.SEAFOOD: 1.8},
+            mean_recipe_size=8.2,
+        ),
+        RegionGeneratorProfile(
+            code="DACH", recipe_count=487, ingredient_count=260,
+            pairing_bias=-1.30,
+            signature_ingredients=(
+                "pork", "sauerkraut", "potato", "caraway seed", "butter",
+                "apple", "rye bread", "mustard seed", "cabbage",
+                "juniper berry",
+            ),
+            signature_families=(),
+            spread_head=True,
+            baseline_families=('herb-terpene', 'orchard-ester', 'warm-phenolic'),
+            mean_recipe_size=8.6,
+        ),
+        RegionGeneratorProfile(
+            code="BRI", recipe_count=1075, ingredient_count=340,
+            pairing_bias=-1.15,
+            signature_ingredients=(
+                "butter", "cheddar cheese", "milk", "cream", "potato",
+                "beef", "pea", "mint", "worcestershire sauce", "black tea",
+                "bread", "bacon",
+            ),
+            signature_families=(),
+            spread_head=True,
+            baseline_families=('herb-terpene', 'berry-ester', 'caramel-furanone'),
+            category_multipliers={Category.DAIRY: 2.6},
+            mean_recipe_size=8.7,
+        ),
+        RegionGeneratorProfile(
+            code="KOR", recipe_count=301, ingredient_count=198,
+            pairing_bias=-0.95,
+            signature_ingredients=(
+                "gochugaru", "kimchi", "garlic", "sesame oil", "soy sauce",
+                "rice", "scallion", "tofu", "dried shrimp", "gochujang",
+            ),
+            signature_families=(),
+            spread_head=True,
+            baseline_families=('green-aldehyde', 'citrus-terpene', 'herb-terpene'),
+            mean_recipe_size=8.3,
+        ),
+        RegionGeneratorProfile(
+            code="EE", recipe_count=565, ingredient_count=255,
+            pairing_bias=-0.75,
+            signature_ingredients=(
+                "beet", "sour cream", "dill", "potato", "cabbage",
+                "caraway seed", "pork", "mushroom", "paprika", "vinegar",
+            ),
+            signature_families=(),
+            spread_head=True,
+            baseline_families=('herb-terpene', 'berry-ester', 'green-aldehyde'),
+            mean_recipe_size=8.8,
+        ),
+    )
+}
+
+#: Mini-regions folded into the WORLD aggregate only (207 recipes total).
+WORLD_ONLY_PROFILES: tuple[RegionGeneratorProfile, ...] = (
+    RegionGeneratorProfile(
+        code="Portugal", recipe_count=62, ingredient_count=90,
+        pairing_bias=0.4,
+        signature_ingredients=("olive oil", "garlic", "cod", "paprika"),
+        signature_families=("green-aldehyde", "herb-terpene"),
+    ),
+    RegionGeneratorProfile(
+        code="Belgium", recipe_count=49, ingredient_count=80,
+        pairing_bias=0.3,
+        signature_ingredients=("butter", "beer", "chocolate", "mussel"),
+        signature_families=("buttery-diketone", "caramel-furanone"),
+    ),
+    RegionGeneratorProfile(
+        code="Central America", recipe_count=51, ingredient_count=85,
+        pairing_bias=0.35,
+        signature_ingredients=("corn", "black bean", "plantain", "cilantro"),
+        signature_families=("green-aldehyde", "legume-green"),
+    ),
+    RegionGeneratorProfile(
+        code="Netherlands", recipe_count=45, ingredient_count=75,
+        pairing_bias=0.25,
+        signature_ingredients=("potato", "gouda cheese", "butter", "kale"),
+        signature_families=("dairy-lactone", "buttery-diketone"),
+    ),
+)

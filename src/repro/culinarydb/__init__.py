@@ -1,0 +1,24 @@
+"""CulinaryDB: the paper's 'Database of World Cuisines' as a relational DB.
+
+Schema, bulk ingest from resolved recipes + catalog, canned analytical
+queries, and CSV persistence — all on the embedded engine in
+:mod:`repro.db`.
+"""
+
+from .analysis_tables import (
+    ensure_analysis_tables,
+    store_contributions,
+    store_pairing_results,
+)
+from .builder import build_culinarydb
+from .queries import CulinaryDB
+from .schema import create_culinarydb_schema
+
+__all__ = [
+    "ensure_analysis_tables",
+    "store_contributions",
+    "store_pairing_results",
+    "build_culinarydb",
+    "CulinaryDB",
+    "create_culinarydb_schema",
+]

@@ -1,0 +1,142 @@
+"""Populate CulinaryDB from a catalog and a resolved recipe collection."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..datamodel import (
+    RECIPE_SOURCES,
+    REGIONS,
+    WORLD_ONLY_REGION_NAMES,
+    Recipe,
+)
+from ..db import Database
+from ..flavordb import IngredientCatalog, default_catalog
+from .schema import create_culinarydb_schema
+
+
+def build_culinarydb(
+    recipes: Sequence[Recipe],
+    catalog: IngredientCatalog | None = None,
+    raw_recipes: Iterable | None = None,
+    name: str = "culinarydb",
+) -> Database:
+    """Build a fully-populated CulinaryDB database.
+
+    Args:
+        recipes: resolved recipes (any regions, including WORLD-only ones).
+        catalog: ingredient catalog; defaults to the shared instance.
+        raw_recipes: optional matching :class:`~repro.datamodel.RawRecipe`
+            records; when given, titles/sources/instructions come from them.
+        name: database name.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    db = create_culinarydb_schema(name)
+
+    regions_table = db.table("regions")
+    for region in REGIONS:
+        regions_table.insert(
+            {
+                "code": region.code,
+                "name": region.name,
+                "pairing": region.pairing.value,
+                "is_aggregate_only": False,
+            }
+        )
+    for region_name in WORLD_ONLY_REGION_NAMES:
+        regions_table.insert(
+            {
+                "code": region_name,
+                "name": region_name,
+                "pairing": None,
+                "is_aggregate_only": True,
+            }
+        )
+
+    sources_table = db.table("sources")
+    for source_name, total in RECIPE_SOURCES.items():
+        sources_table.insert(
+            {"name": source_name, "published_total": total}
+        )
+
+    categories_table = db.table("categories")
+    category_names = sorted(
+        {ingredient.category.value for ingredient in catalog.ingredients}
+    )
+    for category_name in category_names:
+        categories_table.insert({"name": category_name})
+
+    molecules_table = db.table("molecules")
+    molecules_table.bulk_insert(
+        {
+            "molecule_id": molecule.molecule_id,
+            "name": molecule.name,
+            "flavor_family": molecule.flavor_family,
+        }
+        for molecule in catalog.molecules
+    )
+
+    ingredients_table = db.table("ingredients")
+    link_rows = []
+    synonym_rows = []
+    link_id = 1
+    for ingredient in catalog.ingredients:
+        ingredients_table.insert(
+            {
+                "ingredient_id": ingredient.ingredient_id,
+                "name": ingredient.name,
+                "category": ingredient.category.value,
+                "is_compound": ingredient.is_compound,
+                "profile_size": len(ingredient.flavor_profile),
+            }
+        )
+        for molecule_id in sorted(ingredient.flavor_profile):
+            link_rows.append(
+                {
+                    "link_id": link_id,
+                    "ingredient_id": ingredient.ingredient_id,
+                    "molecule_id": molecule_id,
+                }
+            )
+            link_id += 1
+        for synonym in ingredient.synonyms:
+            synonym_rows.append(
+                {
+                    "synonym": synonym,
+                    "ingredient_id": ingredient.ingredient_id,
+                }
+            )
+    db.table("ingredient_molecules").bulk_insert(link_rows)
+    db.table("ingredient_synonyms").bulk_insert(synonym_rows)
+
+    raw_by_id = {}
+    if raw_recipes is not None:
+        raw_by_id = {raw.recipe_id: raw for raw in raw_recipes}
+
+    recipes_table = db.table("recipes")
+    recipe_links = []
+    link_id = 1
+    for recipe in recipes:
+        raw = raw_by_id.get(recipe.recipe_id)
+        source = raw.source if raw is not None else recipe.source
+        recipes_table.insert(
+            {
+                "recipe_id": recipe.recipe_id,
+                "title": raw.title if raw is not None else recipe.title,
+                "source": source if source in RECIPE_SOURCES else None,
+                "region_code": recipe.region_code,
+                "n_ingredients": recipe.size,
+                "instructions": raw.instructions if raw is not None else None,
+            }
+        )
+        for ingredient_id in sorted(recipe.ingredient_ids):
+            recipe_links.append(
+                {
+                    "link_id": link_id,
+                    "recipe_id": recipe.recipe_id,
+                    "ingredient_id": ingredient_id,
+                }
+            )
+            link_id += 1
+    db.table("recipe_ingredients").bulk_insert(recipe_links)
+    return db

@@ -1,0 +1,155 @@
+"""Canned analytical queries over CulinaryDB.
+
+A thin convenience layer exercising the engine's query builder and SQL
+dialect — the kinds of lookups a user of the paper's web database would
+run. :class:`CulinaryDB` wraps a populated
+:class:`~repro.db.database.Database` (see
+:func:`repro.culinarydb.builder.build_culinarydb`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from ..db import Database, col, count, count_distinct, load_database
+from ..db.persistence import save_database
+
+
+class CulinaryDB:
+    """Query facade over a populated CulinaryDB database."""
+
+    def __init__(self, database: Database) -> None:
+        self.db = database
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Persist the database as CSV + catalog JSON."""
+        save_database(self.db, directory)
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "CulinaryDB":
+        """Load a database previously written by :meth:`save`."""
+        return cls(load_database(directory))
+
+    # ------------------------------------------------------------------
+    # canned queries
+    # ------------------------------------------------------------------
+    def table1_statistics(self) -> list[dict[str, Any]]:
+        """Recipes and unique ingredients per region (Table 1), via SQL."""
+        return self.db.sql(
+            "SELECT region_code, COUNT(DISTINCT recipe_id) AS recipes, "
+            "COUNT(DISTINCT ingredient_id) AS ingredients "
+            "FROM recipe_ingredients "
+            "JOIN recipes ON recipe_id = recipes.recipe_id "
+            "GROUP BY region_code ORDER BY region_code"
+        )
+
+    def recipes_in_region(self, region_code: str) -> list[dict[str, Any]]:
+        """All recipes of one region."""
+        return (
+            self.db.query("recipes")
+            .where(col("region_code") == region_code)
+            .order_by("recipe_id")
+            .all()
+        )
+
+    def recipe_ingredients(self, recipe_id: int) -> list[str]:
+        """Ingredient names of one recipe, alphabetical."""
+        rows = (
+            self.db.query("recipe_ingredients")
+            .where(col("recipe_id") == recipe_id)
+            .join("ingredients", on=("ingredient_id", "ingredient_id"))
+            .select("name")
+            .order_by("name")
+            .all()
+        )
+        return [row["name"] for row in rows]
+
+    def most_popular_ingredients(
+        self, region_code: str, limit: int = 10
+    ) -> list[dict[str, Any]]:
+        """Most-used ingredients of a region with their usage counts."""
+        return (
+            self.db.query("recipe_ingredients")
+            .join("recipes", on=("recipe_id", "recipe_id"))
+            .where(col("region_code") == region_code)
+            .join("ingredients", on=("ingredient_id", "ingredient_id"))
+            .group_by("name", uses=count())
+            .order_by(("uses", "desc"), "name")
+            .limit(limit)
+            .all()
+        )
+
+    def category_composition(self, region_code: str) -> dict[str, int]:
+        """Ingredient-mention counts per category for one region (Fig 2)."""
+        rows = (
+            self.db.query("recipe_ingredients")
+            .join("recipes", on=("recipe_id", "recipe_id"))
+            .where(col("region_code") == region_code)
+            .join("ingredients", on=("ingredient_id", "ingredient_id"))
+            .group_by("category", mentions=count())
+            .all()
+        )
+        return {row["category"]: row["mentions"] for row in rows}
+
+    def source_totals(self) -> dict[str, int]:
+        """Recipe counts per source in the stored corpus."""
+        rows = self.db.sql(
+            "SELECT source, COUNT(*) AS n FROM recipes "
+            "WHERE source IS NOT NULL GROUP BY source ORDER BY source"
+        )
+        return {row["source"]: row["n"] for row in rows}
+
+    def ingredients_sharing_molecules(
+        self, ingredient_name: str, limit: int = 10
+    ) -> list[dict[str, Any]]:
+        """Ingredients ranked by shared molecule count with a given one."""
+        target = (
+            self.db.query("ingredients")
+            .where(col("name") == ingredient_name)
+            .first()
+        )
+        if target is None:
+            return []
+        target_molecules = {
+            row["molecule_id"]
+            for row in self.db.table("ingredient_molecules").lookup(
+                "ingredient_id", target["ingredient_id"]
+            )
+        }
+        shared: dict[int, int] = {}
+        molecules_table = self.db.table("ingredient_molecules")
+        for molecule_id in target_molecules:
+            for row in molecules_table.lookup("molecule_id", molecule_id):
+                other = row["ingredient_id"]
+                if other != target["ingredient_id"]:
+                    shared[other] = shared.get(other, 0) + 1
+        ranked = sorted(
+            shared.items(), key=lambda item: (-item[1], item[0])
+        )[:limit]
+        ingredients_table = self.db.table("ingredients")
+        return [
+            {
+                "name": ingredients_table.get(other)["name"],
+                "shared_molecules": overlap,
+            }
+            for other, overlap in ranked
+        ]
+
+    def region_summary(self) -> list[dict[str, Any]]:
+        """Region list with recipe counts and mean recipe size."""
+        from ..db import avg
+
+        return (
+            self.db.query("recipes")
+            .group_by(
+                "region_code",
+                recipes=count(),
+                mean_size=avg("n_ingredients"),
+            )
+            .order_by(("recipes", "desc"))
+            .all()
+        )

@@ -1,0 +1,160 @@
+"""Relational schema of CulinaryDB (the paper's 'Database of World
+Cuisines') hosted on the embedded engine.
+
+Tables::
+
+    regions(code PK, name, pairing, is_aggregate_only)
+    sources(name PK, published_total)
+    categories(name PK)
+    molecules(molecule_id PK, name, flavor_family*)
+    ingredients(ingredient_id PK, name UNIQUE, category -> categories,
+                is_compound, profile_size)
+    ingredient_molecules(link_id PK, ingredient_id* -> ingredients,
+                         molecule_id* -> molecules)
+    ingredient_synonyms(synonym PK, ingredient_id* -> ingredients)
+    recipes(recipe_id PK, title, source -> sources, region_code* -> regions,
+            n_ingredients, instructions)
+    recipe_ingredients(link_id PK, recipe_id* -> recipes,
+                       ingredient_id* -> ingredients)
+
+``*`` marks secondary-indexed columns. The four WORLD-only mini-regions sit
+in ``regions`` with ``is_aggregate_only = true``.
+"""
+
+from __future__ import annotations
+
+from ..db import Column, ColumnType, Database, ForeignKey, Schema
+
+
+def create_culinarydb_schema(name: str = "culinarydb") -> Database:
+    """Create an empty database with the full CulinaryDB schema."""
+    db = Database(name)
+    db.create_table(
+        "regions",
+        Schema(
+            [
+                Column("code", ColumnType.TEXT, primary_key=True),
+                Column("name", ColumnType.TEXT, unique=True),
+                Column("pairing", ColumnType.TEXT, nullable=True),
+                Column("is_aggregate_only", ColumnType.BOOL),
+            ]
+        ),
+    )
+    db.create_table(
+        "sources",
+        Schema(
+            [
+                Column("name", ColumnType.TEXT, primary_key=True),
+                Column("published_total", ColumnType.INT),
+            ]
+        ),
+    )
+    db.create_table(
+        "categories",
+        Schema([Column("name", ColumnType.TEXT, primary_key=True)]),
+    )
+    db.create_table(
+        "molecules",
+        Schema(
+            [
+                Column("molecule_id", ColumnType.INT, primary_key=True),
+                Column("name", ColumnType.TEXT),
+                Column("flavor_family", ColumnType.TEXT, indexed=True),
+            ]
+        ),
+    )
+    db.create_table(
+        "ingredients",
+        Schema(
+            [
+                Column("ingredient_id", ColumnType.INT, primary_key=True),
+                Column("name", ColumnType.TEXT, unique=True),
+                Column(
+                    "category",
+                    ColumnType.TEXT,
+                    indexed=True,
+                    foreign_key=ForeignKey("categories", "name"),
+                ),
+                Column("is_compound", ColumnType.BOOL),
+                Column("profile_size", ColumnType.INT),
+            ]
+        ),
+    )
+    db.create_table(
+        "ingredient_molecules",
+        Schema(
+            [
+                Column("link_id", ColumnType.INT, primary_key=True),
+                Column(
+                    "ingredient_id",
+                    ColumnType.INT,
+                    indexed=True,
+                    foreign_key=ForeignKey("ingredients", "ingredient_id"),
+                ),
+                Column(
+                    "molecule_id",
+                    ColumnType.INT,
+                    indexed=True,
+                    foreign_key=ForeignKey("molecules", "molecule_id"),
+                ),
+            ]
+        ),
+    )
+    db.create_table(
+        "ingredient_synonyms",
+        Schema(
+            [
+                Column("synonym", ColumnType.TEXT, primary_key=True),
+                Column(
+                    "ingredient_id",
+                    ColumnType.INT,
+                    indexed=True,
+                    foreign_key=ForeignKey("ingredients", "ingredient_id"),
+                ),
+            ]
+        ),
+    )
+    db.create_table(
+        "recipes",
+        Schema(
+            [
+                Column("recipe_id", ColumnType.INT, primary_key=True),
+                Column("title", ColumnType.TEXT),
+                Column(
+                    "source",
+                    ColumnType.TEXT,
+                    nullable=True,
+                    foreign_key=ForeignKey("sources", "name"),
+                ),
+                Column(
+                    "region_code",
+                    ColumnType.TEXT,
+                    indexed=True,
+                    foreign_key=ForeignKey("regions", "code"),
+                ),
+                Column("n_ingredients", ColumnType.INT),
+                Column("instructions", ColumnType.TEXT, nullable=True),
+            ]
+        ),
+    )
+    db.create_table(
+        "recipe_ingredients",
+        Schema(
+            [
+                Column("link_id", ColumnType.INT, primary_key=True),
+                Column(
+                    "recipe_id",
+                    ColumnType.INT,
+                    indexed=True,
+                    foreign_key=ForeignKey("recipes", "recipe_id"),
+                ),
+                Column(
+                    "ingredient_id",
+                    ColumnType.INT,
+                    indexed=True,
+                    foreign_key=ForeignKey("ingredients", "ingredient_id"),
+                ),
+            ]
+        ),
+    )
+    return db

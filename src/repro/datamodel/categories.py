@@ -1,0 +1,79 @@
+"""Ingredient categories.
+
+The paper (Section III.B) classifies every ingredient into exactly one of 21
+categories. The enum values are the display names used throughout the paper's
+Figure 2 heat-map; :meth:`Category.from_name` accepts several spelling
+variants so imported data does not need to match the canonical casing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .errors import LookupFailure
+
+
+class Category(enum.Enum):
+    """The 21 ingredient categories used by the paper."""
+
+    VEGETABLE = "Vegetable"
+    DAIRY = "Dairy"
+    LEGUME = "Legume"
+    MAIZE = "Maize"
+    CEREAL = "Cereal"
+    MEAT = "Meat"
+    NUTS_AND_SEEDS = "Nuts and Seeds"
+    PLANT = "Plant"
+    FISH = "Fish"
+    SEAFOOD = "Seafood"
+    SPICE = "Spice"
+    BAKERY = "Bakery"
+    BEVERAGE_ALCOHOLIC = "Beverage Alcoholic"
+    BEVERAGE = "Beverage"
+    ESSENTIAL_OIL = "Essential Oil"
+    FLOWER = "Flower"
+    FRUIT = "Fruit"
+    FUNGUS = "Fungus"
+    HERB = "Herb"
+    ADDITIVE = "Additive"
+    DISH = "Dish"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "Category":
+        """Resolve a category from a display name or enum-style identifier.
+
+        Accepts the canonical display name (``"Nuts and Seeds"``), the enum
+        member name (``"NUTS_AND_SEEDS"``), and case/spacing variants of
+        either (``"nuts and seeds"``, ``"nuts-and-seeds"``).
+
+        Raises:
+            LookupFailure: if the name does not resolve to a category.
+        """
+        key = name.strip().lower().replace("-", " ").replace("_", " ")
+        member = _CATEGORY_BY_KEY.get(key)
+        if member is None:
+            raise LookupFailure(f"unknown ingredient category: {name!r}")
+        return member
+
+
+_CATEGORY_BY_KEY: dict[str, Category] = {}
+for _member in Category:
+    _CATEGORY_BY_KEY[_member.value.lower()] = _member
+    _CATEGORY_BY_KEY[_member.name.lower().replace("_", " ")] = _member
+
+
+#: Categories the paper reports as most frequently used at the WORLD level
+#: (Section II.A), in the order listed there. The ``Additive`` category is
+#: excluded from Figure 2 ("data not shown").
+MOST_USED_WORLD_CATEGORIES: tuple[Category, ...] = (
+    Category.VEGETABLE,
+    Category.SPICE,
+    Category.DAIRY,
+    Category.HERB,
+    Category.PLANT,
+    Category.MEAT,
+    Category.FRUIT,
+)

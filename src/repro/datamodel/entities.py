@@ -1,0 +1,255 @@
+"""Core domain entities: molecules, ingredients, recipes and cuisines.
+
+The paper works on three levels — flavor molecules, ingredients and recipes
+(Section II.A compares them to letters, words and sentences). The entities
+here mirror those levels:
+
+* :class:`FlavorMolecule` — one flavor compound, as catalogued by FlavorDB.
+* :class:`Ingredient` — a natural ingredient with a *flavor profile* (the set
+  of molecule ids empirically reported for it) and exactly one
+  :class:`~repro.datamodel.categories.Category`.
+* :class:`RawRecipe` — a recipe as scraped from a source: free-text
+  ingredient phrases that still need aliasing.
+* :class:`Recipe` — a resolved recipe: an unordered set of canonical
+  ingredient ids (the paper treats recipes as unordered ingredient lists for
+  pairing analysis).
+* :class:`Cuisine` — the set of resolved recipes attributed to one region.
+
+All entities are immutable; collections they hold are stored as tuples or
+frozensets so instances are hashable and safe to share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+
+from .categories import Category
+from .errors import ValidationError
+
+#: Minimum number of ingredients for a recipe to have at least one pair.
+MIN_PAIRABLE_RECIPE_SIZE = 2
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FlavorMolecule:
+    """A flavor compound.
+
+    Attributes:
+        molecule_id: stable integer id within the molecule universe.
+        name: human-readable compound name (e.g. ``"limonene"``).
+        flavor_family: the flavor family (community) the molecule belongs to;
+            molecules of a family co-occur in the profiles of related
+            ingredients (see :mod:`repro.flavordb.universe`).
+    """
+
+    molecule_id: int
+    name: str
+    flavor_family: str
+
+    def __post_init__(self) -> None:
+        if self.molecule_id < 0:
+            raise ValidationError(
+                f"molecule_id must be non-negative, got {self.molecule_id}"
+            )
+        if not self.name:
+            raise ValidationError("molecule name must be non-empty")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Ingredient:
+    """A natural (or compound) ingredient with its flavor profile.
+
+    Attributes:
+        ingredient_id: stable integer id within the catalog.
+        name: canonical lower-case name (e.g. ``"jalapeno pepper"``).
+        category: the ingredient's single category.
+        flavor_profile: frozenset of molecule ids reported for the
+            ingredient. May be empty — the paper keeps four additives with no
+            flavor profile (cooking spray, gelatin, food coloring, liquid
+            smoke); such ingredients are excluded from pairing computations.
+        synonyms: alternative surface forms that alias to this ingredient
+            (``"bun"`` for bread, ``"whisky"`` for whiskey, ...).
+        is_compound: True for the paper's 103 'compound ingredients'
+            (mayonnaise, garam masala, ...) whose profile is the pooled union
+            of their constituents' profiles.
+        constituents: canonical names of constituent ingredients for compound
+            ingredients; empty for basic ingredients.
+    """
+
+    ingredient_id: int
+    name: str
+    category: Category
+    flavor_profile: frozenset[int] = frozenset()
+    synonyms: tuple[str, ...] = ()
+    is_compound: bool = False
+    constituents: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.ingredient_id < 0:
+            raise ValidationError(
+                f"ingredient_id must be non-negative, got {self.ingredient_id}"
+            )
+        if not self.name:
+            raise ValidationError("ingredient name must be non-empty")
+        if self.name != self.name.strip().lower():
+            raise ValidationError(
+                f"ingredient name must be normalised lower-case: {self.name!r}"
+            )
+        if self.constituents and not self.is_compound:
+            raise ValidationError(
+                f"{self.name!r} has constituents but is not marked compound"
+            )
+
+    @property
+    def has_flavor_profile(self) -> bool:
+        """Whether the ingredient can participate in pairing analysis."""
+        return bool(self.flavor_profile)
+
+    def shared_molecules(self, other: "Ingredient") -> int:
+        """Number of flavor molecules shared with ``other`` (|F_i ∩ F_j|)."""
+        return len(self.flavor_profile & other.flavor_profile)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RawRecipe:
+    """A recipe as obtained from a source, before ingredient aliasing.
+
+    Attributes:
+        recipe_id: stable id within the corpus.
+        title: recipe name as published.
+        source: source site name (``"AllRecipes"``, ...).
+        region_code: geo-cultural region code, or a WORLD-only region name
+            for the 207 recipes without an independent region.
+        ingredient_phrases: the raw ingredient lines, one per ingredient
+            (e.g. ``"2 jalapeno peppers, roasted and slit"``).
+        instructions: free-text cooking procedure (not used by the pairing
+            analysis; kept because the paper extracts it).
+    """
+
+    recipe_id: int
+    title: str
+    source: str
+    region_code: str
+    ingredient_phrases: tuple[str, ...]
+    instructions: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.ingredient_phrases:
+            raise ValidationError(
+                f"raw recipe {self.recipe_id} has no ingredient phrases"
+            )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Recipe:
+    """A resolved recipe: an unordered set of canonical ingredient ids.
+
+    The paper treats each recipe as an unordered list of ingredients for the
+    purposes of food-pairing analysis (Section III.A). Duplicate mentions of
+    an ingredient collapse to one.
+
+    Attributes:
+        recipe_id: stable id within the corpus (matches the raw recipe).
+        region_code: geo-cultural region code.
+        ingredient_ids: frozenset of canonical ingredient ids.
+        title: recipe name (optional, for reporting).
+        source: source site name (optional, for reporting).
+    """
+
+    recipe_id: int
+    region_code: str
+    ingredient_ids: frozenset[int]
+    title: str = ""
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.ingredient_ids:
+            raise ValidationError(f"recipe {self.recipe_id} has no ingredients")
+
+    @property
+    def size(self) -> int:
+        """Recipe size ``n``: the number of distinct ingredients."""
+        return len(self.ingredient_ids)
+
+    @property
+    def is_pairable(self) -> bool:
+        """Whether the recipe has at least one ingredient pair."""
+        return self.size >= MIN_PAIRABLE_RECIPE_SIZE
+
+
+class Cuisine:
+    """The recipes of one region, with cached aggregate views.
+
+    A :class:`Cuisine` is an immutable collection of :class:`Recipe` objects
+    sharing a region code. It exposes the aggregate quantities the analyses
+    need: the ingredient usage counter (popularity), the set of ingredients
+    used, and the recipe-size distribution.
+    """
+
+    def __init__(self, region_code: str, recipes: Iterable[Recipe]) -> None:
+        self._region_code = region_code
+        self._recipes = tuple(recipes)
+        for recipe in self._recipes:
+            if recipe.region_code != region_code:
+                raise ValidationError(
+                    f"recipe {recipe.recipe_id} belongs to region "
+                    f"{recipe.region_code!r}, not {region_code!r}"
+                )
+        counter: Counter[int] = Counter()
+        for recipe in self._recipes:
+            counter.update(recipe.ingredient_ids)
+        self._usage = counter
+
+    @property
+    def region_code(self) -> str:
+        return self._region_code
+
+    @property
+    def recipes(self) -> tuple[Recipe, ...]:
+        return self._recipes
+
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    def __iter__(self) -> Iterator[Recipe]:
+        return iter(self._recipes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cuisine({self._region_code!r}, {len(self._recipes)} recipes, "
+            f"{len(self._usage)} ingredients)"
+        )
+
+    @property
+    def ingredient_usage(self) -> Counter[int]:
+        """Counter mapping ingredient id -> number of recipes using it."""
+        return Counter(self._usage)
+
+    @property
+    def ingredient_ids(self) -> frozenset[int]:
+        """Set of unique ingredient ids used anywhere in the cuisine."""
+        return frozenset(self._usage)
+
+    @property
+    def recipe_sizes(self) -> tuple[int, ...]:
+        """Sizes of all recipes, in recipe order."""
+        return tuple(recipe.size for recipe in self._recipes)
+
+    def mean_recipe_size(self) -> float:
+        """Average number of ingredients per recipe."""
+        sizes = self.recipe_sizes
+        if not sizes:
+            raise ValidationError(f"cuisine {self._region_code!r} is empty")
+        return sum(sizes) / len(sizes)
+
+
+def build_cuisines(recipes: Sequence[Recipe]) -> dict[str, Cuisine]:
+    """Group recipes by region code into :class:`Cuisine` objects."""
+    by_region: dict[str, list[Recipe]] = {}
+    for recipe in recipes:
+        by_region.setdefault(recipe.region_code, []).append(recipe)
+    return {
+        code: Cuisine(code, group) for code, group in sorted(by_region.items())
+    }

@@ -1,0 +1,32 @@
+"""Exception hierarchy shared across the ``repro`` library.
+
+Every error raised on purpose by the library derives from :class:`ReproError`,
+so callers can catch one base class at API boundaries. Submodules define more
+specific errors (e.g. the storage engine's ``SchemaError``) as subclasses of
+the ones declared here.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError):
+    """An entity or record failed domain validation."""
+
+
+class LookupFailure(ReproError, KeyError):
+    """A referenced entity (ingredient, region, molecule...) does not exist.
+
+    Inherits :class:`KeyError` so registry code behaves like a mapping, while
+    remaining catchable as :class:`ReproError`.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ quotes its argument.
+        return Exception.__str__(self)
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or invoked with inconsistent parameters."""

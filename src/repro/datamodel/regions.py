@@ -1,0 +1,149 @@
+"""The 22 geo-cultural regions studied by the paper.
+
+Table 1 of the paper reports, for each region, the number of recipes compiled
+and the number of unique ingredients used in them. Figure 4 reports whether
+each cuisine shows *uniform* food pairing (positive Z-score against the
+uniform random null) or *contrasting* food pairing (negative Z-score). Both
+facts are recorded here verbatim: they are the published ground truth our
+synthetic corpus is calibrated against.
+
+The module also records the paper's aggregate facts: the four scraped recipe
+sources with their recipe counts, and the 207 recipes from regions that were
+too small to stand alone and were used only in the WORLD-level aggregate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from .errors import LookupFailure
+
+
+class PairingKind(enum.Enum):
+    """Direction of a cuisine's deviation from its random counterpart."""
+
+    UNIFORM = "uniform"  # positive food pairing: similar flavors blended
+    CONTRASTING = "contrasting"  # negative food pairing: dissimilar flavors
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Region:
+    """One of the paper's 22 geo-cultural regions (one row of Table 1).
+
+    Attributes:
+        code: short code used in the paper's figures (e.g. ``"ITA"``).
+        name: full display name (e.g. ``"Italy"``).
+        recipe_count: number of recipes attributed to the region (Table 1).
+        ingredient_count: number of unique ingredients used (Table 1).
+        pairing: published direction of the food-pairing deviation (Fig 4).
+    """
+
+    code: str
+    name: str
+    recipe_count: int
+    ingredient_count: int
+    pairing: PairingKind
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.code})"
+
+
+_UNIFORM = PairingKind.UNIFORM
+_CONTRASTING = PairingKind.CONTRASTING
+
+#: All 22 regions exactly as published in Table 1, with the pairing
+#: direction from Fig 4 / Section II.C.
+REGIONS: tuple[Region, ...] = (
+    Region("AFR", "Africa", 651, 303, _UNIFORM),
+    Region("ANZ", "Australia & NZ", 494, 294, _UNIFORM),
+    Region("BRI", "British Isles", 1075, 340, _CONTRASTING),
+    Region("CAN", "Canada", 1112, 368, _UNIFORM),
+    Region("CBN", "Caribbean", 1103, 340, _UNIFORM),
+    Region("CHN", "China", 941, 302, _UNIFORM),
+    Region("DACH", "DACH Countries", 487, 260, _CONTRASTING),
+    Region("EE", "Eastern Europe", 565, 255, _CONTRASTING),
+    Region("FRA", "France", 2703, 424, _UNIFORM),
+    Region("GRC", "Greece", 934, 280, _UNIFORM),
+    Region("INSC", "Indian Subcontinent", 4058, 378, _UNIFORM),
+    Region("ITA", "Italy", 7504, 452, _UNIFORM),
+    Region("JPN", "Japan", 580, 283, _CONTRASTING),
+    Region("KOR", "Korea", 301, 198, _CONTRASTING),
+    Region("MEX", "Mexico", 3138, 376, _UNIFORM),
+    Region("ME", "Middle East", 993, 313, _UNIFORM),
+    Region("SCND", "Scandinavia", 404, 245, _CONTRASTING),
+    Region("SAM", "South America", 310, 221, _UNIFORM),
+    Region("SEA", "South East Asia", 611, 266, _UNIFORM),
+    Region("ESP", "Spain", 816, 312, _UNIFORM),
+    Region("THA", "Thailand", 667, 265, _UNIFORM),
+    Region("USA", "USA", 16118, 612, _UNIFORM),
+)
+
+_REGION_BY_CODE: dict[str, Region] = {region.code: region for region in REGIONS}
+_REGION_BY_NAME: dict[str, Region] = {
+    region.name.lower(): region for region in REGIONS
+}
+
+#: Code used for the aggregate, all-regions cuisine in figures and APIs.
+WORLD_CODE = "WORLD"
+
+#: Total number of regional recipes in Table 1.
+TOTAL_REGIONAL_RECIPES = sum(region.recipe_count for region in REGIONS)
+
+#: Recipes from Portugal, Belgium, Central America and the Netherlands that
+#: were folded into the WORLD aggregate but not treated as regions.
+WORLD_ONLY_RECIPES = 207
+
+#: Small regions contributing the 207 WORLD-only recipes (Section III.A).
+WORLD_ONLY_REGION_NAMES: tuple[str, ...] = (
+    "Portugal",
+    "Belgium",
+    "Central America",
+    "Netherlands",
+)
+
+#: Total recipe count reported in the abstract / Section III.A.
+TOTAL_RECIPES = 45772
+
+#: The paper's recipe sources with their published recipe counts.
+RECIPE_SOURCES: dict[str, int] = {
+    "AllRecipes": 16177,
+    "Food Network": 15917,
+    "Epicurious": 11069,
+    "TarlaDalal": 2609,
+}
+
+#: Regions the paper singles out as using dairy more than vegetables.
+DAIRY_FORWARD_CODES: frozenset[str] = frozenset({"FRA", "BRI", "SCND"})
+
+#: Regions the paper singles out for predominant spice use.
+SPICE_FORWARD_CODES: frozenset[str] = frozenset({"INSC", "AFR", "ME", "CBN"})
+
+
+def get_region(code_or_name: str) -> Region:
+    """Return the region for a code (``"ITA"``) or full name (``"Italy"``).
+
+    Raises:
+        LookupFailure: if nothing matches.
+    """
+    region = _REGION_BY_CODE.get(code_or_name.upper())
+    if region is None:
+        region = _REGION_BY_NAME.get(code_or_name.strip().lower())
+    if region is None:
+        raise LookupFailure(f"unknown region: {code_or_name!r}")
+    return region
+
+
+def region_codes() -> tuple[str, ...]:
+    """All region codes in Table 1 order."""
+    return tuple(region.code for region in REGIONS)
+
+
+def uniform_regions() -> tuple[Region, ...]:
+    """The 16 regions with positive (uniform) food pairing."""
+    return tuple(r for r in REGIONS if r.pairing is PairingKind.UNIFORM)
+
+
+def contrasting_regions() -> tuple[Region, ...]:
+    """The 6 regions with negative (contrasting) food pairing."""
+    return tuple(r for r in REGIONS if r.pairing is PairingKind.CONTRASTING)

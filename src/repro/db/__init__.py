@@ -1,0 +1,67 @@
+"""Embedded relational storage engine.
+
+A small, dependency-free database: typed schemas, column-oriented tables
+with primary-key/unique/secondary hash indexes and foreign keys, a fluent
+query builder with hash joins and grouping, a SQL SELECT dialect, and
+CSV+JSON persistence. It hosts the reproduction's CulinaryDB
+(:mod:`repro.culinarydb`) and is usable on its own.
+"""
+
+from .aggregates import (
+    Aggregate,
+    avg,
+    collect,
+    count,
+    count_distinct,
+    max_,
+    min_,
+    stddev,
+    sum_,
+    variance,
+)
+from .database import Database
+from .errors import (
+    ConstraintViolation,
+    DatabaseError,
+    QueryError,
+    SchemaError,
+    SqlSyntaxError,
+)
+from .expressions import Expression, col, lit
+from .persistence import load_database, save_database
+from .query import Query
+from .schema import Column, ColumnType, ForeignKey, Schema
+from .table import Table
+from .transactions import TransactionError, transaction
+
+__all__ = [
+    "Aggregate",
+    "avg",
+    "collect",
+    "count",
+    "count_distinct",
+    "max_",
+    "min_",
+    "stddev",
+    "sum_",
+    "variance",
+    "Database",
+    "ConstraintViolation",
+    "DatabaseError",
+    "QueryError",
+    "SchemaError",
+    "SqlSyntaxError",
+    "Expression",
+    "col",
+    "lit",
+    "load_database",
+    "save_database",
+    "Query",
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "TransactionError",
+    "transaction",
+]

@@ -1,0 +1,211 @@
+"""Aggregate functions for GROUP BY queries.
+
+An :class:`Aggregate` is a tiny fold: ``initial() -> acc``,
+``step(acc, row) -> acc``, ``final(acc) -> value``. The fluent API and the
+SQL planner both instantiate these through the factory functions at the
+bottom of the module (:func:`count`, :func:`sum_`, ...).
+
+NULL handling follows SQL: NULL inputs are skipped by value aggregates;
+``COUNT(*)`` counts rows, ``COUNT(col)`` counts non-NULL values; aggregates
+over an empty or all-NULL group yield NULL (``None``), except ``COUNT`` which
+yields 0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from .errors import QueryError
+from .expressions import ColumnRef, Expression
+
+
+class Aggregate:
+    """One aggregate computation over the rows of a group."""
+
+    def __init__(
+        self,
+        name: str,
+        expr: Expression | None,
+        initial: Callable[[], Any],
+        step: Callable[[Any, Any], Any],
+        final: Callable[[Any], Any],
+    ) -> None:
+        self.name = name
+        self.expr = expr
+        self._initial = initial
+        self._step = step
+        self._final = final
+
+    def initial(self) -> Any:
+        return self._initial()
+
+    def step(self, acc: Any, row: Mapping[str, Any]) -> Any:
+        if self.expr is None:  # COUNT(*)
+            return self._step(acc, None)
+        value = self.expr.evaluate(row)
+        if value is None and self.name != "count_star":
+            return acc
+        return self._step(acc, value)
+
+    def final(self, acc: Any) -> Any:
+        return self._final(acc)
+
+    def __repr__(self) -> str:
+        return f"Aggregate({self.name}, {self.expr!r})"
+
+
+def _as_expression(column: str | Expression) -> Expression:
+    if isinstance(column, Expression):
+        return column
+    return ColumnRef(column)
+
+
+def count(column: str | Expression | None = None) -> Aggregate:
+    """``COUNT(*)`` when ``column`` is None, else ``COUNT(column)``."""
+    if column is None:
+        return Aggregate(
+            "count_star",
+            None,
+            initial=lambda: 0,
+            step=lambda acc, _value: acc + 1,
+            final=lambda acc: acc,
+        )
+    return Aggregate(
+        "count",
+        _as_expression(column),
+        initial=lambda: 0,
+        step=lambda acc, _value: acc + 1,
+        final=lambda acc: acc,
+    )
+
+
+def count_distinct(column: str | Expression) -> Aggregate:
+    """``COUNT(DISTINCT column)``."""
+    return Aggregate(
+        "count_distinct",
+        _as_expression(column),
+        initial=set,
+        step=lambda acc, value: (acc.add(value), acc)[1],
+        final=len,
+    )
+
+
+def sum_(column: str | Expression) -> Aggregate:
+    """``SUM(column)``; NULL over an empty/all-NULL group."""
+    return Aggregate(
+        "sum",
+        _as_expression(column),
+        initial=lambda: None,
+        step=lambda acc, value: value if acc is None else acc + value,
+        final=lambda acc: acc,
+    )
+
+
+def avg(column: str | Expression) -> Aggregate:
+    """``AVG(column)``; NULL over an empty/all-NULL group."""
+    return Aggregate(
+        "avg",
+        _as_expression(column),
+        initial=lambda: (0, 0),
+        step=lambda acc, value: (acc[0] + value, acc[1] + 1),
+        final=lambda acc: acc[0] / acc[1] if acc[1] else None,
+    )
+
+
+def min_(column: str | Expression) -> Aggregate:
+    """``MIN(column)``; NULL over an empty/all-NULL group."""
+    return Aggregate(
+        "min",
+        _as_expression(column),
+        initial=lambda: None,
+        step=lambda acc, value: value if acc is None or value < acc else acc,
+        final=lambda acc: acc,
+    )
+
+
+def max_(column: str | Expression) -> Aggregate:
+    """``MAX(column)``; NULL over an empty/all-NULL group."""
+    return Aggregate(
+        "max",
+        _as_expression(column),
+        initial=lambda: None,
+        step=lambda acc, value: value if acc is None or value > acc else acc,
+        final=lambda acc: acc,
+    )
+
+
+def _welford_step(acc: tuple, value: Any) -> tuple:
+    """One Welford update: numerically stable running mean/M2."""
+    count, mean, m2 = acc
+    count += 1
+    delta = value - mean
+    mean += delta / count
+    m2 += delta * (value - mean)
+    return (count, mean, m2)
+
+
+def variance(column: str | Expression) -> Aggregate:
+    """Population ``VARIANCE(column)``; NULL over empty/all-NULL groups."""
+    return Aggregate(
+        "variance",
+        _as_expression(column),
+        initial=lambda: (0, 0.0, 0.0),
+        step=_welford_step,
+        final=lambda acc: acc[2] / acc[0] if acc[0] else None,
+    )
+
+
+def stddev(column: str | Expression) -> Aggregate:
+    """Population ``STDDEV(column)``; NULL over empty/all-NULL groups."""
+    return Aggregate(
+        "stddev",
+        _as_expression(column),
+        initial=lambda: (0, 0.0, 0.0),
+        step=_welford_step,
+        final=lambda acc: (acc[2] / acc[0]) ** 0.5 if acc[0] else None,
+    )
+
+
+def collect(column: str | Expression) -> Aggregate:
+    """Gather the group's non-NULL values into a list (engine extension)."""
+    return Aggregate(
+        "collect",
+        _as_expression(column),
+        initial=list,
+        step=lambda acc, value: (acc.append(value), acc)[1],
+        final=lambda acc: acc,
+    )
+
+
+#: SQL function name -> factory, used by the SQL planner.
+SQL_AGGREGATES: dict[str, Callable[..., Aggregate]] = {
+    "count": count,
+    "sum": sum_,
+    "avg": avg,
+    "min": min_,
+    "max": max_,
+    "stddev": stddev,
+    "variance": variance,
+}
+
+
+def sql_aggregate(name: str, argument: Expression | None, distinct: bool) -> Aggregate:
+    """Instantiate an aggregate from its SQL spelling.
+
+    Raises:
+        QueryError: for unknown functions or unsupported DISTINCT use.
+    """
+    key = name.lower()
+    factory = SQL_AGGREGATES.get(key)
+    if factory is None:
+        raise QueryError(f"unknown aggregate function {name!r}")
+    if distinct:
+        if key != "count" or argument is None:
+            raise QueryError("DISTINCT is only supported with COUNT(column)")
+        return count_distinct(argument)
+    if key == "count":
+        return count(argument)
+    if argument is None:
+        raise QueryError(f"{name.upper()} requires a column argument")
+    return factory(argument)

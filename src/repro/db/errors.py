@@ -1,0 +1,36 @@
+"""Errors raised by the embedded storage engine."""
+
+from __future__ import annotations
+
+from ..datamodel.errors import ReproError
+
+
+class DatabaseError(ReproError):
+    """Base class for storage-engine errors."""
+
+
+class SchemaError(DatabaseError):
+    """A schema definition is invalid, or data does not match the schema."""
+
+
+class ConstraintViolation(DatabaseError):
+    """A primary-key, unique, not-null or foreign-key constraint failed."""
+
+
+class QueryError(DatabaseError):
+    """A query is malformed or references unknown tables/columns."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be parsed.
+
+    Attributes:
+        position: character offset of the offending token in the SQL text,
+            or ``None`` when the error is not tied to a location.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position

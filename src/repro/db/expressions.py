@@ -1,0 +1,389 @@
+"""Row expressions and predicates for queries.
+
+Expressions form a small tree evaluated against row mappings. They are built
+either through the fluent API::
+
+    from repro.db import col
+    predicate = (col("region") == "ITA") & (col("size") >= 5)
+
+or by the SQL parser, which compiles ``WHERE`` clauses into the same tree.
+
+Column references support qualified names (``"recipes.region"``). When a row
+produced by a join carries qualified keys, an unqualified reference resolves
+by unique suffix match; ambiguous references raise :class:`QueryError`.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+from .errors import QueryError
+
+_MISSING = object()
+
+
+class Expression:
+    """Base class for evaluable row expressions."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    # -- comparisons ------------------------------------------------------
+    def __eq__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("=", self, _wrap(other))
+
+    def __ne__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("!=", self, _wrap(other))
+
+    def __lt__(self, other: Any) -> "Comparison":
+        return Comparison("<", self, _wrap(other))
+
+    def __le__(self, other: Any) -> "Comparison":
+        return Comparison("<=", self, _wrap(other))
+
+    def __gt__(self, other: Any) -> "Comparison":
+        return Comparison(">", self, _wrap(other))
+
+    def __ge__(self, other: Any) -> "Comparison":
+        return Comparison(">=", self, _wrap(other))
+
+    __hash__ = None  # type: ignore[assignment]  # == builds predicates
+
+    # -- boolean connectives ----------------------------------------------
+    def __and__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp("and", (self, _require_expression(other)))
+
+    def __or__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp("or", (self, _require_expression(other)))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: Any) -> "Arithmetic":
+        return Arithmetic("+", self, _wrap(other))
+
+    def __sub__(self, other: Any) -> "Arithmetic":
+        return Arithmetic("-", self, _wrap(other))
+
+    def __mul__(self, other: Any) -> "Arithmetic":
+        return Arithmetic("*", self, _wrap(other))
+
+    def __truediv__(self, other: Any) -> "Arithmetic":
+        return Arithmetic("/", self, _wrap(other))
+
+    # -- predicates ---------------------------------------------------------
+    def isin(self, values: Iterable[Any]) -> "InList":
+        """Membership predicate (SQL ``IN``)."""
+        return InList(self, tuple(values))
+
+    def is_null(self) -> "IsNull":
+        """NULL test (SQL ``IS NULL``)."""
+        return IsNull(self, negate=False)
+
+    def is_not_null(self) -> "IsNull":
+        """Non-NULL test (SQL ``IS NOT NULL``)."""
+        return IsNull(self, negate=True)
+
+    def like(self, pattern: str) -> "Like":
+        """SQL ``LIKE`` with ``%`` (any run) and ``_`` (any char) wildcards."""
+        return Like(self, pattern)
+
+
+def _wrap(value: Any) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+def _require_expression(value: Any) -> Expression:
+    if not isinstance(value, Expression):
+        raise QueryError(
+            f"boolean connectives need Expression operands, got {value!r}"
+        )
+    return value
+
+
+class ColumnRef(Expression):
+    """Reference to a column, optionally table-qualified."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise QueryError("column reference needs a name")
+        self.name = name
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = row.get(self.name, _MISSING)
+        if value is not _MISSING:
+            return value
+        # Unqualified reference against a join row with qualified keys, or
+        # qualified reference against a plain row: resolve by suffix/prefix.
+        if "." not in self.name:
+            suffix = "." + self.name
+            matches = [key for key in row if key.endswith(suffix)]
+            if len(matches) == 1:
+                return row[matches[0]]
+            if len(matches) > 1:
+                raise QueryError(
+                    f"ambiguous column {self.name!r}: matches {sorted(matches)}"
+                )
+        else:
+            bare = self.name.rsplit(".", 1)[1]
+            if bare in row:
+                return row[bare]
+        raise QueryError(
+            f"no such column {self.name!r}; row has {sorted(row)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Comparison(Expression):
+    """Binary comparison. NULL compares as SQL does: any comparison with
+    NULL is false (we have no three-valued logic; false is the practical
+    equivalent for filtering)."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _COMPARATORS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError as exc:
+            raise QueryError(
+                f"cannot compare {left!r} {self.op} {right!r}: {exc}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BooleanOp(Expression):
+    """N-ary AND / OR with short-circuit evaluation."""
+
+    __slots__ = ("op", "parts")
+
+    def __init__(self, op: str, parts: tuple[Expression, ...]) -> None:
+        if op not in ("and", "or"):
+            raise QueryError(f"unknown boolean operator {op!r}")
+        # Flatten nested same-op nodes so index extraction sees all conjuncts.
+        flattened: list[Expression] = []
+        for part in parts:
+            if isinstance(part, BooleanOp) and part.op == op:
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.op = op
+        self.parts = tuple(flattened)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        if self.op == "and":
+            return all(bool(part.evaluate(row)) for part in self.parts)
+        return any(bool(part.evaluate(row)) for part in self.parts)
+
+    def __repr__(self) -> str:
+        joiner = f" {self.op} "
+        return "(" + joiner.join(repr(part) for part in self.parts) + ")"
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Expression) -> None:
+        self.inner = inner
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not bool(self.inner.evaluate(row))
+
+    def __repr__(self) -> str:
+        return f"(not {self.inner!r})"
+
+
+class InList(Expression):
+    """Membership in a fixed collection of values."""
+
+    __slots__ = ("inner", "values", "_value_set")
+
+    def __init__(self, inner: Expression, values: tuple[Any, ...]) -> None:
+        self.inner = inner
+        self.values = values
+        try:
+            self._value_set: frozenset[Any] | None = frozenset(values)
+        except TypeError:  # unhashable values: fall back to linear scan
+            self._value_set = None
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.inner.evaluate(row)
+        if self._value_set is not None:
+            try:
+                return value in self._value_set
+            except TypeError:
+                return False
+        return value in self.values
+
+    def __repr__(self) -> str:
+        return f"({self.inner!r} in {list(self.values)!r})"
+
+
+class IsNull(Expression):
+    """NULL / NOT NULL test."""
+
+    __slots__ = ("inner", "negate")
+
+    def __init__(self, inner: Expression, negate: bool) -> None:
+        self.inner = inner
+        self.negate = negate
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        is_null = self.inner.evaluate(row) is None
+        return not is_null if self.negate else is_null
+
+    def __repr__(self) -> str:
+        op = "is not null" if self.negate else "is null"
+        return f"({self.inner!r} {op})"
+
+
+class Like(Expression):
+    """SQL LIKE matching with ``%`` and ``_`` wildcards (case-sensitive)."""
+
+    __slots__ = ("inner", "pattern", "_regex")
+
+    def __init__(self, inner: Expression, pattern: str) -> None:
+        import re
+
+        self.inner = inner
+        self.pattern = pattern
+        fragments = ["^"]
+        for char in pattern:
+            if char == "%":
+                fragments.append(".*")
+            elif char == "_":
+                fragments.append(".")
+            else:
+                fragments.append(re.escape(char))
+        fragments.append("$")
+        self._regex = re.compile("".join(fragments), flags=re.DOTALL)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.inner.evaluate(row)
+        if not isinstance(value, str):
+            return False
+        return self._regex.match(value) is not None
+
+    def __repr__(self) -> str:
+        return f"({self.inner!r} like {self.pattern!r})"
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Arithmetic(Expression):
+    """Binary arithmetic on row values. NULL operands yield NULL."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _ARITHMETIC:
+            raise QueryError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        try:
+            return _ARITHMETIC[self.op](left, right)
+        except ZeroDivisionError:
+            return None  # SQL semantics: x / 0 -> NULL
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def col(name: str) -> ColumnRef:
+    """Create a column reference for the fluent query API."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Create a literal expression (rarely needed explicitly)."""
+    return Literal(value)
+
+
+def extract_equalities(
+    predicate: Expression | None,
+) -> list[tuple[str, Any]]:
+    """Extract top-level AND-ed ``column = literal`` conditions.
+
+    Used by the planner to decide whether a secondary index or the primary
+    key can serve a ``where`` clause. OR branches and non-equality
+    comparisons yield nothing (the full predicate is still applied as a
+    residual filter after index lookup).
+    """
+    if predicate is None:
+        return []
+    conjuncts: tuple[Expression, ...]
+    if isinstance(predicate, BooleanOp) and predicate.op == "and":
+        conjuncts = predicate.parts
+    else:
+        conjuncts = (predicate,)
+    equalities: list[tuple[str, Any]] = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            continue
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            equalities.append((left.name, right.value))
+        elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+            equalities.append((right.name, left.value))
+    return equalities

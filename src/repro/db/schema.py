@@ -1,0 +1,207 @@
+"""Typed table schemas for the embedded storage engine.
+
+A :class:`Schema` is an ordered collection of :class:`Column` definitions.
+Each column carries a :class:`ColumnType`, nullability, and optional
+primary-key / unique / indexed / foreign-key markers. Schemas validate and
+coerce incoming values on insert so that everything stored in a table is of
+the declared Python type.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
+
+from .errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Storage types supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+    JSON = "json"  # arbitrary JSON-serialisable value, stored as-is
+
+    @property
+    def python_type(self) -> type | None:
+        """The Python type stored for this column (``None`` for JSON)."""
+        return _PYTHON_TYPES[self]
+
+
+_PYTHON_TYPES: dict[ColumnType, type | None] = {
+    ColumnType.INT: int,
+    ColumnType.FLOAT: float,
+    ColumnType.TEXT: str,
+    ColumnType.BOOL: bool,
+    ColumnType.JSON: None,
+}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """Reference from a column to another table's column.
+
+    Attributes:
+        table: referenced table name.
+        column: referenced column name (must be unique or primary key there).
+    """
+
+    table: str
+    column: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Column:
+    """One column definition.
+
+    Attributes:
+        name: column name; must be a valid identifier-like string.
+        type: declared :class:`ColumnType`.
+        nullable: whether NULL (``None``) values are allowed.
+        primary_key: whether this column is the table's primary key. At most
+            one column per schema may be the primary key; it is implicitly
+            unique and not nullable.
+        unique: whether values must be unique across rows.
+        indexed: whether a secondary hash index is maintained.
+        foreign_key: optional reference to another table's column.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    indexed: bool = False
+    foreign_key: ForeignKey | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if self.name != self.name.lower():
+            raise SchemaError(f"column names must be lower-case: {self.name!r}")
+        if self.primary_key and self.nullable:
+            raise SchemaError(f"primary key column {self.name!r} cannot be nullable")
+
+    def coerce(self, value: Any) -> Any:
+        """Validate/coerce ``value`` for storage in this column.
+
+        ``None`` passes through for nullable columns. Ints are accepted for
+        FLOAT columns (widened to float). Bools are *not* accepted for INT
+        columns despite being an ``int`` subclass, because silently storing
+        ``True`` as ``1`` loses intent.
+
+        Raises:
+            SchemaError: if the value does not fit the declared type.
+        """
+        if value is None:
+            if self.nullable:
+                return None
+            raise SchemaError(f"column {self.name!r} is not nullable")
+        column_type = self.type
+        if column_type is ColumnType.JSON:
+            return value
+        if column_type is ColumnType.FLOAT and isinstance(value, int):
+            if isinstance(value, bool):
+                raise SchemaError(
+                    f"column {self.name!r} expects float, got bool {value!r}"
+                )
+            return float(value)
+        if column_type is ColumnType.INT and isinstance(value, bool):
+            raise SchemaError(f"column {self.name!r} expects int, got bool {value!r}")
+        expected = column_type.python_type
+        assert expected is not None
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"column {self.name!r} expects {column_type.value}, "
+                f"got {type(value).__name__} {value!r}"
+            )
+        return value
+
+
+class Schema:
+    """An ordered, validated collection of :class:`Column` definitions."""
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self._columns = tuple(columns)
+        if not self._columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [column.name for column in self._columns]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {duplicates}")
+        primary = [column for column in self._columns if column.primary_key]
+        if len(primary) > 1:
+            raise SchemaError(
+                "at most one primary key column is supported, got "
+                + ", ".join(column.name for column in primary)
+            )
+        self._primary_key = primary[0] if primary else None
+        self._by_name = {column.name: column for column in self._columns}
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self._columns)
+
+    @property
+    def primary_key(self) -> Column | None:
+        return self._primary_key
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{column.name}:{column.type.value}" for column in self._columns
+        )
+        return f"Schema({parts})"
+
+    def column(self, name: str) -> Column:
+        """Return the column definition for ``name``.
+
+        Raises:
+            SchemaError: if the column does not exist.
+        """
+        column = self._by_name.get(name)
+        if column is None:
+            raise SchemaError(
+                f"no such column {name!r}; have {list(self.column_names)}"
+            )
+        return column
+
+    def coerce_row(self, row: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate a full row mapping against the schema.
+
+        Missing nullable columns are filled with ``None``; missing
+        non-nullable columns and unknown keys raise :class:`SchemaError`.
+        """
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns in row: {sorted(unknown)}")
+        coerced: dict[str, Any] = {}
+        for column in self._columns:
+            if column.name in row:
+                coerced[column.name] = column.coerce(row[column.name])
+            elif column.nullable:
+                coerced[column.name] = None
+            else:
+                raise SchemaError(f"missing value for column {column.name!r}")
+        return coerced

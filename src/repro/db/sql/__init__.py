@@ -1,0 +1,35 @@
+"""A small SQL SELECT dialect over the embedded engine.
+
+Supported: projection with aliases and arithmetic, ``DISTINCT``, inner and
+left equality joins, ``WHERE`` with AND/OR/NOT, comparisons, ``IN``,
+``IS [NOT] NULL`` and ``LIKE``, ``GROUP BY`` with COUNT/SUM/AVG/MIN/MAX
+(plus ``COUNT(DISTINCT col)``), ``HAVING``, ``ORDER BY ... ASC|DESC``,
+``LIMIT ... OFFSET``.
+
+Entry point: :meth:`repro.db.Database.sql` or :func:`execute_sql`.
+"""
+
+from .dml import (
+    DeleteStatement,
+    InsertStatement,
+    UpdateStatement,
+    execute,
+    parse_statement,
+)
+from .parser import SelectStatement, parse_select
+from .planner import execute_sql, execute_statement
+from .tokenizer import Token, tokenize
+
+__all__ = [
+    "DeleteStatement",
+    "InsertStatement",
+    "UpdateStatement",
+    "execute",
+    "parse_statement",
+    "SelectStatement",
+    "parse_select",
+    "execute_sql",
+    "execute_statement",
+    "Token",
+    "tokenize",
+]

@@ -1,0 +1,200 @@
+"""SQL DML: INSERT, UPDATE and DELETE statements.
+
+Grammar::
+
+    insert := INSERT INTO ident '(' ident (',' ident)* ')'
+              VALUES '(' literal (',' literal)* ')'
+              (',' '(' literal (',' literal)* ')')*
+    update := UPDATE ident SET ident '=' expr (',' ident '=' expr)*
+              [WHERE expr]
+    delete := DELETE FROM ident [WHERE expr]
+
+Executed through :func:`execute`, which also dispatches SELECT to the
+query planner, so ``Database.sql`` accepts any supported statement. DML
+statements return the affected row count as ``[{"rows": n}]`` so every
+statement kind yields a row list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any
+
+from ..errors import SqlSyntaxError
+from ..expressions import Expression
+from .parser import _Parser  # shared recursive-descent machinery
+from .tokenizer import Token, tokenize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..database import Database
+
+#: Keywords the tokenizer must know for DML (added to its keyword set).
+DML_KEYWORDS = frozenset({"INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE"})
+
+
+@dataclasses.dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None
+
+
+@dataclasses.dataclass(frozen=True)
+class DeleteStatement:
+    table: str
+    where: Expression | None
+
+
+class _DmlParser(_Parser):
+    """Extends the SELECT parser with the three DML statements."""
+
+    def parse_insert(self) -> InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident("table name")
+        self._expect_punct("(")
+        columns = [self._expect_ident("column name")]
+        while self._accept_punct(","):
+            columns.append(self._expect_ident("column name"))
+        self._expect_punct(")")
+        self._expect_keyword("VALUES")
+        rows = [self._parse_value_tuple(len(columns))]
+        while self._accept_punct(","):
+            rows.append(self._parse_value_tuple(len(columns)))
+        self._expect_end()
+        return InsertStatement(table, tuple(columns), tuple(rows))
+
+    def _parse_value_tuple(self, width: int) -> tuple[Any, ...]:
+        self._expect_punct("(")
+        values = [self._parse_literal_value()]
+        while self._accept_punct(","):
+            values.append(self._parse_literal_value())
+        self._expect_punct(")")
+        if len(values) != width:
+            raise SqlSyntaxError(
+                f"VALUES tuple has {len(values)} items, expected {width}",
+                self._current.position,
+            )
+        return tuple(values)
+
+    def parse_update(self) -> UpdateStatement:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident("table name")
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        self._expect_end()
+        return UpdateStatement(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, Expression]:
+        column = self._expect_ident("column name")
+        if self._accept_op("=") is None:
+            raise SqlSyntaxError(
+                "expected '=' in SET assignment", self._current.position
+            )
+        return column, self._parse_expression()
+
+    def parse_delete(self) -> DeleteStatement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident("table name")
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        self._expect_end()
+        return DeleteStatement(table, where)
+
+    def _expect_end(self) -> None:
+        token = self._current
+        if token.kind != "EOF":
+            raise SqlSyntaxError(
+                f"unexpected trailing input: {self._describe(token)}",
+                token.position,
+            )
+
+
+def parse_statement(
+    text: str,
+) -> "InsertStatement | UpdateStatement | DeleteStatement | Any":
+    """Parse any supported SQL statement (SELECT included)."""
+    tokens = tokenize(text)
+    if not tokens or tokens[0].kind == "EOF":
+        raise SqlSyntaxError("empty statement")
+    first = tokens[0]
+    keyword = first.value if first.kind == "KEYWORD" else None
+    if keyword == "SELECT":
+        return _DmlParser(tokens).parse_select()
+    if keyword == "INSERT":
+        return _DmlParser(tokens).parse_insert()
+    if keyword == "UPDATE":
+        return _DmlParser(tokens).parse_update()
+    if keyword == "DELETE":
+        return _DmlParser(tokens).parse_delete()
+    raise SqlSyntaxError(
+        f"statement must start with SELECT/INSERT/UPDATE/DELETE, "
+        f"got {first.value!r}",
+        first.position,
+    )
+
+
+def execute(database: "Database", text: str) -> list[dict[str, Any]]:
+    """Parse and execute any supported statement against ``database``."""
+    from .parser import SelectStatement
+    from .planner import execute_statement
+
+    statement = parse_statement(text)
+    if isinstance(statement, SelectStatement):
+        return execute_statement(database, statement)
+    table = database.table(statement.table)
+    if isinstance(statement, InsertStatement):
+        inserted = 0
+        for row in statement.rows:
+            table.insert(dict(zip(statement.columns, row)))
+            inserted += 1
+        return [{"rows": inserted}]
+    if isinstance(statement, UpdateStatement):
+        # SET expressions are evaluated per row against its current values.
+        touched = 0
+        matching = list(table.scan(statement.where))
+        pk = table.primary_key_column
+        for row in matching:
+            values = {
+                column: expr.evaluate(row)
+                for column, expr in statement.assignments
+            }
+            if pk is not None:
+                from ..expressions import col as col_ref
+
+                predicate = col_ref(pk.name) == row[pk.name]
+            else:
+                predicate = _row_equality_predicate(row)
+            touched += table.update(values, predicate)
+        return [{"rows": touched}]
+    if isinstance(statement, DeleteStatement):
+        return [{"rows": table.delete(statement.where)}]
+    raise SqlSyntaxError(f"unsupported statement {statement!r}")
+
+
+def _row_equality_predicate(row: dict[str, Any]) -> Expression:
+    from ..expressions import BooleanOp, col as col_ref, lit
+
+    parts: list[Expression] = []
+    for name, value in row.items():
+        if value is None:
+            parts.append(col_ref(name).is_null())
+        else:
+            parts.append(col_ref(name) == lit(value))
+    if len(parts) == 1:
+        return parts[0]
+    return BooleanOp("and", tuple(parts))

@@ -1,0 +1,481 @@
+"""Recursive-descent parser for the SQL SELECT dialect.
+
+Grammar (informally)::
+
+    select    := SELECT [DISTINCT] items FROM ident join* [WHERE expr]
+                 [GROUP BY ident (, ident)*] [HAVING expr]
+                 [ORDER BY order (, order)*] [LIMIT number [OFFSET number]]
+    items     := '*' | item (',' item)*
+    item      := expr [AS ident | ident]
+    join      := [LEFT | INNER] JOIN ident ON ident '=' ident
+    order     := ident [ASC | DESC]
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | predicate
+    predicate := additive (cmp additive | IS [NOT] NULL |
+                 [NOT] IN '(' literal (',' literal)* ')' | [NOT] LIKE string)?
+    additive  := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/') unary)*
+    unary     := '-' unary | primary
+    primary   := literal | ident | aggregate | '(' expr ')'
+    aggregate := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | [DISTINCT] expr) ')'
+
+Predicates compile directly into the engine's
+:mod:`repro.db.expressions` tree, so SQL and the fluent API share one
+evaluator. Aggregate calls are represented by :class:`AggregateCall`
+placeholder nodes that the planner lowers onto
+:mod:`repro.db.aggregates`; they are only legal as top-level select items.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+from typing import Any
+
+from ..errors import SqlSyntaxError
+from ..expressions import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+)
+from .tokenizer import Token, tokenize
+
+_AGGREGATE_NAMES = frozenset(
+    {"count", "sum", "avg", "min", "max", "stddev", "variance"}
+)
+
+
+class AggregateCall(Expression):
+    """Placeholder for an aggregate function in a select list."""
+
+    __slots__ = ("function", "argument", "distinct")
+
+    def __init__(
+        self, function: str, argument: Expression | None, distinct: bool
+    ) -> None:
+        self.function = function
+        self.argument = argument
+        self.distinct = distinct
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise SqlSyntaxError(
+            f"aggregate {self.function.upper()}() used outside a select list"
+        )
+
+    def default_alias(self) -> str:
+        if self.argument is None:
+            return self.function
+        if isinstance(self.argument, ColumnRef):
+            return f"{self.function}_{self.argument.name.rsplit('.', 1)[-1]}"
+        return self.function
+
+    def __repr__(self) -> str:
+        inner = "*" if self.argument is None else repr(self.argument)
+        distinct = "distinct " if self.distinct else ""
+        return f"{self.function}({distinct}{inner})"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One select-list entry; ``expr`` may be an :class:`AggregateCall`."""
+
+    expr: Expression
+    alias: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class JoinClause:
+    table: str
+    left_column: str
+    right_column: str
+    how: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class OrderItem:
+    column: str
+    descending: bool
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SelectStatement:
+    """Parsed SELECT statement, ready for the planner."""
+
+    distinct: bool
+    star: bool
+    items: tuple[SelectItem, ...]
+    table: str
+    joins: tuple[JoinClause, ...]
+    where: Expression | None
+    group_by: tuple[str, ...]
+    having: Expression | None
+    order_by: tuple[OrderItem, ...]
+    limit: int | None
+    offset: int
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers ----------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        token = self._current
+        return token.kind == "KEYWORD" and token.value in keywords
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        if self._check_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise SqlSyntaxError(
+                f"expected {keyword}, found {self._describe(self._current)}",
+                self._current.position,
+            )
+
+    def _accept_punct(self, value: str) -> bool:
+        token = self._current
+        if token.kind == "PUNCT" and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._accept_punct(value):
+            raise SqlSyntaxError(
+                f"expected {value!r}, found {self._describe(self._current)}",
+                self._current.position,
+            )
+
+    def _accept_op(self, *values: str) -> str | None:
+        token = self._current
+        if token.kind == "OP" and token.value in values:
+            self._advance()
+            return str(token.value)
+        return None
+
+    def _expect_ident(self, what: str) -> str:
+        token = self._current
+        if token.kind != "IDENT":
+            raise SqlSyntaxError(
+                f"expected {what}, found {self._describe(token)}",
+                token.position,
+            )
+        self._advance()
+        return str(token.value)
+
+    @staticmethod
+    def _describe(token: Token) -> str:
+        if token.kind == "EOF":
+            return "end of input"
+        return f"{token.kind} {token.value!r}"
+
+    # -- grammar ------------------------------------------------------------
+    def parse_select(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        star = False
+        items: list[SelectItem] = []
+        if self._current.kind == "OP" and self._current.value == "*":
+            self._advance()
+            star = True
+        else:
+            items.append(self._parse_select_item())
+            while self._accept_punct(","):
+                items.append(self._parse_select_item())
+        self._expect_keyword("FROM")
+        table = self._expect_ident("table name")
+        joins: list[JoinClause] = []
+        while self._check_keyword("JOIN", "LEFT", "INNER"):
+            joins.append(self._parse_join())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        group_by: list[str] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._expect_ident("group column"))
+            while self._accept_punct(","):
+                group_by.append(self._expect_ident("group column"))
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self._parse_expression()
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+        limit: int | None = None
+        offset = 0
+        if self._accept_keyword("LIMIT"):
+            limit = self._expect_int("LIMIT value")
+            if self._accept_keyword("OFFSET"):
+                offset = self._expect_int("OFFSET value")
+        token = self._current
+        if token.kind != "EOF":
+            raise SqlSyntaxError(
+                f"unexpected trailing input: {self._describe(token)}",
+                token.position,
+            )
+        return SelectStatement(
+            distinct=distinct,
+            star=star,
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+        )
+
+    def _expect_int(self, what: str) -> int:
+        token = self._current
+        if token.kind != "NUMBER" or not isinstance(token.value, int):
+            raise SqlSyntaxError(
+                f"expected integer {what}, found {self._describe(token)}",
+                token.position,
+            )
+        self._advance()
+        return token.value
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self._parse_expression()
+        alias: str | None = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias")
+        elif self._current.kind == "IDENT":
+            alias = str(self._advance().value)
+        if alias is None:
+            if isinstance(expr, AggregateCall):
+                alias = expr.default_alias()
+            elif isinstance(expr, ColumnRef):
+                alias = expr.name.rsplit(".", 1)[-1]
+            else:
+                raise SqlSyntaxError(
+                    "computed select items need an AS alias",
+                    self._current.position,
+                )
+        return SelectItem(expr, alias)
+
+    def _parse_join(self) -> JoinClause:
+        how = "inner"
+        if self._accept_keyword("LEFT"):
+            how = "left"
+        else:
+            self._accept_keyword("INNER")
+        self._expect_keyword("JOIN")
+        table = self._expect_ident("join table")
+        self._expect_keyword("ON")
+        left = self._expect_ident("join column")
+        if self._accept_op("=") is None:
+            raise SqlSyntaxError(
+                "only equality joins are supported", self._current.position
+            )
+        right = self._expect_ident("join column")
+        # Accept the condition in either order: the side naming the joined
+        # table is the right column.
+        prefix = table + "."
+        if left.startswith(prefix) and not right.startswith(prefix):
+            left, right = right, left
+        return JoinClause(
+            table=table,
+            left_column=left,
+            right_column=right.removeprefix(prefix),
+            how=how,
+        )
+
+    def _parse_order_item(self) -> OrderItem:
+        column = self._expect_ident("order column")
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(column, descending)
+
+    # -- expressions ----------------------------------------------------------
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        expr = self._parse_and()
+        while self._accept_keyword("OR"):
+            expr = BooleanOp("or", (expr, self._parse_and()))
+        return expr
+
+    def _parse_and(self) -> Expression:
+        expr = self._parse_not()
+        while self._accept_keyword("AND"):
+            expr = BooleanOp("and", (expr, self._parse_not()))
+        return expr
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        expr = self._parse_additive()
+        operator = self._accept_op("=", "!=", "<", "<=", ">", ">=")
+        if operator is not None:
+            return Comparison(operator, expr, self._parse_additive())
+        if self._accept_keyword("IS"):
+            negate = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNull(expr, negate=negate)
+        negate = False
+        if self._check_keyword("NOT"):
+            # lookahead for NOT IN / NOT LIKE
+            saved = self._index
+            self._advance()
+            if self._check_keyword("IN", "LIKE"):
+                negate = True
+            else:
+                self._index = saved
+                return expr
+        if self._accept_keyword("IN"):
+            values = self._parse_literal_list()
+            membership: Expression = InList(expr, values)
+            return Not(membership) if negate else membership
+        if self._accept_keyword("LIKE"):
+            token = self._current
+            if token.kind != "STRING":
+                raise SqlSyntaxError(
+                    f"LIKE needs a string pattern, found {self._describe(token)}",
+                    token.position,
+                )
+            self._advance()
+            pattern: Expression = Like(expr, str(token.value))
+            return Not(pattern) if negate else pattern
+        return expr
+
+    def _parse_literal_list(self) -> tuple[Any, ...]:
+        self._expect_punct("(")
+        values: list[Any] = [self._parse_literal_value()]
+        while self._accept_punct(","):
+            values.append(self._parse_literal_value())
+        self._expect_punct(")")
+        return tuple(values)
+
+    def _parse_literal_value(self) -> Any:
+        token = self._current
+        if token.kind in ("NUMBER", "STRING"):
+            self._advance()
+            return token.value
+        if self._accept_keyword("TRUE"):
+            return True
+        if self._accept_keyword("FALSE"):
+            return False
+        if self._accept_keyword("NULL"):
+            return None
+        if token.kind == "OP" and token.value == "-":
+            self._advance()
+            inner = self._current
+            if inner.kind == "NUMBER":
+                self._advance()
+                return -inner.value  # type: ignore[operator]
+        raise SqlSyntaxError(
+            f"expected literal, found {self._describe(token)}", token.position
+        )
+
+    def _parse_additive(self) -> Expression:
+        expr = self._parse_multiplicative()
+        while True:
+            operator = self._accept_op("+", "-")
+            if operator is None:
+                return expr
+            expr = Arithmetic(operator, expr, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> Expression:
+        expr = self._parse_unary()
+        while True:
+            operator = self._accept_op("*", "/")
+            if operator is None:
+                return expr
+            expr = Arithmetic(operator, expr, self._parse_unary())
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_op("-"):
+            return Arithmetic("-", Literal(0), self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._current
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self._advance()
+            return Literal(token.value)
+        if self._accept_keyword("TRUE"):
+            return Literal(True)
+        if self._accept_keyword("FALSE"):
+            return Literal(False)
+        if self._accept_keyword("NULL"):
+            return Literal(None)
+        if self._accept_punct("("):
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        if token.kind == "IDENT":
+            name = str(token.value)
+            if name in _AGGREGATE_NAMES and self._peek_is_open_paren():
+                return self._parse_aggregate(name)
+            self._advance()
+            return ColumnRef(name)
+        raise SqlSyntaxError(
+            f"unexpected {self._describe(token)} in expression", token.position
+        )
+
+    def _peek_is_open_paren(self) -> bool:
+        next_token = self._tokens[self._index + 1]
+        return next_token.kind == "PUNCT" and next_token.value == "("
+
+    def _parse_aggregate(self, function: str) -> AggregateCall:
+        self._advance()  # function name
+        self._expect_punct("(")
+        if self._current.kind == "OP" and self._current.value == "*":
+            self._advance()
+            self._expect_punct(")")
+            if function != "count":
+                raise SqlSyntaxError(
+                    f"{function.upper()}(*) is not valid",
+                    self._current.position,
+                )
+            return AggregateCall("count", None, distinct=False)
+        distinct = self._accept_keyword("DISTINCT")
+        argument = self._parse_expression()
+        self._expect_punct(")")
+        return AggregateCall(function, argument, distinct=distinct)
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse one SQL SELECT statement.
+
+    Raises:
+        SqlSyntaxError: on any lexical or grammatical problem.
+    """
+    return _Parser(tokenize(text)).parse_select()

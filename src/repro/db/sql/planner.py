@@ -1,0 +1,113 @@
+"""Lower a parsed :class:`SelectStatement` onto the fluent query engine.
+
+The planner validates aggregate usage (aggregates only as top-level select
+items; with GROUP BY, plain select items must be grouping columns), builds a
+:class:`~repro.db.query.Query`, executes it, and post-projects the output
+columns in the order the SELECT list names them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..aggregates import sql_aggregate
+from ..errors import QueryError
+from ..expressions import ColumnRef
+from .parser import AggregateCall, SelectStatement, parse_select
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..database import Database
+
+
+def execute_sql(database: "Database", text: str) -> list[dict[str, Any]]:
+    """Parse and run a SELECT statement against ``database``."""
+    statement = parse_select(text)
+    return execute_statement(database, statement)
+
+
+def execute_statement(
+    database: "Database", statement: SelectStatement
+) -> list[dict[str, Any]]:
+    """Run an already-parsed statement against ``database``."""
+    query = database.query(statement.table)
+    for join in statement.joins:
+        query = query.join(
+            join.table, on=(join.left_column, join.right_column), how=join.how
+        )
+    if statement.where is not None:
+        query = query.where(statement.where)
+
+    aggregate_items = [
+        item for item in statement.items if isinstance(item.expr, AggregateCall)
+    ]
+    plain_items = [
+        item
+        for item in statement.items
+        if not isinstance(item.expr, AggregateCall)
+    ]
+    has_aggregation = bool(statement.group_by) or bool(aggregate_items)
+
+    if has_aggregation:
+        if statement.star:
+            raise QueryError("SELECT * cannot be combined with aggregation")
+        group_columns = statement.group_by
+        grouped_names = {name.rsplit(".", 1)[-1] for name in group_columns}
+        for item in plain_items:
+            if not isinstance(item.expr, ColumnRef):
+                raise QueryError(
+                    f"select item {item.alias!r} must be a grouping column "
+                    "or an aggregate"
+                )
+            bare = item.expr.name.rsplit(".", 1)[-1]
+            if bare not in grouped_names:
+                raise QueryError(
+                    f"column {item.expr.name!r} is neither grouped nor "
+                    "aggregated"
+                )
+        aggregates = {}
+        for item in aggregate_items:
+            call = item.expr
+            assert isinstance(call, AggregateCall)
+            if item.alias in aggregates:
+                raise QueryError(f"duplicate output column {item.alias!r}")
+            aggregates[item.alias] = sql_aggregate(
+                call.function, call.argument, call.distinct
+            )
+        query = query.group_by(*group_columns, **aggregates)
+        if statement.having is not None:
+            query = query.having(statement.having)
+        # Rename grouped output columns to their select aliases.
+        select_items: list[str | tuple[Any, str]] = []
+        for item in statement.items:
+            if isinstance(item.expr, AggregateCall):
+                select_items.append(item.alias)
+            else:
+                assert isinstance(item.expr, ColumnRef)
+                select_items.append((ColumnRef(item.expr.name), item.alias))
+        query = query.select(*select_items)
+    elif statement.having is not None:
+        raise QueryError("HAVING requires GROUP BY or aggregates")
+    elif not statement.star:
+        query = query.select(
+            *[(item.expr, item.alias) for item in statement.items]
+        )
+
+    if statement.distinct:
+        query = query.distinct()
+    if statement.order_by:
+        query = query.order_by(
+            *[
+                (order.column, "desc" if order.descending else "asc")
+                for order in statement.order_by
+            ]
+        )
+    if statement.limit is not None or statement.offset:
+        query = query.limit(
+            statement.limit if statement.limit is not None else _NO_LIMIT,
+            offset=statement.offset,
+        )
+    return query.all()
+
+
+#: Effectively-unbounded limit used when only OFFSET was given.
+_NO_LIMIT = 2**62

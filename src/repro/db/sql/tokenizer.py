@@ -1,0 +1,139 @@
+"""Tokenizer for the SQL SELECT dialect.
+
+Produces a flat list of :class:`Token` objects. Keywords are recognised
+case-insensitively and normalised to upper case; identifiers keep their
+original spelling lower-cased (the engine stores lower-case names).
+Qualified identifiers (``recipes.region_code``) are emitted as a single
+IDENT token containing the dot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "JOIN", "LEFT", "INNER", "ON",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "OFFSET",
+        "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
+        "ASC", "DESC", "TRUE", "FALSE",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/")
+_PUNCTUATION = ("(", ")", ",")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``, ``OP``,
+            ``PUNCT`` or ``EOF``.
+        value: normalised token text (or the parsed value for NUMBER/STRING).
+        position: character offset in the source text, for error messages.
+    """
+
+    kind: str
+    value: object
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            value, index = _read_string(text, index)
+            tokens.append(Token("STRING", value, index))
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            value, index = _read_number(text, index)
+            tokens.append(Token("NUMBER", value, index))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (
+                text[index].isalnum() or text[index] in "_."
+            ):
+                index += 1
+            word = text[start:index]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word.lower(), start))
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, index):
+                canonical = "!=" if operator == "<>" else operator
+                tokens.append(Token("OP", canonical, index))
+                index += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token("PUNCT", char, index))
+            index += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(Token("EOF", None, length))
+    return tokens
+
+
+def _read_string(text: str, index: int) -> tuple[str, int]:
+    start = index
+    index += 1  # consume opening quote
+    fragments: list[str] = []
+    while index < len(text):
+        char = text[index]
+        if char == "'":
+            if text.startswith("''", index):  # escaped quote
+                fragments.append("'")
+                index += 2
+                continue
+            return "".join(fragments), index + 1
+        fragments.append(char)
+        index += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _read_number(text: str, index: int) -> tuple[int | float, int]:
+    start = index
+    seen_dot = False
+    seen_exponent = False
+    while index < len(text):
+        char = text[index]
+        if char.isdigit():
+            index += 1
+        elif char == "." and not seen_dot and not seen_exponent:
+            seen_dot = True
+            index += 1
+        elif char in "eE" and not seen_exponent and index > start:
+            seen_exponent = True
+            index += 1
+            if index < len(text) and text[index] in "+-":
+                index += 1
+        else:
+            break
+    literal = text[start:index]
+    try:
+        if seen_dot or seen_exponent:
+            return float(literal), index
+        return int(literal), index
+    except ValueError as exc:
+        raise SqlSyntaxError(f"bad number literal {literal!r}", start) from exc

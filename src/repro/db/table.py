@@ -1,0 +1,341 @@
+"""Column-oriented table storage with primary-key and secondary indexes.
+
+A :class:`Table` stores rows column-major (one Python list per column), which
+keeps bulk analytical scans cache-friendly and makes column extraction
+(``table.column_values("size")``) an O(1) reference handout. Deletes use
+tombstones; :meth:`Table.compact` reclaims space and renumbers row ids.
+
+Constraint enforcement on write:
+
+* primary key (implicit unique + not-null),
+* ``unique`` columns,
+* ``nullable`` declarations,
+* foreign keys, when the table is attached to a
+  :class:`~repro.db.database.Database` that can resolve the referenced table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any
+
+from .errors import ConstraintViolation, QueryError, SchemaError
+from .expressions import Expression, extract_equalities
+from .schema import Column, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+
+
+class Table:
+    """A single table: schema, column arrays, and indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        database: "Database | None" = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._database = database
+        self._columns: dict[str, list[Any]] = {
+            column.name: [] for column in schema
+        }
+        self._live: list[bool] = []
+        self._live_count = 0
+        # Unique indexes: column name -> {value: row id}
+        self._unique_indexes: dict[str, dict[Any, int]] = {}
+        # Secondary (non-unique) indexes: column name -> {value: [row ids]}
+        self._secondary_indexes: dict[str, dict[Any, list[int]]] = {}
+        for column in schema:
+            if column.primary_key or column.unique:
+                self._unique_indexes[column.name] = {}
+            elif column.indexed:
+                self._secondary_indexes[column.name] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self._live_count} rows)"
+
+    @property
+    def primary_key_column(self) -> Column | None:
+        return self.schema.primary_key
+
+    def indexed_columns(self) -> frozenset[str]:
+        """Names of columns served by any index (unique or secondary)."""
+        return frozenset(self._unique_indexes) | frozenset(
+            self._secondary_indexes
+        )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, row: Mapping[str, Any]) -> int:
+        """Insert one row; returns its internal row id.
+
+        Raises:
+            SchemaError: on type/shape mismatch.
+            ConstraintViolation: on unique or foreign-key failure.
+        """
+        coerced = self.schema.coerce_row(row)
+        self._check_unique(coerced)
+        self._check_foreign_keys(coerced)
+        row_id = len(self._live)
+        for name, values in self._columns.items():
+            values.append(coerced[name])
+        self._live.append(True)
+        self._live_count += 1
+        self._index_row(row_id, coerced)
+        return row_id
+
+    def bulk_insert(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted.
+
+        The insert is atomic per-row, not per-batch: a failing row raises
+        after earlier rows have been inserted. Callers that need batch
+        atomicity should validate first or use a fresh table.
+        """
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def update(self, values: Mapping[str, Any], where: Expression | None = None) -> int:
+        """Set ``values`` on all rows matching ``where``; returns the count."""
+        for name in values:
+            self.schema.column(name)  # raises SchemaError on unknown column
+        touched = [
+            row_id
+            for row_id in self._candidate_row_ids(where)
+            if self._live[row_id]
+            and (where is None or bool(where.evaluate(self._row_at(row_id))))
+        ]
+        for row_id in touched:
+            old = self._row_at(row_id)
+            new = dict(old)
+            for name, value in values.items():
+                new[name] = self.schema.column(name).coerce(value)
+            self._check_unique(new, ignore_row_id=row_id)
+            self._check_foreign_keys(new)
+            self._unindex_row(row_id, old)
+            for name, value in new.items():
+                self._columns[name][row_id] = value
+            self._index_row(row_id, new)
+        return len(touched)
+
+    def delete(self, where: Expression | None = None) -> int:
+        """Delete all rows matching ``where`` (all rows if ``None``)."""
+        touched = [
+            row_id
+            for row_id in self._candidate_row_ids(where)
+            if self._live[row_id]
+            and (where is None or bool(where.evaluate(self._row_at(row_id))))
+        ]
+        for row_id in touched:
+            self._unindex_row(row_id, self._row_at(row_id))
+            self._live[row_id] = False
+        self._live_count -= len(touched)
+        return len(touched)
+
+    def compact(self) -> int:
+        """Drop tombstoned rows and rebuild indexes; returns rows reclaimed."""
+        dead = len(self._live) - self._live_count
+        if not dead:
+            return 0
+        keep = [row_id for row_id, live in enumerate(self._live) if live]
+        for name, values in self._columns.items():
+            self._columns[name] = [values[row_id] for row_id in keep]
+        self._live = [True] * len(keep)
+        self._rebuild_indexes()
+        return dead
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over all live rows as fresh dicts."""
+        names = self.schema.column_names
+        columns = [self._columns[name] for name in names]
+        for row_id, live in enumerate(self._live):
+            if live:
+                yield {
+                    name: column[row_id]
+                    for name, column in zip(names, columns)
+                }
+
+    def get(self, pk_value: Any) -> dict[str, Any] | None:
+        """Fetch a row by primary key; ``None`` if absent.
+
+        Raises:
+            QueryError: if the table has no primary key.
+        """
+        pk = self.schema.primary_key
+        if pk is None:
+            raise QueryError(f"table {self.name!r} has no primary key")
+        row_id = self._unique_indexes[pk.name].get(pk_value)
+        if row_id is None:
+            return None
+        return self._row_at(row_id)
+
+    def lookup(self, column_name: str, value: Any) -> list[dict[str, Any]]:
+        """Fetch all rows where ``column_name == value``, via index if any."""
+        if column_name in self._unique_indexes:
+            row_id = self._unique_indexes[column_name].get(value)
+            return [] if row_id is None else [self._row_at(row_id)]
+        if column_name in self._secondary_indexes:
+            row_ids = self._secondary_indexes[column_name].get(value, [])
+            return [self._row_at(row_id) for row_id in row_ids]
+        self.schema.column(column_name)
+        return [row for row in self.rows() if row[column_name] == value]
+
+    def scan(self, where: Expression | None = None) -> Iterator[dict[str, Any]]:
+        """Iterate rows matching ``where``, using indexes when possible.
+
+        Equality conditions on indexed columns in a top-level AND narrow the
+        candidate set before the full predicate is applied as a residual
+        filter, so indexed scans and full scans return identical results.
+        """
+        candidates = self._candidate_row_ids(where)
+        for row_id in candidates:
+            if not self._live[row_id]:
+                continue
+            row = self._row_at(row_id)
+            if where is None or bool(where.evaluate(row)):
+                yield row
+
+    def column_values(self, column_name: str) -> list[Any]:
+        """All live values of one column, in row order."""
+        self.schema.column(column_name)
+        values = self._columns[column_name]
+        if self._live_count == len(self._live):
+            return list(values)
+        return [
+            values[row_id]
+            for row_id, live in enumerate(self._live)
+            if live
+        ]
+
+    def contains_value(self, column_name: str, value: Any) -> bool:
+        """Whether any live row has ``column_name == value`` (index-backed)."""
+        if column_name in self._unique_indexes:
+            return value in self._unique_indexes[column_name]
+        if column_name in self._secondary_indexes:
+            return bool(self._secondary_indexes[column_name].get(value))
+        return any(
+            row[column_name] == value for row in self.rows()
+        )
+
+    # ------------------------------------------------------------------
+    # index management
+    # ------------------------------------------------------------------
+    def create_index(self, column_name: str) -> None:
+        """Create a secondary hash index on ``column_name`` after the fact."""
+        column = self.schema.column(column_name)
+        if column_name in self._unique_indexes or (
+            column_name in self._secondary_indexes
+        ):
+            return  # idempotent
+        index: dict[Any, list[int]] = {}
+        for row_id, live in enumerate(self._live):
+            if live:
+                index.setdefault(
+                    self._columns[column.name][row_id], []
+                ).append(row_id)
+        self._secondary_indexes[column_name] = index
+
+    def _rebuild_indexes(self) -> None:
+        for index in self._unique_indexes.values():
+            index.clear()
+        for index in self._secondary_indexes.values():
+            index.clear()
+        for row_id, live in enumerate(self._live):
+            if live:
+                self._index_row(row_id, self._row_at(row_id))
+
+    def _index_row(self, row_id: int, row: Mapping[str, Any]) -> None:
+        for name, index in self._unique_indexes.items():
+            value = row[name]
+            if value is not None:
+                index[value] = row_id
+        for name, index in self._secondary_indexes.items():
+            index.setdefault(row[name], []).append(row_id)
+
+    def _unindex_row(self, row_id: int, row: Mapping[str, Any]) -> None:
+        for name, index in self._unique_indexes.items():
+            value = row[name]
+            if value is not None and index.get(value) == row_id:
+                del index[value]
+        for name, index in self._secondary_indexes.items():
+            bucket = index.get(row[name])
+            if bucket is not None:
+                try:
+                    bucket.remove(row_id)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del index[row[name]]
+
+    # ------------------------------------------------------------------
+    # constraint checks
+    # ------------------------------------------------------------------
+    def _check_unique(
+        self, row: Mapping[str, Any], ignore_row_id: int | None = None
+    ) -> None:
+        for name, index in self._unique_indexes.items():
+            value = row[name]
+            if value is None:
+                continue
+            existing = index.get(value)
+            if existing is not None and existing != ignore_row_id:
+                kind = (
+                    "primary key"
+                    if self.schema.column(name).primary_key
+                    else "unique"
+                )
+                raise ConstraintViolation(
+                    f"{kind} violation on {self.name}.{name}: "
+                    f"value {value!r} already present"
+                )
+
+    def _check_foreign_keys(self, row: Mapping[str, Any]) -> None:
+        if self._database is None:
+            return
+        for column in self.schema:
+            fk = column.foreign_key
+            if fk is None:
+                continue
+            value = row[column.name]
+            if value is None:
+                continue
+            target = self._database.table(fk.table)
+            if not target.contains_value(fk.column, value):
+                raise ConstraintViolation(
+                    f"foreign key violation: {self.name}.{column.name}="
+                    f"{value!r} has no match in {fk.table}.{fk.column}"
+                )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _row_at(self, row_id: int) -> dict[str, Any]:
+        return {
+            name: values[row_id] for name, values in self._columns.items()
+        }
+
+    def _candidate_row_ids(self, where: Expression | None) -> Iterable[int]:
+        """Row ids worth testing for ``where``; index-narrowed when possible."""
+        for name, value in extract_equalities(where):
+            bare = name.rsplit(".", 1)[-1]
+            if bare in self._unique_indexes:
+                row_id = self._unique_indexes[bare].get(value)
+                return [] if row_id is None else [row_id]
+            if bare in self._secondary_indexes:
+                return list(self._secondary_indexes[bare].get(value, []))
+        return range(len(self._live))

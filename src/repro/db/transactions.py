@@ -1,0 +1,90 @@
+"""Snapshot transactions for the embedded engine.
+
+:func:`transaction` gives all-or-nothing semantics over any sequence of
+writes against a :class:`~repro.db.database.Database`::
+
+    with transaction(db):
+        db.table("recipes").insert(...)
+        db.sql("UPDATE ingredients SET ...")
+        raise RuntimeError("boom")   # everything above is rolled back
+
+Implementation: a copy-on-entry snapshot of every table's column arrays,
+tombstone vector and indexes. Suitable for the engine's in-process,
+single-writer use; not a concurrency mechanism (there are no concurrent
+writers to isolate against).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+from typing import Any
+
+from .database import Database
+from .errors import DatabaseError
+from .table import Table
+
+
+class TransactionError(DatabaseError):
+    """Misuse of the transaction API (e.g. nested transactions)."""
+
+
+def _snapshot_table(table: Table) -> dict[str, Any]:
+    return {
+        "columns": {
+            name: list(values) for name, values in table._columns.items()
+        },
+        "live": list(table._live),
+        "live_count": table._live_count,
+        "unique": {
+            name: dict(index)
+            for name, index in table._unique_indexes.items()
+        },
+        "secondary": {
+            name: {value: list(rows) for value, rows in index.items()}
+            for name, index in table._secondary_indexes.items()
+        },
+    }
+
+
+def _restore_table(table: Table, snapshot: dict[str, Any]) -> None:
+    table._columns = snapshot["columns"]
+    table._live = snapshot["live"]
+    table._live_count = snapshot["live_count"]
+    table._unique_indexes = snapshot["unique"]
+    table._secondary_indexes = snapshot["secondary"]
+
+
+_ACTIVE: set[int] = set()
+
+
+@contextlib.contextmanager
+def transaction(database: Database) -> Iterator[Database]:
+    """All-or-nothing scope over ``database``.
+
+    On normal exit the changes stand; on any exception every table is
+    restored to its state at entry and the exception propagates.
+
+    Raises:
+        TransactionError: when nested inside another transaction on the
+            same database (snapshot semantics cannot nest meaningfully).
+    """
+    key = id(database)
+    if key in _ACTIVE:
+        raise TransactionError(
+            f"database {database.name!r} already has an open transaction"
+        )
+    _ACTIVE.add(key)
+    snapshots = {table.name: _snapshot_table(table) for table in database}
+    created_before = set(database.table_names())
+    try:
+        yield database
+    except BaseException:
+        # Drop tables created inside the transaction, restore the rest.
+        for name in set(database.table_names()) - created_before:
+            del database._tables[name]
+        for table in database:
+            _restore_table(table, snapshots[table.name])
+        raise
+    finally:
+        _ACTIVE.discard(key)

@@ -1,0 +1,103 @@
+"""Experiment ``fig2``: category-composition heat-map.
+
+Regenerates the data behind Fig 2 and checks the paper's qualitative
+claims:
+
+* WORLD level (Additive excluded): Vegetable, Spice, Dairy, Herb, Plant,
+  Meat, Fruit are the most frequently used categories;
+* France, British Isles and Scandinavia use dairy more prominently than
+  vegetables;
+* Indian Subcontinent, Africa, Middle East and Caribbean are
+  spice-predominant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..analysis import (
+    CATEGORY_ORDER,
+    category_composition,
+    composition_matrix,
+    world_composition,
+)
+from ..datamodel import (
+    DAIRY_FORWARD_CODES,
+    MOST_USED_WORLD_CATEGORIES,
+    SPICE_FORWARD_CODES,
+    Category,
+)
+from ..reporting.tables import render_heatmap
+from .workspace import ExperimentWorkspace
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig2Result:
+    row_labels: tuple[str, ...]
+    column_labels: tuple[str, ...]
+    shares: np.ndarray  # regions (+WORLD) x categories
+    world_top_categories: tuple[str, ...]
+    dairy_forward_ok: dict[str, bool]
+    spice_forward_ok: dict[str, bool]
+
+    @property
+    def world_leaders_match(self) -> bool:
+        """Whether the paper's seven most-used WORLD categories are our
+        top seven (as a set; the exact order within is data-dependent)."""
+        expected = {category.value for category in MOST_USED_WORLD_CATEGORIES}
+        return set(self.world_top_categories[: len(expected)]) == expected
+
+    @property
+    def all_regional_claims_hold(self) -> bool:
+        return all(self.dairy_forward_ok.values()) and all(
+            self.spice_forward_ok.values()
+        )
+
+    def render(self) -> str:
+        heatmap = render_heatmap(
+            self.row_labels, self.column_labels, self.shares
+        )
+        lines = [
+            heatmap,
+            "",
+            "WORLD top categories: " + ", ".join(self.world_top_categories[:7]),
+            f"dairy-forward (FRA/BRI/SCND dairy > vegetable): {self.dairy_forward_ok}",
+            f"spice-forward (INSC/AFR/ME/CBN spice is top): {self.spice_forward_ok}",
+        ]
+        return "\n".join(lines)
+
+
+def run_fig2(workspace: ExperimentWorkspace) -> Fig2Result:
+    """Compute the Fig 2 heat-map and the paper's qualitative checks."""
+    cuisines = workspace.regional_cuisines()
+    catalog = workspace.catalog
+    rows, shares = composition_matrix(cuisines, catalog)
+
+    world = world_composition(cuisines, catalog)
+    world_ranked = tuple(
+        category.value for category, _share in world.ranked()
+    )
+
+    dairy_ok: dict[str, bool] = {}
+    for code in sorted(DAIRY_FORWARD_CODES):
+        composition = category_composition(cuisines[code], catalog)
+        dairy_ok[code] = composition.share(
+            Category.DAIRY
+        ) > composition.share(Category.VEGETABLE)
+
+    spice_ok: dict[str, bool] = {}
+    for code in sorted(SPICE_FORWARD_CODES):
+        composition = category_composition(cuisines[code], catalog)
+        top_category = composition.ranked()[0][0]
+        spice_ok[code] = top_category is Category.SPICE
+
+    return Fig2Result(
+        row_labels=tuple(rows),
+        column_labels=tuple(category.value for category in CATEGORY_ORDER),
+        shares=shares,
+        world_top_categories=world_ranked,
+        dairy_forward_ok=dairy_ok,
+        spice_forward_ok=spice_ok,
+    )

@@ -1,0 +1,94 @@
+"""Experiment ``table1``: recipes & unique ingredients per region.
+
+Regenerates Table 1 of the paper from the synthetic corpus. At full scale
+the generated counts are calibrated to match the published numbers
+exactly; the result records, per region, the generated and published
+values and whether they agree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..datamodel import REGIONS, TOTAL_RECIPES
+from ..reporting.tables import render_table
+from .workspace import ExperimentWorkspace
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Table1Row:
+    code: str
+    name: str
+    recipes: int
+    ingredients: int
+    published_recipes: int
+    published_ingredients: int
+
+    @property
+    def matches_published(self) -> bool:
+        return (
+            self.recipes == self.published_recipes
+            and self.ingredients == self.published_ingredients
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Table1Result:
+    rows: tuple[Table1Row, ...]
+    total_recipes: int
+    published_total: int
+
+    @property
+    def all_match(self) -> bool:
+        return all(row.matches_published for row in self.rows) and (
+            self.total_recipes == self.published_total
+        )
+
+    def render(self) -> str:
+        body = [
+            [
+                row.name,
+                row.code,
+                row.recipes,
+                row.published_recipes,
+                row.ingredients,
+                row.published_ingredients,
+                row.matches_published,
+            ]
+            for row in self.rows
+        ]
+        table = render_table(
+            [
+                "Region", "Code", "Recipes", "Paper", "Ingredients",
+                "Paper", "Match",
+            ],
+            body,
+        )
+        return (
+            f"{table}\n\nTotal recipes: {self.total_recipes} "
+            f"(paper: {self.published_total})"
+        )
+
+
+def run_table1(workspace: ExperimentWorkspace) -> Table1Result:
+    """Compute Table 1 from the workspace's resolved cuisines."""
+    cuisines = workspace.regional_cuisines()
+    rows = []
+    for region in REGIONS:
+        cuisine = cuisines[region.code]
+        rows.append(
+            Table1Row(
+                code=region.code,
+                name=region.name,
+                recipes=len(cuisine),
+                ingredients=len(cuisine.ingredient_ids),
+                published_recipes=region.recipe_count,
+                published_ingredients=region.ingredient_count,
+            )
+        )
+    total = sum(len(cuisine) for cuisine in workspace.cuisines.values())
+    return Table1Result(
+        rows=tuple(rows),
+        total_recipes=total,
+        published_total=TOTAL_RECIPES,
+    )

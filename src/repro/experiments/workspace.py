@@ -1,0 +1,89 @@
+"""Shared experiment workspace: corpus -> aliasing -> cuisines, built once.
+
+Every experiment consumes the same pipeline output (generated raw corpus,
+aliased recipes, cuisines grouped by region). Building the full 45k-recipe
+corpus takes on the order of a minute, so workspaces are cached per
+``(seed, recipe_scale, include_world_only)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..aliasing import AliasingPipeline, MatchReport
+from ..corpus import DEFAULT_SEED, CorpusGenerator, GeneratedCorpus
+from ..datamodel import Cuisine, Recipe, build_cuisines, region_codes
+from ..flavordb import IngredientCatalog
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentWorkspace:
+    """Everything the experiments need, computed once.
+
+    Attributes:
+        corpus: the generated raw corpus.
+        recipes: aliased (resolved) recipes.
+        report: the aliasing curation report.
+        cuisines: region code -> cuisine (includes WORLD-only mini-regions
+            when generated).
+        catalog: the ingredient catalog used throughout.
+        seed: generation seed.
+        recipe_scale: recipe-count scale factor used.
+    """
+
+    corpus: GeneratedCorpus
+    recipes: tuple[Recipe, ...]
+    report: MatchReport
+    cuisines: dict[str, Cuisine]
+    catalog: IngredientCatalog
+    seed: int
+    recipe_scale: float
+
+    def regional_cuisines(self) -> dict[str, Cuisine]:
+        """Only the 22 Table 1 regions (no WORLD-only mini-regions)."""
+        codes = set(region_codes())
+        return {
+            code: cuisine
+            for code, cuisine in self.cuisines.items()
+            if code in codes
+        }
+
+
+_CACHE: dict[tuple[int, float, bool], ExperimentWorkspace] = {}
+
+
+def build_workspace(
+    seed: int = DEFAULT_SEED,
+    recipe_scale: float = 1.0,
+    include_world_only: bool = True,
+    use_cache: bool = True,
+) -> ExperimentWorkspace:
+    """Build (or fetch from cache) the experiment workspace."""
+    key = (seed, recipe_scale, include_world_only)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    generator = CorpusGenerator(
+        seed=seed,
+        recipe_scale=recipe_scale,
+        include_world_only=include_world_only,
+    )
+    corpus = generator.generate()
+    pipeline = AliasingPipeline(generator.catalog)
+    result = pipeline.resolve_corpus(corpus.raw_recipes)
+    workspace = ExperimentWorkspace(
+        corpus=corpus,
+        recipes=result.recipes,
+        report=result.report,
+        cuisines=build_cuisines(result.recipes),
+        catalog=generator.catalog,
+        seed=seed,
+        recipe_scale=recipe_scale,
+    )
+    if use_cache:
+        _CACHE[key] = workspace
+    return workspace
+
+
+def clear_workspace_cache() -> None:
+    """Drop all cached workspaces (tests use this to bound memory)."""
+    _CACHE.clear()

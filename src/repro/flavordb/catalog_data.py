@@ -1,0 +1,527 @@
+"""Curated ingredient catalog data.
+
+The paper (Section III.B) builds its ingredient list from FlavorDB and then
+curates it: 29 generic/noisy entities removed, synonyms added (bun for
+bread, lager for beer, curd for yogurt, spelling variants like
+whiskey/whisky), 13 specific ingredients added back (anise oil, apple
+juice, ...), 4 ingredients imported from Ahn et al. (cayenne, yeast,
+tequila, sauerkraut), 7 additives added manually (the last four with no
+flavor profile), and 103 'compound ingredients' (spice blends, sauces and
+common dishes) compiled with pooled flavor profiles. The result is 840
+basic ingredients in 21 categories.
+
+FlavorDB itself is not redistributable, so this module carries our own
+curated recreation of that list: real ingredient names, organised per
+category, sized to match the paper's totals exactly (840 basic + 103
+compound; checked by tests). Flavor profiles are synthesised separately in
+:mod:`repro.flavordb.profiles`.
+"""
+
+from __future__ import annotations
+
+from ..datamodel import Category
+
+# ---------------------------------------------------------------------------
+# Basic ingredients per category.
+# ---------------------------------------------------------------------------
+
+VEGETABLES: tuple[str, ...] = (
+    "tomato", "onion", "garlic", "carrot", "celery", "potato", "bell pepper",
+    "red bell pepper", "green bell pepper", "yellow bell pepper", "cucumber",
+    "zucchini", "eggplant", "spinach", "kale", "lettuce", "romaine lettuce",
+    "iceberg lettuce", "cabbage", "red cabbage", "napa cabbage", "broccoli",
+    "cauliflower", "brussels sprout", "asparagus", "artichoke", "leek",
+    "shallot", "scallion", "radish", "daikon", "turnip", "rutabaga", "beet",
+    "parsnip", "sweet potato", "yam", "pumpkin", "butternut squash",
+    "acorn squash", "spaghetti squash", "okra", "green bean", "snow pea",
+    "snap pea", "arugula", "watercress", "endive",
+    "radicchio", "fennel bulb", "kohlrabi", "celeriac", "jicama", "taro",
+    "cassava", "plantain", "chayote", "tomatillo", "jalapeno pepper",
+    "serrano pepper", "poblano pepper", "habanero pepper", "anaheim pepper",
+    "banana pepper", "bird chili", "green chili", "red chili", "chili",
+    "bamboo shoot", "water chestnut", "lotus root", "bok choy", "mustard green",
+    "collard green", "swiss chard", "dandelion green", "sorrel",
+    "seaweed", "nori", "wakame", "kombu", "bean sprout",
+    "pickle", "sauerkraut", "kimchi",
+    "red onion", "white onion", "sweet onion", "cherry tomato", "sun dried tomato",
+    "tomato juice", "tomato paste", "tomato puree", "artichoke heart",
+    "hearts of palm", "horseradish", "wasabi", "ginger", "turmeric root",
+    "galangal",
+)
+
+FRUITS: tuple[str, ...] = (
+    "apple", "green apple", "red apple", "crabapple", "pear", "asian pear",
+    "quince", "peach", "nectarine", "apricot", "plum", "prune", "cherry",
+    "sour cherry", "sweet cherry", "grape", "red grape", "green grape",
+    "raisin", "currant", "black currant", "red currant", "gooseberry",
+    "strawberry", "raspberry", "blackberry", "blueberry", "cranberry",
+    "lingonberry", "elderberry", "mulberry", "boysenberry", "huckleberry",
+    "orange", "blood orange", "mandarin orange", "tangerine", "clementine",
+    "grapefruit", "pomelo", "lemon", "lime", "key lime", "kumquat", "citron",
+    "yuzu", "banana", "pineapple", "mango", "papaya", "guava", "passion fruit",
+    "lychee", "longan", "rambutan", "mangosteen", "durian", "jackfruit",
+    "breadfruit", "star fruit", "dragon fruit", "kiwi", "persimmon",
+    "pomegranate", "fig", "date", "olive", "green olive", "black olive",
+    "avocado", "coconut", "melon", "cantaloupe", "honeydew melon", "watermelon",
+    "casaba melon", "tamarind", "rhubarb", "cape gooseberry", "loquat",
+   
+    "jujube", "ackee", "apple juice",
+    "lemon juice", "lime juice", "orange juice", "grape juice",
+    "cranberry juice", "pineapple juice", "orange peel", "lemon peel",
+    "lime peel", "grapefruit peel", "candied citrus peel", "maraschino cherry",
+    "dried apricot", "dried fig", "dried cranberry",
+)
+
+HERBS: tuple[str, ...] = (
+    "basil", "thai basil", "holy basil", "parsley", "cilantro", "mint",
+    "peppermint", "spearmint", "oregano", "thyme", "lemon thyme", "rosemary",
+    "sage", "tarragon", "dill", "chervil", "chive", "marjoram", "savory",
+    "lemongrass", "bay leaf", "curry leaf", "kaffir lime leaf", "fenugreek leaf",
+    "lovage", "borage", "hyssop", "lemon balm", "lemon verbena", "epazote",
+    "shiso", "perilla", "stevia leaf", "angelica", "chamomile", "verbena",
+    "catnip", "salad burnet", "culantro", "rue", "woodruff", "mugwort",
+    "pandan leaf", "fennel frond", "celery leaf",
+)
+
+SPICES: tuple[str, ...] = (
+    "black pepper", "white pepper", "green peppercorn", "pink peppercorn",
+    "szechuan pepper", "long pepper", "cayenne", "paprika", "smoked paprika",
+    "red pepper flake", "cumin", "coriander seed", "cardamom", "black cardamom",
+    "clove", "cinnamon", "cassia", "nutmeg", "mace", "allspice", "star anise",
+    "anise seed", "fennel seed", "caraway seed", "dill seed", "celery seed",
+    "mustard seed", "black mustard seed", "yellow mustard seed", "fenugreek seed",
+    "ajwain", "nigella seed", "poppy seed", "saffron", "turmeric", "dried ginger",
+    "galangal powder", "asafoetida", "sumac", "juniper berry", "vanilla",
+    "vanilla bean", "tonka bean", "grains of paradise", "annatto", "dried chili",
+    "chipotle pepper", "ancho chili", "guajillo chili", "pasilla chili",
+    "arbol chili", "kashmiri chili", "aleppo pepper", "urfa biber",
+    "gochugaru", "wattleseed", "mahlab", "anardana", "amchur", "kokum",
+    "licorice root", "orris root", "dried lime", "cubeb", "salt",
+)
+
+MEATS: tuple[str, ...] = (
+    "beef", "ground beef", "beef steak", "beef brisket", "beef short rib",
+    "oxtail", "veal", "beef liver", "beef tongue", "pork", "ground pork",
+    "pork loin", "pork belly", "pork shoulder", "pork rib", "pork fat",
+    "bacon", "pancetta", "prosciutto", "cured ham", "ham", "salami",
+    "pepperoni", "chorizo", "sausage", "bratwurst", "mortadella", "pastrami",
+    "corned beef", "lamb", "ground lamb", "lamb chop", "lamb shank", "mutton",
+    "goat", "chicken", "chicken breast", "chicken thigh", "chicken wing",
+    "chicken liver", "turkey", "ground turkey", "duck", "duck breast", "goose",
+    "quail", "rabbit", "venison", "bison", "bear",
+    "egg", "egg yolk", "egg white", "quail egg", "duck egg",
+)
+
+FISH: tuple[str, ...] = (
+    "salmon", "smoked salmon", "tuna", "albacore tuna", "cod", "haddock",
+    "halibut", "flounder", "sole", "trout", "rainbow trout", "mackerel",
+    "sardine", "anchovy", "herring", "pickled herring", "smoked herring",
+    "bass", "sea bass", "striped bass", "snapper", "red snapper", "grouper",
+    "mahi mahi", "swordfish", "tilapia", "catfish", "carp", "pike", "perch",
+    "eel", "smoked eel", "monkfish", "turbot", "pollock",
+    "bonito", "skipjack", "yellowtail", "barramundi", "bream",
+    "whitefish", "roe", "caviar", "salmon roe", "dried fish", "fish sauce",
+    "bonito flake",
+)
+
+SEAFOOD: tuple[str, ...] = (
+    "shrimp", "tiger prawn", "crab", "blue crab", "dungeness crab", "king crab",
+    "soft shell crab", "lobster", "spiny lobster", "crayfish", "oyster",
+    "smoked oyster", "mussel", "clam", "littleneck clam", "razor clam",
+    "scallop", "bay scallop", "sea scallop", "squid", "cuttlefish", "octopus",
+    "abalone", "sea urchin", "conch", "krill",
+    "dried shrimp", "shrimp paste",
+)
+
+DAIRY: tuple[str, ...] = (
+    "milk", "whole milk", "skim milk", "buttermilk", "condensed milk",
+    "evaporated milk", "powdered milk", "cream", "heavy cream", "light cream",
+    "sour cream", "creme fraiche", "whipped cream", "butter",
+    "clarified butter", "ghee", "yogurt", "greek yogurt", "kefir", "cheese",
+    "cheddar cheese", "mozzarella cheese", "parmesan cheese", "romano cheese",
+    "provolone cheese", "swiss cheese", "gruyere cheese", "emmental cheese",
+    "gouda cheese", "edam cheese", "brie cheese", "camembert cheese",
+    "blue cheese", "gorgonzola cheese", "roquefort cheese", "feta cheese",
+    "goat cheese", "ricotta cheese", "mascarpone cheese", "cream cheese",
+    "cottage cheese", "paneer", "queso fresco", "manchego cheese",
+)
+
+CEREALS: tuple[str, ...] = (
+    "wheat", "whole wheat flour", "flour", "bread flour", "cake flour",
+    "semolina", "durum wheat", "bulgur", "couscous", "farro", "spelt",
+    "rice", "white rice", "brown rice", "basmati rice", "jasmine rice",
+    "arborio rice", "sticky rice", "wild rice", "rice flour", "barley",
+    "pearl barley", "oat", "rolled oat", "oat bran", "rye", "rye flour",
+    "millet", "sorghum", "buckwheat", "quinoa", "amaranth", "wheat germ",
+    "wheat bran",
+)
+
+MAIZE: tuple[str, ...] = (
+    "corn", "sweet corn", "corn kernel", "cornmeal", "corn flour", "masa",
+    "polenta", "grits", "popcorn", "corn syrup",
+)
+
+LEGUMES: tuple[str, ...] = (
+    "lentil", "red lentil", "green lentil", "black lentil", "chickpea",
+    "black bean", "kidney bean", "pinto bean", "navy bean", "cannellini bean",
+    "great northern bean", "lima bean", "fava bean", "mung bean", "adzuki bean",
+    "black eyed pea", "pigeon pea", "split pea", "green pea", "soybean",
+    "edamame", "tofu", "tempeh", "natto", "soy milk", "pea", "white bean",
+    "borlotti bean", "flageolet bean", "urad dal", "toor dal", "chana dal",
+    "moth bean", "winged bean", "lupin bean",
+)
+
+NUTS_AND_SEEDS: tuple[str, ...] = (
+    "almond", "walnut", "pecan", "cashew", "pistachio", "hazelnut",
+    "macadamia nut", "brazil nut", "pine nut", "peanut", "chestnut",
+    "sunflower seed", "pumpkin seed", "sesame seed",
+    "black sesame seed", "flax seed", "chia seed", "hemp seed", "melon seed",
+    "lotus seed", "almond butter", "peanut butter", "almond milk",
+    "coconut flake", "coconut milk", "coconut oil", "coconut cream",
+    "tiger nut", "candlenut", "kola nut", "ginkgo nut", "acorn",
+    "sesame oil", "walnut oil", "almond extract",
+)
+
+PLANTS: tuple[str, ...] = (
+    "sugar", "brown sugar", "powdered sugar", "cane sugar", "palm sugar",
+    "maple syrup", "molasses", "honey", "agave nectar", "date syrup",
+    "golden syrup", "tea", "green tea", "black tea", "matcha", "oolong tea",
+    "coffee", "espresso", "cocoa", "cocoa butter", "dark chocolate",
+    "milk chocolate", "white chocolate", "chocolate", "carob", "vanilla extract",
+    "olive oil", "extra virgin olive oil", "canola oil", "sunflower oil",
+    "safflower oil", "soybean oil", "peanut oil", "grapeseed oil", "palm oil",
+    "mustard oil", "rice bran oil", "avocado oil", "vegetable oil",
+    "corn oil", "vinegar", "white vinegar", "apple cider vinegar",
+    "balsamic vinegar", "red wine vinegar", "white wine vinegar",
+    "rice vinegar", "sherry vinegar", "malt vinegar", "tamarind paste",
+    "aloe vera", "agar", "carrageenan", "pectin", "chicory root",
+    "dandelion root", "burdock root",
+    "maple sugar", "cane juice", "beet sugar", "hops",
+    "barley malt", "malt extract", "yeast", "nutritional yeast",
+)
+
+BAKERY: tuple[str, ...] = (
+    "bread", "white bread", "whole wheat bread", "sourdough bread", "rye bread",
+    "pumpernickel bread", "baguette", "ciabatta", "focaccia", "brioche",
+    "croissant", "pita bread", "naan", "tortilla", "corn tortilla",
+    "flour tortilla", "bagel", "english muffin", "biscuit", "cracker",
+    "graham cracker", "breadcrumb", "panko", "crouton", "pretzel", "waffle",
+    "pancake", "muffin", "doughnut",
+)
+
+BEVERAGES: tuple[str, ...] = (
+    "water", "sparkling water", "soda water", "cola", "ginger ale",
+    "lemonade", "limeade", "iced tea", "hot chocolate", "chai", "lassi",
+    "horchata", "tamarind drink", "coconut water", "almond drink",
+    "rice drink", "fruit punch", "grenadine", "tonic water", "root beer",
+    "cream soda", "barley tea", "mate",
+    "hibiscus tea", "rooibos tea", "kombucha", "apple cider", "vegetable juice",
+    "carrot juice", "beet juice", "celery juice", "pomegranate juice",
+    "white grape juice",
+)
+
+BEVERAGES_ALCOHOLIC: tuple[str, ...] = (
+    "wine", "red wine", "white wine", "rose wine", "sparkling wine",
+    "champagne", "prosecco", "port wine", "sherry", "marsala wine",
+    "vermouth", "beer", "ale", "stout", "porter", "pilsner", "wheat beer",
+    "cider", "sake", "mirin", "shaoxing wine", "rice wine", "whiskey",
+    "bourbon", "scotch", "rye whiskey", "brandy", "cognac",
+    "rum", "dark rum", "vodka", "gin", "tequila", "mezcal", "ouzo", "absinthe",
+    "amaretto", "kahlua", "triple sec",
+    "limoncello",
+)
+
+ESSENTIAL_OILS: tuple[str, ...] = (
+    "anise oil", "peppermint oil", "spearmint oil", "lemon oil", "orange oil",
+    "lime oil", "bergamot oil", "lavender oil", "rose oil", "clove oil",
+    "cinnamon oil", "eucalyptus oil", "wintergreen oil", "neroli oil",
+    "citronella oil", "cedarwood oil", "sandalwood oil", "vetiver oil",
+)
+
+FLOWERS: tuple[str, ...] = (
+    "rose", "rose water", "orange blossom", "orange blossom water", "lavender",
+    "hibiscus", "elderflower", "jasmine", "violet", "nasturtium", "squash blossom",
+    "chrysanthemum", "marigold", "safflower petal",
+)
+
+FUNGI: tuple[str, ...] = (
+    "mushroom", "button mushroom", "cremini mushroom", "portobello mushroom",
+    "shiitake mushroom", "dried shiitake", "oyster mushroom", "enoki mushroom",
+    "maitake mushroom", "chanterelle", "porcini mushroom", "morel mushroom",
+    "black truffle", "white truffle", "wood ear mushroom", "straw mushroom",
+    "king oyster mushroom", "huitlacoche",
+)
+
+ADDITIVES: tuple[str, ...] = (
+    "baking powder", "baking soda", "monosodium glutamate", "citric acid",
+    "cooking spray", "gelatin", "food coloring", "liquid smoke",
+    "cream of tartar", "xanthan gum", "lecithin", "ascorbic acid",
+)
+
+DISHES: tuple[str, ...] = (
+    "pasta", "spaghetti", "macaroni", "egg noodle", "rice noodle", "ramen noodle",
+    "soba noodle", "udon noodle", "vermicelli", "lasagna noodle", "gnocchi",
+    "dumpling wrapper", "wonton wrapper", "phyllo dough", "puff pastry",
+)
+
+#: Basic ingredients grouped by category. The per-category tuples above are
+#: kept as named constants because tests and docs reference them directly.
+BASIC_INGREDIENTS: dict[Category, tuple[str, ...]] = {
+    Category.VEGETABLE: VEGETABLES,
+    Category.FRUIT: FRUITS,
+    Category.HERB: HERBS,
+    Category.SPICE: SPICES,
+    Category.MEAT: MEATS,
+    Category.FISH: FISH,
+    Category.SEAFOOD: SEAFOOD,
+    Category.DAIRY: DAIRY,
+    Category.CEREAL: CEREALS,
+    Category.MAIZE: MAIZE,
+    Category.LEGUME: LEGUMES,
+    Category.NUTS_AND_SEEDS: NUTS_AND_SEEDS,
+    Category.PLANT: PLANTS,
+    Category.BAKERY: BAKERY,
+    Category.BEVERAGE: BEVERAGES,
+    Category.BEVERAGE_ALCOHOLIC: BEVERAGES_ALCOHOLIC,
+    Category.ESSENTIAL_OIL: ESSENTIAL_OILS,
+    Category.FLOWER: FLOWERS,
+    Category.FUNGUS: FUNGI,
+    Category.ADDITIVE: ADDITIVES,
+    Category.DISH: DISHES,
+}
+
+# ---------------------------------------------------------------------------
+# Curation data from Section III.B of the paper.
+# ---------------------------------------------------------------------------
+
+#: 29 generic/noisy FlavorDB entities removed during curation. These appear
+#: in the raw source list and must be absent from the final catalog.
+REMOVED_GENERIC_ENTITIES: tuple[str, ...] = (
+    "food", "meal", "snack", "breakfast", "dinner", "lunch", "dessert",
+    "beverage", "alcoholic beverage", "juice", "sauce", "soup", "stew",
+    "fat", "oil", "meat product", "dairy product", "fish product",
+    "vegetable product", "fruit product", "seasoning", "condiment",
+    "garnish", "stock", "broth", "spread", "confectionery", "cereal product",
+    "baked good",
+)
+
+#: 13 specific ingredients the paper added back because FlavorDB
+#: coarse-grained them ("hops bear" in the paper text is the source's
+#: rendering of hops/beer; we carry "hops").
+PAPER_ADDED_INGREDIENTS: tuple[str, ...] = (
+    "anise oil", "apple juice", "coconut milk", "coconut oil", "hops",
+    "lemon juice", "brown rice", "tomato juice", "tomato paste",
+    "tomato puree", "coriander seed", "pork fat", "cured ham",
+)
+
+#: 4 ingredients imported from Ahn et al. (2011).
+AHN_ADDED_INGREDIENTS: tuple[str, ...] = (
+    "cayenne", "yeast", "tequila", "sauerkraut",
+)
+
+#: 7 manually added additives; the last four carry no flavor profile.
+MANUAL_ADDITIVES: tuple[str, ...] = (
+    "baking powder", "monosodium glutamate", "citric acid", "cooking spray",
+    "gelatin", "food coloring", "liquid smoke",
+)
+
+#: Additives kept without any flavor profile (excluded from pairing).
+PROFILE_FREE_ADDITIVES: tuple[str, ...] = (
+    "cooking spray", "gelatin", "food coloring", "liquid smoke",
+)
+
+#: Synonyms / spelling variants mapped to canonical names. Includes the
+#: paper's examples (bun/bread, lager/beer, curd/yogurt, whisky/whiskey,
+#: hing/asafoetida, chile/chili) plus common variants recipes use.
+SYNONYMS: dict[str, str] = {
+    "bun": "bread",
+    "pepper": "black pepper",
+    "peppercorn": "black pepper",
+    "lager": "beer",
+    "curd": "yogurt",
+    "whisky": "whiskey",
+    "hing": "asafoetida",
+    "chile": "chili",
+    "chilli": "chili",
+    "aubergine": "eggplant",
+    "courgette": "zucchini",
+    "coriander leaf": "cilantro",
+    "coriander": "cilantro",
+    "garbanzo bean": "chickpea",
+    "garbanzo": "chickpea",
+    "prawn": "shrimp",
+    "spring onion": "scallion",
+    "green onion": "scallion",
+    "capsicum": "bell pepper",
+    "rocket": "arugula",
+    "beetroot": "beet",
+    "corn starch": "corn flour",
+    "cornstarch": "corn flour",
+    "maize flour": "corn flour",
+    "filbert": "hazelnut",
+    "groundnut": "peanut",
+    "bicarbonate of soda": "baking soda",
+    "confectioners sugar": "powdered sugar",
+    "icing sugar": "powdered sugar",
+    "caster sugar": "sugar",
+    "granulated sugar": "sugar",
+    "ladys finger": "okra",
+    "brinjal": "eggplant",
+    "dhania": "cilantro",
+    "jeera": "cumin",
+    "haldi": "turmeric",
+    "methi": "fenugreek leaf",
+    "paneer cheese": "paneer",
+    "besan": "chickpea",
+    "swede": "rutabaga",
+    "snow peas": "snow pea",
+    "mangetout": "snow pea",
+    "romano bean": "borlotti bean",
+    "cilantro leaf": "cilantro",
+    "scallions": "scallion",
+    "msg": "monosodium glutamate",
+    "ajinomoto": "monosodium glutamate",
+    "double cream": "heavy cream",
+    "single cream": "light cream",
+    "gammon": "ham",
+    "frankfurter": "sausage",
+    "hot dog": "sausage",
+    "calamari": "squid",
+    "king prawn": "tiger prawn",
+    "langoustine": "spiny lobster",
+    "sultana": "raisin",
+    "golden raisin": "raisin",
+    "dried plum": "prune",
+    "spring greens": "collard green",
+    "chinese cabbage": "napa cabbage",
+    "pak choi": "bok choy",
+    "eryngii": "king oyster mushroom",
+    "cep": "porcini mushroom",
+    "corn meal": "cornmeal",
+    "semolina flour": "semolina",
+    "whole milk yogurt": "yogurt",
+    "natural yogurt": "yogurt",
+    "soda bicarbonate": "baking soda",
+    "tinned tomato": "tomato",
+    "canned tomato": "tomato",
+    "passata": "tomato puree",
+    "glace cherry": "maraschino cherry",
+    "desiccated coconut": "coconut flake",
+}
+
+# ---------------------------------------------------------------------------
+# Compound ingredients (103), Section III.B.
+#
+# Each entry: name -> (category, constituents). Constituents are canonical
+# basic-ingredient names; the compound's flavor profile is the union of its
+# constituents' profiles.
+# ---------------------------------------------------------------------------
+
+COMPOUND_INGREDIENTS: dict[str, tuple[Category, tuple[str, ...]]] = {
+    # -- emulsions, creams, condiments ---------------------------------
+    "half half": (Category.DAIRY, ("milk", "cream")),
+    "mayonnaise": (Category.DISH, ("vegetable oil", "egg", "lemon juice")),
+    "aioli": (Category.DISH, ("olive oil", "egg yolk", "garlic", "lemon juice")),
+    "tartar sauce": (Category.DISH, ("mayonnaise", "pickle", "caper sauce base")),
+    "ketchup": (Category.DISH, ("tomato paste", "vinegar", "sugar", "onion")),
+    "yellow mustard": (Category.DISH, ("yellow mustard seed", "vinegar", "turmeric")),
+    "dijon mustard": (Category.DISH, ("black mustard seed", "white wine", "vinegar")),
+    "whole grain mustard": (Category.DISH, ("yellow mustard seed", "black mustard seed", "vinegar")),
+    "horseradish sauce": (Category.DISH, ("horseradish", "cream", "vinegar")),
+    "remoulade": (Category.DISH, ("mayonnaise", "dijon mustard", "pickle")),
+    "thousand island dressing": (Category.DISH, ("mayonnaise", "ketchup", "pickle")),
+    "ranch dressing": (Category.DISH, ("buttermilk", "mayonnaise", "dill", "garlic")),
+    "caesar dressing": (Category.DISH, ("anchovy", "egg yolk", "parmesan cheese", "lemon juice", "olive oil")),
+    "vinaigrette": (Category.DISH, ("olive oil", "red wine vinegar", "dijon mustard")),
+    "italian dressing": (Category.DISH, ("olive oil", "white wine vinegar", "oregano", "garlic")),
+    # -- sauces ----------------------------------------------------------
+    "soy sauce": (Category.DISH, ("soybean", "wheat", "salt")),
+    "tamari": (Category.DISH, ("soybean", "salt")),
+    "teriyaki sauce": (Category.DISH, ("soy sauce", "mirin", "sugar", "ginger")),
+    "hoisin sauce": (Category.DISH, ("soybean", "sugar", "garlic", "chili")),
+    "oyster sauce": (Category.DISH, ("oyster", "soy sauce", "sugar")),
+    "worcestershire sauce": (Category.DISH, ("anchovy", "tamarind paste", "malt vinegar", "molasses", "garlic")),
+    "barbecue sauce": (Category.DISH, ("tomato paste", "molasses", "vinegar", "liquid smoke")),
+    "sriracha": (Category.DISH, ("red chili", "garlic", "vinegar", "sugar")),
+    "tabasco sauce": (Category.DISH, ("red chili", "vinegar", "salt")),
+    "sweet chili sauce": (Category.DISH, ("red chili", "sugar", "garlic", "rice vinegar")),
+    "chili garlic sauce": (Category.DISH, ("red chili", "garlic", "vinegar")),
+    "sambal": (Category.DISH, ("red chili", "shallot", "garlic", "shrimp paste", "lime juice")),
+    "harissa": (Category.DISH, ("dried chili", "garlic", "caraway seed", "coriander seed", "olive oil")),
+    "chimichurri": (Category.DISH, ("parsley", "oregano", "garlic", "red wine vinegar", "olive oil")),
+    "pesto": (Category.DISH, ("basil", "pine nut", "parmesan cheese", "garlic", "olive oil")),
+    "marinara sauce": (Category.DISH, ("tomato", "garlic", "basil", "olive oil")),
+    "alfredo sauce": (Category.DISH, ("butter", "heavy cream", "parmesan cheese")),
+    "bechamel sauce": (Category.DISH, ("butter", "flour", "milk", "nutmeg")),
+    "hollandaise sauce": (Category.DISH, ("egg yolk", "butter", "lemon juice")),
+    "gravy": (Category.DISH, ("flour", "butter", "chicken")),
+    "mole sauce": (Category.DISH, ("ancho chili", "dark chocolate", "sesame seed", "almond", "cinnamon")),
+    "enchilada sauce": (Category.DISH, ("guajillo chili", "tomato paste", "cumin", "garlic")),
+    "ponzu": (Category.DISH, ("soy sauce", "yuzu", "bonito flake", "rice vinegar")),
+    "tzatziki": (Category.DISH, ("greek yogurt", "cucumber", "garlic", "dill")),
+    "raita": (Category.DISH, ("yogurt", "cucumber", "cumin", "cilantro")),
+    "tahini": (Category.DISH, ("sesame seed", "sesame oil")),
+    "hummus": (Category.DISH, ("chickpea", "tahini", "lemon juice", "garlic", "olive oil")),
+    "baba ghanoush": (Category.DISH, ("eggplant", "tahini", "lemon juice", "garlic")),
+    "guacamole": (Category.DISH, ("avocado", "lime juice", "cilantro", "onion", "jalapeno pepper")),
+    "salsa": (Category.DISH, ("tomato", "onion", "jalapeno pepper", "cilantro", "lime juice")),
+    "salsa verde": (Category.DISH, ("tomatillo", "serrano pepper", "cilantro", "onion")),
+    "pico de gallo": (Category.DISH, ("tomato", "onion", "cilantro", "lime juice", "serrano pepper")),
+    "romesco": (Category.DISH, ("red bell pepper", "almond", "tomato", "sherry vinegar", "olive oil")),
+    "chutney": (Category.DISH, ("mango", "sugar", "vinegar", "dried ginger")),
+    "mint chutney": (Category.DISH, ("mint", "cilantro", "green chili", "lime juice")),
+    "tamarind chutney": (Category.DISH, ("tamarind paste", "sugar", "cumin")),
+    "cranberry sauce": (Category.DISH, ("cranberry", "sugar", "orange peel")),
+    "applesauce": (Category.DISH, ("apple", "sugar", "cinnamon")),
+    "caramel sauce": (Category.DISH, ("sugar", "butter", "heavy cream")),
+    "chocolate syrup": (Category.DISH, ("cocoa", "sugar", "vanilla extract")),
+    "fudge sauce": (Category.DISH, ("dark chocolate", "heavy cream", "butter")),
+    "custard": (Category.DISH, ("milk", "egg yolk", "sugar", "vanilla")),
+    "lemon curd": (Category.DISH, ("lemon juice", "egg yolk", "butter", "sugar")),
+    "pastry cream": (Category.DISH, ("milk", "egg yolk", "sugar", "flour", "vanilla")),
+    "fish stock": (Category.DISH, ("cod", "onion", "celery", "bay leaf")),
+    "chicken stock": (Category.DISH, ("chicken", "onion", "carrot", "celery")),
+    "beef stock": (Category.DISH, ("beef", "onion", "carrot", "celery")),
+    "vegetable stock": (Category.DISH, ("onion", "carrot", "celery", "leek")),
+    "dashi": (Category.DISH, ("kombu", "bonito flake")),
+    "miso": (Category.DISH, ("soybean", "rice", "salt")),
+    "gochujang": (Category.DISH, ("gochugaru", "rice", "soybean", "salt")),
+    "doubanjiang": (Category.DISH, ("fava bean", "red chili", "salt")),
+    "xo sauce": (Category.DISH, ("dried shrimp", "cured ham", "garlic", "chili")),
+    "black bean sauce": (Category.DISH, ("black bean", "garlic", "soy sauce")),
+    "peanut sauce": (Category.DISH, ("peanut butter", "soy sauce", "lime juice", "coconut milk")),
+    "caper sauce base": (Category.DISH, ("nasturtium", "vinegar", "salt")),
+    # -- spice blends ------------------------------------------------------
+    "garam masala": (Category.SPICE, ("cumin", "coriander seed", "cardamom", "clove", "cinnamon", "black pepper")),
+    "curry powder": (Category.SPICE, ("turmeric", "cumin", "coriander seed", "fenugreek seed", "dried chili")),
+    "madras curry powder": (Category.SPICE, ("turmeric", "cumin", "coriander seed", "black mustard seed", "dried chili")),
+    "tandoori masala": (Category.SPICE, ("cumin", "coriander seed", "paprika", "dried ginger", "garlic")),
+    "chaat masala": (Category.SPICE, ("amchur", "cumin", "black pepper", "asafoetida")),
+    "panch phoron": (Category.SPICE, ("fenugreek seed", "nigella seed", "cumin", "black mustard seed", "fennel seed")),
+    "chinese five spice": (Category.SPICE, ("star anise", "clove", "cinnamon", "szechuan pepper", "fennel seed")),
+    "shichimi togarashi": (Category.SPICE, ("red pepper flake", "orange peel", "sesame seed", "nori", "dried ginger")),
+    "herbes de provence": (Category.SPICE, ("thyme", "rosemary", "savory", "oregano", "lavender")),
+    "italian seasoning": (Category.SPICE, ("oregano", "basil", "thyme", "rosemary", "marjoram")),
+    "poultry seasoning": (Category.SPICE, ("sage", "thyme", "marjoram", "rosemary", "black pepper")),
+    "pumpkin pie spice": (Category.SPICE, ("cinnamon", "nutmeg", "dried ginger", "clove", "allspice")),
+    "apple pie spice": (Category.SPICE, ("cinnamon", "nutmeg", "allspice", "cardamom")),
+    "cajun seasoning": (Category.SPICE, ("paprika", "cayenne", "garlic", "oregano", "thyme")),
+    "creole seasoning": (Category.SPICE, ("paprika", "cayenne", "oregano", "basil", "white pepper")),
+    "old bay seasoning": (Category.SPICE, ("celery seed", "paprika", "black pepper", "cayenne", "mace")),
+    "jerk seasoning": (Category.SPICE, ("allspice", "habanero pepper", "thyme", "dried ginger", "cinnamon")),
+    "adobo seasoning": (Category.SPICE, ("garlic", "oregano", "black pepper", "turmeric")),
+    "taco seasoning": (Category.SPICE, ("dried chili", "cumin", "paprika", "oregano", "garlic")),
+    "chili powder": (Category.SPICE, ("ancho chili", "cumin", "oregano", "garlic", "paprika")),
+    "ras el hanout": (Category.SPICE, ("cumin", "coriander seed", "cinnamon", "dried ginger", "rose")),
+    "za'atar": (Category.SPICE, ("thyme", "sumac", "sesame seed", "savory")),
+    "baharat": (Category.SPICE, ("black pepper", "cumin", "coriander seed", "clove", "paprika")),
+    "berbere": (Category.SPICE, ("dried chili", "fenugreek seed", "coriander seed", "dried ginger", "clove")),
+    "dukkah": (Category.SPICE, ("hazelnut", "sesame seed", "coriander seed", "cumin")),
+    "furikake": (Category.SPICE, ("nori", "sesame seed", "bonito flake", "salt")),
+    "everything bagel seasoning": (Category.SPICE, ("sesame seed", "poppy seed", "garlic", "onion", "salt")),
+    "pickling spice": (Category.SPICE, ("black mustard seed", "allspice", "bay leaf", "clove", "dill seed")),
+    "mulling spice": (Category.SPICE, ("cinnamon", "clove", "allspice", "orange peel")),
+    "curry paste red": (Category.DISH, ("red chili", "lemongrass", "galangal", "garlic", "shrimp paste")),
+    "curry paste green": (Category.DISH, ("green chili", "lemongrass", "galangal", "thai basil", "shrimp paste")),
+    "tikka masala paste": (Category.DISH, ("tomato paste", "garam masala", "dried ginger", "garlic", "paprika")),
+}

@@ -1,0 +1,104 @@
+"""Flavor descriptors: human-readable odor/taste words per molecule.
+
+FlavorDB annotates molecules with sensory descriptors ("citrusy",
+"buttery", "sulfurous"); downstream tools use them to explain *why* two
+ingredients pair. Our synthetic universe attaches descriptors at the
+flavor-family level — every molecule of a family carries that family's
+descriptor set — which preserves the property that matters: ingredients
+sharing molecules share descriptors.
+
+:func:`describe_ingredient` summarises an ingredient's profile as a
+weighted descriptor list; :func:`shared_descriptors` explains a pairing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..datamodel import Ingredient
+from .universe import FLAVOR_FAMILIES, family_blocks
+
+#: Sensory descriptors per flavor family.
+FAMILY_DESCRIPTORS: dict[str, tuple[str, ...]] = {
+    "citrus-terpene": ("citrusy", "zesty", "fresh"),
+    "herb-terpene": ("herbaceous", "green", "camphoraceous"),
+    "mint-terpene": ("minty", "cooling"),
+    "anise-phenolic": ("anisic", "licorice", "sweet-spicy"),
+    "floral-alcohol": ("floral", "rosy", "perfumed"),
+    "green-aldehyde": ("green", "grassy", "leafy"),
+    "allium-sulfur": ("sulfurous", "pungent", "savory"),
+    "crucifer-sulfur": ("pungent", "sharp", "mustardy"),
+    "pungent-alkaloid": ("hot", "pungent", "biting"),
+    "warm-phenolic": ("warm", "sweet-spicy", "balsamic"),
+    "earthy-terpene": ("earthy", "musty", "woody"),
+    "mushroom-ketone": ("mushroomy", "earthy", "umami"),
+    "dairy-lactone": ("creamy", "milky", "lactonic"),
+    "buttery-diketone": ("buttery", "rich", "creamy"),
+    "cheese-acid": ("cheesy", "sharp", "fatty-acidic"),
+    "meat-maillard": ("meaty", "roasted", "savory"),
+    "smoke-phenol": ("smoky", "phenolic", "charred"),
+    "marine-amine": ("briny", "marine", "fishy"),
+    "seafood-bromophenol": ("oceanic", "iodine", "briny"),
+    "fish-carbonyl": ("fishy", "oily", "marine"),
+    "berry-ester": ("fruity", "berry", "jammy"),
+    "orchard-ester": ("fruity", "apple-like", "fresh-sweet"),
+    "tropical-ester": ("tropical", "fruity", "estery"),
+    "melon-aldehyde": ("melon", "watery-fresh", "cucumber"),
+    "caramel-furanone": ("caramellic", "sweet", "toasted-sugar"),
+    "nutty-pyrazine": ("nutty", "roasted", "toasty"),
+    "toast-pyranone": ("toasty", "bready", "baked"),
+    "chocolate-pyrazine": ("cocoa", "chocolatey", "roasted"),
+    "coffee-furan": ("coffee", "roasted", "dark"),
+    "honey-aromatic": ("honeyed", "sweet-floral", "waxy"),
+    "ferment-acid": ("sour", "fermented", "tangy"),
+    "alcohol-ester": ("boozy", "fruity-fermented", "solvent"),
+    "legume-green": ("beany", "green", "vegetal"),
+    "cereal-lipid": ("fatty", "cereal", "doughy"),
+    "commons": ("neutral", "mild"),
+}
+
+
+def _family_of_molecule() -> dict[int, str]:
+    mapping: dict[int, str] = {}
+    for family, block in family_blocks().items():
+        for molecule_id in block:
+            mapping[molecule_id] = family
+    return mapping
+
+
+_MOLECULE_FAMILY = _family_of_molecule()
+
+
+def descriptor_weights(profile: frozenset[int]) -> Counter[str]:
+    """Descriptor counts over a flavor profile (molecule-weighted)."""
+    weights: Counter[str] = Counter()
+    for molecule_id in profile:
+        family = _MOLECULE_FAMILY.get(molecule_id)
+        if family is None:
+            continue
+        for descriptor in FAMILY_DESCRIPTORS[family]:
+            weights[descriptor] += 1
+    return weights
+
+
+def describe_ingredient(
+    ingredient: Ingredient, top: int = 5
+) -> list[tuple[str, int]]:
+    """Dominant descriptors of an ingredient, most prominent first."""
+    weights = descriptor_weights(ingredient.flavor_profile)
+    # Neutral commons descriptors should not drown the distinctive ones.
+    for muted in FAMILY_DESCRIPTORS["commons"]:
+        weights.pop(muted, None)
+    return weights.most_common(top)
+
+
+def shared_descriptors(
+    left: Ingredient, right: Ingredient, top: int = 5
+) -> list[tuple[str, int]]:
+    """Descriptors of the molecules two ingredients share — the sensory
+    explanation of their pairing."""
+    shared_profile = frozenset(left.flavor_profile & right.flavor_profile)
+    weights = descriptor_weights(shared_profile)
+    for muted in FAMILY_DESCRIPTORS["commons"]:
+        weights.pop(muted, None)
+    return weights.most_common(top)

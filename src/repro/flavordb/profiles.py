@@ -1,0 +1,262 @@
+"""Deterministic flavor-profile synthesis for catalog ingredients.
+
+Each basic ingredient receives a flavor profile — a set of molecule ids —
+assembled from the family blocks of :mod:`repro.flavordb.universe`:
+
+* a *primary* flavor family contributes the bulk of the profile,
+* a *secondary* family (from the same category's palette) adds a bridge,
+* the ``commons`` family contributes the universal background molecules,
+* a small tail of molecules is scattered across all other families.
+
+Family assignment is name-aware: a table of overrides pins culinarily
+obvious cases (garlic is allium-sulfur, lemon is citrus-terpene, smoked
+salmon is smoke-phenol...), substring rules catch derived forms ("lemon
+thyme", "smoked paprika"), and the remainder fall back to a deterministic
+hash over the category's palette. All sampling uses a
+``numpy.random.Generator`` seeded from a stable digest of the ingredient
+name, so the same catalog is rebuilt bit-for-bit on every machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..datamodel import Category
+from .universe import COMMONS_FAMILY, FLAVOR_FAMILIES, family_blocks
+
+#: Flavor-family palette per category: the families its ingredients draw
+#: primary/secondary membership from (order matters only for hashing).
+CATEGORY_FAMILIES: dict[Category, tuple[str, ...]] = {
+    Category.VEGETABLE: (
+        "green-aldehyde", "allium-sulfur", "crucifer-sulfur",
+        "earthy-terpene", "legume-green",
+    ),
+    Category.FRUIT: (
+        "citrus-terpene", "berry-ester", "orchard-ester",
+        "tropical-ester", "melon-aldehyde",
+    ),
+    Category.HERB: (
+        "herb-terpene", "mint-terpene", "anise-phenolic", "floral-alcohol",
+    ),
+    Category.SPICE: (
+        "warm-phenolic", "pungent-alkaloid", "herb-terpene",
+        "anise-phenolic", "citrus-terpene",
+    ),
+    Category.MEAT: ("meat-maillard", "smoke-phenol", "cheese-acid"),
+    Category.FISH: ("fish-carbonyl", "marine-amine", "smoke-phenol"),
+    Category.SEAFOOD: ("marine-amine", "seafood-bromophenol"),
+    Category.DAIRY: ("dairy-lactone", "buttery-diketone", "cheese-acid"),
+    Category.CEREAL: ("cereal-lipid", "toast-pyranone", "nutty-pyrazine"),
+    Category.MAIZE: ("cereal-lipid", "caramel-furanone"),
+    Category.LEGUME: ("legume-green", "nutty-pyrazine"),
+    Category.NUTS_AND_SEEDS: ("nutty-pyrazine", "cereal-lipid"),
+    Category.PLANT: (
+        "caramel-furanone", "honey-aromatic", "coffee-furan",
+        "chocolate-pyrazine", "ferment-acid", "green-aldehyde",
+    ),
+    Category.BAKERY: ("toast-pyranone", "caramel-furanone", "cereal-lipid"),
+    Category.BEVERAGE: ("citrus-terpene", "honey-aromatic", "caramel-furanone"),
+    Category.BEVERAGE_ALCOHOLIC: (
+        "alcohol-ester", "ferment-acid", "caramel-furanone",
+    ),
+    Category.ESSENTIAL_OIL: (
+        "citrus-terpene", "herb-terpene", "floral-alcohol",
+        "mint-terpene", "anise-phenolic",
+    ),
+    Category.FLOWER: ("floral-alcohol", "honey-aromatic"),
+    Category.FUNGUS: ("mushroom-ketone", "earthy-terpene"),
+    Category.ADDITIVE: ("ferment-acid", "caramel-furanone"),
+    Category.DISH: ("toast-pyranone", "cereal-lipid"),
+}
+
+#: Exact-name overrides for the primary flavor family.
+FAMILY_OVERRIDES: dict[str, str] = {
+    # alliums
+    "onion": "allium-sulfur", "red onion": "allium-sulfur",
+    "white onion": "allium-sulfur", "sweet onion": "allium-sulfur",
+    "garlic": "allium-sulfur", "leek": "allium-sulfur",
+    "shallot": "allium-sulfur", "scallion": "allium-sulfur",
+    "chive": "allium-sulfur",
+    # crucifers / pungent roots
+    "horseradish": "crucifer-sulfur", "wasabi": "crucifer-sulfur",
+    "mustard green": "crucifer-sulfur", "mustard seed": "crucifer-sulfur",
+    "black mustard seed": "crucifer-sulfur",
+    "yellow mustard seed": "crucifer-sulfur",
+    # pungency
+    "ginger": "pungent-alkaloid", "dried ginger": "pungent-alkaloid",
+    "black pepper": "pungent-alkaloid", "white pepper": "pungent-alkaloid",
+    "cayenne": "pungent-alkaloid", "chili": "pungent-alkaloid",
+    # citrus
+    "lemon": "citrus-terpene", "lime": "citrus-terpene",
+    "orange": "citrus-terpene", "grapefruit": "citrus-terpene",
+    "yuzu": "citrus-terpene", "lemongrass": "citrus-terpene",
+    "lemon juice": "citrus-terpene", "lime juice": "citrus-terpene",
+    "orange juice": "citrus-terpene",
+    # warm spices
+    "vanilla": "warm-phenolic", "vanilla bean": "warm-phenolic",
+    "vanilla extract": "warm-phenolic", "cinnamon": "warm-phenolic",
+    "cassia": "warm-phenolic", "clove": "warm-phenolic",
+    "nutmeg": "warm-phenolic", "allspice": "warm-phenolic",
+    # anise-like
+    "star anise": "anise-phenolic", "anise seed": "anise-phenolic",
+    "fennel seed": "anise-phenolic", "fennel bulb": "anise-phenolic",
+    "licorice root": "anise-phenolic", "tarragon": "anise-phenolic",
+    "ouzo": "anise-phenolic", "absinthe": "anise-phenolic",
+    "anise oil": "anise-phenolic",
+    # classic culinary herbs share the herb-terpene family
+    "basil": "herb-terpene", "oregano": "herb-terpene",
+    "thyme": "herb-terpene", "rosemary": "herb-terpene",
+    "marjoram": "herb-terpene", "sage": "herb-terpene",
+    "parsley": "herb-terpene", "dill": "herb-terpene",
+    "savory": "herb-terpene", "chervil": "herb-terpene",
+    # mints
+    "mint": "mint-terpene", "peppermint": "mint-terpene",
+    "spearmint": "mint-terpene", "peppermint oil": "mint-terpene",
+    "spearmint oil": "mint-terpene",
+    # dairy
+    "butter": "buttery-diketone", "clarified butter": "buttery-diketone",
+    "ghee": "buttery-diketone", "cream": "buttery-diketone",
+    "heavy cream": "buttery-diketone", "light cream": "buttery-diketone",
+    "milk": "dairy-lactone", "whole milk": "dairy-lactone",
+    "yogurt": "ferment-acid", "greek yogurt": "ferment-acid",
+    "kefir": "ferment-acid", "sour cream": "ferment-acid",
+    "buttermilk": "ferment-acid",
+    # ferments
+    "sauerkraut": "ferment-acid", "kimchi": "ferment-acid",
+    "pickle": "ferment-acid", "vinegar": "ferment-acid",
+    "miso base": "ferment-acid", "yeast": "ferment-acid",
+    "nutritional yeast": "ferment-acid",
+    # cocoa / coffee / honey
+    "cocoa": "chocolate-pyrazine", "dark chocolate": "chocolate-pyrazine",
+    "milk chocolate": "chocolate-pyrazine", "chocolate": "chocolate-pyrazine",
+    "white chocolate": "caramel-furanone", "carob": "chocolate-pyrazine",
+    "coffee": "coffee-furan", "espresso": "coffee-furan",
+    "honey": "honey-aromatic",
+    # sugars
+    "sugar": "caramel-furanone", "brown sugar": "caramel-furanone",
+    "molasses": "caramel-furanone", "maple syrup": "caramel-furanone",
+    "corn syrup": "caramel-furanone",
+    # eggs (category Meat, but flavor-wise closer to dairy/maillard mix)
+    "egg": "cereal-lipid", "egg yolk": "cereal-lipid",
+    "egg white": "commons",
+}
+
+#: Substring rules applied when no exact override matches; first hit wins.
+FAMILY_SUBSTRING_RULES: tuple[tuple[str, str], ...] = (
+    ("smoked", "smoke-phenol"),
+    ("chili", "pungent-alkaloid"),
+    ("pepper flake", "pungent-alkaloid"),
+    ("chipotle", "smoke-phenol"),
+    ("lemon", "citrus-terpene"),
+    ("lime", "citrus-terpene"),
+    ("orange", "citrus-terpene"),
+    ("tomato", "green-aldehyde"),
+    ("mushroom", "mushroom-ketone"),
+    ("truffle", "earthy-terpene"),
+    ("cheese", "cheese-acid"),
+    ("berry", "berry-ester"),
+    ("melon", "melon-aldehyde"),
+    ("vinegar", "ferment-acid"),
+    ("wine", "alcohol-ester"),
+    ("whiskey", "alcohol-ester"),
+    ("rum", "alcohol-ester"),
+    ("beer", "ferment-acid"),
+    ("tea", "honey-aromatic"),
+    ("oil", "cereal-lipid"),
+)
+
+#: Profile composition fractions (must sum to 1).
+PRIMARY_FRACTION = 0.55
+SECONDARY_FRACTION = 0.20
+COMMONS_FRACTION = 0.15
+NOISE_FRACTION = 0.10
+
+#: Profile size bounds (FlavorDB profiles range from a handful of molecules
+#: for simple ingredients to hundreds for coffee/wine; we keep the same
+#: spread at smaller absolute scale).
+MIN_PROFILE_SIZE = 8
+MAX_PROFILE_SIZE = 160
+PROFILE_SIZE_LOG_MEAN = 3.5  # exp(3.5) ~ 33 molecules
+PROFILE_SIZE_LOG_SIGMA = 0.5
+
+_GLOBAL_SEED_LABEL = b"repro.flavordb.profiles.v1"
+
+
+def stable_seed(*parts: str) -> int:
+    """Derive a 64-bit seed from string parts via SHA-256 (hash() is
+    process-randomised and unusable for reproducibility)."""
+    digest = hashlib.sha256()
+    digest.update(_GLOBAL_SEED_LABEL)
+    for part in parts:
+        digest.update(b"\x00")
+        digest.update(part.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def primary_family(name: str, category: Category) -> str:
+    """The primary flavor family for an ingredient."""
+    override = FAMILY_OVERRIDES.get(name)
+    if override is not None:
+        return override
+    for fragment, family in FAMILY_SUBSTRING_RULES:
+        if fragment in name:
+            return family
+    palette = CATEGORY_FAMILIES[category]
+    return palette[stable_seed("primary", name) % len(palette)]
+
+
+def secondary_family(name: str, category: Category, primary: str) -> str:
+    """A secondary family from the category palette, different from the
+    primary when the palette allows it."""
+    palette = [
+        family for family in CATEGORY_FAMILIES[category] if family != primary
+    ]
+    if not palette:
+        return primary
+    return palette[stable_seed("secondary", name) % len(palette)]
+
+
+def profile_size(name: str) -> int:
+    """Deterministic profile size for an ingredient (lognormal, clipped)."""
+    rng = np.random.Generator(np.random.PCG64(stable_seed("size", name)))
+    size = int(
+        round(
+            float(
+                rng.lognormal(PROFILE_SIZE_LOG_MEAN, PROFILE_SIZE_LOG_SIGMA)
+            )
+        )
+    )
+    return int(np.clip(size, MIN_PROFILE_SIZE, MAX_PROFILE_SIZE))
+
+
+def synthesize_profile(name: str, category: Category) -> frozenset[int]:
+    """Build the molecule-id set for one basic ingredient."""
+    blocks = family_blocks()
+    primary = primary_family(name, category)
+    secondary = secondary_family(name, category, primary)
+    size = profile_size(name)
+    rng = np.random.Generator(np.random.PCG64(stable_seed("profile", name)))
+
+    quota = {
+        primary: int(round(size * PRIMARY_FRACTION)),
+        secondary: int(round(size * SECONDARY_FRACTION)),
+        COMMONS_FAMILY: int(round(size * COMMONS_FRACTION)),
+    }
+    profile: set[int] = set()
+    for family, wanted in quota.items():
+        block = blocks[family]
+        take = min(wanted, len(block))
+        if take > 0:
+            picks = rng.choice(len(block), size=take, replace=False)
+            profile.update(block.start + int(pick) for pick in picks)
+    # Scatter the noise tail over the whole universe.
+    remaining = max(size - len(profile), 0)
+    universe_size = max(block.stop for block in blocks.values())
+    while remaining > 0:
+        candidate = int(rng.integers(0, universe_size))
+        if candidate not in profile:
+            profile.add(candidate)
+            remaining -= 1
+    return frozenset(profile)

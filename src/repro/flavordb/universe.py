@@ -1,0 +1,101 @@
+"""Synthetic flavor-molecule universe with community structure.
+
+FlavorDB catalogues ~25k flavor molecules and the sets of molecules
+empirically reported in each natural ingredient. The property of that data
+that all food-pairing analyses rest on is *community structure*: molecules
+cluster into flavor families (terpenes of citrus, lactones of dairy, amines
+of fish, pyrazines of roasted nuts, ...), ingredients draw most of their
+profile from one or two families, and therefore same-family ingredient
+pairs share many molecules while cross-family pairs share few.
+
+This module synthesises a universe with exactly that structure: a fixed
+roster of flavor families, each holding a block of molecules. Well-known
+molecules (limonene, vanillin, allicin, ...) seed their family's block by
+name; the remainder get systematic names. The universe is deterministic —
+no randomness is involved in its construction.
+"""
+
+from __future__ import annotations
+
+from ..datamodel import FlavorMolecule
+
+#: Family name -> (number of molecules, seed molecule names).
+#: Counts are loosely proportional to how chemically rich each family is.
+FLAVOR_FAMILIES: dict[str, tuple[int, tuple[str, ...]]] = {
+    "citrus-terpene": (60, ("limonene", "citral", "gamma-terpinene", "beta-pinene", "citronellal")),
+    "herb-terpene": (70, ("linalool", "thymol", "carvacrol", "sabinene", "terpinen-4-ol", "1,8-cineole")),
+    "mint-terpene": (35, ("menthol", "menthone", "carvone", "pulegone")),
+    "anise-phenolic": (30, ("anethole", "estragole", "fenchone")),
+    "floral-alcohol": (50, ("geraniol", "nerol", "phenylethyl alcohol", "benzyl alcohol", "ionone")),
+    "green-aldehyde": (55, ("hexanal", "cis-3-hexenol", "trans-2-hexenal", "hexyl acetate")),
+    "allium-sulfur": (45, ("allicin", "diallyl disulfide", "dipropyl disulfide", "methyl propyl disulfide")),
+    "crucifer-sulfur": (40, ("allyl isothiocyanate", "sulforaphane", "benzyl isothiocyanate")),
+    "pungent-alkaloid": (35, ("capsaicin", "piperine", "gingerol", "shogaol")),
+    "warm-phenolic": (55, ("eugenol", "cinnamaldehyde", "vanillin", "coumarin", "safrole")),
+    "earthy-terpene": (40, ("geosmin", "patchoulol", "2-methylisoborneol")),
+    "mushroom-ketone": (30, ("1-octen-3-ol", "1-octen-3-one", "3-octanol")),
+    "dairy-lactone": (50, ("delta-decalactone", "gamma-dodecalactone", "delta-octalactone")),
+    "buttery-diketone": (30, ("diacetyl", "acetoin", "2,3-pentanedione")),
+    "cheese-acid": (45, ("butyric acid", "caproic acid", "methyl ketone c7", "2-heptanone")),
+    "meat-maillard": (65, ("2-methyl-3-furanthiol", "bis(2-methyl-3-furyl) disulfide", "12-methyltridecanal")),
+    "smoke-phenol": (35, ("guaiacol", "4-methylguaiacol", "syringol", "creosol")),
+    "marine-amine": (45, ("trimethylamine", "piperidine", "pyrrolidine")),
+    "seafood-bromophenol": (30, ("2,6-dibromophenol", "2-bromophenol", "dimethyl sulfide")),
+    "fish-carbonyl": (40, ("2,4-heptadienal", "3,6-nonadienal", "1,5-octadien-3-ol")),
+    "berry-ester": (55, ("ethyl butyrate", "methyl anthranilate", "furaneol", "raspberry ketone")),
+    "orchard-ester": (50, ("ethyl 2-methylbutyrate", "hexyl butyrate", "benzaldehyde", "gamma-decalactone")),
+    "tropical-ester": (45, ("isoamyl acetate", "ethyl hexanoate", "3-methylthio-1-hexanol")),
+    "melon-aldehyde": (30, ("2,6-nonadienal", "melonal", "cis-6-nonenal")),
+    "caramel-furanone": (40, ("maltol", "sotolon", "hydroxymethylfurfural", "cyclotene")),
+    "nutty-pyrazine": (55, ("2,3,5-trimethylpyrazine", "2-acetylpyrazine", "filbertone")),
+    "toast-pyranone": (35, ("2-acetylpyrroline", "maltol isobutyrate", "furfural")),
+    "chocolate-pyrazine": (35, ("tetramethylpyrazine", "isovaleraldehyde", "theobromine")),
+    "coffee-furan": (35, ("furfurylthiol", "kahweofuran", "pyridine")),
+    "honey-aromatic": (30, ("phenylacetic acid", "methyl phenylacetate", "beta-damascenone")),
+    "ferment-acid": (45, ("lactic acid", "acetic acid", "ethyl lactate", "propionic acid")),
+    "alcohol-ester": (50, ("ethanol", "ethyl acetate", "isoamyl alcohol", "ethyl caprylate")),
+    "legume-green": (35, ("2-isopropyl-3-methoxypyrazine", "hexanol", "beany aldehyde")),
+    "cereal-lipid": (40, ("nonanal", "decanal", "2-pentylfuran", "linoleic acid")),
+    "commons": (80, ("acetaldehyde", "acetone", "butanol", "propanal", "methanol", "formic acid")),
+}
+
+#: Family holding molecules shared broadly across ingredients of all kinds.
+COMMONS_FAMILY = "commons"
+
+
+def build_universe() -> tuple[FlavorMolecule, ...]:
+    """Construct the full molecule roster, ids assigned contiguously.
+
+    Molecules of one family occupy one contiguous id block, which lets
+    profile synthesis sample families with simple integer ranges.
+    """
+    molecules: list[FlavorMolecule] = []
+    next_id = 0
+    for family, (count, seeds) in FLAVOR_FAMILIES.items():
+        if len(seeds) > count:
+            raise ValueError(
+                f"family {family!r} declares more seeds than molecules"
+            )
+        for index in range(count):
+            if index < len(seeds):
+                name = seeds[index]
+            else:
+                name = f"{family} compound {index + 1:03d}"
+            molecules.append(FlavorMolecule(next_id, name, family))
+            next_id += 1
+    return tuple(molecules)
+
+
+def family_blocks() -> dict[str, range]:
+    """Map each family to its contiguous molecule-id range."""
+    blocks: dict[str, range] = {}
+    start = 0
+    for family, (count, _seeds) in FLAVOR_FAMILIES.items():
+        blocks[family] = range(start, start + count)
+        start += count
+    return blocks
+
+
+def total_molecules() -> int:
+    """Total number of molecules in the universe."""
+    return sum(count for count, _seeds in FLAVOR_FAMILIES.values())

@@ -1,0 +1,32 @@
+"""Food-design applications: novel recipe synthesis and recipe tweaking.
+
+The applications the paper's abstract motivates, built on the pairing
+machinery: :class:`RecipeDesigner` grows novel in-style recipes from a
+cuisine's culinary fingerprint; :class:`RecipeTweaker` proposes minimal
+edits that move an existing recipe toward the cuisine's character.
+"""
+
+from .classifier import (
+    CuisineClassifier,
+    CuisinePrediction,
+    train_test_split,
+)
+from .designer import (
+    MAX_OVERLAP_FRACTION,
+    STYLE_WEIGHT,
+    RecipeDesigner,
+    RecipeProposal,
+)
+from .tweaks import RecipeTweaker, SwapSuggestion
+
+__all__ = [
+    "CuisineClassifier",
+    "CuisinePrediction",
+    "train_test_split",
+    "MAX_OVERLAP_FRACTION",
+    "STYLE_WEIGHT",
+    "RecipeDesigner",
+    "RecipeProposal",
+    "RecipeTweaker",
+    "SwapSuggestion",
+]

@@ -1,0 +1,59 @@
+"""Food-pairing analysis: the paper's primary contribution.
+
+The N_s pairing score, cuisine means, the four randomised null models
+(uniform-random, frequency-, category-, frequency+category-preserving),
+Z-score significance, and leave-one-out ingredient contributions.
+"""
+
+from .contribution import (
+    IngredientContribution,
+    ingredient_contributions,
+    top_contributors,
+    verify_contribution,
+)
+from .models import (
+    DEFAULT_CHUNK,
+    NullModel,
+    naive_sample_model_scores,
+    sample_model_recipes,
+    sample_model_scores,
+)
+from .score import (
+    batch_scores,
+    cuisine_mean_score,
+    food_pairing_score,
+    recipe_score_from_matrix,
+    scores_from_view,
+)
+from .views import CuisineView, build_cuisine_view
+from .zscore import (
+    PAPER_SAMPLE_COUNT,
+    CuisinePairingResult,
+    ModelComparison,
+    analyze_cuisine,
+    compare_to_model,
+)
+
+__all__ = [
+    "IngredientContribution",
+    "ingredient_contributions",
+    "top_contributors",
+    "verify_contribution",
+    "DEFAULT_CHUNK",
+    "NullModel",
+    "naive_sample_model_scores",
+    "sample_model_recipes",
+    "sample_model_scores",
+    "batch_scores",
+    "cuisine_mean_score",
+    "food_pairing_score",
+    "recipe_score_from_matrix",
+    "scores_from_view",
+    "CuisineView",
+    "build_cuisine_view",
+    "PAPER_SAMPLE_COUNT",
+    "CuisinePairingResult",
+    "ModelComparison",
+    "analyze_cuisine",
+    "compare_to_model",
+]

@@ -1,0 +1,288 @@
+"""The four randomised-cuisine null models (Section IV.B).
+
+Every model preserves the cuisine's exact ingredient set and its recipe
+size distribution (each random recipe copies the size — and for the
+category models, the category composition — of a uniformly chosen real
+"template" recipe):
+
+* ``RANDOM`` — ingredients drawn uniformly from the cuisine's set,
+* ``FREQUENCY`` — drawn with probability proportional to their frequency
+  of use in the real cuisine,
+* ``CATEGORY`` — the template's category composition is preserved;
+  ingredients drawn uniformly within each category,
+* ``FREQUENCY_CATEGORY`` — category composition preserved and ingredients
+  drawn frequency-weighted within each category.
+
+Sampling is vectorised with the Gumbel top-k trick: drawing ``m`` items
+without replacement with weights ``w`` is equivalent to taking the top-m
+of ``log w + Gumbel noise``, which turns per-recipe rejection loops into
+dense numpy operations. ``bench_ablation_sampler`` measures the win over
+the naive loop.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..datamodel import ConfigurationError
+from .score import batch_scores
+from .views import CuisineView
+
+#: Samples per chunk; bounds peak memory at ~chunk * ingredient_count floats.
+DEFAULT_CHUNK = 8192
+
+
+class NullModel(enum.Enum):
+    """The paper's four randomised-cuisine models."""
+
+    RANDOM = "random"
+    FREQUENCY = "frequency"
+    CATEGORY = "category"
+    FREQUENCY_CATEGORY = "frequency_category"
+
+    @property
+    def preserves_frequency(self) -> bool:
+        return self in (NullModel.FREQUENCY, NullModel.FREQUENCY_CATEGORY)
+
+    @property
+    def preserves_category(self) -> bool:
+        return self in (NullModel.CATEGORY, NullModel.FREQUENCY_CATEGORY)
+
+
+def sample_model_scores(
+    view: CuisineView,
+    model: NullModel,
+    n_samples: int,
+    rng: np.random.Generator,
+    chunk: int = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """N_s scores of ``n_samples`` random recipes under ``model``.
+
+    Args:
+        view: the cuisine being randomised.
+        model: which null model to draw from.
+        n_samples: number of random recipes (the paper uses 100,000).
+        rng: random generator (callers own seeding).
+        chunk: batch size for the vectorised sampler.
+
+    Returns:
+        ``(n_samples,)`` array of food-pairing scores.
+    """
+    if n_samples <= 0:
+        raise ConfigurationError("n_samples must be positive")
+    scores = np.empty(n_samples, dtype=np.float64)
+    position = 0
+    while position < n_samples:
+        take = min(chunk, n_samples - position)
+        batch = sample_model_recipes(view, model, take, rng)
+        scores[position : position + take] = _score_ragged(view, batch)
+        position += take
+    return scores
+
+
+def sample_model_recipes(
+    view: CuisineView,
+    model: NullModel,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Draw ``n_samples`` random recipes (local-index arrays)."""
+    templates = rng.integers(0, view.recipe_count, size=n_samples)
+    if model.preserves_category:
+        return _sample_category_preserving(view, model, templates, rng)
+    return _sample_size_preserving(view, model, templates, rng)
+
+
+# ---------------------------------------------------------------------------
+# size-preserving models (RANDOM, FREQUENCY)
+# ---------------------------------------------------------------------------
+
+
+def _sample_size_preserving(
+    view: CuisineView,
+    model: NullModel,
+    templates: np.ndarray,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    sizes = view.recipe_sizes()[templates]
+    weights = (
+        view.frequencies if model.preserves_frequency else None
+    )
+    log_weights = _log_weights(weights, view.ingredient_count)
+    out: list[np.ndarray | None] = [None] * len(templates)
+    for size in np.unique(sizes):
+        rows = np.flatnonzero(sizes == size)
+        picks = _gumbel_top_m(
+            log_weights[None, :], len(rows), int(size), rng
+        )
+        for row, pick in zip(rows, picks):
+            out[int(row)] = pick
+    return [recipe for recipe in out if recipe is not None]
+
+
+# ---------------------------------------------------------------------------
+# category-preserving models (CATEGORY, FREQUENCY_CATEGORY)
+# ---------------------------------------------------------------------------
+
+
+def _sample_category_preserving(
+    view: CuisineView,
+    model: NullModel,
+    templates: np.ndarray,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    pools = view.category_pools()
+    category_order = sorted(pools)
+    category_index = {name: i for i, name in enumerate(category_order)}
+
+    # Per-template category counts and in-recipe offsets (canonical order).
+    template_specs = _template_specs(view, category_index)
+
+    sizes = view.recipe_sizes()[templates]
+    max_size = int(sizes.max())
+    out = np.full((len(templates), max_size), -1, dtype=np.int64)
+
+    # Group (sample, category, count, offset) tuples by (category, count):
+    # each group is one vectorised Gumbel draw.
+    groups: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
+    for sample, template in enumerate(templates):
+        for cat_id, count, offset in template_specs[int(template)]:
+            rows, offsets = groups.setdefault((cat_id, count), ([], []))
+            rows.append(sample)
+            offsets.append(offset)
+
+    weights = view.frequencies if model.preserves_frequency else None
+    for (cat_id, count), (rows, offsets) in groups.items():
+        pool = pools[category_order[cat_id]]
+        pool_weights = None if weights is None else weights[pool]
+        log_weights = _log_weights(pool_weights, len(pool))
+        picks = _gumbel_top_m(log_weights[None, :], len(rows), count, rng)
+        rows_arr = np.asarray(rows)[:, None]
+        cols = np.asarray(offsets)[:, None] + np.arange(count)[None, :]
+        out[rows_arr, cols] = pool[picks]
+
+    return [out[sample, : sizes[sample]] for sample in range(len(templates))]
+
+
+def _template_specs(
+    view: CuisineView, category_index: dict[str, int]
+) -> list[list[tuple[int, int, int]]]:
+    """Per recipe: (category id, count, output offset) in canonical order."""
+    specs: list[list[tuple[int, int, int]]] = []
+    for recipe in view.recipes:
+        counts: dict[int, int] = {}
+        for local in recipe:
+            cat_id = category_index[view.categories[int(local)]]
+            counts[cat_id] = counts.get(cat_id, 0) + 1
+        offset = 0
+        spec: list[tuple[int, int, int]] = []
+        for cat_id in sorted(counts):
+            spec.append((cat_id, counts[cat_id], offset))
+            offset += counts[cat_id]
+        specs.append(spec)
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# sampling primitives
+# ---------------------------------------------------------------------------
+
+
+def _log_weights(weights: np.ndarray | None, count: int) -> np.ndarray:
+    if weights is None:
+        return np.zeros(count, dtype=np.float64)
+    if len(weights) != count or np.any(weights <= 0):
+        raise ConfigurationError("weights must be positive and aligned")
+    return np.log(weights)
+
+
+def _gumbel_top_m(
+    log_weights: np.ndarray, k: int, m: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``m`` items without replacement, ``k`` times, weights shared.
+
+    Args:
+        log_weights: ``(1, P)`` log-weight row.
+        k: number of independent draws (rows).
+        m: items per draw.
+
+    Returns:
+        ``(k, m)`` integer array of item indices.
+    """
+    pool_size = log_weights.shape[1]
+    if m > pool_size:
+        raise ConfigurationError(
+            f"cannot draw {m} distinct items from a pool of {pool_size}"
+        )
+    noise = rng.gumbel(size=(k, pool_size))
+    keys = log_weights + noise
+    if m == pool_size:
+        return np.tile(np.arange(pool_size), (k, 1))
+    return np.argpartition(keys, -m, axis=1)[:, -m:]
+
+
+def _score_ragged(
+    view: CuisineView, recipes: list[np.ndarray]
+) -> np.ndarray:
+    """Score a ragged batch by grouping equal-size recipes."""
+    sizes = np.asarray([len(recipe) for recipe in recipes])
+    scores = np.empty(len(recipes), dtype=np.float64)
+    for size in np.unique(sizes):
+        rows = np.flatnonzero(sizes == size)
+        stacked = np.stack([recipes[int(row)] for row in rows])
+        scores[rows] = batch_scores(view.overlap, stacked)
+    return scores
+
+
+def naive_sample_model_scores(
+    view: CuisineView,
+    model: NullModel,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Reference per-recipe-loop sampler (ablation baseline).
+
+    Produces draws from the same distributions as
+    :func:`sample_model_scores` via ``rng.choice`` per recipe; kept for the
+    ``bench_ablation_sampler`` benchmark and cross-validation tests.
+    """
+    sizes = view.recipe_sizes()
+    pools = view.category_pools()
+    scores = np.empty(n_samples, dtype=np.float64)
+    frequencies = view.frequencies
+    for sample in range(n_samples):
+        template = int(rng.integers(0, view.recipe_count))
+        if model.preserves_category:
+            picks: list[int] = []
+            recipe = view.recipes[template]
+            counts: dict[str, int] = {}
+            for local in recipe:
+                category = view.categories[int(local)]
+                counts[category] = counts.get(category, 0) + 1
+            for category in sorted(counts):
+                pool = pools[category]
+                if model.preserves_frequency:
+                    weights = frequencies[pool]
+                    weights = weights / weights.sum()
+                else:
+                    weights = None
+                chosen = rng.choice(
+                    pool, size=counts[category], replace=False, p=weights
+                )
+                picks.extend(int(c) for c in chosen)
+            indices = np.asarray(picks)
+        else:
+            size = int(sizes[template])
+            if model.preserves_frequency:
+                weights = frequencies / frequencies.sum()
+            else:
+                weights = None
+            indices = rng.choice(
+                view.ingredient_count, size=size, replace=False, p=weights
+            )
+        n = len(indices)
+        block = view.overlap[np.ix_(indices, indices)]
+        scores[sample] = block.sum() / (n * (n - 1))
+    return scores

@@ -1,0 +1,96 @@
+"""The food-pairing score N_s (Section IV.B of the paper).
+
+For a recipe R with n ingredients and flavor profiles F_i::
+
+    N_s(R) = (2 / (n * (n - 1))) * sum_{i < j} |F_i ∩ F_j|
+
+i.e. the mean number of flavor molecules shared by an ingredient pair of
+the recipe. A cuisine's food pairing is the average of N_s over its
+recipes. Two implementations are provided:
+
+* :func:`food_pairing_score` — set-based, straight off the ingredient
+  objects; the readable reference implementation.
+* :func:`scores_from_view` / :func:`batch_scores` — matrix-based, used by
+  the analyses and null models (``bench_ablation_overlap_backend``
+  quantifies the difference).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..datamodel import Ingredient, ValidationError
+from .views import CuisineView
+
+
+def food_pairing_score(ingredients: Sequence[Ingredient]) -> float:
+    """N_s of a recipe given its ingredient objects.
+
+    Ingredients without flavor profiles are excluded first; the score is
+    over the remaining pairable ingredients.
+
+    Raises:
+        ValidationError: when fewer than two pairable ingredients remain.
+    """
+    pairable = [
+        ingredient for ingredient in ingredients if ingredient.has_flavor_profile
+    ]
+    n = len(pairable)
+    if n < 2:
+        raise ValidationError(
+            "food pairing needs at least two ingredients with flavor profiles"
+        )
+    shared = 0
+    for i in range(n):
+        profile_i = pairable[i].flavor_profile
+        for j in range(i + 1, n):
+            shared += len(profile_i & pairable[j].flavor_profile)
+    return 2.0 * shared / (n * (n - 1))
+
+
+def recipe_score_from_matrix(
+    overlap: np.ndarray, indices: np.ndarray
+) -> float:
+    """N_s of one recipe given a cuisine overlap matrix and local indices."""
+    n = len(indices)
+    if n < 2:
+        raise ValidationError("recipe has fewer than two pairable ingredients")
+    block = overlap[np.ix_(indices, indices)]
+    return float(block.sum()) / (n * (n - 1))
+
+
+def scores_from_view(view: CuisineView) -> np.ndarray:
+    """N_s for every recipe of a cuisine view."""
+    return np.asarray(
+        [
+            recipe_score_from_matrix(view.overlap, recipe)
+            for recipe in view.recipes
+        ],
+        dtype=np.float64,
+    )
+
+
+def cuisine_mean_score(view: CuisineView) -> float:
+    """The cuisine's average flavor sharing <N_s> (Section IV.B)."""
+    return float(scores_from_view(view).mean())
+
+
+def batch_scores(
+    overlap: np.ndarray, batch: np.ndarray
+) -> np.ndarray:
+    """N_s for a batch of same-size recipes.
+
+    Args:
+        overlap: cuisine overlap matrix.
+        batch: ``(k, n)`` array of local indices, one recipe per row.
+
+    Returns:
+        ``(k,)`` array of scores.
+    """
+    k, n = batch.shape
+    if n < 2:
+        raise ValidationError("batch recipes need at least two ingredients")
+    blocks = overlap[batch[:, :, None], batch[:, None, :]]
+    return blocks.sum(axis=(1, 2)) / (n * (n - 1))

@@ -1,0 +1,134 @@
+"""Numeric cuisine views: recipes as index arrays over a pantry.
+
+The pairing analyses are all built on the same numeric representation of a
+cuisine, prepared once by :class:`CuisineView`:
+
+* the cuisine's *pairable* ingredients (non-empty flavor profiles; the
+  paper's four profile-free additives are excluded from scoring),
+* a dense pairwise overlap matrix |F_i ∩ F_j| over those ingredients,
+* each recipe as an ``int`` array of local indices,
+* ingredient usage frequencies and category labels, which the null models
+  preserve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+import numpy as np
+
+from ..datamodel import Cuisine, Ingredient, ValidationError
+from ..flavordb import IngredientCatalog
+
+
+@dataclasses.dataclass(frozen=True)
+class CuisineView:
+    """Numeric representation of one cuisine, ready for analysis.
+
+    Attributes:
+        region_code: the cuisine's region.
+        ingredients: pairable ingredients used by the cuisine (local index
+            order).
+        overlap: dense symmetric |F_i ∩ F_j| matrix, diagonal zero.
+        recipes: local-index arrays, one per recipe with >= 2 pairable
+            ingredients (others cannot contribute a pair).
+        frequencies: recipe-usage count per local ingredient.
+        categories: category name per local ingredient.
+    """
+
+    region_code: str
+    ingredients: tuple[Ingredient, ...]
+    overlap: np.ndarray
+    recipes: tuple[np.ndarray, ...]
+    frequencies: np.ndarray
+    categories: tuple[str, ...]
+
+    @property
+    def ingredient_count(self) -> int:
+        return len(self.ingredients)
+
+    @property
+    def recipe_count(self) -> int:
+        return len(self.recipes)
+
+    def recipe_sizes(self) -> np.ndarray:
+        return np.asarray([len(recipe) for recipe in self.recipes], np.int64)
+
+    def category_pools(self) -> dict[str, np.ndarray]:
+        """Local indices per category (for the category-preserving models)."""
+        pools: dict[str, list[int]] = {}
+        for index, category in enumerate(self.categories):
+            pools.setdefault(category, []).append(index)
+        return {
+            category: np.asarray(indices, dtype=np.int64)
+            for category, indices in pools.items()
+        }
+
+
+def build_cuisine_view(
+    cuisine: Cuisine, catalog: IngredientCatalog
+) -> CuisineView:
+    """Prepare the numeric view of a cuisine.
+
+    Raises:
+        ValidationError: if no recipe has two or more pairable ingredients.
+    """
+    pairable_ids = sorted(
+        ingredient_id
+        for ingredient_id in cuisine.ingredient_ids
+        if catalog.by_id(ingredient_id).has_flavor_profile
+    )
+    local_index = {
+        ingredient_id: index for index, ingredient_id in enumerate(pairable_ids)
+    }
+    ingredients = tuple(
+        catalog.by_id(ingredient_id) for ingredient_id in pairable_ids
+    )
+
+    overlap = _overlap_matrix(ingredients)
+
+    recipes: list[np.ndarray] = []
+    usage = Counter[int]()
+    for recipe in cuisine:
+        local = sorted(
+            local_index[ingredient_id]
+            for ingredient_id in recipe.ingredient_ids
+            if ingredient_id in local_index
+        )
+        usage.update(local)
+        if len(local) >= 2:
+            recipes.append(np.asarray(local, dtype=np.int64))
+    if not recipes:
+        raise ValidationError(
+            f"cuisine {cuisine.region_code!r} has no pairable recipes"
+        )
+
+    frequencies = np.zeros(len(ingredients), dtype=np.float64)
+    for index, count in usage.items():
+        frequencies[index] = count
+
+    return CuisineView(
+        region_code=cuisine.region_code,
+        ingredients=ingredients,
+        overlap=overlap,
+        recipes=tuple(recipes),
+        frequencies=frequencies,
+        categories=tuple(
+            ingredient.category.value for ingredient in ingredients
+        ),
+    )
+
+
+def _overlap_matrix(ingredients: tuple[Ingredient, ...]) -> np.ndarray:
+    if not ingredients:
+        return np.zeros((0, 0), dtype=np.float64)
+    max_molecule = max(
+        max(ingredient.flavor_profile) for ingredient in ingredients
+    )
+    membership = np.zeros((len(ingredients), max_molecule + 1), np.float32)
+    for row, ingredient in enumerate(ingredients):
+        membership[row, list(ingredient.flavor_profile)] = 1.0
+    matrix = (membership @ membership.T).astype(np.float64)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix

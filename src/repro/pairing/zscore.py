@@ -1,0 +1,148 @@
+"""Z-score analysis of cuisine food pairing against the null models.
+
+Implements the paper's statistic literally: with ``<N_s>`` the cuisine
+mean pairing score, ``<N_s>_rand`` and ``sigma_rand`` the mean and standard
+deviation of the pairing score over ``N`` random recipes (100,000 in the
+paper)::
+
+    Z = (<N_s> - <N_s>_rand) / (sigma_rand / sqrt(N))
+
+Positive Z = uniform food pairing (similar-flavor blending), negative Z =
+contrasting food pairing. The effect size in plain sigma units
+(``(mean - rand_mean) / sigma``) is reported alongside, since Z scales
+with ``sqrt(N)`` by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..datamodel import Cuisine
+from ..flavordb import IngredientCatalog, stable_seed
+from .models import NullModel, sample_model_scores
+from .score import cuisine_mean_score
+from .views import CuisineView, build_cuisine_view
+
+#: Random recipes per model, as in the paper.
+PAPER_SAMPLE_COUNT = 100_000
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ModelComparison:
+    """Comparison of a cuisine against one null model."""
+
+    model: NullModel
+    cuisine_mean: float
+    random_mean: float
+    random_std: float
+    n_samples: int
+    z_score: float
+    effect_size: float  # (cuisine_mean - random_mean) / random_std
+
+    @property
+    def direction(self) -> str:
+        """``"uniform"``, ``"contrasting"`` or ``"neutral"``."""
+        if self.z_score > 0:
+            return "uniform"
+        if self.z_score < 0:
+            return "contrasting"
+        return "neutral"
+
+
+@dataclasses.dataclass(frozen=True)
+class CuisinePairingResult:
+    """Full pairing analysis of one cuisine (all four models)."""
+
+    region_code: str
+    cuisine_mean: float
+    recipe_count: int
+    ingredient_count: int
+    comparisons: dict[NullModel, ModelComparison]
+
+    def z(self, model: NullModel = NullModel.RANDOM) -> float:
+        return self.comparisons[model].z_score
+
+    @property
+    def direction(self) -> str:
+        """Pairing character relative to the uniform-random model."""
+        return self.comparisons[NullModel.RANDOM].direction
+
+
+def compare_to_model(
+    view: CuisineView,
+    model: NullModel,
+    n_samples: int = PAPER_SAMPLE_COUNT,
+    rng: np.random.Generator | None = None,
+) -> ModelComparison:
+    """Compare one cuisine view against one null model."""
+    if rng is None:
+        rng = np.random.Generator(
+            np.random.PCG64(
+                stable_seed("null-model", view.region_code, model.value)
+            )
+        )
+    cuisine_mean = cuisine_mean_score(view)
+    random_scores = sample_model_scores(view, model, n_samples, rng)
+    random_mean = float(random_scores.mean())
+    random_std = float(random_scores.std(ddof=1))
+    if random_std == 0.0:
+        z_score = 0.0
+        effect = 0.0
+    else:
+        z_score = (cuisine_mean - random_mean) / (
+            random_std / math.sqrt(n_samples)
+        )
+        effect = (cuisine_mean - random_mean) / random_std
+    return ModelComparison(
+        model=model,
+        cuisine_mean=cuisine_mean,
+        random_mean=random_mean,
+        random_std=random_std,
+        n_samples=n_samples,
+        z_score=z_score,
+        effect_size=effect,
+    )
+
+
+def analyze_cuisine(
+    cuisine: Cuisine,
+    catalog: IngredientCatalog,
+    models: tuple[NullModel, ...] = tuple(NullModel),
+    n_samples: int = PAPER_SAMPLE_COUNT,
+    seed: int | None = None,
+) -> CuisinePairingResult:
+    """Run the full food-pairing analysis for one cuisine.
+
+    Args:
+        cuisine: the cuisine's resolved recipes.
+        catalog: the ingredient catalog (flavor profiles).
+        models: which null models to evaluate (all four by default).
+        n_samples: random recipes per model.
+        seed: extra seed mixed into the per-model generators; ``None``
+            uses the deterministic default.
+    """
+    view = build_cuisine_view(cuisine, catalog)
+    comparisons: dict[NullModel, ModelComparison] = {}
+    for model in models:
+        rng = np.random.Generator(
+            np.random.PCG64(
+                stable_seed(
+                    "null-model",
+                    view.region_code,
+                    model.value,
+                    str(seed) if seed is not None else "default",
+                )
+            )
+        )
+        comparisons[model] = compare_to_model(view, model, n_samples, rng)
+    any_comparison = next(iter(comparisons.values()))
+    return CuisinePairingResult(
+        region_code=cuisine.region_code,
+        cuisine_mean=any_comparison.cuisine_mean,
+        recipe_count=len(cuisine),
+        ingredient_count=len(cuisine.ingredient_ids),
+        comparisons=comparisons,
+    )

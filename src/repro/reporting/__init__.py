@@ -1,0 +1,24 @@
+"""Plain-text reporting and CSV serialisation for experiment output."""
+
+from .serialize import (
+    export_fig2,
+    export_fig3a,
+    export_fig3b,
+    export_fig4,
+    export_fig5,
+    write_csv,
+)
+from .tables import format_cell, render_dict_table, render_heatmap, render_table
+
+__all__ = [
+    "export_fig2",
+    "export_fig3a",
+    "export_fig3b",
+    "export_fig4",
+    "export_fig5",
+    "write_csv",
+    "format_cell",
+    "render_dict_table",
+    "render_heatmap",
+    "render_table",
+]

@@ -1,0 +1,134 @@
+"""Serialise experiment figure data to CSV for external plotting.
+
+The harness prints text tables; these helpers additionally write the raw
+series behind each figure (histograms, rank curves, heat-map matrices,
+Z-score tables) as plain CSV so any plotting tool can regenerate the
+paper's visuals.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> Path:
+    """Write one CSV file (parent directories created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return target
+
+
+def export_fig3a(result, directory: str | Path) -> Path:
+    """Recipe-size distributions: one row per (region, size)."""
+    rows = []
+    for code, distribution in sorted(result.distributions.items()):
+        for size, probability, cumulative in zip(
+            distribution.sizes,
+            distribution.probability,
+            distribution.cumulative,
+        ):
+            rows.append([code, int(size), float(probability), float(cumulative)])
+    for size, probability, cumulative in zip(
+        result.world.sizes, result.world.probability, result.world.cumulative
+    ):
+        rows.append(["WORLD", int(size), float(probability), float(cumulative)])
+    return write_csv(
+        Path(directory) / "fig3a_size_distribution.csv",
+        ["region", "size", "probability", "cumulative"],
+        rows,
+    )
+
+
+def export_fig3b(result, directory: str | Path) -> Path:
+    """Popularity curves: one row per (region, rank)."""
+    rows = []
+    for code, curve in sorted(result.curves.items()):
+        for rank, (name, count, normalized, share) in enumerate(
+            zip(
+                curve.names,
+                curve.counts,
+                curve.normalized,
+                curve.cumulative_share,
+            ),
+            start=1,
+        ):
+            rows.append(
+                [code, rank, name, int(count), float(normalized), float(share)]
+            )
+    return write_csv(
+        Path(directory) / "fig3b_popularity.csv",
+        ["region", "rank", "ingredient", "count", "normalized", "cumulative_share"],
+        rows,
+    )
+
+
+def export_fig2(result, directory: str | Path) -> Path:
+    """Category shares matrix: one row per (region, category)."""
+    rows = []
+    for row_index, label in enumerate(result.row_labels):
+        for column_index, category in enumerate(result.column_labels):
+            rows.append(
+                [label, category, float(result.shares[row_index, column_index])]
+            )
+    return write_csv(
+        Path(directory) / "fig2_category_shares.csv",
+        ["region", "category", "share"],
+        rows,
+    )
+
+
+def export_fig4(result, directory: str | Path) -> Path:
+    """Z-score table: one row per region."""
+    rows = [
+        [
+            row.code,
+            row.expected.value,
+            row.z_random,
+            row.z_frequency,
+            row.z_category,
+            row.z_frequency_category,
+            row.effect_size,
+        ]
+        for row in sorted(result.rows, key=lambda item: -item.z_random)
+    ]
+    return write_csv(
+        Path(directory) / "fig4_zscores.csv",
+        [
+            "region", "paper_direction", "z_random", "z_frequency",
+            "z_category", "z_frequency_category", "effect_size",
+        ],
+        rows,
+    )
+
+
+def export_fig5(result, directory: str | Path) -> Path:
+    """Top contributors: one row per (region, contributor rank)."""
+    rows = []
+    for region_row in result.rows:
+        for rank, contribution in enumerate(region_row.top, start=1):
+            rows.append(
+                [
+                    region_row.code,
+                    region_row.pairing.value,
+                    rank,
+                    contribution.ingredient_name,
+                    contribution.usage,
+                    contribution.chi_percent,
+                ]
+            )
+    return write_csv(
+        Path(directory) / "fig5_contributors.csv",
+        ["region", "pairing", "rank", "ingredient", "usage", "chi_percent"],
+        rows,
+    )

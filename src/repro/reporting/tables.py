@@ -1,0 +1,77 @@
+"""Plain-text table rendering for experiment output.
+
+Small, dependency-free renderers producing the aligned ASCII tables the
+benchmark harness prints (and EXPERIMENTS.md embeds).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+def format_cell(value: Any) -> str:
+    """Human formatting: floats to 3 significant-ish decimals, rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    cells = [[format_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(
+            header.ljust(widths[index])
+            for index, header in enumerate(headers)
+        ),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[index]) for index, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_dict_table(
+    rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = None
+) -> str:
+    """Render dict rows; columns default to the first row's key order."""
+    if not rows:
+        return "(empty)"
+    if columns is None:
+        columns = list(rows[0])
+    return render_table(
+        columns, [[row.get(column) for column in columns] for row in rows]
+    )
+
+
+def render_heatmap(
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    values,
+    scale: float = 100.0,
+) -> str:
+    """Render a matrix (e.g. Fig 2 category shares) as a numeric grid."""
+    headers = ["", *column_labels]
+    rows = []
+    for label, row in zip(row_labels, values):
+        rows.append([label, *[float(value) * scale for value in row]])
+    return render_table(headers, rows)

@@ -1,0 +1,39 @@
+"""Shared fixtures.
+
+Expensive artefacts (catalog, aliasing pipeline, a reduced-scale corpus
+workspace) are session-scoped: they are deterministic, so sharing them
+across tests changes nothing but the runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aliasing import AliasingPipeline
+from repro.experiments import build_workspace
+from repro.flavordb import default_catalog
+
+#: Scale used by corpus-level tests: large enough that regional structure
+#: (not coverage enforcement) dominates, small enough to build in seconds.
+WORKSPACE_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def pipeline(catalog):
+    return AliasingPipeline(catalog)
+
+
+@pytest.fixture(scope="session")
+def workspace():
+    return build_workspace(recipe_scale=WORKSPACE_SCALE)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

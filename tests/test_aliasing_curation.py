@@ -1,0 +1,88 @@
+"""Tests for the manual-curation workflow."""
+
+import pytest
+
+from repro.aliasing import AliasingPipeline, CurationSession, MatchKind
+from repro.datamodel import LookupFailure, RawRecipe
+
+
+@pytest.fixture()
+def session(catalog):
+    return CurationSession(AliasingPipeline(catalog))
+
+
+def raw(recipe_id, *phrases):
+    return RawRecipe(
+        recipe_id, f"R{recipe_id}", "AllRecipes", "ITA", tuple(phrases)
+    )
+
+
+class TestQueue:
+    def test_queue_requires_resolve(self, session):
+        with pytest.raises(LookupFailure):
+            session.queue()
+
+    def test_queue_surfaces_frequent_unmatched_ngrams(self, session):
+        session.resolve(
+            [
+                raw(1, "2 portobello caps", "1 tomato"),
+                raw(2, "3 portobello caps, sliced"),
+                raw(3, "one-off mystery stuff"),
+            ]
+        )
+        surfaces = [c.surface for c in session.queue(10)]
+        assert "portobello cap" in surfaces
+        top = session.queue(1)[0]
+        assert top.occurrences == 2
+
+
+class TestRegisterAlias:
+    def test_alias_resolves_after_registration(self, session):
+        session.resolve([raw(1, "2 portobello caps")])
+        assert session.exact_rate() == 0.0
+        session.register_alias("portobello cap", "portobello mushroom")
+        result = session.reresolve()
+        assert result.report.exact_rate() == 1.0
+        recipe = result.recipes[0]
+        names = {
+            session.pipeline.catalog.by_id(i).name
+            for i in recipe.ingredient_ids
+        }
+        assert names == {"portobello mushroom"}
+
+    def test_alias_normalised_on_registration(self, session):
+        session.resolve([raw(1, "Portobello CAPS, thickly sliced")])
+        session.register_alias("Portobello Caps", "portobello mushroom")
+        result = session.reresolve()
+        assert result.report.exact_rate() == 1.0
+
+    def test_unknown_canonical_rejected(self, session):
+        session.resolve([raw(1, "2 tomatoes")])
+        with pytest.raises(LookupFailure):
+            session.register_alias("thing", "unobtainium")
+
+    def test_empty_surface_rejected(self, session):
+        session.resolve([raw(1, "2 tomatoes")])
+        with pytest.raises(LookupFailure):
+            session.register_alias("2 cups of", "tomato")
+
+    def test_canonical_names_not_overwritten(self, session):
+        session.resolve([raw(1, "1 tomato")])
+        session.register_alias("tomato", "basil")  # ignored: key exists
+        resolution = session.pipeline.resolve_phrase("tomato")
+        assert resolution.ingredients[0].name == "tomato"
+
+    def test_export_aliases(self, session):
+        session.resolve([raw(1, "2 portobello caps")])
+        session.register_alias("portobello cap", "portobello mushroom")
+        assert session.export_aliases() == {
+            "portobello cap": "portobello mushroom"
+        }
+
+
+class TestUnresolvedPhrases:
+    def test_lists_non_exact_resolutions(self, session):
+        session.resolve([raw(1, "2 tomatoes", "weird gadget")])
+        unresolved = session.unresolved_phrases()
+        assert len(unresolved) == 1
+        assert unresolved[0].kind is MatchKind.UNRECOGNIZED

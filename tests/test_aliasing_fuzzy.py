@@ -1,0 +1,135 @@
+"""Tests for typo-tolerant token correction."""
+
+import pytest
+
+from repro.aliasing import (
+    AliasingPipeline,
+    MatchKind,
+    TokenCorrector,
+    damerau_levenshtein_within_one,
+    vocabulary_from_names,
+)
+
+
+class TestDistancePredicate:
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("tomato", "tomato"),  # identical
+            ("tomato", "tomatoe"),  # insertion
+            ("tomato", "tomto"),  # deletion
+            ("tomato", "tomago"),  # substitution
+            ("tomato", "otmato"),  # adjacent transposition
+        ],
+    )
+    def test_within_one(self, left, right):
+        assert damerau_levenshtein_within_one(left, right)
+        assert damerau_levenshtein_within_one(right, left)
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("tomato", "tomatoes"),  # two insertions
+            ("tomato", "potato"),  # two substitutions
+            ("tomato", "amotto"),  # non-adjacent swap + more
+            ("basil", "thyme"),
+        ],
+    )
+    def test_beyond_one(self, left, right):
+        assert not damerau_levenshtein_within_one(left, right)
+
+
+class TestTokenCorrector:
+    @pytest.fixture(scope="class")
+    def corrector(self):
+        return TokenCorrector(
+            ["tomato", "oregano", "mozzarella", "basil", "buttermilk"]
+        )
+
+    def test_single_edit_corrected(self, corrector):
+        assert corrector.correct("tomatoe") == "tomato"
+        assert corrector.correct("oregeno") == "oregano"
+        assert corrector.correct("mozzarela") == "mozzarella"
+
+    def test_transposition_corrected(self, corrector):
+        assert corrector.correct("otmato") == "tomato"
+
+    def test_known_token_not_corrected(self, corrector):
+        assert corrector.correct("tomato") is None
+
+    def test_distance_two_not_corrected(self, corrector):
+        assert corrector.correct("tomatoess") is None
+
+    def test_short_tokens_never_corrected(self):
+        corrector = TokenCorrector(["salt", "sage", "basil"])
+        # 4-letter vocabulary entries are excluded entirely.
+        assert corrector.correct("salf") is None
+
+    def test_ambiguous_corrections_refused(self):
+        corrector = TokenCorrector(["pears", "peart"])
+        # "peary" is within 1 of both pears and peart -> refuse.
+        assert corrector.candidates("peary") == {"pears", "peart"}
+        assert corrector.correct("peary") is None
+
+    def test_candidates(self, corrector):
+        assert corrector.candidates("tomatoe") == {"tomato"}
+        assert corrector.candidates("xyz") == set()
+
+
+class TestVocabulary:
+    def test_tokens_extracted_from_names(self):
+        vocabulary = vocabulary_from_names(["olive oil", "sun dried tomato"])
+        assert vocabulary == {"olive", "oil", "sun", "dried", "tomato"}
+
+
+class TestFuzzyPipeline:
+    @pytest.fixture(scope="class")
+    def fuzzy_pipeline(self, request):
+        catalog = request.getfixturevalue("catalog")
+        return AliasingPipeline(catalog, fuzzy=True)
+
+    @pytest.mark.parametrize(
+        "phrase,expected",
+        [
+            ("2 cups chopped tomatoe", "tomato"),
+            ("1 tbsp oregeno", "oregano"),
+            ("fresh mozzarela cheese", "mozzarella cheese"),
+            ("1 cup butermilk", "buttermilk"),
+        ],
+    )
+    def test_typos_recovered(self, fuzzy_pipeline, phrase, expected):
+        resolution = fuzzy_pipeline.resolve_phrase(phrase)
+        assert resolution.kind is MatchKind.EXACT
+        assert [i.name for i in resolution.ingredients] == [expected]
+
+    def test_exact_pipeline_leaves_typos_unresolved(self, pipeline):
+        resolution = pipeline.resolve_phrase("1 tbsp oregeno")
+        assert resolution.kind is MatchKind.UNRECOGNIZED
+
+    def test_clean_phrases_identical_results(self, fuzzy_pipeline, pipeline):
+        for phrase in (
+            "2 jalapeno peppers, roasted and slit",
+            "1/2 cup extra virgin olive oil",
+            "3 cloves garlic, minced",
+        ):
+            fuzzy = fuzzy_pipeline.resolve_phrase(phrase)
+            exact = pipeline.resolve_phrase(phrase)
+            assert fuzzy.ingredients == exact.ingredients
+            assert fuzzy.kind == exact.kind
+
+    def test_gibberish_stays_unrecognized(self, fuzzy_pipeline):
+        resolution = fuzzy_pipeline.resolve_phrase("qqqqzzzz flibberjab")
+        assert resolution.kind is MatchKind.UNRECOGNIZED
+
+    def test_correction_never_degrades_match(self, fuzzy_pipeline, pipeline):
+        """The fuzzy pass only replaces an outcome when it strictly
+        improves it, so results are never worse than the exact pipeline's."""
+        phrases = (
+            "unknownword tomato",
+            "chopped fresh bazil",
+            "lemon zests",
+        )
+        for phrase in phrases:
+            fuzzy = fuzzy_pipeline.resolve_phrase(phrase)
+            exact = pipeline.resolve_phrase(phrase)
+            assert len(fuzzy.ingredients) >= len(exact.ingredients)

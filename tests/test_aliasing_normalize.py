@@ -1,0 +1,103 @@
+"""Tests for phrase normalisation."""
+
+import pytest
+
+from repro.aliasing import (
+    basic_clean,
+    is_quantity_token,
+    normalize_phrase,
+    tokenize,
+)
+
+
+class TestBasicClean:
+    def test_lowercases(self):
+        assert basic_clean("Fresh BASIL") == "fresh basil"
+
+    def test_strips_punctuation(self):
+        assert basic_clean("tomatoes, diced (small)") == "tomatoes diced small"
+
+    def test_hyphens_become_spaces(self):
+        assert basic_clean("sun-dried tomato") == "sun dried tomato"
+
+    def test_unicode_accents_folded(self):
+        assert basic_clean("jalapeño purée") == "jalapeno puree"
+
+    def test_vulgar_fractions_normalised(self):
+        assert "1/2" in basic_clean("½ cup milk")
+
+    def test_fused_quantity_split(self):
+        assert basic_clean("250g salmon") == "250 g salmon"
+        assert basic_clean("1.5kg flour") == "1.5 kg flour"
+
+    def test_whitespace_collapsed(self):
+        assert basic_clean("  a   b  ") == "a b"
+
+
+class TestTokenize:
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   ,,, ") == []
+
+    def test_simple(self):
+        assert tokenize("2 cups flour") == ["2", "cups", "flour"]
+
+
+class TestQuantityToken:
+    @pytest.mark.parametrize(
+        "token", ["2", "12", "1/2", "2.5", "2-3", "½"]
+    )
+    def test_quantities(self, token):
+        assert is_quantity_token(token)
+
+    @pytest.mark.parametrize("token", ["cup", "g2x", "", "two"])
+    def test_non_quantities(self, token):
+        assert not is_quantity_token(token)
+
+
+class TestNormalizePhrase:
+    def test_paper_example(self):
+        # The exact example from Section IV.A of the paper.
+        assert normalize_phrase("2 jalapeno peppers, roasted and slit") == [
+            "jalapeno", "pepper",
+        ]
+
+    def test_units_removed(self):
+        assert normalize_phrase("2 cups whole milk") == ["whole", "milk"]
+
+    def test_parenthetical_can(self):
+        assert normalize_phrase(
+            "1 (14 ounce) can diced tomatoes, drained"
+        ) == ["tomato"]
+
+    def test_contextual_clove_of_garlic(self):
+        assert normalize_phrase("3 cloves garlic, minced") == ["garlic"]
+        assert normalize_phrase("2 cloves of garlic") == ["garlic"]
+
+    def test_clove_the_spice_is_kept(self):
+        # "ground" is a soft descriptor (it survives normalisation so
+        # names like "ground beef" can match) but "clove" is preserved
+        # because no garlic follows it.
+        assert normalize_phrase("1 tsp ground cloves") == ["ground", "clove"]
+
+    def test_head_of_cabbage(self):
+        assert normalize_phrase("1 head of cabbage, shredded") == ["cabbage"]
+
+    def test_ear_of_corn(self):
+        assert normalize_phrase("3 ears of corn") == ["corn"]
+
+    def test_measure_words_removed(self):
+        assert normalize_phrase("1 bunch cilantro") == ["cilantro"]
+
+    def test_stopwords_removed(self):
+        assert normalize_phrase("salt and pepper to taste") == [
+            "salt", "pepper",
+        ]
+
+    def test_singularisation_applied(self):
+        assert normalize_phrase("strawberries and blueberries") == [
+            "strawberry", "blueberry",
+        ]
+
+    def test_empty_phrase(self):
+        assert normalize_phrase("2 cups") == []

@@ -1,0 +1,145 @@
+"""Tests for the end-to-end aliasing pipeline."""
+
+import pytest
+
+from repro.aliasing import MatchKind, MatchReport
+from repro.datamodel import RawRecipe
+
+
+class TestResolvePhrase:
+    def test_exact_simple(self, pipeline):
+        resolution = pipeline.resolve_phrase("2 cups chopped tomatoes")
+        assert resolution.kind is MatchKind.EXACT
+        assert [i.name for i in resolution.ingredients] == ["tomato"]
+
+    def test_synonym_resolves_to_canonical(self, pipeline):
+        resolution = pipeline.resolve_phrase("2 tablespoons whisky")
+        assert [i.name for i in resolution.ingredients] == ["whiskey"]
+
+    def test_stopword_bearing_name(self, pipeline):
+        resolution = pipeline.resolve_phrase("1 can hearts of palm")
+        assert [i.name for i in resolution.ingredients] == ["hearts of palm"]
+
+    def test_multi_ingredient_phrase(self, pipeline):
+        resolution = pipeline.resolve_phrase("salt and pepper to taste")
+        names = {i.name for i in resolution.ingredients}
+        assert names == {"salt", "black pepper"}
+        assert resolution.kind is MatchKind.EXACT
+
+    def test_partial(self, pipeline):
+        resolution = pipeline.resolve_phrase("2 cups gravel and tomatoes")
+        assert resolution.kind is MatchKind.PARTIAL
+        assert "gravel" in resolution.leftover_tokens
+
+    def test_unrecognized(self, pipeline):
+        resolution = pipeline.resolve_phrase("3 scoops of moon dust")
+        assert resolution.kind is MatchKind.UNRECOGNIZED
+        assert resolution.ingredients == ()
+
+    def test_every_canonical_name_round_trips(self, pipeline):
+        failures = []
+        for ingredient in pipeline.catalog.ingredients:
+            resolution = pipeline.resolve_phrase(ingredient.name)
+            if (
+                resolution.kind is not MatchKind.EXACT
+                or len(resolution.ingredients) != 1
+                or resolution.ingredients[0].name != ingredient.name
+            ):
+                failures.append(ingredient.name)
+        assert failures == []
+
+    def test_every_synonym_round_trips(self, pipeline):
+        from repro.flavordb import SYNONYMS
+
+        for synonym, canonical in SYNONYMS.items():
+            resolution = pipeline.resolve_phrase(synonym)
+            assert len(resolution.ingredients) == 1
+            assert resolution.ingredients[0].name == canonical
+
+
+class TestResolveRecipe:
+    def make_raw(self, phrases, recipe_id=1):
+        return RawRecipe(
+            recipe_id=recipe_id,
+            title="Test",
+            source="AllRecipes",
+            region_code="ITA",
+            ingredient_phrases=tuple(phrases),
+        )
+
+    def test_recipe_resolution(self, pipeline):
+        raw = self.make_raw(
+            ["2 tomatoes", "1 clove garlic", "basil leaves, torn"]
+        )
+        recipe = pipeline.resolve_recipe(raw)
+        names = {
+            pipeline.catalog.by_id(ingredient_id).name
+            for ingredient_id in recipe.ingredient_ids
+        }
+        assert names == {"tomato", "garlic", "basil"}
+        assert recipe.region_code == "ITA"
+        assert recipe.recipe_id == 1
+
+    def test_duplicates_collapse(self, pipeline):
+        raw = self.make_raw(["1 tomato", "2 tomatoes, diced"])
+        recipe = pipeline.resolve_recipe(raw)
+        assert recipe.size == 1
+
+    def test_unresolvable_recipe_returns_none(self, pipeline):
+        raw = self.make_raw(["moon dust", "unicorn tears"])
+        assert pipeline.resolve_recipe(raw) is None
+
+    def test_report_collects_counts(self, pipeline):
+        report = MatchReport()
+        raw = self.make_raw(["2 tomatoes", "moon dust"])
+        pipeline.resolve_recipe(raw, report)
+        assert report.phrase_counts[MatchKind.EXACT] == 1
+        assert report.phrase_counts[MatchKind.UNRECOGNIZED] == 1
+        assert report.recipes_total == 1
+        assert report.recipes_resolved == 1
+
+
+class TestResolveCorpus:
+    def test_corpus_resolution(self, pipeline):
+        raws = [
+            RawRecipe(1, "A", "AllRecipes", "ITA", ("2 tomatoes", "basil")),
+            RawRecipe(2, "B", "Epicurious", "JPN", ("moon dust",)),
+            RawRecipe(3, "C", "AllRecipes", "FRA", ("1 cup cream",)),
+        ]
+        result = pipeline.resolve_corpus(raws)
+        assert len(result.recipes) == 2
+        assert result.report.recipes_total == 3
+        assert result.report.recipes_resolved == 2
+
+
+class TestMatchReport:
+    def test_exact_rate(self):
+        report = MatchReport()
+        assert report.exact_rate() == 0.0
+
+    def test_unmatched_ngrams_ranked(self, pipeline):
+        report = MatchReport()
+        for _ in range(3):
+            report.record_phrase(
+                pipeline.resolve_phrase("ponzu glitter sauce base")
+            )
+        report.record_phrase(pipeline.resolve_phrase("moon dust"))
+        top = report.top_unmatched(5)
+        assert top[0][0] == "glitter"
+        assert top[0][1] == 3
+
+    def test_ngrams_up_to_six(self, pipeline):
+        report = MatchReport()
+        resolution = pipeline.resolve_phrase(
+            "aa bb cc dd ee ff gg"  # 7 unknown tokens
+        )
+        report.record_phrase(resolution)
+        ngram_lengths = {
+            len(ngram.split(" ")) for ngram, _count in report.top_unmatched(500)
+        }
+        assert max(ngram_lengths) == 6
+
+    def test_repr_summarises(self, pipeline):
+        report = MatchReport()
+        report.record_phrase(pipeline.resolve_phrase("2 tomatoes"))
+        assert "exact=1" in repr(report)

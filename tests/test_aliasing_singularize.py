@@ -1,0 +1,94 @@
+"""Tests for the rule-based singulariser."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.aliasing import singularize
+from repro.corpus import pluralize
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "plural,singular",
+        [
+            ("tomatoes", "tomato"),
+            ("potatoes", "potato"),
+            ("berries", "berry"),
+            ("anchovies", "anchovy"),
+            ("cherries", "cherry"),
+            ("radishes", "radish"),
+            ("peaches", "peach"),
+            ("boxes", "box"),
+            ("cloves", "clove"),
+            ("olives", "olive"),
+            ("grapes", "grape"),
+            ("limes", "lime"),
+            ("leaves", "leaf"),
+            ("loaves", "loaf"),
+            ("halves", "half"),
+            ("knives", "knife"),
+            ("cups", "cup"),
+            ("eggs", "egg"),
+            ("peppers", "pepper"),
+            ("geese", "goose"),
+        ],
+    )
+    def test_plural_to_singular(self, plural, singular):
+        assert singularize(plural) == singular
+
+    @pytest.mark.parametrize(
+        "word",
+        [
+            "asparagus", "couscous", "molasses", "swiss", "citrus",
+            "hummus", "bass", "watercress", "grits", "anise",
+            "mayonnaise", "dashi", "wasabi",
+        ],
+    )
+    def test_invariants_untouched(self, word):
+        assert singularize(word) == word
+
+    @pytest.mark.parametrize("word", ["rice", "salt", "tea", "milk", "bread"])
+    def test_singular_left_alone(self, word):
+        assert singularize(word) == word
+
+    def test_short_tokens_untouched(self):
+        assert singularize("as") == "as"
+        assert singularize("is") == "is"
+
+    def test_ss_endings_untouched(self):
+        assert singularize("cress") == "cress"
+
+    def test_us_endings_untouched(self):
+        assert singularize("fungus") == "fungus"
+
+
+NOUN_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.text(alphabet=NOUN_ALPHABET, min_size=3, max_size=12).filter(
+        # Skip suffixes where English pluralisation is genuinely ambiguous
+        # ("aloes" vs "tomatoes"); the renderer validates those through the
+        # aliasing pipeline instead of relying on the rules.
+        lambda word: not word.endswith(
+            # sibilant endings and the e-final forms whose "-es" plural is
+            # indistinguishable from a sibilant's ("axes": axe or ax?)
+            ("s", "x", "z", "ch", "sh", "oe", "ie", "xe", "ze", "che", "she",
+             "sse")
+        )
+    )
+)
+def test_pluralize_then_singularize_round_trips(word):
+    """For regular nouns the corpus pluraliser and the singulariser are
+    inverse operations (the property the phrase renderer relies on)."""
+    plural = pluralize(word)
+    assert singularize(plural) in (word, plural)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet=NOUN_ALPHABET, min_size=1, max_size=15))
+def test_singularize_is_idempotent(word):
+    once = singularize(word)
+    assert singularize(once) == once

@@ -1,0 +1,90 @@
+"""Tests for ingredient authenticity and cuisine similarity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    authenticity_scores,
+    cuisine_similarity,
+    ingredient_prevalence,
+    most_authentic,
+    similarity_matrix,
+)
+from repro.datamodel import ConfigurationError, LookupFailure
+
+
+class TestPrevalence:
+    def test_bounded_zero_one(self, workspace):
+        prevalence = ingredient_prevalence(
+            workspace.regional_cuisines()["ITA"]
+        )
+        values = list(prevalence.values())
+        assert all(0 < value <= 1 for value in values)
+
+    def test_top_prevalence_is_top_usage(self, workspace):
+        cuisine = workspace.regional_cuisines()["ITA"]
+        prevalence = ingredient_prevalence(cuisine)
+        top_by_prevalence = max(prevalence, key=prevalence.get)
+        top_by_usage = cuisine.ingredient_usage.most_common(1)[0][0]
+        assert top_by_prevalence == top_by_usage
+
+
+class TestAuthenticity:
+    def test_signature_ingredients_rank_authentic(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        names = [
+            name
+            for name, _score in most_authentic(
+                cuisines, "INSC", workspace.catalog, top=12
+            )
+        ]
+        assert any(
+            name in ("turmeric", "garam masala", "asafoetidia", "asafoetida",
+                     "fenugreek leaf", "ghee", "cumin")
+            for name in names
+        )
+
+    def test_scores_positive_for_signatures(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        scores = authenticity_scores(cuisines, "JPN")
+        catalog = workspace.catalog
+        mirin = catalog.get("mirin").ingredient_id
+        assert scores[mirin] > 0.1
+
+    def test_unknown_target_rejected(self, workspace):
+        with pytest.raises(LookupFailure):
+            authenticity_scores(workspace.regional_cuisines(), "XXX")
+
+    def test_needs_two_cuisines(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        with pytest.raises(ConfigurationError):
+            authenticity_scores({"ITA": cuisines["ITA"]}, "ITA")
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self, workspace):
+        cuisine = workspace.regional_cuisines()["ITA"]
+        assert cuisine_similarity(cuisine, cuisine) == pytest.approx(1.0)
+
+    def test_symmetric(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        left = cuisine_similarity(cuisines["ITA"], cuisines["JPN"])
+        right = cuisine_similarity(cuisines["JPN"], cuisines["ITA"])
+        assert left == pytest.approx(right)
+
+    def test_related_cuisines_more_similar(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        # Thailand and South-East Asia share signature ingredients;
+        # Thailand and Scandinavia should not.
+        related = cuisine_similarity(cuisines["THA"], cuisines["SEA"])
+        unrelated = cuisine_similarity(cuisines["THA"], cuisines["SCND"])
+        assert related > unrelated
+
+    def test_similarity_matrix_shape(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        subset = {code: cuisines[code] for code in ("ITA", "JPN", "THA")}
+        codes, matrix = similarity_matrix(subset)
+        assert codes == ["ITA", "JPN", "THA"]
+        assert matrix.shape == (3, 3)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T)

@@ -1,0 +1,83 @@
+"""Tests for category-composition analytics (Fig 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CATEGORY_ORDER,
+    category_composition,
+    composition_matrix,
+    world_composition,
+)
+from repro.datamodel import Category
+
+
+class TestCategoryComposition:
+    def test_shares_sum_to_one(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        composition = category_composition(cuisines["ITA"], workspace.catalog)
+        assert sum(composition.shares.values()) == pytest.approx(1.0)
+
+    def test_mentions_are_usage_counts(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        cuisine = cuisines["KOR"]
+        composition = category_composition(cuisine, workspace.catalog)
+        total_mentions = sum(composition.mentions.values())
+        assert total_mentions == sum(cuisine.ingredient_usage.values())
+
+    def test_ranked_excludes_additive_by_default(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        composition = category_composition(cuisines["USA"], workspace.catalog)
+        ranked_categories = [category for category, _s in composition.ranked()]
+        assert Category.ADDITIVE not in ranked_categories
+
+    def test_share_of_missing_category_is_zero(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        composition = category_composition(cuisines["KOR"], workspace.catalog)
+        # Essential oils are vanishingly rare; if present the share is tiny.
+        assert composition.share(Category.ESSENTIAL_OIL) < 0.02
+
+
+class TestWorldComposition:
+    def test_world_aggregates_all_regions(self, workspace):
+        world = world_composition(
+            workspace.regional_cuisines(), workspace.catalog
+        )
+        assert world.region_code == "WORLD"
+        assert sum(world.shares.values()) == pytest.approx(1.0)
+
+    def test_world_leaders_match_paper(self, workspace):
+        world = world_composition(
+            workspace.regional_cuisines(), workspace.catalog
+        )
+        top_seven = {category for category, _s in world.ranked()[:7]}
+        assert top_seven == {
+            Category.VEGETABLE, Category.SPICE, Category.DAIRY,
+            Category.HERB, Category.PLANT, Category.MEAT, Category.FRUIT,
+        }
+
+
+class TestCompositionMatrix:
+    def test_shape(self, workspace):
+        rows, matrix = composition_matrix(
+            workspace.regional_cuisines(), workspace.catalog
+        )
+        assert matrix.shape == (len(rows), len(CATEGORY_ORDER))
+        assert rows[-1] == "WORLD"
+        assert len(rows) == 23  # 22 regions + WORLD
+
+    def test_rows_sum_to_one(self, workspace):
+        _rows, matrix = composition_matrix(
+            workspace.regional_cuisines(), workspace.catalog
+        )
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_dairy_forward_regions(self, workspace):
+        rows, matrix = composition_matrix(
+            workspace.regional_cuisines(), workspace.catalog
+        )
+        dairy_column = CATEGORY_ORDER.index(Category.DAIRY)
+        vegetable_column = CATEGORY_ORDER.index(Category.VEGETABLE)
+        for code in ("FRA", "BRI", "SCND"):
+            row = rows.index(code)
+            assert matrix[row, dairy_column] > matrix[row, vegetable_column]

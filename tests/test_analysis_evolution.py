@@ -1,0 +1,84 @@
+"""Tests for the copy-mutate culinary evolution model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import copy_mutate_evolution, zipf_fit_exponent
+from repro.datamodel import ConfigurationError
+
+
+class TestCopyMutate:
+    def test_recipe_counts(self, rng):
+        result = copy_mutate_evolution(
+            rng, steps=200, pool_size=300, seed_recipes=5
+        )
+        assert len(result.recipes) == 205
+
+    def test_recipe_sizes_preserved(self, rng):
+        result = copy_mutate_evolution(
+            rng, steps=100, pool_size=300, recipe_size=9
+        )
+        assert all(len(recipe) == 9 for recipe in result.recipes)
+
+    def test_usage_counts_descending(self, rng):
+        result = copy_mutate_evolution(rng, steps=300, pool_size=400)
+        assert np.all(np.diff(result.usage_counts) <= 0)
+
+    def test_normalized_popularity(self, rng):
+        result = copy_mutate_evolution(rng, steps=200, pool_size=300)
+        normalized = result.normalized_popularity()
+        assert normalized[0] == pytest.approx(1.0)
+        assert np.all(normalized <= 1.0)
+
+    def test_preferential_attachment_creates_skew(self, rng):
+        """Copy-mutate produces heavy-tailed popularity: the top ingredient
+        is used far more than the median one."""
+        result = copy_mutate_evolution(
+            rng, steps=800, pool_size=500, mutation_rate=0.4
+        )
+        counts = result.usage_counts
+        assert counts[0] > 5 * np.median(counts)
+
+    def test_innovation_grows_ingredient_pool(self):
+        low = copy_mutate_evolution(
+            np.random.default_rng(1),
+            steps=400, pool_size=600, innovation_rate=0.01,
+        )
+        high = copy_mutate_evolution(
+            np.random.default_rng(1),
+            steps=400, pool_size=600, innovation_rate=0.5,
+        )
+        assert high.distinct_ingredients > low.distinct_ingredients
+
+    def test_zero_mutation_copies_exactly(self, rng):
+        result = copy_mutate_evolution(
+            rng, steps=50, pool_size=200, seed_recipes=3, mutation_rate=0.0
+        )
+        seeds = set(result.recipes[:3])
+        assert set(result.recipes) == seeds
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            copy_mutate_evolution(rng, steps=10, pool_size=5, recipe_size=9)
+        with pytest.raises(ConfigurationError):
+            copy_mutate_evolution(
+                rng, steps=10, pool_size=100, mutation_rate=1.5
+            )
+
+
+class TestZipfFit:
+    def test_exact_power_law_recovered(self):
+        ranks = np.arange(1, 101, dtype=np.float64)
+        counts = 1000.0 * ranks**-1.2
+        assert zipf_fit_exponent(counts) == pytest.approx(1.2, abs=0.01)
+
+    def test_evolved_cuisine_is_zipf_like(self, rng):
+        result = copy_mutate_evolution(
+            rng, steps=1500, pool_size=800, mutation_rate=0.35
+        )
+        exponent = zipf_fit_exponent(result.usage_counts)
+        assert 0.3 < exponent < 2.5
+
+    def test_too_few_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_fit_exponent(np.asarray([3.0, 2.0]))

@@ -1,0 +1,112 @@
+"""Tests for flavor-network analytics."""
+
+import pytest
+
+from repro.analysis import (
+    backbone,
+    cuisine_flavor_network,
+    flavor_communities,
+    flavor_network,
+    popular_pair_strength,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog_module():
+    from repro.flavordb import default_catalog
+
+    return default_catalog()
+
+
+@pytest.fixture(scope="module")
+def small_network(catalog_module):
+    names = (
+        "basil", "oregano", "thyme",  # herb cluster
+        "milk", "butter", "cream",  # dairy cluster
+        "lemon",
+    )
+    ingredients = tuple(catalog_module.get(name) for name in names)
+    return flavor_network(ingredients, min_shared=1)
+
+
+class TestFlavorNetwork:
+    def test_nodes_carry_attributes(self, small_network):
+        assert small_network.nodes["basil"]["category"] == "Herb"
+        assert small_network.nodes["basil"]["profile_size"] > 0
+
+    def test_edges_weighted_by_shared_molecules(
+        self, small_network, catalog_module
+    ):
+        basil = catalog_module.get("basil")
+        oregano = catalog_module.get("oregano")
+        assert small_network["basil"]["oregano"]["shared"] == (
+            basil.shared_molecules(oregano)
+        )
+
+    def test_min_shared_threshold(self, catalog_module):
+        names = ("basil", "oregano", "milk")
+        ingredients = tuple(catalog_module.get(n) for n in names)
+        dense = flavor_network(ingredients, min_shared=1)
+        sparse = flavor_network(ingredients, min_shared=5)
+        assert sparse.number_of_edges() <= dense.number_of_edges()
+
+    def test_profile_free_ingredients_isolated(self, catalog_module):
+        ingredients = (
+            catalog_module.get("basil"),
+            catalog_module.get("gelatin"),  # no flavor profile
+        )
+        graph = flavor_network(ingredients)
+        assert graph.degree("gelatin") == 0
+
+
+class TestBackbone:
+    def test_keeps_strongest_fraction(self, small_network):
+        pruned = backbone(small_network, keep_fraction=0.25)
+        assert pruned.number_of_nodes() == small_network.number_of_nodes()
+        expected = max(1, round(small_network.number_of_edges() * 0.25))
+        assert pruned.number_of_edges() == expected
+
+    def test_strongest_edges_survive(self, small_network):
+        pruned = backbone(small_network, keep_fraction=0.2)
+        kept = min(
+            data["shared"] for _u, _v, data in pruned.edges(data=True)
+        )
+        dropped = [
+            data["shared"]
+            for u, v, data in small_network.edges(data=True)
+            if not pruned.has_edge(u, v)
+        ]
+        assert all(weight <= kept for weight in dropped)
+
+    def test_invalid_fraction(self, small_network):
+        with pytest.raises(ValueError):
+            backbone(small_network, keep_fraction=0.0)
+
+
+class TestCommunities:
+    def test_herbs_and_dairy_separate(self, small_network):
+        communities = flavor_communities(small_network)
+        by_member = {}
+        for index, community in enumerate(communities):
+            for member in community:
+                by_member[member] = index
+        assert by_member["basil"] == by_member["oregano"]
+        assert by_member["milk"] == by_member["butter"]
+        assert by_member["basil"] != by_member["milk"]
+
+
+class TestCuisineNetwork:
+    def test_usage_attribute(self, workspace):
+        cuisine = workspace.regional_cuisines()["KOR"]
+        graph = cuisine_flavor_network(cuisine, workspace.catalog)
+        usages = [usage for _node, usage in graph.nodes(data="usage")]
+        assert all(usage >= 1 for usage in usages)
+        assert graph.number_of_nodes() == len(cuisine.ingredient_ids)
+
+    def test_popular_pair_strength_reflects_pairing(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        ita = cuisine_flavor_network(cuisines["ITA"], workspace.catalog)
+        scnd = cuisine_flavor_network(cuisines["SCND"], workspace.catalog)
+        # Uniform-pairing Italy's popular ingredients connect far more
+        # strongly than contrasting Scandinavia's.
+        assert popular_pair_strength(ita) > popular_pair_strength(scnd)

@@ -1,0 +1,92 @@
+"""Tests for higher-order n-tuple sharing (the paper's future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import cuisine_tuple_sharing, recipe_tuple_sharing
+from repro.datamodel import Cuisine, Recipe, ValidationError
+
+
+class TestRecipeTupleSharing:
+    def test_k2_matches_pair_score(self):
+        profiles = [
+            frozenset({1, 2, 3}),
+            frozenset({2, 3, 4}),
+            frozenset({3, 4, 5}),
+        ]
+        common, pairwise = recipe_tuple_sharing(profiles, 2)
+        # k=2: both definitions equal the mean pairwise overlap.
+        expected = (2 + 1 + 2) / 3
+        assert common == pytest.approx(expected)
+        assert pairwise == pytest.approx(expected)
+
+    def test_k3_common_is_triple_intersection(self):
+        profiles = [
+            frozenset({1, 2, 3}),
+            frozenset({2, 3, 4}),
+            frozenset({3, 4, 5}),
+        ]
+        common, _pairwise = recipe_tuple_sharing(profiles, 3)
+        assert common == pytest.approx(1.0)  # only molecule 3 shared by all
+
+    def test_common_never_exceeds_pairwise(self):
+        rng = np.random.default_rng(2)
+        profiles = [
+            frozenset(rng.choice(30, size=10, replace=False).tolist())
+            for _ in range(5)
+        ]
+        for k in (2, 3, 4):
+            common, pairwise = recipe_tuple_sharing(profiles, k)
+            assert common <= pairwise + 1e-12
+
+    def test_too_small_recipe_raises(self):
+        with pytest.raises(ValidationError):
+            recipe_tuple_sharing([frozenset({1})], 2)
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ValidationError):
+            recipe_tuple_sharing([frozenset({1}), frozenset({2})], 1)
+
+
+class TestCuisineTupleSharing:
+    def test_on_workspace_cuisine(self, workspace):
+        cuisine = workspace.regional_cuisines()["KOR"]
+        pairs = cuisine_tuple_sharing(
+            cuisine, workspace.catalog, k=2, max_recipes=60
+        )
+        triples = cuisine_tuple_sharing(
+            cuisine, workspace.catalog, k=3, max_recipes=60
+        )
+        assert pairs.k == 2 and triples.k == 3
+        # Higher order -> common sharing can only fall.
+        assert triples.mean_common <= pairs.mean_common
+
+    def test_subsample_deterministic_without_rng(self, workspace):
+        cuisine = workspace.regional_cuisines()["KOR"]
+        first = cuisine_tuple_sharing(
+            cuisine, workspace.catalog, k=2, max_recipes=30
+        )
+        second = cuisine_tuple_sharing(
+            cuisine, workspace.catalog, k=2, max_recipes=30
+        )
+        assert first == second
+
+    def test_small_recipes_skipped(self, workspace):
+        cuisine = workspace.regional_cuisines()["KOR"]
+        result = cuisine_tuple_sharing(
+            cuisine, workspace.catalog, k=6, max_recipes=40
+        )
+        assert result.mean_common >= 0.0
+
+    def test_impossible_order_raises(self, catalog):
+        recipe = Recipe(
+            1,
+            "TST",
+            frozenset(
+                catalog.get(name).ingredient_id
+                for name in ("basil", "oregano")
+            ),
+        )
+        cuisine = Cuisine("TST", [recipe])
+        with pytest.raises(ValidationError):
+            cuisine_tuple_sharing(cuisine, catalog, k=4)

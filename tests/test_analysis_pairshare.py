@@ -1,0 +1,59 @@
+"""Tests for the shared-compound pair distribution."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import pair_share_distribution
+from repro.pairing import build_cuisine_view
+
+
+@pytest.fixture(scope="module")
+def distributions(workspace):
+    result = {}
+    for code in ("ITA", "SCND"):
+        view = build_cuisine_view(
+            workspace.regional_cuisines()[code], workspace.catalog
+        )
+        result[code] = pair_share_distribution(view)
+    return result
+
+
+class TestPairShareDistribution:
+    def test_used_pair_count_matches_recipes(self, workspace):
+        view = build_cuisine_view(
+            workspace.regional_cuisines()["KOR"], workspace.catalog
+        )
+        dist = pair_share_distribution(view)
+        expected_pairs = sum(
+            len(recipe) * (len(recipe) - 1) // 2 for recipe in view.recipes
+        )
+        assert len(dist.used_counts) == expected_pairs
+
+    def test_pantry_pair_count(self, workspace):
+        view = build_cuisine_view(
+            workspace.regional_cuisines()["KOR"], workspace.catalog
+        )
+        dist = pair_share_distribution(view)
+        n = view.ingredient_count
+        assert len(dist.pantry_counts) == n * (n - 1) // 2
+
+    def test_uniform_cuisine_shifts_positive(self, distributions):
+        assert distributions["ITA"].shift > 0
+
+    def test_contrasting_cuisine_shifts_negative(self, distributions):
+        assert distributions["SCND"].shift < 0
+
+    def test_shift_consistent_with_means(self, distributions):
+        dist = distributions["ITA"]
+        assert dist.shift == pytest.approx(
+            dist.used_mean - dist.pantry_mean
+        )
+
+    def test_histogram_density_normalised(self, distributions):
+        dist = distributions["ITA"]
+        edges, densities = dist.histogram("used", bins=15)
+        widths = np.diff(edges)
+        assert (densities * widths).sum() == pytest.approx(1.0)
+        edges, densities = dist.histogram("pantry", bins=15)
+        widths = np.diff(edges)
+        assert (densities * widths).sum() == pytest.approx(1.0)

@@ -1,0 +1,60 @@
+"""Tests for popularity analytics (Fig 3b machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import popularity_curve, scaling_collapse_error
+
+
+class TestPopularityCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, request):
+        workspace = request.getfixturevalue("workspace")
+        cuisines = workspace.regional_cuisines()
+        return popularity_curve(cuisines["ITA"], workspace.catalog)
+
+    def test_counts_descending(self, curve):
+        assert np.all(np.diff(curve.counts) <= 0)
+
+    def test_normalised_starts_at_one(self, curve):
+        assert curve.normalized[0] == pytest.approx(1.0)
+        assert np.all(curve.normalized <= 1.0)
+
+    def test_cumulative_share_ends_at_one(self, curve):
+        assert curve.cumulative_share[-1] == pytest.approx(1.0)
+
+    def test_ranks_one_based(self, curve):
+        assert curve.ranks[0] == 1
+        assert curve.ranks[-1] == len(curve.counts)
+
+    def test_top_returns_names_and_counts(self, curve):
+        top = curve.top(5)
+        assert len(top) == 5
+        assert all(isinstance(name, str) for name, _count in top)
+        counts = [count for _name, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_italian_signatures_lead(self, curve):
+        top_names = [name for name, _count in curve.top(6)]
+        assert "tomato" in top_names
+
+    def test_rank_of(self, curve):
+        top_name = curve.names[0]
+        assert curve.rank_of(top_name) == 1
+        with pytest.raises(ValueError):
+            curve.rank_of("unobtainium")
+
+
+class TestScalingCollapse:
+    def test_identical_curves_zero_error(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        curve = popularity_curve(cuisines["ITA"], workspace.catalog)
+        assert scaling_collapse_error([curve, curve]) == pytest.approx(0.0)
+
+    def test_all_regions_collapse_tightly(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        curves = [
+            popularity_curve(cuisine, workspace.catalog)
+            for cuisine in cuisines.values()
+        ]
+        assert scaling_collapse_error(curves) < 0.15

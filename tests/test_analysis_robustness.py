@@ -1,0 +1,99 @@
+"""Tests for the robustness extension (paper Section V, question 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bootstrap_pairing_direction,
+    perturb_flavor_profiles,
+)
+from repro.datamodel import ConfigurationError
+
+
+class TestBootstrap:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        workspace = request.getfixturevalue("workspace")
+        cuisine = workspace.regional_cuisines()["GRC"]
+        return bootstrap_pairing_direction(
+            cuisine, workspace.catalog, replicates=10, n_samples=1500
+        )
+
+    def test_replicate_count(self, result):
+        assert len(result.effect_sizes) == 10
+
+    def test_uniform_cuisine_direction_is_stable(self, result):
+        assert result.baseline_effect > 0
+        assert result.sign_stability >= 0.9
+
+    def test_effect_sizes_cluster_near_baseline(self, result):
+        spread = np.abs(result.effect_sizes - result.baseline_effect)
+        assert np.median(spread) < abs(result.baseline_effect)
+
+    def test_contrasting_cuisine_direction_is_stable(self, workspace):
+        cuisine = workspace.regional_cuisines()["SCND"]
+        result = bootstrap_pairing_direction(
+            cuisine, workspace.catalog, replicates=10, n_samples=1500
+        )
+        assert result.baseline_effect < 0
+        assert result.sign_stability >= 0.8
+
+    def test_replicates_validated(self, workspace):
+        cuisine = workspace.regional_cuisines()["GRC"]
+        with pytest.raises(ConfigurationError):
+            bootstrap_pairing_direction(
+                cuisine, workspace.catalog, replicates=0
+            )
+
+    def test_deterministic_given_seed(self, workspace):
+        cuisine = workspace.regional_cuisines()["KOR"]
+        first = bootstrap_pairing_direction(
+            cuisine, workspace.catalog, replicates=3,
+            n_samples=800, seed=5,
+        )
+        second = bootstrap_pairing_direction(
+            cuisine, workspace.catalog, replicates=3,
+            n_samples=800, seed=5,
+        )
+        assert np.array_equal(first.effect_sizes, second.effect_sizes)
+
+
+class TestProfilePerturbation:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        workspace = request.getfixturevalue("workspace")
+        cuisine = workspace.regional_cuisines()["GRC"]
+        return perturb_flavor_profiles(
+            cuisine,
+            workspace.catalog,
+            deletion_fractions=(0.0, 0.2, 0.4),
+            n_samples=1500,
+        )
+
+    def test_trajectory_length(self, result):
+        assert len(result.effect_sizes) == 3
+
+    def test_sign_survives_moderate_thinning(self, result):
+        # The paper's patterns should be robust to incomplete flavor data.
+        assert result.sign_survives_all
+
+    def test_baseline_is_unperturbed(self, result, workspace):
+        from repro.pairing import NullModel, compare_to_model
+        from repro.pairing.views import build_cuisine_view
+
+        cuisine = workspace.regional_cuisines()["GRC"]
+        view = build_cuisine_view(cuisine, workspace.catalog)
+        rng = np.random.Generator(np.random.PCG64(0))
+        baseline = compare_to_model(
+            view, NullModel.RANDOM, n_samples=1500, rng=rng
+        )
+        assert result.effect_sizes[0] == pytest.approx(
+            baseline.effect_size
+        )
+
+    def test_fractions_must_start_at_zero(self, workspace):
+        cuisine = workspace.regional_cuisines()["GRC"]
+        with pytest.raises(ConfigurationError):
+            perturb_flavor_profiles(
+                cuisine, workspace.catalog, deletion_fractions=(0.1, 0.2)
+            )

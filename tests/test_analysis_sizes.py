@@ -1,0 +1,67 @@
+"""Tests for recipe-size analytics (Fig 3a machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import pooled_size_distribution, size_distribution
+from repro.datamodel import Cuisine, Recipe
+
+
+def cuisine_with_sizes(sizes, region="TST"):
+    recipes = []
+    next_ingredient = 0
+    for index, size in enumerate(sizes, start=1):
+        ids = frozenset(range(next_ingredient, next_ingredient + size))
+        next_ingredient += size
+        recipes.append(Recipe(index, region, ids))
+    return Cuisine(region, recipes)
+
+
+class TestSizeDistribution:
+    def test_probability_sums_to_one(self):
+        dist = size_distribution(cuisine_with_sizes([3, 3, 5, 9, 9, 9]))
+        assert dist.probability.sum() == pytest.approx(1.0)
+
+    def test_support_and_probabilities(self):
+        dist = size_distribution(cuisine_with_sizes([3, 3, 5]))
+        assert dist.sizes.tolist() == [3, 5]
+        assert dist.probability.tolist() == pytest.approx([2 / 3, 1 / 3])
+
+    def test_cumulative_monotone_ending_at_one(self):
+        dist = size_distribution(cuisine_with_sizes([2, 4, 4, 8, 16]))
+        assert np.all(np.diff(dist.cumulative) >= 0)
+        assert dist.cumulative[-1] == pytest.approx(1.0)
+
+    def test_mean_and_std(self):
+        dist = size_distribution(cuisine_with_sizes([4, 6]))
+        assert dist.mean == pytest.approx(5.0)
+        assert dist.std == pytest.approx(1.0)
+
+    def test_probability_at(self):
+        dist = size_distribution(cuisine_with_sizes([3, 3, 5]))
+        assert dist.probability_at(3) == pytest.approx(2 / 3)
+        assert dist.probability_at(99) == 0.0
+
+
+class TestPooled:
+    def test_pooled_over_regions(self):
+        cuisines = {
+            "A": cuisine_with_sizes([3, 3], region="A"),
+            "B": cuisine_with_sizes([9], region="B"),
+        }
+        pooled = pooled_size_distribution(cuisines)
+        assert pooled.region_code == "WORLD"
+        assert pooled.mean == pytest.approx(5.0)
+        assert pooled.probability.sum() == pytest.approx(1.0)
+
+
+class TestOnWorkspace:
+    def test_world_mean_near_nine(self, workspace):
+        pooled = pooled_size_distribution(workspace.cuisines)
+        assert abs(pooled.mean - 9.0) < 1.0
+
+    def test_every_region_bounded(self, workspace):
+        for cuisine in workspace.regional_cuisines().values():
+            dist = size_distribution(cuisine)
+            assert dist.sizes.max() <= 25
+            assert dist.sizes.min() >= 2

@@ -1,0 +1,90 @@
+"""Tests for the scipy-backed distribution statistics."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fit_recipe_sizes,
+    fit_zipf,
+    size_distributions_consistent,
+)
+from repro.datamodel import ConfigurationError
+
+
+class TestPoissonFit:
+    def test_recovers_known_poisson(self):
+        rng = np.random.default_rng(0)
+        sizes = 3 + rng.poisson(6.0, size=20_000)
+        fit = fit_recipe_sizes(sizes)
+        assert fit.shift == 3
+        assert fit.lam == pytest.approx(6.0, abs=0.1)
+        assert fit.mean == pytest.approx(9.0, abs=0.1)
+
+    def test_true_poisson_passes_goodness_of_fit(self):
+        rng = np.random.default_rng(1)
+        sizes = 3 + rng.poisson(6.0, size=20_000)
+        fit = fit_recipe_sizes(sizes)
+        assert fit.pvalue > 0.001
+
+    def test_uniform_sizes_fail_goodness_of_fit(self):
+        rng = np.random.default_rng(2)
+        sizes = rng.integers(3, 16, size=20_000)
+        fit = fit_recipe_sizes(sizes)
+        assert fit.pvalue < 0.001
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_recipe_sizes(np.asarray([], dtype=np.int64))
+
+    def test_generated_corpus_is_poisson_like(self, workspace):
+        cuisine = workspace.regional_cuisines()["USA"]
+        fit = fit_recipe_sizes(np.asarray(cuisine.recipe_sizes))
+        assert 8.0 < fit.mean < 10.0
+        assert fit.tail_mass_beyond_20 < 0.01
+
+
+class TestKsConsistency:
+    def test_region_sizes_mutually_consistent(self, workspace):
+        """Fig 3a: recipe-size statistics generalise across cuisines —
+        most region pairs pass a KS identity test."""
+        cuisines = workspace.regional_cuisines()
+        codes = ["ITA", "FRA", "MEX", "CBN", "ME"]
+        consistent = 0
+        pairs = 0
+        for left, right in itertools.combinations(codes, 2):
+            ok, _pvalue = size_distributions_consistent(
+                cuisines[left], cuisines[right]
+            )
+            consistent += ok
+            pairs += 1
+        assert consistent >= pairs * 0.6
+
+    def test_identical_cuisine_consistent_with_itself(self, workspace):
+        cuisine = workspace.regional_cuisines()["ITA"]
+        ok, pvalue = size_distributions_consistent(cuisine, cuisine)
+        assert ok
+        assert pvalue == pytest.approx(1.0)
+
+
+class TestZipfFit:
+    def test_exact_power_law(self):
+        ranks = np.arange(1, 201, dtype=np.float64)
+        counts = 5000.0 * ranks**-1.1
+        fit = fit_zipf(counts)
+        assert fit.exponent == pytest.approx(1.1, abs=0.01)
+        assert fit.r_squared > 0.999
+
+    def test_generated_popularity_is_zipf_like(self, workspace):
+        from repro.analysis import popularity_curve
+
+        cuisine = workspace.regional_cuisines()["ITA"]
+        curve = popularity_curve(cuisine, workspace.catalog)
+        fit = fit_zipf(curve.counts)
+        assert 0.5 < fit.exponent < 1.6
+        assert fit.r_squared > 0.8
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_zipf(np.asarray([5.0, 4.0, 3.0]))

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment in ("table1", "fig2", "fig3a", "fig3b", "fig4", "fig5"):
+            assert experiment in output
+
+
+class TestRun:
+    def test_run_table1_small_scale(self, capsys):
+        assert main(["run", "table1", "--scale", "0.25"]) == 0
+        output = capsys.readouterr().out
+        assert "Italy" in output
+        assert "45772" in output
+
+    def test_run_fig3a(self, capsys):
+        assert main(["run", "fig3a", "--scale", "0.25"]) == 0
+        assert "WORLD" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+
+class TestBuildAndQuery:
+    def test_build_db_then_query(self, tmp_path, capsys):
+        db_dir = str(tmp_path / "culinary")
+        assert main(["build-db", "--out", db_dir, "--scale", "0.25"]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "--db",
+                    db_dir,
+                    "SELECT region_code, COUNT(*) AS n FROM recipes "
+                    "GROUP BY region_code ORDER BY n DESC LIMIT 3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "USA" in output
+
+
+class TestAlias:
+    def test_alias_exact_phrase(self, capsys):
+        assert main(["alias", "3", "cloves", "garlic,", "minced"]) == 0
+        output = capsys.readouterr().out
+        assert "exact" in output
+        assert "garlic" in output
+
+    def test_alias_fuzzy_recovers_typo(self, capsys):
+        assert main(["alias", "--fuzzy", "1", "tbsp", "oregeno"]) == 0
+        output = capsys.readouterr().out
+        assert "oregano" in output
+
+    def test_alias_unrecognized(self, capsys):
+        assert main(["alias", "moon", "dust"]) == 0
+        output = capsys.readouterr().out
+        assert "unrecognized" in output
+        assert "(none)" in output
+
+
+class TestReport:
+    def test_report_writes_all_experiments(self, tmp_path, capsys):
+        out = str(tmp_path / "report")
+        assert (
+            main(
+                [
+                    "report", "--out", out,
+                    "--scale", "0.25", "--samples", "1500",
+                ]
+            )
+            == 0
+        )
+        from pathlib import Path
+
+        written = {p.name for p in Path(out).iterdir()}
+        assert written == {
+            "table1.txt", "fig2.txt", "fig3a.txt", "fig3b.txt",
+            "fig4.txt", "fig5.txt",
+        }
+        fig4_text = (Path(out) / "fig4.txt").read_text()
+        assert "uniform: 16" in fig4_text
+
+    def test_report_csv_option(self, tmp_path, capsys):
+        out = str(tmp_path / "csv_report")
+        assert (
+            main(
+                [
+                    "report", "--out", out, "--csv",
+                    "--scale", "0.25", "--samples", "800",
+                ]
+            )
+            == 0
+        )
+        from pathlib import Path
+
+        names = {p.name for p in Path(out).iterdir()}
+        assert "fig4_zscores.csv" in names
+        assert "fig2_category_shares.csv" in names

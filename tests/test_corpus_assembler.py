@@ -1,0 +1,129 @@
+"""Tests for affinity-biased recipe assembly."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    REGION_GENERATOR_PROFILES,
+    RecipeAssembler,
+    build_pantry,
+    overlap_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def ita_pantry(catalog_module):
+    return build_pantry(REGION_GENERATOR_PROFILES["ITA"], catalog_module)
+
+
+@pytest.fixture(scope="module")
+def catalog_module():
+    from repro.flavordb import default_catalog
+
+    return default_catalog()
+
+
+class TestOverlapMatrix:
+    def test_symmetric_zero_diagonal(self, ita_pantry):
+        matrix = overlap_matrix(ita_pantry.ingredients)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_values_match_set_intersections(self, ita_pantry):
+        matrix = overlap_matrix(ita_pantry.ingredients)
+        ingredients = ita_pantry.ingredients
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            i, j = rng.integers(0, len(ingredients), 2)
+            if i == j:
+                continue
+            expected = ingredients[int(i)].shared_molecules(
+                ingredients[int(j)]
+            )
+            assert matrix[i, j] == expected
+
+    def test_empty(self):
+        assert overlap_matrix(()).shape == (0, 0)
+
+
+class TestAssemble:
+    def test_size_and_uniqueness(self, ita_pantry, rng):
+        assembler = RecipeAssembler(ita_pantry)
+        for size in (2, 5, 9, 15):
+            recipe = assembler.assemble(rng, size)
+            assert len(recipe) == size
+            assert len(set(recipe.tolist())) == size
+
+    def test_indices_within_pantry(self, ita_pantry, rng):
+        assembler = RecipeAssembler(ita_pantry)
+        recipe = assembler.assemble(rng, 10)
+        assert recipe.min() >= 0
+        assert recipe.max() < ita_pantry.size
+
+    def test_size_clamped_to_pantry(self, catalog_module, rng):
+        profile = dataclasses.replace(
+            REGION_GENERATOR_PROFILES["KOR"],
+            ingredient_count=5,
+            signature_ingredients=("garlic", "rice"),
+        )
+        pantry = build_pantry(profile, catalog_module)
+        assembler = RecipeAssembler(pantry)
+        recipe = assembler.assemble(rng, 50)
+        assert len(recipe) == 5
+
+    def test_pins_exceeding_pantry_rejected(self, catalog_module):
+        from repro.datamodel import ConfigurationError
+
+        profile = dataclasses.replace(
+            REGION_GENERATOR_PROFILES["KOR"], ingredient_count=5
+        )
+        with pytest.raises(ConfigurationError):
+            build_pantry(profile, catalog_module)
+
+    def test_assemble_many(self, ita_pantry, rng):
+        assembler = RecipeAssembler(ita_pantry)
+        sizes = np.asarray([3, 7, 9])
+        recipes = assembler.assemble_many(rng, sizes)
+        assert [len(recipe) for recipe in recipes] == [3, 7, 9]
+
+    def test_popular_ingredients_dominate(self, ita_pantry, rng):
+        assembler = RecipeAssembler(ita_pantry)
+        usage = np.zeros(ita_pantry.size)
+        for _ in range(400):
+            for index in assembler.assemble(rng, 9):
+                usage[index] += 1
+        head_usage = usage[:40].sum()
+        assert head_usage > usage.sum() * 0.4
+
+    def test_positive_bias_raises_pairing(self, catalog_module):
+        """Recipes from a positive-bias assembler share more molecules than
+        recipes from the same pantry with the bias turned off."""
+        base_profile = REGION_GENERATOR_PROFILES["ITA"]
+        biased = RecipeAssembler(
+            build_pantry(base_profile, catalog_module)
+        )
+        neutral_profile = dataclasses.replace(base_profile, pairing_bias=0.0)
+        neutral = RecipeAssembler(
+            build_pantry(neutral_profile, catalog_module)
+        )
+
+        def mean_pair_overlap(assembler, seed):
+            rng = np.random.default_rng(seed)
+            matrix = overlap_matrix(assembler.pantry.ingredients)
+            total, pairs = 0.0, 0
+            for _ in range(300):
+                recipe = assembler.assemble(rng, 8)
+                block = matrix[np.ix_(recipe, recipe)]
+                total += block.sum() / 2
+                pairs += len(recipe) * (len(recipe) - 1) / 2
+            return total / pairs
+
+        assert mean_pair_overlap(biased, 1) > mean_pair_overlap(neutral, 1)
+
+    def test_deterministic_given_rng(self, ita_pantry):
+        assembler = RecipeAssembler(ita_pantry)
+        first = assembler.assemble(np.random.default_rng(9), 9)
+        second = assembler.assemble(np.random.default_rng(9), 9)
+        assert np.array_equal(first, second)

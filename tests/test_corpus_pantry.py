@@ -1,0 +1,111 @@
+"""Tests for regional pantry construction."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    HEAD_SIZE,
+    REGION_GENERATOR_PROFILES,
+    build_pantry,
+    zipf_weights,
+)
+from repro.datamodel import ConfigurationError
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_strictly_decreasing(self):
+        weights = zipf_weights(50, 1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_exponent_controls_concentration(self):
+        flat = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 1.5)
+        assert steep[0] > flat[0]
+
+
+class TestBuildPantry:
+    @pytest.fixture(scope="class")
+    def ita(self, catalog):
+        return build_pantry(REGION_GENERATOR_PROFILES["ITA"], catalog)
+
+    @pytest.fixture(scope="class")
+    def scnd(self, catalog):
+        return build_pantry(REGION_GENERATOR_PROFILES["SCND"], catalog)
+
+    # class-scoped fixture needs a class-scoped catalog shim
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        from repro.flavordb import default_catalog
+
+        return default_catalog()
+
+    def test_size_matches_table1(self, ita, scnd):
+        assert ita.size == 452
+        assert scnd.size == 245
+
+    def test_no_duplicates(self, ita):
+        ids = ita.ingredient_ids()
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_signatures_pinned_in_order(self, ita):
+        names = [ingredient.name for ingredient in ita.ingredients]
+        signatures = REGION_GENERATOR_PROFILES["ITA"].signature_ingredients
+        assert tuple(names[: len(signatures)]) == signatures
+
+    def test_popularity_aligned_and_decreasing(self, ita):
+        assert len(ita.popularity) == ita.size
+        assert np.all(np.diff(ita.popularity) < 0)
+        assert ita.popularity.sum() == pytest.approx(1.0)
+
+    def test_cohesive_head_concentrated_in_signature_families(
+        self, ita, catalog
+    ):
+        profile = REGION_GENERATOR_PROFILES["ITA"]
+        head = ita.ingredients[:HEAD_SIZE]
+        in_family = sum(
+            1
+            for ingredient in head
+            if catalog.family_of(ingredient) in profile.signature_families
+        )
+        assert in_family >= 0.6 * len(head)
+
+    def test_spread_head_diversifies_families(self, scnd, catalog):
+        head = scnd.ingredients[:HEAD_SIZE]
+        families = [catalog.family_of(ingredient) for ingredient in head]
+        # A spread head uses many distinct families.
+        assert len(set(families)) >= 0.7 * len(head)
+
+    def test_deterministic(self, catalog):
+        first = build_pantry(REGION_GENERATOR_PROFILES["KOR"], catalog)
+        second = build_pantry(REGION_GENERATOR_PROFILES["KOR"], catalog)
+        assert [i.name for i in first.ingredients] == [
+            i.name for i in second.ingredients
+        ]
+
+    def test_unknown_signature_rejected(self, catalog):
+        import dataclasses
+
+        profile = dataclasses.replace(
+            REGION_GENERATOR_PROFILES["KOR"],
+            signature_ingredients=("unobtainium",),
+        )
+        with pytest.raises(ConfigurationError):
+            build_pantry(profile, catalog)
+
+    def test_oversized_pantry_rejected(self, catalog):
+        import dataclasses
+
+        profile = dataclasses.replace(
+            REGION_GENERATOR_PROFILES["KOR"], ingredient_count=10_000
+        )
+        with pytest.raises(ConfigurationError):
+            build_pantry(profile, catalog)
+
+    def test_all_regions_build(self, catalog):
+        for code, profile in REGION_GENERATOR_PROFILES.items():
+            pantry = build_pantry(profile, catalog)
+            assert pantry.size == profile.ingredient_count, code

@@ -1,0 +1,105 @@
+"""Consistency tests for the region generator profiles."""
+
+import pytest
+
+from repro.corpus import (
+    BASE_CATEGORY_WEIGHTS,
+    REGION_GENERATOR_PROFILES,
+    WORLD_ONLY_PROFILES,
+)
+from repro.datamodel import (
+    REGIONS,
+    WORLD_ONLY_RECIPES,
+    Category,
+    PairingKind,
+    get_region,
+)
+from repro.flavordb import FLAVOR_FAMILIES, default_catalog
+
+
+class TestProfileTableConsistency:
+    def test_every_region_has_a_profile(self):
+        assert set(REGION_GENERATOR_PROFILES) == {
+            region.code for region in REGIONS
+        }
+
+    def test_counts_match_table1(self):
+        for code, profile in REGION_GENERATOR_PROFILES.items():
+            region = get_region(code)
+            assert profile.recipe_count == region.recipe_count, code
+            assert profile.ingredient_count == region.ingredient_count, code
+
+    def test_bias_sign_matches_published_pairing(self):
+        for code, profile in REGION_GENERATOR_PROFILES.items():
+            region = get_region(code)
+            if region.pairing is PairingKind.UNIFORM:
+                assert profile.pairing_bias > 0, code
+            else:
+                assert profile.pairing_bias < 0, code
+
+    def test_contrasting_regions_spread_their_heads(self):
+        for code, profile in REGION_GENERATOR_PROFILES.items():
+            region = get_region(code)
+            if region.pairing is PairingKind.CONTRASTING:
+                assert profile.spread_head, code
+                assert profile.baseline_families, code
+            else:
+                assert not profile.spread_head, code
+                assert profile.signature_families, code
+
+    def test_signature_ingredients_exist_in_catalog(self):
+        catalog = default_catalog()
+        for code, profile in REGION_GENERATOR_PROFILES.items():
+            for name in profile.signature_ingredients:
+                assert catalog.resolve(name) is not None, (code, name)
+
+    def test_signature_families_exist(self):
+        for code, profile in REGION_GENERATOR_PROFILES.items():
+            for family in (
+                profile.signature_families + profile.baseline_families
+            ):
+                assert family in FLAVOR_FAMILIES, (code, family)
+
+    def test_mean_recipe_sizes_plausible(self):
+        for profile in REGION_GENERATOR_PROFILES.values():
+            assert 7.5 <= profile.mean_recipe_size <= 10.5
+
+
+class TestWorldOnlyProfiles:
+    def test_total_is_207(self):
+        assert (
+            sum(profile.recipe_count for profile in WORLD_ONLY_PROFILES)
+            == WORLD_ONLY_RECIPES
+        )
+
+    def test_four_mini_regions(self):
+        names = {profile.code for profile in WORLD_ONLY_PROFILES}
+        assert names == {
+            "Portugal", "Belgium", "Central America", "Netherlands",
+        }
+
+
+class TestCategoryWeights:
+    def test_all_categories_weighted(self):
+        assert set(BASE_CATEGORY_WEIGHTS) == set(Category)
+
+    def test_weights_positive(self):
+        assert all(weight > 0 for weight in BASE_CATEGORY_WEIGHTS.values())
+
+    def test_vegetable_is_global_leader(self):
+        top = max(BASE_CATEGORY_WEIGHTS, key=BASE_CATEGORY_WEIGHTS.get)
+        assert top is Category.VEGETABLE
+
+    def test_dairy_forward_multiplier_beats_vegetable(self):
+        for code in ("FRA", "BRI", "SCND"):
+            profile = REGION_GENERATOR_PROFILES[code]
+            assert profile.category_weight(
+                Category.DAIRY
+            ) > profile.category_weight(Category.VEGETABLE), code
+
+    def test_spice_forward_multiplier_beats_vegetable(self):
+        for code in ("INSC", "AFR", "ME", "CBN"):
+            profile = REGION_GENERATOR_PROFILES[code]
+            assert profile.category_weight(
+                Category.SPICE
+            ) > profile.category_weight(Category.VEGETABLE), code

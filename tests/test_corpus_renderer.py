@@ -1,0 +1,91 @@
+"""Tests for the phrase renderer (fidelity contract included)."""
+
+import numpy as np
+import pytest
+
+from repro.aliasing import MatchKind, normalize_phrase
+from repro.corpus import PhraseRenderer, pluralize
+from repro.corpus.renderer import DESCRIPTORS, LEADING_DESCRIPTORS
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    from repro.aliasing import AliasingPipeline
+
+    return PhraseRenderer(AliasingPipeline())
+
+
+class TestPluralize:
+    @pytest.mark.parametrize(
+        "singular,plural",
+        [
+            ("tomato", "tomatoes"),
+            ("berry", "berries"),
+            ("radish", "radishes"),
+            ("egg", "eggs"),
+            ("box", "boxes"),
+            ("bell pepper", "bell peppers"),
+        ],
+    )
+    def test_cases(self, singular, plural):
+        assert pluralize(singular) == plural
+
+    def test_only_last_word_pluralised(self):
+        assert pluralize("sun dried tomato") == "sun dried tomatoes"
+
+
+class TestSurfaceForms:
+    def test_canonical_always_included(self, renderer, pipeline):
+        for name in ("tomato", "olive oil", "half half"):
+            ingredient = pipeline.catalog.get(name)
+            assert name in renderer.surface_forms(ingredient)
+
+    def test_synonyms_included_when_valid(self, renderer, pipeline):
+        whiskey = pipeline.catalog.get("whiskey")
+        assert "whisky" in renderer.surface_forms(whiskey)
+
+    def test_all_forms_resolve_back(self, renderer, pipeline):
+        for ingredient in pipeline.catalog.ingredients[:100]:
+            for form in renderer.surface_forms(ingredient):
+                resolution = pipeline.resolve_phrase(form)
+                assert resolution.kind is MatchKind.EXACT
+                assert resolution.ingredients[0] == ingredient
+
+    def test_cached(self, renderer, pipeline):
+        tomato = pipeline.catalog.get("tomato")
+        assert renderer.surface_forms(tomato) is renderer.surface_forms(
+            tomato
+        )
+
+
+class TestRenderFidelity:
+    def test_rendered_phrases_alias_back_exactly(self, renderer, pipeline):
+        rng = np.random.default_rng(11)
+        ingredients = pipeline.catalog.ingredients
+        picks = rng.choice(len(ingredients), size=200, replace=False)
+        for pick in picks:
+            ingredient = ingredients[int(pick)]
+            phrase = renderer.render(ingredient, rng)
+            resolution = pipeline.resolve_phrase(phrase)
+            assert resolution.kind is MatchKind.EXACT, (
+                ingredient.name, phrase,
+            )
+            assert len(resolution.ingredients) == 1
+            assert resolution.ingredients[0] == ingredient
+
+    def test_render_varies(self, renderer, pipeline):
+        rng = np.random.default_rng(5)
+        tomato = pipeline.catalog.get("tomato")
+        phrases = {renderer.render(tomato, rng) for _ in range(30)}
+        assert len(phrases) > 5
+
+
+class TestDecorationVocabulary:
+    def test_descriptors_normalise_away(self):
+        for descriptor in DESCRIPTORS:
+            assert normalize_phrase(descriptor) == [], descriptor
+
+    def test_leading_descriptors_normalise_away(self):
+        for descriptor in LEADING_DESCRIPTORS:
+            if descriptor:
+                assert normalize_phrase(descriptor) == [], descriptor

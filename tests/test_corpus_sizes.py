@@ -1,0 +1,39 @@
+"""Tests for recipe-size sampling."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import MAX_RECIPE_SIZE, MIN_RECIPE_SIZE, sample_recipe_sizes
+
+
+class TestSampleRecipeSizes:
+    def test_bounds_respected(self, rng):
+        sizes = sample_recipe_sizes(rng, 10_000, 9.0)
+        assert sizes.min() >= MIN_RECIPE_SIZE
+        assert sizes.max() <= MAX_RECIPE_SIZE
+
+    def test_mean_close_to_target(self, rng):
+        sizes = sample_recipe_sizes(rng, 50_000, 9.0)
+        assert abs(sizes.mean() - 9.0) < 0.1
+
+    @pytest.mark.parametrize("mean", [7.5, 8.5, 10.0])
+    def test_other_means(self, rng, mean):
+        sizes = sample_recipe_sizes(rng, 30_000, mean)
+        assert abs(sizes.mean() - mean) < 0.15
+
+    def test_thin_tail(self, rng):
+        sizes = sample_recipe_sizes(rng, 50_000, 9.0)
+        assert (sizes > 20).mean() < 0.002
+
+    def test_count(self, rng):
+        assert len(sample_recipe_sizes(rng, 123, 9.0)) == 123
+
+    def test_deterministic_given_rng(self):
+        first = sample_recipe_sizes(np.random.default_rng(7), 100, 9.0)
+        second = sample_recipe_sizes(np.random.default_rng(7), 100, 9.0)
+        assert np.array_equal(first, second)
+
+    @pytest.mark.parametrize("mean", [1.0, 3.0, 25.0, 40.0])
+    def test_out_of_range_mean_rejected(self, rng, mean):
+        with pytest.raises(ValueError):
+            sample_recipe_sizes(rng, 10, mean)

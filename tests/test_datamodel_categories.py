@@ -1,0 +1,66 @@
+"""Tests for repro.datamodel.categories."""
+
+import pytest
+
+from repro.datamodel import (
+    MOST_USED_WORLD_CATEGORIES,
+    Category,
+    LookupFailure,
+)
+
+
+class TestCategoryEnum:
+    def test_exactly_21_categories(self):
+        assert len(Category) == 21
+
+    def test_display_names_unique(self):
+        names = [category.value for category in Category]
+        assert len(set(names)) == 21
+
+    def test_str_is_display_name(self):
+        assert str(Category.NUTS_AND_SEEDS) == "Nuts and Seeds"
+
+    def test_paper_categories_all_present(self):
+        expected = {
+            "Vegetable", "Dairy", "Legume", "Maize", "Cereal", "Meat",
+            "Nuts and Seeds", "Plant", "Fish", "Seafood", "Spice",
+            "Bakery", "Beverage Alcoholic", "Beverage", "Essential Oil",
+            "Flower", "Fruit", "Fungus", "Herb", "Additive", "Dish",
+        }
+        assert {category.value for category in Category} == expected
+
+
+class TestFromName:
+    def test_display_name(self):
+        assert Category.from_name("Vegetable") is Category.VEGETABLE
+
+    def test_lower_case(self):
+        assert Category.from_name("vegetable") is Category.VEGETABLE
+
+    def test_enum_member_name(self):
+        assert Category.from_name("NUTS_AND_SEEDS") is Category.NUTS_AND_SEEDS
+
+    def test_hyphenated(self):
+        assert Category.from_name("nuts-and-seeds") is Category.NUTS_AND_SEEDS
+
+    def test_surrounding_whitespace(self):
+        assert Category.from_name("  Spice ") is Category.SPICE
+
+    def test_unknown_raises(self):
+        with pytest.raises(LookupFailure):
+            Category.from_name("Cryptid")
+
+    def test_every_member_round_trips(self):
+        for category in Category:
+            assert Category.from_name(category.value) is category
+            assert Category.from_name(category.name) is category
+
+
+class TestMostUsedWorldCategories:
+    def test_matches_paper_section_2a(self):
+        assert [category.value for category in MOST_USED_WORLD_CATEGORIES] == [
+            "Vegetable", "Spice", "Dairy", "Herb", "Plant", "Meat", "Fruit",
+        ]
+
+    def test_additive_excluded(self):
+        assert Category.ADDITIVE not in MOST_USED_WORLD_CATEGORIES

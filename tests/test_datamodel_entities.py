@@ -1,0 +1,176 @@
+"""Tests for repro.datamodel.entities."""
+
+import pytest
+
+from repro.datamodel import (
+    Category,
+    Cuisine,
+    FlavorMolecule,
+    Ingredient,
+    RawRecipe,
+    Recipe,
+    ValidationError,
+    build_cuisines,
+)
+
+
+def make_ingredient(ingredient_id=1, name="tomato", profile=(1, 2, 3)):
+    return Ingredient(
+        ingredient_id=ingredient_id,
+        name=name,
+        category=Category.VEGETABLE,
+        flavor_profile=frozenset(profile),
+    )
+
+
+class TestFlavorMolecule:
+    def test_valid(self):
+        molecule = FlavorMolecule(0, "limonene", "citrus-terpene")
+        assert molecule.name == "limonene"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            FlavorMolecule(-1, "x", "family")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            FlavorMolecule(0, "", "family")
+
+    def test_frozen(self):
+        molecule = FlavorMolecule(0, "limonene", "citrus-terpene")
+        with pytest.raises(AttributeError):
+            molecule.name = "other"
+
+
+class TestIngredient:
+    def test_shared_molecules(self):
+        left = make_ingredient(1, "a", (1, 2, 3))
+        right = make_ingredient(2, "b", (2, 3, 4))
+        assert left.shared_molecules(right) == 2
+        assert right.shared_molecules(left) == 2
+
+    def test_shared_molecules_disjoint(self):
+        assert make_ingredient(1, "a", (1,)).shared_molecules(
+            make_ingredient(2, "b", (2,))
+        ) == 0
+
+    def test_has_flavor_profile(self):
+        assert make_ingredient().has_flavor_profile
+        assert not make_ingredient(profile=()).has_flavor_profile
+
+    def test_name_must_be_normalised(self):
+        with pytest.raises(ValidationError):
+            make_ingredient(name="Tomato")
+        with pytest.raises(ValidationError):
+            make_ingredient(name=" tomato")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_ingredient(name="")
+
+    def test_constituents_require_compound_flag(self):
+        with pytest.raises(ValidationError):
+            Ingredient(
+                ingredient_id=1,
+                name="mayonnaise",
+                category=Category.DISH,
+                constituents=("egg", "oil"),
+            )
+
+    def test_compound_with_constituents_ok(self):
+        compound = Ingredient(
+            ingredient_id=1,
+            name="mayonnaise",
+            category=Category.DISH,
+            is_compound=True,
+            constituents=("egg", "oil"),
+        )
+        assert compound.is_compound
+
+
+class TestRecipe:
+    def test_size_and_pairable(self):
+        recipe = Recipe(1, "ITA", frozenset({1, 2, 3}))
+        assert recipe.size == 3
+        assert recipe.is_pairable
+
+    def test_single_ingredient_not_pairable(self):
+        assert not Recipe(1, "ITA", frozenset({1})).is_pairable
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Recipe(1, "ITA", frozenset())
+
+
+class TestRawRecipe:
+    def test_requires_phrases(self):
+        with pytest.raises(ValidationError):
+            RawRecipe(1, "t", "AllRecipes", "ITA", ())
+
+    def test_valid(self):
+        raw = RawRecipe(1, "t", "AllRecipes", "ITA", ("2 cups flour",))
+        assert raw.ingredient_phrases == ("2 cups flour",)
+
+
+class TestCuisine:
+    def make_cuisine(self):
+        recipes = [
+            Recipe(1, "ITA", frozenset({1, 2, 3})),
+            Recipe(2, "ITA", frozenset({2, 3})),
+            Recipe(3, "ITA", frozenset({3, 4, 5, 6})),
+        ]
+        return Cuisine("ITA", recipes)
+
+    def test_len_and_iter(self):
+        cuisine = self.make_cuisine()
+        assert len(cuisine) == 3
+        assert [recipe.recipe_id for recipe in cuisine] == [1, 2, 3]
+
+    def test_ingredient_usage(self):
+        usage = self.make_cuisine().ingredient_usage
+        assert usage[3] == 3
+        assert usage[2] == 2
+        assert usage[1] == 1
+
+    def test_ingredient_ids(self):
+        assert self.make_cuisine().ingredient_ids == frozenset(
+            {1, 2, 3, 4, 5, 6}
+        )
+
+    def test_recipe_sizes_and_mean(self):
+        cuisine = self.make_cuisine()
+        assert cuisine.recipe_sizes == (3, 2, 4)
+        assert cuisine.mean_recipe_size() == pytest.approx(3.0)
+
+    def test_region_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Cuisine("FRA", [Recipe(1, "ITA", frozenset({1, 2}))])
+
+    def test_empty_cuisine_mean_raises(self):
+        with pytest.raises(ValidationError):
+            Cuisine("ITA", []).mean_recipe_size()
+
+    def test_usage_counter_is_a_copy(self):
+        cuisine = self.make_cuisine()
+        cuisine.ingredient_usage[3] = 999
+        assert cuisine.ingredient_usage[3] == 3
+
+
+class TestBuildCuisines:
+    def test_groups_by_region(self):
+        recipes = [
+            Recipe(1, "ITA", frozenset({1, 2})),
+            Recipe(2, "FRA", frozenset({3, 4})),
+            Recipe(3, "ITA", frozenset({5, 6})),
+        ]
+        cuisines = build_cuisines(recipes)
+        assert set(cuisines) == {"ITA", "FRA"}
+        assert len(cuisines["ITA"]) == 2
+        assert len(cuisines["FRA"]) == 1
+
+    def test_keys_sorted(self):
+        recipes = [
+            Recipe(1, "ZZZ", frozenset({1, 2})),
+            Recipe(2, "AAA", frozenset({3, 4})),
+        ]
+        assert list(build_cuisines(recipes)) == ["AAA", "ZZZ"]

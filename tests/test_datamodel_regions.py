@@ -1,0 +1,105 @@
+"""Tests for repro.datamodel.regions (the paper's published facts)."""
+
+import pytest
+
+from repro.datamodel import (
+    RECIPE_SOURCES,
+    REGIONS,
+    TOTAL_RECIPES,
+    TOTAL_REGIONAL_RECIPES,
+    WORLD_ONLY_RECIPES,
+    LookupFailure,
+    PairingKind,
+    contrasting_regions,
+    get_region,
+    region_codes,
+    uniform_regions,
+)
+
+
+class TestTable1:
+    def test_22_regions(self):
+        assert len(REGIONS) == 22
+
+    def test_codes_unique(self):
+        codes = region_codes()
+        assert len(set(codes)) == 22
+
+    def test_totals_sum_to_abstract_count(self):
+        assert TOTAL_REGIONAL_RECIPES + WORLD_ONLY_RECIPES == TOTAL_RECIPES
+        assert TOTAL_RECIPES == 45772
+
+    def test_smallest_region_is_korea(self):
+        smallest = min(REGIONS, key=lambda region: region.recipe_count)
+        assert smallest.code == "KOR"
+        assert smallest.recipe_count == 301
+
+    def test_largest_region_is_usa(self):
+        largest = max(REGIONS, key=lambda region: region.recipe_count)
+        assert largest.code == "USA"
+        assert largest.recipe_count == 16118
+        assert largest.ingredient_count == 612
+
+    def test_average_ingredient_count_about_321(self):
+        # Section II.A: "an average of 321 unique ingredients".
+        mean = sum(r.ingredient_count for r in REGIONS) / len(REGIONS)
+        assert abs(mean - 321) < 5
+
+    def test_specific_rows_match_paper(self):
+        assert get_region("ITA").recipe_count == 7504
+        assert get_region("ITA").ingredient_count == 452
+        assert get_region("INSC").recipe_count == 4058
+        assert get_region("SCND").ingredient_count == 245
+
+
+class TestPairingDirections:
+    def test_16_uniform_6_contrasting(self):
+        assert len(uniform_regions()) == 16
+        assert len(contrasting_regions()) == 6
+
+    def test_contrasting_set_matches_paper(self):
+        codes = {region.code for region in contrasting_regions()}
+        assert codes == {"SCND", "JPN", "DACH", "BRI", "KOR", "EE"}
+
+    def test_uniform_examples_from_paper(self):
+        uniform_codes = {region.code for region in uniform_regions()}
+        for code in ("ITA", "AFR", "CBN", "GRC", "ESP", "USA"):
+            assert code in uniform_codes
+
+
+class TestGetRegion:
+    def test_by_code(self):
+        assert get_region("FRA").name == "France"
+
+    def test_by_code_case_insensitive(self):
+        assert get_region("fra").code == "FRA"
+
+    def test_by_name(self):
+        assert get_region("Italy").code == "ITA"
+
+    def test_by_name_case_insensitive(self):
+        assert get_region("middle east").code == "ME"
+
+    def test_unknown_raises(self):
+        with pytest.raises(LookupFailure):
+            get_region("Atlantis")
+
+    def test_str_formats_name_and_code(self):
+        assert str(get_region("JPN")) == "Japan (JPN)"
+
+
+class TestSources:
+    def test_source_totals_match_section_3a(self):
+        assert RECIPE_SOURCES == {
+            "AllRecipes": 16177,
+            "Food Network": 15917,
+            "Epicurious": 11069,
+            "TarlaDalal": 2609,
+        }
+
+    def test_source_totals_sum_to_total(self):
+        assert sum(RECIPE_SOURCES.values()) == TOTAL_RECIPES
+
+    def test_pairing_kind_values(self):
+        assert PairingKind.UNIFORM.value == "uniform"
+        assert PairingKind.CONTRASTING.value == "contrasting"

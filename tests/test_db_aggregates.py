@@ -1,0 +1,129 @@
+"""Tests for repro.db.aggregates (SQL NULL semantics included)."""
+
+import pytest
+
+from repro.db import (
+    QueryError,
+    avg,
+    collect,
+    count,
+    count_distinct,
+    max_,
+    min_,
+    sum_,
+)
+from repro.db.aggregates import sql_aggregate
+from repro.db.expressions import ColumnRef
+
+ROWS = [
+    {"x": 1, "y": "a"},
+    {"x": 3, "y": "b"},
+    {"x": None, "y": "a"},
+    {"x": 2, "y": None},
+]
+
+
+def fold(aggregate, rows=ROWS):
+    acc = aggregate.initial()
+    for row in rows:
+        acc = aggregate.step(acc, row)
+    return aggregate.final(acc)
+
+
+class TestCount:
+    def test_count_star_counts_rows(self):
+        assert fold(count()) == 4
+
+    def test_count_column_skips_nulls(self):
+        assert fold(count("x")) == 3
+
+    def test_count_distinct(self):
+        assert fold(count_distinct("y")) == 2
+
+    def test_count_empty(self):
+        assert fold(count(), rows=[]) == 0
+
+
+class TestValueAggregates:
+    def test_sum(self):
+        assert fold(sum_("x")) == 6
+
+    def test_sum_all_null_is_null(self):
+        assert fold(sum_("x"), rows=[{"x": None}]) is None
+
+    def test_avg_skips_nulls(self):
+        assert fold(avg("x")) == pytest.approx(2.0)
+
+    def test_avg_empty_is_null(self):
+        assert fold(avg("x"), rows=[]) is None
+
+    def test_min_max(self):
+        assert fold(min_("x")) == 1
+        assert fold(max_("x")) == 3
+
+    def test_min_empty_is_null(self):
+        assert fold(min_("x"), rows=[]) is None
+
+    def test_collect(self):
+        assert fold(collect("x")) == [1, 3, 2]
+
+    def test_expression_argument(self):
+        doubled = sum_(ColumnRef("x") * 2)
+        assert fold(doubled) == 12
+
+
+class TestSqlAggregateFactory:
+    def test_count_star(self):
+        aggregate = sql_aggregate("COUNT", None, distinct=False)
+        assert fold(aggregate) == 4
+
+    def test_count_distinct(self):
+        aggregate = sql_aggregate("count", ColumnRef("y"), distinct=True)
+        assert fold(aggregate) == 2
+
+    def test_distinct_only_for_count(self):
+        with pytest.raises(QueryError):
+            sql_aggregate("sum", ColumnRef("x"), distinct=True)
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryError):
+            sql_aggregate("median", ColumnRef("x"), distinct=False)
+
+    def test_sum_requires_argument(self):
+        with pytest.raises(QueryError):
+            sql_aggregate("sum", None, distinct=False)
+
+    def test_case_insensitive(self):
+        aggregate = sql_aggregate("AvG", ColumnRef("x"), distinct=False)
+        assert fold(aggregate) == pytest.approx(2.0)
+
+
+class TestVarianceStddev:
+    def test_variance_population(self):
+        from repro.db import variance
+
+        rows = [{"x": value} for value in (1.0, 2.0, 3.0, 4.0)]
+        assert fold(variance("x"), rows) == pytest.approx(1.25)
+
+    def test_stddev_population(self):
+        from repro.db import stddev
+
+        rows = [{"x": value} for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0)]
+        assert fold(stddev("x"), rows) == pytest.approx(2.0)
+
+    def test_nulls_skipped(self):
+        from repro.db import variance
+
+        rows = [{"x": 1.0}, {"x": None}, {"x": 3.0}]
+        assert fold(variance("x"), rows) == pytest.approx(1.0)
+
+    def test_empty_group_null(self):
+        from repro.db import stddev, variance
+
+        assert fold(variance("x"), rows=[]) is None
+        assert fold(stddev("x"), rows=[]) is None
+
+    def test_sql_spelling(self):
+        aggregate = sql_aggregate("STDDEV", ColumnRef("x"), distinct=False)
+        rows = [{"x": 1.0}, {"x": 3.0}]
+        assert fold(aggregate, rows) == pytest.approx(1.0)

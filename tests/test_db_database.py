@@ -1,0 +1,151 @@
+"""Tests for repro.db.database (catalog behaviour)."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    ForeignKey,
+    QueryError,
+    Schema,
+    SchemaError,
+)
+
+
+def simple_schema():
+    return Schema([Column("x", ColumnType.INT, primary_key=True)])
+
+
+class TestCreateDrop:
+    def test_create_and_lookup(self):
+        db = Database("demo")
+        table = db.create_table("t", simple_schema())
+        assert db.table("t") is table
+        assert "t" in db
+        assert db.table_names() == ("t",)
+
+    def test_duplicate_name_rejected(self):
+        db = Database()
+        db.create_table("t", simple_schema())
+        with pytest.raises(SchemaError):
+            db.create_table("t", simple_schema())
+
+    def test_invalid_table_names_rejected(self):
+        db = Database()
+        for bad in ("", "Has Upper", "with space", "semi;"):
+            with pytest.raises(SchemaError):
+                db.create_table(bad, simple_schema())
+
+    def test_missing_table_raises_query_error(self):
+        with pytest.raises(QueryError):
+            Database().table("ghost")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("t", simple_schema())
+        db.drop_table("t")
+        assert "t" not in db
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Database().drop_table("ghost")
+
+    def test_drop_referenced_table_rejected(self):
+        db = Database()
+        db.create_table("parent", simple_schema())
+        db.create_table(
+            "child",
+            Schema(
+                [
+                    Column("y", ColumnType.INT, primary_key=True),
+                    Column(
+                        "x",
+                        ColumnType.INT,
+                        foreign_key=ForeignKey("parent", "x"),
+                    ),
+                ]
+            ),
+        )
+        with pytest.raises(SchemaError):
+            db.drop_table("parent")
+        db.drop_table("child")
+        db.drop_table("parent")
+
+
+class TestForeignKeyValidation:
+    def test_fk_to_unknown_table_rejected(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.create_table(
+                "child",
+                Schema(
+                    [
+                        Column("y", ColumnType.INT, primary_key=True),
+                        Column(
+                            "x",
+                            ColumnType.INT,
+                            foreign_key=ForeignKey("ghost", "x"),
+                        ),
+                    ]
+                ),
+            )
+
+    def test_fk_to_unknown_column_rejected(self):
+        db = Database()
+        db.create_table("parent", simple_schema())
+        with pytest.raises(SchemaError):
+            db.create_table(
+                "child",
+                Schema(
+                    [
+                        Column("y", ColumnType.INT, primary_key=True),
+                        Column(
+                            "x",
+                            ColumnType.INT,
+                            foreign_key=ForeignKey("parent", "nope"),
+                        ),
+                    ]
+                ),
+            )
+
+    def test_self_referencing_fk_allowed(self):
+        db = Database()
+        db.create_table(
+            "nodes",
+            Schema(
+                [
+                    Column("node_id", ColumnType.INT, primary_key=True),
+                    Column(
+                        "parent_id",
+                        ColumnType.INT,
+                        nullable=True,
+                        foreign_key=ForeignKey("nodes", "node_id"),
+                    ),
+                ]
+            ),
+        )
+        db.table("nodes").insert({"node_id": 1, "parent_id": None})
+        db.table("nodes").insert({"node_id": 2, "parent_id": 1})
+
+
+class TestStatsAndRepr:
+    def test_stats(self):
+        db = Database()
+        db.create_table("t", simple_schema())
+        db.table("t").insert({"x": 1})
+        stats = db.stats()
+        assert stats["t"]["rows"] == 1
+        assert stats["t"]["columns"] == ["x"]
+        assert "x" in stats["t"]["indexed"]
+
+    def test_repr_mentions_tables(self):
+        db = Database("demo")
+        db.create_table("t", simple_schema())
+        assert "t[0]" in repr(db)
+
+    def test_iteration_yields_tables(self):
+        db = Database()
+        db.create_table("a", simple_schema())
+        db.create_table("b", simple_schema())
+        assert {table.name for table in db} == {"a", "b"}

@@ -1,0 +1,149 @@
+"""Tests for repro.db.expressions."""
+
+import pytest
+
+from repro.db import QueryError, col, lit
+from repro.db.expressions import extract_equalities
+
+ROW = {"a": 5, "b": "hello", "c": None, "f": 2.5}
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert (col("a") == 5).evaluate(ROW)
+        assert not (col("a") == 6).evaluate(ROW)
+
+    def test_ne(self):
+        assert (col("a") != 6).evaluate(ROW)
+
+    def test_ordering(self):
+        assert (col("a") < 6).evaluate(ROW)
+        assert (col("a") <= 5).evaluate(ROW)
+        assert (col("a") > 4).evaluate(ROW)
+        assert (col("a") >= 5).evaluate(ROW)
+
+    def test_null_comparisons_are_false(self):
+        assert not (col("c") == None).evaluate(ROW)  # noqa: E711
+        assert not (col("c") != 1).evaluate(ROW)
+        assert not (col("c") < 1).evaluate(ROW)
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(QueryError):
+            (col("a") < "text").evaluate(ROW)
+
+
+class TestBooleanOps:
+    def test_and(self):
+        assert ((col("a") == 5) & (col("b") == "hello")).evaluate(ROW)
+        assert not ((col("a") == 5) & (col("b") == "x")).evaluate(ROW)
+
+    def test_or(self):
+        assert ((col("a") == 0) | (col("b") == "hello")).evaluate(ROW)
+
+    def test_not(self):
+        assert (~(col("a") == 0)).evaluate(ROW)
+
+    def test_nested_flattening(self):
+        expr = (col("a") == 5) & (col("a") > 0) & (col("f") > 1)
+        assert len(expr.parts) == 3
+
+    def test_and_requires_expression(self):
+        with pytest.raises(QueryError):
+            (col("a") == 5) & "not an expression"
+
+
+class TestPredicates:
+    def test_isin(self):
+        assert col("a").isin([1, 5, 9]).evaluate(ROW)
+        assert not col("a").isin([1, 2]).evaluate(ROW)
+
+    def test_isin_unhashable_value(self):
+        assert not col("a").isin([[1], [5]]).evaluate(ROW)
+
+    def test_is_null(self):
+        assert col("c").is_null().evaluate(ROW)
+        assert not col("a").is_null().evaluate(ROW)
+
+    def test_is_not_null(self):
+        assert col("a").is_not_null().evaluate(ROW)
+
+    def test_like_percent(self):
+        assert col("b").like("he%").evaluate(ROW)
+        assert col("b").like("%llo").evaluate(ROW)
+        assert not col("b").like("x%").evaluate(ROW)
+
+    def test_like_underscore(self):
+        assert col("b").like("h_llo").evaluate(ROW)
+
+    def test_like_escapes_regex_chars(self):
+        row = {"b": "a.c"}
+        assert col("b").like("a.c").evaluate(row)
+        assert not col("b").like("a.c").evaluate({"b": "abc"})
+
+    def test_like_on_non_string_is_false(self):
+        assert not col("a").like("%").evaluate(ROW)
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert (col("a") + 1).evaluate(ROW) == 6
+        assert (col("a") - 2).evaluate(ROW) == 3
+        assert (col("a") * 2).evaluate(ROW) == 10
+        assert (col("a") / 2).evaluate(ROW) == 2.5
+
+    def test_null_propagates(self):
+        assert (col("c") + 1).evaluate(ROW) is None
+
+    def test_division_by_zero_is_null(self):
+        assert (col("a") / 0).evaluate(ROW) is None
+
+    def test_composition_with_comparison(self):
+        assert ((col("a") * 2) == 10).evaluate(ROW)
+
+
+class TestColumnResolution:
+    def test_qualified_key(self):
+        row = {"t.a": 1}
+        assert col("t.a").evaluate(row) == 1
+
+    def test_unqualified_resolves_by_suffix(self):
+        row = {"t.a": 1, "b": 2}
+        assert col("a").evaluate(row) == 1
+
+    def test_ambiguous_suffix_raises(self):
+        row = {"t.a": 1, "u.a": 2}
+        with pytest.raises(QueryError):
+            col("a").evaluate(row)
+
+    def test_qualified_falls_back_to_bare(self):
+        row = {"a": 1}
+        assert col("t.a").evaluate(row) == 1
+
+    def test_missing_raises(self):
+        with pytest.raises(QueryError):
+            col("zzz").evaluate(ROW)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QueryError):
+            col("")
+
+
+class TestExtractEqualities:
+    def test_single_equality(self):
+        assert extract_equalities(col("a") == 5) == [("a", 5)]
+
+    def test_reversed_equality(self):
+        assert extract_equalities(lit(5) == col("a")) == [("a", 5)]
+
+    def test_and_conjunction(self):
+        found = extract_equalities((col("a") == 1) & (col("b") == 2))
+        assert ("a", 1) in found and ("b", 2) in found
+
+    def test_or_yields_nothing(self):
+        assert extract_equalities((col("a") == 1) | (col("b") == 2)) == []
+
+    def test_inequality_skipped(self):
+        assert extract_equalities(col("a") > 1) == []
+
+    def test_none_predicate(self):
+        assert extract_equalities(None) == []

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the storage engine."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    Schema,
+    col,
+    load_database,
+    save_database,
+)
+from repro.db.table import Table
+
+row_strategy = st.fixed_dictionaries(
+    {
+        "name": st.text(
+            alphabet=st.characters(
+                blacklist_categories=("Cs",), blacklist_characters="\r\n"
+            ),
+            max_size=20,
+        ),
+        "score": st.integers(min_value=-(10**9), max_value=10**9),
+        "ratio": st.floats(allow_nan=False, allow_infinity=False, width=32),
+        "flag": st.booleans(),
+        "note": st.one_of(st.none(), st.text(max_size=10)),
+    }
+)
+
+
+def items_schema():
+    return Schema(
+        [
+            Column("item_id", ColumnType.INT, primary_key=True),
+            Column("name", ColumnType.TEXT),
+            Column("score", ColumnType.INT, indexed=True),
+            Column("ratio", ColumnType.FLOAT),
+            Column("flag", ColumnType.BOOL),
+            Column("note", ColumnType.TEXT, nullable=True),
+        ]
+    )
+
+
+def build_table(rows):
+    table = Table("items", items_schema())
+    for index, row in enumerate(rows):
+        table.insert({"item_id": index, **row})
+    return table
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(row_strategy, max_size=30))
+def test_csv_round_trip_preserves_rows(tmp_path_factory, rows):
+    db = Database("prop")
+    db.create_table("items", items_schema())
+    for index, row in enumerate(rows):
+        db.table("items").insert({"item_id": index, **row})
+    directory = tmp_path_factory.mktemp("roundtrip")
+    save_database(db, directory)
+    loaded = load_database(directory)
+    original = {row["item_id"]: row for row in db.table("items").rows()}
+    restored = {row["item_id"]: row for row in loaded.table("items").rows()}
+    assert restored == original
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(row_strategy, max_size=40),
+    st.integers(min_value=-(10**9), max_value=10**9),
+)
+def test_indexed_scan_equals_full_filter(rows, threshold):
+    table = build_table(rows)
+    predicate = col("score") > threshold
+    scanned = list(table.scan(predicate))
+    filtered = [row for row in table.rows() if row["score"] > threshold]
+    assert scanned == filtered
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(row_strategy, max_size=40))
+def test_index_lookup_matches_linear_search(rows):
+    table = build_table(rows)
+    for score in {row["score"] for row in rows}:
+        via_index = sorted(
+            row["item_id"] for row in table.lookup("score", score)
+        )
+        via_scan = sorted(
+            row["item_id"]
+            for row in table.rows()
+            if row["score"] == score
+        )
+        assert via_index == via_scan
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(row_strategy, min_size=1, max_size=30),
+    st.data(),
+)
+def test_delete_then_compact_preserves_survivors(rows, data):
+    table = build_table(rows)
+    doomed = data.draw(
+        st.sets(
+            st.integers(min_value=0, max_value=len(rows) - 1),
+            max_size=len(rows),
+        )
+    )
+    expected_survivors = {
+        row["item_id"]: row
+        for row in table.rows()
+        if row["item_id"] not in doomed
+    }
+    deleted = table.delete(col("item_id").isin(sorted(doomed)))
+    assert deleted == len(doomed)
+    table.compact()
+    assert {
+        row["item_id"]: row for row in table.rows()
+    } == expected_survivors
+    # Index consistency survives delete + compact.
+    for score in {row["score"] for row in expected_survivors.values()}:
+        assert all(
+            row["score"] == score for row in table.lookup("score", score)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(row_strategy, min_size=1, max_size=30))
+def test_group_by_count_sums_to_row_count(rows):
+    db = Database()
+    db.create_table("items", items_schema())
+    for index, row in enumerate(rows):
+        db.table("items").insert({"item_id": index, **row})
+    from repro.db import count
+
+    grouped = db.query("items").group_by("flag", n=count()).all()
+    assert sum(row["n"] for row in grouped) == len(rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(row_strategy, max_size=30))
+def test_order_by_is_sorted_and_complete(rows):
+    db = Database()
+    db.create_table("items", items_schema())
+    for index, row in enumerate(rows):
+        db.table("items").insert({"item_id": index, **row})
+    ordered = db.query("items").order_by("score").all()
+    scores = [row["score"] for row in ordered]
+    assert scores == sorted(scores)
+    assert len(ordered) == len(rows)

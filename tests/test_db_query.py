@@ -1,0 +1,266 @@
+"""Tests for repro.db.query (the fluent builder)."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    QueryError,
+    Schema,
+    avg,
+    col,
+    count,
+    sum_,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table(
+        "regions",
+        Schema(
+            [
+                Column("code", ColumnType.TEXT, primary_key=True),
+                Column("name", ColumnType.TEXT),
+            ]
+        ),
+    )
+    database.create_table(
+        "recipes",
+        Schema(
+            [
+                Column("recipe_id", ColumnType.INT, primary_key=True),
+                Column("region", ColumnType.TEXT, indexed=True),
+                Column("size", ColumnType.INT),
+                Column("title", ColumnType.TEXT, nullable=True),
+            ]
+        ),
+    )
+    database.table("regions").bulk_insert(
+        [
+            {"code": "ITA", "name": "Italy"},
+            {"code": "JPN", "name": "Japan"},
+            {"code": "FRA", "name": "France"},
+        ]
+    )
+    database.table("recipes").bulk_insert(
+        [
+            {"recipe_id": 1, "region": "ITA", "size": 5, "title": "pasta"},
+            {"recipe_id": 2, "region": "ITA", "size": 9, "title": "pizza"},
+            {"recipe_id": 3, "region": "JPN", "size": 7, "title": "ramen"},
+            {"recipe_id": 4, "region": "JPN", "size": 3, "title": None},
+            {"recipe_id": 5, "region": "ITA", "size": 11, "title": "risotto"},
+        ]
+    )
+    return database
+
+
+class TestSelectWhere:
+    def test_all_rows(self, db):
+        assert db.query("recipes").count() == 5
+
+    def test_where(self, db):
+        rows = db.query("recipes").where(col("region") == "ITA").all()
+        assert {row["recipe_id"] for row in rows} == {1, 2, 5}
+
+    def test_chained_where_ands(self, db):
+        rows = (
+            db.query("recipes")
+            .where(col("region") == "ITA")
+            .where(col("size") > 6)
+            .all()
+        )
+        assert {row["recipe_id"] for row in rows} == {2, 5}
+
+    def test_select_projection(self, db):
+        rows = (
+            db.query("recipes")
+            .where(col("recipe_id") == 1)
+            .select("title", "size")
+            .all()
+        )
+        assert rows == [{"title": "pasta", "size": 5}]
+
+    def test_select_alias_string(self, db):
+        rows = (
+            db.query("recipes")
+            .where(col("recipe_id") == 1)
+            .select("title AS dish")
+            .all()
+        )
+        assert rows == [{"dish": "pasta"}]
+
+    def test_select_computed_expression(self, db):
+        rows = (
+            db.query("recipes")
+            .where(col("recipe_id") == 1)
+            .select((col("size") * 2, "double"))
+            .all()
+        )
+        assert rows == [{"double": 10}]
+
+    def test_first_and_empty(self, db):
+        assert db.query("recipes").where(col("size") > 100).first() is None
+        assert db.query("recipes").first()["recipe_id"] == 1
+
+    def test_column_extraction(self, db):
+        sizes = db.query("recipes").order_by("recipe_id").column("size")
+        assert sizes == [5, 9, 7, 3, 11]
+
+    def test_builder_immutability(self, db):
+        base = db.query("recipes")
+        filtered = base.where(col("region") == "ITA")
+        assert base.count() == 5
+        assert filtered.count() == 3
+
+
+class TestJoin:
+    def test_inner_join(self, db):
+        rows = (
+            db.query("recipes")
+            .join("regions", on=("region", "code"))
+            .where(col("name") == "Italy")
+            .all()
+        )
+        assert {row["recipe_id"] for row in rows} == {1, 2, 5}
+
+    def test_inner_join_drops_unmatched(self, db):
+        db.table("recipes").insert(
+            {"recipe_id": 9, "region": "XXX", "size": 2, "title": None}
+        )
+        rows = db.query("recipes").join("regions", on=("region", "code")).all()
+        assert all(row["recipe_id"] != 9 for row in rows)
+
+    def test_left_join_keeps_unmatched(self, db):
+        db.table("recipes").insert(
+            {"recipe_id": 9, "region": "XXX", "size": 2, "title": None}
+        )
+        rows = (
+            db.query("recipes")
+            .join("regions", on=("region", "code"), how="left")
+            .all()
+        )
+        unmatched = [row for row in rows if row["recipe_id"] == 9]
+        assert len(unmatched) == 1
+        assert unmatched[0]["name"] is None
+
+    def test_colliding_columns_get_qualified(self, db):
+        db.create_table(
+            "notes",
+            Schema(
+                [
+                    Column("note_id", ColumnType.INT, primary_key=True),
+                    Column("code", ColumnType.TEXT),
+                    Column("name", ColumnType.TEXT),
+                ]
+            ),
+        )
+        db.table("notes").insert(
+            {"note_id": 1, "code": "ITA", "name": "note-name"}
+        )
+        rows = (
+            db.query("regions")
+            .join("notes", on=("code", "code"))
+            .all()
+        )
+        assert rows[0]["name"] == "Italy"
+        assert rows[0]["notes.name"] == "note-name"
+
+    def test_bad_join_spec(self, db):
+        with pytest.raises(QueryError):
+            db.query("recipes").join("regions", on=("region",))
+        with pytest.raises(QueryError):
+            db.query("recipes").join("regions", on=("a", "b"), how="outer")
+
+
+class TestGroupBy:
+    def test_count_per_group(self, db):
+        rows = (
+            db.query("recipes")
+            .group_by("region", n=count())
+            .order_by("region")
+            .all()
+        )
+        assert rows == [
+            {"region": "ITA", "n": 3},
+            {"region": "JPN", "n": 2},
+        ]
+
+    def test_multiple_aggregates(self, db):
+        rows = (
+            db.query("recipes")
+            .group_by("region", total=sum_("size"), mean=avg("size"))
+            .order_by("region")
+            .all()
+        )
+        assert rows[0] == {
+            "region": "ITA",
+            "total": 25,
+            "mean": pytest.approx(25 / 3),
+        }
+
+    def test_global_aggregate_without_group_columns(self, db):
+        rows = db.query("recipes").group_by(n=count()).all()
+        assert rows == [{"n": 5}]
+
+    def test_having(self, db):
+        rows = (
+            db.query("recipes")
+            .group_by("region", n=count())
+            .having(col("n") > 2)
+            .all()
+        )
+        assert rows == [{"region": "ITA", "n": 3}]
+
+    def test_group_by_needs_arguments(self, db):
+        with pytest.raises(QueryError):
+            db.query("recipes").group_by()
+
+    def test_aggregate_type_validated(self, db):
+        with pytest.raises(QueryError):
+            db.query("recipes").group_by("region", n="count")
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_asc(self, db):
+        sizes = db.query("recipes").order_by("size").column("size")
+        assert sizes == sorted(sizes)
+
+    def test_order_by_desc(self, db):
+        sizes = db.query("recipes").order_by(("size", "desc")).column("size")
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_multi_key_order(self, db):
+        rows = (
+            db.query("recipes")
+            .order_by("region", ("size", "desc"))
+            .all()
+        )
+        assert [row["recipe_id"] for row in rows] == [5, 2, 1, 3, 4]
+
+    def test_nulls_sort_last(self, db):
+        titles = db.query("recipes").order_by("title").column("title")
+        assert titles[-1] is None
+
+    def test_limit(self, db):
+        assert db.query("recipes").order_by("recipe_id").limit(2).count() == 2
+
+    def test_limit_with_offset(self, db):
+        rows = (
+            db.query("recipes").order_by("recipe_id").limit(2, offset=3).all()
+        )
+        assert [row["recipe_id"] for row in rows] == [4, 5]
+
+    def test_negative_limit_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.query("recipes").limit(-1)
+
+    def test_distinct(self, db):
+        rows = db.query("recipes").select("region").distinct().all()
+        assert len(rows) == 2
+
+    def test_bad_sort_direction(self, db):
+        with pytest.raises(QueryError):
+            db.query("recipes").order_by(("size", "sideways"))

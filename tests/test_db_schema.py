@@ -1,0 +1,135 @@
+"""Tests for repro.db.schema."""
+
+import pytest
+
+from repro.db import Column, ColumnType, ForeignKey, Schema, SchemaError
+
+
+def c(name, column_type=ColumnType.INT, **kwargs):
+    return Column(name, column_type, **kwargs)
+
+
+class TestColumn:
+    def test_invalid_names_rejected(self):
+        for bad in ("", "has space", "semi;colon", "Upper"):
+            with pytest.raises(SchemaError):
+                c(bad)
+
+    def test_underscore_names_ok(self):
+        assert c("recipe_id").name == "recipe_id"
+
+    def test_primary_key_cannot_be_nullable(self):
+        with pytest.raises(SchemaError):
+            c("id", primary_key=True, nullable=True)
+
+
+class TestCoerce:
+    def test_int_accepts_int(self):
+        assert c("x").coerce(5) == 5
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            c("x").coerce(True)
+
+    def test_int_rejects_str(self):
+        with pytest.raises(SchemaError):
+            c("x").coerce("5")
+
+    def test_float_widens_int(self):
+        value = c("x", ColumnType.FLOAT).coerce(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            c("x", ColumnType.FLOAT).coerce(True)
+
+    def test_text_accepts_str(self):
+        assert c("x", ColumnType.TEXT).coerce("hello") == "hello"
+
+    def test_bool_roundtrip(self):
+        assert c("x", ColumnType.BOOL).coerce(False) is False
+
+    def test_json_passthrough(self):
+        payload = {"a": [1, 2]}
+        assert c("x", ColumnType.JSON).coerce(payload) is payload
+
+    def test_null_allowed_when_nullable(self):
+        assert c("x", nullable=True).coerce(None) is None
+
+    def test_null_rejected_when_not_nullable(self):
+        with pytest.raises(SchemaError):
+            c("x").coerce(None)
+
+
+class TestSchema:
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([c("a"), c("a")])
+
+    def test_two_primary_keys_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([c("a", primary_key=True), c("b", primary_key=True)])
+
+    def test_primary_key_lookup(self):
+        schema = Schema([c("a", primary_key=True), c("b")])
+        assert schema.primary_key.name == "a"
+
+    def test_no_primary_key(self):
+        assert Schema([c("a")]).primary_key is None
+
+    def test_contains_and_column(self):
+        schema = Schema([c("a"), c("b")])
+        assert "a" in schema
+        assert "z" not in schema
+        assert schema.column("b").name == "b"
+        with pytest.raises(SchemaError):
+            schema.column("z")
+
+    def test_column_names_ordered(self):
+        schema = Schema([c("b"), c("a")])
+        assert schema.column_names == ("b", "a")
+
+    def test_equality(self):
+        assert Schema([c("a")]) == Schema([c("a")])
+        assert Schema([c("a")]) != Schema([c("b")])
+
+
+class TestCoerceRow:
+    def schema(self):
+        return Schema(
+            [
+                c("id", primary_key=True),
+                c("name", ColumnType.TEXT),
+                c("note", ColumnType.TEXT, nullable=True),
+            ]
+        )
+
+    def test_full_row(self):
+        row = self.schema().coerce_row(
+            {"id": 1, "name": "x", "note": "hi"}
+        )
+        assert row == {"id": 1, "name": "x", "note": "hi"}
+
+    def test_missing_nullable_filled_with_none(self):
+        row = self.schema().coerce_row({"id": 1, "name": "x"})
+        assert row["note"] is None
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(SchemaError):
+            self.schema().coerce_row({"id": 1})
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            self.schema().coerce_row({"id": 1, "name": "x", "zzz": 1})
+
+
+class TestForeignKey:
+    def test_carried_on_column(self):
+        column = c("region", ColumnType.TEXT, foreign_key=ForeignKey("regions", "code"))
+        assert column.foreign_key.table == "regions"
+        assert column.foreign_key.column == "code"

@@ -1,0 +1,145 @@
+"""Tests for SQL DML (INSERT / UPDATE / DELETE)."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    ConstraintViolation,
+    Database,
+    Schema,
+    SqlSyntaxError,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table(
+        "items",
+        Schema(
+            [
+                Column("item_id", ColumnType.INT, primary_key=True),
+                Column("name", ColumnType.TEXT),
+                Column("qty", ColumnType.INT),
+                Column("note", ColumnType.TEXT, nullable=True),
+            ]
+        ),
+    )
+    database.sql(
+        "INSERT INTO items (item_id, name, qty) VALUES "
+        "(1, 'apple', 5), (2, 'pear', 3), (3, 'fig', 9)"
+    )
+    return database
+
+
+class TestInsert:
+    def test_multi_row_insert_count(self, db):
+        assert len(db.table("items")) == 3
+
+    def test_values_stored(self, db):
+        assert db.table("items").get(2) == {
+            "item_id": 2, "name": "pear", "qty": 3, "note": None,
+        }
+
+    def test_null_literal(self, db):
+        db.sql(
+            "INSERT INTO items (item_id, name, qty, note) "
+            "VALUES (4, 'plum', 1, NULL)"
+        )
+        assert db.table("items").get(4)["note"] is None
+
+    def test_boolean_and_negative_literals(self):
+        database = Database()
+        database.create_table(
+            "flags",
+            Schema(
+                [
+                    Column("k", ColumnType.INT, primary_key=True),
+                    Column("active", ColumnType.BOOL),
+                    Column("delta", ColumnType.INT),
+                ]
+            ),
+        )
+        database.sql(
+            "INSERT INTO flags (k, active, delta) VALUES (1, TRUE, -5)"
+        )
+        row = database.table("flags").get(1)
+        assert row["active"] is True
+        assert row["delta"] == -5
+
+    def test_width_mismatch_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("INSERT INTO items (item_id, name) VALUES (9)")
+
+    def test_constraints_enforced(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.sql(
+                "INSERT INTO items (item_id, name, qty) VALUES (1, 'dup', 1)"
+            )
+
+    def test_returns_row_count(self, db):
+        result = db.sql(
+            "INSERT INTO items (item_id, name, qty) VALUES "
+            "(10, 'a', 1), (11, 'b', 2)"
+        )
+        assert result == [{"rows": 2}]
+
+
+class TestUpdate:
+    def test_update_with_where(self, db):
+        result = db.sql("UPDATE items SET qty = 100 WHERE name = 'pear'")
+        assert result == [{"rows": 1}]
+        assert db.table("items").get(2)["qty"] == 100
+
+    def test_update_expression_uses_row_values(self, db):
+        db.sql("UPDATE items SET qty = qty * 2 + 1 WHERE item_id = 1")
+        assert db.table("items").get(1)["qty"] == 11
+
+    def test_multiple_assignments(self, db):
+        db.sql("UPDATE items SET qty = 0, note = 'out' WHERE item_id = 3")
+        row = db.table("items").get(3)
+        assert row["qty"] == 0
+        assert row["note"] == "out"
+
+    def test_update_all_rows(self, db):
+        assert db.sql("UPDATE items SET qty = 7") == [{"rows": 3}]
+        assert all(row["qty"] == 7 for row in db.table("items").rows())
+
+    def test_update_no_match(self, db):
+        assert db.sql("UPDATE items SET qty = 1 WHERE qty > 999") == [
+            {"rows": 0}
+        ]
+
+
+class TestDelete:
+    def test_delete_with_where(self, db):
+        assert db.sql("DELETE FROM items WHERE qty < 5") == [{"rows": 1}]
+        assert db.table("items").get(2) is None
+
+    def test_delete_all(self, db):
+        assert db.sql("DELETE FROM items") == [{"rows": 3}]
+        assert len(db.table("items")) == 0
+
+    def test_delete_then_select(self, db):
+        db.sql("DELETE FROM items WHERE name LIKE 'f%'")
+        names = [row["name"] for row in db.sql("SELECT name FROM items ORDER BY name")]
+        assert names == ["apple", "pear"]
+
+
+class TestDispatch:
+    def test_unknown_statement_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("DROP TABLE items")
+
+    def test_empty_statement_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("   ")
+
+    def test_select_still_works_via_dispatch(self, db):
+        rows = db.sql("SELECT COUNT(*) AS n FROM items")
+        assert rows == [{"n": 3}]
+
+    def test_trailing_garbage_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("DELETE FROM items WHERE qty < 5 banana")

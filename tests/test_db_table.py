@@ -1,0 +1,260 @@
+"""Tests for repro.db.table."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    ConstraintViolation,
+    Database,
+    ForeignKey,
+    QueryError,
+    Schema,
+    col,
+)
+from repro.db.table import Table
+
+
+def people_schema():
+    return Schema(
+        [
+            Column("person_id", ColumnType.INT, primary_key=True),
+            Column("name", ColumnType.TEXT, unique=True),
+            Column("city", ColumnType.TEXT, indexed=True),
+            Column("age", ColumnType.INT, nullable=True),
+        ]
+    )
+
+
+def make_table():
+    table = Table("people", people_schema())
+    table.bulk_insert(
+        [
+            {"person_id": 1, "name": "ada", "city": "london", "age": 36},
+            {"person_id": 2, "name": "grace", "city": "nyc", "age": 85},
+            {"person_id": 3, "name": "alan", "city": "london", "age": 41},
+        ]
+    )
+    return table
+
+
+class TestInsert:
+    def test_len(self):
+        assert len(make_table()) == 3
+
+    def test_primary_key_conflict(self):
+        table = make_table()
+        with pytest.raises(ConstraintViolation):
+            table.insert({"person_id": 1, "name": "x", "city": "rome"})
+
+    def test_unique_conflict(self):
+        table = make_table()
+        with pytest.raises(ConstraintViolation):
+            table.insert({"person_id": 9, "name": "ada", "city": "rome"})
+
+    def test_missing_nullable_defaults_none(self):
+        table = make_table()
+        table.insert({"person_id": 4, "name": "mary", "city": "rome"})
+        assert table.get(4)["age"] is None
+
+
+class TestReads:
+    def test_get_by_pk(self):
+        assert make_table().get(2)["name"] == "grace"
+
+    def test_get_missing_returns_none(self):
+        assert make_table().get(99) is None
+
+    def test_get_without_pk_raises(self):
+        table = Table("t", Schema([Column("a", ColumnType.INT)]))
+        with pytest.raises(QueryError):
+            table.get(1)
+
+    def test_lookup_unique(self):
+        rows = make_table().lookup("name", "alan")
+        assert len(rows) == 1
+        assert rows[0]["person_id"] == 3
+
+    def test_lookup_secondary_index(self):
+        rows = make_table().lookup("city", "london")
+        assert {row["person_id"] for row in rows} == {1, 3}
+
+    def test_lookup_unindexed_column_scans(self):
+        rows = make_table().lookup("age", 85)
+        assert [row["name"] for row in rows] == ["grace"]
+
+    def test_rows_are_fresh_dicts(self):
+        table = make_table()
+        first = next(table.rows())
+        first["name"] = "mutated"
+        assert table.get(first["person_id"])["name"] != "mutated"
+
+    def test_scan_with_predicate(self):
+        rows = list(make_table().scan(col("age") > 40))
+        assert {row["name"] for row in rows} == {"grace", "alan"}
+
+    def test_scan_indexed_equality_matches_full_scan(self):
+        table = make_table()
+        predicate = (col("city") == "london") & (col("age") > 40)
+        indexed = list(table.scan(predicate))
+        full = [row for row in table.rows() if predicate.evaluate(row)]
+        assert indexed == full
+
+    def test_column_values(self):
+        assert make_table().column_values("city") == [
+            "london", "nyc", "london",
+        ]
+
+    def test_contains_value(self):
+        table = make_table()
+        assert table.contains_value("name", "ada")
+        assert not table.contains_value("name", "bob")
+        assert table.contains_value("city", "nyc")
+        assert table.contains_value("age", 36)
+
+
+class TestUpdate:
+    def test_update_with_predicate(self):
+        table = make_table()
+        touched = table.update({"city": "cambridge"}, col("city") == "london")
+        assert touched == 2
+        assert table.lookup("city", "london") == []
+        assert len(table.lookup("city", "cambridge")) == 2
+
+    def test_update_all(self):
+        table = make_table()
+        assert table.update({"age": 1}) == 3
+
+    def test_update_respects_unique(self):
+        table = make_table()
+        with pytest.raises(ConstraintViolation):
+            table.update({"name": "ada"}, col("person_id") == 2)
+
+    def test_update_same_row_unique_value_ok(self):
+        table = make_table()
+        assert table.update({"name": "ada"}, col("person_id") == 1) == 1
+
+    def test_update_unknown_column_raises(self):
+        table = make_table()
+        from repro.db import SchemaError
+
+        with pytest.raises(SchemaError):
+            table.update({"nope": 1})
+
+    def test_update_refreshes_pk_index(self):
+        table = make_table()
+        table.update({"person_id": 10}, col("person_id") == 1)
+        assert table.get(1) is None
+        assert table.get(10)["name"] == "ada"
+
+
+class TestDelete:
+    def test_delete_by_predicate(self):
+        table = make_table()
+        assert table.delete(col("city") == "london") == 2
+        assert len(table) == 1
+        assert table.get(1) is None
+        assert table.lookup("city", "london") == []
+
+    def test_delete_all(self):
+        table = make_table()
+        assert table.delete() == 3
+        assert len(table) == 0
+        assert list(table.rows()) == []
+
+    def test_deleted_pk_can_be_reinserted(self):
+        table = make_table()
+        table.delete(col("person_id") == 1)
+        table.insert({"person_id": 1, "name": "new", "city": "oslo"})
+        assert table.get(1)["name"] == "new"
+
+
+class TestCompact:
+    def test_compact_reclaims_tombstones(self):
+        table = make_table()
+        table.delete(col("person_id") == 2)
+        reclaimed = table.compact()
+        assert reclaimed == 1
+        assert len(table) == 2
+        assert table.get(3)["name"] == "alan"
+        assert {row["name"] for row in table.rows()} == {"ada", "alan"}
+
+    def test_compact_noop_when_clean(self):
+        assert make_table().compact() == 0
+
+    def test_indexes_work_after_compact(self):
+        table = make_table()
+        table.delete(col("person_id") == 1)
+        table.compact()
+        assert [row["name"] for row in table.lookup("city", "london")] == [
+            "alan"
+        ]
+
+
+class TestCreateIndex:
+    def test_post_hoc_index(self):
+        table = make_table()
+        table.create_index("age")
+        assert "age" in table.indexed_columns()
+        assert [row["name"] for row in table.lookup("age", 36)] == ["ada"]
+
+    def test_idempotent(self):
+        table = make_table()
+        table.create_index("age")
+        table.create_index("age")
+        assert len(table.lookup("age", 36)) == 1
+
+
+class TestForeignKeys:
+    def make_db(self):
+        db = Database()
+        db.create_table(
+            "cities",
+            Schema([Column("name", ColumnType.TEXT, primary_key=True)]),
+        )
+        db.create_table(
+            "people",
+            Schema(
+                [
+                    Column("person_id", ColumnType.INT, primary_key=True),
+                    Column(
+                        "city",
+                        ColumnType.TEXT,
+                        foreign_key=ForeignKey("cities", "name"),
+                    ),
+                ]
+            ),
+        )
+        db.table("cities").insert({"name": "london"})
+        return db
+
+    def test_valid_reference(self):
+        db = self.make_db()
+        db.table("people").insert({"person_id": 1, "city": "london"})
+
+    def test_dangling_reference_rejected(self):
+        db = self.make_db()
+        with pytest.raises(ConstraintViolation):
+            db.table("people").insert({"person_id": 1, "city": "paris"})
+
+    def test_null_fk_allowed_when_nullable(self):
+        db = Database()
+        db.create_table(
+            "cities",
+            Schema([Column("name", ColumnType.TEXT, primary_key=True)]),
+        )
+        db.create_table(
+            "people",
+            Schema(
+                [
+                    Column("person_id", ColumnType.INT, primary_key=True),
+                    Column(
+                        "city",
+                        ColumnType.TEXT,
+                        nullable=True,
+                        foreign_key=ForeignKey("cities", "name"),
+                    ),
+                ]
+            ),
+        )
+        db.table("people").insert({"person_id": 1, "city": None})

@@ -1,0 +1,115 @@
+"""Tests for snapshot transactions."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    Schema,
+    TransactionError,
+    col,
+    transaction,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table(
+        "t",
+        Schema(
+            [
+                Column("k", ColumnType.INT, primary_key=True),
+                Column("v", ColumnType.TEXT, indexed=True),
+            ]
+        ),
+    )
+    database.table("t").bulk_insert(
+        [{"k": 1, "v": "a"}, {"k": 2, "v": "b"}]
+    )
+    return database
+
+
+class TestCommit:
+    def test_changes_stand_on_normal_exit(self, db):
+        with transaction(db):
+            db.table("t").insert({"k": 3, "v": "c"})
+            db.sql("UPDATE t SET v = 'z' WHERE k = 1")
+        assert len(db.table("t")) == 3
+        assert db.table("t").get(1)["v"] == "z"
+
+
+class TestRollback:
+    def test_insert_rolled_back(self, db):
+        with pytest.raises(RuntimeError):
+            with transaction(db):
+                db.table("t").insert({"k": 3, "v": "c"})
+                raise RuntimeError("boom")
+        assert len(db.table("t")) == 2
+        assert db.table("t").get(3) is None
+
+    def test_update_rolled_back(self, db):
+        with pytest.raises(RuntimeError):
+            with transaction(db):
+                db.table("t").update({"v": "zzz"})
+                raise RuntimeError("boom")
+        assert db.table("t").get(1)["v"] == "a"
+
+    def test_delete_rolled_back(self, db):
+        with pytest.raises(RuntimeError):
+            with transaction(db):
+                db.table("t").delete()
+                raise RuntimeError("boom")
+        assert len(db.table("t")) == 2
+
+    def test_indexes_restored(self, db):
+        with pytest.raises(RuntimeError):
+            with transaction(db):
+                db.table("t").update({"v": "mut"}, col("k") == 1)
+                raise RuntimeError("boom")
+        assert [r["k"] for r in db.table("t").lookup("v", "a")] == [1]
+        assert db.table("t").lookup("v", "mut") == []
+
+    def test_tables_created_inside_are_dropped(self, db):
+        with pytest.raises(RuntimeError):
+            with transaction(db):
+                db.create_table(
+                    "extra",
+                    Schema([Column("x", ColumnType.INT, primary_key=True)]),
+                )
+                raise RuntimeError("boom")
+        assert "extra" not in db
+
+    def test_pk_reusable_after_rollback(self, db):
+        with pytest.raises(RuntimeError):
+            with transaction(db):
+                db.table("t").insert({"k": 9, "v": "x"})
+                raise RuntimeError("boom")
+        db.table("t").insert({"k": 9, "v": "fresh"})
+        assert db.table("t").get(9)["v"] == "fresh"
+
+
+class TestNesting:
+    def test_nested_transaction_rejected(self, db):
+        with transaction(db):
+            with pytest.raises(TransactionError):
+                with transaction(db):
+                    pass
+
+    def test_reusable_after_exit(self, db):
+        with transaction(db):
+            pass
+        with transaction(db):
+            db.table("t").insert({"k": 5, "v": "ok"})
+        assert db.table("t").get(5)["v"] == "ok"
+
+    def test_two_databases_independent(self, db):
+        other = Database("other")
+        other.create_table(
+            "u", Schema([Column("x", ColumnType.INT, primary_key=True)])
+        )
+        with transaction(db):
+            with transaction(other):
+                other.table("u").insert({"x": 1})
+        assert len(other.table("u")) == 1

@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are executed in-process (``runpy``) so the session's cached
+workspaces are reused where scales coincide; each test asserts the
+example's headline output appears.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        output = capsys.readouterr().out
+        assert "uniform pairing" in output
+        assert "contrasting pairing" in output
+
+    def test_regional_fingerprints(self, capsys):
+        run_example("regional_fingerprints.py", ["ITA"])
+        output = capsys.readouterr().out
+        assert "Italy (ITA)" in output
+        assert "most authentic" in output
+
+    def test_novel_pairings(self, capsys):
+        run_example("novel_pairings.py", ["GRC"])
+        output = capsys.readouterr().out
+        assert "novel pairings for GRC" in output
+        assert "shared molecules" in output
+
+    def test_recipe_designer(self, capsys):
+        run_example("recipe_designer.py", ["FRA"])
+        output = capsys.readouterr().out
+        assert "novel FRA recipes" in output
+        assert "suggested swap" in output or "targeted alteration" in output
+
+    def test_cuisine_classifier(self, capsys):
+        run_example("cuisine_classifier.py")
+        output = capsys.readouterr().out
+        assert "held-out accuracy" in output
+
+    def test_culinary_evolution(self, capsys):
+        run_example("culinary_evolution.py")
+        output = capsys.readouterr().out
+        assert "copy-mutate model" in output
+        assert "Zipf exponent" in output
+
+    def test_sql_tour(self, capsys):
+        run_example("sql_tour.py")
+        output = capsys.readouterr().out
+        assert "Largest cuisines" in output
+        assert "garlic" in output
+
+    def test_robustness_check(self, capsys):
+        run_example("robustness_check.py")
+        output = capsys.readouterr().out
+        assert "bootstrap" in output
+        assert "direction survives" in output
+
+    def test_every_example_file_covered(self):
+        scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        covered = {
+            "quickstart.py", "regional_fingerprints.py",
+            "novel_pairings.py", "recipe_designer.py",
+            "cuisine_classifier.py", "culinary_evolution.py",
+            "sql_tour.py", "robustness_check.py",
+        }
+        assert scripts == covered

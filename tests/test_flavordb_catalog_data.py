@@ -1,0 +1,125 @@
+"""Tests for the curated catalog data (Section III.B of the paper)."""
+
+from repro.datamodel import Category
+from repro.flavordb import (
+    AHN_ADDED_INGREDIENTS,
+    BASIC_INGREDIENTS,
+    COMPOUND_INGREDIENTS,
+    MANUAL_ADDITIVES,
+    PAPER_ADDED_INGREDIENTS,
+    PROFILE_FREE_ADDITIVES,
+    REMOVED_GENERIC_ENTITIES,
+    SYNONYMS,
+)
+
+ALL_BASIC_NAMES = {
+    name for names in BASIC_INGREDIENTS.values() for name in names
+}
+
+
+class TestPaperCounts:
+    def test_840_basic_ingredients(self):
+        assert sum(len(names) for names in BASIC_INGREDIENTS.values()) == 840
+
+    def test_basic_names_globally_unique(self):
+        assert len(ALL_BASIC_NAMES) == 840
+
+    def test_103_compound_ingredients(self):
+        assert len(COMPOUND_INGREDIENTS) == 103
+
+    def test_29_removed_entities(self):
+        assert len(REMOVED_GENERIC_ENTITIES) == 29
+
+    def test_13_paper_added(self):
+        assert len(PAPER_ADDED_INGREDIENTS) == 13
+
+    def test_4_ahn_added(self):
+        assert AHN_ADDED_INGREDIENTS == (
+            "cayenne", "yeast", "tequila", "sauerkraut",
+        )
+
+    def test_7_manual_additives(self):
+        assert len(MANUAL_ADDITIVES) == 7
+
+    def test_last_four_additives_profile_free(self):
+        assert PROFILE_FREE_ADDITIVES == (
+            "cooking spray", "gelatin", "food coloring", "liquid smoke",
+        )
+        assert set(PROFILE_FREE_ADDITIVES) <= set(MANUAL_ADDITIVES)
+
+    def test_all_21_categories_populated(self):
+        assert set(BASIC_INGREDIENTS) == set(Category)
+        assert all(names for names in BASIC_INGREDIENTS.values())
+
+
+class TestNaming:
+    def test_names_are_normalised(self):
+        for name in ALL_BASIC_NAMES:
+            assert name == name.strip().lower()
+
+    def test_paper_additions_present(self):
+        for name in (
+            PAPER_ADDED_INGREDIENTS
+            + AHN_ADDED_INGREDIENTS
+            + MANUAL_ADDITIVES
+        ):
+            assert name in ALL_BASIC_NAMES, name
+
+    def test_removed_entities_not_in_basics(self):
+        assert not set(REMOVED_GENERIC_ENTITIES) & ALL_BASIC_NAMES
+
+    def test_paper_examples_in_catalog(self):
+        # Section III.B names these explicitly.
+        for name in (
+            "anise oil", "apple juice", "coconut milk", "coconut oil",
+            "lemon juice", "brown rice", "tomato juice", "tomato paste",
+            "tomato puree", "coriander seed", "pork fat", "cured ham",
+            "bear",
+        ):
+            assert name in ALL_BASIC_NAMES, name
+
+
+class TestSynonyms:
+    def test_paper_synonym_examples(self):
+        assert SYNONYMS["bun"] == "bread"
+        assert SYNONYMS["lager"] == "beer"
+        assert SYNONYMS["curd"] == "yogurt"
+        assert SYNONYMS["whisky"] == "whiskey"
+        assert SYNONYMS["hing"] == "asafoetida"
+        assert SYNONYMS["chile"] == "chili"
+
+    def test_synonyms_target_known_names(self):
+        for target in SYNONYMS.values():
+            assert (
+                target in ALL_BASIC_NAMES or target in COMPOUND_INGREDIENTS
+            ), target
+
+    def test_synonyms_do_not_shadow_canonical_names(self):
+        assert not set(SYNONYMS) & ALL_BASIC_NAMES
+        assert not set(SYNONYMS) & set(COMPOUND_INGREDIENTS)
+
+
+class TestCompounds:
+    def test_paper_compound_examples(self):
+        # 'half half' consists of milk and cream; mayonnaise of oil, egg
+        # and lemon juice (Section III.B).
+        category, constituents = COMPOUND_INGREDIENTS["half half"]
+        assert set(constituents) == {"milk", "cream"}
+        _category, mayo = COMPOUND_INGREDIENTS["mayonnaise"]
+        assert "egg" in mayo and "lemon juice" in mayo
+
+    def test_constituents_resolve(self):
+        for name, (_category, constituents) in COMPOUND_INGREDIENTS.items():
+            assert len(constituents) >= 2 or name == "tahini", name
+            for constituent in constituents:
+                assert (
+                    constituent in ALL_BASIC_NAMES
+                    or constituent in COMPOUND_INGREDIENTS
+                ), f"{name}: {constituent}"
+
+    def test_compound_names_unique_vs_basics(self):
+        assert not set(COMPOUND_INGREDIENTS) & ALL_BASIC_NAMES
+
+    def test_compound_categories_valid(self):
+        for _name, (category, _c) in COMPOUND_INGREDIENTS.items():
+            assert isinstance(category, Category)

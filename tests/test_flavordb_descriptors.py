@@ -1,0 +1,66 @@
+"""Tests for flavor descriptors."""
+
+import pytest
+
+from repro.flavordb import (
+    FAMILY_DESCRIPTORS,
+    FLAVOR_FAMILIES,
+    describe_ingredient,
+    descriptor_weights,
+    shared_descriptors,
+)
+
+
+class TestFamilyCoverage:
+    def test_every_family_has_descriptors(self):
+        assert set(FAMILY_DESCRIPTORS) == set(FLAVOR_FAMILIES)
+        for family, descriptors in FAMILY_DESCRIPTORS.items():
+            assert descriptors, family
+
+    def test_descriptors_lowercase(self):
+        for descriptors in FAMILY_DESCRIPTORS.values():
+            for descriptor in descriptors:
+                assert descriptor == descriptor.lower()
+
+
+class TestDescribeIngredient:
+    def test_citrus_ingredient_reads_citrusy(self, catalog):
+        top = dict(describe_ingredient(catalog.get("lemon")))
+        assert "citrusy" in top
+
+    def test_dairy_ingredient_reads_creamy(self, catalog):
+        top = dict(describe_ingredient(catalog.get("butter")))
+        assert "buttery" in top or "creamy" in top
+
+    def test_weights_sorted_descending(self, catalog):
+        weights = describe_ingredient(catalog.get("coffee"), top=10)
+        values = [count for _descriptor, count in weights]
+        assert values == sorted(values, reverse=True)
+
+    def test_profile_free_ingredient_empty(self, catalog):
+        assert describe_ingredient(catalog.get("gelatin")) == []
+
+    def test_neutral_commons_muted(self, catalog):
+        descriptors = dict(describe_ingredient(catalog.get("tomato"), top=20))
+        assert "neutral" not in descriptors
+        assert "mild" not in descriptors
+
+
+class TestSharedDescriptors:
+    def test_same_family_pair_shares_family_descriptors(self, catalog):
+        shared = dict(
+            shared_descriptors(catalog.get("garlic"), catalog.get("onion"))
+        )
+        assert "sulfurous" in shared
+
+    def test_cross_family_pair_shares_little(self, catalog):
+        shared = shared_descriptors(
+            catalog.get("lemon"), catalog.get("butter")
+        )
+        total = sum(count for _descriptor, count in shared)
+        assert total <= 3
+
+    def test_descriptor_weights_counts_molecules(self, catalog):
+        lemon = catalog.get("lemon")
+        weights = descriptor_weights(lemon.flavor_profile)
+        assert sum(weights.values()) >= len(lemon.flavor_profile)

@@ -1,0 +1,120 @@
+"""Tests for flavor-profile synthesis."""
+
+import pytest
+
+from repro.datamodel import Category
+from repro.flavordb import (
+    CATEGORY_FAMILIES,
+    FLAVOR_FAMILIES,
+    family_blocks,
+    primary_family,
+    profile_size,
+    secondary_family,
+    stable_seed,
+    synthesize_profile,
+)
+from repro.flavordb.profiles import (
+    MAX_PROFILE_SIZE,
+    MIN_PROFILE_SIZE,
+)
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", "b") == stable_seed("a", "b")
+
+    def test_part_boundaries_matter(self):
+        assert stable_seed("ab", "c") != stable_seed("a", "bc")
+
+    def test_different_inputs_differ(self):
+        assert stable_seed("x") != stable_seed("y")
+
+    def test_64_bit_range(self):
+        assert 0 <= stable_seed("anything") < 2**64
+
+
+class TestPrimaryFamily:
+    def test_override_wins(self):
+        assert primary_family("garlic", Category.VEGETABLE) == "allium-sulfur"
+
+    def test_substring_rule(self):
+        assert (
+            primary_family("smoked trout", Category.FISH) == "smoke-phenol"
+        )
+
+    def test_fallback_uses_category_palette(self):
+        family = primary_family("parsnip", Category.VEGETABLE)
+        assert family in CATEGORY_FAMILIES[Category.VEGETABLE]
+
+    def test_fallback_deterministic(self):
+        first = primary_family("parsnip", Category.VEGETABLE)
+        assert primary_family("parsnip", Category.VEGETABLE) == first
+
+    def test_known_families_only(self):
+        for category in Category:
+            family = primary_family("zzz-unknown", category)
+            assert family in FLAVOR_FAMILIES
+
+
+class TestSecondaryFamily:
+    def test_differs_from_primary_when_possible(self):
+        primary = primary_family("parsnip", Category.VEGETABLE)
+        secondary = secondary_family("parsnip", Category.VEGETABLE, primary)
+        assert secondary != primary
+        assert secondary in CATEGORY_FAMILIES[Category.VEGETABLE]
+
+    def test_single_family_palette_falls_back_to_primary(self):
+        secondary = secondary_family("x", Category.MAIZE, "cereal-lipid")
+        assert secondary == "caramel-furanone"
+
+
+class TestProfileSize:
+    def test_within_bounds(self):
+        for name in ("tomato", "coffee", "salt", "weird thing"):
+            assert MIN_PROFILE_SIZE <= profile_size(name) <= MAX_PROFILE_SIZE
+
+    def test_deterministic(self):
+        assert profile_size("tomato") == profile_size("tomato")
+
+
+class TestSynthesizeProfile:
+    def test_deterministic(self):
+        first = synthesize_profile("tomato", Category.VEGETABLE)
+        second = synthesize_profile("tomato", Category.VEGETABLE)
+        assert first == second
+
+    def test_size_matches_target(self):
+        profile = synthesize_profile("tomato", Category.VEGETABLE)
+        assert len(profile) == profile_size("tomato")
+
+    def test_molecules_in_universe(self):
+        from repro.flavordb import total_molecules
+
+        profile = synthesize_profile("coffee", Category.PLANT)
+        assert all(0 <= m < total_molecules() for m in profile)
+
+    def test_primary_family_dominates(self):
+        blocks = family_blocks()
+        name, category = "garlic", Category.VEGETABLE
+        primary_block = set(blocks[primary_family(name, category)])
+        profile = synthesize_profile(name, category)
+        in_primary = len(profile & primary_block)
+        assert in_primary >= 0.4 * len(profile)
+
+    def test_same_family_ingredients_overlap_more(self):
+        garlic = synthesize_profile("garlic", Category.VEGETABLE)
+        onion = synthesize_profile("onion", Category.VEGETABLE)  # allium too
+        lemon = synthesize_profile("lemon", Category.FRUIT)  # citrus
+        assert len(garlic & onion) > len(garlic & lemon)
+
+    @pytest.mark.parametrize(
+        "name,category",
+        [
+            ("butter", Category.DAIRY),
+            ("basil", Category.HERB),
+            ("salmon", Category.FISH),
+            ("cinnamon", Category.SPICE),
+        ],
+    )
+    def test_profiles_nonempty(self, name, category):
+        assert synthesize_profile(name, category)

@@ -1,0 +1,66 @@
+"""Tests for the flavor-molecule universe."""
+
+from repro.flavordb import (
+    COMMONS_FAMILY,
+    FLAVOR_FAMILIES,
+    build_universe,
+    family_blocks,
+    total_molecules,
+)
+
+
+class TestUniverse:
+    def test_total_matches_family_counts(self):
+        molecules = build_universe()
+        assert len(molecules) == total_molecules()
+        assert len(molecules) == sum(
+            count for count, _seeds in FLAVOR_FAMILIES.values()
+        )
+
+    def test_ids_contiguous_from_zero(self):
+        molecules = build_universe()
+        assert [m.molecule_id for m in molecules] == list(
+            range(len(molecules))
+        )
+
+    def test_family_blocks_partition_the_universe(self):
+        blocks = family_blocks()
+        covered = sorted(
+            molecule_id
+            for block in blocks.values()
+            for molecule_id in block
+        )
+        assert covered == list(range(total_molecules()))
+
+    def test_blocks_match_molecule_families(self):
+        molecules = build_universe()
+        blocks = family_blocks()
+        for molecule in molecules:
+            assert molecule.molecule_id in blocks[molecule.flavor_family]
+
+    def test_commons_family_exists(self):
+        assert COMMONS_FAMILY in FLAVOR_FAMILIES
+
+    def test_seed_molecules_named(self):
+        molecules = build_universe()
+        names = {m.name for m in molecules}
+        for seed in ("limonene", "vanillin", "allicin", "diacetyl", "geosmin"):
+            assert seed in names
+
+    def test_seed_molecules_in_right_family(self):
+        by_name = {m.name: m for m in build_universe()}
+        assert by_name["limonene"].flavor_family == "citrus-terpene"
+        assert by_name["capsaicin"].flavor_family == "pungent-alkaloid"
+        assert by_name["trimethylamine"].flavor_family == "marine-amine"
+
+    def test_deterministic(self):
+        assert build_universe() == build_universe()
+
+    def test_systematic_names_unique(self):
+        molecules = build_universe()
+        names = [m.name for m in molecules]
+        assert len(set(names)) == len(names)
+
+    def test_seed_count_never_exceeds_family_size(self):
+        for family, (count, seeds) in FLAVOR_FAMILIES.items():
+            assert len(seeds) <= count, family

@@ -1,0 +1,129 @@
+"""Tests for the food-design layer (recipe synthesis and tweaking)."""
+
+import numpy as np
+import pytest
+
+from repro.datamodel import ConfigurationError
+from repro.generation import (
+    MAX_OVERLAP_FRACTION,
+    RecipeDesigner,
+    RecipeTweaker,
+)
+from repro.pairing import build_cuisine_view
+
+
+@pytest.fixture(scope="module")
+def ita_view(workspace):
+    return build_cuisine_view(
+        workspace.regional_cuisines()["ITA"], workspace.catalog
+    )
+
+
+@pytest.fixture(scope="module")
+def scnd_view(workspace):
+    return build_cuisine_view(
+        workspace.regional_cuisines()["SCND"], workspace.catalog
+    )
+
+
+class TestRecipeDesigner:
+    def test_proposal_structure(self, ita_view, rng):
+        designer = RecipeDesigner(ita_view)
+        proposal = designer.propose(rng, size=8)
+        assert len(proposal.ingredient_names) == 8
+        assert len(set(proposal.local_indices.tolist())) == 8
+        assert proposal.pairing_score >= 0
+
+    def test_size_sampled_from_cuisine(self, ita_view, rng):
+        designer = RecipeDesigner(ita_view)
+        sizes = {len(designer.propose(rng).local_indices) for _ in range(10)}
+        real_sizes = set(ita_view.recipe_sizes().tolist())
+        assert sizes <= real_sizes
+
+    def test_novelty_constraint(self, ita_view, rng):
+        designer = RecipeDesigner(ita_view)
+        for _ in range(5):
+            proposal = designer.propose(rng, size=9)
+            # either satisfies the constraint or is the best effort
+            assert proposal.max_overlap <= 1.0
+        satisfied = [
+            designer.propose(rng, size=9).max_overlap
+            <= MAX_OVERLAP_FRACTION
+            for _ in range(5)
+        ]
+        assert any(satisfied)
+
+    def test_proposals_track_cuisine_style(self, ita_view, scnd_view):
+        """Italian proposals should pair like Italy, Nordic ones like
+        Scandinavia — i.e. each designer's proposals sit closer to its own
+        cuisine mean than to the other's."""
+        rng = np.random.default_rng(7)
+        ita_designer = RecipeDesigner(ita_view)
+        scnd_designer = RecipeDesigner(scnd_view)
+        ita_scores = [
+            ita_designer.propose(rng, size=8).pairing_score
+            for _ in range(12)
+        ]
+        scnd_scores = [
+            scnd_designer.propose(rng, size=8).pairing_score
+            for _ in range(12)
+        ]
+        assert np.mean(ita_scores) > np.mean(scnd_scores)
+        assert abs(np.mean(ita_scores) - ita_designer.target_score) < abs(
+            np.mean(ita_scores) - scnd_designer.target_score
+        )
+
+    def test_style_score_zero_at_target(self, ita_view):
+        designer = RecipeDesigner(ita_view)
+        # A real recipe with score near the mean has a small style score.
+        from repro.pairing import scores_from_view
+
+        scores = scores_from_view(ita_view)
+        closest = int(np.argmin(np.abs(scores - designer.target_score)))
+        assert designer.style_score(ita_view.recipes[closest]) < 1.0
+
+    def test_oversized_request_rejected(self, ita_view, rng):
+        designer = RecipeDesigner(ita_view)
+        with pytest.raises(ConfigurationError):
+            designer.propose(rng, size=10_000)
+
+    def test_propose_many(self, ita_view, rng):
+        designer = RecipeDesigner(ita_view)
+        proposals = designer.propose_many(rng, 4)
+        assert len(proposals) == 4
+
+
+class TestRecipeTweaker:
+    def test_suggestions_improve_style(self, ita_view):
+        tweaker = RecipeTweaker(ita_view)
+        recipe = ita_view.recipes[2].copy()
+        suggestions = tweaker.suggest_swaps(recipe, top=3)
+        for suggestion in suggestions:
+            assert suggestion.style_gain > 0
+            assert abs(suggestion.new_score - tweaker.target_score) < abs(
+                suggestion.old_score - tweaker.target_score
+            )
+
+    def test_ranked_by_gain(self, ita_view):
+        tweaker = RecipeTweaker(ita_view)
+        suggestions = tweaker.suggest_swaps(ita_view.recipes[5].copy(), top=5)
+        gains = [s.style_gain for s in suggestions]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_swaps_reference_real_ingredients(self, ita_view):
+        tweaker = RecipeTweaker(ita_view)
+        names = {ingredient.name for ingredient in ita_view.ingredients}
+        for suggestion in tweaker.suggest_swaps(
+            ita_view.recipes[0].copy(), top=3
+        ):
+            assert suggestion.remove_name in names
+            assert suggestion.add_name in names
+
+    def test_small_recipe_rejected(self, ita_view):
+        tweaker = RecipeTweaker(ita_view)
+        with pytest.raises(ConfigurationError):
+            tweaker.suggest_swaps(np.asarray([0]))
+
+    def test_pool_validated(self, ita_view):
+        with pytest.raises(ConfigurationError):
+            RecipeTweaker(ita_view, popular_pool=1)

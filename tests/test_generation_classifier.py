@@ -1,0 +1,79 @@
+"""Tests for the cuisine classifier (culinary fingerprints at work)."""
+
+import pytest
+
+from repro.datamodel import ConfigurationError, Cuisine, LookupFailure, Recipe
+from repro.generation import CuisineClassifier, train_test_split
+
+
+@pytest.fixture(scope="module")
+def trained(request):
+    workspace = request.getfixturevalue("workspace")
+    cuisines = workspace.regional_cuisines()
+    training, held_out = train_test_split(cuisines, holdout_fraction=0.2)
+    classifier = CuisineClassifier(
+        training, vocabulary_size=len(workspace.catalog.ingredients)
+    )
+    return classifier, held_out, workspace
+
+
+class TestClassifier:
+    def test_heldout_accuracy_far_above_chance(self, trained):
+        classifier, held_out, _workspace = trained
+        accuracy = classifier.accuracy(held_out)
+        # Chance is 1/22 ~ 4.5%; fingerprints should do far better.
+        assert accuracy > 0.5
+
+    def test_signature_recipes_classified_correctly(self, trained):
+        classifier, _held_out, workspace = trained
+        catalog = workspace.catalog
+        italian = [
+            catalog.get(name).ingredient_id
+            for name in ("tomato", "basil", "olive oil", "parmesan cheese")
+        ]
+        japanese = [
+            catalog.get(name).ingredient_id
+            for name in ("rice", "soy sauce", "mirin", "nori")
+        ]
+        assert classifier.predict(italian).region_code == "ITA"
+        assert classifier.predict(japanese).region_code == "JPN"
+
+    def test_ranking_sorted(self, trained):
+        classifier, held_out, _workspace = trained
+        prediction = classifier.predict(held_out[0])
+        scores = [score for _code, score in prediction.ranking()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_all_regions_scored(self, trained):
+        classifier, held_out, _workspace = trained
+        prediction = classifier.predict(held_out[0])
+        assert len(prediction.log_likelihoods) == 22
+
+    def test_empty_recipe_rejected(self, trained):
+        classifier, _held_out, _workspace = trained
+        with pytest.raises(ConfigurationError):
+            classifier.score([])
+
+    def test_unknown_region_in_accuracy_rejected(self, trained):
+        classifier, _held_out, _workspace = trained
+        alien = Recipe(1, "XXX", frozenset({1, 2, 3}))
+        with pytest.raises(LookupFailure):
+            classifier.accuracy([alien])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CuisineClassifier({}, vocabulary_size=10)
+
+
+class TestTrainTestSplit:
+    def test_split_fractions(self, workspace):
+        cuisines = workspace.regional_cuisines()
+        training, held_out = train_test_split(cuisines, 0.25)
+        total = sum(len(c) for c in cuisines.values())
+        train_total = sum(len(c) for c in training.values())
+        assert train_total + len(held_out) == total
+        assert 0.6 < train_total / total < 0.85
+
+    def test_invalid_fraction(self, workspace):
+        with pytest.raises(ConfigurationError):
+            train_test_split(workspace.regional_cuisines(), 1.5)

@@ -1,0 +1,162 @@
+"""Tests for the food-pairing score N_s."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.datamodel import Category, Ingredient, ValidationError
+from repro.pairing import (
+    batch_scores,
+    food_pairing_score,
+    recipe_score_from_matrix,
+)
+
+
+def ing(ingredient_id, molecules):
+    return Ingredient(
+        ingredient_id=ingredient_id,
+        name=f"ing{ingredient_id}",
+        category=Category.VEGETABLE,
+        flavor_profile=frozenset(molecules),
+    )
+
+
+class TestFoodPairingScore:
+    def test_two_ingredients(self):
+        # N_s = |F1 ∩ F2| for a pair.
+        score = food_pairing_score([ing(1, {1, 2, 3}), ing(2, {2, 3, 4})])
+        assert score == pytest.approx(2.0)
+
+    def test_three_ingredients_formula(self):
+        # Pairs: (1,2)=2 shared, (1,3)=1, (2,3)=0 -> 2*(3)/(3*2) = 1.0
+        score = food_pairing_score(
+            [
+                ing(1, {1, 2, 3}),
+                ing(2, {2, 3, 9}),
+                ing(3, {1, 7, 8}),
+            ]
+        )
+        assert score == pytest.approx(1.0)
+
+    def test_disjoint_profiles_score_zero(self):
+        score = food_pairing_score([ing(1, {1}), ing(2, {2}), ing(3, {3})])
+        assert score == 0.0
+
+    def test_identical_profiles(self):
+        molecules = {1, 2, 3, 4, 5}
+        score = food_pairing_score([ing(i, molecules) for i in range(4)])
+        assert score == pytest.approx(5.0)
+
+    def test_order_invariant(self):
+        ingredients = [ing(1, {1, 2}), ing(2, {2, 3}), ing(3, {1, 3})]
+        assert food_pairing_score(ingredients) == food_pairing_score(
+            ingredients[::-1]
+        )
+
+    def test_profile_free_ingredients_excluded(self):
+        score = food_pairing_score(
+            [ing(1, {1, 2}), ing(2, {1, 2}), ing(3, set())]
+        )
+        assert score == pytest.approx(2.0)
+
+    def test_fewer_than_two_pairable_raises(self):
+        with pytest.raises(ValidationError):
+            food_pairing_score([ing(1, {1})])
+        with pytest.raises(ValidationError):
+            food_pairing_score([ing(1, {1}), ing(2, set())])
+
+
+class TestMatrixBackend:
+    def overlap(self):
+        return np.asarray(
+            [
+                [0, 2, 1],
+                [2, 0, 0],
+                [1, 0, 0],
+            ],
+            dtype=np.float64,
+        )
+
+    def test_matches_reference(self):
+        ingredients = [
+            ing(0, {1, 2, 3}),
+            ing(1, {2, 3, 9}),
+            ing(2, {1, 7, 8}),
+        ]
+        reference = food_pairing_score(ingredients)
+        matrix_score = recipe_score_from_matrix(
+            self.overlap(), np.asarray([0, 1, 2])
+        )
+        assert matrix_score == pytest.approx(reference)
+
+    def test_subset_recipe(self):
+        score = recipe_score_from_matrix(self.overlap(), np.asarray([0, 1]))
+        assert score == pytest.approx(2.0)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValidationError):
+            recipe_score_from_matrix(self.overlap(), np.asarray([0]))
+
+    def test_batch_scores(self):
+        batch = np.asarray([[0, 1], [0, 2], [1, 2]])
+        scores = batch_scores(self.overlap(), batch)
+        assert scores == pytest.approx([2.0, 1.0, 0.0])
+
+    def test_batch_matches_single(self):
+        batch = np.asarray([[0, 1, 2], [2, 1, 0]])
+        scores = batch_scores(self.overlap(), batch)
+        single = recipe_score_from_matrix(
+            self.overlap(), np.asarray([0, 1, 2])
+        )
+        assert scores[0] == pytest.approx(single)
+        assert scores[1] == pytest.approx(single)
+
+
+profile_strategy = st.frozensets(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=15
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(profile_strategy, min_size=2, max_size=8))
+def test_property_score_bounds(profiles):
+    """N_s is bounded by the largest pairwise intersection and below by 0."""
+    ingredients = [ing(i, p) for i, p in enumerate(profiles)]
+    score = food_pairing_score(ingredients)
+    max_pair = max(
+        len(a & b)
+        for i, a in enumerate(profiles)
+        for b in profiles[i + 1 :]
+    )
+    assert 0.0 <= score <= max_pair
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(profile_strategy, min_size=2, max_size=7))
+def test_property_matrix_matches_sets(profiles):
+    """The matrix backend always agrees with the set-based reference."""
+    ingredients = [ing(i, p) for i, p in enumerate(profiles)]
+    n = len(ingredients)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                matrix[i, j] = len(profiles[i] & profiles[j])
+    reference = food_pairing_score(ingredients)
+    via_matrix = recipe_score_from_matrix(matrix, np.arange(n))
+    assert via_matrix == pytest.approx(reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(profile_strategy, min_size=2, max_size=6),
+    st.integers(min_value=0, max_value=40),
+)
+def test_property_adding_shared_molecule_never_decreases_score(
+    profiles, molecule
+):
+    """Adding one molecule to every profile can only increase N_s."""
+    ingredients = [ing(i, p) for i, p in enumerate(profiles)]
+    enriched = [ing(i, set(p) | {molecule}) for i, p in enumerate(profiles)]
+    assert food_pairing_score(enriched) >= food_pairing_score(ingredients)

@@ -1,0 +1,76 @@
+"""Tests for the text-table renderers."""
+
+import numpy as np
+
+from repro.reporting import (
+    format_cell,
+    render_dict_table,
+    render_heatmap,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_ranges(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(0.1234) == "0.1234"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(123.456) == "123.5"
+
+    def test_other_types_stringified(self):
+        assert format_cell(42) == "42"
+        assert format_cell("text") == "text"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(
+            ["Name", "N"], [["tomato", 10], ["very long name", 2]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width
+
+    def test_header_wider_than_cells(self):
+        text = render_table(["A Very Wide Header"], [["x"]])
+        assert "A Very Wide Header" in text
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert text.splitlines()[0].strip() == "A"
+
+
+class TestRenderDictTable:
+    def test_column_order_from_first_row(self):
+        rows = [{"b": 1, "a": 2}, {"b": 3, "a": 4}]
+        text = render_dict_table(rows)
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_dict_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty(self):
+        assert render_dict_table([]) == "(empty)"
+
+
+class TestRenderHeatmap:
+    def test_scaled_values(self):
+        matrix = np.asarray([[0.5, 0.25]])
+        text = render_heatmap(["row1"], ["c1", "c2"], matrix)
+        assert "50.0" in text
+        assert "25.0" in text
+
+    def test_labels_present(self):
+        matrix = np.asarray([[0.1]])
+        text = render_heatmap(["ITA"], ["Spice"], matrix)
+        assert "ITA" in text
+        assert "Spice" in text

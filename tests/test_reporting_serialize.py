@@ -1,0 +1,65 @@
+"""Tests for CSV figure-series export."""
+
+import csv
+
+import pytest
+
+from repro.experiments import run_fig2, run_fig3a, run_fig3b, run_fig4, run_fig5
+from repro.reporting import (
+    export_fig2,
+    export_fig3a,
+    export_fig3b,
+    export_fig4,
+    export_fig5,
+    write_csv,
+)
+
+
+def read_csv(path):
+    with open(path, encoding="utf-8", newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteCsv:
+    def test_writes_headers_and_rows(self, tmp_path):
+        target = write_csv(
+            tmp_path / "deep" / "out.csv", ["a", "b"], [[1, 2], [3, 4]]
+        )
+        rows = read_csv(target)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+class TestFigureExports:
+    def test_fig2_export(self, workspace, tmp_path):
+        path = export_fig2(run_fig2(workspace), tmp_path)
+        rows = read_csv(path)
+        assert rows[0] == ["region", "category", "share"]
+        assert len(rows) == 1 + 23 * 21
+
+    def test_fig3a_export(self, workspace, tmp_path):
+        path = export_fig3a(run_fig3a(workspace), tmp_path)
+        rows = read_csv(path)
+        regions = {row[0] for row in rows[1:]}
+        assert "WORLD" in regions
+        assert len(regions) == 23
+
+    def test_fig3b_export(self, workspace, tmp_path):
+        path = export_fig3b(run_fig3b(workspace), tmp_path)
+        rows = read_csv(path)
+        assert rows[0][0] == "region"
+        # First rank row of each region has normalized == 1.0.
+        firsts = [row for row in rows[1:] if row[1] == "1"]
+        assert all(float(row[4]) == pytest.approx(1.0) for row in firsts)
+
+    def test_fig4_export(self, workspace, tmp_path):
+        result = run_fig4(workspace, n_samples=500)
+        path = export_fig4(result, tmp_path)
+        rows = read_csv(path)
+        assert len(rows) == 1 + 22
+        z_values = [float(row[2]) for row in rows[1:]]
+        assert z_values == sorted(z_values, reverse=True)
+
+    def test_fig5_export(self, workspace, tmp_path):
+        path = export_fig5(run_fig5(workspace), tmp_path)
+        rows = read_csv(path)
+        assert len(rows) == 1 + 22 * 3
