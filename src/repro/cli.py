@@ -8,6 +8,8 @@ Commands:
 * ``build-db --out DIR`` — generate the corpus, alias it, build CulinaryDB
   and persist it as CSV.
 * ``query --db DIR "SELECT ..."`` — run SQL against a persisted database.
+* ``serve`` — build a workspace once and serve it over the HTTP JSON API
+  (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -19,6 +21,32 @@ from collections.abc import Sequence
 
 from .experiments import EXPERIMENTS, build_workspace
 from .experiments.fig4 import run_fig4
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: a strictly positive float (``--scale 0`` is an error)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text}"
+        )
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer (``--samples 0`` is an error)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text}"
+        )
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,13 +65,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument(
         "--scale",
-        type=float,
+        type=_positive_float,
         default=1.0,
         help="recipe-count scale factor (1.0 = full 45,772-recipe corpus)",
     )
     run.add_argument(
         "--samples",
-        type=int,
+        type=_positive_int,
         default=100_000,
         help="random recipes per null model (fig4 only)",
     )
@@ -53,7 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "build-db", help="generate corpus and persist CulinaryDB as CSV"
     )
     build.add_argument("--out", required=True, help="output directory")
-    build.add_argument("--scale", type=float, default=1.0)
+    build.add_argument("--scale", type=_positive_float, default=1.0)
     build.add_argument("--seed", type=int, default=None)
 
     query = sub.add_parser("query", help="run SQL against a persisted DB")
@@ -64,8 +92,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="run every experiment and write text tables"
     )
     report.add_argument("--out", required=True, help="output directory")
-    report.add_argument("--scale", type=float, default=1.0)
-    report.add_argument("--samples", type=int, default=100_000)
+    report.add_argument("--scale", type=_positive_float, default=1.0)
+    report.add_argument("--samples", type=_positive_int, default=100_000)
     report.add_argument("--seed", type=int, default=None)
     report.add_argument(
         "--csv",
@@ -79,6 +107,49 @@ def _build_parser() -> argparse.ArgumentParser:
     alias.add_argument("phrase", nargs="+", help="the ingredient line")
     alias.add_argument(
         "--fuzzy", action="store_true", help="enable typo correction"
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve the workspace over an HTTP JSON API"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--scale",
+        type=_positive_float,
+        default=1.0,
+        help="recipe-count scale factor for the served workspace",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="corpus seed")
+    serve.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=1024,
+        help="result-cache capacity in entries",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=_positive_float,
+        default=None,
+        help="result-cache entry lifetime in seconds (default: no expiry)",
+    )
+    serve.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip pre-building the classifier and CulinaryDB at start-up",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the per-endpoint metrics summary on shutdown",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
 
@@ -185,6 +256,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"ingredients: {names}")
         if resolution.leftover_tokens:
             print(f"leftover: {' '.join(resolution.leftover_tokens)}")
+        return 0
+
+    if args.command == "serve":
+        from .service import QueryService, ResultCache, ServiceApp, create_server
+
+        workspace_kwargs = {"recipe_scale": args.scale}
+        if args.seed is not None:
+            workspace_kwargs["seed"] = args.seed
+        started = time.time()
+        print(f"building workspace (scale={args.scale}) ...", flush=True)
+        workspace = build_workspace(**workspace_kwargs)
+        service = QueryService(workspace)
+        if not args.no_warm:
+            service.warm()
+        app = ServiceApp(
+            service,
+            cache=ResultCache(capacity=args.cache_size, ttl=args.ttl),
+        )
+        server = create_server(
+            app, host=args.host, port=args.port, verbose=args.verbose
+        )
+        print(
+            f"serving {len(workspace.recipes)} recipes at {server.url} "
+            f"({time.time() - started:.1f}s to warm); Ctrl-C to stop",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+            if args.stats:
+                print("\n" + app.metrics.render_summary())
         return 0
 
     return 1  # pragma: no cover - argparse enforces the choices

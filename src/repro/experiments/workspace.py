@@ -9,6 +9,8 @@ corpus takes on the order of a minute, so workspaces are cached per
 from __future__ import annotations
 
 import dataclasses
+import threading
+from collections import OrderedDict
 
 from ..aliasing import AliasingPipeline, MatchReport
 from ..corpus import DEFAULT_SEED, CorpusGenerator, GeneratedCorpus
@@ -49,7 +51,41 @@ class ExperimentWorkspace:
         }
 
 
-_CACHE: dict[tuple[int, float, bool], ExperimentWorkspace] = {}
+#: Workspaces retained in the LRU cache. Each full-scale workspace holds
+#: tens of thousands of recipe objects, so the bound is deliberately small.
+MAX_CACHED_WORKSPACES = 4
+
+_CacheKey = tuple[int, float, bool]
+
+_CACHE: OrderedDict[_CacheKey, ExperimentWorkspace] = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+#: Per-key build locks: concurrent callers asking for the same workspace
+#: (e.g. service threads on a cold start) build it once, not N times.
+_BUILD_LOCKS: dict[_CacheKey, threading.Lock] = {}
+
+
+def _cache_get(key: _CacheKey) -> ExperimentWorkspace | None:
+    with _CACHE_LOCK:
+        workspace = _CACHE.get(key)
+        if workspace is not None:
+            _CACHE.move_to_end(key)
+        return workspace
+
+
+def _cache_put(key: _CacheKey, workspace: ExperimentWorkspace) -> None:
+    with _CACHE_LOCK:
+        _CACHE[key] = workspace
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > MAX_CACHED_WORKSPACES:
+            _CACHE.popitem(last=False)
+
+
+def _build_lock(key: _CacheKey) -> threading.Lock:
+    with _CACHE_LOCK:
+        lock = _BUILD_LOCKS.get(key)
+        if lock is None:
+            lock = _BUILD_LOCKS[key] = threading.Lock()
+        return lock
 
 
 def build_workspace(
@@ -58,10 +94,29 @@ def build_workspace(
     include_world_only: bool = True,
     use_cache: bool = True,
 ) -> ExperimentWorkspace:
-    """Build (or fetch from cache) the experiment workspace."""
+    """Build (or fetch from cache) the experiment workspace.
+
+    The cache is thread-safe and bounded: at most
+    :data:`MAX_CACHED_WORKSPACES` workspaces are retained (LRU), and
+    concurrent requests for the same key build the workspace exactly once.
+    """
     key = (seed, recipe_scale, include_world_only)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if not use_cache:
+        return _build(seed, recipe_scale, include_world_only)
+    workspace = _cache_get(key)
+    if workspace is not None:
+        return workspace
+    with _build_lock(key):
+        workspace = _cache_get(key)  # built while we waited?
+        if workspace is None:
+            workspace = _build(seed, recipe_scale, include_world_only)
+            _cache_put(key, workspace)
+        return workspace
+
+
+def _build(
+    seed: int, recipe_scale: float, include_world_only: bool
+) -> ExperimentWorkspace:
     generator = CorpusGenerator(
         seed=seed,
         recipe_scale=recipe_scale,
@@ -70,7 +125,7 @@ def build_workspace(
     corpus = generator.generate()
     pipeline = AliasingPipeline(generator.catalog)
     result = pipeline.resolve_corpus(corpus.raw_recipes)
-    workspace = ExperimentWorkspace(
+    return ExperimentWorkspace(
         corpus=corpus,
         recipes=result.recipes,
         report=result.report,
@@ -79,11 +134,10 @@ def build_workspace(
         seed=seed,
         recipe_scale=recipe_scale,
     )
-    if use_cache:
-        _CACHE[key] = workspace
-    return workspace
 
 
 def clear_workspace_cache() -> None:
     """Drop all cached workspaces (tests use this to bound memory)."""
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _BUILD_LOCKS.clear()

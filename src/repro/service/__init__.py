@@ -1,0 +1,43 @@
+"""Query-serving subsystem: the repo's capabilities behind an HTTP JSON API.
+
+The analyses, the aliasing pipeline, the cuisine classifier and the SQL
+engine are all built for batch experiment runs; this package wraps a warm
+:class:`~repro.experiments.ExperimentWorkspace` behind a request/response
+API so the same capabilities serve interactive, query-driven workloads
+("Kissing Cuisines" and the world-cuisine evolution papers both treat
+recipe analytics as an online service). Layers:
+
+* :mod:`repro.service.handlers` — typed request handlers over the
+  workspace (:class:`QueryService`), independent of any transport.
+* :mod:`repro.service.cache` — a thread-safe LRU+TTL result cache keyed
+  on canonicalised requests, shared across handlers.
+* :mod:`repro.service.metrics` — per-endpoint counters and latency
+  histograms, surfaced at ``/metrics``.
+* :mod:`repro.service.app` — routing, request validation, structured
+  error envelopes; maps ``(method, path, payload)`` to a JSON response.
+* :mod:`repro.service.server` — the stdlib HTTP transport
+  (``ThreadingHTTPServer``); adds zero dependencies.
+
+``repro serve`` (see :mod:`repro.cli`) builds the workspace once and
+serves it until interrupted.
+"""
+
+from .app import ROUTES, ServiceApp
+from .cache import CacheStats, ResultCache, canonical_key
+from .handlers import QueryService, RequestError
+from .metrics import LatencyStats, ServiceMetrics
+from .server import ServiceServer, create_server
+
+__all__ = [
+    "ROUTES",
+    "ServiceApp",
+    "CacheStats",
+    "ResultCache",
+    "canonical_key",
+    "QueryService",
+    "RequestError",
+    "LatencyStats",
+    "ServiceMetrics",
+    "ServiceServer",
+    "create_server",
+]

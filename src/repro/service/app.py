@@ -1,0 +1,145 @@
+"""The service application: routing, caching, metrics and error envelopes.
+
+:class:`ServiceApp` maps ``(method, path, payload)`` to a
+``(status, body)`` pair. It owns the shared :class:`ResultCache` and
+:class:`ServiceMetrics`; transports (the stdlib HTTP server, tests, or a
+future batching front-end) only ever call :meth:`ServiceApp.dispatch`.
+
+Error responses use one structured envelope::
+
+    {"error": {"code": "unknown_ingredient", "message": "..."},
+     "status": 404}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import traceback
+from typing import Any, Callable
+
+from ..datamodel import ReproError
+from .cache import MISSING, ResultCache, canonical_key
+from .handlers import QueryService, RequestError
+from .metrics import ServiceMetrics
+
+
+@dataclasses.dataclass(frozen=True)
+class Route:
+    """One endpoint: its method, handler name and cache policy.
+
+    Attributes:
+        method: HTTP method (``GET`` or ``POST``).
+        handler: ``QueryService`` method name serving the route.
+        cacheable: whether responses may be served from the result cache
+            (introspection endpoints must always be recomputed).
+    """
+
+    method: str
+    handler: str
+    cacheable: bool
+
+
+#: path -> route table. POST endpoints take a JSON body; GET endpoints
+#: ignore any body.
+ROUTES: dict[str, Route] = {
+    "/healthz": Route("GET", "handle_healthz", cacheable=False),
+    "/metrics": Route("GET", "handle_metrics", cacheable=False),
+    "/regions": Route("GET", "handle_regions", cacheable=True),
+    "/stats": Route("GET", "handle_stats", cacheable=True),
+    "/alias": Route("POST", "handle_alias", cacheable=True),
+    "/score": Route("POST", "handle_score", cacheable=True),
+    "/classify": Route("POST", "handle_classify", cacheable=True),
+    "/pairings": Route("POST", "handle_pairings", cacheable=True),
+    "/sql": Route("POST", "handle_sql", cacheable=True),
+}
+
+
+def error_body(status: int, code: str, message: str) -> dict[str, Any]:
+    """The structured error envelope every failure path uses."""
+    return {"error": {"code": code, "message": message}, "status": status}
+
+
+class ServiceApp:
+    """Dispatches requests to a :class:`QueryService` with caching/metrics."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        cache: ResultCache | None = None,
+        metrics: ServiceMetrics | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.service = service
+        self.cache = cache if cache is not None else ResultCache()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._clock = clock
+
+    def dispatch(
+        self, method: str, path: str, payload: Any = None
+    ) -> tuple[int, dict[str, Any]]:
+        """Serve one request; never raises.
+
+        Returns:
+            ``(http status, JSON-ready body)``.
+        """
+        started = self._clock()
+        route = ROUTES.get(path)
+        if route is None:
+            status, body = 404, error_body(
+                404, "unknown_path", f"no such endpoint: {path}"
+            )
+            self.metrics.observe("(unknown)", self._clock() - started, error=True)
+            return status, body
+        endpoint = path.lstrip("/")
+        if method != route.method:
+            status, body = 405, error_body(
+                405,
+                "method_not_allowed",
+                f"{path} requires {route.method}, got {method}",
+            )
+            self.metrics.observe(endpoint, self._clock() - started, error=True)
+            return status, body
+
+        cache_hit = False
+        try:
+            if route.handler == "handle_metrics":
+                status, body = 200, self._metrics_body()
+            elif route.cacheable:
+                key = canonical_key(endpoint, payload)
+                cached = self.cache.get(key)
+                if cached is not MISSING:
+                    cache_hit = True
+                    status, body = 200, cached
+                else:
+                    body = getattr(self.service, route.handler)(payload)
+                    self.cache.put(key, body)
+                    status = 200
+            else:
+                status, body = 200, getattr(self.service, route.handler)(payload)
+        except RequestError as error:
+            status, body = error.status, error_body(
+                error.status, error.code, str(error)
+            )
+        except ReproError as error:
+            status, body = 400, error_body(
+                400, type(error).__name__.lower(), str(error)
+            )
+        except Exception as error:  # noqa: BLE001 - the server must not die
+            traceback.print_exc()
+            status, body = 500, error_body(
+                500, "internal_error", f"{type(error).__name__}: {error}"
+            )
+        self.metrics.observe(
+            endpoint,
+            self._clock() - started,
+            error=status >= 400,
+            cache_hit=cache_hit,
+        )
+        return status, body
+
+    def _metrics_body(self) -> dict[str, Any]:
+        return {
+            "endpoints": self.metrics.snapshot(),
+            "cache": self.cache.stats().as_dict(),
+        }

@@ -1,0 +1,402 @@
+"""Typed request handlers over a warm experiment workspace.
+
+:class:`QueryService` is the transport-independent core of the serving
+layer: each ``handle_*`` method takes a decoded JSON payload (a dict) and
+returns a JSON-ready dict, raising :class:`RequestError` for anything the
+client got wrong. Heavy derived artefacts (the aliasing pipeline, the
+cuisine classifier, the CulinaryDB instance) are built lazily on first
+use and shared across all server threads behind a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..aliasing import AliasingPipeline
+from ..culinarydb import build_culinarydb
+from ..datamodel import REGIONS, ReproError
+from ..db import Database
+from ..db.errors import SqlSyntaxError
+from ..db.sql.tokenizer import tokenize
+from ..experiments import ExperimentWorkspace
+from ..generation import CuisineClassifier
+from ..pairing import food_pairing_score
+
+#: Hard ceiling on rows returned by ``/sql`` (and default row cap).
+MAX_SQL_ROWS = 1000
+DEFAULT_SQL_ROWS = 200
+
+#: Default / maximum pairing partners returned by ``/pairings``.
+DEFAULT_PAIRING_LIMIT = 10
+MAX_PAIRING_LIMIT = 50
+
+
+class RequestError(ReproError):
+    """A request the service refuses; carries an HTTP status and a code.
+
+    Attributes:
+        status: HTTP status to respond with (4xx).
+        code: stable machine-readable error code for the envelope.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def _payload_dict(payload: Any) -> dict[str, Any]:
+    if payload is None:
+        return {}
+    if not isinstance(payload, dict):
+        raise RequestError(
+            400, "invalid_payload", "request body must be a JSON object"
+        )
+    return payload
+
+
+def _reject_unknown(payload: dict[str, Any], allowed: frozenset[str]) -> None:
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise RequestError(
+            400,
+            "unknown_field",
+            f"unknown field(s): {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(allowed))})",
+        )
+
+
+def _string_field(payload: dict[str, Any], name: str) -> str:
+    value = payload.get(name)
+    if not isinstance(value, str) or not value.strip():
+        raise RequestError(
+            400, "invalid_field", f"{name!r} must be a non-empty string"
+        )
+    return value.strip()
+
+
+def _string_list_field(payload: dict[str, Any], name: str) -> list[str]:
+    value = payload.get(name)
+    if (
+        not isinstance(value, list)
+        or not value
+        or not all(isinstance(item, str) and item.strip() for item in value)
+    ):
+        raise RequestError(
+            400,
+            "invalid_field",
+            f"{name!r} must be a non-empty list of non-empty strings",
+        )
+    return [item.strip() for item in value]
+
+
+def _int_field(
+    payload: dict[str, Any],
+    name: str,
+    default: int,
+    minimum: int,
+    maximum: int,
+) -> int:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(
+            400, "invalid_field", f"{name!r} must be an integer"
+        )
+    if not minimum <= value <= maximum:
+        raise RequestError(
+            400,
+            "invalid_field",
+            f"{name!r} must be between {minimum} and {maximum}, got {value}",
+        )
+    return value
+
+
+def _bool_field(payload: dict[str, Any], name: str, default: bool) -> bool:
+    value = payload.get(name, default)
+    if not isinstance(value, bool):
+        raise RequestError(
+            400, "invalid_field", f"{name!r} must be a boolean"
+        )
+    return value
+
+
+class QueryService:
+    """Request handlers bound to one :class:`ExperimentWorkspace`."""
+
+    def __init__(self, workspace: ExperimentWorkspace) -> None:
+        self._workspace = workspace
+        self._lock = threading.Lock()
+        self._pipelines: dict[bool, AliasingPipeline] = {}
+        self._classifier: CuisineClassifier | None = None
+        self._database: Database | None = None
+
+    @property
+    def workspace(self) -> ExperimentWorkspace:
+        return self._workspace
+
+    # ------------------------------------------------------------------
+    # lazily-built shared artefacts
+    # ------------------------------------------------------------------
+    def _pipeline(self, fuzzy: bool) -> AliasingPipeline:
+        with self._lock:
+            pipeline = self._pipelines.get(fuzzy)
+            if pipeline is None:
+                pipeline = AliasingPipeline(
+                    self._workspace.catalog, fuzzy=fuzzy
+                )
+                self._pipelines[fuzzy] = pipeline
+            return pipeline
+
+    def classifier(self) -> CuisineClassifier:
+        """The naive-Bayes classifier, trained once on first use."""
+        with self._lock:
+            if self._classifier is None:
+                self._classifier = CuisineClassifier(
+                    self._workspace.regional_cuisines(),
+                    vocabulary_size=len(self._workspace.catalog),
+                )
+            return self._classifier
+
+    def database(self) -> Database:
+        """CulinaryDB over the workspace corpus, built once on first use."""
+        with self._lock:
+            if self._database is None:
+                self._database = build_culinarydb(
+                    self._workspace.recipes,
+                    self._workspace.catalog,
+                    raw_recipes=self._workspace.corpus.raw_recipes,
+                )
+            return self._database
+
+    def warm(self) -> None:
+        """Pre-build every lazy artefact (used at server start-up)."""
+        self._pipeline(fuzzy=False)
+        self.classifier()
+        self.database()
+
+    # ------------------------------------------------------------------
+    # ingredient resolution shared by score/classify/pairings
+    # ------------------------------------------------------------------
+    def _resolve_names(self, names: list[str], fuzzy: bool) -> list:
+        """Map raw phrases to distinct catalog ingredients, order-preserving.
+
+        Raises:
+            RequestError: 404 when any phrase resolves to nothing.
+        """
+        pipeline = self._pipeline(fuzzy)
+        resolved = []
+        seen: set[int] = set()
+        unresolved: list[str] = []
+        for name in names:
+            resolution = pipeline.resolve_phrase(name)
+            if not resolution.ingredients:
+                unresolved.append(name)
+                continue
+            for ingredient in resolution.ingredients:
+                if ingredient.ingredient_id not in seen:
+                    seen.add(ingredient.ingredient_id)
+                    resolved.append(ingredient)
+        if unresolved:
+            raise RequestError(
+                404,
+                "unknown_ingredient",
+                "unrecognised ingredient(s): "
+                + ", ".join(repr(name) for name in unresolved),
+            )
+        return resolved
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def handle_healthz(self, payload: Any) -> dict[str, Any]:
+        """Liveness: workspace identity and corpus size."""
+        _payload_dict(payload)
+        workspace = self._workspace
+        return {
+            "status": "ok",
+            "seed": workspace.seed,
+            "recipe_scale": workspace.recipe_scale,
+            "recipes": len(workspace.recipes),
+            "regions": len(workspace.regional_cuisines()),
+        }
+
+    def handle_alias(self, payload: Any) -> dict[str, Any]:
+        """Resolve one raw ingredient phrase against the catalog."""
+        body = _payload_dict(payload)
+        _reject_unknown(body, frozenset({"phrase", "fuzzy"}))
+        phrase = _string_field(body, "phrase")
+        fuzzy = _bool_field(body, "fuzzy", default=False)
+        resolution = self._pipeline(fuzzy).resolve_phrase(phrase)
+        return {
+            "phrase": phrase,
+            "kind": resolution.kind.value,
+            "ingredients": [
+                {
+                    "ingredient_id": ingredient.ingredient_id,
+                    "name": ingredient.name,
+                    "category": ingredient.category.value,
+                }
+                for ingredient in resolution.ingredients
+            ],
+            "leftover_tokens": list(resolution.leftover_tokens),
+        }
+
+    def handle_score(self, payload: Any) -> dict[str, Any]:
+        """Food-pairing N_s for an ad-hoc ingredient list."""
+        body = _payload_dict(payload)
+        _reject_unknown(body, frozenset({"ingredients", "fuzzy"}))
+        names = _string_list_field(body, "ingredients")
+        fuzzy = _bool_field(body, "fuzzy", default=False)
+        ingredients = self._resolve_names(names, fuzzy)
+        pairable = [i for i in ingredients if i.has_flavor_profile]
+        if len(pairable) < 2:
+            raise RequestError(
+                422,
+                "not_pairable",
+                "food pairing needs at least two resolved ingredients "
+                f"with flavor profiles, got {len(pairable)}",
+            )
+        return {
+            "score": food_pairing_score(ingredients),
+            "resolved": [ingredient.name for ingredient in ingredients],
+            "pairable": len(pairable),
+        }
+
+    def handle_classify(self, payload: Any) -> dict[str, Any]:
+        """Cuisine prediction for an ad-hoc ingredient list."""
+        body = _payload_dict(payload)
+        _reject_unknown(body, frozenset({"ingredients", "fuzzy", "top"}))
+        names = _string_list_field(body, "ingredients")
+        fuzzy = _bool_field(body, "fuzzy", default=False)
+        top = _int_field(body, "top", default=5, minimum=1, maximum=22)
+        ingredients = self._resolve_names(names, fuzzy)
+        prediction = self.classifier().predict(
+            [ingredient.ingredient_id for ingredient in ingredients]
+        )
+        return {
+            "region_code": prediction.region_code,
+            "resolved": [ingredient.name for ingredient in ingredients],
+            "ranking": [
+                {"region_code": code, "log_likelihood": round(value, 4)}
+                for code, value in prediction.ranking()[:top]
+            ],
+        }
+
+    def handle_pairings(self, payload: Any) -> dict[str, Any]:
+        """Top molecule-sharing partners for one ingredient."""
+        body = _payload_dict(payload)
+        _reject_unknown(body, frozenset({"ingredient", "fuzzy", "limit"}))
+        name = _string_field(body, "ingredient")
+        fuzzy = _bool_field(body, "fuzzy", default=False)
+        limit = _int_field(
+            body,
+            "limit",
+            default=DEFAULT_PAIRING_LIMIT,
+            minimum=1,
+            maximum=MAX_PAIRING_LIMIT,
+        )
+        target = self._resolve_names([name], fuzzy)[0]
+        if not target.has_flavor_profile:
+            raise RequestError(
+                422,
+                "not_pairable",
+                f"{target.name!r} has no flavor profile to pair on",
+            )
+        catalog = self._workspace.catalog
+        partners = sorted(
+            (
+                (target.shared_molecules(other), other)
+                for other in catalog.pairable_ingredients()
+                if other.ingredient_id != target.ingredient_id
+            ),
+            key=lambda pair: (-pair[0], pair[1].name),
+        )
+        return {
+            "ingredient": target.name,
+            "profile_size": len(target.flavor_profile),
+            "partners": [
+                {
+                    "name": other.name,
+                    "category": other.category.value,
+                    "shared_molecules": shared,
+                }
+                for shared, other in partners[:limit]
+                if shared > 0
+            ],
+        }
+
+    def handle_regions(self, payload: Any) -> dict[str, Any]:
+        """Table 1-style per-region summary of the workspace corpus."""
+        _payload_dict(payload)
+        cuisines = self._workspace.regional_cuisines()
+        rows = []
+        for region in REGIONS:
+            cuisine = cuisines.get(region.code)
+            rows.append(
+                {
+                    "code": region.code,
+                    "name": region.name,
+                    "pairing": region.pairing.value,
+                    "recipes": len(cuisine) if cuisine else 0,
+                    "ingredients": (
+                        len(cuisine.ingredient_ids) if cuisine else 0
+                    ),
+                    "published_recipes": region.recipe_count,
+                    "published_ingredients": region.ingredient_count,
+                }
+            )
+        return {"regions": rows}
+
+    def handle_stats(self, payload: Any) -> dict[str, Any]:
+        """Aggregate corpus and aliasing statistics."""
+        _payload_dict(payload)
+        workspace = self._workspace
+        report = workspace.report
+        sizes = [recipe.size for recipe in workspace.recipes]
+        return {
+            "recipes": len(workspace.recipes),
+            "regions": len(workspace.regional_cuisines()),
+            "catalog_ingredients": len(workspace.catalog),
+            "mean_recipe_size": (
+                round(sum(sizes) / len(sizes), 3) if sizes else 0.0
+            ),
+            "aliasing": {
+                "phrases": report.phrases_total,
+                "exact_rate": round(report.exact_rate(), 4),
+                "recipes_resolved": report.recipes_resolved,
+                "recipes_total": report.recipes_total,
+            },
+        }
+
+    def handle_sql(self, payload: Any) -> dict[str, Any]:
+        """Read-only SELECT against the in-memory CulinaryDB."""
+        body = _payload_dict(payload)
+        _reject_unknown(body, frozenset({"query", "max_rows"}))
+        query = _string_field(body, "query")
+        max_rows = _int_field(
+            body,
+            "max_rows",
+            default=DEFAULT_SQL_ROWS,
+            minimum=1,
+            maximum=MAX_SQL_ROWS,
+        )
+        try:
+            tokens = tokenize(query)
+        except SqlSyntaxError as error:
+            raise RequestError(400, "sql_syntax", str(error)) from error
+        if not tokens or tokens[0].value != "SELECT":
+            raise RequestError(
+                403,
+                "read_only",
+                "only SELECT statements are served; DML is not allowed",
+            )
+        try:
+            rows = self.database().sql(query)
+        except ReproError as error:
+            raise RequestError(400, "sql_error", str(error)) from error
+        return {
+            "rows": rows[:max_rows],
+            "row_count": len(rows),
+            "truncated": len(rows) > max_rows,
+        }

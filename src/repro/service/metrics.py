@@ -1,0 +1,174 @@
+"""Per-endpoint request metrics: counters and latency percentiles.
+
+Every dispatched request records its endpoint, outcome and wall-clock
+latency. Latencies land in a fixed-size reservoir (the most recent
+:data:`RESERVOIR_SIZE` samples per endpoint), from which ``/metrics``
+derives p50/p95/p99 — a sliding-window view that stays O(1) memory on a
+server handling millions of requests. Counters are monotonic for the
+process lifetime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+from typing import Any
+
+#: Latency samples retained per endpoint (a sliding window).
+RESERVOIR_SIZE = 2048
+
+#: Percentiles exposed by snapshots, as fractions.
+PERCENTILES = (0.50, 0.95, 0.99)
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyStats:
+    """Summary of one endpoint's latency window (seconds).
+
+    Attributes:
+        count: total requests observed (beyond the window).
+        mean: mean latency over the window.
+        p50/p95/p99: percentiles over the window; 0.0 when empty.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1000, 3),
+            "p50_ms": round(self.p50 * 1000, 3),
+            "p95_ms": round(self.p95 * 1000, 3),
+            "p99_ms": round(self.p99 * 1000, 3),
+        }
+
+
+def percentile(sorted_samples: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending sample list."""
+    if not sorted_samples:
+        return 0.0
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    rank = fraction * (len(sorted_samples) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_samples[low]
+    weight = rank - low
+    return sorted_samples[low] * (1 - weight) + sorted_samples[high] * weight
+
+
+class _EndpointMetrics:
+    """Counters plus a latency ring buffer for one endpoint."""
+
+    __slots__ = ("requests", "errors", "cache_hits", "samples", "next_slot")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.samples: list[float] = []
+        self.next_slot = 0
+
+    def observe(self, seconds: float, error: bool, cache_hit: bool) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        if cache_hit:
+            self.cache_hits += 1
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(seconds)
+        else:  # overwrite the oldest sample (ring buffer)
+            self.samples[self.next_slot] = seconds
+            self.next_slot = (self.next_slot + 1) % RESERVOIR_SIZE
+
+    def latency(self) -> LatencyStats:
+        window = sorted(self.samples)
+        mean = sum(window) / len(window) if window else 0.0
+        p50, p95, p99 = (percentile(window, f) for f in PERCENTILES)
+        return LatencyStats(
+            count=self.requests, mean=mean, p50=p50, p95=p95, p99=p99
+        )
+
+
+class ServiceMetrics:
+    """Thread-safe registry of per-endpoint metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, _EndpointMetrics] = {}
+
+    def observe(
+        self,
+        endpoint: str,
+        seconds: float,
+        error: bool = False,
+        cache_hit: bool = False,
+    ) -> None:
+        """Record one request against ``endpoint``."""
+        with self._lock:
+            metrics = self._endpoints.get(endpoint)
+            if metrics is None:
+                metrics = self._endpoints[endpoint] = _EndpointMetrics()
+            metrics.observe(seconds, error, cache_hit)
+
+    def endpoint_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._endpoints))
+
+    def snapshot(self) -> dict[str, Any]:
+        """All endpoints' counters and latency summaries, JSON-ready."""
+        with self._lock:
+            items = [
+                (name, metrics.requests, metrics.errors, metrics.cache_hits,
+                 metrics.latency())
+                for name, metrics in sorted(self._endpoints.items())
+            ]
+        body: dict[str, Any] = {}
+        for name, requests, errors, cache_hits, latency in items:
+            body[name] = {
+                "requests": requests,
+                "errors": errors,
+                "cache_hits": cache_hits,
+                "latency": latency.as_dict(),
+            }
+        return body
+
+    def render_summary(self) -> str:
+        """Aligned text table of the snapshot (the ``--stats`` summary)."""
+        snapshot = self.snapshot()
+        if not snapshot:
+            return "(no requests served)"
+        headers = [
+            "endpoint", "requests", "errors", "cache_hits",
+            "p50_ms", "p95_ms", "p99_ms",
+        ]
+        rows = [
+            [
+                name,
+                str(stats["requests"]),
+                str(stats["errors"]),
+                str(stats["cache_hits"]),
+                f"{stats['latency']['p50_ms']:.3f}",
+                f"{stats['latency']['p95_ms']:.3f}",
+                f"{stats['latency']['p99_ms']:.3f}",
+            ]
+            for name, stats in snapshot.items()
+        ]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Stdlib HTTP transport for the service app.
+
+A :class:`~http.server.ThreadingHTTPServer` subclass that decodes JSON
+requests, hands them to :meth:`ServiceApp.dispatch` and encodes the JSON
+response — nothing else. One OS thread per connection is plenty for the
+CPU-bound workloads behind it, and it keeps the subsystem at zero
+dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .app import ServiceApp, error_body
+
+#: Refuse request bodies beyond this size (1 MiB) before reading them.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Translates HTTP requests to ``ServiceApp.dispatch`` calls."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._serve("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._serve("POST")
+
+    def _serve(self, method: str) -> None:
+        payload, parse_error = self._read_payload()
+        if parse_error is not None:
+            self._respond(400, parse_error)
+            return
+        path = self.path.split("?", 1)[0]
+        status, body = self.server.app.dispatch(method, path, payload)
+        self._respond(status, body)
+
+    def _read_payload(self) -> tuple[Any, dict[str, Any] | None]:
+        """The decoded JSON body, or an error envelope when undecodable."""
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            return None, None
+        try:
+            length = int(length_header)
+        except ValueError:
+            return None, error_body(
+                400, "invalid_request", "malformed Content-Length"
+            )
+        if length <= 0:
+            return None, None
+        if length > MAX_BODY_BYTES:
+            return None, error_body(
+                400,
+                "payload_too_large",
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw), None
+        except json.JSONDecodeError as error:
+            return None, error_body(
+                400, "invalid_json", f"request body is not valid JSON: {error}"
+            )
+
+    def _respond(self, status: int, body: dict[str, Any]) -> None:
+        encoded = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`ServiceApp`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: ServiceApp,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.app = app
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    app: ServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Bind a server (``port=0`` picks a free port; see ``.url``)."""
+    return ServiceServer((host, port), app, verbose=verbose)
+
+
+def serve_in_thread(server: ServiceServer) -> threading.Thread:
+    """Run ``serve_forever`` on a daemon thread (tests and embedding)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service", daemon=True
+    )
+    thread.start()
+    return thread

@@ -69,6 +69,63 @@ class TestAlias:
         assert "(none)" in output
 
 
+class TestNumericFlagValidation:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "table1", "--scale", "0"],
+            ["run", "table1", "--scale", "-1"],
+            ["run", "table1", "--scale", "nan"],
+            ["run", "fig4", "--samples", "0"],
+            ["run", "fig4", "--samples", "-5"],
+            ["build-db", "--out", "x", "--scale", "0"],
+            ["report", "--out", "x", "--scale", "-0.5"],
+            ["report", "--out", "x", "--samples", "0"],
+            ["serve", "--scale", "0"],
+            ["serve", "--cache-size", "0"],
+            ["serve", "--ttl", "-1"],
+        ],
+    )
+    def test_rejected_at_argparse_level(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_non_numeric_scale_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--scale", "big"])
+        assert "not a number" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            [
+                "serve", "--host", "0.0.0.0", "--port", "0",
+                "--scale", "0.05", "--seed", "7",
+                "--cache-size", "64", "--ttl", "30", "--stats",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.scale == pytest.approx(0.05)
+        assert args.cache_size == 64
+        assert args.ttl == pytest.approx(30.0)
+        assert args.stats is True
+
+    def test_serve_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.ttl is None
+        assert args.no_warm is False
+
+
 class TestReport:
     def test_report_writes_all_experiments(self, tmp_path, capsys):
         out = str(tmp_path / "report")

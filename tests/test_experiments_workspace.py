@@ -1,0 +1,118 @@
+"""Tests for the workspace cache: thread safety, LRU bound, build dedup.
+
+The serving layer (``repro.service``) hits ``build_workspace`` from many
+threads at once; these tests pin down the guarantees it relies on.
+"""
+
+import threading
+
+import pytest
+
+from repro.experiments import build_workspace, clear_workspace_cache
+from repro.experiments import workspace as workspace_module
+
+#: Tiny corpus so cache-behaviour tests build in well under a second.
+TINY = dict(recipe_scale=0.01, include_world_only=False)
+
+
+@pytest.fixture()
+def preserved_cache():
+    """Snapshot the module cache and restore it, so cache-eviction games
+    here never force other test modules to rebuild their workspaces."""
+    with workspace_module._CACHE_LOCK:
+        saved = dict(workspace_module._CACHE)
+    yield
+    with workspace_module._CACHE_LOCK:
+        workspace_module._CACHE.update(saved)
+
+
+class TestCacheBasics:
+    def test_same_key_returns_cached_object(self, preserved_cache):
+        first = build_workspace(**TINY)
+        assert build_workspace(**TINY) is first
+
+    def test_clear_forgets_entries(self, preserved_cache):
+        first = build_workspace(**TINY)
+        clear_workspace_cache()
+        assert build_workspace(**TINY) is not first
+
+    def test_use_cache_false_neither_reads_nor_writes(self, preserved_cache):
+        cached = build_workspace(**TINY)
+        fresh = build_workspace(use_cache=False, **TINY)
+        assert fresh is not cached
+        assert build_workspace(**TINY) is cached
+
+
+class TestLRUBound:
+    def test_capacity_is_enforced(self, preserved_cache, monkeypatch):
+        monkeypatch.setattr(workspace_module, "MAX_CACHED_WORKSPACES", 2)
+        first = build_workspace(seed=1, **TINY)
+        build_workspace(seed=2, **TINY)
+        build_workspace(seed=3, **TINY)  # evicts seed=1 (the LRU entry)
+        with workspace_module._CACHE_LOCK:
+            assert len(workspace_module._CACHE) <= 2
+        assert build_workspace(seed=3, **TINY) is not None
+        assert build_workspace(seed=1, **TINY) is not first  # rebuilt
+
+    def test_get_refreshes_recency(self, preserved_cache, monkeypatch):
+        monkeypatch.setattr(workspace_module, "MAX_CACHED_WORKSPACES", 2)
+        first = build_workspace(seed=1, **TINY)
+        build_workspace(seed=2, **TINY)
+        build_workspace(seed=1, **TINY)  # touch: seed=2 becomes the LRU
+        build_workspace(seed=3, **TINY)  # evicts seed=2
+        assert build_workspace(seed=1, **TINY) is first
+
+
+class TestConcurrency:
+    def test_concurrent_same_key_builds_once(
+        self, preserved_cache, monkeypatch
+    ):
+        clear_workspace_cache()
+        builds = []
+        real_build = workspace_module._build
+
+        def counting_build(*args, **kwargs):
+            builds.append(threading.get_ident())
+            return real_build(*args, **kwargs)
+
+        monkeypatch.setattr(workspace_module, "_build", counting_build)
+        results = [None] * 8
+
+        def worker(slot):
+            results[slot] = build_workspace(**TINY)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(builds) == 1  # deduped: built exactly once
+        assert all(result is results[0] for result in results)
+
+    def test_concurrent_distinct_keys(self, preserved_cache):
+        errors = []
+
+        def worker(seed):
+            try:
+                workspace = build_workspace(seed=seed, **TINY)
+                assert workspace.seed == seed
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in (11, 12, 13, 14)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        with workspace_module._CACHE_LOCK:
+            assert (
+                len(workspace_module._CACHE)
+                <= workspace_module.MAX_CACHED_WORKSPACES
+            )

@@ -113,6 +113,82 @@ class TestMatrixBackend:
         assert scores[1] == pytest.approx(single)
 
 
+class TestMatrixEdgeCases:
+    def overlap(self):
+        return np.asarray(
+            [
+                [0, 2, 1],
+                [2, 0, 0],
+                [1, 0, 0],
+            ],
+            dtype=np.float64,
+        )
+
+    def test_batch_single_column_raises(self):
+        with pytest.raises(ValidationError):
+            batch_scores(self.overlap(), np.asarray([[0], [1], [2]]))
+
+    def test_empty_indices_raise(self):
+        with pytest.raises(ValidationError):
+            recipe_score_from_matrix(self.overlap(), np.asarray([], dtype=int))
+
+    def test_empty_batch_of_pairs_scores_nothing(self):
+        scores = batch_scores(
+            self.overlap(), np.empty((0, 2), dtype=np.int64)
+        )
+        assert scores.shape == (0,)
+
+    def test_duplicate_indices_count_each_mention(self):
+        # Duplicates are legal local indices: the zero diagonal keeps the
+        # self-pairs out of the numerator, but n counts every mention, so
+        # [0, 0, 1] averages the four (0,1) cross terms over 3*2 pairs.
+        score = recipe_score_from_matrix(
+            self.overlap(), np.asarray([0, 0, 1])
+        )
+        assert score == pytest.approx(4 * 2 / 6)
+
+    def test_batch_duplicate_indices_match_single(self):
+        indices = np.asarray([0, 0, 1])
+        batch = np.stack([indices, indices])
+        single = recipe_score_from_matrix(self.overlap(), indices)
+        assert batch_scores(self.overlap(), batch) == pytest.approx(
+            [single, single]
+        )
+
+    def test_fully_duplicated_recipe_scores_zero(self):
+        assert recipe_score_from_matrix(
+            self.overlap(), np.asarray([1, 1, 1])
+        ) == pytest.approx(0.0)
+
+    def test_batch_agrees_with_set_reference_on_random_recipes(self):
+        """The vectorised batch backend must equal the readable
+        set-based reference on arbitrary random recipes."""
+        rng = np.random.default_rng(20180417)
+        profiles = [
+            frozenset(rng.choice(60, size=rng.integers(1, 12), replace=False))
+            for _ in range(20)
+        ]
+        ingredients = [ing(i, p) for i, p in enumerate(profiles)]
+        matrix = np.zeros((20, 20))
+        for i in range(20):
+            for j in range(20):
+                if i != j:
+                    matrix[i, j] = len(profiles[i] & profiles[j])
+        for size in (2, 3, 5, 8):
+            batch = np.stack(
+                [
+                    rng.choice(20, size=size, replace=False)
+                    for _ in range(25)
+                ]
+            )
+            scores = batch_scores(matrix, batch)
+            for row, indices in enumerate(batch):
+                reference = food_pairing_score(
+                    [ingredients[index] for index in indices]
+                )
+                assert scores[row] == pytest.approx(reference)
+
+
 profile_strategy = st.frozensets(
     st.integers(min_value=0, max_value=40), min_size=1, max_size=15
 )

@@ -1,0 +1,278 @@
+"""Tests for the service handlers and app dispatch (no HTTP transport)."""
+
+import pytest
+
+from repro.service import QueryService, ResultCache, ServiceApp
+from repro.service.handlers import RequestError
+
+
+@pytest.fixture(scope="module")
+def service(workspace):
+    return QueryService(workspace)
+
+
+@pytest.fixture()
+def app(service):
+    # Fresh cache/metrics per test; the heavy service state is shared.
+    return ServiceApp(service, cache=ResultCache(capacity=64))
+
+
+class TestAlias:
+    def test_exact_phrase(self, app):
+        status, body = app.dispatch(
+            "POST", "/alias", {"phrase": "2 cloves garlic, minced"}
+        )
+        assert status == 200
+        assert body["kind"] == "exact"
+        assert body["ingredients"][0]["name"] == "garlic"
+
+    def test_fuzzy_recovers_typo(self, app):
+        status, body = app.dispatch(
+            "POST", "/alias", {"phrase": "1 tbsp oregeno", "fuzzy": True}
+        )
+        assert status == 200
+        assert [i["name"] for i in body["ingredients"]] == ["oregano"]
+
+    def test_unrecognized_phrase(self, app):
+        status, body = app.dispatch("POST", "/alias", {"phrase": "moon dust"})
+        assert status == 200
+        assert body["kind"] == "unrecognized"
+        assert body["ingredients"] == []
+
+    def test_missing_phrase_is_400(self, app):
+        status, body = app.dispatch("POST", "/alias", {})
+        assert status == 400
+        assert body["error"]["code"] == "invalid_field"
+
+    def test_unknown_field_is_400(self, app):
+        status, body = app.dispatch(
+            "POST", "/alias", {"phrase": "garlic", "bogus": 1}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "unknown_field"
+
+
+class TestScore:
+    def test_scores_known_recipe(self, app):
+        status, body = app.dispatch(
+            "POST", "/score", {"ingredients": ["garlic", "onion", "tomato"]}
+        )
+        assert status == 200
+        assert body["score"] >= 0.0
+        assert body["pairable"] == 3
+        assert body["resolved"] == ["garlic", "onion", "tomato"]
+
+    def test_agrees_with_reference_implementation(self, app, catalog):
+        from repro.pairing import food_pairing_score
+
+        names = ["garlic", "onion", "tomato", "basil"]
+        _, body = app.dispatch("POST", "/score", {"ingredients": names})
+        expected = food_pairing_score([catalog.get(name) for name in names])
+        assert body["score"] == pytest.approx(expected)
+
+    def test_unknown_ingredient_is_404(self, app):
+        status, body = app.dispatch(
+            "POST", "/score", {"ingredients": ["garlic", "kryptonite"]}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_ingredient"
+        assert "kryptonite" in body["error"]["message"]
+
+    def test_single_ingredient_is_422(self, app):
+        status, body = app.dispatch(
+            "POST", "/score", {"ingredients": ["garlic"]}
+        )
+        assert status == 422
+        assert body["error"]["code"] == "not_pairable"
+
+    def test_empty_list_is_400(self, app):
+        status, _ = app.dispatch("POST", "/score", {"ingredients": []})
+        assert status == 400
+
+    def test_duplicate_phrases_collapse(self, app):
+        _, body = app.dispatch(
+            "POST", "/score", {"ingredients": ["garlic", "garlic", "onion"]}
+        )
+        assert body["resolved"] == ["garlic", "onion"]
+
+
+class TestClassify:
+    def test_predicts_a_trained_region(self, app, workspace):
+        status, body = app.dispatch(
+            "POST",
+            "/classify",
+            {"ingredients": ["soy sauce", "ginger", "rice"], "top": 3},
+        )
+        assert status == 200
+        assert body["region_code"] in workspace.regional_cuisines()
+        assert len(body["ranking"]) == 3
+        assert body["ranking"][0]["region_code"] == body["region_code"]
+        scores = [entry["log_likelihood"] for entry in body["ranking"]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_top_is_400(self, app):
+        status, _ = app.dispatch(
+            "POST", "/classify", {"ingredients": ["garlic"], "top": 0}
+        )
+        assert status == 400
+
+
+class TestPairings:
+    def test_partners_sorted_by_shared_molecules(self, app):
+        status, body = app.dispatch(
+            "POST", "/pairings", {"ingredient": "garlic", "limit": 5}
+        )
+        assert status == 200
+        assert body["ingredient"] == "garlic"
+        shared = [p["shared_molecules"] for p in body["partners"]]
+        assert shared == sorted(shared, reverse=True)
+        assert len(shared) <= 5
+        assert all(count > 0 for count in shared)
+
+    def test_profile_free_ingredient_is_422(self, app):
+        status, body = app.dispatch(
+            "POST", "/pairings", {"ingredient": "food coloring"}
+        )
+        assert status == 422
+        assert body["error"]["code"] == "not_pairable"
+
+    def test_limit_out_of_range_is_400(self, app):
+        status, _ = app.dispatch(
+            "POST", "/pairings", {"ingredient": "garlic", "limit": 999}
+        )
+        assert status == 400
+
+
+class TestRegionsAndStats:
+    def test_regions_lists_all_22(self, app):
+        status, body = app.dispatch("GET", "/regions")
+        assert status == 200
+        assert len(body["regions"]) == 22
+        codes = {row["code"] for row in body["regions"]}
+        assert {"ITA", "USA", "JPN"} <= codes
+        for row in body["regions"]:
+            assert row["recipes"] > 0
+
+    def test_stats_reports_corpus(self, app, workspace):
+        status, body = app.dispatch("GET", "/stats")
+        assert status == 200
+        assert body["recipes"] == len(workspace.recipes)
+        assert 0.0 <= body["aliasing"]["exact_rate"] <= 1.0
+
+
+class TestSql:
+    def test_select_rows(self, app):
+        status, body = app.dispatch(
+            "POST",
+            "/sql",
+            {
+                "query": (
+                    "SELECT region_code, COUNT(*) AS n FROM recipes "
+                    "GROUP BY region_code ORDER BY n DESC LIMIT 3"
+                )
+            },
+        )
+        assert status == 200
+        assert len(body["rows"]) == 3
+        assert body["rows"][0]["n"] >= body["rows"][1]["n"]
+
+    def test_dml_rejected_with_403(self, app):
+        for statement in (
+            "DELETE FROM recipes",
+            "INSERT INTO regions (code) VALUES ('XX')",
+            "UPDATE recipes SET title = 'x'",
+        ):
+            status, body = app.dispatch("POST", "/sql", {"query": statement})
+            assert status == 403
+            assert body["error"]["code"] == "read_only"
+
+    def test_syntax_error_is_400(self, app):
+        status, body = app.dispatch(
+            "POST", "/sql", {"query": "SELECT ~~~ garbage"}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "sql_syntax"
+
+    def test_unknown_table_is_400(self, app):
+        status, body = app.dispatch(
+            "POST", "/sql", {"query": "SELECT * FROM nonexistent"}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "sql_error"
+
+    def test_max_rows_truncates(self, app):
+        status, body = app.dispatch(
+            "POST",
+            "/sql",
+            {"query": "SELECT recipe_id FROM recipes", "max_rows": 5},
+        )
+        assert status == 200
+        assert len(body["rows"]) == 5
+        assert body["truncated"] is True
+        assert body["row_count"] > 5
+
+
+class TestDispatchEnvelope:
+    def test_unknown_path_is_404(self, app):
+        status, body = app.dispatch("GET", "/nope")
+        assert status == 404
+        assert body["error"]["code"] == "unknown_path"
+
+    def test_wrong_method_is_405(self, app):
+        status, body = app.dispatch("GET", "/score")
+        assert status == 405
+        assert body["error"]["code"] == "method_not_allowed"
+
+    def test_non_dict_payload_is_400(self, app):
+        status, body = app.dispatch("POST", "/score", [1, 2, 3])
+        assert status == 400
+        assert body["error"]["code"] == "invalid_payload"
+
+    def test_healthz(self, app, workspace):
+        status, body = app.dispatch("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["recipes"] == len(workspace.recipes)
+
+    def test_errors_are_counted_not_cached(self, app):
+        app.dispatch("POST", "/score", {"ingredients": ["kryptonite", "x"]})
+        app.dispatch("POST", "/score", {"ingredients": ["kryptonite", "x"]})
+        _, metrics = app.dispatch("GET", "/metrics")
+        score = metrics["endpoints"]["score"]
+        assert score["errors"] == 2
+        assert score["cache_hits"] == 0
+
+
+class TestCaching:
+    def test_repeat_request_hits_cache(self, app):
+        payload = {"ingredients": ["garlic", "onion", "tomato"]}
+        _, first = app.dispatch("POST", "/score", payload)
+        _, second = app.dispatch("POST", "/score", payload)
+        assert first == second
+        _, metrics = app.dispatch("GET", "/metrics")
+        assert metrics["endpoints"]["score"]["cache_hits"] == 1
+        assert metrics["cache"]["hits"] == 1
+
+    def test_payload_key_order_shares_the_entry(self, app):
+        app.dispatch(
+            "POST", "/classify", {"ingredients": ["garlic"], "top": 2}
+        )
+        app.dispatch(
+            "POST", "/classify", {"top": 2, "ingredients": ["garlic"]}
+        )
+        _, metrics = app.dispatch("GET", "/metrics")
+        assert metrics["endpoints"]["classify"]["cache_hits"] == 1
+
+    def test_metrics_endpoint_is_never_cached(self, app):
+        app.dispatch("GET", "/metrics")
+        app.dispatch("GET", "/metrics")
+        _, metrics = app.dispatch("GET", "/metrics")
+        assert metrics["endpoints"]["metrics"]["cache_hits"] == 0
+
+
+class TestRequestError:
+    def test_carries_status_and_code(self):
+        error = RequestError(418, "teapot", "short and stout")
+        assert error.status == 418
+        assert error.code == "teapot"
+        assert "stout" in str(error)

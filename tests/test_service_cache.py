@@ -1,0 +1,165 @@
+"""Tests for the service result cache (LRU + TTL, thread safety)."""
+
+import threading
+
+import pytest
+
+from repro.datamodel import ConfigurationError
+from repro.service.cache import MISSING, ResultCache, canonical_key
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCanonicalKey:
+    def test_dict_order_does_not_matter(self):
+        assert canonical_key("score", {"a": 1, "b": 2}) == canonical_key(
+            "score", {"b": 2, "a": 1}
+        )
+
+    def test_endpoint_prefix_prevents_collisions(self):
+        payload = {"ingredients": ["garlic"]}
+        assert canonical_key("score", payload) != canonical_key(
+            "classify", payload
+        )
+
+    def test_none_payload_is_a_valid_key(self):
+        assert canonical_key("regions", None) == "regions:null"
+
+
+class TestLRU:
+    def test_get_miss_returns_sentinel(self):
+        cache = ResultCache(capacity=2)
+        assert cache.get("k") is MISSING
+
+    def test_put_get_roundtrip(self):
+        cache = ResultCache(capacity=2)
+        cache.put("k", {"value": 1})
+        assert cache.get("k") == {"value": 1}
+
+    def test_none_is_cacheable(self):
+        cache = ResultCache(capacity=2)
+        cache.put("k", None)
+        assert cache.get("k") is None
+
+    def test_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes 'a'
+        cache.put("c", 3)  # evicts 'b'
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_overwrite_does_not_grow(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+    def test_invalidate_and_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(capacity=0)
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(ttl=0)
+
+
+class TestTTL:
+    def test_entry_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.99)
+        assert cache.get("a") == 1
+        clock.advance(0.02)
+        assert cache.get("a") is MISSING
+        assert cache.stats().expirations == 1
+
+    def test_put_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(8.0)
+        cache.put("a", 2)
+        clock.advance(8.0)
+        assert cache.get("a") == 2
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_idle_hit_rate_is_zero(self):
+        assert ResultCache().stats().hit_rate == 0.0
+
+    def test_as_dict_is_json_ready(self):
+        body = ResultCache(capacity=7).stats().as_dict()
+        assert body["capacity"] == 7
+        assert set(body) == {
+            "size", "capacity", "hits", "misses",
+            "evictions", "expirations", "hit_rate",
+        }
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_workload(self):
+        cache = ResultCache(capacity=64)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(500):
+                    key = f"k{(worker_id * 7 + i) % 100}"
+                    if cache.get(key) is MISSING:
+                        cache.put(key, (worker_id, i))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert len(cache) <= 64
+        assert stats.hits + stats.misses == 8 * 500

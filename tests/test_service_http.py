@@ -1,0 +1,189 @@
+"""Integration tests: the service driven over real HTTP, in-process.
+
+A ``ServiceServer`` is bound to an ephemeral port and exercised with
+``urllib`` from many client threads — the acceptance path for
+``repro serve``: concurrent requests to ``/alias``, ``/score``,
+``/classify`` and ``/sql`` return correct JSON, and a repeated identical
+request is served from the LRU cache (visible in ``/metrics``).
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import QueryService, ResultCache, ServiceApp, create_server
+from repro.service.server import serve_in_thread
+
+
+@pytest.fixture(scope="module")
+def server(workspace):
+    app = ServiceApp(QueryService(workspace), cache=ResultCache(capacity=256))
+    http_server = create_server(app, port=0)
+    serve_in_thread(http_server)
+    yield http_server
+    http_server.shutdown()
+    http_server.server_close()
+
+
+def request(server, method, path, payload=None):
+    """One HTTP round-trip; returns (status, decoded JSON body)."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(
+        server.url + path, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpointsOverHttp:
+    def test_healthz(self, server, workspace):
+        status, body = request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["recipes"] == len(workspace.recipes)
+
+    def test_alias(self, server):
+        status, body = request(
+            server, "POST", "/alias", {"phrase": "3 ripe tomatoes, diced"}
+        )
+        assert status == 200
+        assert body["kind"] == "exact"
+        assert body["ingredients"][0]["name"] == "tomato"
+
+    def test_score(self, server):
+        status, body = request(
+            server,
+            "POST",
+            "/score",
+            {"ingredients": ["garlic", "onion", "tomato"]},
+        )
+        assert status == 200
+        assert isinstance(body["score"], float)
+        assert body["pairable"] == 3
+
+    def test_classify(self, server):
+        status, body = request(
+            server,
+            "POST",
+            "/classify",
+            {"ingredients": ["soy sauce", "ginger", "rice"]},
+        )
+        assert status == 200
+        assert len(body["region_code"]) >= 3
+
+    def test_sql(self, server):
+        status, body = request(
+            server,
+            "POST",
+            "/sql",
+            {"query": "SELECT COUNT(*) AS n FROM recipes"},
+        )
+        assert status == 200
+        assert body["rows"][0]["n"] > 0
+
+    def test_error_envelope_over_http(self, server):
+        status, body = request(
+            server, "POST", "/score", {"ingredients": ["kryptonite", "x"]}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_ingredient"
+
+    def test_invalid_json_body(self, server):
+        req = urllib.request.Request(
+            server.url + "/score",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["code"] == (
+            "invalid_json"
+        )
+
+    def test_unknown_path(self, server):
+        status, body = request(server, "GET", "/nope")
+        assert status == 404
+        assert body["error"]["code"] == "unknown_path"
+
+
+class TestConcurrencyAndCaching:
+    def test_concurrent_mixed_requests(self, server):
+        """8 threads x 5 rounds across four endpoints, all must succeed."""
+        failures = []
+
+        def worker(worker_id):
+            calls = [
+                ("POST", "/alias", {"phrase": f"{worker_id} cups flour"}),
+                (
+                    "POST",
+                    "/score",
+                    {"ingredients": ["garlic", "onion", "basil"]},
+                ),
+                (
+                    "POST",
+                    "/classify",
+                    {"ingredients": ["soy sauce", "rice"], "top": 2},
+                ),
+                (
+                    "POST",
+                    "/sql",
+                    {
+                        "query": (
+                            "SELECT region_code FROM recipes "
+                            f"LIMIT {1 + worker_id}"
+                        )
+                    },
+                ),
+            ]
+            try:
+                for _ in range(5):
+                    for method, path, payload in calls:
+                        status, body = request(server, method, path, payload)
+                        if status != 200 or "error" in body:
+                            failures.append((path, status, body))
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(("exception", str(error), None))
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+    def test_repeated_request_served_from_cache(self, server):
+        payload = {"ingredients": ["garlic", "oregano", "tomato"]}
+        _, before = request(server, "GET", "/metrics")
+        hits_before = (
+            before["endpoints"].get("score", {}).get("cache_hits", 0)
+        )
+        _, first = request(server, "POST", "/score", payload)
+        _, second = request(server, "POST", "/score", payload)
+        assert first == second
+        _, after = request(server, "GET", "/metrics")
+        assert (
+            after["endpoints"]["score"]["cache_hits"] >= hits_before + 1
+        )
+        assert after["cache"]["hits"] >= 1
+
+    def test_metrics_latency_fields(self, server):
+        request(server, "GET", "/healthz")
+        _, body = request(server, "GET", "/metrics")
+        healthz = body["endpoints"]["healthz"]
+        assert healthz["requests"] >= 1
+        latency = healthz["latency"]
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]

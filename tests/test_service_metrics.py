@@ -1,0 +1,93 @@
+"""Tests for the per-endpoint request metrics."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    RESERVOIR_SIZE,
+    ServiceMetrics,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([3.0], 0.99) == 3.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        samples = sorted(float(n) for n in range(1, 101))
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 100.0
+
+    def test_p99_of_uniform(self):
+        samples = sorted(float(n) for n in range(1, 101))
+        assert percentile(samples, 0.99) == pytest.approx(99.01)
+
+
+class TestServiceMetrics:
+    def test_observe_accumulates_counters(self):
+        metrics = ServiceMetrics()
+        metrics.observe("score", 0.010)
+        metrics.observe("score", 0.020, cache_hit=True)
+        metrics.observe("score", 0.030, error=True)
+        snapshot = metrics.snapshot()["score"]
+        assert snapshot["requests"] == 3
+        assert snapshot["errors"] == 1
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["latency"]["count"] == 3
+        assert snapshot["latency"]["p50_ms"] == pytest.approx(20.0)
+
+    def test_endpoints_are_independent_and_sorted(self):
+        metrics = ServiceMetrics()
+        metrics.observe("sql", 0.001)
+        metrics.observe("alias", 0.002)
+        assert metrics.endpoint_names() == ("alias", "sql")
+        assert metrics.snapshot()["sql"]["requests"] == 1
+
+    def test_reservoir_keeps_recent_window(self):
+        metrics = ServiceMetrics()
+        # Fill the reservoir with slow samples, then overwrite with fast
+        # ones: the percentiles must reflect the recent window only.
+        for _ in range(RESERVOIR_SIZE):
+            metrics.observe("x", 1.0)
+        for _ in range(RESERVOIR_SIZE):
+            metrics.observe("x", 0.001)
+        snapshot = metrics.snapshot()["x"]
+        assert snapshot["requests"] == 2 * RESERVOIR_SIZE
+        assert snapshot["latency"]["p99_ms"] == pytest.approx(1.0)
+
+    def test_empty_snapshot(self):
+        assert ServiceMetrics().snapshot() == {}
+
+    def test_render_summary_lists_endpoints(self):
+        metrics = ServiceMetrics()
+        metrics.observe("alias", 0.004)
+        metrics.observe("sql", 0.002, error=True)
+        text = metrics.render_summary()
+        assert "endpoint" in text
+        assert "alias" in text
+        assert "sql" in text
+
+    def test_render_summary_idle(self):
+        assert "no requests" in ServiceMetrics().render_summary()
+
+    def test_concurrent_observations(self):
+        metrics = ServiceMetrics()
+
+        def worker():
+            for i in range(1000):
+                metrics.observe("hot", 0.001 * (i % 10))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.snapshot()["hot"]["requests"] == 8000
