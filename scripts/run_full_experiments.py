@@ -1,7 +1,15 @@
 """Run every experiment at full scale (45,772 recipes, 100k null samples).
 
-Writes rendered tables to results/full_scale/<experiment>.txt.
-Usage: python scripts/run_full_experiments.py [outdir]
+Writes rendered tables to results/full_scale/<experiment>.txt, plus the
+observability artifacts from the run (see repro.obs):
+
+* trace.jsonl  — every span, one JSON object per line,
+* trace.json   — the same spans in Chrome trace-event format
+                 (load in chrome://tracing or https://ui.perfetto.dev),
+* timing_tree.txt — the human-readable span tree.
+
+Structured progress logs go to stderr (pass --log-json for JSON lines).
+Usage: python scripts/run_full_experiments.py [outdir] [--log-json]
 """
 
 import sys
@@ -17,35 +25,61 @@ from repro.experiments import (
     run_fig5,
     run_table1,
 )
+from repro.obs import configure_logging, configure_tracing, get_logger
 
-OUT = Path(sys.argv[1] if len(sys.argv) > 1 else "results/full_scale")
+args = [arg for arg in sys.argv[1:] if arg != "--log-json"]
+OUT = Path(args[0] if args else "results/full_scale")
 OUT.mkdir(parents=True, exist_ok=True)
+
+configure_logging(level="info", json_mode="--log-json" in sys.argv[1:])
+log = get_logger("repro.full_run")
+tracer = configure_tracing(True)
+tracer.reset()
 
 
 def save(name, result, elapsed):
     text = result.render()
     (OUT / f"{name}.txt").write_text(text + f"\n\n[{elapsed:.1f}s]\n")
+    log.info(
+        "experiment.complete",
+        experiment=name,
+        seconds=round(elapsed, 1),
+        out=str(OUT / f"{name}.txt"),
+    )
     print(f"=== {name} ({elapsed:.1f}s) ===")
     print(text[:1500])
     sys.stdout.flush()
 
 
-t0 = time.time()
-ws = build_workspace(recipe_scale=1.0)
-print(f"workspace built in {time.time()-t0:.0f}s: "
-      f"{len(ws.recipes)} recipes, report={ws.report}")
-sys.stdout.flush()
+t0 = time.perf_counter()
+with tracer.span("full_run", out=str(OUT)):
+    ws = build_workspace(recipe_scale=1.0)
+    log.info(
+        "workspace.ready",
+        seconds=round(time.perf_counter() - t0, 1),
+        recipes=len(ws.recipes),
+        report=repr(ws.report),
+    )
 
-for name, runner, kwargs in [
-    ("table1", run_table1, {}),
-    ("fig2", run_fig2, {}),
-    ("fig3a", run_fig3a, {}),
-    ("fig3b", run_fig3b, {}),
-    ("fig5", run_fig5, {}),
-    ("fig4", run_fig4, {"n_samples": 100_000}),
-]:
-    t = time.time()
-    result = runner(ws, **kwargs)
-    save(name, result, time.time() - t)
+    for name, runner, kwargs in [
+        ("table1", run_table1, {}),
+        ("fig2", run_fig2, {}),
+        ("fig3a", run_fig3a, {}),
+        ("fig3b", run_fig3b, {}),
+        ("fig5", run_fig5, {}),
+        ("fig4", run_fig4, {"n_samples": 100_000}),
+    ]:
+        t = time.perf_counter()
+        with tracer.span(f"experiment.{name}"):
+            result = runner(ws, **kwargs)
+        save(name, result, time.perf_counter() - t)
 
-print("done in %.0fs total" % (time.time() - t0))
+tracer.write(str(OUT / "trace.jsonl"))
+tracer.write(str(OUT / "trace.json"))
+(OUT / "timing_tree.txt").write_text(tracer.render_tree() + "\n")
+log.info(
+    "run.complete",
+    seconds=round(time.perf_counter() - t0),
+    trace=str(OUT / "trace.json"),
+)
+print("done in %.0fs total" % (time.perf_counter() - t0))

@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import time
 from collections import Counter
 from collections.abc import Iterable, Sequence
 
 from ..datamodel import Ingredient, RawRecipe, Recipe
 from ..flavordb import IngredientCatalog, default_catalog
+from ..obs import get_registry, span
 from .matcher import MAX_NGRAM, MatchOutcome, NGramMatcher
 from .normalize import normalize_phrase
 
@@ -242,10 +244,30 @@ class AliasingPipeline:
 
     def resolve_corpus(self, raws: Iterable[RawRecipe]) -> AliasingResult:
         """Alias a whole corpus, collecting the curation report."""
-        report = MatchReport()
-        recipes = []
-        for raw in raws:
-            recipe = self.resolve_recipe(raw, report)
-            if recipe is not None:
-                recipes.append(recipe)
-        return AliasingResult(tuple(recipes), report)
+        with span("aliasing.resolve_corpus") as trace:
+            started = time.perf_counter()
+            report = MatchReport()
+            recipes = []
+            for raw in raws:
+                recipe = self.resolve_recipe(raw, report)
+                if recipe is not None:
+                    recipes.append(recipe)
+            elapsed = time.perf_counter() - started
+            registry = get_registry()
+            for kind in MatchKind:
+                count = report.phrase_counts[kind]
+                trace.incr(f"phrases_{kind.value}", count)
+                if count:
+                    registry.counter(
+                        "repro_aliasing_phrases_total", kind=kind.value
+                    ).incr(count)
+            trace.incr("recipes_resolved", report.recipes_resolved)
+            trace.incr("recipes_total", report.recipes_total)
+            if elapsed > 0:
+                trace.set(
+                    "recipes_per_sec", round(report.recipes_total / elapsed, 1)
+                )
+            registry.counter("repro_aliasing_recipes_total").incr(
+                report.recipes_total
+            )
+            return AliasingResult(tuple(recipes), report)

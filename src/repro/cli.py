@@ -10,6 +10,12 @@ Commands:
 * ``query --db DIR "SELECT ..."`` — run SQL against a persisted database.
 * ``serve`` — build a workspace once and serve it over the HTTP JSON API
   (see :mod:`repro.service`).
+
+Every command accepts the global observability flags (see
+:mod:`repro.obs`): ``--trace`` prints a span timing tree on exit,
+``--trace-out PATH`` writes the trace artifact (``.json`` = Chrome
+trace-event format, anything else = JSONL), ``--log-json`` switches the
+structured logs to JSON lines, and ``--log-level`` sets their threshold.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from collections.abc import Sequence
 
 from .experiments import EXPERIMENTS, build_workspace
 from .experiments.fig4 import run_fig4
+from .obs import configure_logging, configure_tracing, get_tracer
 
 
 def _positive_float(text: str) -> float:
@@ -49,7 +56,40 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _observability_flags() -> argparse.ArgumentParser:
+    """Shared parent parser: the global tracing/logging flags."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect spans and print the timing tree on exit",
+    )
+    group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the trace to PATH (.json = Chrome trace-event format, "
+            "otherwise JSONL); implies --trace"
+        ),
+    )
+    group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as JSON lines instead of key=value",
+    )
+    group.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum structured-log level (default: info)",
+    )
+    return common
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    obs_flags = _observability_flags()
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -59,9 +99,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser(
+        "list", help="list available experiments", parents=[obs_flags]
+    )
 
-    run = sub.add_parser("run", help="run one experiment")
+    run = sub.add_parser(
+        "run", help="run one experiment", parents=[obs_flags]
+    )
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument(
         "--scale",
@@ -78,18 +122,24 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None, help="corpus seed")
 
     build = sub.add_parser(
-        "build-db", help="generate corpus and persist CulinaryDB as CSV"
+        "build-db",
+        help="generate corpus and persist CulinaryDB as CSV",
+        parents=[obs_flags],
     )
     build.add_argument("--out", required=True, help="output directory")
     build.add_argument("--scale", type=_positive_float, default=1.0)
     build.add_argument("--seed", type=int, default=None)
 
-    query = sub.add_parser("query", help="run SQL against a persisted DB")
+    query = sub.add_parser(
+        "query", help="run SQL against a persisted DB", parents=[obs_flags]
+    )
     query.add_argument("--db", required=True, help="database directory")
     query.add_argument("sql", help="SELECT statement")
 
     report = sub.add_parser(
-        "report", help="run every experiment and write text tables"
+        "report",
+        help="run every experiment and write text tables",
+        parents=[obs_flags],
     )
     report.add_argument("--out", required=True, help="output directory")
     report.add_argument("--scale", type=_positive_float, default=1.0)
@@ -102,7 +152,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     alias = sub.add_parser(
-        "alias", help="alias a raw ingredient phrase against the catalog"
+        "alias",
+        help="alias a raw ingredient phrase against the catalog",
+        parents=[obs_flags],
     )
     alias.add_argument("phrase", nargs="+", help="the ingredient line")
     alias.add_argument(
@@ -110,7 +162,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     serve = sub.add_parser(
-        "serve", help="serve the workspace over an HTTP JSON API"
+        "serve",
+        help="serve the workspace over an HTTP JSON API",
+        parents=[obs_flags],
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -157,14 +211,33 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
+    tracing = bool(args.trace or args.trace_out)
+    if not tracing:
+        return _run_command(args)
+    tracer = configure_tracing(True)
+    tracer.reset()
+    try:
+        with tracer.span(f"cli.{args.command}"):
+            exit_code = _run_command(args)
+        print(f"\n# trace\n{tracer.render_tree()}", file=sys.stderr)
+        if args.trace_out:
+            tracer.write(args.trace_out)
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
+        return exit_code
+    finally:
+        configure_tracing(False)
+        tracer.reset()
 
+
+def _run_command(args: argparse.Namespace) -> int:
     if args.command == "list":
         for name, (_runner, description) in sorted(EXPERIMENTS.items()):
             print(f"{name:8s} {description}")
         return 0
 
     if args.command == "run":
-        started = time.time()
+        started = time.perf_counter()
         workspace_kwargs = {"recipe_scale": args.scale}
         if args.seed is not None:
             workspace_kwargs["seed"] = args.seed
@@ -176,7 +249,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             result = runner(workspace)
         print(result.render())
-        print(f"\n[{time.time() - started:.1f}s]")
+        print(f"\n[{time.perf_counter() - started:.1f}s]")
         return 0
 
     if args.command == "build-db":
@@ -233,7 +306,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "fig5": export_fig5,
             }
         for name, (runner, description) in sorted(EXPERIMENTS.items()):
-            started = time.time()
+            started = time.perf_counter()
             if runner is fig4_runner:
                 result = runner(workspace, n_samples=args.samples)
             else:
@@ -243,7 +316,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             exporter = csv_exporters.get(name)
             if exporter is not None:
                 exporter(result, out)
-            print(f"{name}: written ({time.time() - started:.1f}s)")
+            print(f"{name}: written ({time.perf_counter() - started:.1f}s)")
         return 0
 
     if args.command == "alias":
@@ -264,7 +337,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         workspace_kwargs = {"recipe_scale": args.scale}
         if args.seed is not None:
             workspace_kwargs["seed"] = args.seed
-        started = time.time()
+        started = time.perf_counter()
         print(f"building workspace (scale={args.scale}) ...", flush=True)
         workspace = build_workspace(**workspace_kwargs)
         service = QueryService(workspace)
@@ -279,7 +352,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(
             f"serving {len(workspace.recipes)} recipes at {server.url} "
-            f"({time.time() - started:.1f}s to warm); Ctrl-C to stop",
+            f"({time.perf_counter() - started:.1f}s to warm); Ctrl-C to stop",
             flush=True,
         )
         try:

@@ -23,6 +23,7 @@ import numpy as np
 from ..aliasing import AliasingPipeline
 from ..datamodel import ConfigurationError, RawRecipe
 from ..flavordb import IngredientCatalog, default_catalog, stable_seed
+from ..obs import span
 from .assembler import RecipeAssembler
 from .pantry import RegionPantry, build_pantry
 from .profiles import (
@@ -130,57 +131,76 @@ class CorpusGenerator:
 
     def generate(self) -> GeneratedCorpus:
         """Generate the full corpus."""
-        raw_recipes: list[RawRecipe] = []
-        intended: dict[int, frozenset[int]] = {}
-        pantries: dict[str, RegionPantry] = {}
-        region_recipe_ingredients: list[tuple[str, list[np.ndarray], RegionPantry]] = []
+        with span(
+            "corpus.generate", seed=self._seed, scale=self._recipe_scale
+        ) as trace:
+            raw_recipes: list[RawRecipe] = []
+            intended: dict[int, frozenset[int]] = {}
+            pantries: dict[str, RegionPantry] = {}
+            region_recipe_ingredients: list[tuple[str, list[np.ndarray], RegionPantry]] = []
 
-        for profile in self.profiles():
-            pantry = build_pantry(profile, self._catalog)
-            pantries[profile.code] = pantry
-            recipes = self._assemble_region(profile, pantry)
-            region_recipe_ingredients.append((profile.code, recipes, pantry))
-
-        source_labels = self._source_labels(
-            [
-                (code, len(recipes))
-                for code, recipes, _pantry in region_recipe_ingredients
-            ]
-        )
-
-        recipe_id = 1
-        for code, recipes, pantry in region_recipe_ingredients:
-            render_rng = np.random.Generator(
-                np.random.PCG64(stable_seed("render", code, str(self._seed)))
-            )
-            for indices in recipes:
-                ingredients = [pantry.ingredients[int(i)] for i in indices]
-                phrases = tuple(
-                    self._renderer.render(ingredient, render_rng)
-                    for ingredient in ingredients
-                )
-                title = self._title(code, ingredients[0].name, render_rng)
-                raw_recipes.append(
-                    RawRecipe(
-                        recipe_id=recipe_id,
-                        title=title,
-                        source=source_labels[recipe_id - 1],
-                        region_code=code,
-                        ingredient_phrases=phrases,
-                        instructions=self._instructions(ingredients),
+            with span("corpus.assemble") as assemble_trace:
+                for profile in self.profiles():
+                    pantry = build_pantry(profile, self._catalog)
+                    pantries[profile.code] = pantry
+                    recipes = self._assemble_region(profile, pantry)
+                    region_recipe_ingredients.append(
+                        (profile.code, recipes, pantry)
                     )
-                )
-                intended[recipe_id] = frozenset(
-                    ingredient.ingredient_id for ingredient in ingredients
-                )
-                recipe_id += 1
+                    assemble_trace.incr("regions")
+                    assemble_trace.incr("recipes", len(recipes))
 
-        return GeneratedCorpus(
-            raw_recipes=tuple(raw_recipes),
-            intended_ingredients=intended,
-            pantries=pantries,
-            seed=self._seed,
-        )
+            source_labels = self._source_labels(
+                [
+                    (code, len(recipes))
+                    for code, recipes, _pantry in region_recipe_ingredients
+                ]
+            )
+
+            recipe_id = 1
+            with span("corpus.render") as render_trace:
+                for code, recipes, pantry in region_recipe_ingredients:
+                    render_rng = np.random.Generator(
+                        np.random.PCG64(
+                            stable_seed("render", code, str(self._seed))
+                        )
+                    )
+                    for indices in recipes:
+                        ingredients = [
+                            pantry.ingredients[int(i)] for i in indices
+                        ]
+                        phrases = tuple(
+                            self._renderer.render(ingredient, render_rng)
+                            for ingredient in ingredients
+                        )
+                        title = self._title(
+                            code, ingredients[0].name, render_rng
+                        )
+                        raw_recipes.append(
+                            RawRecipe(
+                                recipe_id=recipe_id,
+                                title=title,
+                                source=source_labels[recipe_id - 1],
+                                region_code=code,
+                                ingredient_phrases=phrases,
+                                instructions=self._instructions(ingredients),
+                            )
+                        )
+                        intended[recipe_id] = frozenset(
+                            ingredient.ingredient_id
+                            for ingredient in ingredients
+                        )
+                        render_trace.incr("phrases", len(phrases))
+                        recipe_id += 1
+
+            trace.incr("recipes", len(raw_recipes))
+            trace.incr("regions", len(pantries))
+            return GeneratedCorpus(
+                raw_recipes=tuple(raw_recipes),
+                intended_ingredients=intended,
+                pantries=pantries,
+                seed=self._seed,
+            )
 
     # ------------------------------------------------------------------
     # per-region assembly

@@ -10,12 +10,16 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from collections import OrderedDict
 
 from ..aliasing import AliasingPipeline, MatchReport
 from ..corpus import DEFAULT_SEED, CorpusGenerator, GeneratedCorpus
 from ..datamodel import Cuisine, Recipe, build_cuisines, region_codes
 from ..flavordb import IngredientCatalog
+from ..obs import get_logger, span
+
+_LOG = get_logger("repro.workspace")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -117,23 +121,40 @@ def build_workspace(
 def _build(
     seed: int, recipe_scale: float, include_world_only: bool
 ) -> ExperimentWorkspace:
-    generator = CorpusGenerator(
-        seed=seed,
-        recipe_scale=recipe_scale,
-        include_world_only=include_world_only,
-    )
-    corpus = generator.generate()
-    pipeline = AliasingPipeline(generator.catalog)
-    result = pipeline.resolve_corpus(corpus.raw_recipes)
-    return ExperimentWorkspace(
-        corpus=corpus,
-        recipes=result.recipes,
-        report=result.report,
-        cuisines=build_cuisines(result.recipes),
-        catalog=generator.catalog,
-        seed=seed,
-        recipe_scale=recipe_scale,
-    )
+    with span(
+        "workspace.build", seed=seed, recipe_scale=recipe_scale
+    ) as trace:
+        started = time.perf_counter()
+        generator = CorpusGenerator(
+            seed=seed,
+            recipe_scale=recipe_scale,
+            include_world_only=include_world_only,
+        )
+        corpus = generator.generate()
+        pipeline = AliasingPipeline(generator.catalog)
+        result = pipeline.resolve_corpus(corpus.raw_recipes)
+        with span("workspace.cuisines"):
+            cuisines = build_cuisines(result.recipes)
+        trace.incr("recipes", len(result.recipes))
+        trace.incr("cuisines", len(cuisines))
+        _LOG.info(
+            "workspace.built",
+            seed=seed,
+            recipe_scale=recipe_scale,
+            recipes=len(result.recipes),
+            cuisines=len(cuisines),
+            exact_rate=round(result.report.exact_rate(), 4),
+            seconds=round(time.perf_counter() - started, 3),
+        )
+        return ExperimentWorkspace(
+            corpus=corpus,
+            recipes=result.recipes,
+            report=result.report,
+            cuisines=cuisines,
+            catalog=generator.catalog,
+            seed=seed,
+            recipe_scale=recipe_scale,
+        )
 
 
 def clear_workspace_cache() -> None:

@@ -1,0 +1,134 @@
+"""Structured logging: key=value or JSON lines with span correlation.
+
+``get_logger(name)`` returns a tiny logger whose methods take an event
+name plus free-form fields::
+
+    log = get_logger("repro.workspace")
+    log.info("workspace.built", recipes=45772, seconds=61.2)
+    # ts=2026-08-05T12:00:00.123+00:00 level=info logger=repro.workspace \
+    #   event=workspace.built recipes=45772 seconds=61.2
+
+:func:`configure_logging` switches the line format to JSON
+(``--log-json``: one JSON object per line, machine-parseable), sets the
+minimum level, and optionally pins the output stream (default: whatever
+``sys.stderr`` is at emit time, so test capture works).
+
+When tracing is enabled and a span is open on the current thread, every
+record carries ``trace_id`` and ``span`` fields — the correlation ids
+that tie log lines to the span tree.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import sys
+import threading
+from typing import Any, TextIO
+
+from .trace import current_span
+
+__all__ = ["StructLogger", "configure_logging", "get_logger"]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _LogConfig:
+    """Mutable process-global logging configuration."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.level = LEVELS["info"]
+        self.json_mode = False
+        self.stream: TextIO | None = None  # None -> sys.stderr at emit time
+
+
+_CONFIG = _LogConfig()
+
+
+def configure_logging(
+    level: str = "info",
+    json_mode: bool = False,
+    stream: TextIO | None = None,
+) -> None:
+    """Set the global log level, output format and (optional) stream.
+
+    Args:
+        level: minimum level emitted (``debug``/``info``/``warning``/
+            ``error``).
+        json_mode: emit one JSON object per line instead of key=value.
+        stream: output stream; ``None`` resolves ``sys.stderr`` lazily.
+    """
+    if level not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(LEVELS)}"
+        )
+    with _CONFIG.lock:
+        _CONFIG.level = LEVELS[level]
+        _CONFIG.json_mode = json_mode
+        _CONFIG.stream = stream
+
+
+def _quote(value: Any) -> str:
+    text = str(value)
+    if text == "" or any(ch in text for ch in (' ', '"', '=')):
+        return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return text
+
+
+class StructLogger:
+    """A named logger emitting structured records via the global config."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit("error", event, fields)
+
+    def _emit(self, level: str, event: str, fields: dict[str, Any]) -> None:
+        with _CONFIG.lock:
+            if LEVELS[level] < _CONFIG.level:
+                return
+            json_mode = _CONFIG.json_mode
+            stream = _CONFIG.stream
+        record: dict[str, Any] = {
+            "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        span = current_span()
+        if span is not None:
+            record["trace_id"] = span.trace_id
+            record["span"] = span.name
+        record.update(fields)
+        if json_mode:
+            line = json.dumps(record, default=str)
+        else:
+            line = " ".join(
+                f"{key}={_quote(value)}" for key, value in record.items()
+            )
+        out = stream if stream is not None else sys.stderr
+        out.write(line + "\n")
+        try:
+            out.flush()
+        except (ValueError, OSError):  # pragma: no cover - closed stream
+            pass
+
+
+def get_logger(name: str) -> StructLogger:
+    """A structured logger named ``name`` (cheap; loggers are stateless)."""
+    return StructLogger(name)

@@ -1,0 +1,362 @@
+"""Nested-span tracing: wall/CPU timings, counters, three exporters.
+
+A :class:`Tracer` produces :class:`Span` objects via the :meth:`Tracer.span`
+context manager (or the :func:`traced` decorator). Spans nest per thread —
+entering a span while another is active on the same thread records a
+parent/child edge — and carry free-form attributes (``span.set``) and
+additive counters (``span.incr``). Finished spans are collected
+thread-safely and can be exported three ways:
+
+* :meth:`Tracer.render_tree` — a human-readable timing tree with per-span
+  wall/CPU durations and counters,
+* :meth:`Tracer.to_jsonl` — one JSON object per span (machine-readable),
+* :meth:`Tracer.to_chrome_trace` — the Chrome trace-event format, loadable
+  in ``chrome://tracing`` / Perfetto.
+
+Tracing is **disabled by default**: the process-global tracer hands out a
+shared no-op span until :func:`configure_tracing` enables it, so
+instrumented hot paths pay only an attribute check + one comparison.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from typing import Any, Callable, TypeVar
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "configure_tracing",
+    "current_span",
+    "get_tracer",
+    "span",
+    "traced",
+]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def incr(self, key: str, amount: int | float = 1) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed region: name, parentage, wall/CPU times, attrs, counters.
+
+    Wall time comes from ``time.perf_counter`` and CPU time from
+    ``time.thread_time`` (the entering thread's CPU clock), so a span that
+    waits on I/O or a lock shows wall >> cpu.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "trace_id", "thread_id",
+        "attrs", "counters", "start_wall", "end_wall", "start_cpu",
+        "end_cpu", "_tracer",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", name: str, span_id: int, attrs: dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id: int | None = None
+        self.trace_id: str = ""
+        self.thread_id: int = 0
+        self.attrs = attrs
+        self.counters: dict[str, int | float] = {}
+        self.start_wall: float = 0.0
+        self.end_wall: float | None = None
+        self.start_cpu: float = 0.0
+        self.end_cpu: float | None = None
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def incr(self, key: str, amount: int | float = 1) -> None:
+        """Add to one of the span's counters (created at 0)."""
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    @property
+    def duration(self) -> float | None:
+        """Wall-clock seconds, or ``None`` while still open."""
+        if self.end_wall is None:
+            return None
+        return self.end_wall - self.start_wall
+
+    @property
+    def cpu_time(self) -> float | None:
+        """CPU seconds on the entering thread, or ``None`` while open."""
+        if self.end_cpu is None:
+            return None
+        return self.end_cpu - self.start_cpu
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (the JSONL exporter's row)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "thread_id": self.thread_id,
+            "start": round(self.start_wall, 6),
+            "duration_ms": (
+                None if self.duration is None
+                else round(self.duration * 1000, 3)
+            ),
+            "cpu_ms": (
+                None if self.cpu_time is None
+                else round(self.cpu_time * 1000, 3)
+            ),
+            "attrs": self.attrs,
+            "counters": self.counters,
+        }
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            self.parent_id = parent.span_id
+            self.trace_id = parent.trace_id
+        else:
+            self.trace_id = f"{self.span_id:08x}"
+        self.thread_id = threading.get_ident()
+        stack.append(self)
+        self.start_cpu = time.thread_time()
+        self.start_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.end_wall = time.perf_counter()
+        self.end_cpu = time.thread_time()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._record(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, duration={self.duration})"
+        )
+
+
+class Tracer:
+    """Thread-safe span factory and collector.
+
+    Each thread keeps its own span stack (nesting), while finished spans
+    land in one shared list guarded by a lock. ``enabled=False`` makes
+    :meth:`span` return the shared no-op span.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
+        """A context manager timing one region; no-op when disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(self, name, span_id, dict(attrs))
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    def finished_spans(self) -> tuple[Span, ...]:
+        """All completed spans, in completion order."""
+        with self._lock:
+            return tuple(self._finished)
+
+    def reset(self) -> None:
+        """Drop collected spans (open spans on other threads are kept)."""
+        with self._lock:
+            self._finished.clear()
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+    def render_tree(self) -> str:
+        """Human-readable timing tree of all finished spans."""
+        spans = sorted(self.finished_spans(), key=lambda s: s.start_wall)
+        if not spans:
+            return "(no spans recorded)"
+        by_id = {span.span_id: span for span in spans}
+        children: dict[int | None, list[Span]] = {}
+        for span in spans:
+            # A child whose parent never finished renders as a root.
+            parent = span.parent_id if span.parent_id in by_id else None
+            children.setdefault(parent, []).append(span)
+        lines: list[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            lines.append("  " * depth + _describe(span))
+            for child in children.get(span.span_id, []):
+                walk(child, depth + 1)
+
+        for root in children.get(None, []):
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per finished span, newline-delimited."""
+        return "\n".join(
+            json.dumps(span.as_dict(), sort_keys=True)
+            for span in self.finished_spans()
+        )
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The Chrome trace-event format (``chrome://tracing``)."""
+        spans = self.finished_spans()
+        origin = min(
+            (span.start_wall for span in spans), default=0.0
+        )
+        events = []
+        for span in spans:
+            if span.duration is None:  # pragma: no cover - defensive
+                continue
+            args: dict[str, Any] = dict(span.attrs)
+            args.update(span.counters)
+            args["cpu_ms"] = (
+                None if span.cpu_time is None
+                else round(span.cpu_time * 1000, 3)
+            )
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": round((span.start_wall - origin) * 1e6, 1),
+                    "dur": round(span.duration * 1e6, 1),
+                    "pid": 1,
+                    "tid": span.thread_id,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str) -> None:
+        """Write the trace to ``path``.
+
+        A ``.json`` suffix selects the Chrome trace-event format; anything
+        else gets JSONL (one span per line).
+        """
+        if path.endswith(".json"):
+            text = json.dumps(self.to_chrome_trace())
+        else:
+            text = self.to_jsonl() + "\n"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def _describe(span: Span) -> str:
+    duration = span.duration or 0.0
+    cpu = span.cpu_time or 0.0
+    extras = []
+    for key, value in span.attrs.items():
+        extras.append(f"{key}={value}")
+    for key, value in span.counters.items():
+        extras.append(f"{key}={value}")
+    suffix = ("  " + " ".join(extras)) if extras else ""
+    return (
+        f"{span.name}  {duration * 1000:.1f}ms"
+        f" (cpu {cpu * 1000:.1f}ms){suffix}"
+    )
+
+
+#: The process-global tracer every instrumentation site uses by default.
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _TRACER
+
+
+def configure_tracing(enabled: bool = True) -> Tracer:
+    """Enable or disable the global tracer; returns it for chaining."""
+    _TRACER.enabled = enabled
+    return _TRACER
+
+
+def span(name: str, **attrs: Any) -> Span | _NoopSpan:
+    """Open a span on the global tracer (no-op while tracing is off)."""
+    # Short-circuit before delegating: the disabled hot path must not pay
+    # for a second call frame and kwargs repack.
+    tracer = _TRACER
+    if not tracer.enabled:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread (global tracer), if any."""
+    if not _TRACER.enabled:
+        return None
+    return _TRACER.current_span()
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable[[_F], _F]:
+    """Decorator: run the function under a span named after it.
+
+    ``@traced()`` uses the function's qualified name;
+    ``@traced("stage.custom", key=value)`` overrides name and attributes.
+    """
+
+    def decorate(func: _F) -> _F:
+        label = name if name is not None else func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _TRACER.enabled:
+                return func(*args, **kwargs)
+            with _TRACER.span(label, **attrs):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

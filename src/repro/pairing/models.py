@@ -23,15 +23,22 @@ the naive loop.
 from __future__ import annotations
 
 import enum
+import time
 
 import numpy as np
 
 from ..datamodel import ConfigurationError
+from ..obs import get_logger, span
 from .score import batch_scores
 from .views import CuisineView
 
 #: Samples per chunk; bounds peak memory at ~chunk * ingredient_count floats.
 DEFAULT_CHUNK = 8192
+
+#: Seconds between progress heartbeat log records on long sampling loops.
+HEARTBEAT_SECONDS = 5.0
+
+_LOG = get_logger("repro.pairing")
 
 
 class NullModel(enum.Enum):
@@ -72,14 +79,37 @@ def sample_model_scores(
     """
     if n_samples <= 0:
         raise ConfigurationError("n_samples must be positive")
-    scores = np.empty(n_samples, dtype=np.float64)
-    position = 0
-    while position < n_samples:
-        take = min(chunk, n_samples - position)
-        batch = sample_model_recipes(view, model, take, rng)
-        scores[position : position + take] = _score_ragged(view, batch)
-        position += take
-    return scores
+    with span(
+        "pairing.sample_model",
+        model=model.value,
+        region=view.region_code,
+        n_samples=n_samples,
+    ) as trace:
+        started = time.perf_counter()
+        last_heartbeat = started
+        scores = np.empty(n_samples, dtype=np.float64)
+        position = 0
+        while position < n_samples:
+            take = min(chunk, n_samples - position)
+            batch = sample_model_recipes(view, model, take, rng)
+            scores[position : position + take] = _score_ragged(view, batch)
+            position += take
+            now = time.perf_counter()
+            if now - last_heartbeat >= HEARTBEAT_SECONDS and position < n_samples:
+                last_heartbeat = now
+                _LOG.info(
+                    "sampling.progress",
+                    model=model.value,
+                    region=view.region_code,
+                    done=position,
+                    total=n_samples,
+                    samples_per_sec=round(position / (now - started)),
+                )
+        elapsed = time.perf_counter() - started
+        trace.incr("samples", n_samples)
+        if elapsed > 0:
+            trace.set("samples_per_sec", round(n_samples / elapsed))
+        return scores
 
 
 def sample_model_recipes(

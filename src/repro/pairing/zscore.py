@@ -22,6 +22,7 @@ import numpy as np
 
 from ..datamodel import Cuisine
 from ..flavordb import IngredientCatalog, stable_seed
+from ..obs import span
 from .models import NullModel, sample_model_scores
 from .score import cuisine_mean_score
 from .views import CuisineView, build_cuisine_view
@@ -84,10 +85,13 @@ def compare_to_model(
                 stable_seed("null-model", view.region_code, model.value)
             )
         )
-    cuisine_mean = cuisine_mean_score(view)
-    random_scores = sample_model_scores(view, model, n_samples, rng)
-    random_mean = float(random_scores.mean())
-    random_std = float(random_scores.std(ddof=1))
+    with span(
+        "pairing.zscore", region=view.region_code, model=model.value
+    ):
+        cuisine_mean = cuisine_mean_score(view)
+        random_scores = sample_model_scores(view, model, n_samples, rng)
+        random_mean = float(random_scores.mean())
+        random_std = float(random_scores.std(ddof=1))
     if random_std == 0.0:
         z_score = 0.0
         effect = 0.0
@@ -124,20 +128,24 @@ def analyze_cuisine(
         seed: extra seed mixed into the per-model generators; ``None``
             uses the deterministic default.
     """
-    view = build_cuisine_view(cuisine, catalog)
-    comparisons: dict[NullModel, ModelComparison] = {}
-    for model in models:
-        rng = np.random.Generator(
-            np.random.PCG64(
-                stable_seed(
-                    "null-model",
-                    view.region_code,
-                    model.value,
-                    str(seed) if seed is not None else "default",
+    with span(
+        "pairing.analyze_cuisine", region=cuisine.region_code
+    ) as trace:
+        view = build_cuisine_view(cuisine, catalog)
+        comparisons: dict[NullModel, ModelComparison] = {}
+        for model in models:
+            rng = np.random.Generator(
+                np.random.PCG64(
+                    stable_seed(
+                        "null-model",
+                        view.region_code,
+                        model.value,
+                        str(seed) if seed is not None else "default",
+                    )
                 )
             )
-        )
-        comparisons[model] = compare_to_model(view, model, n_samples, rng)
+            comparisons[model] = compare_to_model(view, model, n_samples, rng)
+        trace.incr("models", len(comparisons))
     any_comparison = next(iter(comparisons.values()))
     return CuisinePairingResult(
         region_code=cuisine.region_code,

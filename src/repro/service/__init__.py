@@ -22,7 +22,7 @@ recipe analytics as an online service). Layers:
 serves it until interrupted.
 """
 
-from .app import ROUTES, ServiceApp
+from .app import ROUTES, PlainTextResponse, ServiceApp
 from .cache import CacheStats, ResultCache, canonical_key
 from .handlers import QueryService, RequestError
 from .metrics import LatencyStats, ServiceMetrics
@@ -30,6 +30,7 @@ from .server import ServiceServer, create_server
 
 __all__ = [
     "ROUTES",
+    "PlainTextResponse",
     "ServiceApp",
     "CacheStats",
     "ResultCache",

@@ -19,6 +19,11 @@ import traceback
 from typing import Any, Callable
 
 from ..datamodel import ReproError
+from ..obs import NOOP_SPAN, get_registry, get_tracer, span
+
+#: The tracer singleton, bound once: ``configure_tracing`` mutates its
+#: ``enabled`` flag in place, so dispatch can check one attribute.
+_TRACER = get_tracer()
 from .cache import MISSING, ResultCache, canonical_key
 from .handlers import QueryService, RequestError
 from .metrics import ServiceMetrics
@@ -60,6 +65,18 @@ def error_body(status: int, code: str, message: str) -> dict[str, Any]:
     return {"error": {"code": code, "message": message}, "status": status}
 
 
+@dataclasses.dataclass(frozen=True)
+class PlainTextResponse:
+    """A non-JSON response body (Prometheus exposition text).
+
+    Transports check for this type and send ``text`` verbatim with
+    ``content_type`` instead of JSON-encoding the body.
+    """
+
+    text: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
+
+
 class ServiceApp:
     """Dispatches requests to a :class:`QueryService` with caching/metrics."""
 
@@ -76,35 +93,59 @@ class ServiceApp:
         self._clock = clock
 
     def dispatch(
-        self, method: str, path: str, payload: Any = None
-    ) -> tuple[int, dict[str, Any]]:
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        _trace: Any = NOOP_SPAN,
+    ) -> tuple[int, dict[str, Any] | PlainTextResponse]:
         """Serve one request; never raises.
 
         Returns:
-            ``(http status, JSON-ready body)``.
+            ``(http status, JSON-ready body)`` — or, for
+            ``/metrics?format=prometheus``, a :class:`PlainTextResponse`.
         """
+        # With tracing disabled (the default) this costs two identity
+        # checks — no span object, no kwargs dict, no extra call frame.
+        # When enabled, open the dispatch span and re-enter with it bound.
+        traced = _trace is not NOOP_SPAN
+        if not traced and _TRACER.enabled:
+            with span("service.dispatch", method=method, path=path) as open_span:
+                return self.dispatch(method, path, payload, _trace=open_span)
+        trace = _trace
         started = self._clock()
         route = ROUTES.get(path)
         if route is None:
             status, body = 404, error_body(
                 404, "unknown_path", f"no such endpoint: {path}"
             )
-            self.metrics.observe("(unknown)", self._clock() - started, error=True)
+            if traced:
+                trace.set("status", status)
+            self.metrics.observe(
+                "(unknown)", self._clock() - started, error=True
+            )
             return status, body
         endpoint = path.lstrip("/")
+        if traced:
+            trace.set("endpoint", endpoint)
         if method != route.method:
             status, body = 405, error_body(
                 405,
                 "method_not_allowed",
                 f"{path} requires {route.method}, got {method}",
             )
-            self.metrics.observe(endpoint, self._clock() - started, error=True)
+            if traced:
+                trace.set("status", status)
+            self.metrics.observe(
+                endpoint, self._clock() - started, error=True
+            )
             return status, body
 
         cache_hit = False
+        body: dict[str, Any] | PlainTextResponse
         try:
             if route.handler == "handle_metrics":
-                status, body = 200, self._metrics_body()
+                status, body = self._dispatch_metrics(payload)
             elif route.cacheable:
                 key = canonical_key(endpoint, payload)
                 cached = self.cache.get(key)
@@ -116,7 +157,9 @@ class ServiceApp:
                     self.cache.put(key, body)
                     status = 200
             else:
-                status, body = 200, getattr(self.service, route.handler)(payload)
+                status, body = 200, getattr(
+                    self.service, route.handler
+                )(payload)
         except RequestError as error:
             status, body = error.status, error_body(
                 error.status, error.code, str(error)
@@ -125,11 +168,14 @@ class ServiceApp:
             status, body = 400, error_body(
                 400, type(error).__name__.lower(), str(error)
             )
-        except Exception as error:  # noqa: BLE001 - the server must not die
+        except Exception as error:  # noqa: BLE001 - must not die
             traceback.print_exc()
             status, body = 500, error_body(
                 500, "internal_error", f"{type(error).__name__}: {error}"
             )
+        if traced:
+            trace.set("status", status)
+            trace.set("cache_hit", cache_hit)
         self.metrics.observe(
             endpoint,
             self._clock() - started,
@@ -138,8 +184,45 @@ class ServiceApp:
         )
         return status, body
 
+    def _dispatch_metrics(
+        self, payload: Any
+    ) -> tuple[int, dict[str, Any] | PlainTextResponse]:
+        """Serve ``/metrics``: JSON by default, ``?format=prometheus`` text."""
+        fmt = payload.get("format") if isinstance(payload, dict) else None
+        if fmt in (None, "json"):
+            return 200, self._metrics_body()
+        if fmt == "prometheus":
+            return 200, PlainTextResponse(self._prometheus_body())
+        return 400, error_body(
+            400,
+            "invalid_field",
+            f"unknown metrics format {fmt!r} (expected json or prometheus)",
+        )
+
     def _metrics_body(self) -> dict[str, Any]:
         return {
             "endpoints": self.metrics.snapshot(),
             "cache": self.cache.stats().as_dict(),
         }
+
+    def _prometheus_body(self) -> str:
+        """Exposition text: this app's series, cache gauges, global registry."""
+        parts = [self.metrics.render_prometheus()]
+        cache = self.cache.stats()
+        cache_lines = [
+            "# TYPE repro_cache_entries gauge",
+            f"repro_cache_entries {cache.size}",
+            "# TYPE repro_cache_hits gauge",
+            f"repro_cache_hits {cache.hits}",
+            "# TYPE repro_cache_misses gauge",
+            f"repro_cache_misses {cache.misses}",
+            "# TYPE repro_cache_evictions gauge",
+            f"repro_cache_evictions {cache.evictions}",
+            "# TYPE repro_cache_hit_rate gauge",
+            f"repro_cache_hit_rate {round(cache.hit_rate, 4)}",
+        ]
+        parts.append("\n".join(cache_lines) + "\n")
+        global_registry = get_registry()
+        if global_registry is not self.metrics.registry:
+            parts.append(global_registry.render_prometheus())
+        return "".join(part for part in parts if part)

@@ -1,25 +1,40 @@
 """Per-endpoint request metrics: counters and latency percentiles.
 
-Every dispatched request records its endpoint, outcome and wall-clock
-latency. Latencies land in a fixed-size reservoir (the most recent
-:data:`RESERVOIR_SIZE` samples per endpoint), from which ``/metrics``
-derives p50/p95/p99 — a sliding-window view that stays O(1) memory on a
-server handling millions of requests. Counters are monotonic for the
-process lifetime.
+Since the ``repro.obs`` observability layer landed, this module is a thin
+wrapper: the ring-buffer reservoir and percentile code that used to live
+here was generalised into :mod:`repro.obs.metrics`, and
+:class:`ServiceMetrics` now just maintains a conventional set of series
+in a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* ``repro_requests_total{endpoint=...}`` — requests dispatched,
+* ``repro_request_errors_total{endpoint=...}`` — 4xx/5xx responses,
+* ``repro_cache_hits_total{endpoint=...}`` — responses from the cache,
+* ``repro_request_seconds{endpoint=...}`` — latency histogram
+  (sliding-window p50/p95/p99 over the most recent
+  :data:`RESERVOIR_SIZE` samples).
+
+The JSON ``/metrics`` body, the ``--stats`` shutdown table and the
+Prometheus exposition (``/metrics?format=prometheus``) all derive from
+the same registry.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
-import threading
 from typing import Any
 
-#: Latency samples retained per endpoint (a sliding window).
-RESERVOIR_SIZE = 2048
+from ..obs.metrics import (  # noqa: F401 - re-exported for compatibility
+    PERCENTILES,
+    RESERVOIR_SIZE,
+    HistogramStats,
+    MetricsRegistry,
+    percentile,
+)
 
-#: Percentiles exposed by snapshots, as fractions.
-PERCENTILES = (0.50, 0.95, 0.99)
+REQUESTS = "repro_requests_total"
+ERRORS = "repro_request_errors_total"
+CACHE_HITS = "repro_cache_hits_total"
+LATENCY = "repro_request_seconds"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,60 +63,20 @@ class LatencyStats:
         }
 
 
-def percentile(sorted_samples: list[float], fraction: float) -> float:
-    """Linear-interpolated percentile of an ascending sample list."""
-    if not sorted_samples:
-        return 0.0
-    if len(sorted_samples) == 1:
-        return sorted_samples[0]
-    rank = fraction * (len(sorted_samples) - 1)
-    low = math.floor(rank)
-    high = math.ceil(rank)
-    if low == high:
-        return sorted_samples[low]
-    weight = rank - low
-    return sorted_samples[low] * (1 - weight) + sorted_samples[high] * weight
-
-
-class _EndpointMetrics:
-    """Counters plus a latency ring buffer for one endpoint."""
-
-    __slots__ = ("requests", "errors", "cache_hits", "samples", "next_slot")
-
-    def __init__(self) -> None:
-        self.requests = 0
-        self.errors = 0
-        self.cache_hits = 0
-        self.samples: list[float] = []
-        self.next_slot = 0
-
-    def observe(self, seconds: float, error: bool, cache_hit: bool) -> None:
-        self.requests += 1
-        if error:
-            self.errors += 1
-        if cache_hit:
-            self.cache_hits += 1
-        if len(self.samples) < RESERVOIR_SIZE:
-            self.samples.append(seconds)
-        else:  # overwrite the oldest sample (ring buffer)
-            self.samples[self.next_slot] = seconds
-            self.next_slot = (self.next_slot + 1) % RESERVOIR_SIZE
-
-    def latency(self) -> LatencyStats:
-        window = sorted(self.samples)
-        mean = sum(window) / len(window) if window else 0.0
-        p50, p95, p99 = (percentile(window, f) for f in PERCENTILES)
-        return LatencyStats(
-            count=self.requests, mean=mean, p50=p50, p95=p95, p99=p99
-        )
-
-
 class ServiceMetrics:
-    """Thread-safe registry of per-endpoint metrics."""
+    """Thread-safe registry of per-endpoint metrics.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._endpoints: dict[str, _EndpointMetrics] = {}
+    Each instance owns its own :class:`MetricsRegistry` by default, so
+    tests and embedded apps never share state; pass a registry to
+    aggregate several apps into one exposition.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
 
     def observe(
         self,
@@ -111,33 +86,46 @@ class ServiceMetrics:
         cache_hit: bool = False,
     ) -> None:
         """Record one request against ``endpoint``."""
-        with self._lock:
-            metrics = self._endpoints.get(endpoint)
-            if metrics is None:
-                metrics = self._endpoints[endpoint] = _EndpointMetrics()
-            metrics.observe(seconds, error, cache_hit)
+        registry = self._registry
+        registry.counter(REQUESTS, endpoint=endpoint).incr()
+        if error:
+            registry.counter(ERRORS, endpoint=endpoint).incr()
+        if cache_hit:
+            registry.counter(CACHE_HITS, endpoint=endpoint).incr()
+        registry.histogram(LATENCY, endpoint=endpoint).observe(seconds)
 
     def endpoint_names(self) -> tuple[str, ...]:
-        with self._lock:
-            return tuple(sorted(self._endpoints))
+        return self._registry.label_values(REQUESTS, "endpoint")
+
+    def _count(self, name: str, endpoint: str) -> int:
+        return int(self._registry.counter(name, endpoint=endpoint).value)
 
     def snapshot(self) -> dict[str, Any]:
         """All endpoints' counters and latency summaries, JSON-ready."""
-        with self._lock:
-            items = [
-                (name, metrics.requests, metrics.errors, metrics.cache_hits,
-                 metrics.latency())
-                for name, metrics in sorted(self._endpoints.items())
-            ]
         body: dict[str, Any] = {}
-        for name, requests, errors, cache_hits, latency in items:
-            body[name] = {
+        for endpoint in self.endpoint_names():
+            requests = self._count(REQUESTS, endpoint)
+            cache_hits = self._count(CACHE_HITS, endpoint)
+            stats = self._registry.histogram(LATENCY, endpoint=endpoint).stats()
+            latency = LatencyStats(
+                count=requests,
+                mean=stats.mean,
+                p50=stats.p50,
+                p95=stats.p95,
+                p99=stats.p99,
+            )
+            body[endpoint] = {
                 "requests": requests,
-                "errors": errors,
+                "errors": self._count(ERRORS, endpoint),
                 "cache_hits": cache_hits,
+                "hit_rate": round(cache_hits / requests, 4) if requests else 0.0,
                 "latency": latency.as_dict(),
             }
         return body
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of this app's series."""
+        return self._registry.render_prometheus()
 
     def render_summary(self) -> str:
         """Aligned text table of the snapshot (the ``--stats`` summary)."""
@@ -145,8 +133,8 @@ class ServiceMetrics:
         if not snapshot:
             return "(no requests served)"
         headers = [
-            "endpoint", "requests", "errors", "cache_hits",
-            "p50_ms", "p95_ms", "p99_ms",
+            "endpoint", "requests", "errors", "cache_hits", "hit_rate",
+            "mean_ms", "p50_ms", "p95_ms", "p99_ms",
         ]
         rows = [
             [
@@ -154,6 +142,8 @@ class ServiceMetrics:
                 str(stats["requests"]),
                 str(stats["errors"]),
                 str(stats["cache_hits"]),
+                f"{stats['hit_rate']:.2%}",
+                f"{stats['latency']['mean_ms']:.3f}",
                 f"{stats['latency']['p50_ms']:.3f}",
                 f"{stats['latency']['p95_ms']:.3f}",
                 f"{stats['latency']['p99_ms']:.3f}",

@@ -14,8 +14,9 @@ import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
-from .app import ServiceApp, error_body
+from .app import PlainTextResponse, ServiceApp, error_body
 
 #: Refuse request bodies beyond this size (1 MiB) before reading them.
 MAX_BODY_BYTES = 1 << 20
@@ -38,7 +39,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if parse_error is not None:
             self._respond(400, parse_error)
             return
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
+        if payload is None and query:
+            # GET endpoints take parameters from the query string
+            # (e.g. /metrics?format=prometheus); last value wins.
+            payload = {
+                key: values[-1]
+                for key, values in parse_qs(query).items()
+            }
         status, body = self.server.app.dispatch(method, path, payload)
         self._respond(status, body)
 
@@ -69,10 +77,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 400, "invalid_json", f"request body is not valid JSON: {error}"
             )
 
-    def _respond(self, status: int, body: dict[str, Any]) -> None:
-        encoded = json.dumps(body).encode("utf-8")
+    def _respond(
+        self, status: int, body: dict[str, Any] | PlainTextResponse
+    ) -> None:
+        if isinstance(body, PlainTextResponse):
+            encoded = body.text.encode("utf-8")
+            content_type = body.content_type
+        else:
+            encoded = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(encoded)))
         self.end_headers()
         self.wfile.write(encoded)

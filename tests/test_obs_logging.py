@@ -1,0 +1,115 @@
+"""Tests for structured logging: key=value lines, JSONL, correlation."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.trace import configure_tracing, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    yield
+    configure_logging(level="info", json_mode=False, stream=None)
+
+
+def capture(**config):
+    stream = io.StringIO()
+    configure_logging(stream=stream, **config)
+    return stream
+
+
+class TestKeyValueFormat:
+    def test_basic_fields(self):
+        stream = capture()
+        get_logger("repro.test").info("thing.done", count=3, rate=0.5)
+        line = stream.getvalue().strip()
+        assert "level=info" in line
+        assert "logger=repro.test" in line
+        assert "event=thing.done" in line
+        assert "count=3" in line
+        assert "rate=0.5" in line
+        assert line.startswith("ts=")
+
+    def test_values_with_spaces_are_quoted(self):
+        stream = capture()
+        get_logger("t").info("x", msg="two words", sym="a=b")
+        line = stream.getvalue().strip()
+        assert 'msg="two words"' in line
+        assert 'sym="a=b"' in line
+
+    def test_quotes_escaped(self):
+        stream = capture()
+        get_logger("t").info("x", msg='say "hi"')
+        assert 'msg="say \\"hi\\""' in stream.getvalue()
+
+
+class TestJsonMode:
+    def test_lines_are_valid_jsonl(self):
+        stream = capture(json_mode=True)
+        log = get_logger("repro.test")
+        log.info("first", a=1)
+        log.warning("second", b="two words", c=None)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        rows = [json.loads(line) for line in lines]
+        assert rows[0]["event"] == "first"
+        assert rows[0]["a"] == 1
+        assert rows[1]["level"] == "warning"
+        assert rows[1]["b"] == "two words"
+
+    def test_non_serialisable_values_fall_back_to_str(self):
+        stream = capture(json_mode=True)
+        get_logger("t").info("x", obj=object())
+        (line,) = stream.getvalue().strip().splitlines()
+        assert "object object" in json.loads(line)["obj"]
+
+
+class TestLevels:
+    def test_below_threshold_suppressed(self):
+        stream = capture(level="warning")
+        log = get_logger("t")
+        log.debug("quiet")
+        log.info("quiet")
+        log.warning("loud")
+        log.error("loud")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+
+    def test_debug_level_enables_everything(self):
+        stream = capture(level="debug")
+        get_logger("t").debug("visible")
+        assert "event=visible" in stream.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="loud")
+
+
+class TestSpanCorrelation:
+    def test_record_carries_trace_id_inside_span(self):
+        stream = capture(json_mode=True)
+        tracer = configure_tracing(True)
+        try:
+            with tracer.span("stage.one") as current:
+                get_logger("t").info("inside")
+                expected = current.trace_id
+        finally:
+            configure_tracing(False)
+            get_tracer().reset()
+        row = json.loads(stream.getvalue().strip())
+        assert row["trace_id"] == expected
+        assert row["span"] == "stage.one"
+
+    def test_no_correlation_outside_span(self):
+        stream = capture(json_mode=True)
+        get_logger("t").info("outside")
+        row = json.loads(stream.getvalue().strip())
+        assert "trace_id" not in row
+
+    def test_no_correlation_when_tracing_disabled(self):
+        stream = capture(json_mode=True)
+        get_logger("t").info("plain")
+        assert "span" not in json.loads(stream.getvalue().strip())

@@ -1,0 +1,249 @@
+"""Tests for the span tracer and its exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Tracer,
+    configure_tracing,
+    current_span,
+    get_tracer,
+    span,
+    traced,
+)
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestSpanLifecycle:
+    def test_disabled_tracer_hands_out_noop(self):
+        assert Tracer(enabled=False).span("x") is NOOP_SPAN
+
+    def test_noop_span_accepts_api(self):
+        with Tracer(enabled=False).span("x") as noop:
+            noop.set("k", 1)
+            noop.incr("n")
+        # nothing blows up, nothing is recorded
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x"):
+            pass
+        assert tracer.finished_spans() == ()
+
+    def test_span_records_duration_and_cpu(self, tracer):
+        with tracer.span("work") as current:
+            assert current.duration is None
+        (finished,) = tracer.finished_spans()
+        assert finished is current
+        assert finished.duration is not None and finished.duration >= 0
+        assert finished.cpu_time is not None and finished.cpu_time >= 0
+
+    def test_attrs_and_counters(self, tracer):
+        with tracer.span("work", region="ITA") as current:
+            current.set("model", "random")
+            current.incr("samples", 100)
+            current.incr("samples", 50)
+        (finished,) = tracer.finished_spans()
+        assert finished.attrs == {"region": "ITA", "model": "random"}
+        assert finished.counters == {"samples": 150}
+
+    def test_exception_marks_span_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (finished,) = tracer.finished_spans()
+        assert finished.attrs["error"] == "ValueError"
+        assert finished.duration is not None
+
+
+class TestNesting:
+    def test_parent_child_ids_and_trace_id(self, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                pass
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+        assert child.trace_id == parent.trace_id
+
+    def test_nested_timing_invariants(self, tracer):
+        """Children start after the parent and fit inside it."""
+        with tracer.span("parent"):
+            for _ in range(3):
+                with tracer.span("child"):
+                    sum(range(1000))
+        spans = tracer.finished_spans()
+        parent = next(s for s in spans if s.name == "parent")
+        children = [s for s in spans if s.name == "child"]
+        assert len(children) == 3
+        for child in children:
+            assert child.start_wall >= parent.start_wall
+            assert child.end_wall <= parent.end_wall
+        assert sum(c.duration for c in children) <= parent.duration
+
+    def test_current_span_tracks_stack(self, tracer):
+        assert tracer.current_span() is None
+        with tracer.span("a") as a:
+            assert tracer.current_span() is a
+            with tracer.span("b") as b:
+                assert tracer.current_span() is b
+            assert tracer.current_span() is a
+        assert tracer.current_span() is None
+
+    def test_sibling_roots_get_distinct_trace_ids(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.finished_spans()
+        assert first.trace_id != second.trace_id
+
+    def test_threads_have_independent_stacks(self, tracer):
+        recorded = {}
+
+        def worker():
+            with tracer.span("thread_root") as root:
+                recorded["parent_id"] = root.parent_id
+
+        with tracer.span("main_root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker's span is a root: it must not adopt main's span.
+        assert recorded["parent_id"] is None
+
+
+class TestExporters:
+    def _sample(self, tracer):
+        with tracer.span("root", stage="test") as root:
+            root.incr("items", 7)
+            with tracer.span("leaf"):
+                pass
+        return tracer
+
+    def test_render_tree_indents_children(self, tracer):
+        text = self._sample(tracer).render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  leaf")
+        assert "items=7" in lines[0]
+        assert "ms" in lines[0]
+
+    def test_render_tree_empty(self, tracer):
+        assert "no spans" in tracer.render_tree()
+
+    def test_jsonl_is_valid_and_complete(self, tracer):
+        text = self._sample(tracer).to_jsonl()
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert {row["name"] for row in rows} == {"root", "leaf"}
+        leaf = next(row for row in rows if row["name"] == "leaf")
+        root = next(row for row in rows if row["name"] == "root")
+        assert leaf["parent_id"] == root["span_id"]
+        assert root["counters"] == {"items": 7}
+
+    def test_chrome_trace_format(self, tracer):
+        body = self._sample(tracer).to_chrome_trace()
+        events = body["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+        root = next(e for e in events if e["name"] == "root")
+        assert root["args"]["stage"] == "test"
+        assert root["args"]["items"] == 7
+        json.dumps(body)  # serialisable
+
+    def test_write_format_by_suffix(self, tracer, tmp_path):
+        self._sample(tracer)
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        tracer.write(str(chrome))
+        tracer.write(str(jsonl))
+        assert "traceEvents" in json.loads(chrome.read_text())
+        lines = jsonl.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_reset_drops_spans(self, tracer):
+        self._sample(tracer)
+        tracer.reset()
+        assert tracer.finished_spans() == ()
+
+
+class TestGlobalTracer:
+    def test_module_span_respects_enablement(self):
+        try:
+            assert span("off") is NOOP_SPAN
+            assert current_span() is None
+            configure_tracing(True)
+            with span("on") as current:
+                assert current is not NOOP_SPAN
+                assert current_span() is current
+            assert any(
+                s.name == "on" for s in get_tracer().finished_spans()
+            )
+        finally:
+            configure_tracing(False)
+            get_tracer().reset()
+
+    def test_traced_decorator(self):
+        calls = []
+
+        @traced("custom.name", kind="unit")
+        def work(x):
+            calls.append(x)
+            return x * 2
+
+        # Disabled: plain call, no span.
+        assert work(2) == 4
+        try:
+            configure_tracing(True)
+            assert work(3) == 6
+            spans = get_tracer().finished_spans()
+            assert [s.name for s in spans] == ["custom.name"]
+            assert spans[0].attrs == {"kind": "unit"}
+        finally:
+            configure_tracing(False)
+            get_tracer().reset()
+        assert calls == [2, 3]
+
+    def test_traced_default_name(self):
+        @traced()
+        def some_function():
+            return 1
+
+        try:
+            configure_tracing(True)
+            some_function()
+            (finished,) = get_tracer().finished_spans()
+            assert "some_function" in finished.name
+        finally:
+            configure_tracing(False)
+            get_tracer().reset()
+
+
+class TestConcurrency:
+    def test_concurrent_span_collection(self, tracer):
+        def worker(index):
+            for _ in range(100):
+                with tracer.span(f"w{index}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = tracer.finished_spans()
+        assert len(spans) == 800
+        assert len({s.span_id for s in spans}) == 800

@@ -276,3 +276,58 @@ class TestRequestError:
         assert error.status == 418
         assert error.code == "teapot"
         assert "stout" in str(error)
+
+
+class TestPrometheusMetrics:
+    def test_prometheus_format_returns_plain_text(self, app):
+        from repro.service import PlainTextResponse
+
+        app.dispatch("POST", "/score", {"ingredients": ["garlic", "onion"]})
+        status, body = app.dispatch(
+            "GET", "/metrics", {"format": "prometheus"}
+        )
+        assert status == 200
+        assert isinstance(body, PlainTextResponse)
+        assert body.content_type.startswith("text/plain")
+        assert 'repro_requests_total{endpoint="score"} 1' in body.text
+        assert "# TYPE repro_request_seconds summary" in body.text
+        assert "repro_cache_hit_rate" in body.text
+
+    def test_json_remains_the_default(self, app):
+        status, body = app.dispatch("GET", "/metrics")
+        assert status == 200
+        assert isinstance(body, dict)
+        assert "endpoints" in body
+
+    def test_explicit_json_format(self, app):
+        status, body = app.dispatch("GET", "/metrics", {"format": "json"})
+        assert status == 200
+        assert isinstance(body, dict)
+
+    def test_unknown_format_is_400(self, app):
+        status, body = app.dispatch("GET", "/metrics", {"format": "xml"})
+        assert status == 400
+        assert body["error"]["code"] == "invalid_field"
+
+
+class TestDispatchTracing:
+    def test_dispatch_span_tags_endpoint_and_cache_hit(self, app):
+        from repro.obs import configure_tracing, get_tracer
+
+        tracer = configure_tracing(True)
+        tracer.reset()
+        try:
+            payload = {"ingredients": ["garlic", "onion", "tomato"]}
+            app.dispatch("POST", "/score", payload)
+            app.dispatch("POST", "/score", payload)
+        finally:
+            configure_tracing(False)
+        spans = [
+            s for s in tracer.finished_spans()
+            if s.name == "service.dispatch"
+        ]
+        tracer.reset()
+        assert len(spans) == 2
+        assert all(s.attrs["endpoint"] == "score" for s in spans)
+        assert [s.attrs["cache_hit"] for s in spans] == [False, True]
+        assert all(s.attrs["status"] == 200 for s in spans)

@@ -187,3 +187,26 @@ class TestConcurrencyAndCaching:
         assert healthz["requests"] >= 1
         latency = healthz["latency"]
         assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+
+    def test_metrics_prometheus_over_http(self, server):
+        request(server, "GET", "/healthz")
+        req = urllib.request.Request(
+            server.url + "/metrics?format=prometheus", method="GET"
+        )
+        with urllib.request.urlopen(req, timeout=30) as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+        assert content_type.startswith("text/plain")
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{endpoint="healthz"}' in text
+        # Exposition sanity: no blank interior lines, samples parse.
+        for line in text.strip().splitlines():
+            assert line
+            if not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])
+
+    def test_metrics_query_string_json_still_works(self, server):
+        status, body = request(server, "GET", "/metrics?format=json")
+        assert status == 200
+        assert "endpoints" in body

@@ -91,3 +91,47 @@ class TestServiceMetrics:
         for thread in threads:
             thread.join()
         assert metrics.snapshot()["hot"]["requests"] == 8000
+
+
+class TestSnapshotDerivedStats:
+    def test_snapshot_includes_hit_rate_and_mean(self):
+        metrics = ServiceMetrics()
+        metrics.observe("score", 0.010)
+        metrics.observe("score", 0.020, cache_hit=True)
+        snapshot = metrics.snapshot()["score"]
+        assert snapshot["hit_rate"] == pytest.approx(0.5)
+        assert snapshot["latency"]["mean_ms"] == pytest.approx(15.0)
+
+    def test_summary_has_mean_and_hit_rate_columns(self):
+        metrics = ServiceMetrics()
+        metrics.observe("score", 0.010)
+        metrics.observe("score", 0.030, cache_hit=True)
+        text = metrics.render_summary()
+        header = text.splitlines()[0]
+        assert "mean_ms" in header
+        assert "hit_rate" in header
+        row = text.splitlines()[1]
+        assert "50.00%" in row
+        assert "20.000" in row  # mean of 10ms and 30ms
+
+    def test_summary_zero_requests_edge(self):
+        # hit_rate must not divide by zero on an endpoint-free registry.
+        assert "no requests" in ServiceMetrics().render_summary()
+
+
+class TestPrometheusExport:
+    def test_render_prometheus_exposes_series(self):
+        metrics = ServiceMetrics()
+        metrics.observe("score", 0.010, cache_hit=True)
+        metrics.observe("sql", 0.020, error=True)
+        text = metrics.render_prometheus()
+        assert 'repro_requests_total{endpoint="score"} 1' in text
+        assert 'repro_request_errors_total{endpoint="sql"} 1' in text
+        assert 'repro_cache_hits_total{endpoint="score"} 1' in text
+        assert "# TYPE repro_request_seconds summary" in text
+        assert 'repro_request_seconds_count{endpoint="score"} 1' in text
+
+    def test_instances_are_isolated(self):
+        first, second = ServiceMetrics(), ServiceMetrics()
+        first.observe("score", 0.010)
+        assert second.snapshot() == {}
