@@ -8,10 +8,16 @@ observability artifacts from the run (see repro.obs):
                  (load in chrome://tracing or https://ui.perfetto.dev),
 * timing_tree.txt — the human-readable span tree.
 
+The Monte Carlo stages (fig4/fig5) fan out across a process pool; the
+worker count defaults to one per CPU core and results are bit-identical
+for any value (see repro.parallel).
+
 Structured progress logs go to stderr (pass --log-json for JSON lines).
 Usage: python scripts/run_full_experiments.py [outdir] [--log-json]
+                                              [--workers N]
 """
 
+import os
 import sys
 import time
 from pathlib import Path
@@ -26,8 +32,15 @@ from repro.experiments import (
     run_table1,
 )
 from repro.obs import configure_logging, configure_tracing, get_logger
+from repro.parallel import ParallelConfig
 
 args = [arg for arg in sys.argv[1:] if arg != "--log-json"]
+WORKERS = os.cpu_count() or 1
+if "--workers" in args:
+    flag = args.index("--workers")
+    WORKERS = int(args[flag + 1])
+    del args[flag : flag + 2]
+PARALLEL = ParallelConfig(workers=max(1, WORKERS))
 OUT = Path(args[0] if args else "results/full_scale")
 OUT.mkdir(parents=True, exist_ok=True)
 
@@ -61,13 +74,14 @@ with tracer.span("full_run", out=str(OUT)):
         report=repr(ws.report),
     )
 
+    log.info("parallel.config", workers=PARALLEL.workers)
     for name, runner, kwargs in [
         ("table1", run_table1, {}),
         ("fig2", run_fig2, {}),
         ("fig3a", run_fig3a, {}),
         ("fig3b", run_fig3b, {}),
-        ("fig5", run_fig5, {}),
-        ("fig4", run_fig4, {"n_samples": 100_000}),
+        ("fig5", run_fig5, {"parallel": PARALLEL}),
+        ("fig4", run_fig4, {"n_samples": 100_000, "parallel": PARALLEL}),
     ]:
         t = time.perf_counter()
         with tracer.span(f"experiment.{name}"):

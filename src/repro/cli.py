@@ -5,11 +5,21 @@ Commands:
 * ``list`` — list available experiments.
 * ``run <id>`` — run one experiment and print its table
   (``--scale``/``--samples`` control corpus size and null-model samples).
+* ``fig4`` / ``fig5`` — shortcuts for ``run fig4`` / ``run fig5``.
 * ``build-db --out DIR`` — generate the corpus, alias it, build CulinaryDB
   and persist it as CSV.
 * ``query --db DIR "SELECT ..."`` — run SQL against a persisted database.
 * ``serve`` — build a workspace once and serve it over the HTTP JSON API
   (see :mod:`repro.service`).
+
+The sampling commands (``run``/``fig4``/``fig5``/``report``) accept
+``--workers N`` to fan Monte Carlo shards across a process pool
+(``0`` = one per CPU core) and ``--shard-size`` to set the shard
+decomposition; see :mod:`repro.parallel`. Without ``--workers`` the
+original serial sampler runs unchanged. ``fig4 --z-out PATH`` writes the
+full-precision Z-scores as JSON — the file depends only on
+``(seed, samples, shard-size)``, never on the worker count, which is
+what the CI determinism check diffs.
 
 Every command accepts the global observability flags (see
 :mod:`repro.obs`): ``--trace`` prints a span timing tree on exit,
@@ -56,6 +66,60 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """Argparse type: an integer >= 0 (``--workers 0`` means one per core)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {text}"
+        )
+    return value
+
+
+def _parallel_flags() -> argparse.ArgumentParser:
+    """Shared parent parser: the Monte Carlo fan-out flags."""
+    from .parallel import DEFAULT_SHARD_SIZE
+
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("parallel execution")
+    group.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan null-model sampling across N worker processes "
+            "(0 = one per CPU core; omit for the serial legacy sampler)"
+        ),
+    )
+    group.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=DEFAULT_SHARD_SIZE,
+        metavar="N",
+        help=(
+            "samples per Monte Carlo shard (default: "
+            f"{DEFAULT_SHARD_SIZE}); results depend on this, "
+            "not on --workers"
+        ),
+    )
+    return common
+
+
+def _parallel_config(args: argparse.Namespace):
+    """The ``ParallelConfig`` requested by the CLI flags, or ``None``."""
+    if getattr(args, "workers", None) is None:
+        return None
+    from .parallel import ParallelConfig, resolve_workers
+
+    return ParallelConfig(
+        workers=resolve_workers(args.workers), shard_size=args.shard_size
+    )
+
+
 def _observability_flags() -> argparse.ArgumentParser:
     """Shared parent parser: the global tracing/logging flags."""
     common = argparse.ArgumentParser(add_help=False)
@@ -88,6 +152,27 @@ def _observability_flags() -> argparse.ArgumentParser:
     return common
 
 
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """The experiment-run options shared by ``run``/``fig4``/``fig5``."""
+    parser.add_argument(
+        "--scale",
+        "--recipe-scale",
+        dest="scale",
+        type=_positive_float,
+        default=1.0,
+        help="recipe-count scale factor (1.0 = full 45,772-recipe corpus)",
+    )
+    parser.add_argument(
+        "--samples",
+        "--n-samples",
+        dest="samples",
+        type=_positive_int,
+        default=100_000,
+        help="random recipes per null model (fig4 only)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="corpus seed")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     obs_flags = _observability_flags()
     parser = argparse.ArgumentParser(
@@ -103,23 +188,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "list", help="list available experiments", parents=[obs_flags]
     )
 
+    parallel_flags = _parallel_flags()
+
     run = sub.add_parser(
-        "run", help="run one experiment", parents=[obs_flags]
+        "run",
+        help="run one experiment",
+        parents=[obs_flags, parallel_flags],
     )
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
-    run.add_argument(
-        "--scale",
-        type=_positive_float,
-        default=1.0,
-        help="recipe-count scale factor (1.0 = full 45,772-recipe corpus)",
+    _add_run_options(run)
+
+    fig4 = sub.add_parser(
+        "fig4",
+        help="shortcut for 'run fig4' (Z-scores vs the null models)",
+        parents=[obs_flags, parallel_flags],
     )
-    run.add_argument(
-        "--samples",
-        type=_positive_int,
-        default=100_000,
-        help="random recipes per null model (fig4 only)",
+    _add_run_options(fig4)
+    fig4.add_argument(
+        "--z-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the full-precision Z-scores as JSON "
+            "(independent of --workers; used by the CI determinism check)"
+        ),
     )
-    run.add_argument("--seed", type=int, default=None, help="corpus seed")
+
+    fig5 = sub.add_parser(
+        "fig5",
+        help="shortcut for 'run fig5' (top contributing ingredients)",
+        parents=[obs_flags, parallel_flags],
+    )
+    _add_run_options(fig5)
 
     build = sub.add_parser(
         "build-db",
@@ -139,7 +239,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help="run every experiment and write text tables",
-        parents=[obs_flags],
+        parents=[obs_flags, parallel_flags],
     )
     report.add_argument("--out", required=True, help="output directory")
     report.add_argument("--scale", type=_positive_float, default=1.0)
@@ -236,19 +336,26 @@ def _run_command(args: argparse.Namespace) -> int:
             print(f"{name:8s} {description}")
         return 0
 
-    if args.command == "run":
+    if args.command in ("run", "fig4", "fig5"):
+        experiment = (
+            args.experiment if args.command == "run" else args.command
+        )
         started = time.perf_counter()
         workspace_kwargs = {"recipe_scale": args.scale}
         if args.seed is not None:
             workspace_kwargs["seed"] = args.seed
         workspace = build_workspace(**workspace_kwargs)
-        runner, description = EXPERIMENTS[args.experiment]
-        print(f"# {args.experiment}: {description}")
-        if runner is run_fig4:
-            result = runner(workspace, n_samples=args.samples)
-        else:
-            result = runner(workspace)
+        runner, description = EXPERIMENTS[experiment]
+        parallel = _parallel_config(args)
+        print(f"# {experiment}: {description}")
+        result = _run_experiment(
+            runner, workspace, args.samples, parallel, args.seed
+        )
         print(result.render())
+        z_out = getattr(args, "z_out", None)
+        if z_out is not None:
+            _write_z_scores(result, z_out)
+            print(f"z-scores written to {z_out}")
         print(f"\n[{time.perf_counter() - started:.1f}s]")
         return 0
 
@@ -280,8 +387,6 @@ def _run_command(args: argparse.Namespace) -> int:
     if args.command == "report":
         from pathlib import Path
 
-        from .experiments.fig4 import run_fig4 as fig4_runner
-
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
         workspace_kwargs = {"recipe_scale": args.scale}
@@ -305,12 +410,12 @@ def _run_command(args: argparse.Namespace) -> int:
                 "fig4": export_fig4,
                 "fig5": export_fig5,
             }
+        parallel = _parallel_config(args)
         for name, (runner, description) in sorted(EXPERIMENTS.items()):
             started = time.perf_counter()
-            if runner is fig4_runner:
-                result = runner(workspace, n_samples=args.samples)
-            else:
-                result = runner(workspace)
+            result = _run_experiment(
+                runner, workspace, args.samples, parallel, args.seed
+            )
             text = f"# {name}: {description}\n\n{result.render()}\n"
             (out / f"{name}.txt").write_text(text, encoding="utf-8")
             exporter = csv_exporters.get(name)
@@ -367,6 +472,46 @@ def _run_command(args: argparse.Namespace) -> int:
         return 0
 
     return 1  # pragma: no cover - argparse enforces the choices
+
+
+def _run_experiment(runner, workspace, samples, parallel, seed):
+    """Invoke one experiment runner with the flags it understands."""
+    from .experiments.fig5 import run_fig5
+
+    if runner is run_fig4:
+        return runner(
+            workspace, n_samples=samples, parallel=parallel, seed=seed
+        )
+    if runner is run_fig5:
+        return runner(workspace, parallel=parallel)
+    return runner(workspace)
+
+
+def _write_z_scores(result, path: str) -> None:
+    """Full-precision fig4 Z-scores as JSON, for determinism diffs.
+
+    Deliberately records the sampling inputs (``n_samples``) but nothing
+    about the execution (worker count, shard scheduling), so two runs
+    with different ``--workers`` produce byte-identical files.
+    """
+    import json
+
+    from .pairing import NullModel
+
+    payload = {
+        "n_samples": result.n_samples,
+        "regions": {
+            code: {
+                model.value: detail.comparisons[model].z_score
+                for model in NullModel
+                if model in detail.comparisons
+            }
+            for code, detail in sorted(result.details.items())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,10 +11,15 @@ from __future__ import annotations
 
 import dataclasses
 
+from typing import TYPE_CHECKING
+
 from ..datamodel import REGIONS, PairingKind
 from ..pairing import CuisinePairingResult, NullModel, analyze_cuisine
 from ..reporting.tables import render_table
 from .workspace import ExperimentWorkspace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel import ParallelConfig
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -135,6 +140,8 @@ def run_fig4(
     workspace: ExperimentWorkspace,
     n_samples: int = 100_000,
     models: tuple[NullModel, ...] = tuple(NullModel),
+    parallel: "ParallelConfig | None" = None,
+    seed: int | None = None,
 ) -> Fig4Result:
     """Food-pairing analysis of all 22 regions.
 
@@ -142,18 +149,29 @@ def run_fig4(
         workspace: shared experiment workspace.
         n_samples: random recipes per model (paper: 100,000).
         models: null models to evaluate.
+        parallel: when set, every (region, model) sampling shard fans out
+            through one shared process pool; results are bit-identical
+            for any worker count (see :mod:`repro.parallel`).
+        seed: extra seed mixed into the shard generators (engine path).
     """
     cuisines = workspace.regional_cuisines()
     rows: list[Fig4Row] = []
     details: dict[str, CuisinePairingResult] = {}
-    for region in REGIONS:
-        result = analyze_cuisine(
-            cuisines[region.code],
-            workspace.catalog,
-            models=models,
-            n_samples=n_samples,
+    if parallel is not None:
+        details = _analyze_parallel(
+            workspace, cuisines, models, n_samples, parallel, seed
         )
-        details[region.code] = result
+    for region in REGIONS:
+        if parallel is not None:
+            result = details[region.code]
+        else:
+            result = analyze_cuisine(
+                cuisines[region.code],
+                workspace.catalog,
+                models=models,
+                n_samples=n_samples,
+            )
+            details[region.code] = result
 
         def z_of(model: NullModel) -> float:
             comparison = result.comparisons.get(model)
@@ -171,3 +189,53 @@ def run_fig4(
             )
         )
     return Fig4Result(rows=tuple(rows), n_samples=n_samples, details=details)
+
+
+def _analyze_parallel(
+    workspace: ExperimentWorkspace,
+    cuisines,
+    models: tuple[NullModel, ...],
+    n_samples: int,
+    parallel: "ParallelConfig",
+    seed: int | None,
+) -> dict[str, CuisinePairingResult]:
+    """All 22 regions' pairing analyses through one shared worker pool.
+
+    Publishing every region's view up front lets slow regions' shards
+    interleave with fast ones — one pool, one sweep, no per-region
+    barrier.
+    """
+    from ..pairing import (
+        build_cuisine_view,
+        comparison_from_moments,
+        cuisine_mean_score,
+    )
+    from ..parallel import sweep_pairing_moments
+
+    views = {
+        region.code: build_cuisine_view(
+            cuisines[region.code], workspace.catalog
+        )
+        for region in REGIONS
+    }
+    moments_map = sweep_pairing_moments(
+        views, models, n_samples, parallel, seed
+    )
+    details: dict[str, CuisinePairingResult] = {}
+    for region in REGIONS:
+        cuisine = cuisines[region.code]
+        cuisine_mean = cuisine_mean_score(views[region.code])
+        comparisons = {
+            model: comparison_from_moments(
+                cuisine_mean, model, moments_map[(region.code, model)]
+            )
+            for model in models
+        }
+        details[region.code] = CuisinePairingResult(
+            region_code=region.code,
+            cuisine_mean=cuisine_mean,
+            recipe_count=len(cuisine),
+            ingredient_count=len(cuisine.ingredient_ids),
+            comparisons=comparisons,
+        )
+    return details

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from typing import TYPE_CHECKING
+
 from ..datamodel import REGIONS, PairingKind
 from ..pairing import (
     IngredientContribution,
@@ -20,6 +22,9 @@ from ..pairing import (
 )
 from ..reporting.tables import render_table
 from .workspace import ExperimentWorkspace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel import ParallelConfig
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,16 +73,44 @@ class Fig5Result:
         return render_table(["Region", "Pairing", "Top 3 contributors"], body)
 
 
-def run_fig5(workspace: ExperimentWorkspace, top: int = 3) -> Fig5Result:
-    """Top contributing ingredients for every region."""
+def run_fig5(
+    workspace: ExperimentWorkspace,
+    top: int = 3,
+    parallel: "ParallelConfig | None" = None,
+) -> Fig5Result:
+    """Top contributing ingredients for every region.
+
+    With ``parallel`` set, each region's leave-one-out chi sweep runs as
+    one worker task over the shared-memory view; the computation is exact,
+    so results are identical to the serial path.
+    """
     cuisines = workspace.regional_cuisines()
+    views = {
+        region.code: build_cuisine_view(
+            cuisines[region.code], workspace.catalog
+        )
+        for region in REGIONS
+    }
+    chi_map = None
+    if parallel is not None:
+        from ..parallel import sweep_contributions
+
+        chi_map = sweep_contributions(views, parallel)
     rows: list[Fig5Row] = []
     for region in REGIONS:
-        view = build_cuisine_view(cuisines[region.code], workspace.catalog)
+        view = views[region.code]
+        contributions = None
+        if chi_map is not None:
+            from ..pairing import contributions_from_chi
+
+            contributions = contributions_from_chi(
+                view, chi_map[region.code]
+            )
         contributors = top_contributors(
             view,
             count=top,
             positive_pairing=region.pairing is PairingKind.UNIFORM,
+            contributions=contributions,
         )
         rows.append(
             Fig5Row(

@@ -7,6 +7,8 @@ Z-score significance, and leave-one-out ingredient contributions.
 
 from .contribution import (
     IngredientContribution,
+    chi_values,
+    contributions_from_chi,
     ingredient_contributions,
     top_contributors,
     verify_contribution,
@@ -15,15 +17,20 @@ from .models import (
     DEFAULT_CHUNK,
     NullModel,
     naive_sample_model_scores,
+    sample_model_moments,
     sample_model_recipes,
     sample_model_scores,
 )
+from .moments import StreamingMoments
 from .score import (
+    BATCH_BLOCK_ELEMENTS,
     batch_scores,
     cuisine_mean_score,
     food_pairing_score,
     recipe_score_from_matrix,
+    scores_for_recipes,
     scores_from_view,
+    scores_from_view_reference,
 )
 from .views import CuisineView, build_cuisine_view
 from .zscore import (
@@ -32,23 +39,31 @@ from .zscore import (
     ModelComparison,
     analyze_cuisine,
     compare_to_model,
+    comparison_from_moments,
 )
 
 __all__ = [
     "IngredientContribution",
+    "chi_values",
+    "contributions_from_chi",
     "ingredient_contributions",
     "top_contributors",
     "verify_contribution",
     "DEFAULT_CHUNK",
     "NullModel",
     "naive_sample_model_scores",
+    "sample_model_moments",
     "sample_model_recipes",
     "sample_model_scores",
+    "StreamingMoments",
+    "BATCH_BLOCK_ELEMENTS",
     "batch_scores",
     "cuisine_mean_score",
     "food_pairing_score",
     "recipe_score_from_matrix",
+    "scores_for_recipes",
     "scores_from_view",
+    "scores_from_view_reference",
     "CuisineView",
     "build_cuisine_view",
     "PAPER_SAMPLE_COUNT",
@@ -56,4 +71,5 @@ __all__ = [
     "ModelComparison",
     "analyze_cuisine",
     "compare_to_model",
+    "comparison_from_moments",
 ]

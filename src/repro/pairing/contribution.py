@@ -32,8 +32,13 @@ class IngredientContribution:
     chi_percent: float  # percentage change of <N_s> upon removal
 
 
-def ingredient_contributions(view: CuisineView) -> list[IngredientContribution]:
-    """``chi_i`` for every ingredient of the cuisine, most used first.
+def chi_values(view: CuisineView) -> np.ndarray:
+    """``chi_i`` per local ingredient index — the numeric core.
+
+    Touches only the view's numeric arrays (never ingredient objects), so
+    it runs unchanged on a shared-memory kernel view inside a worker
+    process; the fig5 sweep fans one call per region across the pool and
+    re-attaches names in the parent.
 
     Complexity is O(total pair updates): per recipe, removing member ``i``
     reuses the recipe's pair-sum, so the full sweep costs about as much as
@@ -59,7 +64,7 @@ def ingredient_contributions(view: CuisineView) -> list[IngredientContribution]:
         for local in recipe:
             containing.setdefault(int(local), []).append(recipe_index)
 
-    results: list[IngredientContribution] = []
+    chi = np.zeros(view.ingredient_count, dtype=np.float64)
     for local in range(view.ingredient_count):
         recipes_with = containing.get(local, [])
         score_sum = total_score
@@ -79,31 +84,55 @@ def ingredient_contributions(view: CuisineView) -> list[IngredientContribution]:
             score_sum += new_score
             count += 1
         if count == 0 or base_mean == 0.0:
-            chi = 0.0
+            chi[local] = 0.0
         else:
-            chi = 100.0 * (score_sum / count - base_mean) / base_mean
-        results.append(
-            IngredientContribution(
-                ingredient_name=view.ingredients[local].name,
-                local_index=local,
-                usage=int(view.frequencies[local]),
-                chi_percent=chi,
-            )
+            chi[local] = 100.0 * (score_sum / count - base_mean) / base_mean
+    return chi
+
+
+def contributions_from_chi(
+    view: CuisineView, chi: np.ndarray
+) -> list[IngredientContribution]:
+    """Attach names/usage to a chi vector, most used first.
+
+    ``view`` must be a full view (with ingredient objects); ``chi`` may
+    come from :func:`chi_values` run anywhere — including a worker that
+    only ever saw the kernel view.
+    """
+    results = [
+        IngredientContribution(
+            ingredient_name=view.ingredients[local].name,
+            local_index=local,
+            usage=int(view.frequencies[local]),
+            chi_percent=float(chi[local]),
         )
+        for local in range(view.ingredient_count)
+    ]
     results.sort(key=lambda item: item.usage, reverse=True)
     return results
 
 
+def ingredient_contributions(view: CuisineView) -> list[IngredientContribution]:
+    """``chi_i`` for every ingredient of the cuisine, most used first."""
+    return contributions_from_chi(view, chi_values(view))
+
+
 def top_contributors(
-    view: CuisineView, count: int = 3, positive_pairing: bool = True
+    view: CuisineView,
+    count: int = 3,
+    positive_pairing: bool = True,
+    contributions: list[IngredientContribution] | None = None,
 ) -> list[IngredientContribution]:
     """The ``count`` ingredients contributing most to the pairing pattern.
 
     For a uniform (positive) cuisine, the top contributors are those whose
     removal *decreases* the mean score the most (most negative ``chi``);
     for a contrasting cuisine, those whose removal *increases* it the most.
+    Pass precomputed ``contributions`` (e.g. from the parallel sweep) to
+    skip the leave-one-out recomputation.
     """
-    contributions = ingredient_contributions(view)
+    if contributions is None:
+        contributions = ingredient_contributions(view)
     ordered = sorted(
         contributions,
         key=lambda item: item.chi_percent,

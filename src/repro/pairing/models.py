@@ -29,7 +29,8 @@ import numpy as np
 
 from ..datamodel import ConfigurationError
 from ..obs import get_logger, span
-from .score import batch_scores
+from .moments import StreamingMoments
+from .score import scores_for_recipes
 from .views import CuisineView
 
 #: Samples per chunk; bounds peak memory at ~chunk * ingredient_count floats.
@@ -86,7 +87,7 @@ def sample_model_scores(
         n_samples=n_samples,
     ) as trace:
         started = time.perf_counter()
-        last_heartbeat = started
+        heartbeat = _Heartbeat(view, model, n_samples, started)
         scores = np.empty(n_samples, dtype=np.float64)
         position = 0
         while position < n_samples:
@@ -94,22 +95,83 @@ def sample_model_scores(
             batch = sample_model_recipes(view, model, take, rng)
             scores[position : position + take] = _score_ragged(view, batch)
             position += take
-            now = time.perf_counter()
-            if now - last_heartbeat >= HEARTBEAT_SECONDS and position < n_samples:
-                last_heartbeat = now
-                _LOG.info(
-                    "sampling.progress",
-                    model=model.value,
-                    region=view.region_code,
-                    done=position,
-                    total=n_samples,
-                    samples_per_sec=round(position / (now - started)),
-                )
+            heartbeat.tick(position)
         elapsed = time.perf_counter() - started
         trace.incr("samples", n_samples)
         if elapsed > 0:
             trace.set("samples_per_sec", round(n_samples / elapsed))
         return scores
+
+
+def sample_model_moments(
+    view: CuisineView,
+    model: NullModel,
+    n_samples: int,
+    rng: np.random.Generator,
+    chunk: int = DEFAULT_CHUNK,
+) -> StreamingMoments:
+    """Streaming moments of ``n_samples`` random-recipe scores.
+
+    Identical sampling to :func:`sample_model_scores`, but each chunk of
+    scores is folded into a :class:`StreamingMoments` and discarded, so
+    peak memory is one chunk of floats rather than the full score
+    vector. The parallel engine's workers run this per shard.
+    """
+    if n_samples <= 0:
+        raise ConfigurationError("n_samples must be positive")
+    with span(
+        "pairing.sample_moments",
+        model=model.value,
+        region=view.region_code,
+        n_samples=n_samples,
+    ) as trace:
+        started = time.perf_counter()
+        heartbeat = _Heartbeat(view, model, n_samples, started)
+        moments = StreamingMoments()
+        position = 0
+        while position < n_samples:
+            take = min(chunk, n_samples - position)
+            batch = sample_model_recipes(view, model, take, rng)
+            moments.update(_score_ragged(view, batch))
+            position += take
+            heartbeat.tick(position)
+        elapsed = time.perf_counter() - started
+        trace.incr("samples", n_samples)
+        if elapsed > 0:
+            trace.set("samples_per_sec", round(n_samples / elapsed))
+        return moments
+
+
+class _Heartbeat:
+    """Progress log records every few seconds on long sampling loops."""
+
+    __slots__ = ("_view", "_model", "_total", "_started", "_last")
+
+    def __init__(
+        self,
+        view: CuisineView,
+        model: NullModel,
+        total: int,
+        started: float,
+    ) -> None:
+        self._view = view
+        self._model = model
+        self._total = total
+        self._started = started
+        self._last = started
+
+    def tick(self, done: int) -> None:
+        now = time.perf_counter()
+        if now - self._last >= HEARTBEAT_SECONDS and done < self._total:
+            self._last = now
+            _LOG.info(
+                "sampling.progress",
+                model=self._model.value,
+                region=self._view.region_code,
+                done=done,
+                total=self._total,
+                samples_per_sec=round(done / (now - self._started)),
+            )
 
 
 def sample_model_recipes(
@@ -163,12 +225,12 @@ def _sample_category_preserving(
     templates: np.ndarray,
     rng: np.random.Generator,
 ) -> list[np.ndarray]:
+    # Category pools and per-template specs (category counts + in-recipe
+    # offsets, canonical order) are cached on the view: computed once per
+    # cuisine, not once per sampling chunk.
     pools = view.category_pools()
-    category_order = sorted(pools)
-    category_index = {name: i for i, name in enumerate(category_order)}
-
-    # Per-template category counts and in-recipe offsets (canonical order).
-    template_specs = _template_specs(view, category_index)
+    category_order = view.category_order
+    template_specs = view.template_specs()
 
     sizes = view.recipe_sizes()[templates]
     max_size = int(sizes.max())
@@ -194,25 +256,6 @@ def _sample_category_preserving(
         out[rows_arr, cols] = pool[picks]
 
     return [out[sample, : sizes[sample]] for sample in range(len(templates))]
-
-
-def _template_specs(
-    view: CuisineView, category_index: dict[str, int]
-) -> list[list[tuple[int, int, int]]]:
-    """Per recipe: (category id, count, output offset) in canonical order."""
-    specs: list[list[tuple[int, int, int]]] = []
-    for recipe in view.recipes:
-        counts: dict[int, int] = {}
-        for local in recipe:
-            cat_id = category_index[view.categories[int(local)]]
-            counts[cat_id] = counts.get(cat_id, 0) + 1
-        offset = 0
-        spec: list[tuple[int, int, int]] = []
-        for cat_id in sorted(counts):
-            spec.append((cat_id, counts[cat_id], offset))
-            offset += counts[cat_id]
-        specs.append(spec)
-    return specs
 
 
 # ---------------------------------------------------------------------------
@@ -257,13 +300,7 @@ def _score_ragged(
     view: CuisineView, recipes: list[np.ndarray]
 ) -> np.ndarray:
     """Score a ragged batch by grouping equal-size recipes."""
-    sizes = np.asarray([len(recipe) for recipe in recipes])
-    scores = np.empty(len(recipes), dtype=np.float64)
-    for size in np.unique(sizes):
-        rows = np.flatnonzero(sizes == size)
-        stacked = np.stack([recipes[int(row)] for row in rows])
-        scores[rows] = batch_scores(view.overlap, stacked)
-    return scores
+    return scores_for_recipes(view.overlap, recipes)
 
 
 def naive_sample_model_scores(

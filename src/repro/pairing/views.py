@@ -14,6 +14,7 @@ cuisine, prepared once by :class:`CuisineView`:
 from __future__ import annotations
 
 import dataclasses
+import functools
 from collections import Counter
 
 import numpy as np
@@ -35,6 +36,17 @@ class CuisineView:
             ingredients (others cannot contribute a pair).
         frequencies: recipe-usage count per local ingredient.
         categories: category name per local ingredient.
+
+    Derived structures the null models need on every sampling call
+    (recipe sizes, category pools, per-template category specs) are
+    computed once per view and cached.
+
+    A *kernel* view — one reconstructed in a worker process from shared
+    memory (see :mod:`repro.parallel.sharedmem`) — carries an empty
+    ``ingredients`` tuple because ingredient objects never cross the
+    process boundary; ``ingredient_count`` therefore derives from
+    ``categories`` (one label per local ingredient), which both full and
+    kernel views populate.
     """
 
     region_code: str
@@ -46,17 +58,30 @@ class CuisineView:
 
     @property
     def ingredient_count(self) -> int:
-        return len(self.ingredients)
+        return len(self.categories)
 
     @property
     def recipe_count(self) -> int:
         return len(self.recipes)
 
     def recipe_sizes(self) -> np.ndarray:
+        return self._recipe_sizes
+
+    @functools.cached_property
+    def _recipe_sizes(self) -> np.ndarray:
         return np.asarray([len(recipe) for recipe in self.recipes], np.int64)
+
+    @functools.cached_property
+    def category_order(self) -> tuple[str, ...]:
+        """The cuisine's categories, sorted — the canonical pool order."""
+        return tuple(sorted(set(self.categories)))
 
     def category_pools(self) -> dict[str, np.ndarray]:
         """Local indices per category (for the category-preserving models)."""
+        return self._category_pools
+
+    @functools.cached_property
+    def _category_pools(self) -> dict[str, np.ndarray]:
         pools: dict[str, list[int]] = {}
         for index, category in enumerate(self.categories):
             pools.setdefault(category, []).append(index)
@@ -64,6 +89,35 @@ class CuisineView:
             category: np.asarray(indices, dtype=np.int64)
             for category, indices in pools.items()
         }
+
+    def template_specs(self) -> list[list[tuple[int, int, int]]]:
+        """Per recipe: (category id, count, output offset), canonical order.
+
+        Category ids index into :attr:`category_order`. The category-
+        preserving samplers group recipes by these specs; computing them
+        is O(total ingredients), so the result is cached on the view
+        rather than rebuilt per sampling chunk.
+        """
+        return self._template_specs
+
+    @functools.cached_property
+    def _template_specs(self) -> list[list[tuple[int, int, int]]]:
+        category_index = {
+            name: i for i, name in enumerate(self.category_order)
+        }
+        specs: list[list[tuple[int, int, int]]] = []
+        for recipe in self.recipes:
+            counts: dict[int, int] = {}
+            for local in recipe:
+                cat_id = category_index[self.categories[int(local)]]
+                counts[cat_id] = counts.get(cat_id, 0) + 1
+            offset = 0
+            spec: list[tuple[int, int, int]] = []
+            for cat_id in sorted(counts):
+                spec.append((cat_id, counts[cat_id], offset))
+                offset += counts[cat_id]
+            specs.append(spec)
+        return specs
 
 
 def build_cuisine_view(

@@ -20,12 +20,18 @@ import math
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from ..datamodel import Cuisine
 from ..flavordb import IngredientCatalog, stable_seed
 from ..obs import span
 from .models import NullModel, sample_model_scores
+from .moments import StreamingMoments
 from .score import cuisine_mean_score
 from .views import CuisineView, build_cuisine_view
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel import ParallelConfig
 
 #: Random recipes per model, as in the paper.
 PAPER_SAMPLE_COUNT = 100_000
@@ -72,13 +78,61 @@ class CuisinePairingResult:
         return self.comparisons[NullModel.RANDOM].direction
 
 
+def comparison_from_moments(
+    cuisine_mean: float,
+    model: NullModel,
+    moments: StreamingMoments,
+) -> ModelComparison:
+    """Build a :class:`ModelComparison` from streaming score moments.
+
+    The paper's Z statistic needs only the random-score mean and standard
+    deviation, so the full score vector never has to exist — this is the
+    reduction the parallel engine feeds.
+    """
+    random_mean = moments.mean
+    random_std = moments.std(ddof=1)
+    n_samples = moments.count
+    if random_std == 0.0:
+        z_score = 0.0
+        effect = 0.0
+    else:
+        z_score = (cuisine_mean - random_mean) / (
+            random_std / math.sqrt(n_samples)
+        )
+        effect = (cuisine_mean - random_mean) / random_std
+    return ModelComparison(
+        model=model,
+        cuisine_mean=cuisine_mean,
+        random_mean=random_mean,
+        random_std=random_std,
+        n_samples=n_samples,
+        z_score=z_score,
+        effect_size=effect,
+    )
+
+
 def compare_to_model(
     view: CuisineView,
     model: NullModel,
     n_samples: int = PAPER_SAMPLE_COUNT,
     rng: np.random.Generator | None = None,
+    parallel: "ParallelConfig | None" = None,
+    seed: int | None = None,
 ) -> ModelComparison:
-    """Compare one cuisine view against one null model."""
+    """Compare one cuisine view against one null model.
+
+    With ``parallel`` set, sampling runs through the sharded Monte Carlo
+    engine (:mod:`repro.parallel`): deterministic per-shard RNGs replace
+    ``rng``, and the score distribution is reduced to streaming moments.
+    Results are then bit-identical for any ``parallel.workers`` value,
+    though not to the serial ``rng``-stream path below.
+    """
+    if parallel is not None:
+        from ..parallel.montecarlo import model_moments
+
+        cuisine_mean = cuisine_mean_score(view)
+        moments = model_moments(view, model, n_samples, parallel, seed=seed)
+        return comparison_from_moments(cuisine_mean, model, moments)
     if rng is None:
         rng = np.random.Generator(
             np.random.PCG64(
@@ -117,6 +171,7 @@ def analyze_cuisine(
     models: tuple[NullModel, ...] = tuple(NullModel),
     n_samples: int = PAPER_SAMPLE_COUNT,
     seed: int | None = None,
+    parallel: "ParallelConfig | None" = None,
 ) -> CuisinePairingResult:
     """Run the full food-pairing analysis for one cuisine.
 
@@ -127,24 +182,42 @@ def analyze_cuisine(
         n_samples: random recipes per model.
         seed: extra seed mixed into the per-model generators; ``None``
             uses the deterministic default.
+        parallel: when set, all models' sampling fans out through the
+            sharded Monte Carlo engine in one sweep.
     """
     with span(
         "pairing.analyze_cuisine", region=cuisine.region_code
     ) as trace:
         view = build_cuisine_view(cuisine, catalog)
         comparisons: dict[NullModel, ModelComparison] = {}
-        for model in models:
-            rng = np.random.Generator(
-                np.random.PCG64(
-                    stable_seed(
-                        "null-model",
-                        view.region_code,
-                        model.value,
-                        str(seed) if seed is not None else "default",
+        if parallel is not None:
+            from ..parallel.montecarlo import sweep_pairing_moments
+
+            cuisine_mean = cuisine_mean_score(view)
+            moments_map = sweep_pairing_moments(
+                {view.region_code: view}, models, n_samples, parallel, seed
+            )
+            for model in models:
+                comparisons[model] = comparison_from_moments(
+                    cuisine_mean,
+                    model,
+                    moments_map[(view.region_code, model)],
+                )
+        else:
+            for model in models:
+                rng = np.random.Generator(
+                    np.random.PCG64(
+                        stable_seed(
+                            "null-model",
+                            view.region_code,
+                            model.value,
+                            str(seed) if seed is not None else "default",
+                        )
                     )
                 )
-            )
-            comparisons[model] = compare_to_model(view, model, n_samples, rng)
+                comparisons[model] = compare_to_model(
+                    view, model, n_samples, rng
+                )
         trace.incr("models", len(comparisons))
     any_comparison = next(iter(comparisons.values()))
     return CuisinePairingResult(

@@ -1,0 +1,134 @@
+"""Process-pool fan-out with a serial fallback and per-task retry.
+
+:func:`run_tasks` is the execution core of the parallel engine: it maps a
+picklable worker function over a list of task payloads, either serially
+(``workers=1`` — same code path, no pool, useful both as a fallback and
+as the deterministic baseline) or across a ``ProcessPoolExecutor``.
+Results always come back in payload order, so callers can zip them
+against their task keys regardless of scheduling order.
+
+Failure handling is graceful-degradation by design: a task whose future
+fails — including every outstanding future of a broken pool (a worker
+crashed hard) — is retried serially in the parent process rather than
+lost. Only a task that *also* fails serially propagates its error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, TypeVar
+
+from ..datamodel import ConfigurationError
+from ..obs import get_logger, span
+
+#: Default Monte Carlo samples per shard: large enough that pool overhead
+#: amortises, small enough that 100k samples split across 4+ workers.
+DEFAULT_SHARD_SIZE = 25_000
+
+_LOG = get_logger("repro.parallel")
+
+_T = TypeVar("_T")
+
+
+@dataclasses.dataclass(frozen=True)
+class ParallelConfig:
+    """How a sampling workload fans out.
+
+    Attributes:
+        workers: process count; ``1`` runs every shard serially in the
+            parent (no pool), which by construction produces the exact
+            same results as any other worker count.
+        shard_size: Monte Carlo samples per work unit. Results are
+            bit-identical for a fixed ``(seed, n_samples, shard_size)``
+            regardless of ``workers``; changing ``shard_size`` changes
+            the shard RNG streams and therefore the sampled values.
+    """
+
+    workers: int = 1
+    shard_size: int = DEFAULT_SHARD_SIZE
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.shard_size < 1:
+            raise ConfigurationError("shard_size must be >= 1")
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1
+
+
+def resolve_workers(requested: int | None = None) -> int:
+    """Worker count for a request; ``None``/``0`` means all CPU cores."""
+    if not requested:
+        return os.cpu_count() or 1
+    return requested
+
+
+def shard_sizes(n_samples: int, shard_size: int) -> list[int]:
+    """Split ``n_samples`` into full shards plus a remainder shard."""
+    if n_samples <= 0:
+        raise ConfigurationError("n_samples must be positive")
+    full, remainder = divmod(n_samples, shard_size)
+    return [shard_size] * full + ([remainder] if remainder else [])
+
+
+def run_tasks(
+    fn: Callable[[Any], _T],
+    payloads: Iterable[Any],
+    workers: int = 1,
+    label: str = "parallel.run",
+) -> list[_T]:
+    """Map ``fn`` over ``payloads``; results in payload order.
+
+    ``workers <= 1`` (or a single payload) runs serially in-process. A
+    pool that cannot be created (no process support) degrades to the
+    serial path; an individual task failure is retried serially before
+    the error is allowed to propagate.
+    """
+    items: Sequence[Any] = list(payloads)
+    with span(label, workers=workers, tasks=len(items)) as trace:
+        if workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        results: list[Any] = [None] * len(items)
+        done: set[int] = set()
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(items))
+            )
+        except (OSError, NotImplementedError) as error:
+            _LOG.warning("parallel.pool_unavailable", error=str(error))
+            return [fn(item) for item in items]
+        try:
+            with pool:
+                futures = {
+                    pool.submit(fn, items[index]): index
+                    for index in range(len(items))
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                        done.add(index)
+                    except Exception as error:  # noqa: BLE001 - retried
+                        _LOG.warning(
+                            "parallel.task_failed",
+                            task=index,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+        except Exception as error:  # noqa: BLE001 - pool-level failure
+            _LOG.warning(
+                "parallel.pool_broken",
+                error=f"{type(error).__name__}: {error}",
+            )
+        # A crashed worker's shard is retried serially, not lost.
+        for index in range(len(items)):
+            if index in done:
+                continue
+            trace.incr("retried")
+            _LOG.info("parallel.retry_serial", task=index)
+            results[index] = fn(items[index])
+        return results

@@ -1,0 +1,247 @@
+"""Sharded Monte Carlo drivers for the pairing workloads.
+
+This is the layer fig4/fig5 (and the service's ``/montecarlo`` endpoint)
+sit on. A sampling request for ``(region, model, n_samples)`` becomes
+``ceil(n_samples / shard_size)`` :class:`ShardTask` units; each worker
+attaches the cuisine's shared-memory view, draws its shard with its own
+spawned RNG, and returns a :class:`~repro.pairing.moments.StreamingMoments`
+— never the raw score vector.
+
+Determinism is by construction: per-shard generators derive from
+``np.random.SeedSequence(stable_seed("null-model", region, model,
+seed)).spawn(n_shards)``, so for a fixed ``(seed, n_samples,
+shard_size)`` the shard streams — and the shard-index-ordered moment
+merge — are identical regardless of worker count or scheduling order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..flavordb import stable_seed
+from ..obs import span
+from ..pairing.models import (
+    DEFAULT_CHUNK,
+    NullModel,
+    sample_model_moments,
+)
+from ..pairing.moments import StreamingMoments
+from ..pairing.views import CuisineView
+from .executor import ParallelConfig, run_tasks, shard_sizes
+from .sharedmem import AttachedView, SharedViewSpec, SharedViewStore
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """One Monte Carlo work unit: a shard of one (region, model) request.
+
+    Carries only the shared-memory spec, the model name, the shard's
+    spawned seed sequence and two integers — a test caps its pickled
+    size to guarantee no worker ever receives an overlap matrix.
+    """
+
+    spec: SharedViewSpec
+    model_value: str
+    seed_seq: np.random.SeedSequence
+    n_samples: int
+    chunk: int = DEFAULT_CHUNK
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardResult:
+    """A worker's shard: its moments plus throughput bookkeeping."""
+
+    moments: StreamingMoments
+    samples: int
+    elapsed: float
+    pid: int
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Worker entry point: attach, sample one shard, return its moments."""
+    started = time.perf_counter()
+    attached = AttachedView(task.spec)
+    try:
+        rng = np.random.Generator(np.random.PCG64(task.seed_seq))
+        moments = sample_model_moments(
+            attached.view,
+            NullModel(task.model_value),
+            task.n_samples,
+            rng,
+            chunk=task.chunk,
+        )
+    finally:
+        attached.close()
+    return ShardResult(
+        moments=moments,
+        samples=task.n_samples,
+        elapsed=time.perf_counter() - started,
+        pid=os.getpid(),
+    )
+
+
+def shard_tasks(
+    spec: SharedViewSpec,
+    model: NullModel,
+    n_samples: int,
+    config: ParallelConfig,
+    seed: int | None = None,
+    chunk: int = DEFAULT_CHUNK,
+) -> list[ShardTask]:
+    """The deterministic shard decomposition of one (region, model)."""
+    seed_label = "default" if seed is None else str(seed)
+    root = np.random.SeedSequence(
+        stable_seed(
+            "null-model", spec.region_code, model.value, seed_label
+        )
+    )
+    sizes = shard_sizes(n_samples, config.shard_size)
+    return [
+        ShardTask(
+            spec=spec,
+            model_value=model.value,
+            seed_seq=child,
+            n_samples=size,
+            chunk=chunk,
+        )
+        for child, size in zip(root.spawn(len(sizes)), sizes)
+    ]
+
+
+def sweep_pairing_moments(
+    views: Mapping[str, CuisineView],
+    models: Sequence[NullModel],
+    n_samples: int,
+    config: ParallelConfig,
+    seed: int | None = None,
+    chunk: int = DEFAULT_CHUNK,
+) -> dict[tuple[str, NullModel], StreamingMoments]:
+    """Null-model score moments for every (region, model) pair.
+
+    All shards of all pairs go through one pool, so slow regions overlap
+    with fast ones. Shard moments merge in shard-index order per key —
+    results are independent of completion order and worker count.
+    """
+    with span(
+        "parallel.sweep",
+        regions=len(views),
+        models=len(models),
+        n_samples=n_samples,
+        workers=config.workers,
+        shard_size=config.shard_size,
+    ) as trace:
+        with SharedViewStore() as store:
+            tasks: list[ShardTask] = []
+            keys: list[tuple[str, NullModel]] = []
+            for region_code, view in views.items():
+                spec = store.publish(view)
+                for model in models:
+                    for task in shard_tasks(
+                        spec, model, n_samples, config, seed, chunk
+                    ):
+                        tasks.append(task)
+                        keys.append((region_code, model))
+            results = run_tasks(
+                run_shard,
+                tasks,
+                workers=config.workers,
+                label="parallel.montecarlo",
+            )
+        merged: dict[tuple[str, NullModel], StreamingMoments] = {}
+        for key, result in zip(keys, results):
+            previous = merged.get(key)
+            merged[key] = (
+                result.moments
+                if previous is None
+                else previous.merge(result.moments)
+            )
+        _surface_throughput(trace, results)
+        return merged
+
+
+def model_moments(
+    view: CuisineView,
+    model: NullModel,
+    n_samples: int,
+    config: ParallelConfig,
+    seed: int | None = None,
+    chunk: int = DEFAULT_CHUNK,
+) -> StreamingMoments:
+    """Moments for a single (region, model) request (service batch path)."""
+    sweep = sweep_pairing_moments(
+        {view.region_code: view}, (model,), n_samples, config, seed, chunk
+    )
+    return sweep[(view.region_code, model)]
+
+
+# ---------------------------------------------------------------------------
+# fig5: leave-one-out contribution sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ContributionTask:
+    """One region's full leave-one-out chi sweep."""
+
+    spec: SharedViewSpec
+
+
+def run_contribution_task(task: ContributionTask) -> np.ndarray:
+    """Worker entry point: chi_i for every ingredient of one cuisine."""
+    from ..pairing.contribution import chi_values
+
+    attached = AttachedView(task.spec)
+    try:
+        chi = np.array(chi_values(attached.view), copy=True)
+    finally:
+        attached.close()
+    return chi
+
+
+def sweep_contributions(
+    views: Mapping[str, CuisineView], config: ParallelConfig
+) -> dict[str, np.ndarray]:
+    """Per-region chi vectors, one worker task per region.
+
+    The computation is exact (no sampling), so the parallel result is
+    identical to the serial one; workers return bare ``float64`` vectors
+    and the parent re-attaches ingredient names.
+    """
+    with span(
+        "parallel.contributions", regions=len(views), workers=config.workers
+    ):
+        with SharedViewStore() as store:
+            codes = list(views)
+            tasks = [
+                ContributionTask(spec=store.publish(views[code]))
+                for code in codes
+            ]
+            results = run_tasks(
+                run_contribution_task,
+                tasks,
+                workers=config.workers,
+                label="parallel.chi",
+            )
+        return dict(zip(codes, results))
+
+
+def _surface_throughput(trace, results: Sequence[ShardResult]) -> None:
+    """Per-worker throughput counters on the parent sweep span."""
+    by_pid: dict[int, list[float]] = {}
+    total_samples = 0
+    for result in results:
+        samples, elapsed = by_pid.setdefault(result.pid, [0, 0.0])
+        by_pid[result.pid] = [samples + result.samples, elapsed + result.elapsed]
+        total_samples += result.samples
+    trace.incr("shards", len(results))
+    trace.incr("samples", total_samples)
+    trace.set("workers_used", len(by_pid))
+    for slot, pid in enumerate(sorted(by_pid)):
+        samples, elapsed = by_pid[pid]
+        rate = round(samples / elapsed) if elapsed > 0 else 0
+        trace.set(f"worker{slot}.samples_per_sec", rate)

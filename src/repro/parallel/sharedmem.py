@@ -1,0 +1,199 @@
+"""Zero-copy cuisine views over ``multiprocessing.shared_memory``.
+
+The sampling workloads are dominated by reads of a few per-cuisine
+arrays — the O(ingredients²) overlap matrix above all. Pickling those
+into every task payload would copy the matrix once per shard; instead the
+parent publishes each cuisine's numeric arrays into named shared-memory
+blocks once (:class:`SharedViewStore`) and task payloads carry only a
+:class:`SharedViewSpec` — block names, shapes and dtypes plus two small
+string tuples — which is a few hundred bytes however large the cuisine.
+
+Workers attach with :class:`AttachedView`, which maps the blocks and
+rebuilds a *kernel* :class:`~repro.pairing.views.CuisineView`: the
+``overlap``/``frequencies`` arrays and every recipe index array are numpy
+views directly over the shared buffers (zero copy), while ``ingredients``
+is empty — ingredient objects never cross the process boundary (see the
+``CuisineView`` docstring). The kernel view supports everything the
+samplers and the contribution sweep touch.
+
+Lifetime: the store owns the blocks and unlinks them on ``close()`` (or
+context-manager exit); attachments only ever ``close()`` their mapping.
+Attachments bypass ``resource_tracker`` registration because the parent
+is the sole owner — otherwise every worker's tracker would try to unlink
+the parent's blocks at interpreter shutdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..pairing.views import CuisineView
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockSpec:
+    """One shared-memory block: its name and array layout."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedViewSpec:
+    """Everything a worker needs to attach one cuisine view.
+
+    Deliberately tiny: block descriptors plus the region code and the
+    canonical category-name order (category *membership* travels as an
+    ``int64`` array in shared memory, not as strings).
+    """
+
+    region_code: str
+    category_order: tuple[str, ...]
+    blocks: dict[str, BlockSpec]
+
+
+class SharedViewStore:
+    """Parent-side owner of the shared blocks for a set of cuisine views."""
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    def publish(self, view: CuisineView) -> SharedViewSpec:
+        """Copy a view's numeric arrays into shared memory once."""
+        sizes = view.recipe_sizes()
+        offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        flat_recipes = (
+            np.concatenate(view.recipes)
+            if view.recipes
+            else np.zeros(0, dtype=np.int64)
+        ).astype(np.int64, copy=False)
+        category_order = view.category_order
+        category_index = {
+            name: i for i, name in enumerate(category_order)
+        }
+        category_ids = np.asarray(
+            [category_index[name] for name in view.categories],
+            dtype=np.int64,
+        )
+        blocks = {
+            "overlap": self._create_block(view.overlap),
+            "flat_recipes": self._create_block(flat_recipes),
+            "recipe_offsets": self._create_block(offsets),
+            "frequencies": self._create_block(view.frequencies),
+            "category_ids": self._create_block(category_ids),
+        }
+        return SharedViewSpec(
+            region_code=view.region_code,
+            category_order=category_order,
+            blocks=blocks,
+        )
+
+    def _create_block(self, array: np.ndarray) -> BlockSpec:
+        array = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        self._segments.append(segment)
+        if array.size:
+            destination = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=segment.buf
+            )
+            destination[...] = array
+        return BlockSpec(
+            name=segment.name,
+            shape=tuple(array.shape),
+            dtype=array.dtype.str,
+        )
+
+    def close(self) -> None:
+        """Unmap and unlink every published block."""
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - arrays still exported
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedViewStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AttachedView:
+    """Worker-side attachment: a kernel ``CuisineView`` over shared blocks.
+
+    The arrays of :attr:`view` alias the shared buffers — drop every
+    reference to the view before (or via) :meth:`close`.
+    """
+
+    def __init__(self, spec: SharedViewSpec) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        arrays: dict[str, np.ndarray] = {}
+        for key, block in spec.blocks.items():
+            segment = _attach_untracked(block.name)
+            self._segments.append(segment)
+            arrays[key] = np.ndarray(
+                block.shape, dtype=np.dtype(block.dtype), buffer=segment.buf
+            )
+        offsets = arrays["recipe_offsets"]
+        flat = arrays["flat_recipes"]
+        recipes = tuple(
+            flat[offsets[index] : offsets[index + 1]]
+            for index in range(len(offsets) - 1)
+        )
+        categories = tuple(
+            spec.category_order[int(cat_id)]
+            for cat_id in arrays["category_ids"]
+        )
+        self.view = CuisineView(
+            region_code=spec.region_code,
+            ingredients=(),
+            overlap=arrays["overlap"],
+            recipes=recipes,
+            frequencies=arrays["frequencies"],
+            categories=categories,
+        )
+
+    def close(self) -> None:
+        """Drop the view and unmap the blocks (never unlinks)."""
+        self.view = None  # type: ignore[assignment]
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - lingering array ref
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "AttachedView":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a block without registering it with the resource tracker.
+
+    ``SharedMemory(name=...)`` registers even plain attachments, so every
+    worker's tracker would race the parent to unlink blocks it doesn't
+    own (and spam ``KeyError`` warnings once the parent unlinks them
+    first). Python 3.13 grew ``track=False`` for exactly this; here the
+    registration hook is silenced for the duration of the attach instead.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original

@@ -57,6 +57,7 @@ ROUTES: dict[str, Route] = {
     "/classify": Route("POST", "handle_classify", cacheable=True),
     "/pairings": Route("POST", "handle_pairings", cacheable=True),
     "/sql": Route("POST", "handle_sql", cacheable=True),
+    "/montecarlo": Route("POST", "handle_montecarlo", cacheable=True),
 }
 
 

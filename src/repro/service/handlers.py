@@ -21,7 +21,7 @@ from ..db.errors import SqlSyntaxError
 from ..db.sql.tokenizer import tokenize
 from ..experiments import ExperimentWorkspace
 from ..generation import CuisineClassifier
-from ..pairing import food_pairing_score
+from ..pairing import CuisineView, food_pairing_score
 
 #: Hard ceiling on rows returned by ``/sql`` (and default row cap).
 MAX_SQL_ROWS = 1000
@@ -30,6 +30,16 @@ DEFAULT_SQL_ROWS = 200
 #: Default / maximum pairing partners returned by ``/pairings``.
 DEFAULT_PAIRING_LIMIT = 10
 MAX_PAIRING_LIMIT = 50
+
+#: ``/montecarlo`` sampling bounds — generous enough for real estimates,
+#: tight enough that one request cannot monopolise the server.
+DEFAULT_MC_SAMPLES = 10_000
+MIN_MC_SAMPLES = 100
+MAX_MC_SAMPLES = 50_000
+MAX_MC_WORKERS = 8
+DEFAULT_MC_SHARD_SIZE = 5_000
+MIN_MC_SHARD_SIZE = 100
+MAX_MC_SHARD_SIZE = 25_000
 
 
 class RequestError(ReproError):
@@ -130,6 +140,7 @@ class QueryService:
         self._pipelines: dict[bool, AliasingPipeline] = {}
         self._classifier: CuisineClassifier | None = None
         self._database: Database | None = None
+        self._views: dict[str, CuisineView] = {}
 
     @property
     def workspace(self) -> ExperimentWorkspace:
@@ -168,6 +179,34 @@ class QueryService:
                     raw_recipes=self._workspace.corpus.raw_recipes,
                 )
             return self._database
+
+    def cuisine_view(self, region_code: str) -> CuisineView:
+        """The pairing view of one region, built once on first use.
+
+        Raises:
+            RequestError: 404 for a region code outside the workspace.
+        """
+        from ..pairing import build_cuisine_view
+
+        with self._lock:
+            view = self._views.get(region_code)
+            if view is None:
+                cuisine = self._workspace.regional_cuisines().get(
+                    region_code
+                )
+                if cuisine is None:
+                    known = ", ".join(
+                        sorted(self._workspace.regional_cuisines())
+                    )
+                    raise RequestError(
+                        404,
+                        "unknown_region",
+                        f"no such region {region_code!r} "
+                        f"(known: {known})",
+                    )
+                view = build_cuisine_view(cuisine, self._workspace.catalog)
+                self._views[region_code] = view
+            return view
 
     def warm(self) -> None:
         """Pre-build every lazy artefact (used at server start-up)."""
@@ -399,4 +438,80 @@ class QueryService:
             "rows": rows[:max_rows],
             "row_count": len(rows),
             "truncated": len(rows) > max_rows,
+        }
+
+    def handle_montecarlo(self, payload: Any) -> dict[str, Any]:
+        """Null-model Z-score for one region through the parallel engine.
+
+        Runs the same sharded Monte Carlo engine as ``fig4 --workers``
+        (shared-memory views, spawned per-shard RNGs, streaming moment
+        reduction), so the response depends only on
+        ``(region, model, n_samples, seed, shard_size)`` — never on
+        ``workers`` — and is therefore safely cacheable.
+        """
+        from ..pairing import NullModel, compare_to_model
+        from ..parallel import ParallelConfig, resolve_workers
+
+        body = _payload_dict(payload)
+        _reject_unknown(
+            body,
+            frozenset(
+                {"region", "model", "n_samples", "workers",
+                 "shard_size", "seed"}
+            ),
+        )
+        region_code = _string_field(body, "region").upper()
+        model_value = body.get("model", NullModel.RANDOM.value)
+        try:
+            model = NullModel(model_value)
+        except ValueError:
+            known = ", ".join(item.value for item in NullModel)
+            raise RequestError(
+                400,
+                "invalid_field",
+                f"unknown null model {model_value!r} (known: {known})",
+            ) from None
+        n_samples = _int_field(
+            body,
+            "n_samples",
+            default=DEFAULT_MC_SAMPLES,
+            minimum=MIN_MC_SAMPLES,
+            maximum=MAX_MC_SAMPLES,
+        )
+        workers = _int_field(
+            body, "workers", default=1, minimum=1, maximum=MAX_MC_WORKERS
+        )
+        shard_size = _int_field(
+            body,
+            "shard_size",
+            default=DEFAULT_MC_SHARD_SIZE,
+            minimum=MIN_MC_SHARD_SIZE,
+            maximum=MAX_MC_SHARD_SIZE,
+        )
+        seed = body.get("seed")
+        if seed is not None and (
+            isinstance(seed, bool) or not isinstance(seed, int)
+        ):
+            raise RequestError(
+                400, "invalid_field", "'seed' must be an integer"
+            )
+        view = self.cuisine_view(region_code)
+        config = ParallelConfig(
+            workers=min(workers, resolve_workers(None)),
+            shard_size=shard_size,
+        )
+        comparison = compare_to_model(
+            view, model, n_samples, parallel=config, seed=seed
+        )
+        return {
+            "region": region_code,
+            "model": model.value,
+            "n_samples": n_samples,
+            "shard_size": shard_size,
+            "cuisine_mean": comparison.cuisine_mean,
+            "random_mean": comparison.random_mean,
+            "random_std": comparison.random_std,
+            "z_score": comparison.z_score,
+            "effect_size": comparison.effect_size,
+            "direction": comparison.direction,
         }

@@ -1,0 +1,251 @@
+"""Tests for streaming moments and the moment-based sampling reduction."""
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.datamodel import Cuisine, Recipe
+from repro.pairing import (
+    NullModel,
+    StreamingMoments,
+    build_cuisine_view,
+    naive_sample_model_scores,
+    sample_model_moments,
+    sample_model_scores,
+)
+
+
+@pytest.fixture(scope="module")
+def view(catalog):
+    names_per_recipe = [
+        ("tomato", "basil", "garlic", "olive oil"),
+        ("tomato", "basil", "oregano"),
+        ("tomato", "garlic", "onion", "olive oil", "oregano"),
+        ("milk", "butter", "flour"),
+        ("tomato", "basil", "milk"),
+        ("garlic", "onion", "butter", "thyme"),
+        ("tomato", "oregano", "thyme", "basil", "garlic"),
+        ("butter", "flour", "sugar"),
+    ]
+    recipes = [
+        Recipe(
+            index,
+            "ITA",
+            frozenset(catalog.get(name).ingredient_id for name in names),
+        )
+        for index, names in enumerate(names_per_recipe, start=1)
+    ]
+    return build_cuisine_view(Cuisine("ITA", recipes), catalog)
+
+
+class TestStreamingMoments:
+    def test_empty(self):
+        moments = StreamingMoments()
+        assert moments.count == 0
+        assert moments.mean == 0.0
+        assert moments.variance() == 0.0
+
+    def test_from_array_matches_numpy(self):
+        values = np.asarray([1.0, 2.0, 4.0, 8.0])
+        moments = StreamingMoments.from_array(values)
+        assert moments.count == 4
+        assert moments.mean == pytest.approx(values.mean())
+        assert moments.std() == pytest.approx(values.std(ddof=1))
+        assert moments.minimum == 1.0
+        assert moments.maximum == 8.0
+
+    def test_update_accumulates(self):
+        moments = StreamingMoments()
+        moments.update(np.asarray([1.0, 2.0]))
+        moments.update(np.asarray([3.0]))
+        assert moments.count == 3
+        assert moments.mean == pytest.approx(2.0)
+
+    def test_merge_is_out_of_place(self):
+        left = StreamingMoments.from_array(np.asarray([1.0, 2.0]))
+        right = StreamingMoments.from_array(np.asarray([5.0]))
+        merged = left.merge(right)
+        assert merged.count == 3
+        assert left.count == 2 and right.count == 1
+
+    def test_merge_with_empty_is_identity(self):
+        full = StreamingMoments.from_array(np.asarray([1.0, 3.0, 5.0]))
+        merged = full.merge(StreamingMoments())
+        assert merged.count == full.count
+        assert merged.mean == pytest.approx(full.mean)
+        assert merged.std() == pytest.approx(full.std())
+
+    def test_single_value_variance_is_zero(self):
+        moments = StreamingMoments.from_array(np.asarray([7.0]))
+        assert moments.variance(ddof=1) == 0.0
+
+    def test_population_variance(self):
+        values = np.asarray([1.0, 2.0, 3.0, 4.0])
+        moments = StreamingMoments.from_array(values)
+        assert moments.variance(ddof=0) == pytest.approx(
+            values.var(ddof=0)
+        )
+
+    def test_as_dict_round_numbers(self):
+        moments = StreamingMoments.from_array(np.asarray([1.0, 2.0]))
+        payload = moments.as_dict()
+        assert payload["count"] == 2
+        assert payload["mean"] == pytest.approx(1.5)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    ),
+    st.integers(min_value=1, max_value=59),
+)
+def test_property_merge_matches_numpy(values, split):
+    """Shard-wise merge equals the whole-array mean/std for any split."""
+    split = min(split, len(values) - 1)
+    array = np.asarray(values)
+    left = StreamingMoments.from_array(array[:split])
+    right = StreamingMoments.from_array(array[split:])
+    merged = left.merge(right)
+    assert merged.count == len(values)
+    assert merged.mean == pytest.approx(array.mean(), rel=1e-9, abs=1e-9)
+    # The sum-of-squares form loses ~sqrt(sumsq * eps) of absolute std
+    # precision to cancellation when the variance is tiny relative to
+    # the magnitude; the tolerance reflects that, not the merge.
+    assert merged.std() == pytest.approx(
+        array.std(ddof=1), rel=1e-6, abs=1e-4
+    )
+    assert merged.minimum == array.min()
+    assert merged.maximum == array.max()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_incremental_update_matches_from_array(values):
+    array = np.asarray(values)
+    incremental = StreamingMoments()
+    for start in range(0, len(array), 7):
+        incremental.update(array[start : start + 7])
+    reference = StreamingMoments.from_array(array)
+    assert incremental.count == reference.count
+    assert incremental.mean == pytest.approx(
+        reference.mean, rel=1e-9, abs=1e-9
+    )
+    assert incremental.variance() == pytest.approx(
+        reference.variance(), rel=1e-7, abs=1e-9
+    )
+
+
+class TestSampleModelMoments:
+    @pytest.mark.parametrize("model", list(NullModel))
+    def test_matches_score_vector_exactly(self, view, model):
+        """Same rng stream: the streaming reduction must reproduce the
+        score vector's moments (it folds the identical chunks)."""
+        scores = sample_model_scores(
+            view, model, 600, np.random.default_rng(99)
+        )
+        moments = sample_model_moments(
+            view, model, 600, np.random.default_rng(99)
+        )
+        assert moments.count == 600
+        assert moments.mean == pytest.approx(scores.mean(), rel=1e-12)
+        assert moments.std() == pytest.approx(
+            scores.std(ddof=1), rel=1e-12
+        )
+        assert moments.minimum == pytest.approx(scores.min())
+        assert moments.maximum == pytest.approx(scores.max())
+
+    @pytest.mark.parametrize("model", list(NullModel))
+    def test_reproducible_for_fixed_chunk(self, view, model):
+        # The chunk size is part of the RNG draw schedule (each chunk is
+        # one vectorised draw), so it is pinned per shard task; for a
+        # fixed chunk the reduction is exactly reproducible.
+        first = sample_model_moments(
+            view, model, 500, np.random.default_rng(7), chunk=64
+        )
+        second = sample_model_moments(
+            view, model, 500, np.random.default_rng(7), chunk=64
+        )
+        assert first.mean == second.mean
+        assert first.sum_squares == second.sum_squares
+        assert first.minimum == second.minimum
+        assert first.maximum == second.maximum
+
+
+class TestFastVsNaiveMoments:
+    """Closeness check: the vectorised samplers and the readable naive
+    samplers draw from the same distribution (satellite d)."""
+
+    N_SAMPLES = 4000
+
+    @pytest.mark.parametrize("model", list(NullModel))
+    def test_means_agree_within_combined_error(self, view, model):
+        fast = sample_model_scores(
+            view, model, self.N_SAMPLES, np.random.default_rng(11)
+        )
+        naive = naive_sample_model_scores(
+            view, model, self.N_SAMPLES, np.random.default_rng(22)
+        )
+        fast_mean, naive_mean = fast.mean(), naive.mean()
+        combined_se = math.sqrt(
+            fast.var(ddof=1) / len(fast) + naive.var(ddof=1) / len(naive)
+        )
+        # 5 sigma: deterministic seeds, so this never flakes unless the
+        # distributions genuinely diverge.
+        assert abs(fast_mean - naive_mean) <= 5 * combined_se + 1e-9
+
+    @pytest.mark.parametrize("model", list(NullModel))
+    def test_spreads_agree(self, view, model):
+        fast = sample_model_scores(
+            view, model, self.N_SAMPLES, np.random.default_rng(33)
+        )
+        naive = naive_sample_model_scores(
+            view, model, self.N_SAMPLES, np.random.default_rng(44)
+        )
+        assert fast.std(ddof=1) == pytest.approx(
+            naive.std(ddof=1), rel=0.15
+        )
+
+    @pytest.mark.parametrize("model", list(NullModel))
+    def test_chi_square_over_score_bins(self, view, model):
+        """Two-sample chi-square over quantile bins of the pooled scores."""
+        from scipy import stats as scipy_stats
+
+        fast = sample_model_scores(
+            view, model, self.N_SAMPLES, np.random.default_rng(55)
+        )
+        naive = naive_sample_model_scores(
+            view, model, self.N_SAMPLES, np.random.default_rng(66)
+        )
+        pooled = np.concatenate([fast, naive])
+        edges = np.unique(
+            np.quantile(pooled, np.linspace(0.0, 1.0, 9))
+        )
+        if len(edges) < 3:  # pragma: no cover - degenerate distribution
+            pytest.skip("score distribution too degenerate to bin")
+        edges[0], edges[-1] = -np.inf, np.inf
+        fast_counts, _ = np.histogram(fast, bins=edges)
+        naive_counts, _ = np.histogram(naive, bins=edges)
+        keep = (fast_counts + naive_counts) >= 10
+        fast_counts, naive_counts = fast_counts[keep], naive_counts[keep]
+        statistic = 0.0
+        for observed, expected_pool in zip(fast_counts, naive_counts):
+            expected = (observed + expected_pool) / 2.0
+            statistic += (observed - expected) ** 2 / expected
+            statistic += (expected_pool - expected) ** 2 / expected
+        dof = max(1, len(fast_counts) - 1)
+        threshold = scipy_stats.chi2.ppf(0.9999, dof)
+        assert statistic <= threshold, (
+            f"chi2={statistic:.1f} > {threshold:.1f} for {model.value}"
+        )

@@ -10,6 +10,7 @@ from repro.pairing import (
     batch_scores,
     food_pairing_score,
     recipe_score_from_matrix,
+    scores_for_recipes,
 )
 
 
@@ -187,6 +188,107 @@ class TestMatrixEdgeCases:
                     [ingredients[index] for index in indices]
                 )
                 assert scores[row] == pytest.approx(reference)
+
+
+class TestScoresForRecipes:
+    """The vectorised ragged scorer (size-grouped) vs the per-recipe loop."""
+
+    def _random_matrix(self, rng, n=18):
+        raw = rng.integers(0, 9, size=(n, n)).astype(np.float64)
+        matrix = (raw + raw.T) / 2
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    def test_matches_per_recipe_reference(self):
+        rng = np.random.default_rng(20180417)
+        matrix = self._random_matrix(rng)
+        recipes = tuple(
+            rng.choice(18, size=size, replace=False)
+            for size in (2, 5, 3, 2, 7, 3, 4, 2, 5)
+        )
+        grouped = scores_for_recipes(matrix, recipes)
+        reference = np.asarray(
+            [
+                recipe_score_from_matrix(matrix, recipe)
+                for recipe in recipes
+            ]
+        )
+        assert grouped == pytest.approx(reference)
+
+    def test_preserves_recipe_order(self):
+        rng = np.random.default_rng(7)
+        matrix = self._random_matrix(rng)
+        # Alternate sizes so the size-grouping must scatter back.
+        recipes = tuple(
+            rng.choice(18, size=2 + (index % 3), replace=False)
+            for index in range(12)
+        )
+        scores = scores_for_recipes(matrix, recipes)
+        for index, recipe in enumerate(recipes):
+            assert scores[index] == pytest.approx(
+                recipe_score_from_matrix(matrix, recipe)
+            )
+
+    def test_empty_recipe_tuple(self):
+        matrix = self._random_matrix(np.random.default_rng(1))
+        assert scores_for_recipes(matrix, ()).shape == (0,)
+
+    def test_undersized_recipe_raises(self):
+        matrix = self._random_matrix(np.random.default_rng(1))
+        with pytest.raises(ValidationError):
+            scores_for_recipes(matrix, (np.asarray([0]),))
+
+    def test_view_scorer_matches_reference_loop(self, workspace):
+        from repro.pairing import (
+            build_cuisine_view,
+            scores_from_view,
+            scores_from_view_reference,
+        )
+
+        cuisine = workspace.regional_cuisines()["ITA"]
+        view = build_cuisine_view(cuisine, workspace.catalog)
+        assert scores_from_view(view) == pytest.approx(
+            scores_from_view_reference(view)
+        )
+
+
+class TestBatchChunking:
+    """batch_scores gathers in bounded row chunks (satellite b)."""
+
+    def test_chunked_equals_unchunked(self, monkeypatch):
+        from repro.pairing import score as score_module
+
+        rng = np.random.default_rng(3)
+        raw = rng.integers(0, 6, size=(30, 30)).astype(np.float64)
+        matrix = (raw + raw.T) / 2
+        np.fill_diagonal(matrix, 0.0)
+        batch = np.stack(
+            [rng.choice(30, size=6, replace=False) for _ in range(64)]
+        )
+        full = batch_scores(matrix, batch)
+        # Force many tiny chunks: one row of 30x30 gathers at a time.
+        monkeypatch.setattr(
+            score_module, "BATCH_BLOCK_ELEMENTS", 30 * 30
+        )
+        chunked = batch_scores(matrix, batch)
+        assert chunked == pytest.approx(full, rel=1e-15)
+
+    def test_chunk_boundary_exact_multiple(self, monkeypatch):
+        from repro.pairing import score as score_module
+
+        rng = np.random.default_rng(5)
+        matrix = np.zeros((10, 10))
+        matrix[0, 1] = matrix[1, 0] = 4.0
+        batch = np.stack(
+            [rng.permutation(10)[:4] for _ in range(8)]
+        )
+        full = batch_scores(matrix, batch)
+        # 2 rows per chunk, 8 rows total: exercises the exact-multiple
+        # boundary (no ragged final chunk).
+        monkeypatch.setattr(
+            score_module, "BATCH_BLOCK_ELEMENTS", 2 * 10 * 10
+        )
+        assert batch_scores(matrix, batch) == pytest.approx(full)
 
 
 profile_strategy = st.frozensets(

@@ -1,0 +1,122 @@
+"""Tests for the generic process-pool executor."""
+
+import os
+
+import pytest
+
+from repro.datamodel import ConfigurationError
+from repro.parallel import (
+    DEFAULT_SHARD_SIZE,
+    ParallelConfig,
+    resolve_workers,
+    run_tasks,
+    shard_sizes,
+)
+
+
+def _square(value):
+    return value * value
+
+
+def _succeed_only_in_parent(parent_pid):
+    """Fails inside a pool worker, succeeds on the serial retry."""
+    if os.getpid() != parent_pid:
+        raise RuntimeError("worker refuses")
+    return parent_pid
+
+
+def _identity(value):
+    return value
+
+
+class TestParallelConfig:
+    def test_defaults(self):
+        config = ParallelConfig()
+        assert config.workers == 1
+        assert config.shard_size == DEFAULT_SHARD_SIZE
+        assert not config.is_parallel
+
+    def test_parallel_flag(self):
+        assert ParallelConfig(workers=2).is_parallel
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(workers=0)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(workers=-1)
+
+    def test_zero_shard_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(shard_size=0)
+
+
+class TestResolveWorkers:
+    def test_none_means_all_cores(self):
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_zero_means_all_cores(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+
+class TestShardSizes:
+    def test_exact_division(self):
+        assert shard_sizes(100, 25) == [25, 25, 25, 25]
+
+    def test_remainder_shard(self):
+        assert shard_sizes(10, 4) == [4, 4, 2]
+
+    def test_single_small_shard(self):
+        assert shard_sizes(4, 8) == [4]
+
+    def test_sizes_sum_to_total(self):
+        for n_samples in (1, 7, 25, 99, 100, 101):
+            assert sum(shard_sizes(n_samples, 25)) == n_samples
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_sizes(0, 25)
+
+
+class TestRunTasks:
+    def test_serial_preserves_order(self):
+        assert run_tasks(_square, [3, 1, 4, 1, 5], workers=1) == [
+            9, 1, 16, 1, 25,
+        ]
+
+    def test_parallel_preserves_order(self):
+        payloads = list(range(11))
+        assert run_tasks(_square, payloads, workers=2) == [
+            value * value for value in payloads
+        ]
+
+    def test_single_payload_skips_the_pool(self):
+        assert run_tasks(_square, [6], workers=4) == [36]
+
+    def test_empty_payloads(self):
+        assert run_tasks(_square, [], workers=4) == []
+
+    def test_crashed_task_is_retried_serially(self):
+        # The function fails in every pool worker (wrong pid) and
+        # succeeds only on the parent's serial retry: every result must
+        # still come back.
+        parent = os.getpid()
+        results = run_tasks(
+            _succeed_only_in_parent, [parent, parent, parent], workers=2
+        )
+        assert results == [parent, parent, parent]
+
+    def test_serial_path_runs_in_parent(self):
+        parent = os.getpid()
+        assert run_tasks(_succeed_only_in_parent, [parent], workers=1) == [
+            parent
+        ]
+
+    def test_pool_results_allow_none_values(self):
+        # A legitimate None result must not be mistaken for a crashed
+        # task and re-run (the completion set, not the value, decides).
+        assert run_tasks(_identity, [None, None], workers=2) == [None, None]

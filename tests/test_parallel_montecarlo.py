@@ -1,0 +1,294 @@
+"""Tests for the sharded Monte Carlo engine: determinism and payloads."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datamodel import Cuisine, PairingKind, Recipe
+from repro.pairing import (
+    NullModel,
+    analyze_cuisine,
+    build_cuisine_view,
+    chi_values,
+    compare_to_model,
+)
+from repro.parallel import (
+    ParallelConfig,
+    ShardTask,
+    model_moments,
+    run_shard,
+    shard_tasks,
+    sweep_contributions,
+    sweep_pairing_moments,
+)
+from repro.parallel.sharedmem import SharedViewStore
+
+
+@pytest.fixture(scope="module")
+def cuisine(catalog):
+    names_per_recipe = [
+        ("tomato", "basil", "garlic", "olive oil"),
+        ("tomato", "basil", "oregano"),
+        ("tomato", "garlic", "onion", "olive oil", "oregano"),
+        ("milk", "butter", "flour"),
+        ("tomato", "basil", "milk"),
+        ("garlic", "onion", "butter", "thyme"),
+        ("tomato", "oregano", "thyme", "basil", "garlic"),
+        ("butter", "flour", "sugar"),
+    ]
+    recipes = [
+        Recipe(
+            index,
+            "ITA",
+            frozenset(catalog.get(name).ingredient_id for name in names),
+        )
+        for index, names in enumerate(names_per_recipe, start=1)
+    ]
+    return Cuisine("ITA", recipes)
+
+
+@pytest.fixture(scope="module")
+def view(cuisine, catalog):
+    return build_cuisine_view(cuisine, catalog)
+
+
+class TestWorkerCountInvariance:
+    """The acceptance criterion: z-scores bit-identical for workers 1/2/4."""
+
+    @pytest.mark.parametrize("model", list(NullModel))
+    def test_moments_identical_across_worker_counts(self, view, model):
+        baseline = model_moments(
+            view,
+            model,
+            n_samples=1200,
+            config=ParallelConfig(workers=1, shard_size=300),
+        )
+        for workers in (2, 4):
+            other = model_moments(
+                view,
+                model,
+                n_samples=1200,
+                config=ParallelConfig(workers=workers, shard_size=300),
+            )
+            assert other.count == baseline.count
+            assert other.total == baseline.total
+            assert other.sum_squares == baseline.sum_squares
+            assert other.minimum == baseline.minimum
+            assert other.maximum == baseline.maximum
+
+    def test_z_scores_identical_across_worker_counts(self, view):
+        comparisons = [
+            compare_to_model(
+                view,
+                NullModel.FREQUENCY,
+                n_samples=1000,
+                parallel=ParallelConfig(workers=workers, shard_size=250),
+            )
+            for workers in (1, 2, 4)
+        ]
+        assert len({item.z_score for item in comparisons}) == 1
+        assert len({item.random_mean for item in comparisons}) == 1
+        assert len({item.random_std for item in comparisons}) == 1
+
+    def test_seed_changes_the_stream(self, view):
+        config = ParallelConfig(workers=1, shard_size=250)
+        default = compare_to_model(
+            view, NullModel.RANDOM, 1000, parallel=config
+        )
+        seeded = compare_to_model(
+            view, NullModel.RANDOM, 1000, parallel=config, seed=99
+        )
+        assert default.z_score != seeded.z_score
+
+    def test_shard_size_is_part_of_the_contract(self, view):
+        # Changing shard_size changes the spawned RNG streams: documented
+        # behaviour, asserted so it cannot silently change.
+        fine = model_moments(
+            view,
+            NullModel.RANDOM,
+            1000,
+            ParallelConfig(workers=1, shard_size=100),
+        )
+        coarse = model_moments(
+            view,
+            NullModel.RANDOM,
+            1000,
+            ParallelConfig(workers=1, shard_size=500),
+        )
+        assert fine.count == coarse.count == 1000
+        assert fine.total != coarse.total
+
+
+class TestShardDecomposition:
+    def test_shard_sample_counts(self, view):
+        with SharedViewStore() as store:
+            spec = store.publish(view)
+            tasks = shard_tasks(
+                spec,
+                NullModel.RANDOM,
+                1100,
+                ParallelConfig(workers=2, shard_size=500),
+            )
+        assert [task.n_samples for task in tasks] == [500, 500, 100]
+        assert all(task.model_value == "random" for task in tasks)
+
+    def test_task_payload_never_carries_the_matrix(self, view):
+        # The acceptance cap: a pickled task must stay a few hundred
+        # bytes however large the overlap matrix is.
+        with SharedViewStore() as store:
+            spec = store.publish(view)
+            tasks = shard_tasks(
+                spec,
+                NullModel.FREQUENCY_CATEGORY,
+                50_000,
+                ParallelConfig(workers=4),
+            )
+            for task in tasks:
+                assert len(pickle.dumps(task)) < 8192
+
+    def test_run_shard_matches_in_process_sampling(self, view):
+        with SharedViewStore() as store:
+            spec = store.publish(view)
+            [task] = shard_tasks(
+                spec,
+                NullModel.RANDOM,
+                400,
+                ParallelConfig(workers=1, shard_size=400),
+            )
+            result = run_shard(task)
+        assert result.samples == 400
+        assert result.moments.count == 400
+        assert result.elapsed >= 0.0
+
+
+class TestSweeps:
+    def test_sweep_covers_every_region_model_pair(self, view):
+        views = {"ITA": view}
+        moments = sweep_pairing_moments(
+            views,
+            tuple(NullModel),
+            600,
+            ParallelConfig(workers=2, shard_size=200),
+        )
+        assert set(moments) == {
+            ("ITA", model) for model in NullModel
+        }
+        assert all(item.count == 600 for item in moments.values())
+
+    def test_contribution_sweep_matches_serial_chi(self, view):
+        sweep = sweep_contributions(
+            {"ITA": view}, ParallelConfig(workers=2)
+        )
+        assert np.allclose(sweep["ITA"], chi_values(view))
+
+    def test_analyze_cuisine_parallel_path(self, cuisine, catalog):
+        result = analyze_cuisine(
+            cuisine,
+            catalog,
+            n_samples=800,
+            parallel=ParallelConfig(workers=2, shard_size=200),
+        )
+        assert set(result.comparisons) == set(NullModel)
+        serial = analyze_cuisine(
+            cuisine,
+            catalog,
+            n_samples=800,
+            parallel=ParallelConfig(workers=1, shard_size=200),
+        )
+        for model in NullModel:
+            assert (
+                result.comparisons[model].z_score
+                == serial.comparisons[model].z_score
+            )
+
+
+class TestExperimentIntegration:
+    """fig4/fig5 produce identical outputs through any worker count."""
+
+    def test_fig4_parallel_matches_workers_one(self, workspace):
+        from repro.experiments.fig4 import run_fig4
+
+        kwargs = dict(
+            n_samples=400,
+            models=(NullModel.RANDOM,),
+        )
+        serial = run_fig4(
+            workspace,
+            parallel=ParallelConfig(workers=1, shard_size=200),
+            **kwargs,
+        )
+        fanned = run_fig4(
+            workspace,
+            parallel=ParallelConfig(workers=2, shard_size=200),
+            **kwargs,
+        )
+        for mine, theirs in zip(serial.rows, fanned.rows):
+            assert mine.code == theirs.code
+            assert mine.z_random == theirs.z_random
+
+    def test_fig5_parallel_matches_serial(self, workspace):
+        from repro.experiments.fig5 import run_fig5
+
+        serial = run_fig5(workspace)
+        fanned = run_fig5(
+            workspace, parallel=ParallelConfig(workers=2)
+        )
+        for mine, theirs in zip(serial.rows, fanned.rows):
+            assert mine.code == theirs.code
+            assert [item.ingredient_name for item in mine.top] == [
+                item.ingredient_name for item in theirs.top
+            ]
+            assert [item.chi_percent for item in mine.top] == pytest.approx(
+                [item.chi_percent for item in theirs.top]
+            )
+
+    def test_fig4_row_directions_still_populated(self, workspace):
+        from repro.experiments.fig4 import run_fig4
+
+        result = run_fig4(
+            workspace,
+            n_samples=300,
+            models=(NullModel.RANDOM,),
+            parallel=ParallelConfig(workers=2, shard_size=150),
+        )
+        assert len(result.rows) == 22
+        assert result.uniform_count + result.contrasting_count == 22
+        for row in result.rows:
+            assert row.direction in (
+                PairingKind.UNIFORM,
+                PairingKind.CONTRASTING,
+            )
+        # details carry full comparisons for downstream exporters
+        detail = result.details["ITA"]
+        assert detail.recipe_count > 0
+        assert detail.ingredient_count > 0
+
+
+class TestTaskHygiene:
+    def test_shard_task_is_frozen(self, view):
+        with SharedViewStore() as store:
+            spec = store.publish(view)
+            [task] = shard_tasks(
+                spec,
+                NullModel.RANDOM,
+                100,
+                ParallelConfig(workers=1, shard_size=100),
+            )
+        with pytest.raises(AttributeError):
+            task.n_samples = 5
+
+    def test_shard_task_round_trips_through_pickle(self, view):
+        with SharedViewStore() as store:
+            spec = store.publish(view)
+            [task] = shard_tasks(
+                spec,
+                NullModel.CATEGORY,
+                100,
+                ParallelConfig(workers=1, shard_size=100),
+            )
+            clone = pickle.loads(pickle.dumps(task))
+            assert isinstance(clone, ShardTask)
+            assert clone.model_value == task.model_value
+            assert clone.n_samples == task.n_samples
+            assert clone.spec.blocks.keys() == task.spec.blocks.keys()

@@ -331,3 +331,96 @@ class TestDispatchTracing:
         assert all(s.attrs["endpoint"] == "score" for s in spans)
         assert [s.attrs["cache_hit"] for s in spans] == [False, True]
         assert all(s.attrs["status"] == 200 for s in spans)
+
+
+class TestMonteCarlo:
+    """The /montecarlo endpoint drives the parallel sampling engine."""
+
+    PAYLOAD = {
+        "region": "ITA",
+        "model": "random",
+        "n_samples": 400,
+        "shard_size": 100,
+    }
+
+    def test_returns_comparison_fields(self, app):
+        status, body = app.dispatch("POST", "/montecarlo", dict(self.PAYLOAD))
+        assert status == 200
+        assert body["region"] == "ITA"
+        assert body["model"] == "random"
+        assert body["n_samples"] == 400
+        assert body["direction"] in ("uniform", "contrasting", "neutral")
+        assert body["random_std"] > 0.0
+        assert body["z_score"] == pytest.approx(
+            (body["cuisine_mean"] - body["random_mean"])
+            / (body["random_std"] / 400**0.5)
+        )
+
+    def test_worker_count_does_not_change_the_answer(self, app):
+        serial = dict(self.PAYLOAD, workers=1)
+        fanned = dict(self.PAYLOAD, workers=2)
+        _, first = app.dispatch("POST", "/montecarlo", serial)
+        _, second = app.dispatch("POST", "/montecarlo", fanned)
+        assert first["z_score"] == second["z_score"]
+        assert first["random_mean"] == second["random_mean"]
+
+    def test_region_codes_are_case_insensitive(self, app):
+        _, upper = app.dispatch("POST", "/montecarlo", dict(self.PAYLOAD))
+        _, lower = app.dispatch(
+            "POST", "/montecarlo", dict(self.PAYLOAD, region="ita")
+        )
+        assert lower["z_score"] == upper["z_score"]
+
+    def test_unknown_region_is_404(self, app):
+        status, body = app.dispatch(
+            "POST", "/montecarlo", {"region": "ATLANTIS"}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_region"
+
+    def test_unknown_model_is_400(self, app):
+        status, body = app.dispatch(
+            "POST", "/montecarlo", {"region": "ITA", "model": "bogus"}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_field"
+        assert "frequency_category" in body["error"]["message"]
+
+    def test_sample_bounds_enforced(self, app):
+        status, body = app.dispatch(
+            "POST", "/montecarlo", {"region": "ITA", "n_samples": 10}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_field"
+        status, _ = app.dispatch(
+            "POST", "/montecarlo", {"region": "ITA", "n_samples": 10**9}
+        )
+        assert status == 400
+
+    def test_worker_bounds_enforced(self, app):
+        status, body = app.dispatch(
+            "POST", "/montecarlo", dict(self.PAYLOAD, workers=99)
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_field"
+
+    def test_seed_must_be_an_integer(self, app):
+        status, body = app.dispatch(
+            "POST", "/montecarlo", dict(self.PAYLOAD, seed="abc")
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_field"
+
+    def test_unknown_field_rejected(self, app):
+        status, body = app.dispatch(
+            "POST", "/montecarlo", dict(self.PAYLOAD, bogus=1)
+        )
+        assert status == 400
+        assert body["error"]["code"] == "unknown_field"
+
+    def test_responses_are_cached(self, app):
+        payload = dict(self.PAYLOAD, seed=5)
+        app.dispatch("POST", "/montecarlo", payload)
+        app.dispatch("POST", "/montecarlo", payload)
+        _, metrics = app.dispatch("GET", "/metrics")
+        assert metrics["endpoints"]["montecarlo"]["cache_hits"] == 1
