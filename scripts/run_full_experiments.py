@@ -15,6 +15,7 @@ for any value (see repro.parallel).
 Structured progress logs go to stderr (pass --log-json for JSON lines).
 Usage: python scripts/run_full_experiments.py [outdir] [--log-json]
                                               [--workers N]
+                                              [--cache-dir DIR]
 """
 
 import os
@@ -22,17 +23,17 @@ import sys
 import time
 from pathlib import Path
 
+from repro.engine import RunConfig
 from repro.experiments import (
-    build_workspace,
     run_fig2,
     run_fig3a,
     run_fig3b,
     run_fig4,
     run_fig5,
     run_table1,
+    workspace_for,
 )
 from repro.obs import configure_logging, configure_tracing, get_logger
-from repro.parallel import ParallelConfig
 
 args = [arg for arg in sys.argv[1:] if arg != "--log-json"]
 WORKERS = os.cpu_count() or 1
@@ -40,7 +41,18 @@ if "--workers" in args:
     flag = args.index("--workers")
     WORKERS = int(args[flag + 1])
     del args[flag : flag + 2]
-PARALLEL = ParallelConfig(workers=max(1, WORKERS))
+CACHE_DIR = None
+if "--cache-dir" in args:
+    flag = args.index("--cache-dir")
+    CACHE_DIR = args[flag + 1]
+    del args[flag : flag + 2]
+CONFIG = RunConfig(
+    recipe_scale=1.0,
+    workers=max(1, WORKERS),
+    n_samples=100_000,
+    cache_dir=CACHE_DIR,
+)
+PARALLEL = CONFIG.parallel()
 OUT = Path(args[0] if args else "results/full_scale")
 OUT.mkdir(parents=True, exist_ok=True)
 
@@ -66,7 +78,7 @@ def save(name, result, elapsed):
 
 t0 = time.perf_counter()
 with tracer.span("full_run", out=str(OUT)):
-    ws = build_workspace(recipe_scale=1.0)
+    ws = workspace_for(CONFIG)
     log.info(
         "workspace.ready",
         seconds=round(time.perf_counter() - t0, 1),
@@ -81,7 +93,11 @@ with tracer.span("full_run", out=str(OUT)):
         ("fig3a", run_fig3a, {}),
         ("fig3b", run_fig3b, {}),
         ("fig5", run_fig5, {"parallel": PARALLEL}),
-        ("fig4", run_fig4, {"n_samples": 100_000, "parallel": PARALLEL}),
+        (
+            "fig4",
+            run_fig4,
+            {"n_samples": CONFIG.n_samples, "parallel": PARALLEL},
+        ),
     ]:
         t = time.perf_counter()
         with tracer.span(f"experiment.{name}"):

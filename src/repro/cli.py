@@ -10,7 +10,20 @@ Commands:
   and persist it as CSV.
 * ``query --db DIR "SELECT ..."`` — run SQL against a persisted database.
 * ``serve`` — build a workspace once and serve it over the HTTP JSON API
-  (see :mod:`repro.service`).
+  (see :mod:`repro.service`); ``--preload`` fully warms the service
+  before the socket binds.
+* ``cache ls|info|clear`` — inspect or empty the stage-artifact disk
+  cache (see :mod:`repro.engine`).
+
+Every run parameter flows through one :class:`repro.engine.RunConfig`:
+the ``--seed``/``--scale``/``--samples``/``--workers``/``--shard-size``/
+``--cache-dir`` flags are *generated* from its field metadata
+(:func:`repro.engine.config_parent_parser`), so each flag has a single
+definition shared by all subcommands. Passing ``--cache-dir`` (or
+setting ``$REPRO_CACHE_DIR``) enables the on-disk stage-artifact cache:
+a second run warm-loads the corpus/aliasing/cuisines/pairing-view
+artifacts instead of rebuilding them, and prints a cache summary line to
+stderr (``engine cache: hits=... builds=...``).
 
 The sampling commands (``run``/``fig4``/``fig5``/``report``) accept
 ``--workers N`` to fan Monte Carlo shards across a process pool
@@ -35,89 +48,16 @@ import sys
 import time
 from collections.abc import Sequence
 
-from .experiments import EXPERIMENTS, build_workspace
+from .engine import (
+    RunConfig,
+    config_from_args,
+    config_parent_parser,
+    positive_float,
+    positive_int,
+)
+from .experiments import EXPERIMENTS, workspace_for
 from .experiments.fig4 import run_fig4
 from .obs import configure_logging, configure_tracing, get_tracer
-
-
-def _positive_float(text: str) -> float:
-    """Argparse type: a strictly positive float (``--scale 0`` is an error)."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
-    if not value > 0:
-        raise argparse.ArgumentTypeError(
-            f"must be a positive number, got {text}"
-        )
-    return value
-
-
-def _positive_int(text: str) -> int:
-    """Argparse type: a strictly positive integer (``--samples 0`` is an error)."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"must be a positive integer, got {text}"
-        )
-    return value
-
-
-def _nonnegative_int(text: str) -> int:
-    """Argparse type: an integer >= 0 (``--workers 0`` means one per core)."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
-    if value < 0:
-        raise argparse.ArgumentTypeError(
-            f"must be a non-negative integer, got {text}"
-        )
-    return value
-
-
-def _parallel_flags() -> argparse.ArgumentParser:
-    """Shared parent parser: the Monte Carlo fan-out flags."""
-    from .parallel import DEFAULT_SHARD_SIZE
-
-    common = argparse.ArgumentParser(add_help=False)
-    group = common.add_argument_group("parallel execution")
-    group.add_argument(
-        "--workers",
-        type=_nonnegative_int,
-        default=None,
-        metavar="N",
-        help=(
-            "fan null-model sampling across N worker processes "
-            "(0 = one per CPU core; omit for the serial legacy sampler)"
-        ),
-    )
-    group.add_argument(
-        "--shard-size",
-        type=_positive_int,
-        default=DEFAULT_SHARD_SIZE,
-        metavar="N",
-        help=(
-            "samples per Monte Carlo shard (default: "
-            f"{DEFAULT_SHARD_SIZE}); results depend on this, "
-            "not on --workers"
-        ),
-    )
-    return common
-
-
-def _parallel_config(args: argparse.Namespace):
-    """The ``ParallelConfig`` requested by the CLI flags, or ``None``."""
-    if getattr(args, "workers", None) is None:
-        return None
-    from .parallel import ParallelConfig, resolve_workers
-
-    return ParallelConfig(
-        workers=resolve_workers(args.workers), shard_size=args.shard_size
-    )
 
 
 def _observability_flags() -> argparse.ArgumentParser:
@@ -152,29 +92,26 @@ def _observability_flags() -> argparse.ArgumentParser:
     return common
 
 
-def _add_run_options(parser: argparse.ArgumentParser) -> None:
-    """The experiment-run options shared by ``run``/``fig4``/``fig5``."""
-    parser.add_argument(
-        "--scale",
-        "--recipe-scale",
-        dest="scale",
-        type=_positive_float,
-        default=1.0,
-        help="recipe-count scale factor (1.0 = full 45,772-recipe corpus)",
-    )
-    parser.add_argument(
-        "--samples",
-        "--n-samples",
-        dest="samples",
-        type=_positive_int,
-        default=100_000,
-        help="random recipes per null model (fig4 only)",
-    )
-    parser.add_argument("--seed", type=int, default=None, help="corpus seed")
-
-
 def _build_parser() -> argparse.ArgumentParser:
     obs_flags = _observability_flags()
+    # One generated parent per flag set; every subcommand below reuses
+    # these, so flag names/validators/help live only on RunConfig.
+    run_flags = config_parent_parser()
+    corpus_flags = config_parent_parser(
+        fields=("seed", "recipe_scale", "cache_dir", "no_disk_cache")
+    )
+    serve_flags = config_parent_parser(
+        fields=(
+            "seed",
+            "recipe_scale",
+            "workers",
+            "shard_size",
+            "cache_dir",
+            "no_disk_cache",
+        )
+    )
+    cache_flags = config_parent_parser(fields=("cache_dir",))
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -188,22 +125,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "list", help="list available experiments", parents=[obs_flags]
     )
 
-    parallel_flags = _parallel_flags()
-
     run = sub.add_parser(
         "run",
         help="run one experiment",
-        parents=[obs_flags, parallel_flags],
+        parents=[obs_flags, run_flags],
     )
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
-    _add_run_options(run)
 
     fig4 = sub.add_parser(
         "fig4",
         help="shortcut for 'run fig4' (Z-scores vs the null models)",
-        parents=[obs_flags, parallel_flags],
+        parents=[obs_flags, run_flags],
     )
-    _add_run_options(fig4)
     fig4.add_argument(
         "--z-out",
         metavar="PATH",
@@ -214,21 +147,18 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
-    fig5 = sub.add_parser(
+    sub.add_parser(
         "fig5",
         help="shortcut for 'run fig5' (top contributing ingredients)",
-        parents=[obs_flags, parallel_flags],
+        parents=[obs_flags, run_flags],
     )
-    _add_run_options(fig5)
 
     build = sub.add_parser(
         "build-db",
         help="generate corpus and persist CulinaryDB as CSV",
-        parents=[obs_flags],
+        parents=[obs_flags, corpus_flags],
     )
     build.add_argument("--out", required=True, help="output directory")
-    build.add_argument("--scale", type=_positive_float, default=1.0)
-    build.add_argument("--seed", type=int, default=None)
 
     query = sub.add_parser(
         "query", help="run SQL against a persisted DB", parents=[obs_flags]
@@ -239,12 +169,9 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help="run every experiment and write text tables",
-        parents=[obs_flags, parallel_flags],
+        parents=[obs_flags, run_flags],
     )
     report.add_argument("--out", required=True, help="output directory")
-    report.add_argument("--scale", type=_positive_float, default=1.0)
-    report.add_argument("--samples", type=_positive_int, default=100_000)
-    report.add_argument("--seed", type=int, default=None)
     report.add_argument(
         "--csv",
         action="store_true",
@@ -264,7 +191,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="serve the workspace over an HTTP JSON API",
-        parents=[obs_flags],
+        parents=[obs_flags, serve_flags],
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -274,21 +201,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bind port (0 picks a free port)",
     )
     serve.add_argument(
-        "--scale",
-        type=_positive_float,
-        default=1.0,
-        help="recipe-count scale factor for the served workspace",
-    )
-    serve.add_argument("--seed", type=int, default=None, help="corpus seed")
-    serve.add_argument(
         "--cache-size",
-        type=_positive_int,
+        type=positive_int,
         default=1024,
         help="result-cache capacity in entries",
     )
     serve.add_argument(
         "--ttl",
-        type=_positive_float,
+        type=positive_float,
         default=None,
         help="result-cache entry lifetime in seconds (default: no expiry)",
     )
@@ -298,12 +218,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip pre-building the classifier and CulinaryDB at start-up",
     )
     serve.add_argument(
+        "--preload",
+        action="store_true",
+        help=(
+            "fully warm the service (workspace, classifier, CulinaryDB, "
+            "every region's pairing view) before binding the socket"
+        ),
+    )
+    serve.add_argument(
         "--stats",
         action="store_true",
         help="print the per-endpoint metrics summary on shutdown",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or empty the stage-artifact disk cache",
+        parents=[obs_flags, cache_flags],
+    )
+    cache.add_argument(
+        "action",
+        choices=("ls", "info", "clear"),
+        help="ls = list artifacts, info = summary, clear = remove all",
     )
     return parser
 
@@ -330,6 +269,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         tracer.reset()
 
 
+def _print_cache_summary(config: RunConfig) -> None:
+    """One stderr line summarising engine cache traffic (CI greps it)."""
+    if not config.disk_cache_enabled:
+        return
+    from .engine import engine_cache_summary
+
+    print(engine_cache_summary(), file=sys.stderr)
+
+
 def _run_command(args: argparse.Namespace) -> int:
     if args.command == "list":
         for name, (_runner, description) in sorted(EXPERIMENTS.items()):
@@ -341,31 +289,25 @@ def _run_command(args: argparse.Namespace) -> int:
             args.experiment if args.command == "run" else args.command
         )
         started = time.perf_counter()
-        workspace_kwargs = {"recipe_scale": args.scale}
-        if args.seed is not None:
-            workspace_kwargs["seed"] = args.seed
-        workspace = build_workspace(**workspace_kwargs)
+        config = config_from_args(args)
+        workspace = workspace_for(config)
         runner, description = EXPERIMENTS[experiment]
-        parallel = _parallel_config(args)
         print(f"# {experiment}: {description}")
-        result = _run_experiment(
-            runner, workspace, args.samples, parallel, args.seed
-        )
+        result = _run_experiment(runner, workspace, config)
         print(result.render())
         z_out = getattr(args, "z_out", None)
         if z_out is not None:
             _write_z_scores(result, z_out)
             print(f"z-scores written to {z_out}")
         print(f"\n[{time.perf_counter() - started:.1f}s]")
+        _print_cache_summary(config)
         return 0
 
     if args.command == "build-db":
         from .culinarydb import CulinaryDB, build_culinarydb
 
-        workspace_kwargs = {"recipe_scale": args.scale}
-        if args.seed is not None:
-            workspace_kwargs["seed"] = args.seed
-        workspace = build_workspace(**workspace_kwargs)
+        config = config_from_args(args)
+        workspace = workspace_for(config)
         database = build_culinarydb(
             workspace.recipes,
             workspace.catalog,
@@ -373,6 +315,7 @@ def _run_command(args: argparse.Namespace) -> int:
         )
         CulinaryDB(database).save(args.out)
         print(f"wrote {database!r} to {args.out}")
+        _print_cache_summary(config)
         return 0
 
     if args.command == "query":
@@ -389,10 +332,8 @@ def _run_command(args: argparse.Namespace) -> int:
 
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
-        workspace_kwargs = {"recipe_scale": args.scale}
-        if args.seed is not None:
-            workspace_kwargs["seed"] = args.seed
-        workspace = build_workspace(**workspace_kwargs)
+        config = config_from_args(args)
+        workspace = workspace_for(config)
         csv_exporters = {}
         if args.csv:
             from .reporting import (
@@ -410,18 +351,16 @@ def _run_command(args: argparse.Namespace) -> int:
                 "fig4": export_fig4,
                 "fig5": export_fig5,
             }
-        parallel = _parallel_config(args)
         for name, (runner, description) in sorted(EXPERIMENTS.items()):
             started = time.perf_counter()
-            result = _run_experiment(
-                runner, workspace, args.samples, parallel, args.seed
-            )
+            result = _run_experiment(runner, workspace, config)
             text = f"# {name}: {description}\n\n{result.render()}\n"
             (out / f"{name}.txt").write_text(text, encoding="utf-8")
             exporter = csv_exporters.get(name)
             if exporter is not None:
                 exporter(result, out)
             print(f"{name}: written ({time.perf_counter() - started:.1f}s)")
+        _print_cache_summary(config)
         return 0
 
     if args.command == "alias":
@@ -437,53 +376,101 @@ def _run_command(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "serve":
-        from .service import QueryService, ResultCache, ServiceApp, create_server
+        return _run_serve(args)
 
-        workspace_kwargs = {"recipe_scale": args.scale}
-        if args.seed is not None:
-            workspace_kwargs["seed"] = args.seed
-        started = time.perf_counter()
-        print(f"building workspace (scale={args.scale}) ...", flush=True)
-        workspace = build_workspace(**workspace_kwargs)
-        service = QueryService(workspace)
-        if not args.no_warm:
-            service.warm()
-        app = ServiceApp(
-            service,
-            cache=ResultCache(capacity=args.cache_size, ttl=args.ttl),
-        )
-        server = create_server(
-            app, host=args.host, port=args.port, verbose=args.verbose
-        )
-        print(
-            f"serving {len(workspace.recipes)} recipes at {server.url} "
-            f"({time.perf_counter() - started:.1f}s to warm); Ctrl-C to stop",
-            flush=True,
-        )
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            pass
-        finally:
-            server.shutdown()
-            server.server_close()
-            if args.stats:
-                print("\n" + app.metrics.render_summary())
-        return 0
+    if args.command == "cache":
+        return _run_cache(args)
 
     return 1  # pragma: no cover - argparse enforces the choices
 
 
-def _run_experiment(runner, workspace, samples, parallel, seed):
+def _run_serve(args: argparse.Namespace) -> int:
+    from .service import QueryService, ResultCache, ServiceApp, create_server
+
+    config = config_from_args(args)
+    started = time.perf_counter()
+    print(
+        f"building workspace (scale={config.recipe_scale}) ...", flush=True
+    )
+    workspace = workspace_for(config)
+    service = QueryService(workspace, config)
+    if args.preload:
+        service.preload()
+    elif not args.no_warm:
+        service.warm()
+    warm_seconds = time.perf_counter() - started
+    app = ServiceApp(
+        service,
+        cache=ResultCache(capacity=args.cache_size, ttl=args.ttl),
+    )
+    # Warm-up happens entirely before the socket binds: the first
+    # request never pays a build, and with --cache-dir a restart
+    # warm-loads the stage artifacts instead of regenerating them.
+    server = create_server(
+        app, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(
+        f"serving {len(workspace.recipes)} recipes at {server.url} "
+        f"({warm_seconds:.1f}s to warm); Ctrl-C to stop",
+        flush=True,
+    )
+    _print_cache_summary(config)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        if args.stats:
+            print("\n" + app.metrics.render_summary())
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """``repro cache ls|info|clear`` over the artifact store."""
+    import json
+
+    from .engine import ArtifactStore
+
+    config = config_from_args(args)
+    store = ArtifactStore(config.resolved_cache_dir)
+    if args.action == "ls":
+        entries = sorted(
+            store.entries(), key=lambda entry: (entry.stage, -entry.modified)
+        )
+        if not entries:
+            print(f"(empty) {store.root}")
+            return 0
+        for entry in entries:
+            print(
+                f"{entry.stage:16s} {entry.fingerprint[:16]} "
+                f"{entry.size:>12,d} B  "
+                f"{time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(entry.modified))}"
+            )
+        print(f"{len(entries)} artifact(s), {store.total_bytes():,d} B total")
+        return 0
+    if args.action == "info":
+        print(json.dumps(store.info(), indent=2, sort_keys=True))
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} artifact(s) from {store.root}")
+    return 0
+
+
+def _run_experiment(runner, workspace, config: RunConfig):
     """Invoke one experiment runner with the flags it understands."""
     from .experiments.fig5 import run_fig5
 
     if runner is run_fig4:
         return runner(
-            workspace, n_samples=samples, parallel=parallel, seed=seed
+            workspace,
+            n_samples=config.n_samples,
+            parallel=config.parallel(),
+            seed=config.sampling_seed,
         )
     if runner is run_fig5:
-        return runner(workspace, parallel=parallel)
+        return runner(workspace, parallel=config.parallel())
     return runner(workspace)
 
 

@@ -1,0 +1,236 @@
+"""The artifact engine: two-tier cached resolution of the stage graph.
+
+``Engine(config).artifact(name)`` returns the named stage's output for
+that :class:`~repro.engine.config.RunConfig`, resolving dependencies
+recursively and consulting two tiers before building:
+
+1. an in-process LRU of recently used artifacts (shared by every engine
+   instance, keyed by fingerprint — two configs that agree on the fields
+   a stage reads share its artifact), then
+2. the content-addressed disk store, when the config enables it.
+
+Every resolution is traced (``engine.stage`` spans) and counted in the
+metrics registry: ``engine_stage_hit_total{stage,tier}``,
+``engine_stage_miss_total{stage}``, ``engine_stage_build_total{stage}``
+and the ``engine_stage_load_ms``/``engine_stage_build_ms`` histograms —
+which is how a warm restart can *prove* it built nothing.
+
+Concurrent callers asking for the same artifact build it exactly once
+(per-fingerprint locks that free themselves when the last waiter
+leaves — the engine does not reintroduce the old lock-table leak).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any
+
+from ..obs import get_logger, get_registry, span
+from .config import RunConfig
+from .fingerprint import stage_fingerprint
+from .locks import KeyedLocks
+from .stages import STAGE_ORDER, get_stage
+from .store import MISSING, ArtifactStore
+
+__all__ = [
+    "MAX_MEMORY_ARTIFACTS",
+    "Engine",
+    "clear_memory_tier",
+    "engine_cache_summary",
+    "memory_tier_len",
+]
+
+_LOG = get_logger("repro.engine")
+
+#: Artifacts retained in the shared in-memory tier. Four stages per
+#: workspace — this holds the stage sets of a few recent configs.
+MAX_MEMORY_ARTIFACTS = 16
+
+_MemoryKey = tuple[str, str]  # (stage name, fingerprint)
+
+_MEMORY: OrderedDict[_MemoryKey, Any] = OrderedDict()
+_MEMORY_LOCK = threading.Lock()
+_BUILD_LOCKS = KeyedLocks()
+
+
+def _memory_get(key: _MemoryKey) -> Any:
+    with _MEMORY_LOCK:
+        if key not in _MEMORY:
+            return MISSING
+        _MEMORY.move_to_end(key)
+        return _MEMORY[key]
+
+
+def _memory_put(key: _MemoryKey, value: Any) -> None:
+    with _MEMORY_LOCK:
+        _MEMORY[key] = value
+        _MEMORY.move_to_end(key)
+        while len(_MEMORY) > MAX_MEMORY_ARTIFACTS:
+            _MEMORY.popitem(last=False)
+
+
+def clear_memory_tier() -> None:
+    """Drop every in-memory artifact (tests use this to force disk/build)."""
+    with _MEMORY_LOCK:
+        _MEMORY.clear()
+    _BUILD_LOCKS.clear()
+
+
+def memory_tier_len() -> int:
+    with _MEMORY_LOCK:
+        return len(_MEMORY)
+
+
+class Engine:
+    """Resolves stage artifacts for one :class:`RunConfig`."""
+
+    def __init__(
+        self, config: RunConfig, store: ArtifactStore | None = None
+    ) -> None:
+        """
+        Args:
+            config: the run configuration artifacts derive from.
+            store: explicit disk tier; defaults to the config's cache
+                dir when the config enables disk caching, else no disk
+                tier at all.
+        """
+        self._config = config
+        if store is not None:
+            self._store: ArtifactStore | None = store
+        elif config.disk_cache_enabled:
+            self._store = ArtifactStore(config.resolved_cache_dir)
+        else:
+            self._store = None
+        self._fingerprints: dict[str, str] = {}
+        self._registry = get_registry()
+
+    @property
+    def config(self) -> RunConfig:
+        return self._config
+
+    @property
+    def store(self) -> ArtifactStore | None:
+        return self._store
+
+    # ------------------------------------------------------------------
+    # fingerprints
+    # ------------------------------------------------------------------
+    def fingerprint(self, name: str) -> str:
+        """The content address of one stage output under this config."""
+        cached = self._fingerprints.get(name)
+        if cached is not None:
+            return cached
+        stage = get_stage(name)
+        upstream = {dep: self.fingerprint(dep) for dep in stage.deps}
+        fingerprint = stage_fingerprint(stage, self._config, upstream)
+        self._fingerprints[name] = fingerprint
+        return fingerprint
+
+    def fingerprints(self) -> dict[str, str]:
+        """Stage name -> fingerprint for the whole graph, build order."""
+        return {name: self.fingerprint(name) for name in STAGE_ORDER}
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def artifact(self, name: str) -> Any:
+        """The stage's output: memory tier, then disk tier, then build."""
+        stage = get_stage(name)
+        fingerprint = self.fingerprint(name)
+        key = (name, fingerprint)
+        value = _memory_get(key)
+        if value is not MISSING:
+            self._count_hit(name, "memory")
+            return value
+        with _BUILD_LOCKS.holding(key):
+            value = _memory_get(key)  # resolved while we waited?
+            if value is not MISSING:
+                self._count_hit(name, "memory")
+                return value
+            return self._load_or_build(stage, fingerprint, key)
+
+    def _load_or_build(self, stage, fingerprint: str, key: _MemoryKey) -> Any:
+        with span(
+            "engine.stage", stage=stage.name, fingerprint=fingerprint[:12]
+        ) as trace:
+            if self._store is not None:
+                started = time.perf_counter()
+                value = self._store.get(stage.name, fingerprint)
+                if value is not MISSING:
+                    elapsed = time.perf_counter() - started
+                    self._count_hit(stage.name, "disk")
+                    self._registry.histogram(
+                        "engine_stage_load_ms", stage=stage.name
+                    ).observe(elapsed * 1000)
+                    trace.set("outcome", "disk")
+                    _LOG.info(
+                        "engine.stage.loaded",
+                        stage=stage.name,
+                        fingerprint=fingerprint[:12],
+                        seconds=round(elapsed, 3),
+                    )
+                    _memory_put(key, value)
+                    return value
+            self._registry.counter(
+                "engine_stage_miss_total", stage=stage.name
+            ).incr()
+            inputs = {dep: self.artifact(dep) for dep in stage.deps}
+            started = time.perf_counter()
+            value = stage.build(self._config, inputs)
+            elapsed = time.perf_counter() - started
+            self._registry.counter(
+                "engine_stage_build_total", stage=stage.name
+            ).incr()
+            self._registry.histogram(
+                "engine_stage_build_ms", stage=stage.name
+            ).observe(elapsed * 1000)
+            trace.set("outcome", "built")
+            _LOG.info(
+                "engine.stage.built",
+                stage=stage.name,
+                fingerprint=fingerprint[:12],
+                seconds=round(elapsed, 3),
+            )
+            if self._store is not None:
+                self._store.put(stage.name, fingerprint, value)
+            _memory_put(key, value)
+            return value
+
+    def _count_hit(self, stage_name: str, tier: str) -> None:
+        self._registry.counter(
+            "engine_stage_hit_total", stage=stage_name, tier=tier
+        ).incr()
+
+
+def _sum_counter(name: str, **fixed_labels: str) -> float:
+    """Sum one counter across every label combination it has."""
+    registry = get_registry()
+    total = 0.0
+    for series in registry.collect():
+        if series.name != name or series.kind != "counter":
+            continue
+        if any(
+            series.labels.get(key) != value
+            for key, value in fixed_labels.items()
+        ):
+            continue
+        total += series.metric.value
+    return total
+
+
+def engine_cache_summary() -> str:
+    """One line summarising this process's stage-cache activity.
+
+    The CLI prints it after disk-cached runs; CI greps ``builds=0`` on
+    the warm run to prove the whole graph loaded from the artifact
+    store.
+    """
+    memory_hits = int(_sum_counter("engine_stage_hit_total", tier="memory"))
+    disk_hits = int(_sum_counter("engine_stage_hit_total", tier="disk"))
+    builds = int(_sum_counter("engine_stage_build_total"))
+    return (
+        f"engine cache: hits={memory_hits + disk_hits} "
+        f"(memory {memory_hits}, disk {disk_hits}) builds={builds}"
+    )

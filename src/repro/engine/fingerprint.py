@@ -1,0 +1,45 @@
+"""Content addressing for stage artifacts.
+
+A stage output's *fingerprint* is a SHA-256 over exactly four things:
+
+1. the stage name,
+2. the stage's code version tag (bumped when its build logic changes),
+3. the fingerprints of its upstream stages, and
+4. the values of the RunConfig fields the stage actually reads.
+
+Anything else — worker count, sample count, cache location — is invisible
+to the fingerprint, so changing an unrelated parameter never invalidates
+an artifact, while changing ``recipe_scale`` (or a version tag) ripples
+through every downstream stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from .config import RunConfig
+    from .stages import Stage
+
+__all__ = ["stage_fingerprint"]
+
+
+def stage_fingerprint(
+    stage: "Stage",
+    config: "RunConfig",
+    upstream: Mapping[str, str],
+) -> str:
+    """The content address of one stage output (64 hex chars)."""
+    document = {
+        "stage": stage.name,
+        "version": stage.version,
+        "config": {
+            name: getattr(config, name) for name in stage.config_fields
+        },
+        "upstream": dict(sorted(upstream.items())),
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

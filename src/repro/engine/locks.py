@@ -1,0 +1,57 @@
+"""Self-cleaning per-key build locks.
+
+The workspace cache used to keep one ``threading.Lock`` per build key in
+a dict that only ever grew — every distinct ``(seed, scale, ...)`` ever
+requested leaked a lock for the life of the process. :class:`KeyedLocks`
+keeps the same dedup guarantee (concurrent callers for one key build
+once) but reference-counts waiters and drops a key's entry the moment
+the last holder releases it, so the table's size is bounded by the
+number of *concurrently* in-flight keys.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Hashable, Iterator
+from contextlib import contextmanager
+
+__all__ = ["KeyedLocks"]
+
+
+class KeyedLocks:
+    """A mutual-exclusion region per key, with automatic cleanup."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        # key -> [lock, waiter count]; an entry exists only while at
+        # least one thread holds or waits on its lock.
+        self._entries: dict[Hashable, list] = {}
+
+    @contextmanager
+    def holding(self, key: Hashable) -> Iterator[None]:
+        """Serialise the enclosed block against other holders of ``key``."""
+        with self._guard:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = [threading.Lock(), 0]
+            entry[1] += 1
+        entry[0].acquire()
+        try:
+            yield
+        finally:
+            entry[0].release()
+            with self._guard:
+                entry[1] -= 1
+                if entry[1] <= 0:
+                    self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        """Entries currently held or waited on (0 when the system is idle)."""
+        with self._guard:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Forget idle entries (held entries clean themselves up)."""
+        with self._guard:
+            for key in [k for k, v in self._entries.items() if v[1] <= 0]:
+                self._entries.pop(key, None)

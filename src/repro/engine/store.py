@@ -1,0 +1,289 @@
+"""Content-addressed artifact store: the engine's disk tier.
+
+Each stage output persists as one file, ``<stage>--<fingerprint>.art``,
+written atomically (tmp file + :func:`os.replace`) so a crashed writer
+can never leave a half-written artifact under its final name. Every file
+carries a JSON header with the payload's length and SHA-256; a
+truncated, bit-flipped or otherwise unreadable entry is detected on
+load, removed, and reported as a miss — the engine simply rebuilds.
+
+The store is size-bounded: after every write, least-recently-used
+entries (by file access order, maintained via ``os.utime`` on load) are
+evicted until the directory fits ``max_bytes`` again. ``repro cache
+ls|info|clear`` expose the same directory for operators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from ..obs import get_logger, get_registry
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "DEFAULT_MAX_BYTES",
+    "ENV_MAX_BYTES",
+    "MISSING",
+    "ArtifactStore",
+    "StoreEntry",
+]
+
+_LOG = get_logger("repro.engine.store")
+
+#: Sentinel for "not in the store" (``None`` is a valid artifact value).
+MISSING = object()
+
+ARTIFACT_SUFFIX = ".art"
+_MAGIC = b"repro-artifact/1\n"
+
+#: Default size bound for the disk cache (4 GiB).
+DEFAULT_MAX_BYTES = 4 << 30
+
+#: Environment override for the size bound, in bytes.
+ENV_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """One artifact file as listed by :meth:`ArtifactStore.entries`."""
+
+    stage: str
+    fingerprint: str
+    size: int
+    modified: float
+    path: Path
+
+
+def _resolve_max_bytes(max_bytes: int | None) -> int:
+    if max_bytes is not None:
+        return max_bytes
+    raw = os.environ.get(ENV_MAX_BYTES)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            _LOG.warning("store.bad_max_bytes", value=raw)
+    return DEFAULT_MAX_BYTES
+
+
+class ArtifactStore:
+    """A directory of checksummed, LRU-evicted stage artifacts.
+
+    Every operation degrades gracefully: an unwritable directory, a
+    corrupt file or a racing writer turns into a logged miss, never an
+    exception on the build path.
+    """
+
+    def __init__(self, root: str | Path, max_bytes: int | None = None) -> None:
+        self.root = Path(root).expanduser()
+        self.max_bytes = _resolve_max_bytes(max_bytes)
+        self._registry = get_registry()
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def get(self, stage: str, fingerprint: str) -> Any:
+        """The stored artifact, or :data:`MISSING`.
+
+        Corrupt or truncated entries are removed and counted in
+        ``engine_store_corrupt_total`` so the caller rebuilds.
+        """
+        path = self._path(stage, fingerprint)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return MISSING
+        except OSError as error:
+            _LOG.warning(
+                "store.read_failed", path=str(path), error=str(error)
+            )
+            return MISSING
+        value = self._decode(stage, fingerprint, path, blob)
+        if value is MISSING:
+            return MISSING
+        try:  # refresh recency for LRU eviction
+            os.utime(path)
+        except OSError:
+            pass
+        return value
+
+    def _decode(
+        self, stage: str, fingerprint: str, path: Path, blob: bytes
+    ) -> Any:
+        try:
+            if not blob.startswith(_MAGIC):
+                raise ValueError("bad magic")
+            newline = blob.index(b"\n", len(_MAGIC))
+            header = json.loads(blob[len(_MAGIC) : newline])
+            payload = blob[newline + 1 :]
+            if header.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            if header.get("size") != len(payload):
+                raise ValueError(
+                    f"truncated payload: {len(payload)} of "
+                    f"{header.get('size')} bytes"
+                )
+            digest = hashlib.sha256(payload).hexdigest()
+            if header.get("sha256") != digest:
+                raise ValueError("checksum mismatch")
+            return pickle.loads(payload)
+        except Exception as error:  # noqa: BLE001 - any damage => rebuild
+            self._registry.counter(
+                "engine_store_corrupt_total", stage=stage
+            ).incr()
+            _LOG.warning(
+                "store.corrupt_entry",
+                stage=stage,
+                path=str(path),
+                error=f"{type(error).__name__}: {error}",
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISSING
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put(self, stage: str, fingerprint: str, value: Any) -> Path | None:
+        """Persist one artifact atomically; returns its path (or None).
+
+        I/O failures are logged and swallowed — the disk tier is an
+        optimisation, never a correctness dependency.
+        """
+        path = self._path(stage, fingerprint)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            header = json.dumps(
+                {
+                    "stage": stage,
+                    "fingerprint": fingerprint,
+                    "sha256": hashlib.sha256(payload).hexdigest(),
+                    "size": len(payload),
+                    "created": round(time.time(), 3),
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            handle = tempfile.NamedTemporaryFile(
+                dir=self.root, prefix=".tmp-", delete=False
+            )
+            try:
+                with handle:
+                    handle.write(_MAGIC)
+                    handle.write(header)
+                    handle.write(b"\n")
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+        except Exception as error:  # noqa: BLE001 - disk tier is optional
+            _LOG.warning(
+                "store.write_failed",
+                stage=stage,
+                path=str(path),
+                error=f"{type(error).__name__}: {error}",
+            )
+            return None
+        self._evict(keep=path)
+        self._registry.gauge("engine_store_bytes").set(self.total_bytes())
+        return path
+
+    def _evict(self, keep: Path | None = None) -> None:
+        """Drop LRU entries until the store fits ``max_bytes`` again."""
+        entries = sorted(self.entries(), key=lambda e: e.modified)
+        total = sum(entry.size for entry in entries)
+        for entry in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and entry.path == keep:
+                continue  # never evict the artifact just written
+            try:
+                entry.path.unlink()
+            except OSError:
+                continue
+            total -= entry.size
+            self._registry.counter("engine_store_evicted_total").incr()
+            _LOG.info(
+                "store.evicted",
+                stage=entry.stage,
+                size=entry.size,
+                path=str(entry.path),
+            )
+
+    # ------------------------------------------------------------------
+    # operator surface (repro cache ls|clear|info)
+    # ------------------------------------------------------------------
+    def _path(self, stage: str, fingerprint: str) -> Path:
+        return self.root / f"{stage}--{fingerprint}{ARTIFACT_SUFFIX}"
+
+    def entries(self) -> list[StoreEntry]:
+        """Every artifact currently on disk (unsorted)."""
+        found: list[StoreEntry] = []
+        try:
+            candidates = list(self.root.glob(f"*{ARTIFACT_SUFFIX}"))
+        except OSError:
+            return found
+        for path in candidates:
+            stage, separator, fingerprint = path.stem.partition("--")
+            if not separator:
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            found.append(
+                StoreEntry(
+                    stage=stage,
+                    fingerprint=fingerprint,
+                    size=stat.st_size,
+                    modified=stat.st_mtime,
+                    path=path,
+                )
+            )
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(entry.size for entry in self.entries())
+
+    def clear(self) -> int:
+        """Remove every artifact (and stray tmp file); returns the count."""
+        removed = 0
+        for entry in self.entries():
+            try:
+                entry.path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        try:
+            for stray in self.root.glob(".tmp-*"):
+                stray.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return removed
+
+    def info(self) -> dict[str, Any]:
+        """JSON-ready summary for ``repro cache info``."""
+        entries = self.entries()
+        return {
+            "cache_dir": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(entry.size for entry in entries),
+            "max_bytes": self.max_bytes,
+            "stages": sorted({entry.stage for entry in entries}),
+        }

@@ -18,6 +18,7 @@ from .workspace import (
     ExperimentWorkspace,
     build_workspace,
     clear_workspace_cache,
+    workspace_for,
 )
 
 #: Experiment id -> (runner, description). Runners take a workspace and
@@ -36,6 +37,7 @@ __all__ = [
     "ExperimentWorkspace",
     "build_workspace",
     "clear_workspace_cache",
+    "workspace_for",
     "Fig2Result",
     "Fig3aResult",
     "Fig3bResult",

@@ -155,11 +155,12 @@ def run_fig4(
         seed: extra seed mixed into the shard generators (engine path).
     """
     cuisines = workspace.regional_cuisines()
+    views = workspace.views()  # the engine's pairing_views artifact
     rows: list[Fig4Row] = []
     details: dict[str, CuisinePairingResult] = {}
     if parallel is not None:
         details = _analyze_parallel(
-            workspace, cuisines, models, n_samples, parallel, seed
+            views, cuisines, models, n_samples, parallel, seed
         )
     for region in REGIONS:
         if parallel is not None:
@@ -170,6 +171,7 @@ def run_fig4(
                 workspace.catalog,
                 models=models,
                 n_samples=n_samples,
+                view=views[region.code],
             )
             details[region.code] = result
 
@@ -192,7 +194,7 @@ def run_fig4(
 
 
 def _analyze_parallel(
-    workspace: ExperimentWorkspace,
+    views,
     cuisines,
     models: tuple[NullModel, ...],
     n_samples: int,
@@ -201,23 +203,13 @@ def _analyze_parallel(
 ) -> dict[str, CuisinePairingResult]:
     """All 22 regions' pairing analyses through one shared worker pool.
 
-    Publishing every region's view up front lets slow regions' shards
-    interleave with fast ones — one pool, one sweep, no per-region
-    barrier.
+    Publishing every region's view (the ``pairing_views`` stage
+    artifact) up front lets slow regions' shards interleave with fast
+    ones — one pool, one sweep, no per-region barrier.
     """
-    from ..pairing import (
-        build_cuisine_view,
-        comparison_from_moments,
-        cuisine_mean_score,
-    )
+    from ..pairing import comparison_from_moments, cuisine_mean_score
     from ..parallel import sweep_pairing_moments
 
-    views = {
-        region.code: build_cuisine_view(
-            cuisines[region.code], workspace.catalog
-        )
-        for region in REGIONS
-    }
     moments_map = sweep_pairing_moments(
         views, models, n_samples, parallel, seed
     )

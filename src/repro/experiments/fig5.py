@@ -15,11 +15,7 @@ import dataclasses
 from typing import TYPE_CHECKING
 
 from ..datamodel import REGIONS, PairingKind
-from ..pairing import (
-    IngredientContribution,
-    build_cuisine_view,
-    top_contributors,
-)
+from ..pairing import IngredientContribution, top_contributors
 from ..reporting.tables import render_table
 from .workspace import ExperimentWorkspace
 
@@ -84,13 +80,7 @@ def run_fig5(
     one worker task over the shared-memory view; the computation is exact,
     so results are identical to the serial path.
     """
-    cuisines = workspace.regional_cuisines()
-    views = {
-        region.code: build_cuisine_view(
-            cuisines[region.code], workspace.catalog
-        )
-        for region in REGIONS
-    }
+    views = workspace.views()  # the engine's pairing_views artifact
     chi_map = None
     if parallel is not None:
         from ..parallel import sweep_contributions

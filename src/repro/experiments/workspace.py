@@ -1,30 +1,42 @@
-"""Shared experiment workspace: corpus -> aliasing -> cuisines, built once.
+"""Shared experiment workspace: a façade over the staged artifact engine.
 
 Every experiment consumes the same pipeline output (generated raw corpus,
-aliased recipes, cuisines grouped by region). Building the full 45k-recipe
-corpus takes on the order of a minute, so workspaces are cached per
-``(seed, recipe_scale, include_world_only)``.
+aliased recipes, cuisines grouped by region, numeric pairing views).
+Those are no longer built monolithically: :mod:`repro.engine` resolves
+them as four content-addressed stage artifacts (``corpus → aliasing →
+cuisines → pairing_views``), each cached in a shared in-memory LRU and —
+when the :class:`~repro.engine.RunConfig` enables it — a checksummed
+disk store, so a second process warm-loads in seconds.
+
+:class:`ExperimentWorkspace` remains the object every call site holds: a
+thin immutable bundle assembled from the stage artifacts. Assembled
+workspaces are additionally cached per ``(seed, recipe_scale,
+include_world_only)`` with the same bounded-LRU, build-once-per-key
+semantics the serving layer has always relied on.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import threading
 import time
 from collections import OrderedDict
 
-from ..aliasing import AliasingPipeline, MatchReport
-from ..corpus import DEFAULT_SEED, CorpusGenerator, GeneratedCorpus
-from ..datamodel import Cuisine, Recipe, build_cuisines, region_codes
-from ..flavordb import IngredientCatalog
+import threading
+
+from ..aliasing import MatchReport
+from ..corpus import DEFAULT_SEED, GeneratedCorpus
+from ..datamodel import Cuisine, Recipe, region_codes
+from ..engine import Engine, KeyedLocks, RunConfig
+from ..flavordb import IngredientCatalog, default_catalog
 from ..obs import get_logger, span
+from ..pairing.views import CuisineView
 
 _LOG = get_logger("repro.workspace")
 
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentWorkspace:
-    """Everything the experiments need, computed once.
+    """Everything the experiments need, assembled from stage artifacts.
 
     Attributes:
         corpus: the generated raw corpus.
@@ -35,6 +47,9 @@ class ExperimentWorkspace:
         catalog: the ingredient catalog used throughout.
         seed: generation seed.
         recipe_scale: recipe-count scale factor used.
+        pairing_views: numeric pairing views for the 22 Table 1 regions
+            (the ``pairing_views`` stage artifact); built lazily when a
+            workspace is constructed by hand.
     """
 
     corpus: GeneratedCorpus
@@ -44,6 +59,9 @@ class ExperimentWorkspace:
     catalog: IngredientCatalog
     seed: int
     recipe_scale: float
+    pairing_views: dict[str, CuisineView] | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     def regional_cuisines(self) -> dict[str, Cuisine]:
         """Only the 22 Table 1 regions (no WORLD-only mini-regions)."""
@@ -54,6 +72,24 @@ class ExperimentWorkspace:
             if code in codes
         }
 
+    def views(self) -> dict[str, CuisineView]:
+        """Region code -> numeric pairing view (22 Table 1 regions).
+
+        Engine-built workspaces carry the ``pairing_views`` stage
+        artifact; hand-assembled ones (tests, ad-hoc scripts) build the
+        views on first call and memoise them.
+        """
+        if self.pairing_views is None:
+            from ..pairing import build_cuisine_view
+
+            views = {
+                code: build_cuisine_view(cuisine, self.catalog)
+                for code, cuisine in self.regional_cuisines().items()
+            }
+            object.__setattr__(self, "pairing_views", views)
+        assert self.pairing_views is not None
+        return self.pairing_views
+
 
 #: Workspaces retained in the LRU cache. Each full-scale workspace holds
 #: tens of thousands of recipe objects, so the bound is deliberately small.
@@ -63,9 +99,11 @@ _CacheKey = tuple[int, float, bool]
 
 _CACHE: OrderedDict[_CacheKey, ExperimentWorkspace] = OrderedDict()
 _CACHE_LOCK = threading.Lock()
-#: Per-key build locks: concurrent callers asking for the same workspace
+#: Per-key build dedup: concurrent callers asking for the same workspace
 #: (e.g. service threads on a cold start) build it once, not N times.
-_BUILD_LOCKS: dict[_CacheKey, threading.Lock] = {}
+#: KeyedLocks entries free themselves when the last waiter leaves, so
+#: the table no longer grows with every distinct key ever requested.
+_BUILD_LOCKS = KeyedLocks()
 
 
 def _cache_get(key: _CacheKey) -> ExperimentWorkspace | None:
@@ -84,12 +122,29 @@ def _cache_put(key: _CacheKey, workspace: ExperimentWorkspace) -> None:
             _CACHE.popitem(last=False)
 
 
-def _build_lock(key: _CacheKey) -> threading.Lock:
-    with _CACHE_LOCK:
-        lock = _BUILD_LOCKS.get(key)
-        if lock is None:
-            lock = _BUILD_LOCKS[key] = threading.Lock()
-        return lock
+def workspace_for(
+    config: RunConfig, use_cache: bool = True
+) -> ExperimentWorkspace:
+    """Build (or fetch) the workspace one :class:`RunConfig` describes.
+
+    This is the single parameter path: argparse, the HTTP service and
+    the full-experiment script all construct a RunConfig and call here.
+    The assembled-workspace cache is thread-safe and bounded (at most
+    :data:`MAX_CACHED_WORKSPACES` entries, LRU) and concurrent requests
+    for the same key build exactly once.
+    """
+    key = config.workspace_key()
+    if not use_cache:
+        return _build(config)
+    workspace = _cache_get(key)
+    if workspace is not None:
+        return workspace
+    with _BUILD_LOCKS.holding(key):
+        workspace = _cache_get(key)  # built while we waited?
+        if workspace is None:
+            workspace = _build(config)
+            _cache_put(key, workspace)
+        return workspace
 
 
 def build_workspace(
@@ -98,67 +153,65 @@ def build_workspace(
     include_world_only: bool = True,
     use_cache: bool = True,
 ) -> ExperimentWorkspace:
-    """Build (or fetch from cache) the experiment workspace.
+    """Legacy keyword entry point; delegates to :func:`workspace_for`.
 
-    The cache is thread-safe and bounded: at most
-    :data:`MAX_CACHED_WORKSPACES` workspaces are retained (LRU), and
-    concurrent requests for the same key build the workspace exactly once.
+    Direct callers (tests, examples) get the in-memory tiers only; disk
+    caching is opted into through a RunConfig (``--cache-dir`` or
+    ``$REPRO_CACHE_DIR``).
     """
-    key = (seed, recipe_scale, include_world_only)
-    if not use_cache:
-        return _build(seed, recipe_scale, include_world_only)
-    workspace = _cache_get(key)
-    if workspace is not None:
-        return workspace
-    with _build_lock(key):
-        workspace = _cache_get(key)  # built while we waited?
-        if workspace is None:
-            workspace = _build(seed, recipe_scale, include_world_only)
-            _cache_put(key, workspace)
-        return workspace
+    config = RunConfig(
+        seed=seed,
+        recipe_scale=recipe_scale,
+        include_world_only=include_world_only,
+    )
+    return workspace_for(config, use_cache=use_cache)
 
 
-def _build(
-    seed: int, recipe_scale: float, include_world_only: bool
-) -> ExperimentWorkspace:
+def _build(config: RunConfig) -> ExperimentWorkspace:
+    """Assemble a workspace from the engine's stage artifacts."""
+    engine = Engine(config)
     with span(
-        "workspace.build", seed=seed, recipe_scale=recipe_scale
+        "workspace.build",
+        seed=config.corpus_seed,
+        recipe_scale=config.recipe_scale,
     ) as trace:
         started = time.perf_counter()
-        generator = CorpusGenerator(
-            seed=seed,
-            recipe_scale=recipe_scale,
-            include_world_only=include_world_only,
-        )
-        corpus = generator.generate()
-        pipeline = AliasingPipeline(generator.catalog)
-        result = pipeline.resolve_corpus(corpus.raw_recipes)
-        with span("workspace.cuisines"):
-            cuisines = build_cuisines(result.recipes)
-        trace.incr("recipes", len(result.recipes))
+        corpus = engine.artifact("corpus")
+        aliasing = engine.artifact("aliasing")
+        cuisines = engine.artifact("cuisines")
+        views = engine.artifact("pairing_views")
+        trace.incr("recipes", len(aliasing.recipes))
         trace.incr("cuisines", len(cuisines))
         _LOG.info(
             "workspace.built",
-            seed=seed,
-            recipe_scale=recipe_scale,
-            recipes=len(result.recipes),
+            seed=config.corpus_seed,
+            recipe_scale=config.recipe_scale,
+            recipes=len(aliasing.recipes),
             cuisines=len(cuisines),
-            exact_rate=round(result.report.exact_rate(), 4),
+            exact_rate=round(aliasing.report.exact_rate(), 4),
             seconds=round(time.perf_counter() - started, 3),
         )
         return ExperimentWorkspace(
             corpus=corpus,
-            recipes=result.recipes,
-            report=result.report,
+            recipes=aliasing.recipes,
+            report=aliasing.report,
             cuisines=cuisines,
-            catalog=generator.catalog,
-            seed=seed,
-            recipe_scale=recipe_scale,
+            catalog=default_catalog(),
+            seed=config.corpus_seed,
+            recipe_scale=config.recipe_scale,
+            pairing_views=views,
         )
 
 
 def clear_workspace_cache() -> None:
-    """Drop all cached workspaces (tests use this to bound memory)."""
+    """Drop all cached workspaces and in-memory stage artifacts.
+
+    Tests use this to bound memory; it also clears the engine's shared
+    in-memory artifact tier so the drop actually releases the data.
+    """
+    from ..engine import clear_memory_tier
+
     with _CACHE_LOCK:
         _CACHE.clear()
-        _BUILD_LOCKS.clear()
+    _BUILD_LOCKS.clear()
+    clear_memory_tier()

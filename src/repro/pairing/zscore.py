@@ -172,6 +172,7 @@ def analyze_cuisine(
     n_samples: int = PAPER_SAMPLE_COUNT,
     seed: int | None = None,
     parallel: "ParallelConfig | None" = None,
+    view: "CuisineView | None" = None,
 ) -> CuisinePairingResult:
     """Run the full food-pairing analysis for one cuisine.
 
@@ -184,11 +185,14 @@ def analyze_cuisine(
             uses the deterministic default.
         parallel: when set, all models' sampling fans out through the
             sharded Monte Carlo engine in one sweep.
+        view: a prebuilt numeric view of the cuisine (the engine's
+            ``pairing_views`` stage artifact); built here when omitted.
     """
     with span(
         "pairing.analyze_cuisine", region=cuisine.region_code
     ) as trace:
-        view = build_cuisine_view(cuisine, catalog)
+        if view is None:
+            view = build_cuisine_view(cuisine, catalog)
         comparisons: dict[NullModel, ModelComparison] = {}
         if parallel is not None:
             from ..parallel.montecarlo import sweep_pairing_moments

@@ -19,9 +19,13 @@ from ..datamodel import REGIONS, ReproError
 from ..db import Database
 from ..db.errors import SqlSyntaxError
 from ..db.sql.tokenizer import tokenize
+from ..engine import RunConfig
 from ..experiments import ExperimentWorkspace
 from ..generation import CuisineClassifier
+from ..obs import get_logger
 from ..pairing import CuisineView, food_pairing_score
+
+_LOG = get_logger("repro.service")
 
 #: Hard ceiling on rows returned by ``/sql`` (and default row cap).
 MAX_SQL_ROWS = 1000
@@ -132,15 +136,33 @@ def _bool_field(payload: dict[str, Any], name: str, default: bool) -> bool:
 
 
 class QueryService:
-    """Request handlers bound to one :class:`ExperimentWorkspace`."""
+    """Request handlers bound to one :class:`ExperimentWorkspace`.
 
-    def __init__(self, workspace: ExperimentWorkspace) -> None:
+    Args:
+        workspace: the warm workspace to serve.
+        config: the run configuration the workspace was built from;
+            request-scoped Monte Carlo parameters are derived from it
+            via :meth:`RunConfig.replace`, keeping the service on the
+            same single parameter flow as the CLI.
+    """
+
+    def __init__(
+        self,
+        workspace: ExperimentWorkspace,
+        config: RunConfig | None = None,
+    ) -> None:
         self._workspace = workspace
+        self._config = config if config is not None else RunConfig()
         self._lock = threading.Lock()
         self._pipelines: dict[bool, AliasingPipeline] = {}
         self._classifier: CuisineClassifier | None = None
         self._database: Database | None = None
-        self._views: dict[str, CuisineView] = {}
+        # Engine-built workspaces already carry the pairing_views stage
+        # artifact; seed the per-region view cache from it so the first
+        # /montecarlo request never rebuilds a view.
+        self._views: dict[str, CuisineView] = dict(
+            workspace.pairing_views or {}
+        )
 
     @property
     def workspace(self) -> ExperimentWorkspace:
@@ -213,6 +235,23 @@ class QueryService:
         self._pipeline(fuzzy=False)
         self.classifier()
         self.database()
+
+    def preload(self) -> None:
+        """Fully warm the service: lazy artefacts plus every region view.
+
+        ``repro serve --preload`` calls this before binding the socket,
+        so the first request of any kind is served from warm state.
+        """
+        self.warm()
+        views = self._workspace.views()
+        with self._lock:
+            for code, view in views.items():
+                self._views.setdefault(code, view)
+        _LOG.info(
+            "service.preloaded",
+            regions=len(views),
+            recipes=len(self._workspace.recipes),
+        )
 
     # ------------------------------------------------------------------
     # ingredient resolution shared by score/classify/pairings
@@ -450,7 +489,7 @@ class QueryService:
         ``workers`` — and is therefore safely cacheable.
         """
         from ..pairing import NullModel, compare_to_model
-        from ..parallel import ParallelConfig, resolve_workers
+        from ..parallel import resolve_workers
 
         body = _payload_dict(payload)
         _reject_unknown(
@@ -496,12 +535,18 @@ class QueryService:
                 400, "invalid_field", "'seed' must be an integer"
             )
         view = self.cuisine_view(region_code)
-        config = ParallelConfig(
-            workers=min(workers, resolve_workers(None)),
+        request_config = self._config.replace(
+            n_samples=n_samples,
+            workers=workers,
             shard_size=shard_size,
+            seed=seed,
         )
         comparison = compare_to_model(
-            view, model, n_samples, parallel=config, seed=seed
+            view,
+            model,
+            request_config.n_samples,
+            parallel=request_config.parallel(cap=resolve_workers(None)),
+            seed=request_config.sampling_seed,
         )
         return {
             "region": region_code,

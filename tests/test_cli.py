@@ -111,7 +111,7 @@ class TestServeParser:
         )
         assert args.command == "serve"
         assert args.port == 0
-        assert args.scale == pytest.approx(0.05)
+        assert args.recipe_scale == pytest.approx(0.05)
         assert args.cache_size == 64
         assert args.ttl == pytest.approx(30.0)
         assert args.stats is True
@@ -124,6 +124,93 @@ class TestServeParser:
         assert args.port == 8080
         assert args.ttl is None
         assert args.no_warm is False
+        assert args.preload is False
+        assert args.cache_dir is None
+        assert args.no_disk_cache is False
+
+    def test_serve_preload_and_cache_flags(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "--preload", "--cache-dir", "/tmp/artifacts"]
+        )
+        assert args.preload is True
+        assert args.cache_dir == "/tmp/artifacts"
+
+
+class TestRunConfigFlow:
+    """The generated flags land in one RunConfig for every subcommand."""
+
+    def test_run_flags_map_to_config(self):
+        from repro.cli import _build_parser
+        from repro.engine import config_from_args
+
+        args = _build_parser().parse_args(
+            [
+                "run", "fig4", "--scale", "0.25", "--samples", "500",
+                "--seed", "9", "--workers", "2", "--shard-size", "250",
+                "--cache-dir", "/tmp/a", "--no-disk-cache",
+            ]
+        )
+        config = config_from_args(args)
+        assert config.recipe_scale == pytest.approx(0.25)
+        assert config.n_samples == 500
+        assert config.seed == 9
+        assert config.workers == 2
+        assert config.shard_size == 250
+        assert config.cache_dir == "/tmp/a"
+        assert config.no_disk_cache is True
+        assert config.disk_cache_enabled is False
+
+    def test_long_aliases_accepted(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["run", "table1", "--recipe-scale", "0.5", "--n-samples", "900"]
+        )
+        assert args.recipe_scale == pytest.approx(0.5)
+        assert args.n_samples == 900
+
+
+class TestCacheCommand:
+    def test_cache_parser(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["cache", "ls", "--cache-dir", "/tmp/x"]
+        )
+        assert args.command == "cache"
+        assert args.action == "ls"
+        assert args.cache_dir == "/tmp/x"
+
+    def test_cache_action_required(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+    def test_cache_ls_info_clear_roundtrip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "artifacts")
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+        from repro.engine import ArtifactStore
+
+        ArtifactStore(cache_dir).put("corpus", "f" * 64, {"x": 1})
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        listing = capsys.readouterr().out
+        assert "corpus" in listing
+        assert "1 artifact(s)" in listing
+
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        import json
+
+        info = json.loads(capsys.readouterr().out)
+        assert info["entries"] == 1
+        assert info["stages"] == ["corpus"]
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
 
 
 class TestReport:

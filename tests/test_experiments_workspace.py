@@ -92,6 +92,13 @@ class TestConcurrency:
         assert len(builds) == 1  # deduped: built exactly once
         assert all(result is results[0] for result in results)
 
+    def test_build_lock_table_does_not_grow(self, preserved_cache):
+        """Regression: the per-key lock dict used to leak one lock per
+        distinct workspace key for the life of the process."""
+        for seed in (21, 22, 23, 24):
+            build_workspace(seed=seed, **TINY)
+        assert len(workspace_module._BUILD_LOCKS) == 0
+
     def test_concurrent_distinct_keys(self, preserved_cache):
         errors = []
 
