@@ -3,7 +3,15 @@
 * overlap backend: dense numpy matrix vs per-pair set intersection,
 * null-model sampler: vectorised Gumbel top-k vs per-recipe rng.choice,
 * n-gram matcher: with vs without the first-token index,
+* token trie vs the reference n-gram matcher,
 * Z-score stability vs number of random samples.
+
+The matcher ablations pin ``matcher="ngram"`` / ``phrase_cache_size=0``
+explicitly: the pipeline's production defaults (token trie + phrase
+memo) would otherwise turn every repeat-phrase probe into a dict hit and
+the ablation would stop measuring the matcher at all. The reference
+n-gram implementation stays exercised here so the trie's speedup is
+measured, not assumed.
 """
 
 import numpy as np
@@ -102,7 +110,10 @@ class TestNgramIndexAblation:
 
     def test_bench_with_first_token_index(self, benchmark, workspace):
         pipeline = AliasingPipeline(
-            workspace.catalog, use_first_token_index=True
+            workspace.catalog,
+            matcher="ngram",
+            use_first_token_index=True,
+            phrase_cache_size=0,
         )
 
         def run():
@@ -115,7 +126,9 @@ class TestNgramIndexAblation:
 
     def test_bench_without_first_token_index(self, benchmark, workspace):
         pipeline = AliasingPipeline(
-            workspace.catalog, use_first_token_index=False
+            workspace.catalog,
+            use_first_token_index=False,
+            phrase_cache_size=0,
         )
 
         def run():
@@ -128,7 +141,7 @@ class TestNgramIndexAblation:
 
     def test_index_does_not_change_results(self, workspace):
         with_index = AliasingPipeline(
-            workspace.catalog, use_first_token_index=True
+            workspace.catalog, matcher="ngram", use_first_token_index=True
         )
         without_index = AliasingPipeline(
             workspace.catalog, use_first_token_index=False
@@ -136,6 +149,53 @@ class TestNgramIndexAblation:
         for phrase in self.PHRASES:
             left = with_index.resolve_phrase(phrase)
             right = without_index.resolve_phrase(phrase)
+            assert left.ingredients == right.ingredients
+            assert left.kind == right.kind
+
+
+class TestTrieMatcherAblation:
+    """Token trie (fast path) vs the reference indexed n-gram matcher.
+
+    Both run with the phrase memo disabled, so the comparison isolates
+    the matching algorithm itself.
+    """
+
+    PHRASES = TestNgramIndexAblation.PHRASES
+
+    def test_bench_trie_matcher(self, benchmark, workspace):
+        pipeline = AliasingPipeline(
+            workspace.catalog, matcher="trie", phrase_cache_size=0
+        )
+        assert pipeline.matcher_kind == "trie"
+
+        def run():
+            return [
+                pipeline.resolve_phrase(phrase).kind
+                for phrase in self.PHRASES * 25
+            ]
+
+        benchmark(run)
+
+    def test_bench_ngram_matcher(self, benchmark, workspace):
+        pipeline = AliasingPipeline(
+            workspace.catalog, matcher="ngram", phrase_cache_size=0
+        )
+        assert pipeline.matcher_kind == "ngram"
+
+        def run():
+            return [
+                pipeline.resolve_phrase(phrase).kind
+                for phrase in self.PHRASES * 25
+            ]
+
+        benchmark(run)
+
+    def test_trie_does_not_change_results(self, workspace):
+        trie = AliasingPipeline(workspace.catalog, matcher="trie")
+        ngram = AliasingPipeline(workspace.catalog, matcher="ngram")
+        for phrase in self.PHRASES:
+            left = trie.resolve_phrase(phrase)
+            right = ngram.resolve_phrase(phrase)
             assert left.ingredients == right.ingredients
             assert left.kind == right.kind
 
@@ -173,7 +233,7 @@ class TestFuzzyAblation:
     PHRASES = TestNgramIndexAblation.PHRASES
 
     def test_bench_exact_pipeline(self, benchmark, workspace):
-        pipeline = AliasingPipeline(workspace.catalog)
+        pipeline = AliasingPipeline(workspace.catalog, phrase_cache_size=0)
 
         def run():
             return [
@@ -184,7 +244,9 @@ class TestFuzzyAblation:
         benchmark(run)
 
     def test_bench_fuzzy_pipeline(self, benchmark, workspace):
-        pipeline = AliasingPipeline(workspace.catalog, fuzzy=True)
+        pipeline = AliasingPipeline(
+            workspace.catalog, fuzzy=True, phrase_cache_size=0
+        )
 
         def run():
             return [

@@ -21,12 +21,14 @@ from .matcher import (
 )
 from .normalize import basic_clean, normalize_phrase, tokenize
 from .pipeline import (
+    ALIASING_SHARD_SIZE,
     AliasingPipeline,
     AliasingResult,
     MatchKind,
     MatchReport,
     PhraseResolution,
 )
+from .trie import TrieMatcher
 from .singularize import IRREGULAR_PLURALS, INVARIANT_WORDS, singularize
 from .stopwords import (
     CONTEXTUAL_MEASURES,
@@ -48,7 +50,9 @@ __all__ = [
     "SOFT_DESCRIPTORS",
     "MatchOutcome",
     "NGramMatcher",
+    "TrieMatcher",
     "TokenMatch",
+    "ALIASING_SHARD_SIZE",
     "basic_clean",
     "normalize_phrase",
     "tokenize",

@@ -71,6 +71,10 @@ class TokenCorrector:
             self._add(token, token)
             for deleted in _deletions(token):
                 self._add(deleted, token)
+        # correct() is deterministic for a fixed vocabulary and corpora
+        # repeat their typo tokens, so verdicts are memoised (bounded —
+        # adversarial token streams must not grow it without limit).
+        self._verdicts: dict[str, str | None] = {}
 
     def _add(self, key: str, token: str) -> None:
         self._neighbourhood.setdefault(key, set()).add(token)
@@ -98,10 +102,15 @@ class TokenCorrector:
         """
         if token in self._vocabulary:
             return None
+        try:
+            return self._verdicts[token]
+        except KeyError:
+            pass
         found = self.candidates(token)
-        if len(found) == 1:
-            return next(iter(found))
-        return None
+        verdict = next(iter(found)) if len(found) == 1 else None
+        if len(self._verdicts) < 65536:
+            self._verdicts[token] = verdict
+        return verdict
 
 
 def vocabulary_from_names(names: Iterable[str]) -> frozenset[str]:

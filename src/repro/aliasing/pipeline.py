@@ -3,11 +3,23 @@
 Maps raw recipe records onto resolved :class:`~repro.datamodel.Recipe`
 objects: each ingredient phrase is normalised
 (:mod:`repro.aliasing.normalize`), matched against the catalog
-(:mod:`repro.aliasing.matcher`), and classified as exact / partial /
-unrecognised. Partial and unrecognised phrases feed a
-:class:`MatchReport` that surfaces the most frequent unmatched n-grams —
-the paper's mechanism for discovering ingredients "either not present in
-the database or variations of existing entities" for manual curation.
+(:mod:`repro.aliasing.matcher` / :mod:`repro.aliasing.trie`), and
+classified as exact / partial / unrecognised. Partial and unrecognised
+phrases feed a :class:`MatchReport` that surfaces the most frequent
+unmatched n-grams — the paper's mechanism for discovering ingredients
+"either not present in the database or variations of existing entities"
+for manual curation.
+
+Cold-build fast path: matching runs on the token trie by default (the
+n-gram matcher stays available as the ablation reference), repeated
+phrases hit a bounded phrase→resolution memo
+(``repro_aliasing_phrase_cache_{hits,misses}_total`` count its traffic;
+:class:`MatchReport` occurrence counting is never cached), and
+:meth:`AliasingPipeline.resolve_corpus` can fan recipe shards across the
+:mod:`repro.parallel` process pool — each worker builds the pipeline
+once, aliases its shard, and returns recipes plus a mergeable
+:class:`MatchReport`; shard-order merging keeps the result bit-identical
+to the serial path for any worker count.
 """
 
 from __future__ import annotations
@@ -15,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 from collections.abc import Iterable, Sequence
 
 from ..datamodel import Ingredient, RawRecipe, Recipe
@@ -23,6 +35,20 @@ from ..flavordb import IngredientCatalog, default_catalog
 from ..obs import get_registry, span
 from .matcher import MAX_NGRAM, MatchOutcome, NGramMatcher
 from .normalize import normalize_phrase
+from .trie import TrieMatcher
+
+#: Raw recipes per aliasing shard. Deliberately independent of the
+#: worker count (and of ``RunConfig.shard_size``, which means Monte
+#: Carlo samples): results do not depend on the decomposition at all —
+#: shard-order merging reproduces the serial output exactly — but a
+#: worker-independent constant keeps the task layout predictable.
+ALIASING_SHARD_SIZE = 1024
+
+#: Default bound on the phrase→resolution memo. Generated corpora draw
+#: phrases from a finite renderer vocabulary, so tens of thousands of
+#: distinct strings cover the full corpus; entries are tiny (a frozen
+#: dataclass of tuples).
+DEFAULT_PHRASE_CACHE = 65536
 
 
 class MatchKind(enum.Enum):
@@ -74,6 +100,21 @@ class MatchReport:
         if resolved:
             self.recipes_resolved += 1
 
+    def merge(self, other: "MatchReport") -> "MatchReport":
+        """Fold another report into this one (sharded aliasing).
+
+        Counts add; the unmatched-n-gram counter keeps this report's
+        insertion order and appends ``other``'s new keys in its order,
+        so merging shard reports *in shard order* reproduces the serial
+        report exactly — including ``top_unmatched`` tie-breaking, which
+        follows first-occurrence order.
+        """
+        self.phrase_counts.update(other.phrase_counts)
+        self.recipes_total += other.recipes_total
+        self.recipes_resolved += other.recipes_resolved
+        self._unmatched_ngrams.update(other._unmatched_ngrams)
+        return self
+
     @property
     def phrases_total(self) -> int:
         return sum(self.phrase_counts.values())
@@ -116,15 +157,24 @@ class AliasingPipeline:
         max_ngram: int = MAX_NGRAM,
         use_first_token_index: bool = True,
         fuzzy: bool = False,
+        matcher: str | None = None,
+        phrase_cache_size: int = DEFAULT_PHRASE_CACHE,
     ) -> None:
         """
         Args:
             catalog: ingredient catalog (defaults to the shared one).
             max_ngram: longest n-gram tried by the matcher.
-            use_first_token_index: matcher acceleration toggle (ablation).
+            use_first_token_index: n-gram matcher acceleration toggle;
+                passing ``False`` selects the reference n-gram matcher
+                (the flag is meaningless for the trie), as the ablation
+                benchmark does.
             fuzzy: enable conservative single-edit typo correction for
                 tokens the exact matcher leaves over (see
                 :mod:`repro.aliasing.fuzzy`).
+            matcher: ``"trie"`` (default — the fast path) or ``"ngram"``
+                (the reference implementation, kept for ablations).
+            phrase_cache_size: bound on the phrase→resolution memo;
+                ``0`` disables memoisation entirely.
         """
         self._catalog = catalog if catalog is not None else default_catalog()
         # Key every resolvable surface form by its *normalised* token string
@@ -138,12 +188,25 @@ class AliasingPipeline:
             key = " ".join(normalize_phrase(surface))
             if key and key not in self._normalized_map:
                 self._normalized_map[key] = self._catalog.get(surface)
-        self._matcher = NGramMatcher(
-            self._normalized_map.get,
-            frozenset(self._normalized_map),
-            max_ngram=max_ngram,
-            use_first_token_index=use_first_token_index,
-        )
+        if matcher is None:
+            matcher = "trie" if use_first_token_index else "ngram"
+        if matcher == "trie":
+            self._matcher: TrieMatcher | NGramMatcher = TrieMatcher(
+                self._normalized_map.get,
+                frozenset(self._normalized_map),
+                max_ngram=max_ngram,
+            )
+        elif matcher == "ngram":
+            self._matcher = NGramMatcher(
+                self._normalized_map.get,
+                frozenset(self._normalized_map),
+                max_ngram=max_ngram,
+                use_first_token_index=use_first_token_index,
+            )
+        else:
+            raise ValueError(
+                f"unknown matcher {matcher!r} (expected 'trie' or 'ngram')"
+            )
         self._corrector = None
         if fuzzy:
             from .fuzzy import TokenCorrector, vocabulary_from_names
@@ -151,34 +214,86 @@ class AliasingPipeline:
             self._corrector = TokenCorrector(
                 vocabulary_from_names(self._normalized_map)
             )
+        self._phrase_cache: OrderedDict[str, PhraseResolution] = OrderedDict()
+        self._phrase_cache_size = max(0, phrase_cache_size)
+        # Shard workers rebuild the pipeline from defaults, so the
+        # parallel corpus path is only taken when this pipeline is
+        # exactly reproducible from them.
+        self._default_spec = (
+            self._catalog is default_catalog()
+            and max_ngram == MAX_NGRAM
+            and self._corrector is None
+            and matcher == "trie"
+        )
+        self._curated = False
+        registry = get_registry()
+        self._cache_hits = registry.counter(
+            "repro_aliasing_phrase_cache_hits_total"
+        )
+        self._cache_misses = registry.counter(
+            "repro_aliasing_phrase_cache_misses_total"
+        )
 
     @property
     def catalog(self) -> IngredientCatalog:
         return self._catalog
 
+    @property
+    def matcher_kind(self) -> str:
+        """Which matcher implementation this pipeline runs on."""
+        return "trie" if isinstance(self._matcher, TrieMatcher) else "ngram"
+
     def normalized_names(self) -> frozenset[str]:
         """All normalised surface forms the matcher can resolve."""
         return frozenset(self._normalized_map)
+
+    def phrase_cache_info(self) -> tuple[int, int]:
+        """(entries, capacity) of the phrase memo — observability hook."""
+        return len(self._phrase_cache), self._phrase_cache_size
 
     def register_alias(self, normalized_key: str, ingredient: Ingredient) -> None:
         """Add a runtime alias: a normalised surface form -> ingredient.
 
         Used by the manual-curation workflow
         (:class:`repro.aliasing.curation.CurationSession`). Existing keys
-        are not overwritten — canonical mappings win.
+        are not overwritten — canonical mappings win. Memoised phrase
+        resolutions are dropped: a new alias can change any phrase's
+        outcome.
         """
         if normalized_key not in self._normalized_map:
             self._normalized_map[normalized_key] = ingredient
             self._matcher.add_name(normalized_key)
+            self._phrase_cache.clear()
+            self._curated = True
 
     def resolve_phrase(self, phrase: str) -> PhraseResolution:
-        """Alias one raw ingredient line."""
+        """Alias one raw ingredient line.
+
+        Resolutions are frozen and phrase-deterministic, so repeats are
+        served from a bounded LRU memo; :class:`MatchReport` counting
+        happens per occurrence at the call sites, never here.
+        """
+        if self._phrase_cache_size:
+            cached = self._phrase_cache.get(phrase)
+            if cached is not None:
+                self._phrase_cache.move_to_end(phrase)
+                self._cache_hits.incr()
+                return cached
+            self._cache_misses.incr()
+        resolution = self._resolve_phrase_uncached(phrase)
+        if self._phrase_cache_size:
+            self._phrase_cache[phrase] = resolution
+            if len(self._phrase_cache) > self._phrase_cache_size:
+                self._phrase_cache.popitem(last=False)
+        return resolution
+
+    def _resolve_phrase_uncached(self, phrase: str) -> PhraseResolution:
         tokens = tuple(normalize_phrase(phrase))
-        outcome: MatchOutcome = self._matcher.match(list(tokens))
+        outcome: MatchOutcome = self._matcher.match(tokens)
         if self._corrector is not None and outcome.hard_leftovers:
-            corrected = self._correct_tokens(tokens)
+            corrected = self._correct_tokens(tokens, outcome)
             if corrected != tokens:
-                retried = self._matcher.match(list(corrected))
+                retried = self._matcher.match(corrected)
                 # Accept the correction only if it strictly improves the
                 # match (paper: minimise false positives).
                 if len(retried.matches) > len(outcome.matches) or (
@@ -203,12 +318,27 @@ class AliasingPipeline:
             kind=kind,
         )
 
-    def _correct_tokens(self, tokens: tuple[str, ...]) -> tuple[str, ...]:
+    def _correct_tokens(
+        self, tokens: tuple[str, ...], outcome: MatchOutcome
+    ) -> tuple[str, ...]:
+        """Fuzzy-correct only the tokens the matcher left over.
+
+        Tokens inside a match are by definition vocabulary tokens, so
+        correcting them is a guaranteed no-op — skipping them saves the
+        corrector probes entirely.
+        """
         assert self._corrector is not None
-        corrected = []
-        for token in tokens:
+        consumed = bytearray(len(tokens))
+        for match in outcome.matches:
+            for index in range(match.start, match.start + match.length):
+                consumed[index] = 1
+        corrected = list(tokens)
+        for index, token in enumerate(tokens):
+            if consumed[index]:
+                continue
             replacement = self._corrector.correct(token)
-            corrected.append(replacement if replacement is not None else token)
+            if replacement is not None:
+                corrected[index] = replacement
         return tuple(corrected)
 
     def resolve_recipe(
@@ -242,16 +372,55 @@ class AliasingPipeline:
             source=raw.source,
         )
 
-    def resolve_corpus(self, raws: Iterable[RawRecipe]) -> AliasingResult:
-        """Alias a whole corpus, collecting the curation report."""
-        with span("aliasing.resolve_corpus") as trace:
+    def _resolve_shard(
+        self, raws: Sequence[RawRecipe]
+    ) -> tuple[list[Recipe], MatchReport]:
+        """Alias one shard of raw recipes: resolved recipes + report."""
+        report = MatchReport()
+        recipes = []
+        for raw in raws:
+            recipe = self.resolve_recipe(raw, report)
+            if recipe is not None:
+                recipes.append(recipe)
+        return recipes, report
+
+    def resolve_corpus(
+        self,
+        raws: Iterable[RawRecipe],
+        workers: int = 1,
+        shard_size: int = ALIASING_SHARD_SIZE,
+    ) -> AliasingResult:
+        """Alias a whole corpus, collecting the curation report.
+
+        Args:
+            raws: the raw recipes, in corpus order.
+            workers: alias shards across this many processes (``1`` =
+                serial in-process). The result is bit-identical for any
+                worker count: shards are merged in corpus order.
+            shard_size: raw recipes per shard in the parallel path.
+        """
+        raw_list: Sequence[RawRecipe] = (
+            raws if isinstance(raws, (list, tuple)) else list(raws)
+        )
+        parallel = (
+            workers > 1
+            and len(raw_list) > shard_size
+            # Workers rebuild the pipeline from defaults; a custom
+            # catalog/matcher/fuzzy setup or curated aliases must stay
+            # on the serial path to produce identical results.
+            and self._default_spec
+            and not self._curated
+        )
+        with span(
+            "aliasing.resolve_corpus", workers=workers if parallel else 1
+        ) as trace:
             started = time.perf_counter()
-            report = MatchReport()
-            recipes = []
-            for raw in raws:
-                recipe = self.resolve_recipe(raw, report)
-                if recipe is not None:
-                    recipes.append(recipe)
+            if parallel:
+                recipes, report = self._resolve_corpus_sharded(
+                    raw_list, workers, shard_size
+                )
+            else:
+                recipes, report = self._resolve_shard(raw_list)
             elapsed = time.perf_counter() - started
             registry = get_registry()
             for kind in MatchKind:
@@ -271,3 +440,41 @@ class AliasingPipeline:
                 report.recipes_total
             )
             return AliasingResult(tuple(recipes), report)
+
+    def _resolve_corpus_sharded(
+        self, raws: Sequence[RawRecipe], workers: int, shard_size: int
+    ) -> tuple[list[Recipe], MatchReport]:
+        """Fan shards over the process pool; merge in shard order."""
+        from ..parallel.executor import run_tasks
+
+        shards = [
+            tuple(raws[start : start + shard_size])
+            for start in range(0, len(raws), shard_size)
+        ]
+        results = run_tasks(
+            _alias_shard_worker,
+            shards,
+            workers=workers,
+            label="aliasing.shards",
+        )
+        recipes: list[Recipe] = []
+        report = MatchReport()
+        for shard_recipes, shard_report in results:
+            recipes.extend(shard_recipes)
+            report.merge(shard_report)
+        return recipes, report
+
+
+#: Per-process pipeline for shard workers: built on the first shard a
+#: worker sees, reused (with its warm phrase memo) for every later one.
+_WORKER_PIPELINE: AliasingPipeline | None = None
+
+
+def _alias_shard_worker(
+    raws: tuple[RawRecipe, ...],
+) -> tuple[list[Recipe], MatchReport]:
+    """Alias one shard in a pool worker (or inline on serial retry)."""
+    global _WORKER_PIPELINE
+    if _WORKER_PIPELINE is None:
+        _WORKER_PIPELINE = AliasingPipeline(default_catalog())
+    return _WORKER_PIPELINE._resolve_shard(raws)

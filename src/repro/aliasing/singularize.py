@@ -17,6 +17,8 @@ plural merely leaves one token unmatched.
 
 from __future__ import annotations
 
+import functools
+
 #: Irregular plural -> singular.
 IRREGULAR_PLURALS: dict[str, str] = {
     "leaves": "leaf",
@@ -59,8 +61,14 @@ INVARIANT_WORDS: frozenset[str] = frozenset(
 _ES_STEMS = ("ss", "x", "z", "ch", "sh")
 
 
+@functools.lru_cache(maxsize=16384)
 def singularize(token: str) -> str:
-    """Singularise one lower-case token; unknown forms pass through."""
+    """Singularise one lower-case token; unknown forms pass through.
+
+    Pure and called once per raw token of every phrase, so results are
+    memoised — corpus token vocabularies are a few thousand strings,
+    which fits the cache many times over.
+    """
     if len(token) < 3:
         return token
     irregular = IRREGULAR_PLURALS.get(token)

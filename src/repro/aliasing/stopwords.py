@@ -74,6 +74,10 @@ CONTEXTUAL_MEASURES: dict[str, frozenset[str]] = {
 }
 
 
+#: Vulgar-fraction characters accepted by :func:`is_quantity_token`.
+_VULGAR_CHARS: frozenset[str] = frozenset("½⅓⅔¼¾⅛⅜⅝⅞")
+
+
 def is_quantity_token(token: str) -> bool:
     """Whether a token is purely numeric/fractional ("2", "1/2", "2.5",
     "2-3", unicode vulgar fractions)."""
@@ -82,5 +86,4 @@ def is_quantity_token(token: str) -> bool:
     cleaned = token.replace("/", "").replace(".", "").replace("-", "")
     if cleaned.isdigit():
         return True
-    vulgar = {"½", "⅓", "⅔", "¼", "¾", "⅛", "⅜", "⅝", "⅞"}
-    return all(char.isdigit() or char in vulgar for char in token)
+    return all(char.isdigit() or char in _VULGAR_CHARS for char in token)

@@ -25,14 +25,17 @@ a second run warm-loads the corpus/aliasing/cuisines/pairing-view
 artifacts instead of rebuilding them, and prints a cache summary line to
 stderr (``engine cache: hits=... builds=...``).
 
-The sampling commands (``run``/``fig4``/``fig5``/``report``) accept
-``--workers N`` to fan Monte Carlo shards across a process pool
-(``0`` = one per CPU core) and ``--shard-size`` to set the shard
-decomposition; see :mod:`repro.parallel`. Without ``--workers`` the
-original serial sampler runs unchanged. ``fig4 --z-out PATH`` writes the
-full-precision Z-scores as JSON — the file depends only on
-``(seed, samples, shard-size)``, never on the worker count, which is
-what the CI determinism check diffs.
+``--workers N`` fans work across a process pool (``0`` = one per CPU
+core): Monte Carlo shards for the sampling commands
+(``run``/``fig4``/``fig5``/``report``, with ``--shard-size`` setting
+the shard decomposition; see :mod:`repro.parallel`) and the cold
+corpus-generation/aliasing stage builds for every command that builds a
+workspace (including ``build-db``). Without ``--workers`` everything
+runs serially, unchanged. Results never depend on the worker count:
+stage artifacts are byte-identical for any ``--workers`` value, and
+``fig4 --z-out PATH`` writes full-precision Z-scores that depend only
+on ``(seed, samples, shard-size)`` — which is what the CI determinism
+checks diff.
 
 Every command accepts the global observability flags (see
 :mod:`repro.obs`): ``--trace`` prints a span timing tree on exit,
@@ -98,7 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
     # these, so flag names/validators/help live only on RunConfig.
     run_flags = config_parent_parser()
     corpus_flags = config_parent_parser(
-        fields=("seed", "recipe_scale", "cache_dir", "no_disk_cache")
+        fields=("seed", "recipe_scale", "workers", "cache_dir", "no_disk_cache")
     )
     serve_flags = config_parent_parser(
         fields=(

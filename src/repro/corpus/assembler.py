@@ -34,11 +34,22 @@ OVERLAP_SCALE = 4.0
 NOISE_RATE = 0.08
 
 
-def overlap_matrix(ingredients: tuple[Ingredient, ...]) -> np.ndarray:
+def overlap_matrix(
+    ingredients: tuple[Ingredient, ...], reference: bool = False
+) -> np.ndarray:
     """Pairwise shared-molecule counts |F_i ∩ F_j| (diagonal zeroed).
 
     Computed via a binary ingredient×molecule membership matrix so the
-    whole pantry matrix is one integer matmul.
+    whole pantry matrix is one matmul. The matmul runs in float64 (BLAS)
+    rather than int32 (a naive loop inside numpy) — counts are small
+    integers, far below 2**53, so the float products and sums are exact
+    and the int32 result is bit-identical to the integer matmul.
+
+    ``reference=True`` keeps the original int32 matmul; it exists so the
+    cold-build bench can measure the pre-optimisation path
+    (``BENCH_aliasing.json``), mirroring how
+    :func:`repro.pairing.naive_sample_model_scores` serves the sampler
+    ablation.
     """
     if not ingredients:
         return np.zeros((0, 0), dtype=np.int32)
@@ -46,30 +57,56 @@ def overlap_matrix(ingredients: tuple[Ingredient, ...]) -> np.ndarray:
     for ingredient in ingredients:
         if ingredient.flavor_profile:
             max_molecule = max(max_molecule, max(ingredient.flavor_profile))
-    membership = np.zeros(
-        (len(ingredients), max_molecule + 1), dtype=np.int32
-    )
+    dtype = np.int32 if reference else np.float64
+    membership = np.zeros((len(ingredients), max_molecule + 1), dtype=dtype)
     for row, ingredient in enumerate(ingredients):
         if ingredient.flavor_profile:
             membership[row, list(ingredient.flavor_profile)] = 1
     matrix = membership @ membership.T
+    if not reference:
+        matrix = matrix.astype(np.int32)
     np.fill_diagonal(matrix, 0)
     return matrix
 
 
 class RecipeAssembler:
-    """Draws recipes (as pantry-index arrays) for one region."""
+    """Draws recipes (as pantry-index arrays) for one region.
 
-    def __init__(self, pantry: RegionPantry) -> None:
+    ``reference=True`` selects the pre-optimisation draw path (int32
+    overlap matmul, per-slot ``rng.choice``); it produces bit-identical
+    recipes — asserted by the equivalence tests — and exists so the
+    cold-build bench can measure the fast path against it.
+    """
+
+    def __init__(self, pantry: RegionPantry, reference: bool = False) -> None:
         self._pantry = pantry
         self._popularity = pantry.popularity.astype(np.float64)
-        self._overlap = overlap_matrix(pantry.ingredients).astype(np.float64)
+        self._overlap = overlap_matrix(
+            pantry.ingredients, reference=reference
+        ).astype(np.float64)
         np.clip(self._overlap, 0.0, OVERLAP_CAP, out=self._overlap)
         self._bias = pantry.profile.pairing_bias
+        self._reference = reference
 
     @property
     def pantry(self) -> RegionPantry:
         return self._pantry
+
+    @staticmethod
+    def _draw(rng: np.random.Generator, p: np.ndarray) -> int:
+        """Inlined ``rng.choice(len(p), p=p)``: cumsum + searchsorted.
+
+        ``Generator.choice`` builds the same cdf and consumes exactly one
+        ``rng.random()`` — but spends several microseconds per call on
+        argument coercion and p-validation (kahan sum, finfo, dtype
+        checks), which dominates the whole assembly loop. This inline
+        reproduces its draw bit-for-bit (same cdf arithmetic, same
+        uniform variate, same ``side="right"`` search) without the
+        per-call overhead.
+        """
+        cdf = p.cumsum()
+        cdf /= cdf[-1]
+        return int(cdf.searchsorted(rng.random(), side="right"))
 
     def assemble(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Draw one recipe of ``size`` distinct pantry indices.
@@ -81,9 +118,13 @@ class RecipeAssembler:
         """
         pantry_size = self._pantry.size
         size = min(size, pantry_size)
+        if self._reference:
+            draw = lambda p: int(rng.choice(pantry_size, p=p))  # noqa: E731
+        else:
+            draw = lambda p: self._draw(rng, p)  # noqa: E731
         chosen = np.empty(size, dtype=np.int64)
         weights = self._popularity.copy()
-        first = int(rng.choice(pantry_size, p=weights / weights.sum()))
+        first = draw(weights / weights.sum())
         chosen[0] = first
         weights[first] = 0.0
         if size == 1:
@@ -100,9 +141,19 @@ class RecipeAssembler:
             total = tilt.sum()
             if total <= 0.0:
                 remaining = np.flatnonzero(weights > 0)
-                pick = int(rng.choice(remaining))
+                # rng.choice(remaining) draws its index via integers();
+                # call it directly to keep the stream identical.
+                pick = int(
+                    remaining[
+                        int(
+                            rng.integers(
+                                0, remaining.size, size=None, dtype=np.int64
+                            )
+                        )
+                    ]
+                )
             else:
-                pick = int(rng.choice(pantry_size, p=tilt / total))
+                pick = draw(tilt / total)
             chosen[slot] = pick
             weights[pick] = 0.0
             affinity += self._overlap[pick]

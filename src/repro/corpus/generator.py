@@ -67,6 +67,39 @@ _REGION_ADJECTIVES = {
 
 
 @dataclasses.dataclass(frozen=True)
+class RegionPlan:
+    """One region's deterministic share of the corpus.
+
+    Region recipe counts are pure arithmetic on the profile and scale,
+    so the global recipe-id layout and source-label assignment can be
+    computed *before* any region is generated — which is what lets
+    regions build independently (and in parallel) while the merged
+    corpus stays bit-identical to the serial one.
+
+    Attributes:
+        profile: the region's generator profile.
+        start_recipe_id: id of the region's first recipe (1-based,
+            contiguous in profile order).
+        source_labels: source attribution for each recipe, region-local
+            order.
+    """
+
+    profile: RegionGeneratorProfile
+    start_recipe_id: int
+    source_labels: tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionOutput:
+    """Everything one region's generation produces (mergeable shard)."""
+
+    code: str
+    raw_recipes: tuple[RawRecipe, ...]
+    intended: dict[int, frozenset[int]]
+    pantry: RegionPantry
+
+
+@dataclasses.dataclass(frozen=True)
 class GeneratedCorpus:
     """Everything one generation run produces.
 
@@ -97,6 +130,7 @@ class CorpusGenerator:
         seed: int = DEFAULT_SEED,
         include_world_only: bool = True,
         recipe_scale: float = 1.0,
+        reference_assembler: bool = False,
     ) -> None:
         """
         Args:
@@ -108,6 +142,10 @@ class CorpusGenerator:
                 small scales). Pantry sizes are preserved, so scales below
                 ~0.05 are clamped per region to keep every pantry
                 ingredient reachable.
+            reference_assembler: assemble through the pre-optimisation
+                reference draw path (bit-identical output; exists for
+                the cold-build bench, see
+                :class:`~repro.corpus.assembler.RecipeAssembler`).
         """
         if recipe_scale <= 0:
             raise ConfigurationError("recipe_scale must be positive")
@@ -117,6 +155,7 @@ class CorpusGenerator:
         self._seed = seed
         self._include_world_only = include_world_only
         self._recipe_scale = recipe_scale
+        self._reference_assembler = reference_assembler
 
     @property
     def catalog(self) -> IngredientCatalog:
@@ -129,69 +168,127 @@ class CorpusGenerator:
             profiles += WORLD_ONLY_PROFILES
         return profiles
 
-    def generate(self) -> GeneratedCorpus:
-        """Generate the full corpus."""
+    def region_plans(self) -> list[RegionPlan]:
+        """The deterministic per-region layout of the full corpus.
+
+        Recipe counts, id ranges and source labels involve no sampling,
+        so the plan is computed up front; each plan then generates its
+        region independently (every RNG stream is keyed by region code).
+        """
+        profiles = self.profiles()
+        counts = [
+            (profile.code, self._region_recipe_count(profile))
+            for profile in profiles
+        ]
+        labels = self._source_labels(counts)
+        plans: list[RegionPlan] = []
+        cursor = 0
+        next_id = 1
+        for profile, (_code, count) in zip(profiles, counts):
+            plans.append(
+                RegionPlan(
+                    profile=profile,
+                    start_recipe_id=next_id,
+                    source_labels=tuple(labels[cursor : cursor + count]),
+                )
+            )
+            cursor += count
+            next_id += count
+        return plans
+
+    def generate_region(self, plan: RegionPlan) -> RegionOutput:
+        """Assemble and render one region of the corpus."""
+        profile = plan.profile
+        code = profile.code
+        with span("corpus.region", region=code) as trace:
+            pantry = build_pantry(profile, self._catalog)
+            recipes = self._assemble_region(profile, pantry)
+            render_rng = np.random.Generator(
+                np.random.PCG64(stable_seed("render", code, str(self._seed)))
+            )
+            raw_recipes: list[RawRecipe] = []
+            intended: dict[int, frozenset[int]] = {}
+            for offset, indices in enumerate(recipes):
+                recipe_id = plan.start_recipe_id + offset
+                ingredients = [pantry.ingredients[int(i)] for i in indices]
+                phrases = tuple(
+                    self._renderer.render(ingredient, render_rng)
+                    for ingredient in ingredients
+                )
+                title = self._title(code, ingredients[0].name, render_rng)
+                raw_recipes.append(
+                    RawRecipe(
+                        recipe_id=recipe_id,
+                        title=title,
+                        source=plan.source_labels[offset],
+                        region_code=code,
+                        ingredient_phrases=phrases,
+                        instructions=self._instructions(ingredients),
+                    )
+                )
+                intended[recipe_id] = frozenset(
+                    ingredient.ingredient_id for ingredient in ingredients
+                )
+                trace.incr("phrases", len(phrases))
+            trace.incr("recipes", len(raw_recipes))
+            return RegionOutput(
+                code=code,
+                raw_recipes=tuple(raw_recipes),
+                intended=intended,
+                pantry=pantry,
+            )
+
+    def generate(self, workers: int = 1) -> GeneratedCorpus:
+        """Generate the full corpus.
+
+        Args:
+            workers: generate regions across this many processes (``1``
+                = serial in-process). Region RNG streams are keyed by
+                region code and the merge follows profile order, so the
+                corpus is bit-identical for any worker count.
+        """
         with span(
-            "corpus.generate", seed=self._seed, scale=self._recipe_scale
+            "corpus.generate",
+            seed=self._seed,
+            scale=self._recipe_scale,
+            workers=workers,
         ) as trace:
+            plans = self.region_plans()
+            # Workers rebuild the generator from (seed, scale,
+            # include_world_only) alone, so only a default-catalog,
+            # default-assembler generator may fan out.
+            if (
+                workers > 1
+                and self._catalog is default_catalog()
+                and not self._reference_assembler
+            ):
+                from ..parallel.executor import run_tasks
+
+                payloads = [
+                    (
+                        self._seed,
+                        self._recipe_scale,
+                        self._include_world_only,
+                        plan,
+                    )
+                    for plan in plans
+                ]
+                outputs = run_tasks(
+                    _generate_region_worker,
+                    payloads,
+                    workers=workers,
+                    label="corpus.regions",
+                )
+            else:
+                outputs = [self.generate_region(plan) for plan in plans]
+
             raw_recipes: list[RawRecipe] = []
             intended: dict[int, frozenset[int]] = {}
             pantries: dict[str, RegionPantry] = {}
-            region_recipe_ingredients: list[tuple[str, list[np.ndarray], RegionPantry]] = []
-
-            with span("corpus.assemble") as assemble_trace:
-                for profile in self.profiles():
-                    pantry = build_pantry(profile, self._catalog)
-                    pantries[profile.code] = pantry
-                    recipes = self._assemble_region(profile, pantry)
-                    region_recipe_ingredients.append(
-                        (profile.code, recipes, pantry)
-                    )
-                    assemble_trace.incr("regions")
-                    assemble_trace.incr("recipes", len(recipes))
-
-            source_labels = self._source_labels(
-                [
-                    (code, len(recipes))
-                    for code, recipes, _pantry in region_recipe_ingredients
-                ]
-            )
-
-            recipe_id = 1
-            with span("corpus.render") as render_trace:
-                for code, recipes, pantry in region_recipe_ingredients:
-                    render_rng = np.random.Generator(
-                        np.random.PCG64(
-                            stable_seed("render", code, str(self._seed))
-                        )
-                    )
-                    for indices in recipes:
-                        ingredients = [
-                            pantry.ingredients[int(i)] for i in indices
-                        ]
-                        phrases = tuple(
-                            self._renderer.render(ingredient, render_rng)
-                            for ingredient in ingredients
-                        )
-                        title = self._title(
-                            code, ingredients[0].name, render_rng
-                        )
-                        raw_recipes.append(
-                            RawRecipe(
-                                recipe_id=recipe_id,
-                                title=title,
-                                source=source_labels[recipe_id - 1],
-                                region_code=code,
-                                ingredient_phrases=phrases,
-                                instructions=self._instructions(ingredients),
-                            )
-                        )
-                        intended[recipe_id] = frozenset(
-                            ingredient.ingredient_id
-                            for ingredient in ingredients
-                        )
-                        render_trace.incr("phrases", len(phrases))
-                        recipe_id += 1
+            for output in outputs:
+                raw_recipes.extend(output.raw_recipes)
+                intended.update(output.intended)
+                pantries[output.code] = output.pantry
 
             trace.incr("recipes", len(raw_recipes))
             trace.incr("regions", len(pantries))
@@ -223,7 +320,9 @@ class CorpusGenerator:
         )
         count = self._region_recipe_count(profile)
         sizes = sample_recipe_sizes(rng, count, profile.mean_recipe_size)
-        assembler = RecipeAssembler(pantry)
+        assembler = RecipeAssembler(
+            pantry, reference=self._reference_assembler
+        )
         recipes = assembler.assemble_many(rng, sizes)
         self._enforce_coverage(recipes, pantry, rng)
         return recipes
@@ -342,6 +441,34 @@ class CorpusGenerator:
             f"Prepare the {head}. Combine all ingredients and cook until "
             "done. Season, rest briefly and serve."
         )
+
+
+# Per-process generator singleton for pool workers: building the pantry
+# renderer stack is much more expensive than generating one region, so a
+# worker reuses its generator across every region it is handed (keyed by
+# the generation parameters in case a pool is reused across builds).
+_WORKER_GENERATOR: tuple[tuple[int, float, bool], CorpusGenerator] | None = (
+    None
+)
+
+
+def _generate_region_worker(
+    payload: tuple[int, float, bool, RegionPlan],
+) -> RegionOutput:
+    """Pool entry point: generate one region in a worker process."""
+    global _WORKER_GENERATOR
+    seed, recipe_scale, include_world_only, plan = payload
+    key = (seed, recipe_scale, include_world_only)
+    if _WORKER_GENERATOR is None or _WORKER_GENERATOR[0] != key:
+        _WORKER_GENERATOR = (
+            key,
+            CorpusGenerator(
+                seed=seed,
+                include_world_only=include_world_only,
+                recipe_scale=recipe_scale,
+            ),
+        )
+    return _WORKER_GENERATOR[1].generate_region(plan)
 
 
 def generate_default_corpus(

@@ -109,8 +109,10 @@ class RunConfig:
             corpus seed *and* the legacy ``"default"`` sampling stream.
         recipe_scale: recipe-count scale factor (1.0 = 45,772 recipes).
         include_world_only: also generate the WORLD-only mini-regions.
-        workers: Monte Carlo worker processes (``None`` = legacy serial
-            sampler, ``0`` = one per CPU core).
+        workers: worker processes for Monte Carlo sampling and for the
+            cold corpus/aliasing stage builds (``None`` = everything
+            serial, ``0`` = one per CPU core). Never part of any stage
+            fingerprint: artifacts are byte-identical for any value.
         shard_size: Monte Carlo samples per shard (results depend on
             this, never on ``workers``).
         n_samples: random recipes per null model (fig4).
@@ -139,8 +141,9 @@ class RunConfig:
         type=nonnegative_int,
         metavar="N",
         help=(
-            "fan null-model sampling across N worker processes "
-            "(0 = one per CPU core; omit for the serial legacy sampler)"
+            "fan null-model sampling and cold corpus/aliasing builds "
+            "across N worker processes (0 = one per CPU core; omit to "
+            "run everything serially)"
         ),
     )
     shard_size: int = _cfg(

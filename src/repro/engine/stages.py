@@ -26,6 +26,7 @@ from ..datamodel import Cuisine, Recipe, build_cuisines, region_codes
 from ..flavordb import default_catalog
 from ..obs import span
 from ..pairing.views import CuisineView, build_cuisine_view
+from ..parallel import canonicalize, resolve_workers
 from .config import RunConfig
 
 __all__ = [
@@ -66,6 +67,19 @@ class AliasingArtifact:
     report: MatchReport
 
 
+def _stage_workers(config: RunConfig) -> int:
+    """Worker processes available to a cold stage build.
+
+    ``workers`` deliberately stays out of every stage's
+    ``config_fields``: outputs are bit-identical for any worker count
+    (see :func:`repro.parallel.canonicalize`), so parallelism must never
+    re-address an artifact.
+    """
+    if config.workers is None:
+        return 1
+    return resolve_workers(config.workers)
+
+
 def _build_corpus(
     config: RunConfig, inputs: Mapping[str, Any]
 ) -> GeneratedCorpus:
@@ -74,7 +88,9 @@ def _build_corpus(
         recipe_scale=config.recipe_scale,
         include_world_only=config.include_world_only,
     )
-    return generator.generate()
+    # Canonicalise so the pickled .art bytes depend only on the corpus
+    # *values*, not on which processes assembled them.
+    return canonicalize(generator.generate(workers=_stage_workers(config)))
 
 
 def _build_aliasing(
@@ -82,8 +98,12 @@ def _build_aliasing(
 ) -> AliasingArtifact:
     corpus: GeneratedCorpus = inputs["corpus"]
     pipeline = AliasingPipeline(default_catalog())
-    result = pipeline.resolve_corpus(corpus.raw_recipes)
-    return AliasingArtifact(recipes=result.recipes, report=result.report)
+    result = pipeline.resolve_corpus(
+        corpus.raw_recipes, workers=_stage_workers(config)
+    )
+    return canonicalize(
+        AliasingArtifact(recipes=result.recipes, report=result.report)
+    )
 
 
 def _build_cuisines(

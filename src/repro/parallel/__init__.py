@@ -20,6 +20,7 @@ Results are **bit-identical across worker counts** for a fixed
 decomposition, and shard moments merge in shard-index order.
 """
 
+from .canonical import canonicalize
 from .executor import (
     DEFAULT_SHARD_SIZE,
     ParallelConfig,
@@ -47,6 +48,7 @@ from .sharedmem import (
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
+    "canonicalize",
     "ParallelConfig",
     "resolve_workers",
     "run_tasks",

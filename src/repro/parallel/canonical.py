@@ -1,0 +1,166 @@
+"""Value-canonical object graphs for byte-stable pickled artifacts.
+
+Pickle output depends on *object identity*, not just values: the second
+occurrence of the same object becomes a memo backreference, while an
+equal-but-distinct object is written out in full. Process decomposition
+changes exactly that — a serial build shares compile-time-interned
+strings and catalog-singleton objects across the whole graph, whereas
+results assembled from pool workers arrive through per-task pickle
+round-trips that cut every cross-task sharing edge. Equal values,
+different bytes.
+
+:func:`canonicalize` removes the dependence on construction history by
+rebuilding a graph bottom-up so that
+
+* equal immutable values (strings, tuples, frozen dataclasses, ...)
+  become *the same object* via a value-interning table,
+* unordered collections (``set``/``frozenset``) are rebuilt in a sorted,
+  deterministic layout,
+* mutable containers are rebuilt preserving insertion order and
+  identity-sharing (the same dict referenced twice stays one dict).
+
+Two graphs with equal values therefore canonicalize to structurally
+identical graphs and pickle to identical bytes — which is what lets the
+corpus and aliasing engine stages guarantee bit-identical ``.art`` files
+for any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonicalize"]
+
+#: Types pickled purely by value (or by module reference): identity
+#: sharing never changes their bytes, so they pass through untouched.
+_ATOMIC = (type(None), bool, int, float, complex, bytes, enum.Enum, type)
+
+
+def _sort_key(element: Any) -> Any:
+    """Deterministic total order for heterogeneous set elements."""
+    return (type(element).__name__, repr(element))
+
+
+class _Canonicalizer:
+    def __init__(self) -> None:
+        # (type, value) -> the one canonical object for that value.
+        self._interned: dict[Any, Any] = {}
+        # id(original) -> rebuilt object, for unhashable/mutable nodes.
+        self._memo: dict[int, Any] = {}
+        # The memo keys ids, so originals must outlive the walk.
+        self._keepalive: list[Any] = []
+
+    def _intern(self, rebuilt: Any) -> Any:
+        try:
+            return self._interned.setdefault((type(rebuilt), rebuilt), rebuilt)
+        except TypeError:  # unhashable somewhere inside — identity only
+            return rebuilt
+
+    def _remember(self, original: Any, rebuilt: Any) -> Any:
+        self._memo[id(original)] = rebuilt
+        self._keepalive.append(original)
+        return rebuilt
+
+    def _merge(self, original: Any, rebuilt: Any, value_key: Any) -> Any:
+        """Merge a rebuilt *mutable* container with an equal earlier one.
+
+        Distinct-but-equal mutable containers (a module-constant dict
+        referenced by several profiles, say) share identity in a serial
+        build but not after per-task pickle round-trips; value-merging
+        makes both paths agree. Containers whose contents are unhashable
+        (including self-referential ones) stay identity-only.
+        """
+        try:
+            canonical = self._interned.setdefault(
+                (type(rebuilt), value_key), rebuilt
+            )
+        except TypeError:
+            return rebuilt
+        if canonical is not rebuilt:
+            self._memo[id(original)] = canonical
+        return canonical
+
+    def walk(self, value: Any) -> Any:
+        if isinstance(value, str):
+            return self._interned.setdefault(value, value)
+        if isinstance(value, _ATOMIC):
+            return value
+        try:
+            return self._memo[id(value)]
+        except KeyError:
+            pass
+        if isinstance(value, tuple):
+            return self._remember(
+                value, self._intern(tuple(self.walk(v) for v in value))
+            )
+        if isinstance(value, (frozenset, set)):
+            elements = [self.walk(v) for v in value]
+            try:
+                elements.sort()
+            except TypeError:
+                elements.sort(key=_sort_key)
+            rebuilt: Any = type(value)(elements)
+            return self._remember(value, self._intern(rebuilt))
+        if isinstance(value, dict):
+            # Covers Counter/OrderedDict/defaultdict-free subclasses;
+            # insertion order is part of the value and is preserved.
+            rebuilt = type(value)()
+            self._remember(value, rebuilt)
+            for key, item in value.items():
+                rebuilt[self.walk(key)] = self.walk(item)
+            return self._merge(value, rebuilt, tuple(rebuilt.items()))
+        if isinstance(value, list):
+            rebuilt = type(value)()
+            self._remember(value, rebuilt)
+            rebuilt.extend(self.walk(v) for v in value)
+            return self._merge(value, rebuilt, tuple(rebuilt))
+        if isinstance(value, np.ndarray):
+            # Array *data* pickles by value, but the dtype rides along as
+            # an object — and unpickled arrays can carry equal-but-
+            # distinct dtype instances, which changes memo
+            # backreferences. Rebuild through the process-local dtype
+            # singleton (and C-contiguous layout) instead.
+            rebuilt = value.astype(np.dtype(value.dtype.str), copy=True)
+            self._remember(value, rebuilt)
+            return self._merge(
+                value, rebuilt, (rebuilt.dtype.str, rebuilt.shape, rebuilt.tobytes())
+            )
+        if dataclasses.is_dataclass(value):
+            fields = dataclasses.fields(value)
+            if all(field.init for field in fields):
+                rebuilt = type(value)(
+                    **{
+                        field.name: self.walk(getattr(value, field.name))
+                        for field in fields
+                    }
+                )
+                return self._remember(value, self._intern(rebuilt))
+            return self._remember(value, value)
+        instance_dict = getattr(value, "__dict__", None)
+        if instance_dict is not None and type(value).__module__.startswith(
+            "repro."
+        ):
+            # Plain repro objects (e.g. MatchReport): rebuild attribute
+            # by attribute without re-running __init__.
+            rebuilt = object.__new__(type(value))
+            self._remember(value, rebuilt)
+            for key, item in instance_dict.items():
+                setattr(rebuilt, self.walk(key), self.walk(item))
+            return rebuilt
+        # Unknown foreign type: left untouched (its pickle bytes are its
+        # own responsibility).
+        return self._remember(value, value)
+
+
+def canonicalize(value: Any) -> Any:
+    """Rebuild ``value`` into its canonical form (equal, byte-stable).
+
+    The result compares equal to the input; pickling it yields the same
+    bytes for *any* equal-valued input graph, however it was assembled
+    (serially, or merged from process-pool workers).
+    """
+    return _Canonicalizer().walk(value)

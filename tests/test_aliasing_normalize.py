@@ -34,6 +34,50 @@ class TestBasicClean:
         assert basic_clean("  a   b  ") == "a b"
 
 
+class TestBasicCleanEdgeCases:
+    """Golden outputs locked in before the single-pass regex rewrite.
+
+    Each expectation was captured from the original multi-pass
+    implementation (separate hyphen / punctuation / lone-dot / fused
+    quantity passes); the merged-regex rewrite must not change any of
+    them.
+    """
+
+    @pytest.mark.parametrize(
+        ("phrase", "expected"),
+        [
+            # vulgar fractions, bare and fused with a quantity
+            ("½ cup milk", "1/2 cup milk"),
+            ("1½kg flour", "1 1/2 kg flour"),
+            ("¼lb beef", "1/4 lb beef"),
+            ("⅔ cup sugar — sifted", "2/3 cup sugar sifted"),
+            # fused quantities
+            ("250g salmon", "250 g salmon"),
+            ("1.5kg flour", "1.5 kg flour"),
+            ("feta (200g) crumbled", "feta 200 g crumbled"),
+            # em/en-dash runs and mixed dash runs collapse to one space
+            ("salt——pepper", "salt pepper"),
+            ("long—–—dash", "long dash"),
+            ("2–3 carrots", "2 3 carrots"),
+            # decimal points survive, lone dots do not
+            ("2.5 oz. butter", "2.5 oz butter"),
+            ("no.5 sauce", "no 5 sauce"),
+            # combining marks and compatibility forms fold away
+            ("jalapeño purée", "jalapeno puree"),
+            ("crème fraîche", "creme fraiche"),
+            ("jalapen\u0303o", "jalapeno"),  # combining tilde
+            ("ﬁne sea salt", "fine sea salt"),
+            ("１２ shrimp", "12 shrimp"),
+            # full-width hyphen only becomes a dash after NFKD
+            ("tomato－paste", "tomato paste"),
+            # non-breaking space is whitespace
+            ("garlic\xa0cloves", "garlic cloves"),
+        ],
+    )
+    def test_golden(self, phrase, expected):
+        assert basic_clean(phrase) == expected
+
+
 class TestTokenize:
     def test_empty(self):
         assert tokenize("") == []

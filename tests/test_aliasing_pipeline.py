@@ -1,8 +1,10 @@
 """Tests for the end-to-end aliasing pipeline."""
 
+import dataclasses
+
 import pytest
 
-from repro.aliasing import MatchKind, MatchReport
+from repro.aliasing import AliasingPipeline, MatchKind, MatchReport
 from repro.datamodel import RawRecipe
 
 
@@ -143,3 +145,150 @@ class TestMatchReport:
         report = MatchReport()
         report.record_phrase(pipeline.resolve_phrase("2 tomatoes"))
         assert "exact=1" in repr(report)
+
+
+def _corpus_raws():
+    """A small corpus exercising exact, partial and unrecognised phrases."""
+    phrases = [
+        ("2 tomatoes", "fresh basil"),
+        ("moon dust", "ponzu glitter sauce"),
+        ("1 cup cream", "gravel and tomatoes"),
+        ("salt and pepper", "moon dust"),
+        ("3 scoops of moon dust",),
+        ("chopped onions", "olive oil"),
+    ]
+    return [
+        RawRecipe(i + 1, f"R{i + 1}", "AllRecipes", "ITA", lines)
+        for i, lines in enumerate(phrases)
+    ]
+
+
+class TestMatchReportMerge:
+    def _serial_and_sharded(self, pipeline, raws, cut):
+        serial = MatchReport()
+        for raw in raws:
+            pipeline.resolve_recipe(raw, serial)
+        left, right = MatchReport(), MatchReport()
+        for raw in raws[:cut]:
+            pipeline.resolve_recipe(raw, left)
+        for raw in raws[cut:]:
+            pipeline.resolve_recipe(raw, right)
+        return serial, left.merge(right)
+
+    @pytest.mark.parametrize("cut", [0, 2, 3, 6])
+    def test_merge_equals_serial(self, pipeline, cut):
+        serial, merged = self._serial_and_sharded(
+            pipeline, _corpus_raws(), cut
+        )
+        assert merged.phrase_counts == serial.phrase_counts
+        assert merged.recipes_total == serial.recipes_total
+        assert merged.recipes_resolved == serial.recipes_resolved
+        assert merged.exact_rate() == serial.exact_rate()
+        # Full ranking including tie-breaks (first-occurrence order).
+        assert merged.top_unmatched(1000) == serial.top_unmatched(1000)
+
+    def test_merge_returns_self(self):
+        left, right = MatchReport(), MatchReport()
+        assert left.merge(right) is left
+
+
+class TestPhraseMemo:
+    def test_repeats_hit_the_cache(self, catalog):
+        fresh = AliasingPipeline(catalog)
+        baseline_hits = fresh._cache_hits.value
+        first = fresh.resolve_phrase("2 cups chopped tomatoes")
+        second = fresh.resolve_phrase("2 cups chopped tomatoes")
+        assert second is first  # served from the memo
+        assert fresh._cache_hits.value == baseline_hits + 1
+        assert fresh.phrase_cache_info()[0] >= 1
+
+    def test_report_counts_per_occurrence(self, catalog):
+        fresh = AliasingPipeline(catalog)
+        report = MatchReport()
+        raw = RawRecipe(
+            1, "A", "AllRecipes", "ITA", ("moon dust", "moon dust")
+        )
+        fresh.resolve_recipe(raw, report)
+        fresh.resolve_recipe(
+            dataclasses.replace(raw, recipe_id=2), report
+        )
+        # 4 occurrences recorded even though 3 were cache hits.
+        assert report.phrase_counts[MatchKind.UNRECOGNIZED] == 4
+        assert dict(report.top_unmatched(5))["moon dust"] == 4
+
+    def test_cache_bound_is_enforced(self, catalog):
+        small = AliasingPipeline(catalog, phrase_cache_size=2)
+        for phrase in ("one tomato", "two tomatoes", "three tomatoes"):
+            small.resolve_phrase(phrase)
+        entries, capacity = small.phrase_cache_info()
+        assert capacity == 2
+        assert entries == 2
+
+    def test_zero_size_disables_memo(self, catalog):
+        off = AliasingPipeline(catalog, phrase_cache_size=0)
+        first = off.resolve_phrase("2 tomatoes")
+        second = off.resolve_phrase("2 tomatoes")
+        assert first == second
+        assert first is not second
+        assert off.phrase_cache_info() == (0, 0)
+
+    def test_register_alias_invalidates_memo(self, catalog):
+        fresh = AliasingPipeline(catalog)
+        before = fresh.resolve_phrase("glorp")
+        assert before.kind is MatchKind.UNRECOGNIZED
+        fresh.register_alias("glorp", catalog.get("tomato"))
+        after = fresh.resolve_phrase("glorp")
+        assert after.kind is MatchKind.EXACT
+        assert [i.name for i in after.ingredients] == ["tomato"]
+
+
+class TestShardedResolveCorpus:
+    def test_sharded_equals_serial(self, pipeline, catalog):
+        raws = _corpus_raws()
+        serial = pipeline.resolve_corpus(raws)
+        fresh = AliasingPipeline(catalog)
+        sharded = fresh.resolve_corpus(raws, workers=2, shard_size=2)
+        assert sharded.recipes == serial.recipes
+        assert sharded.report.phrase_counts == serial.report.phrase_counts
+        assert sharded.report.recipes_total == serial.report.recipes_total
+        assert (
+            sharded.report.recipes_resolved
+            == serial.report.recipes_resolved
+        )
+        assert sharded.report.top_unmatched(1000) == serial.report.top_unmatched(
+            1000
+        )
+
+    def test_non_default_pipeline_stays_serial(self, catalog):
+        fuzzy = AliasingPipeline(catalog, fuzzy=True)
+        assert not fuzzy._default_spec
+        raws = _corpus_raws()
+        result = fuzzy.resolve_corpus(raws, workers=4, shard_size=1)
+        assert result.report.recipes_total == len(raws)
+
+    def test_curated_pipeline_stays_serial(self, catalog):
+        curated = AliasingPipeline(catalog)
+        curated.register_alias("moon dust", catalog.get("tomato"))
+        assert curated._curated
+        raws = _corpus_raws()
+        result = curated.resolve_corpus(raws, workers=4, shard_size=1)
+        # The curated alias must be honoured (a default-spec worker
+        # rebuild would miss it).
+        assert result.report.phrase_counts[MatchKind.UNRECOGNIZED] == 0
+
+    def test_matcher_kind_reports_implementation(self, catalog):
+        assert AliasingPipeline(catalog).matcher_kind == "trie"
+        assert (
+            AliasingPipeline(catalog, matcher="ngram").matcher_kind
+            == "ngram"
+        )
+        assert (
+            AliasingPipeline(
+                catalog, use_first_token_index=False
+            ).matcher_kind
+            == "ngram"
+        )
+
+    def test_unknown_matcher_rejected(self, catalog):
+        with pytest.raises(ValueError, match="unknown matcher"):
+            AliasingPipeline(catalog, matcher="bogus")

@@ -47,6 +47,36 @@ class TestOverlapMatrix:
     def test_empty(self):
         assert overlap_matrix(()).shape == (0, 0)
 
+    def test_reference_matmul_bit_identical(self, ita_pantry):
+        fast = overlap_matrix(ita_pantry.ingredients)
+        reference = overlap_matrix(ita_pantry.ingredients, reference=True)
+        assert fast.dtype == reference.dtype
+        assert np.array_equal(fast, reference)
+
+
+class TestReferenceAssembler:
+    """The fast draw path must be bit-identical to the reference path.
+
+    The fast path inlines ``rng.choice``'s cdf+searchsorted draw (same
+    uniform variate, same arithmetic) and runs the overlap matmul in
+    float64; both must reproduce the reference assembler exactly — the
+    corpus depends on it staying byte-stable across optimisations.
+    """
+
+    def test_assemble_bit_identical(self, ita_pantry):
+        fast = RecipeAssembler(ita_pantry)
+        reference = RecipeAssembler(ita_pantry, reference=True)
+        for seed in range(8):
+            rng_fast = np.random.Generator(np.random.PCG64(seed))
+            rng_reference = np.random.Generator(np.random.PCG64(seed))
+            for size in (1, 2, 5, 9, 15):
+                assert np.array_equal(
+                    fast.assemble(rng_fast, size),
+                    reference.assemble(rng_reference, size),
+                ), (seed, size)
+            # Both paths consumed the identical random stream.
+            assert rng_fast.random() == rng_reference.random()
+
 
 class TestAssemble:
     def test_size_and_uniqueness(self, ita_pantry, rng):

@@ -1,0 +1,110 @@
+"""Tests for :mod:`repro.parallel.canonical`."""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from collections import Counter, OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.parallel import canonicalize
+
+
+def _roundtrip(value):
+    """Cut identity-sharing the way a pool result transfer does."""
+    return pickle.loads(pickle.dumps(value))
+
+
+@dataclasses.dataclass(frozen=True)
+class _Frozen:
+    name: str
+    values: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class _WithArray:
+    label: str
+    data: np.ndarray
+
+
+class TestCanonicalize:
+    def test_preserves_values(self):
+        value = {
+            "a": [1, 2.5, ("x", "y")],
+            "b": frozenset({3, 1, 2}),
+            "c": _Frozen("n", (1, 2)),
+        }
+        assert canonicalize(value) == value
+
+    def test_equal_strings_become_one_object(self):
+        left, right = "to" + "mato", "toma" + "to"
+        result = canonicalize((left, right))
+        assert result[0] is result[1]
+
+    def test_equal_frozen_dataclasses_become_one_object(self):
+        pair = (_Frozen("a", (1,)), _roundtrip(_Frozen("a", (1,))))
+        result = canonicalize(pair)
+        assert result[0] is result[1]
+
+    def test_equal_dicts_merge(self):
+        shared = {"k": 1}
+        split = canonicalize([shared, _roundtrip(shared)])
+        assert split[0] is split[1]
+
+    def test_identity_shared_dict_stays_shared(self):
+        shared = {"k": 1}
+        result = canonicalize([shared, shared])
+        assert result[0] is result[1]
+
+    def test_sets_get_deterministic_layout(self):
+        forward = frozenset(range(100))
+        backward = frozenset(reversed(range(100)))
+        assert pickle.dumps(canonicalize(forward)) == pickle.dumps(
+            canonicalize(backward)
+        )
+
+    def test_counter_insertion_order_preserved(self):
+        counter = Counter()
+        counter["b"] += 2
+        counter["a"] += 1
+        result = canonicalize(counter)
+        assert type(result) is Counter
+        assert list(result) == ["b", "a"]
+
+    def test_ordered_dict_type_preserved(self):
+        ordered = OrderedDict([("x", 1), ("y", 2)])
+        result = canonicalize(ordered)
+        assert type(result) is OrderedDict
+        assert list(result.items()) == [("x", 1), ("y", 2)]
+
+    def test_arrays_rebuilt_equal(self):
+        array = np.arange(6, dtype=np.float64).reshape(2, 3)
+        result = canonicalize(array)
+        np.testing.assert_array_equal(result, array)
+        assert result.dtype is np.dtype("float64")
+
+    def test_dataclass_with_array_field(self):
+        value = _WithArray("w", np.ones(4))
+        result = canonicalize(value)
+        assert result.label == "w"
+        np.testing.assert_array_equal(result.data, value.data)
+
+    def test_none_and_scalars_pass_through(self):
+        for atom in (None, True, 3, 2.5, b"bytes"):
+            assert canonicalize(atom) is atom
+
+    def test_byte_stability_across_assembly_histories(self):
+        """The headline property: equal values -> equal pickles."""
+        serial = {
+            "recipes": [_Frozen("salt", (1, 2)), _Frozen("salt", (1, 2))],
+            "weights": np.linspace(0.0, 1.0, 8),
+            "counts": Counter({"a b": 3, "c": 1}),
+        }
+        shipped = {
+            key: _roundtrip(item) for key, item in serial.items()
+        }
+        assert pickle.dumps(canonicalize(serial)) == pickle.dumps(
+            canonicalize(shipped)
+        )
