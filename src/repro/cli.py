@@ -12,6 +12,11 @@ Commands:
 * ``serve`` — build a workspace once and serve it over the HTTP JSON API
   (see :mod:`repro.service`); ``--preload`` fully warms the service
   before the socket binds.
+* ``similar TARGET`` — top-k flavor-sharing ingredients from the
+  retrieval index (``--cuisine`` ranks nearest cuisines instead; see
+  :mod:`repro.retrieval`).
+* ``recommend --region X`` — index-backed novel recipe proposals plus
+  the region's nearest cuisines.
 * ``cache ls|info|clear`` — inspect or empty the stage-artifact disk
   cache (see :mod:`repro.engine`).
 
@@ -61,6 +66,21 @@ from .engine import (
 from .experiments import EXPERIMENTS, workspace_for
 from .experiments.fig4 import run_fig4
 from .obs import configure_logging, configure_tracing, get_tracer
+from .retrieval import DEFAULT_TOPK, MAX_TOPK
+
+
+def _topk_int(value: str) -> int:
+    """Positive int capped at :data:`repro.retrieval.MAX_TOPK`.
+
+    The same ceiling the service applies to ``/pairings``' partner limit
+    and the retrieval endpoints' ``k``.
+    """
+    k = positive_int(value)
+    if k > MAX_TOPK:
+        raise argparse.ArgumentTypeError(
+            f"must be at most {MAX_TOPK}, got {k}"
+        )
+    return k
 
 
 def _observability_flags() -> argparse.ArgumentParser:
@@ -237,6 +257,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log every HTTP request"
     )
 
+    similar = sub.add_parser(
+        "similar",
+        help="top-k similar ingredients (or cuisines, with --cuisine)",
+        parents=[obs_flags, corpus_flags],
+    )
+    similar.add_argument(
+        "target",
+        nargs="+",
+        help="ingredient phrase (or a region code with --cuisine)",
+    )
+    similar.add_argument(
+        "--cuisine",
+        action="store_true",
+        help="treat TARGET as a region code and rank nearest cuisines",
+    )
+    similar.add_argument(
+        "-k",
+        "--top",
+        type=_topk_int,
+        default=DEFAULT_TOPK,
+        help=f"results to show (default {DEFAULT_TOPK}, max {MAX_TOPK})",
+    )
+    similar.add_argument(
+        "--fuzzy", action="store_true", help="enable typo correction"
+    )
+
+    recommend = sub.add_parser(
+        "recommend",
+        help="index-backed novel recipe proposals for one region",
+        parents=[obs_flags, corpus_flags],
+    )
+    recommend.add_argument(
+        "--region", required=True, help="region code (e.g. ITA)"
+    )
+    recommend.add_argument(
+        "--count",
+        type=positive_int,
+        default=3,
+        help="proposals to generate (default 3)",
+    )
+    recommend.add_argument(
+        "--size",
+        type=positive_int,
+        default=None,
+        help="recipe size (default: sampled from the cuisine's own sizes)",
+    )
+    recommend.add_argument(
+        "--proposal-seed",
+        type=int,
+        default=0,
+        help="RNG seed for the proposals (default 0)",
+    )
+    recommend.add_argument(
+        "-k",
+        "--top",
+        type=_topk_int,
+        default=5,
+        help=f"nearest cuisines to list (default 5, max {MAX_TOPK})",
+    )
+
     cache = sub.add_parser(
         "cache",
         help="inspect or empty the stage-artifact disk cache",
@@ -381,6 +461,12 @@ def _run_command(args: argparse.Namespace) -> int:
     if args.command == "serve":
         return _run_serve(args)
 
+    if args.command == "similar":
+        return _run_similar(args)
+
+    if args.command == "recommend":
+        return _run_recommend(args)
+
     if args.command == "cache":
         return _run_cache(args)
 
@@ -427,6 +513,96 @@ def _run_serve(args: argparse.Namespace) -> int:
         server.server_close()
         if args.stats:
             print("\n" + app.metrics.render_summary())
+    return 0
+
+
+def _run_similar(args: argparse.Namespace) -> int:
+    """``repro similar`` — top-k neighbors off the retrieval index."""
+    from .retrieval import nearest_cuisines, similar_ingredients
+
+    config = config_from_args(args)
+    workspace = workspace_for(config)
+    index = workspace.retrieval()
+    target = " ".join(args.target)
+    if args.cuisine:
+        code = target.upper()
+        if code not in index.cuisine_row:
+            known = ", ".join(index.cuisine_codes)
+            print(
+                f"error: unknown region {code!r} (known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"# cuisines nearest {code}")
+        for match in nearest_cuisines(index, code, args.top):
+            print(f"{match.region_code:6s} {match.similarity:.6f}")
+        _print_cache_summary(config)
+        return 0
+    from .aliasing import AliasingPipeline
+
+    pipeline = AliasingPipeline(workspace.catalog, fuzzy=args.fuzzy)
+    resolution = pipeline.resolve_phrase(target)
+    if not resolution.ingredients:
+        print(
+            f"error: unrecognised ingredient {target!r}", file=sys.stderr
+        )
+        return 2
+    ingredient = resolution.ingredients[0]
+    if not ingredient.has_flavor_profile:
+        print(
+            f"error: {ingredient.name!r} has no flavor profile to pair on",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"# ingredients most similar to {ingredient.name}")
+    matches = similar_ingredients(
+        index, workspace.catalog, ingredient, args.top
+    )
+    for match in matches:
+        print(f"{match.shared_molecules:4d}  {match.name}")
+    _print_cache_summary(config)
+    return 0
+
+
+def _run_recommend(args: argparse.Namespace) -> int:
+    """``repro recommend`` — index-backed proposals for one region."""
+    import numpy as np
+
+    from .generation import RecipeDesigner
+    from .retrieval import nearest_cuisines
+
+    config = config_from_args(args)
+    workspace = workspace_for(config)
+    index = workspace.retrieval()
+    code = args.region.upper()
+    views = workspace.views()
+    view = views.get(code)
+    if view is None:
+        known = ", ".join(sorted(views))
+        print(
+            f"error: unknown region {code!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    designer = RecipeDesigner(view, index=index)
+    rng = np.random.default_rng(args.proposal_seed)
+    print(
+        f"# {args.count} proposal(s) for {code} "
+        f"(seed {args.proposal_seed})"
+    )
+    for number in range(1, args.count + 1):
+        proposal = designer.propose(rng, size=args.size)
+        novelty = 1.0 - proposal.max_overlap
+        print(
+            f"\n[{number}] N_s={proposal.pairing_score:.3f} "
+            f"style={proposal.style_score:.3f} novelty={novelty:.2f}"
+        )
+        print("    " + ", ".join(proposal.ingredient_names))
+    if code in index.cuisine_row:
+        print("\n# nearest cuisines")
+        for match in nearest_cuisines(index, code, args.top):
+            print(f"{match.region_code:6s} {match.similarity:.6f}")
+    _print_cache_summary(config)
     return 0
 
 

@@ -1,6 +1,7 @@
-"""The staged build graph: corpus → aliasing → cuisines → pairing_views.
+"""The staged build graph:
+corpus → aliasing → cuisines → pairing_views → retrieval_index.
 
-What used to be one monolithic ``_build()`` is four declarative stages,
+What used to be one monolithic ``_build()`` is now five declarative stages,
 each a pure function of ``(RunConfig, upstream artifacts)`` registered
 here with an explicit dependency list, a code version tag and the set of
 RunConfig fields it reads. The engine content-addresses each output from
@@ -27,6 +28,7 @@ from ..flavordb import default_catalog
 from ..obs import span
 from ..pairing.views import CuisineView, build_cuisine_view
 from ..parallel import canonicalize, resolve_workers
+from ..retrieval.index import RetrievalIndex, build_retrieval_index
 from .config import RunConfig
 
 __all__ = [
@@ -140,6 +142,30 @@ def _build_pairing_views(
         return views
 
 
+def _build_retrieval_index(
+    config: RunConfig, inputs: Mapping[str, Any]
+) -> RetrievalIndex:
+    """The retrieval index over the molecule universe (fifth stage).
+
+    Depends on ``pairing_views`` (which regions are view-ready defines
+    the cuisine-vector coverage) and ``cuisines`` (prevalence counts).
+    Built in-process from canonical inputs — no sharding — so the
+    artifact is byte-identical at any worker count by construction.
+    """
+    cuisines: Mapping[str, Cuisine] = inputs["cuisines"]
+    views: Mapping[str, CuisineView] = inputs["pairing_views"]
+    regional = {code: cuisines[code] for code in sorted(views)}
+    with span("engine.retrieval_index", regions=len(regional)):
+        index = canonicalize(build_retrieval_index(default_catalog(), regional))
+        # Materialise the cached lookup tables so they ride along in the
+        # persisted artifact (mirroring the pairing-view samplers);
+        # after canonicalize, which rebuilds the dataclass without them.
+        index.row_by_id
+        index.name_rank
+        index.cuisine_row
+        return index
+
+
 #: The registered stages, dependency order.
 STAGES: dict[str, Stage] = {
     stage.name: stage
@@ -175,6 +201,13 @@ STAGES: dict[str, Stage] = {
             deps=("cuisines",),
             config_fields=(),
             build=_build_pairing_views,
+        ),
+        Stage(
+            name="retrieval_index",
+            version="1",
+            deps=("cuisines", "pairing_views"),
+            config_fields=(),
+            build=_build_retrieval_index,
         ),
     )
 }

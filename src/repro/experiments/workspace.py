@@ -3,8 +3,9 @@
 Every experiment consumes the same pipeline output (generated raw corpus,
 aliased recipes, cuisines grouped by region, numeric pairing views).
 Those are no longer built monolithically: :mod:`repro.engine` resolves
-them as four content-addressed stage artifacts (``corpus → aliasing →
-cuisines → pairing_views``), each cached in a shared in-memory LRU and —
+them as five content-addressed stage artifacts (``corpus → aliasing →
+cuisines → pairing_views → retrieval_index``), each cached in a shared
+in-memory LRU and —
 when the :class:`~repro.engine.RunConfig` enables it — a checksummed
 disk store, so a second process warm-loads in seconds.
 
@@ -23,6 +24,8 @@ from collections import OrderedDict
 
 import threading
 
+import numpy as np
+
 from ..aliasing import MatchReport
 from ..corpus import DEFAULT_SEED, GeneratedCorpus
 from ..datamodel import Cuisine, Recipe, region_codes
@@ -30,6 +33,7 @@ from ..engine import Engine, KeyedLocks, RunConfig
 from ..flavordb import IngredientCatalog, default_catalog
 from ..obs import get_logger, span
 from ..pairing.views import CuisineView
+from ..retrieval.index import RetrievalIndex
 
 _LOG = get_logger("repro.workspace")
 
@@ -50,6 +54,9 @@ class ExperimentWorkspace:
         pairing_views: numeric pairing views for the 22 Table 1 regions
             (the ``pairing_views`` stage artifact); built lazily when a
             workspace is constructed by hand.
+        retrieval_index: the top-k retrieval index (the
+            ``retrieval_index`` stage artifact); built lazily when a
+            workspace is constructed by hand.
     """
 
     corpus: GeneratedCorpus
@@ -61,6 +68,12 @@ class ExperimentWorkspace:
     recipe_scale: float
     pairing_views: dict[str, CuisineView] | None = dataclasses.field(
         default=None, repr=False, compare=False
+    )
+    retrieval_index: RetrievalIndex | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    _similarity: tuple[list[str], np.ndarray] | None = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
     )
 
     def regional_cuisines(self) -> dict[str, Cuisine]:
@@ -89,6 +102,43 @@ class ExperimentWorkspace:
             object.__setattr__(self, "pairing_views", views)
         assert self.pairing_views is not None
         return self.pairing_views
+
+    def retrieval(self) -> RetrievalIndex:
+        """The top-k retrieval index over the molecule universe.
+
+        Engine-built workspaces carry the ``retrieval_index`` stage
+        artifact; hand-assembled ones build it on first call and
+        memoise it.
+        """
+        if self.retrieval_index is None:
+            from ..retrieval import build_retrieval_index
+
+            index = build_retrieval_index(
+                self.catalog, self.regional_cuisines()
+            )
+            object.__setattr__(self, "retrieval_index", index)
+        assert self.retrieval_index is not None
+        return self.retrieval_index
+
+    def similarity(self) -> tuple[list[str], np.ndarray]:
+        """Cached ``(codes, matrix)`` cuisine-similarity pair.
+
+        :func:`repro.analysis.authenticity.similarity_matrix` is O(n²)
+        pairwise prevalence cosines; callers used to recompute it per
+        call. The workspace computes it once and every consumer —
+        including the ``nearest_cuisines`` reference path — shares the
+        result.
+        """
+        if self._similarity is None:
+            from ..analysis.authenticity import similarity_matrix
+
+            object.__setattr__(
+                self,
+                "_similarity",
+                similarity_matrix(self.regional_cuisines()),
+            )
+        assert self._similarity is not None
+        return self._similarity
 
 
 #: Workspaces retained in the LRU cache. Each full-scale workspace holds
@@ -180,6 +230,7 @@ def _build(config: RunConfig) -> ExperimentWorkspace:
         aliasing = engine.artifact("aliasing")
         cuisines = engine.artifact("cuisines")
         views = engine.artifact("pairing_views")
+        retrieval = engine.artifact("retrieval_index")
         trace.incr("recipes", len(aliasing.recipes))
         trace.incr("cuisines", len(cuisines))
         _LOG.info(
@@ -200,6 +251,7 @@ def _build(config: RunConfig) -> ExperimentWorkspace:
             seed=config.corpus_seed,
             recipe_scale=config.recipe_scale,
             pairing_views=views,
+            retrieval_index=retrieval,
         )
 
 

@@ -12,6 +12,7 @@ from .classifier import (
     train_test_split,
 )
 from .designer import (
+    DESIGNER_NEIGHBORS,
     MAX_OVERLAP_FRACTION,
     STYLE_WEIGHT,
     RecipeDesigner,
@@ -23,6 +24,7 @@ __all__ = [
     "CuisineClassifier",
     "CuisinePrediction",
     "train_test_split",
+    "DESIGNER_NEIGHBORS",
     "MAX_OVERLAP_FRACTION",
     "STYLE_WEIGHT",
     "RecipeDesigner",

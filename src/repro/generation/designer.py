@@ -26,9 +26,14 @@ import numpy as np
 from ..datamodel import ConfigurationError
 from ..pairing.score import recipe_score_from_matrix, scores_from_view
 from ..pairing.views import CuisineView
+from ..retrieval.index import RetrievalIndex
 
 #: Weight of the style (pairing-alignment) term against log-popularity.
 STYLE_WEIGHT = 2.0
+
+#: Index neighbors considered per chosen ingredient when a
+#: :class:`RetrievalIndex` drives candidate sourcing.
+DESIGNER_NEIGHBORS = 25
 
 #: Maximum fraction of a proposal's ingredients that may coincide with any
 #: single existing recipe before it is rejected as derivative.
@@ -57,9 +62,25 @@ class RecipeProposal:
 
 
 class RecipeDesigner:
-    """Generates in-style, novel recipes for one cuisine."""
+    """Generates in-style, novel recipes for one cuisine.
 
-    def __init__(self, view: CuisineView) -> None:
+    Args:
+        view: the cuisine to design for.
+        index: optional :class:`RetrievalIndex`. When given, each growth
+            step sources its candidates from the chosen ingredients'
+            precomputed neighbor lists (a pool of at most
+            ``neighbors × |chosen|`` entries) instead of re-scoring the
+            whole pantry; the full-pantry scan remains the fallback
+            whenever the pool is empty.
+        neighbors: index neighbors considered per chosen ingredient.
+    """
+
+    def __init__(
+        self,
+        view: CuisineView,
+        index: RetrievalIndex | None = None,
+        neighbors: int = DESIGNER_NEIGHBORS,
+    ) -> None:
         self._view = view
         scores = scores_from_view(view)
         self._target_score = float(scores.mean())
@@ -70,6 +91,11 @@ class RecipeDesigner:
             for recipe in view.recipes
         ]
         self._size_pool = view.recipe_sizes()
+        self._local_neighbors: tuple[np.ndarray, ...] | None = None
+        if index is not None:
+            self._local_neighbors = _local_neighbor_pools(
+                view, index, neighbors
+            )
 
     @property
     def view(self) -> CuisineView:
@@ -168,6 +194,26 @@ class RecipeDesigner:
             max_overlap=self._max_overlap(members),
         )
 
+    def _candidate_pool(
+        self, chosen: list[int], available: np.ndarray
+    ) -> np.ndarray | None:
+        """Available index-neighbors of the chosen set, or None.
+
+        None means "no index, or the neighbor pool is exhausted" — the
+        caller falls back to scoring the full pantry, so pool sourcing
+        never changes *which* recipes are reachable, only how many
+        candidates each step weighs.
+        """
+        if self._local_neighbors is None:
+            return None
+        members: set[int] = set()
+        for local in chosen:
+            members.update(self._local_neighbors[local])
+        pool = [local for local in sorted(members) if available[local]]
+        if not pool:
+            return None
+        return np.asarray(pool, dtype=np.int64)
+
     def _pick_next(
         self,
         rng: np.random.Generator,
@@ -176,6 +222,11 @@ class RecipeDesigner:
     ) -> int:
         view = self._view
         current = np.asarray(chosen)
+        pool = self._candidate_pool(chosen, available)
+        if pool is not None:
+            pick = self._pick_from_pool(rng, current, pool)
+            if pick is not None:
+                return pick
         # Mean overlap each candidate would add against the partial recipe.
         added = view.overlap[current].mean(axis=0)
         # Style alignment: prefer candidates keeping the projected recipe
@@ -195,3 +246,54 @@ class RecipeDesigner:
             candidates = np.flatnonzero(available)
             return int(rng.choice(candidates))
         return int(rng.choice(len(weights), p=weights / total))
+
+    def _pick_from_pool(
+        self,
+        rng: np.random.Generator,
+        current: np.ndarray,
+        pool: np.ndarray,
+    ) -> int | None:
+        """Weighted pick restricted to the index-sourced candidate pool."""
+        view = self._view
+        added = view.overlap[np.ix_(current, pool)].mean(axis=0)
+        base = recipe_score_from_matrix(view.overlap, current) if (
+            len(current) >= 2
+        ) else self._target_score
+        n = len(current)
+        projected = (base * n * (n - 1) + 2 * added * n) / ((n + 1) * n)
+        style = -np.abs(projected - self._target_score) / self._score_spread
+        weights = np.exp(
+            np.log(self._popularity[pool] + 1e-12) + STYLE_WEIGHT * style
+        )
+        total = weights.sum()
+        if total <= 0:
+            return None
+        return int(pool[rng.choice(len(pool), p=weights / total)])
+
+
+def _local_neighbor_pools(
+    view: CuisineView, index: RetrievalIndex, neighbors: int
+) -> tuple[np.ndarray, ...]:
+    """Per local ingredient, its index-neighbors as local indices.
+
+    Neighbors outside the cuisine's pantry are dropped; each pool keeps
+    at most ``neighbors`` entries in the index's ``(-shared, name)``
+    order.
+    """
+    local_of = {
+        ingredient.ingredient_id: local
+        for local, ingredient in enumerate(view.ingredients)
+    }
+    pools: list[np.ndarray] = []
+    for ingredient in view.ingredients:
+        row = index.row_by_id.get(ingredient.ingredient_id)
+        found: list[int] = []
+        if row is not None:
+            for partner in index.neighbor_rows[row]:
+                if partner < 0 or len(found) >= neighbors:
+                    break
+                local = local_of.get(int(index.ingredient_ids[partner]))
+                if local is not None:
+                    found.append(local)
+        pools.append(np.asarray(found, dtype=np.int64))
+    return tuple(pools)

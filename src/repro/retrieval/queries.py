@@ -1,0 +1,438 @@
+"""Top-k retrieval kernels: similar ingredients, completions, cuisines.
+
+Each kernel has two paths that return *identical* rankings:
+
+* the **indexed** path (default) walks the precomputed
+  :class:`~repro.retrieval.index.RetrievalIndex` structures, and
+* the **reference** path (``reference=True``) brute-forces the same
+  answer straight off the catalog / cuisine objects — retained
+  permanently, mirroring the corpus fast-path pattern, so equivalence
+  tests can always cross-check the index.
+
+Ties are broken deterministically everywhere: equal overlap counts order
+by ascending ingredient name, equal cuisine similarities (after rounding
+to :data:`SIMILARITY_DECIMALS` places) by ascending region code.
+
+Every query is traced (``retrieval.*`` spans) and counted:
+``repro_retrieval_hit_total{kind}`` for indexed answers,
+``repro_retrieval_fallback_total{kind}`` for brute-force ones, and the
+``repro_retrieval_latency_ms{kind,path}`` histogram.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..datamodel import (
+    ConfigurationError,
+    Cuisine,
+    Ingredient,
+    LookupFailure,
+    ValidationError,
+)
+from ..flavordb import IngredientCatalog
+from ..obs import get_registry, span
+from .index import NEIGHBOR_LIST_LIMIT, RetrievalIndex
+
+__all__ = [
+    "DEFAULT_TOPK",
+    "MAX_TOPK",
+    "SIMILARITY_DECIMALS",
+    "Completion",
+    "CuisineMatch",
+    "SimilarMatch",
+    "complete_recipe",
+    "nearest_cuisines",
+    "similar_ingredients",
+]
+
+#: Default / maximum k served by the endpoints and CLI (the same cap as
+#: ``/pairings``' partner limit).
+DEFAULT_TOPK = 10
+MAX_TOPK = 50
+
+#: Cuisine similarities are rounded to this many decimals before ranking,
+#: so the indexed (matrix-product) and reference (per-pair) paths — equal
+#: up to float round-off — always rank identically.
+SIMILARITY_DECIMALS = 9
+
+
+@dataclasses.dataclass(frozen=True)
+class SimilarMatch:
+    """One similar-ingredient result row."""
+
+    ingredient_id: int
+    name: str
+    shared_molecules: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Completion:
+    """One recipe-completion candidate.
+
+    Attributes:
+        shared_total: molecules the candidate shares with the partial
+            recipe, summed over its pairable members.
+        score: projected N_s of the partial recipe plus this candidate.
+        delta: ``score`` minus the partial's own N_s (0.0 base when the
+            partial has fewer than two pairable members).
+    """
+
+    ingredient_id: int
+    name: str
+    shared_total: int
+    score: float
+    delta: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CuisineMatch:
+    """One nearest-cuisine result row (cosine similarity, 0..1)."""
+
+    region_code: str
+    similarity: float
+
+
+def _require_k(k: int) -> None:
+    if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+        raise ConfigurationError(f"k must be a positive integer, got {k!r}")
+
+
+def _observe(kind: str, path: str, started: float) -> None:
+    registry = get_registry()
+    if path == "indexed":
+        registry.counter("repro_retrieval_hit_total", kind=kind).incr()
+    else:
+        registry.counter("repro_retrieval_fallback_total", kind=kind).incr()
+    registry.histogram(
+        "repro_retrieval_latency_ms", kind=kind, path=path
+    ).observe((time.perf_counter() - started) * 1000.0)
+
+
+# ---------------------------------------------------------------------------
+# similar ingredients
+# ---------------------------------------------------------------------------
+def similar_ingredients(
+    index: RetrievalIndex,
+    catalog: IngredientCatalog,
+    ingredient: Ingredient | str,
+    k: int = DEFAULT_TOPK,
+    reference: bool = False,
+) -> list[SimilarMatch]:
+    """Top-k flavor-sharing partners of one ingredient.
+
+    Partners with zero shared molecules never appear. The indexed path is
+    an array slice of the precomputed neighbor list; asking for more than
+    :data:`NEIGHBOR_LIST_LIMIT` partners silently brute-forces so the
+    answer stays exact.
+
+    Raises:
+        ConfigurationError: for a non-positive ``k``.
+        ValidationError: when the ingredient has no flavor profile.
+    """
+    _require_k(k)
+    if isinstance(ingredient, str):
+        ingredient = catalog.get(ingredient)
+    if not ingredient.has_flavor_profile:
+        raise ValidationError(
+            f"{ingredient.name!r} has no flavor profile to pair on"
+        )
+    use_reference = reference or k > NEIGHBOR_LIST_LIMIT
+    started = time.perf_counter()
+    with span("retrieval.similar", k=k):
+        if use_reference:
+            matches = _similar_reference(catalog, ingredient, k)
+        else:
+            matches = _similar_indexed(index, ingredient, k)
+    _observe("similar", "reference" if use_reference else "indexed", started)
+    return matches
+
+
+def _similar_indexed(
+    index: RetrievalIndex, ingredient: Ingredient, k: int
+) -> list[SimilarMatch]:
+    row = index.row_by_id[ingredient.ingredient_id]
+    partner_rows = index.neighbor_rows[row][:k]
+    partner_shared = index.neighbor_shared[row][:k]
+    matches: list[SimilarMatch] = []
+    for partner, shared in zip(partner_rows, partner_shared):
+        if partner < 0:
+            break
+        matches.append(
+            SimilarMatch(
+                ingredient_id=int(index.ingredient_ids[partner]),
+                name=index.names[partner],
+                shared_molecules=int(shared),
+            )
+        )
+    return matches
+
+
+def _similar_reference(
+    catalog: IngredientCatalog, ingredient: Ingredient, k: int
+) -> list[SimilarMatch]:
+    scored = sorted(
+        (
+            (ingredient.shared_molecules(other), other)
+            for other in catalog.pairable_ingredients()
+            if other.ingredient_id != ingredient.ingredient_id
+        ),
+        key=lambda pair: (-pair[0], pair[1].name),
+    )
+    return [
+        SimilarMatch(
+            ingredient_id=other.ingredient_id,
+            name=other.name,
+            shared_molecules=shared,
+        )
+        for shared, other in scored[:k]
+        if shared > 0
+    ]
+
+
+# ---------------------------------------------------------------------------
+# recipe completion
+# ---------------------------------------------------------------------------
+def complete_recipe(
+    index: RetrievalIndex,
+    catalog: IngredientCatalog,
+    partial: Sequence[Ingredient],
+    k: int = DEFAULT_TOPK,
+    reference: bool = False,
+) -> list[Completion]:
+    """Best pairing completions for a partial recipe.
+
+    Candidates are every pairable catalog ingredient outside the partial
+    that shares at least one molecule with it, ranked by total shared
+    molecules (equivalently, by the projected N_s of the completed
+    recipe — the two orders coincide because the recipe size is fixed
+    within one query). The indexed path gathers the per-candidate totals
+    by walking the molecule postings of the partial's profiles; the
+    reference path intersects profiles against the whole universe.
+
+    Raises:
+        ConfigurationError: for a non-positive ``k``.
+        ValidationError: when no partial member has a flavor profile.
+    """
+    _require_k(k)
+    members = [item for item in partial if item.has_flavor_profile]
+    if not members:
+        raise ValidationError(
+            "recipe completion needs at least one ingredient "
+            "with a flavor profile"
+        )
+    exclude = {item.ingredient_id for item in partial}
+    base_pairs = _pair_sum(members)
+    started = time.perf_counter()
+    with span("retrieval.complete", partial=len(members), k=k):
+        if reference:
+            completions = _complete_reference(
+                catalog, members, exclude, base_pairs, k
+            )
+        else:
+            completions = _complete_indexed(
+                index, members, exclude, base_pairs, k
+            )
+    _observe("complete", "reference" if reference else "indexed", started)
+    return completions
+
+
+def _pair_sum(members: Sequence[Ingredient]) -> int:
+    """Sum of pairwise shared-molecule counts inside the partial."""
+    total = 0
+    for i, left in enumerate(members):
+        for right in members[i + 1 :]:
+            total += left.shared_molecules(right)
+    return total
+
+
+def _completion_scores(
+    shared_total: int, base_pairs: int, n: int
+) -> tuple[float, float]:
+    """(projected N_s, delta vs the partial's own N_s)."""
+    score = 2.0 * (base_pairs + shared_total) / ((n + 1) * n)
+    base = 2.0 * base_pairs / (n * (n - 1)) if n >= 2 else 0.0
+    return score, score - base
+
+
+def _complete_indexed(
+    index: RetrievalIndex,
+    members: Sequence[Ingredient],
+    exclude: set[int],
+    base_pairs: int,
+    k: int,
+) -> list[Completion]:
+    accumulated = np.zeros(index.size, dtype=np.int64)
+    postings = index.molecule_postings
+    for member in members:
+        for molecule in member.flavor_profile:
+            rows = postings.get(molecule)
+            if rows is not None:
+                accumulated[rows] += 1
+    candidates = np.flatnonzero(accumulated > 0)
+    if len(exclude):
+        keep = [
+            row
+            for row in candidates
+            if int(index.ingredient_ids[row]) not in exclude
+        ]
+        candidates = np.asarray(keep, dtype=np.int64)
+    if not len(candidates):
+        return []
+    order = np.lexsort(
+        (index.name_rank[candidates], -accumulated[candidates])
+    )
+    n = len(members)
+    completions: list[Completion] = []
+    for row in candidates[order[:k]]:
+        shared_total = int(accumulated[row])
+        score, delta = _completion_scores(shared_total, base_pairs, n)
+        completions.append(
+            Completion(
+                ingredient_id=int(index.ingredient_ids[row]),
+                name=index.names[int(row)],
+                shared_total=shared_total,
+                score=score,
+                delta=delta,
+            )
+        )
+    return completions
+
+
+def _complete_reference(
+    catalog: IngredientCatalog,
+    members: Sequence[Ingredient],
+    exclude: set[int],
+    base_pairs: int,
+    k: int,
+) -> list[Completion]:
+    scored = []
+    for candidate in catalog.pairable_ingredients():
+        if candidate.ingredient_id in exclude:
+            continue
+        shared_total = sum(
+            candidate.shared_molecules(member) for member in members
+        )
+        if shared_total > 0:
+            scored.append((shared_total, candidate))
+    scored.sort(key=lambda pair: (-pair[0], pair[1].name))
+    n = len(members)
+    completions: list[Completion] = []
+    for shared_total, candidate in scored[:k]:
+        score, delta = _completion_scores(shared_total, base_pairs, n)
+        completions.append(
+            Completion(
+                ingredient_id=candidate.ingredient_id,
+                name=candidate.name,
+                shared_total=shared_total,
+                score=score,
+                delta=delta,
+            )
+        )
+    return completions
+
+
+# ---------------------------------------------------------------------------
+# nearest cuisines
+# ---------------------------------------------------------------------------
+def nearest_cuisines(
+    index: RetrievalIndex,
+    target_code: str,
+    k: int = DEFAULT_TOPK,
+    reference: bool = False,
+    similarity: tuple[Sequence[str], np.ndarray] | None = None,
+    cuisines: Mapping[str, Cuisine] | None = None,
+) -> list[CuisineMatch]:
+    """The cuisines closest to a target by ingredient-prevalence cosine.
+
+    The indexed path is one matrix-vector product over the precomputed
+    prevalence vectors. The reference path reuses a ``(codes, matrix)``
+    pair from :func:`repro.analysis.authenticity.similarity_matrix`
+    (pass ``similarity=workspace.similarity()`` to share the workspace's
+    cached matrix) or computes per-pair similarities from raw ``cuisines``.
+
+    Raises:
+        ConfigurationError: for a non-positive ``k``, or a reference call
+            without ``similarity`` or ``cuisines``.
+        LookupFailure: for a region code outside the index.
+    """
+    _require_k(k)
+    if target_code not in index.cuisine_row:
+        known = ", ".join(index.cuisine_codes)
+        raise LookupFailure(
+            f"unknown cuisine {target_code!r} (known: {known})"
+        )
+    started = time.perf_counter()
+    with span("retrieval.nearest_cuisines", k=k):
+        if reference:
+            matches = _nearest_reference(
+                index, target_code, k, similarity, cuisines
+            )
+        else:
+            matches = _nearest_indexed(index, target_code, k)
+    _observe(
+        "nearest_cuisines", "reference" if reference else "indexed", started
+    )
+    return matches
+
+
+def _rank_cuisines(
+    codes: Sequence[str], values: Sequence[float], target_code: str, k: int
+) -> list[CuisineMatch]:
+    rounded = [
+        (round(float(value), SIMILARITY_DECIMALS), code)
+        for code, value in zip(codes, values)
+        if code != target_code
+    ]
+    rounded.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [
+        CuisineMatch(region_code=code, similarity=value)
+        for value, code in rounded[:k]
+    ]
+
+
+def _nearest_indexed(
+    index: RetrievalIndex, target_code: str, k: int
+) -> list[CuisineMatch]:
+    row = index.cuisine_row[target_code]
+    values = index.cuisine_vectors @ index.cuisine_vectors[row]
+    return _rank_cuisines(index.cuisine_codes, values, target_code, k)
+
+
+def _nearest_reference(
+    index: RetrievalIndex,
+    target_code: str,
+    k: int,
+    similarity: tuple[Sequence[str], np.ndarray] | None,
+    cuisines: Mapping[str, Cuisine] | None,
+) -> list[CuisineMatch]:
+    if similarity is not None:
+        codes, matrix = similarity
+        if target_code not in codes:
+            known = ", ".join(codes)
+            raise LookupFailure(
+                f"unknown cuisine {target_code!r} (known: {known})"
+            )
+        row = list(codes).index(target_code)
+        return _rank_cuisines(codes, matrix[row], target_code, k)
+    if cuisines is None:
+        raise ConfigurationError(
+            "reference nearest_cuisines needs 'similarity' or 'cuisines'"
+        )
+    from ..analysis.authenticity import cuisine_similarity
+
+    codes = sorted(cuisines)
+    if target_code not in cuisines:
+        raise LookupFailure(f"unknown cuisine {target_code!r}")
+    target = cuisines[target_code]
+    values = [
+        1.0
+        if code == target_code
+        else cuisine_similarity(target, cuisines[code])
+        for code in codes
+    ]
+    return _rank_cuisines(codes, values, target_code, k)

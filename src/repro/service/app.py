@@ -56,6 +56,9 @@ ROUTES: dict[str, Route] = {
     "/score": Route("POST", "handle_score", cacheable=True),
     "/classify": Route("POST", "handle_classify", cacheable=True),
     "/pairings": Route("POST", "handle_pairings", cacheable=True),
+    "/similar": Route("POST", "handle_similar", cacheable=True),
+    "/complete": Route("POST", "handle_complete", cacheable=True),
+    "/recommend": Route("POST", "handle_recommend", cacheable=True),
     "/sql": Route("POST", "handle_sql", cacheable=True),
     "/montecarlo": Route("POST", "handle_montecarlo", cacheable=True),
 }

@@ -13,17 +13,27 @@ from __future__ import annotations
 import threading
 from typing import Any
 
+import numpy as np
+
 from ..aliasing import AliasingPipeline
 from ..culinarydb import build_culinarydb
-from ..datamodel import REGIONS, ReproError
+from ..datamodel import REGIONS, Ingredient, ReproError
 from ..db import Database
 from ..db.errors import SqlSyntaxError
 from ..db.sql.tokenizer import tokenize
 from ..engine import RunConfig
 from ..experiments import ExperimentWorkspace
-from ..generation import CuisineClassifier
+from ..generation import CuisineClassifier, RecipeDesigner
 from ..obs import get_logger
 from ..pairing import CuisineView, food_pairing_score
+from ..retrieval import (
+    DEFAULT_TOPK,
+    MAX_TOPK,
+    RetrievalIndex,
+    complete_recipe,
+    nearest_cuisines,
+    similar_ingredients,
+)
 
 _LOG = get_logger("repro.service")
 
@@ -34,6 +44,15 @@ DEFAULT_SQL_ROWS = 200
 #: Default / maximum pairing partners returned by ``/pairings``.
 DEFAULT_PAIRING_LIMIT = 10
 MAX_PAIRING_LIMIT = 50
+
+#: ``/recommend`` bounds: proposals per request, allowed recipe sizes,
+#: and how many nearest cuisines ride along in the response.
+DEFAULT_RECOMMEND_COUNT = 3
+MAX_RECOMMEND_COUNT = 10
+MIN_RECOMMEND_SIZE = 2
+MAX_RECOMMEND_SIZE = 20
+RECOMMEND_NEAR_CUISINES = 5
+MAX_RECOMMEND_SEED = 2**31 - 1
 
 #: ``/montecarlo`` sampling bounds — generous enough for real estimates,
 #: tight enough that one request cannot monopolise the server.
@@ -157,6 +176,7 @@ class QueryService:
         self._pipelines: dict[bool, AliasingPipeline] = {}
         self._classifier: CuisineClassifier | None = None
         self._database: Database | None = None
+        self._designers: dict[str, RecipeDesigner] = {}
         # Engine-built workspaces already carry the pairing_views stage
         # artifact; seed the per-region view cache from it so the first
         # /montecarlo request never rebuilds a view.
@@ -230,6 +250,25 @@ class QueryService:
                 self._views[region_code] = view
             return view
 
+    def retrieval(self) -> RetrievalIndex:
+        """The workspace's retrieval index (the stage artifact)."""
+        return self._workspace.retrieval()
+
+    def designer(self, region_code: str) -> RecipeDesigner:
+        """The index-backed recipe designer of one region, built once.
+
+        Raises:
+            RequestError: 404 for a region code outside the workspace.
+        """
+        view = self.cuisine_view(region_code)
+        index = self.retrieval()
+        with self._lock:
+            designer = self._designers.get(region_code)
+            if designer is None:
+                designer = RecipeDesigner(view, index=index)
+                self._designers[region_code] = designer
+            return designer
+
     def warm(self) -> None:
         """Pre-build every lazy artefact (used at server start-up)."""
         self._pipeline(fuzzy=False)
@@ -243,6 +282,8 @@ class QueryService:
         so the first request of any kind is served from warm state.
         """
         self.warm()
+        self._workspace.retrieval()
+        self._workspace.similarity()
         views = self._workspace.views()
         with self._lock:
             for code, view in views.items():
@@ -254,9 +295,12 @@ class QueryService:
         )
 
     # ------------------------------------------------------------------
-    # ingredient resolution shared by score/classify/pairings
+    # ingredient resolution shared by score/classify/pairings and the
+    # retrieval endpoints (similar/complete/recommend)
     # ------------------------------------------------------------------
-    def _resolve_names(self, names: list[str], fuzzy: bool) -> list:
+    def _resolve_names(
+        self, names: list[str], fuzzy: bool
+    ) -> list[Ingredient]:
         """Map raw phrases to distinct catalog ingredients, order-preserving.
 
         Raises:
@@ -283,6 +327,25 @@ class QueryService:
                 + ", ".join(repr(name) for name in unresolved),
             )
         return resolved
+
+    def _ingredient_from(
+        self, body: dict[str, Any], fuzzy: bool, field: str = "ingredient"
+    ) -> Ingredient:
+        """One resolved ingredient from a request field.
+
+        Validates the field (non-empty string) and resolves it through
+        the aliasing pipeline; the single resolution path every
+        one-ingredient endpoint shares.
+        """
+        name = _string_field(body, field)
+        return self._resolve_names([name], fuzzy)[0]
+
+    def _ingredients_from(
+        self, body: dict[str, Any], fuzzy: bool, field: str = "ingredients"
+    ) -> list[Ingredient]:
+        """Distinct resolved ingredients from a request list field."""
+        names = _string_list_field(body, field)
+        return self._resolve_names(names, fuzzy)
 
     # ------------------------------------------------------------------
     # handlers
@@ -324,9 +387,8 @@ class QueryService:
         """Food-pairing N_s for an ad-hoc ingredient list."""
         body = _payload_dict(payload)
         _reject_unknown(body, frozenset({"ingredients", "fuzzy"}))
-        names = _string_list_field(body, "ingredients")
         fuzzy = _bool_field(body, "fuzzy", default=False)
-        ingredients = self._resolve_names(names, fuzzy)
+        ingredients = self._ingredients_from(body, fuzzy)
         pairable = [i for i in ingredients if i.has_flavor_profile]
         if len(pairable) < 2:
             raise RequestError(
@@ -345,10 +407,9 @@ class QueryService:
         """Cuisine prediction for an ad-hoc ingredient list."""
         body = _payload_dict(payload)
         _reject_unknown(body, frozenset({"ingredients", "fuzzy", "top"}))
-        names = _string_list_field(body, "ingredients")
         fuzzy = _bool_field(body, "fuzzy", default=False)
         top = _int_field(body, "top", default=5, minimum=1, maximum=22)
-        ingredients = self._resolve_names(names, fuzzy)
+        ingredients = self._ingredients_from(body, fuzzy)
         prediction = self.classifier().predict(
             [ingredient.ingredient_id for ingredient in ingredients]
         )
@@ -365,7 +426,6 @@ class QueryService:
         """Top molecule-sharing partners for one ingredient."""
         body = _payload_dict(payload)
         _reject_unknown(body, frozenset({"ingredient", "fuzzy", "limit"}))
-        name = _string_field(body, "ingredient")
         fuzzy = _bool_field(body, "fuzzy", default=False)
         limit = _int_field(
             body,
@@ -374,7 +434,7 @@ class QueryService:
             minimum=1,
             maximum=MAX_PAIRING_LIMIT,
         )
-        target = self._resolve_names([name], fuzzy)[0]
+        target = self._ingredient_from(body, fuzzy)
         if not target.has_flavor_profile:
             raise RequestError(
                 422,
@@ -401,6 +461,169 @@ class QueryService:
                 }
                 for shared, other in partners[:limit]
                 if shared > 0
+            ],
+        }
+
+    def handle_similar(self, payload: Any) -> dict[str, Any]:
+        """Top-k nearest neighbors of one ingredient — or one cuisine.
+
+        Exactly one of ``ingredient`` / ``cuisine`` must be given; the
+        answer comes off the retrieval index (precomputed neighbor lists
+        / prevalence-vector cosines).
+        """
+        body = _payload_dict(payload)
+        _reject_unknown(
+            body, frozenset({"ingredient", "cuisine", "k", "fuzzy"})
+        )
+        has_ingredient = "ingredient" in body
+        has_cuisine = "cuisine" in body
+        if has_ingredient == has_cuisine:
+            raise RequestError(
+                400,
+                "invalid_field",
+                "provide exactly one of 'ingredient' or 'cuisine'",
+            )
+        k = _int_field(
+            body, "k", default=DEFAULT_TOPK, minimum=1, maximum=MAX_TOPK
+        )
+        fuzzy = _bool_field(body, "fuzzy", default=False)
+        index = self.retrieval()
+        if has_ingredient:
+            target = self._ingredient_from(body, fuzzy)
+            if not target.has_flavor_profile:
+                raise RequestError(
+                    422,
+                    "not_pairable",
+                    f"{target.name!r} has no flavor profile to pair on",
+                )
+            matches = similar_ingredients(
+                index, self._workspace.catalog, target, k
+            )
+            return {
+                "ingredient": target.name,
+                "k": k,
+                "matches": [
+                    {
+                        "ingredient_id": match.ingredient_id,
+                        "name": match.name,
+                        "shared_molecules": match.shared_molecules,
+                    }
+                    for match in matches
+                ],
+            }
+        code = _string_field(body, "cuisine").upper()
+        if code not in index.cuisine_row:
+            known = ", ".join(index.cuisine_codes)
+            raise RequestError(
+                404,
+                "unknown_region",
+                f"no such region {code!r} (known: {known})",
+            )
+        cuisine_matches = nearest_cuisines(index, code, k)
+        return {
+            "cuisine": code,
+            "k": k,
+            "matches": [
+                {
+                    "region_code": match.region_code,
+                    "similarity": match.similarity,
+                }
+                for match in cuisine_matches
+            ],
+        }
+
+    def handle_complete(self, payload: Any) -> dict[str, Any]:
+        """Best pairing completions for a partial ingredient list."""
+        body = _payload_dict(payload)
+        _reject_unknown(body, frozenset({"ingredients", "k", "fuzzy"}))
+        k = _int_field(
+            body, "k", default=DEFAULT_TOPK, minimum=1, maximum=MAX_TOPK
+        )
+        fuzzy = _bool_field(body, "fuzzy", default=False)
+        ingredients = self._ingredients_from(body, fuzzy)
+        pairable = [i for i in ingredients if i.has_flavor_profile]
+        if not pairable:
+            raise RequestError(
+                422,
+                "not_pairable",
+                "recipe completion needs at least one resolved "
+                "ingredient with a flavor profile",
+            )
+        completions = complete_recipe(
+            self.retrieval(), self._workspace.catalog, ingredients, k
+        )
+        return {
+            "resolved": [ingredient.name for ingredient in ingredients],
+            "pairable": len(pairable),
+            "k": k,
+            "completions": [
+                {
+                    "ingredient_id": completion.ingredient_id,
+                    "name": completion.name,
+                    "shared_molecules": completion.shared_total,
+                    "score": round(completion.score, 4),
+                    "delta": round(completion.delta, 4),
+                }
+                for completion in completions
+            ],
+        }
+
+    def handle_recommend(self, payload: Any) -> dict[str, Any]:
+        """Novel in-style recipe proposals for one region.
+
+        The designer sources candidates from the retrieval index; the
+        RNG is seeded from the request (default 0), so the response is a
+        pure function of the payload and safely cacheable.
+        """
+        body = _payload_dict(payload)
+        _reject_unknown(body, frozenset({"region", "count", "size", "seed"}))
+        region_code = _string_field(body, "region").upper()
+        count = _int_field(
+            body,
+            "count",
+            default=DEFAULT_RECOMMEND_COUNT,
+            minimum=1,
+            maximum=MAX_RECOMMEND_COUNT,
+        )
+        size = None
+        if body.get("size") is not None:
+            size = _int_field(
+                body,
+                "size",
+                default=MIN_RECOMMEND_SIZE,
+                minimum=MIN_RECOMMEND_SIZE,
+                maximum=MAX_RECOMMEND_SIZE,
+            )
+        seed = _int_field(
+            body, "seed", default=0, minimum=0, maximum=MAX_RECOMMEND_SEED
+        )
+        designer = self.designer(region_code)
+        rng = np.random.default_rng(seed)
+        proposals = [designer.propose(rng, size=size) for _ in range(count)]
+        index = self.retrieval()
+        neighbors = (
+            nearest_cuisines(index, region_code, RECOMMEND_NEAR_CUISINES)
+            if region_code in index.cuisine_row
+            else []
+        )
+        return {
+            "region": region_code,
+            "seed": seed,
+            "proposals": [
+                {
+                    "ingredients": list(proposal.ingredient_names),
+                    "pairing_score": round(proposal.pairing_score, 4),
+                    "style_score": round(proposal.style_score, 4),
+                    "novelty": round(1.0 - proposal.max_overlap, 4),
+                }
+                for proposal in proposals
+            ],
+            "similar_cuisines": [
+                {
+                    "region_code": match.region_code,
+                    "similarity": match.similarity,
+                }
+                for match in neighbors
             ],
         }
 

@@ -93,6 +93,53 @@ class TestRecipeDesigner:
         assert len(proposals) == 4
 
 
+class TestIndexBackedDesigner:
+    """With a RetrievalIndex, candidates come from neighbor pools."""
+
+    @pytest.fixture(scope="class")
+    def indexed_designer(self, ita_view, workspace):
+        return RecipeDesigner(ita_view, index=workspace.retrieval())
+
+    def test_proposals_stay_valid(self, indexed_designer, ita_view, rng):
+        pantry = {i.name for i in ita_view.ingredients}
+        for _ in range(5):
+            proposal = indexed_designer.propose(rng, size=7)
+            assert len(proposal.ingredient_names) == 7
+            assert set(proposal.ingredient_names) <= pantry
+            assert proposal.pairing_score >= 0
+
+    def test_deterministic_per_seed(self, indexed_designer):
+        first = indexed_designer.propose(
+            np.random.default_rng(3), size=8
+        )
+        second = indexed_designer.propose(
+            np.random.default_rng(3), size=8
+        )
+        assert first.ingredient_names == second.ingredient_names
+        assert first.pairing_score == second.pairing_score
+
+    def test_no_index_path_unchanged(self, ita_view):
+        """Wiring the index in must not disturb the legacy RNG stream."""
+        plain = RecipeDesigner(ita_view)
+        proposal = plain.propose(np.random.default_rng(3), size=8)
+        again = RecipeDesigner(ita_view).propose(
+            np.random.default_rng(3), size=8
+        )
+        assert proposal.ingredient_names == again.ingredient_names
+
+    def test_candidate_pool_is_neighbor_union(
+        self, indexed_designer, ita_view, workspace
+    ):
+        pool = indexed_designer._candidate_pool(
+            [0], np.ones(ita_view.ingredient_count, dtype=bool)
+        )
+        neighbors = indexed_designer._local_neighbors[0]
+        if pool is None:
+            assert len(neighbors) == 0
+        else:
+            assert set(pool.tolist()) == set(neighbors.tolist())
+
+
 class TestRecipeTweaker:
     def test_suggestions_improve_style(self, ita_view):
         tweaker = RecipeTweaker(ita_view)
