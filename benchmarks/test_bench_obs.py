@@ -1,0 +1,137 @@
+"""Bench the observability layer: what instrumentation costs when idle.
+
+Two overhead gates, measured against the same pairing-score workload:
+
+* **Disabled-instrumentation overhead** — one ``span()`` + one counter
+  increment per scored list while tracing is *disabled* must cost at
+  most ``MAX_DISABLED_OVERHEAD`` (2%) of the bare workload.  This is
+  the price every production code path pays for carrying
+  instrumentation.  The instrumentation is timed on its own and divided
+  by the workload cost (see ``_time_instrumentation``).
+* **Profiler overhead** — the bare workload with the sampling profiler
+  attached (default 5 ms interval) must cost at most
+  ``MAX_PROFILER_OVERHEAD`` (10%) more.
+
+The numbers land in ``BENCH_obs.json`` for the perf-regression watchdog
+(``repro obs check``).  Set ``REPRO_BENCH_SMOKE=1`` to keep the
+measurement but skip the overhead assertions (CI smoke mode on small,
+noisy runners).  ``REPRO_BENCH_SCALE`` scales the workspace as for the
+other benches.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.obs import configure_tracing, get_registry, span
+from repro.obs.profile import DEFAULT_INTERVAL, SamplingProfiler
+from repro.pairing import food_pairing_score
+from repro.service.app import generate_request_id
+
+#: Where the timing table lands (repo root by default).
+BENCH_OUT = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_obs.json"))
+
+#: Hard ceilings enforced by this benchmark (fractions of the bare cost).
+MAX_DISABLED_OVERHEAD = 0.02
+MAX_PROFILER_OVERHEAD = 0.10
+
+#: Scored lists per timed round, and best-of rounds per variant.
+ITERATIONS = 400
+ROUNDS = 3
+
+#: Request ids minted for the generator throughput figure.
+REQUEST_ID_SAMPLES = 50_000
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _workload_ingredients(catalog, count=48):
+    universe = sorted(
+        catalog.pairable_ingredients(), key=lambda item: item.name
+    )
+    return universe[:count]
+
+
+def _time_plain(ingredients):
+    started = time.perf_counter()
+    for _ in range(ITERATIONS):
+        food_pairing_score(ingredients)
+    return time.perf_counter() - started
+
+
+def _time_instrumentation(ingredients):
+    """Cost of the added instrumentation alone (tracing disabled).
+
+    Timed separately from the workload rather than as a difference of
+    two large wall timings: the per-iteration cost (~2 us) is far below
+    run-to-run jitter of the scoring loop, so subtracting would gate on
+    noise instead of the instrumentation.
+    """
+    registry = get_registry()
+    started = time.perf_counter()
+    for index in range(ITERATIONS):
+        with span("bench.obs.score", iteration=index):
+            registry.counter("bench_obs_scores_total").incr()
+    return time.perf_counter() - started
+
+
+def _best_of(timer, ingredients):
+    return min(timer(ingredients) for _ in range(ROUNDS))
+
+
+def test_bench_obs(workspace):
+    ingredients = _workload_ingredients(workspace.catalog)
+    configure_tracing(False)  # the disabled path is what we are pricing
+
+    plain_seconds = _best_of(_time_plain, ingredients)
+    instrumentation_seconds = _best_of(_time_instrumentation, ingredients)
+    disabled_overhead = instrumentation_seconds / plain_seconds
+
+    profiler = SamplingProfiler(interval=DEFAULT_INTERVAL)
+    profiler.start()
+    try:
+        profiled_seconds = _best_of(_time_plain, ingredients)
+    finally:
+        profiler.stop()
+    profiler_overhead = max(
+        0.0, (profiled_seconds - plain_seconds) / plain_seconds
+    )
+
+    started = time.perf_counter()
+    for _ in range(REQUEST_ID_SAMPLES):
+        generate_request_id()
+    request_ids_per_sec = REQUEST_ID_SAMPLES / (
+        time.perf_counter() - started
+    )
+
+    doc = {
+        "benchmark": "observability",
+        "smoke": SMOKE,
+        "iterations": ITERATIONS,
+        "workload_ingredients": len(ingredients),
+        "score_plain_seconds": round(plain_seconds, 4),
+        "instrumentation_seconds": round(instrumentation_seconds, 6),
+        "disabled_overhead": round(disabled_overhead, 4),
+        "score_profiled_seconds": round(profiled_seconds, 4),
+        "profiler_overhead": round(profiler_overhead, 4),
+        "profiler": {
+            "interval": DEFAULT_INTERVAL,
+            "sweeps": profiler.sweeps,
+        },
+        "request_id": {"per_second": round(request_ids_per_sec)},
+    }
+    BENCH_OUT.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(doc, indent=2, sort_keys=True))
+
+    if not SMOKE:
+        assert disabled_overhead <= MAX_DISABLED_OVERHEAD, (
+            f"disabled instrumentation costs {disabled_overhead:.2%} "
+            f"(budget {MAX_DISABLED_OVERHEAD:.0%})"
+        )
+        assert profiler_overhead <= MAX_PROFILER_OVERHEAD, (
+            f"sampling profiler costs {profiler_overhead:.2%} "
+            f"(budget {MAX_PROFILER_OVERHEAD:.0%})"
+        )

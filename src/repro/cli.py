@@ -19,6 +19,9 @@ Commands:
   the region's nearest cuisines.
 * ``cache ls|info|clear`` — inspect or empty the stage-artifact disk
   cache (see :mod:`repro.engine`).
+* ``obs check`` — the perf-regression watchdog: compare fresh
+  ``BENCH_*.json`` results against the committed baselines and exit
+  nonzero on a regression (see :mod:`repro.obs.watchdog`).
 
 Every run parameter flows through one :class:`repro.engine.RunConfig`:
 the ``--seed``/``--scale``/``--samples``/``--workers``/``--shard-size``/
@@ -47,6 +50,14 @@ Every command accepts the global observability flags (see
 ``--trace-out PATH`` writes the trace artifact (``.json`` = Chrome
 trace-event format, anything else = JSONL), ``--log-json`` switches the
 structured logs to JSON lines, and ``--log-level`` sets their threshold.
+``--profile`` runs the whole command under the sampling profiler
+(:mod:`repro.obs.profile`) and prints the hottest stacks on exit;
+``--profile-out PATH`` writes the capture (``.json`` = speedscope,
+anything else = collapsed stacks). ``--metrics-out PATH`` dumps the
+final metrics-registry snapshot as JSON. With ``--trace`` and
+``--workers N`` together, worker-side spans and counters are harvested
+back into the parent (see :mod:`repro.obs.snapshot`), so the printed
+tree and the metrics dump are complete at any worker count.
 """
 
 from __future__ import annotations
@@ -111,6 +122,29 @@ def _observability_flags() -> argparse.ArgumentParser:
         choices=("debug", "info", "warning", "error"),
         default="info",
         help="minimum structured-log level (default: info)",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "sample the command under the wall-clock profiler and print "
+            "the hottest stacks on exit"
+        ),
+    )
+    group.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the profile to PATH (.json = speedscope, otherwise "
+            "collapsed stacks); implies --profile"
+        ),
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the final metrics-registry snapshot as JSON",
     )
     return common
 
@@ -327,6 +361,52 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("ls", "info", "clear"),
         help="ls = list artifacts, info = summary, clear = remove all",
     )
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability utilities (perf-regression watchdog)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    check = obs_sub.add_parser(
+        "check",
+        help="compare fresh BENCH_*.json results against baselines",
+        parents=[obs_flags],
+    )
+    check.add_argument(
+        "--baseline-dir",
+        default=".",
+        help="directory holding the committed BENCH_*.json (default: .)",
+    )
+    check.add_argument(
+        "--results-dir",
+        default=None,
+        help=(
+            "directory holding fresh results; default is the baseline "
+            "directory itself (self-comparison, trivially passing)"
+        ),
+    )
+    check.add_argument(
+        "--tolerance",
+        type=positive_float,
+        default=None,
+        help="allowed relative slip in the bad direction (default 0.30)",
+    )
+    check.add_argument(
+        "--tolerance-for",
+        metavar="METRIC=FRACTION",
+        action="append",
+        default=[],
+        help=(
+            "per-metric tolerance override (dotted path or leaf name); "
+            "repeatable"
+        ),
+    )
+    check.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable verdict JSON to PATH",
+    )
     return parser
 
 
@@ -334,6 +414,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json_mode=args.log_json)
+    profiler = None
+    if args.profile or args.profile_out:
+        from .obs import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
+    try:
+        exit_code = _run_traced(args)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            print(f"\n# profile\n{profiler.render_top()}", file=sys.stderr)
+            if args.profile_out:
+                profiler.write(args.profile_out)
+                print(
+                    f"profile written to {args.profile_out}", file=sys.stderr
+                )
+    if args.metrics_out:
+        _write_metrics_snapshot(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return exit_code
+
+
+def _run_traced(args: argparse.Namespace) -> int:
+    """Run the command, under the span tracer when ``--trace`` asks."""
     tracing = bool(args.trace or args.trace_out)
     if not tracing:
         return _run_command(args)
@@ -350,6 +454,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     finally:
         configure_tracing(False)
         tracer.reset()
+
+
+def _write_metrics_snapshot(path: str) -> None:
+    """The final registry snapshot as sorted JSON (CI diffs these)."""
+    import json
+
+    from .obs import get_registry
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            get_registry().snapshot(), handle, indent=2, sort_keys=True
+        )
+        handle.write("\n")
 
 
 def _print_cache_summary(config: RunConfig) -> None:
@@ -470,7 +587,52 @@ def _run_command(args: argparse.Namespace) -> int:
     if args.command == "cache":
         return _run_cache(args)
 
+    if args.command == "obs":
+        return _run_obs(args)
+
     return 1  # pragma: no cover - argparse enforces the choices
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    """``repro obs check`` — the perf-regression watchdog."""
+    import json
+
+    from .obs.watchdog import DEFAULT_TOLERANCE, check_benchmarks
+
+    overrides: dict[str, float] = {}
+    for spec in args.tolerance_for:
+        metric, _, value = spec.partition("=")
+        if not metric or not value:
+            print(
+                f"error: --tolerance-for expects METRIC=FRACTION, "
+                f"got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            overrides[metric] = float(value)
+        except ValueError:
+            print(
+                f"error: invalid tolerance {value!r} for {metric!r}",
+                file=sys.stderr,
+            )
+            return 2
+    tolerance = (
+        DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    )
+    report = check_benchmarks(
+        baseline_dir=args.baseline_dir,
+        results_dir=args.results_dir,
+        tolerance=tolerance,
+        overrides=overrides,
+    )
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"verdict written to {args.out}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _run_serve(args: argparse.Namespace) -> int:

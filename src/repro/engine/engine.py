@@ -132,6 +132,35 @@ class Engine:
         """Stage name -> fingerprint for the whole graph, build order."""
         return {name: self.fingerprint(name) for name in STAGE_ORDER}
 
+    def cache_states(self) -> list[dict[str, Any]]:
+        """Per-stage readiness: fingerprint plus the warmest tier holding it.
+
+        Non-resolving by design — probes the memory tier and the disk
+        store without loading or building anything, so ``/readyz`` can
+        call it on every poll. ``tier`` is ``memory``, ``disk`` or
+        ``cold``; ``warm`` collapses that to a boolean.
+        """
+        states: list[dict[str, Any]] = []
+        for name in STAGE_ORDER:
+            fingerprint = self.fingerprint(name)
+            if _memory_get((name, fingerprint)) is not MISSING:
+                tier = "memory"
+            elif self._store is not None and self._store.contains(
+                name, fingerprint
+            ):
+                tier = "disk"
+            else:
+                tier = "cold"
+            states.append(
+                {
+                    "stage": name,
+                    "fingerprint": fingerprint,
+                    "tier": tier,
+                    "warm": tier != "cold",
+                }
+            )
+        return states
+
     # ------------------------------------------------------------------
     # resolution
     # ------------------------------------------------------------------

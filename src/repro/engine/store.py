@@ -115,6 +115,19 @@ class ArtifactStore:
             pass
         return value
 
+    def contains(self, stage: str, fingerprint: str) -> bool:
+        """Whether the artifact file exists on disk.
+
+        A pure existence probe — no decode, no checksum, no recency
+        touch — cheap enough for readiness endpoints to call per stage
+        on every poll. A corrupt entry can therefore report ``True``
+        until a real :meth:`get` detects and removes it.
+        """
+        try:
+            return self._path(stage, fingerprint).is_file()
+        except OSError:
+            return False
+
     def _decode(
         self, stage: str, fingerprint: str, path: Path, blob: bytes
     ) -> Any:

@@ -52,18 +52,30 @@ package, so a full-scale run is no longer a black box. Three primitives:
     heartbeats of the 100k-sample null-model loops.
 """
 
-from .logs import StructLogger, configure_logging, get_logger
+from .logs import StructLogger, bound_log_fields, configure_logging, get_logger
 from .metrics import (
+    DEFAULT_BUCKETS,
     PERCENTILES,
     RESERVOIR_SIZE,
     Counter,
     Gauge,
     Histogram,
     HistogramStats,
+    MetricDelta,
     MetricsRegistry,
     get_registry,
     percentile,
     render_prometheus,
+)
+from .profile import ProfileBusyError, SamplingProfiler
+from .snapshot import (
+    TelemetrySnapshot,
+    TraceContext,
+    begin_worker_capture,
+    capture_context,
+    finish_worker_capture,
+    merge_snapshot,
+    merge_snapshots,
 )
 from .trace import (
     NOOP_SPAN,
@@ -77,23 +89,35 @@ from .trace import (
 )
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "PERCENTILES",
     "RESERVOIR_SIZE",
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramStats",
+    "MetricDelta",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "ProfileBusyError",
+    "SamplingProfiler",
     "Span",
     "StructLogger",
+    "TelemetrySnapshot",
+    "TraceContext",
     "Tracer",
+    "begin_worker_capture",
+    "bound_log_fields",
+    "capture_context",
     "configure_logging",
     "configure_tracing",
     "current_span",
+    "finish_worker_capture",
     "get_logger",
     "get_registry",
     "get_tracer",
+    "merge_snapshot",
+    "merge_snapshots",
     "percentile",
     "render_prometheus",
     "span",

@@ -16,19 +16,31 @@ minimum level, and optionally pins the output stream (default: whatever
 When tracing is enabled and a span is open on the current thread, every
 record carries ``trace_id`` and ``span`` fields — the correlation ids
 that tie log lines to the span tree.
+
+:func:`bound_log_fields` adds thread-scoped correlation fields to every
+record emitted inside its ``with`` block — the service binds
+``request_id`` around each dispatch, so every log line a request
+produces can be tied back to its ``X-Request-Id``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import datetime
 import json
 import sys
 import threading
+from collections.abc import Iterator
 from typing import Any, TextIO
 
 from .trace import current_span
 
-__all__ = ["StructLogger", "configure_logging", "get_logger"]
+__all__ = [
+    "StructLogger",
+    "bound_log_fields",
+    "configure_logging",
+    "get_logger",
+]
 
 LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 
@@ -67,6 +79,31 @@ def configure_logging(
         _CONFIG.level = LEVELS[level]
         _CONFIG.json_mode = json_mode
         _CONFIG.stream = stream
+
+
+_BOUND = threading.local()
+
+
+@contextlib.contextmanager
+def bound_log_fields(**fields: Any) -> Iterator[None]:
+    """Attach ``fields`` to every record this thread emits in the block.
+
+    Nested bindings merge (inner wins on key collision) and unwind on
+    exit, so a request's ``request_id`` never leaks into the next
+    request served by the same thread.
+    """
+    previous = getattr(_BOUND, "fields", None)
+    merged = dict(previous) if previous else {}
+    merged.update(fields)
+    _BOUND.fields = merged
+    try:
+        yield
+    finally:
+        _BOUND.fields = previous
+
+
+def _bound_fields() -> dict[str, Any] | None:
+    return getattr(_BOUND, "fields", None)
 
 
 def _quote(value: Any) -> str:
@@ -114,6 +151,9 @@ class StructLogger:
         if span is not None:
             record["trace_id"] = span.trace_id
             record["span"] = span.name
+        bound = _bound_fields()
+        if bound:
+            record.update(bound)
         record.update(fields)
         if json_mode:
             line = json.dumps(record, default=str)

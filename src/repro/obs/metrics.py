@@ -14,12 +14,22 @@ Series are keyed by ``(name, labels)``, Prometheus-style::
     print(registry.render_prometheus())
 
 :meth:`MetricsRegistry.render_prometheus` emits the text exposition
-format (``# TYPE`` headers, escaped label values, summary-style
-quantiles for histograms) served by ``GET /metrics?format=prometheus``.
+format (``# TYPE`` headers, escaped label values, cumulative
+``_bucket``/``_sum``/``_count`` lines for histograms) served by
+``GET /metrics?format=prometheus``.
+
+Beyond exposition, the registry supports **cross-process harvesting**
+(see :mod:`repro.obs.snapshot`): :meth:`MetricsRegistry.state` captures
+a baseline, :meth:`MetricsRegistry.deltas_since` turns everything
+recorded after it into picklable :class:`MetricDelta` values, and
+:meth:`MetricsRegistry.apply_delta` merges a delta into this process's
+registry — counters and histogram count/sum/buckets add exactly, so
+totals are identical whether work ran in-process or across a pool.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
 import re
@@ -27,12 +37,14 @@ import threading
 from typing import Any
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "PERCENTILES",
     "RESERVOIR_SIZE",
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramStats",
+    "MetricDelta",
     "MetricSeries",
     "MetricsRegistry",
     "get_registry",
@@ -45,6 +57,14 @@ RESERVOIR_SIZE = 2048
 
 #: Percentiles exposed by snapshots, as fractions.
 PERCENTILES = (0.50, 0.95, 0.99)
+
+#: Default histogram bucket upper bounds. Deliberately wide (sub-ms
+#: request latencies in seconds up through multi-second stage builds in
+#: milliseconds share one registry); ``+Inf`` is implicit.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+    1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0,
+)
 
 
 def percentile(sorted_samples: list[float], fraction: float) -> float:
@@ -137,24 +157,39 @@ class HistogramStats:
 class Histogram:
     """Ring-buffer reservoir of the most recent observations.
 
-    Total count and sum are exact for the process lifetime; mean and
-    percentiles are computed over the retained window only.
+    Total count, sum and per-bucket counts are exact for the process
+    lifetime; mean and percentiles are computed over the retained window
+    only. Bucket bounds (:data:`DEFAULT_BUCKETS` unless overridden at
+    registration) back the cumulative ``_bucket`` lines of the
+    Prometheus histogram exposition.
     """
 
-    __slots__ = ("_lock", "_samples", "_next_slot", "_count", "_total", "_size")
+    __slots__ = (
+        "_lock", "_samples", "_next_slot", "_count", "_total", "_size",
+        "_bounds", "_bucket_counts",
+    )
 
-    def __init__(self, reservoir_size: int = RESERVOIR_SIZE) -> None:
+    def __init__(
+        self,
+        reservoir_size: int = RESERVOIR_SIZE,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
         self._lock = threading.Lock()
         self._samples: list[float] = []
         self._next_slot = 0
         self._count = 0
         self._total = 0.0
         self._size = reservoir_size
+        self._bounds = tuple(sorted(buckets))
+        # One slot per bound plus the +Inf overflow slot; non-cumulative
+        # here, accumulated into "le" form only at render time.
+        self._bucket_counts = [0] * (len(self._bounds) + 1)
 
     def observe(self, value: float) -> None:
         with self._lock:
             self._count += 1
             self._total += value
+            self._bucket_counts[bisect.bisect_left(self._bounds, value)] += 1
             if len(self._samples) < self._size:
                 self._samples.append(value)
             else:  # overwrite the oldest sample (ring buffer)
@@ -165,6 +200,71 @@ class Histogram:
     def count(self) -> int:
         with self._lock:
             return self._count
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket observation counts (non-cumulative; last is +Inf)."""
+        with self._lock:
+            return tuple(self._bucket_counts)
+
+    def _window_chronological(self) -> list[float]:
+        """The retained window in observation order (caller holds lock)."""
+        if len(self._samples) < self._size:
+            return list(self._samples)
+        return self._samples[self._next_slot:] + self._samples[: self._next_slot]
+
+    def state(self) -> tuple[int, float, tuple[int, ...]]:
+        """Baseline for delta capture: ``(count, total, bucket_counts)``."""
+        with self._lock:
+            return self._count, self._total, tuple(self._bucket_counts)
+
+    def delta_since(
+        self, state: tuple[int, float, tuple[int, ...]] | None
+    ) -> tuple[int, float, tuple[float, ...], tuple[int, ...]]:
+        """What was observed after ``state``, as exact additive parts.
+
+        Returns ``(count, total, samples, bucket_counts)`` where
+        ``samples`` are the newest observations in observation order
+        (capped at the reservoir size) and ``count``/``total``/buckets
+        are exact even beyond the cap.
+        """
+        base_count, base_total, base_buckets = state or (
+            0, 0.0, (0,) * len(self._bucket_counts)
+        )
+        with self._lock:
+            count = self._count - base_count
+            total = self._total - base_total
+            buckets = tuple(
+                now - before
+                for now, before in zip(self._bucket_counts, base_buckets)
+            )
+            window = self._window_chronological()
+        samples = tuple(window[-count:]) if count > 0 else ()
+        return count, total, samples, buckets
+
+    def merge_delta(
+        self,
+        count: int,
+        total: float,
+        samples: tuple[float, ...],
+        bucket_counts: tuple[int, ...],
+    ) -> None:
+        """Fold another process's observations in, keeping totals exact."""
+        with self._lock:
+            self._count += count
+            self._total += total
+            for index, extra in enumerate(bucket_counts):
+                if index < len(self._bucket_counts):
+                    self._bucket_counts[index] += extra
+            for value in samples:
+                if len(self._samples) < self._size:
+                    self._samples.append(value)
+                else:
+                    self._samples[self._next_slot] = value
+                    self._next_slot = (self._next_slot + 1) % self._size
 
     def stats(self) -> HistogramStats:
         with self._lock:
@@ -185,6 +285,27 @@ class MetricSeries:
     kind: str  # "counter" | "gauge" | "histogram"
     labels: dict[str, str]
     metric: Counter | Gauge | Histogram
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDelta:
+    """What one series recorded since a baseline — picklable and additive.
+
+    The unit a pool worker ships home inside a
+    :class:`~repro.obs.snapshot.TelemetrySnapshot`. Counters carry the
+    increment, gauges the latest value (last write wins on merge), and
+    histograms exact ``count``/``total``/bucket increments plus the
+    newest window ``samples`` in observation order.
+    """
+
+    name: str
+    kind: str
+    labels: tuple[tuple[str, str], ...]
+    value: float = 0.0
+    count: int = 0
+    total: float = 0.0
+    samples: tuple[float, ...] = ()
+    bucket_counts: tuple[int, ...] = ()
 
 
 _LabelKey = tuple[tuple[str, str], ...]
@@ -248,8 +369,19 @@ class MetricsRegistry:
     def gauge(self, name: str, **labels: Any) -> Gauge:
         return self._get_or_create(name, "gauge", labels, Gauge)
 
-    def histogram(self, name: str, **labels: Any) -> Histogram:
-        return self._get_or_create(name, "histogram", labels, Histogram)
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        factory = (
+            Histogram
+            if buckets is None
+            else (lambda: Histogram(buckets=tuple(buckets)))
+        )
+        return self._get_or_create(name, "histogram", labels, factory)
 
     def collect(self) -> list[MetricSeries]:
         """All series, sorted by (name, labels) for stable output."""
@@ -267,6 +399,91 @@ class MetricsRegistry:
             if series.name == name and label in series.labels
         }
         return tuple(sorted(values))
+
+    # ------------------------------------------------------------------
+    # cross-process delta capture / merge (see repro.obs.snapshot)
+    # ------------------------------------------------------------------
+    def state(self) -> dict[tuple[str, _LabelKey], Any]:
+        """A baseline of every series' current reading.
+
+        Pool workers capture this at task start (it naturally absorbs
+        any state inherited across ``fork``) and diff against it at task
+        end via :meth:`deltas_since`.
+        """
+        baseline: dict[tuple[str, _LabelKey], Any] = {}
+        for series in self.collect():
+            key = (series.name, _label_key(series.labels))
+            if isinstance(series.metric, Histogram):
+                baseline[key] = series.metric.state()
+            else:
+                baseline[key] = series.metric.value
+        return baseline
+
+    def deltas_since(
+        self, baseline: dict[tuple[str, _LabelKey], Any]
+    ) -> tuple[MetricDelta, ...]:
+        """Everything recorded after ``baseline``, as picklable deltas.
+
+        Unchanged series are skipped; gauges are included whenever their
+        value differs from the baseline (last write wins on merge).
+        """
+        deltas: list[MetricDelta] = []
+        for series in self.collect():
+            key = (series.name, _label_key(series.labels))
+            labels = _label_key(series.labels)
+            if isinstance(series.metric, Histogram):
+                count, total, samples, buckets = series.metric.delta_since(
+                    baseline.get(key)
+                )
+                if count:
+                    deltas.append(
+                        MetricDelta(
+                            name=series.name,
+                            kind="histogram",
+                            labels=labels,
+                            count=count,
+                            total=total,
+                            samples=samples,
+                            bucket_counts=buckets,
+                        )
+                    )
+                continue
+            before = baseline.get(key, 0.0)
+            now = series.metric.value
+            if series.kind == "counter":
+                if now != before:
+                    deltas.append(
+                        MetricDelta(
+                            name=series.name,
+                            kind="counter",
+                            labels=labels,
+                            value=now - before,
+                        )
+                    )
+            elif now != before:  # gauge: ship the reading itself
+                deltas.append(
+                    MetricDelta(
+                        name=series.name,
+                        kind="gauge",
+                        labels=labels,
+                        value=now,
+                    )
+                )
+        return tuple(deltas)
+
+    def apply_delta(self, delta: MetricDelta) -> None:
+        """Merge one worker delta into this registry (exactly additive)."""
+        labels = dict(delta.labels)
+        if delta.kind == "counter":
+            self.counter(delta.name, **labels).incr(delta.value)
+        elif delta.kind == "gauge":
+            self.gauge(delta.name, **labels).set(delta.value)
+        elif delta.kind == "histogram":
+            self.histogram(delta.name, **labels).merge_delta(
+                delta.count, delta.total, delta.samples, delta.bucket_counts
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown metric kind {delta.kind!r}")
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready dump of every series (debugging / tests)."""
@@ -310,25 +527,39 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _format_bound(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    return _format_value(bound)
+
+
 def render_prometheus(series_list: list[MetricSeries]) -> str:
-    """Render collected series as Prometheus text exposition."""
+    """Render collected series as Prometheus text exposition.
+
+    Histograms use the native histogram exposition: cumulative
+    ``_bucket{le="..."}`` lines (``+Inf`` equal to ``_count``), an exact
+    lifetime ``_sum`` and ``_count`` — not summary quantiles, so series
+    from several processes can be aggregated server-side.
+    """
     lines: list[str] = []
     seen_types: set[str] = set()
     for series in series_list:
-        prom_kind = "summary" if series.kind == "histogram" else series.kind
         if series.name not in seen_types:
-            lines.append(f"# TYPE {series.name} {prom_kind}")
+            lines.append(f"# TYPE {series.name} {series.kind}")
             seen_types.add(series.name)
         if isinstance(series.metric, Histogram):
             stats = series.metric.stats()
-            for fraction, value in zip(
-                PERCENTILES, (stats.p50, stats.p95, stats.p99)
+            cumulative = 0
+            for bound, bucket_count in zip(
+                series.metric.bounds + (math.inf,),
+                series.metric.bucket_counts(),
             ):
+                cumulative += bucket_count
                 labels = dict(series.labels)
-                labels["quantile"] = f"{fraction:g}"
+                labels["le"] = _format_bound(bound)
                 lines.append(
-                    f"{series.name}{_format_labels(labels)} "
-                    f"{_format_value(value)}"
+                    f"{series.name}_bucket{_format_labels(labels)} "
+                    f"{cumulative}"
                 )
             suffix_labels = _format_labels(series.labels)
             lines.append(

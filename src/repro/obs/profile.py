@@ -1,0 +1,322 @@
+"""A stdlib-only sampling wall-clock profiler.
+
+A background daemon thread periodically snapshots every thread's Python
+stack via ``sys._current_frames()`` — no interpreter hooks, no
+per-call overhead on the profiled code, so a live server can be profiled
+in production (``GET /debug/profile?seconds=N``) and every CLI command
+can run under ``--profile`` at a few percent cost.
+
+Two exporters:
+
+* :meth:`SamplingProfiler.to_collapsed` — Brendan-Gregg collapsed-stack
+  lines (``outer;inner count``), the format every flamegraph tool eats.
+* :meth:`SamplingProfiler.to_speedscope` — the speedscope JSON file
+  format (one ``sampled`` profile per observed thread), loadable at
+  https://www.speedscope.app.
+
+Usage::
+
+    profiler = SamplingProfiler(interval=0.005)
+    profiler.start()
+    ...                        # the workload
+    profiler.stop()
+    profiler.write("profile.speedscope.json")
+    print(profiler.render_top())
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "MAX_CAPTURE_SECONDS",
+    "ProfileBusyError",
+    "SamplingProfiler",
+    "capture_profile",
+]
+
+#: Seconds between stack sweeps (200 Hz): fine enough to see hot leaves,
+#: coarse enough that the sampler itself stays a rounding error.
+DEFAULT_INTERVAL = 0.005
+
+#: Upper bound one `/debug/profile` request may sample for.
+MAX_CAPTURE_SECONDS = 60.0
+
+#: Stack sweeps retained (~50 minutes at the default interval) — a
+#: memory backstop for a profiler accidentally left running.
+MAX_SWEEPS = 600_000
+
+_FrameKey = tuple[str, str, int]  # (function, file, line)
+
+
+class ProfileBusyError(RuntimeError):
+    """Raised when a capture is requested while another one is running."""
+
+
+class SamplingProfiler:
+    """Background sampler over ``sys._current_frames``.
+
+    Thread-safe for the ``start``/``stop``/export lifecycle; one
+    instance records one capture (create a fresh instance per capture).
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        # Interned frames: key -> index into _frames.
+        self._frame_index: dict[_FrameKey, int] = {}
+        self._frames: list[_FrameKey] = []
+        # Per-thread sample streams: thread id -> list of stacks, each a
+        # tuple of frame indices ordered outermost -> innermost.
+        self._samples: dict[int, list[tuple[int, ...]]] = {}
+        self._thread_names: dict[int, str] = {}
+        self._sweeps = 0
+        self._started_at = 0.0
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("profiler already started")
+            self._started_at = time.perf_counter()
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        with self._lock:
+            thread = self._thread
+        if thread is None:
+            return self
+        self._stop_event.set()
+        thread.join(timeout=5.0)
+        with self._lock:
+            self._thread = None
+            self._elapsed = time.perf_counter() - self._started_at
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def sweeps(self) -> int:
+        """Completed sampling sweeps (each covers every live thread)."""
+        with self._lock:
+            return self._sweeps
+
+    @property
+    def elapsed(self) -> float:
+        """Wall seconds covered by the capture."""
+        with self._lock:
+            if self._thread is not None:
+                return time.perf_counter() - self._started_at
+            return self._elapsed
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop_event.wait(self.interval):
+            self._sweep(own_id)
+            if self._sweeps >= MAX_SWEEPS:  # pragma: no cover - backstop
+                break
+
+    def _sweep(self, own_id: int) -> None:
+        frames = sys._current_frames()
+        names = {
+            thread.ident: thread.name
+            for thread in threading.enumerate()
+            if thread.ident is not None
+        }
+        with self._lock:
+            self._sweeps += 1
+            for thread_id, frame in frames.items():
+                if thread_id == own_id:
+                    continue
+                stack: list[int] = []
+                current = frame
+                while current is not None:
+                    code = current.f_code
+                    key = (
+                        code.co_name,
+                        code.co_filename,
+                        # f_lineno is None while certain opcodes run
+                        # (e.g. between lines on 3.11+); pin those to 0
+                        # so frame keys stay orderable ints.
+                        current.f_lineno or 0,
+                    )
+                    index = self._frame_index.get(key)
+                    if index is None:
+                        index = len(self._frames)
+                        self._frame_index[key] = index
+                        self._frames.append(key)
+                    stack.append(index)
+                    current = current.f_back
+                stack.reverse()  # outermost first
+                self._samples.setdefault(thread_id, []).append(tuple(stack))
+                self._thread_names[thread_id] = names.get(
+                    thread_id, f"thread-{thread_id}"
+                )
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+    def _snapshot(
+        self,
+    ) -> tuple[
+        list[_FrameKey],
+        dict[int, list[tuple[int, ...]]],
+        dict[int, str],
+        float,
+    ]:
+        with self._lock:
+            return (
+                list(self._frames),
+                {tid: list(stacks) for tid, stacks in self._samples.items()},
+                dict(self._thread_names),
+                self._elapsed
+                if self._thread is None
+                else time.perf_counter() - self._started_at,
+            )
+
+    def stack_counts(self) -> dict[tuple[_FrameKey, ...], int]:
+        """Aggregated (across threads) stack -> sample count."""
+        frames, samples, _names, _elapsed = self._snapshot()
+        counts: dict[tuple[_FrameKey, ...], int] = {}
+        for stacks in samples.values():
+            for stack in stacks:
+                key = tuple(frames[index] for index in stack)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def to_collapsed(self) -> str:
+        """Collapsed-stack lines: ``outer;inner count``, sorted by count."""
+        lines = []
+        for stack, count in sorted(
+            self.stack_counts().items(), key=lambda item: (-item[1], item[0])
+        ):
+            path = ";".join(name for name, _file, _line in stack)
+            lines.append(f"{path} {count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_speedscope(self, name: str = "repro profile") -> dict[str, Any]:
+        """The speedscope JSON document (one sampled profile per thread)."""
+        frames, samples, thread_names, elapsed = self._snapshot()
+        profiles = []
+        for thread_id in sorted(samples):
+            stacks = samples[thread_id]
+            weights = [self.interval] * len(stacks)
+            profiles.append(
+                {
+                    "type": "sampled",
+                    "name": thread_names.get(thread_id, str(thread_id)),
+                    "unit": "seconds",
+                    "startValue": 0,
+                    "endValue": round(sum(weights), 6),
+                    "samples": [list(stack) for stack in stacks],
+                    "weights": weights,
+                }
+            )
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "name": name,
+            "exporter": "repro.obs.profile",
+            "activeProfileIndex": 0 if profiles else None,
+            "shared": {
+                "frames": [
+                    {"name": fname, "file": file, "line": line}
+                    for fname, file, line in frames
+                ]
+            },
+            "profiles": profiles,
+            "metadata": {
+                "interval_seconds": self.interval,
+                "sweeps": self.sweeps,
+                "elapsed_seconds": round(elapsed, 6),
+            },
+        }
+
+    def render_top(self, limit: int = 15) -> str:
+        """Human-readable hottest-stack table (the ``--profile`` output)."""
+        counts = self.stack_counts()
+        total = sum(counts.values())
+        if not total:
+            return "(no profile samples collected)"
+        lines = [f"# profile: {total} samples @ {self.interval * 1000:.1f}ms"]
+        ranked = sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )[:limit]
+        for stack, count in ranked:
+            leaf_name, leaf_file, leaf_line = stack[-1]
+            share = 100.0 * count / total
+            path = ";".join(name for name, _f, _l in stack[-4:])
+            lines.append(
+                f"{share:5.1f}%  {count:6d}  {path}  "
+                f"({leaf_file.rsplit('/', 1)[-1]}:{leaf_line})"
+            )
+        return "\n".join(lines)
+
+    def write(self, path: str) -> None:
+        """Write the capture to ``path``.
+
+        A ``.json`` suffix selects speedscope JSON; anything else gets
+        collapsed-stack lines.
+        """
+        if path.endswith(".json"):
+            text = json.dumps(self.to_speedscope(name=path))
+        else:
+            text = self.to_collapsed()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+#: Guards live-capture endpoints: one profile at a time per process.
+_CAPTURE_LOCK = threading.Lock()
+
+
+def capture_profile(
+    seconds: float, interval: float = DEFAULT_INTERVAL
+) -> SamplingProfiler:
+    """Block for ``seconds`` while sampling; returns the stopped profiler.
+
+    The serving layer's ``/debug/profile`` endpoint calls this from the
+    request thread (other server threads keep serving — and are exactly
+    what the capture observes).
+
+    Raises:
+        ProfileBusyError: when another capture is already running.
+        ValueError: for a non-positive or over-limit duration.
+    """
+    if not 0 < seconds <= MAX_CAPTURE_SECONDS:
+        raise ValueError(
+            f"seconds must be in (0, {MAX_CAPTURE_SECONDS:g}], got {seconds}"
+        )
+    if not _CAPTURE_LOCK.acquire(blocking=False):
+        raise ProfileBusyError("another profile capture is already running")
+    try:
+        profiler = SamplingProfiler(interval=interval)
+        profiler.start()
+        time.sleep(seconds)
+        profiler.stop()
+        return profiler
+    finally:
+        _CAPTURE_LOCK.release()

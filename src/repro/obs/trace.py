@@ -24,6 +24,7 @@ import functools
 import json
 import threading
 import time
+from collections.abc import Sequence
 from typing import Any, Callable, TypeVar
 
 __all__ = [
@@ -134,6 +135,28 @@ class Span:
             "counters": self.counters,
         }
 
+    def to_payload(self) -> dict[str, Any]:
+        """Full-precision picklable form for cross-process harvesting.
+
+        Unlike :meth:`as_dict` (the rounded JSONL row), this keeps the
+        raw clock readings so the parent can adopt the span without
+        losing timing precision (``perf_counter`` is system-wide on the
+        platforms the pool runs on, so child and parent readings share
+        an origin).
+        """
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "start_cpu": self.start_cpu,
+            "end_cpu": self.end_cpu,
+        }
+
     def __enter__(self) -> "Span":
         stack = self._tracer._stack()
         parent = stack[-1] if stack else None
@@ -190,6 +213,15 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def reset_thread_stack(self) -> None:
+        """Drop this thread's open-span stack.
+
+        A forked pool worker inherits whatever stack the forking thread
+        had open; clearing it makes the worker's first span a root, so
+        harvested spans re-parent cleanly under the submitting span.
+        """
+        self._local.stack = []
+
     def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
         """A context manager timing one region; no-op when disabled."""
         if not self.enabled:
@@ -212,6 +244,64 @@ class Tracer:
         """All completed spans, in completion order."""
         with self._lock:
             return tuple(self._finished)
+
+    def finished_count(self) -> int:
+        """How many spans have completed (a baseline for harvesting)."""
+        with self._lock:
+            return len(self._finished)
+
+    def spans_since(self, index: int) -> tuple[Span, ...]:
+        """Spans completed after the ``finished_count`` baseline.
+
+        In a forked pool worker the finished list starts as a copy of
+        the parent's; slicing from the baseline yields only what this
+        worker recorded itself.
+        """
+        with self._lock:
+            return tuple(self._finished[index:])
+
+    def adopt(
+        self,
+        payloads: Sequence[dict[str, Any]],
+        parent_span_id: int | None,
+        trace_id: str,
+    ) -> int:
+        """Graft spans harvested from a worker into this tracer's tree.
+
+        Every payload gets a fresh span id (worker ids collide across
+        forked processes); internal parent edges are remapped and
+        orphans — the worker's root spans — attach under
+        ``parent_span_id``. Returns the number of spans adopted.
+        """
+        if not payloads:
+            return 0
+        with self._lock:
+            first_id = self._next_id
+            self._next_id += len(payloads)
+        id_map = {
+            payload["span_id"]: first_id + offset
+            for offset, payload in enumerate(payloads)
+        }
+        adopted: list[Span] = []
+        for payload in payloads:
+            span = Span(
+                self,
+                payload["name"],
+                id_map[payload["span_id"]],
+                dict(payload["attrs"]),
+            )
+            span.parent_id = id_map.get(payload["parent_id"], parent_span_id)
+            span.trace_id = trace_id
+            span.thread_id = payload["thread_id"]
+            span.counters = dict(payload["counters"])
+            span.start_wall = payload["start_wall"]
+            span.end_wall = payload["end_wall"]
+            span.start_cpu = payload["start_cpu"]
+            span.end_cpu = payload["end_cpu"]
+            adopted.append(span)
+        with self._lock:
+            self._finished.extend(adopted)
+        return len(adopted)
 
     def reset(self) -> None:
         """Drop collected spans (open spans on other threads are kept)."""
@@ -272,7 +362,9 @@ class Tracer:
                     "ph": "X",
                     "ts": round((span.start_wall - origin) * 1e6, 1),
                     "dur": round(span.duration * 1e6, 1),
-                    "pid": 1,
+                    # Harvested worker spans carry their origin pid, so
+                    # Perfetto lays each worker out as its own process.
+                    "pid": span.attrs.get("pid", 1),
                     "tid": span.thread_id,
                     "args": args,
                 }

@@ -1,4 +1,4 @@
-"""Process-pool fan-out with a serial fallback and per-task retry.
+"""Process-pool fan-out with a serial fallback, retry and telemetry.
 
 :func:`run_tasks` is the execution core of the parallel engine: it maps a
 picklable worker function over a list of task payloads, either serially
@@ -7,10 +7,22 @@ as the deterministic baseline) or across a ``ProcessPoolExecutor``.
 Results always come back in payload order, so callers can zip them
 against their task keys regardless of scheduling order.
 
+Telemetry crosses the process boundary (see :mod:`repro.obs.snapshot`):
+each pooled task carries a :class:`~repro.obs.snapshot.TraceContext` and
+returns a :class:`~repro.obs.snapshot.TelemetrySnapshot` alongside its
+result. The parent merges snapshots in shard order, so ``--trace``
+output shows worker-side spans under the submitting ``run_tasks`` span
+(one ``<label>.task`` span per shard, tagged with shard index and pid)
+and every ``repro_*`` counter/histogram recorded inside a worker is
+exact at any worker count.
+
 Failure handling is graceful-degradation by design: a task whose future
 fails — including every outstanding future of a broken pool (a worker
 crashed hard) — is retried serially in the parent process rather than
-lost. Only a task that *also* fails serially propagates its error.
+lost. Only a task that *also* fails serially propagates its error. The
+retried shard indices are recorded on the span (``retried_shards``), in
+a structured ``parallel.shards_retried`` log line, and in the
+``repro_parallel_shard_retries_total`` counter.
 """
 
 from __future__ import annotations
@@ -22,7 +34,15 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, TypeVar
 
 from ..datamodel import ConfigurationError
-from ..obs import get_logger, span
+from ..obs import get_logger, get_registry, span
+from ..obs.snapshot import (
+    TelemetrySnapshot,
+    TraceContext,
+    begin_worker_capture,
+    capture_context,
+    finish_worker_capture,
+    merge_snapshots,
+)
 
 #: Default Monte Carlo samples per shard: large enough that pool overhead
 #: amortises, small enough that 100k samples split across 4+ workers.
@@ -76,6 +96,33 @@ def shard_sizes(n_samples: int, shard_size: int) -> list[int]:
     return [shard_size] * full + ([remainder] if remainder else [])
 
 
+@dataclasses.dataclass(frozen=True)
+class _TaskEnvelope:
+    """A pooled task's result plus the telemetry it recorded."""
+
+    result: Any
+    snapshot: TelemetrySnapshot
+
+
+def _run_pooled_task(
+    bundle: tuple[Callable[[Any], Any], Any, int, str, TraceContext],
+) -> _TaskEnvelope:
+    """Worker entry point: run one task under telemetry capture.
+
+    Opens a ``<label>.task`` span (shard index + pid attributes) so a
+    traced run always shows worker-side spans even when the task
+    function itself records none.
+    """
+    fn, payload, index, label, context = bundle
+    capture = begin_worker_capture(context)
+    try:
+        with span(f"{label}.task", shard=index, pid=os.getpid()):
+            result = fn(payload)
+    finally:
+        snapshot = finish_worker_capture(capture)
+    return _TaskEnvelope(result=result, snapshot=snapshot)
+
+
 def run_tasks(
     fn: Callable[[Any], _T],
     payloads: Iterable[Any],
@@ -87,14 +134,17 @@ def run_tasks(
     ``workers <= 1`` (or a single payload) runs serially in-process. A
     pool that cannot be created (no process support) degrades to the
     serial path; an individual task failure is retried serially before
-    the error is allowed to propagate.
+    the error is allowed to propagate. Worker telemetry snapshots are
+    merged in shard order after all results are in.
     """
     items: Sequence[Any] = list(payloads)
     with span(label, workers=workers, tasks=len(items)) as trace:
         if workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
         results: list[Any] = [None] * len(items)
+        snapshots: list[TelemetrySnapshot | None] = [None] * len(items)
         done: set[int] = set()
+        context = capture_context()
         try:
             pool = ProcessPoolExecutor(
                 max_workers=min(workers, len(items))
@@ -105,13 +155,18 @@ def run_tasks(
         try:
             with pool:
                 futures = {
-                    pool.submit(fn, items[index]): index
+                    pool.submit(
+                        _run_pooled_task,
+                        (fn, items[index], index, label, context),
+                    ): index
                     for index in range(len(items))
                 }
                 for future in as_completed(futures):
                     index = futures[future]
                     try:
-                        results[index] = future.result()
+                        envelope = future.result()
+                        results[index] = envelope.result
+                        snapshots[index] = envelope.snapshot
                         done.add(index)
                     except Exception as error:  # noqa: BLE001 - retried
                         _LOG.warning(
@@ -124,11 +179,25 @@ def run_tasks(
                 "parallel.pool_broken",
                 error=f"{type(error).__name__}: {error}",
             )
-        # A crashed worker's shard is retried serially, not lost.
-        for index in range(len(items)):
-            if index in done:
-                continue
-            trace.incr("retried")
+        # A crashed worker's shard is retried serially, not lost — and
+        # the exact shard indices are recorded for the operator.
+        retried = [index for index in range(len(items)) if index not in done]
+        if retried:
+            get_registry().counter(
+                "repro_parallel_shard_retries_total", label=label
+            ).incr(len(retried))
+            trace.incr("retried", len(retried))
+            trace.set("retried_shards", ",".join(map(str, retried)))
+            _LOG.warning(
+                "parallel.shards_retried",
+                label=label,
+                count=len(retried),
+                shards=",".join(map(str, retried)),
+            )
+        for index in retried:
             _LOG.info("parallel.retry_serial", task=index)
             results[index] = fn(items[index])
+        # Shard-order merge: worker spans graft under this run's span and
+        # metric deltas add exactly (retried shards recorded in-process).
+        merge_snapshots(snapshots, context)
         return results

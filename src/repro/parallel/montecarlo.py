@@ -24,7 +24,7 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from ..flavordb import stable_seed
-from ..obs import span
+from ..obs import get_registry, span
 from ..pairing.models import (
     DEFAULT_CHUNK,
     NullModel,
@@ -63,20 +63,40 @@ class ShardResult:
 
 
 def run_shard(task: ShardTask) -> ShardResult:
-    """Worker entry point: attach, sample one shard, return its moments."""
+    """Worker entry point: attach, sample one shard, return its moments.
+
+    Records ``repro_montecarlo_*`` series *in the worker*; the executor
+    harvests them back as deltas, so the merged registry reads the same
+    totals (and the same histogram window, merged in shard order) at any
+    worker count.
+    """
     started = time.perf_counter()
-    attached = AttachedView(task.spec)
-    try:
-        rng = np.random.Generator(np.random.PCG64(task.seed_seq))
-        moments = sample_model_moments(
-            attached.view,
-            NullModel(task.model_value),
-            task.n_samples,
-            rng,
-            chunk=task.chunk,
-        )
-    finally:
-        attached.close()
+    with span(
+        "montecarlo.shard",
+        region=task.spec.region_code,
+        model=task.model_value,
+    ) as trace:
+        attached = AttachedView(task.spec)
+        try:
+            rng = np.random.Generator(np.random.PCG64(task.seed_seq))
+            moments = sample_model_moments(
+                attached.view,
+                NullModel(task.model_value),
+                task.n_samples,
+                rng,
+                chunk=task.chunk,
+            )
+        finally:
+            attached.close()
+        trace.incr("samples", task.n_samples)
+    registry = get_registry()
+    registry.counter("repro_montecarlo_shards_total").incr()
+    registry.counter(
+        "repro_montecarlo_samples_total", model=task.model_value
+    ).incr(task.n_samples)
+    registry.histogram("repro_montecarlo_shard_samples").observe(
+        float(task.n_samples)
+    )
     return ShardResult(
         moments=moments,
         samples=task.n_samples,

@@ -22,7 +22,13 @@ recipe analytics as an online service). Layers:
 serves it until interrupted.
 """
 
-from .app import ROUTES, PlainTextResponse, ServiceApp
+from .app import (
+    ROUTES,
+    PlainTextResponse,
+    ServiceApp,
+    generate_request_id,
+    resolve_request_id,
+)
 from .cache import CacheStats, ResultCache, canonical_key
 from .handlers import QueryService, RequestError
 from .metrics import LatencyStats, ServiceMetrics
@@ -41,4 +47,6 @@ __all__ = [
     "ServiceMetrics",
     "ServiceServer",
     "create_server",
+    "generate_request_id",
+    "resolve_request_id",
 ]

@@ -8,18 +8,27 @@ future batching front-end) only ever call :meth:`ServiceApp.dispatch`.
 Error responses use one structured envelope::
 
     {"error": {"code": "unknown_ingredient", "message": "..."},
-     "status": 404}
+     "status": 404, "request_id": "..."}
+
+Every response — success or failure, cached or fresh — carries a
+``request_id``: the validated ``X-Request-Id`` the client supplied, or a
+generated one. The same id is bound to the dispatch span and to every
+structured log line emitted while the request is being served, so one
+grep correlates a client-reported failure across logs, trace and body.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
+import os
+import re
 import time
 import traceback
 from typing import Any, Callable
 
 from ..datamodel import ReproError
-from ..obs import NOOP_SPAN, get_registry, get_tracer, span
+from ..obs import NOOP_SPAN, bound_log_fields, get_registry, get_tracer, span
 
 #: The tracer singleton, bound once: ``configure_tracing`` mutates its
 #: ``enabled`` flag in place, so dispatch can check one attribute.
@@ -49,7 +58,9 @@ class Route:
 #: ignore any body.
 ROUTES: dict[str, Route] = {
     "/healthz": Route("GET", "handle_healthz", cacheable=False),
+    "/readyz": Route("GET", "handle_readyz", cacheable=False),
     "/metrics": Route("GET", "handle_metrics", cacheable=False),
+    "/debug/profile": Route("GET", "handle_debug_profile", cacheable=False),
     "/regions": Route("GET", "handle_regions", cacheable=True),
     "/stats": Route("GET", "handle_stats", cacheable=True),
     "/alias": Route("POST", "handle_alias", cacheable=True),
@@ -67,6 +78,33 @@ ROUTES: dict[str, Route] = {
 def error_body(status: int, code: str, message: str) -> dict[str, Any]:
     """The structured error envelope every failure path uses."""
     return {"error": {"code": code, "message": message}, "status": status}
+
+
+#: Client-supplied request ids must be short and log-safe; anything else
+#: is discarded and replaced (never echoed — that would be log injection).
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+#: Generated ids: one random process prefix plus a counter. Two orders
+#: of magnitude cheaper than uuid4 — this runs on every request even
+#: with all observability off.
+_RID_PREFIX = f"{os.getpid():x}-{os.urandom(4).hex()}"
+_RID_COUNTER = itertools.count(1)
+
+
+def generate_request_id() -> str:
+    """A fresh process-unique request id (``<pid>-<rand>-<seq>``)."""
+    return f"{_RID_PREFIX}-{next(_RID_COUNTER):06x}"
+
+
+def resolve_request_id(supplied: Any) -> str:
+    """The id to serve a request under: the client's when valid, else new.
+
+    Idempotent — resolving an already-resolved id returns it unchanged,
+    so transport and app layers can both call it safely.
+    """
+    if isinstance(supplied, str) and _REQUEST_ID_RE.match(supplied):
+        return supplied
+    return generate_request_id()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,6 +139,7 @@ class ServiceApp:
         method: str,
         path: str,
         payload: Any = None,
+        request_id: str | None = None,
         _trace: Any = NOOP_SPAN,
     ) -> tuple[int, dict[str, Any] | PlainTextResponse]:
         """Serve one request; never raises.
@@ -108,6 +147,8 @@ class ServiceApp:
         Returns:
             ``(http status, JSON-ready body)`` — or, for
             ``/metrics?format=prometheus``, a :class:`PlainTextResponse`.
+            Dict bodies always carry the request's ``request_id``
+            (supplied and valid, or generated here).
         """
         # With tracing disabled (the default) this costs two identity
         # checks — no span object, no kwargs dict, no extra call frame.
@@ -115,7 +156,30 @@ class ServiceApp:
         traced = _trace is not NOOP_SPAN
         if not traced and _TRACER.enabled:
             with span("service.dispatch", method=method, path=path) as open_span:
-                return self.dispatch(method, path, payload, _trace=open_span)
+                return self.dispatch(
+                    method, path, payload, request_id, _trace=open_span
+                )
+        rid = resolve_request_id(request_id)
+        if traced:
+            _trace.set("request_id", rid)
+        with bound_log_fields(request_id=rid):
+            status, body = self._dispatch_request(
+                method, path, payload, _trace, traced
+            )
+        if isinstance(body, dict):
+            # Shallow copy: the cache holds the id-free body, every
+            # response gets its own correlation id.
+            body = {**body, "request_id": rid}
+        return status, body
+
+    def _dispatch_request(
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        _trace: Any,
+        traced: bool,
+    ) -> tuple[int, dict[str, Any] | PlainTextResponse]:
         trace = _trace
         started = self._clock()
         route = ROUTES.get(path)
@@ -164,6 +228,14 @@ class ServiceApp:
                 status, body = 200, getattr(
                     self.service, route.handler
                 )(payload)
+                if (
+                    route.handler == "handle_readyz"
+                    and isinstance(body, dict)
+                    and not body.get("ready", True)
+                ):
+                    # Not an error envelope: the body carries the full
+                    # per-stage state; 503 tells load balancers to wait.
+                    status = 503
         except RequestError as error:
             status, body = error.status, error_body(
                 error.status, error.code, str(error)

@@ -64,6 +64,13 @@ DEFAULT_MC_SHARD_SIZE = 5_000
 MIN_MC_SHARD_SIZE = 100
 MAX_MC_SHARD_SIZE = 25_000
 
+#: ``/debug/profile`` capture bounds: long enough to catch a slow
+#: endpoint in the act, short enough that the request thread (which
+#: blocks for the duration) frees up promptly.
+DEFAULT_PROFILE_SECONDS = 2.0
+MIN_PROFILE_SECONDS = 0.01
+MAX_PROFILE_SECONDS = 30.0
+
 
 class RequestError(ReproError):
     """A request the service refuses; carries an HTTP status and a code.
@@ -154,6 +161,36 @@ def _bool_field(payload: dict[str, Any], name: str, default: bool) -> bool:
     return value
 
 
+def _float_field(
+    payload: dict[str, Any],
+    name: str,
+    default: float,
+    minimum: float,
+    maximum: float,
+) -> float:
+    """A bounded float field; accepts numeric strings (query params)."""
+    value = payload.get(name, default)
+    if isinstance(value, str):
+        try:
+            value = float(value)
+        except ValueError:
+            raise RequestError(
+                400, "invalid_field", f"{name!r} must be a number"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(
+            400, "invalid_field", f"{name!r} must be a number"
+        )
+    if not minimum <= value <= maximum:
+        raise RequestError(
+            400,
+            "invalid_field",
+            f"{name!r} must be between {minimum:g} and {maximum:g}, "
+            f"got {value:g}",
+        )
+    return float(value)
+
+
 class QueryService:
     """Request handlers bound to one :class:`ExperimentWorkspace`.
 
@@ -177,6 +214,7 @@ class QueryService:
         self._classifier: CuisineClassifier | None = None
         self._database: Database | None = None
         self._designers: dict[str, RecipeDesigner] = {}
+        self._preloaded = False
         # Engine-built workspaces already carry the pairing_views stage
         # artifact; seed the per-region view cache from it so the first
         # /montecarlo request never rebuilds a view.
@@ -288,6 +326,7 @@ class QueryService:
         with self._lock:
             for code, view in views.items():
                 self._views.setdefault(code, view)
+            self._preloaded = True
         _LOG.info(
             "service.preloaded",
             regions=len(views),
@@ -361,6 +400,62 @@ class QueryService:
             "recipes": len(workspace.recipes),
             "regions": len(workspace.regional_cuisines()),
         }
+
+    def handle_readyz(self, payload: Any) -> dict[str, Any]:
+        """Readiness: lazy-component state plus per-stage cache tiers.
+
+        ``ready`` flips true once every lazily-built shared artefact
+        (aliasing pipeline, classifier, CulinaryDB) exists — exactly
+        what :meth:`warm` builds, so a ``--no-warm`` server reports
+        unready until its first requests have paid those builds. The
+        app layer maps an unready body to HTTP 503.
+
+        ``stages`` reports each engine stage's fingerprint and warmest
+        cache tier (``memory``/``disk``/``cold``) without resolving
+        anything, so polling this endpoint never triggers a build.
+        """
+        from ..engine import Engine
+
+        _payload_dict(payload)
+        with self._lock:
+            components = {
+                "aliasing_pipeline": bool(self._pipelines),
+                "classifier": self._classifier is not None,
+                "database": self._database is not None,
+            }
+            preloaded = self._preloaded
+            views_cached = len(self._views)
+        return {
+            "ready": all(components.values()),
+            "preloaded": preloaded,
+            "components": components,
+            "views_cached": views_cached,
+            "stages": Engine(self._config).cache_states(),
+        }
+
+    def handle_debug_profile(self, payload: Any) -> dict[str, Any]:
+        """Sample this process for N seconds; respond with speedscope JSON.
+
+        The request thread blocks while the profiler samples every
+        *other* server thread — the ones actually serving traffic.
+        Exactly one capture runs at a time (409 otherwise).
+        """
+        from ..obs.profile import ProfileBusyError, capture_profile
+
+        body = _payload_dict(payload)
+        _reject_unknown(body, frozenset({"seconds"}))
+        seconds = _float_field(
+            body,
+            "seconds",
+            default=DEFAULT_PROFILE_SECONDS,
+            minimum=MIN_PROFILE_SECONDS,
+            maximum=MAX_PROFILE_SECONDS,
+        )
+        try:
+            profiler = capture_profile(seconds)
+        except ProfileBusyError as error:
+            raise RequestError(409, "profile_busy", str(error)) from error
+        return profiler.to_speedscope(name=f"repro service {seconds:g}s")
 
     def handle_alias(self, payload: Any) -> dict[str, Any]:
         """Resolve one raw ingredient phrase against the catalog."""

@@ -16,7 +16,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs
 
-from .app import PlainTextResponse, ServiceApp, error_body
+from .app import (
+    PlainTextResponse,
+    ServiceApp,
+    error_body,
+    resolve_request_id,
+)
 
 #: Refuse request bodies beyond this size (1 MiB) before reading them.
 MAX_BODY_BYTES = 1 << 20
@@ -35,9 +40,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._serve("POST")
 
     def _serve(self, method: str) -> None:
+        # Resolve the correlation id first: even a malformed-body 400
+        # carries it, in the envelope and the X-Request-Id echo.
+        request_id = resolve_request_id(self.headers.get("X-Request-Id"))
         payload, parse_error = self._read_payload()
         if parse_error is not None:
-            self._respond(400, parse_error)
+            parse_error["request_id"] = request_id
+            self._respond(400, parse_error, request_id)
             return
         path, _, query = self.path.partition("?")
         if payload is None and query:
@@ -47,8 +56,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 key: values[-1]
                 for key, values in parse_qs(query).items()
             }
-        status, body = self.server.app.dispatch(method, path, payload)
-        self._respond(status, body)
+        status, body = self.server.app.dispatch(
+            method, path, payload, request_id=request_id
+        )
+        self._respond(status, body, request_id)
 
     def _read_payload(self) -> tuple[Any, dict[str, Any] | None]:
         """The decoded JSON body, or an error envelope when undecodable."""
@@ -78,7 +89,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
 
     def _respond(
-        self, status: int, body: dict[str, Any] | PlainTextResponse
+        self,
+        status: int,
+        body: dict[str, Any] | PlainTextResponse,
+        request_id: str | None = None,
     ) -> None:
         if isinstance(body, PlainTextResponse):
             encoded = body.text.encode("utf-8")
@@ -88,6 +102,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             content_type = "application/json"
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         self.send_header("Content-Length", str(len(encoded)))
         self.end_headers()
         self.wfile.write(encoded)

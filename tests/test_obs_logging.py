@@ -113,3 +113,58 @@ class TestSpanCorrelation:
         stream = capture(json_mode=True)
         get_logger("t").info("plain")
         assert "span" not in json.loads(stream.getvalue().strip())
+
+
+class TestBoundFields:
+    def test_bound_fields_appear_in_records(self):
+        from repro.obs import bound_log_fields
+
+        stream = capture(json_mode=True)
+        with bound_log_fields(request_id="req-1", tenant="acme"):
+            get_logger("t").info("served")
+        row = json.loads(stream.getvalue().strip())
+        assert row["request_id"] == "req-1"
+        assert row["tenant"] == "acme"
+
+    def test_bound_fields_restore_on_exit(self):
+        from repro.obs import bound_log_fields
+
+        stream = capture(json_mode=True)
+        with bound_log_fields(request_id="req-1"):
+            pass
+        get_logger("t").info("after")
+        assert "request_id" not in json.loads(stream.getvalue().strip())
+
+    def test_nested_binding_merges_and_unwinds(self):
+        from repro.obs import bound_log_fields
+
+        stream = capture(json_mode=True)
+        log = get_logger("t")
+        with bound_log_fields(request_id="outer", layer="app"):
+            with bound_log_fields(request_id="inner"):
+                log.info("deep")
+            log.info("shallow")
+        rows = [
+            json.loads(line)
+            for line in stream.getvalue().strip().splitlines()
+        ]
+        assert rows[0]["request_id"] == "inner"
+        assert rows[0]["layer"] == "app"  # outer fields still visible
+        assert rows[1]["request_id"] == "outer"
+
+    def test_per_call_fields_win_over_bound(self):
+        from repro.obs import bound_log_fields
+
+        stream = capture(json_mode=True)
+        with bound_log_fields(request_id="bound"):
+            get_logger("t").info("x", request_id="explicit")
+        row = json.loads(stream.getvalue().strip())
+        assert row["request_id"] == "explicit"
+
+    def test_kv_mode_carries_bound_fields(self):
+        from repro.obs import bound_log_fields
+
+        stream = capture()
+        with bound_log_fields(request_id="req-kv"):
+            get_logger("t").info("served")
+        assert "request_id=req-kv" in stream.getvalue()

@@ -163,19 +163,33 @@ class TestPrometheusExposition:
         assert "repro_temperature 1.5" in text
         assert text.endswith("\n")
 
-    def test_histogram_renders_as_summary(self):
+    def test_histogram_renders_native_buckets(self):
         registry = MetricsRegistry()
         histogram = registry.histogram("repro_request_seconds", endpoint="sql")
         for value in (0.001, 0.002, 0.003):
             histogram.observe(value)
         text = registry.render_prometheus()
-        assert "# TYPE repro_request_seconds summary" in text
-        assert (
-            'repro_request_seconds{endpoint="sql",quantile="0.5"} 0.002'
-            in text
-        )
+        assert "# TYPE repro_request_seconds histogram" in text
+        # bucket counts are cumulative and end at +Inf == _count.
+        assert 'repro_request_seconds_bucket{endpoint="sql",le="0.001"} 1' in text
+        assert 'repro_request_seconds_bucket{endpoint="sql",le="0.005"} 3' in text
+        assert 'repro_request_seconds_bucket{endpoint="sql",le="+Inf"} 3' in text
         assert 'repro_request_seconds_count{endpoint="sql"} 3' in text
-        assert 'repro_request_seconds_sum{endpoint="sql"}' in text
+        assert 'repro_request_seconds_sum{endpoint="sql"} 0.006' in text
+
+    def test_histogram_bucket_counts_are_monotone(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds")
+        for value in (0.0005, 0.03, 0.4, 2.0, 7000.0):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("h_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5  # +Inf bucket holds everything
 
     def test_type_header_emitted_once_per_name(self):
         registry = MetricsRegistry()
@@ -208,7 +222,9 @@ class TestPrometheusExposition:
         )
         for line in registry.render_prometheus().splitlines():
             if line.startswith("#"):
-                assert re.match(r"^# TYPE \S+ (counter|gauge|summary)$", line)
+                assert re.match(
+                    r"^# TYPE \S+ (counter|gauge|histogram)$", line
+                )
             else:
                 assert pattern.match(line), line
 

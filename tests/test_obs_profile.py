@@ -1,0 +1,147 @@
+"""Tests for the stdlib sampling profiler (repro.obs.profile)."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    DEFAULT_INTERVAL,
+    MAX_CAPTURE_SECONDS,
+    ProfileBusyError,
+    SamplingProfiler,
+    capture_profile,
+)
+
+
+def _burn(seconds):
+    """Busy loop with a recognisable frame name for the sampler to see."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(index * index for index in range(500))
+    return total
+
+
+def _profiled_burn(interval=0.002, seconds=0.15):
+    profiler = SamplingProfiler(interval=interval)
+    profiler.start()
+    _burn(seconds)
+    profiler.stop()
+    return profiler
+
+
+class TestLifecycle:
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_without_start_is_noop(self):
+        SamplingProfiler().stop()
+
+    def test_context_manager(self):
+        with SamplingProfiler(interval=0.002) as profiler:
+            _burn(0.05)
+        assert profiler.sweeps > 0
+        assert profiler.elapsed >= 0.05
+
+    def test_busy_workload_gets_sampled(self):
+        profiler = _profiled_burn()
+        assert profiler.sweeps >= 10
+        counts = profiler.stack_counts()
+        assert sum(counts.values()) > 0
+        leaf_names = {stack[-1][0] for stack in counts}
+        # The burn loop (or its genexpr) must dominate the samples.
+        assert leaf_names & {"_burn", "<genexpr>"}
+
+
+class TestExporters:
+    def test_collapsed_format(self):
+        profiler = _profiled_burn()
+        text = profiler.to_collapsed()
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            path, _, count = line.rpartition(" ")
+            assert path
+            assert int(count) > 0
+        # Sorted by count, descending.
+        counts = [
+            int(line.rpartition(" ")[2])
+            for line in text.strip().splitlines()
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_speedscope_document(self):
+        profiler = _profiled_burn()
+        doc = profiler.to_speedscope(name="unit test")
+        assert doc["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        assert doc["name"] == "unit test"
+        frames = doc["shared"]["frames"]
+        assert frames and all(
+            {"name", "file", "line"} <= set(frame) for frame in frames
+        )
+        assert doc["profiles"], "expected at least one thread profile"
+        for profile in doc["profiles"]:
+            assert profile["type"] == "sampled"
+            assert profile["unit"] == "seconds"
+            assert len(profile["samples"]) == len(profile["weights"])
+            for stack in profile["samples"]:
+                assert all(0 <= index < len(frames) for index in stack)
+        assert doc["metadata"]["sweeps"] == profiler.sweeps
+
+    def test_empty_capture_renders_placeholder(self):
+        profiler = SamplingProfiler()
+        assert profiler.render_top() == "(no profile samples collected)"
+        assert profiler.to_collapsed() == ""
+
+    def test_render_top_shares_sum_to_100(self):
+        profiler = _profiled_burn()
+        text = profiler.render_top()
+        assert text.startswith("# profile:")
+        assert "%" in text
+
+    def test_write_selects_format_by_suffix(self, tmp_path):
+        profiler = _profiled_burn()
+        json_path = tmp_path / "capture.speedscope.json"
+        collapsed_path = tmp_path / "capture.folded"
+        profiler.write(str(json_path))
+        profiler.write(str(collapsed_path))
+        doc = json.loads(json_path.read_text())
+        assert doc["$schema"].startswith("https://www.speedscope.app")
+        assert collapsed_path.read_text() == profiler.to_collapsed()
+
+
+class TestCaptureProfile:
+    def test_blocking_capture(self):
+        profiler = capture_profile(0.05, interval=0.002)
+        assert profiler.elapsed >= 0.05
+        assert profiler._thread is None  # stopped
+
+    def test_rejects_bad_durations(self):
+        with pytest.raises(ValueError):
+            capture_profile(0)
+        with pytest.raises(ValueError):
+            capture_profile(MAX_CAPTURE_SECONDS + 1)
+
+    def test_concurrent_capture_is_busy(self):
+        from repro.obs import profile as profile_module
+
+        assert profile_module._CAPTURE_LOCK.acquire(blocking=False)
+        try:
+            with pytest.raises(ProfileBusyError):
+                capture_profile(0.01)
+        finally:
+            profile_module._CAPTURE_LOCK.release()
+        # And the lock is free again afterwards.
+        capture_profile(0.01, interval=DEFAULT_INTERVAL)

@@ -1,0 +1,212 @@
+"""Tests for cross-process telemetry harvesting (repro.obs.snapshot)."""
+
+import os
+
+import pytest
+
+from repro.obs import (
+    TelemetrySnapshot,
+    TraceContext,
+    begin_worker_capture,
+    capture_context,
+    configure_tracing,
+    finish_worker_capture,
+    get_registry,
+    get_tracer,
+    merge_snapshot,
+    span,
+)
+from repro.parallel import run_tasks
+
+
+@pytest.fixture()
+def traced_tracer():
+    tracer = configure_tracing(True)
+    tracer.reset()
+    yield tracer
+    configure_tracing(False)
+    tracer.reset()
+
+
+def _record_telemetry(value):
+    """Top-level (picklable) task: records a span, counter and histogram."""
+    registry = get_registry()
+    registry.counter("snaptest_items_total").incr()
+    registry.histogram("snaptest_values").observe(float(value))
+    with span("snaptest.work", item=value) as trace:
+        trace.incr("processed", 1)
+    return value * 2
+
+
+def _registry_deltas(state):
+    """Comparable view of everything recorded since ``state``."""
+    return {
+        (delta.name, delta.labels): (
+            delta.kind,
+            delta.value,
+            delta.count,
+            round(delta.total, 9),
+            delta.samples,
+            delta.bucket_counts,
+        )
+        for delta in get_registry().deltas_since(state)
+    }
+
+
+class TestTraceContext:
+    def test_untraced_context_by_default(self):
+        context = capture_context()
+        assert context == TraceContext()
+        assert not context.traced
+
+    def test_context_carries_current_span(self, traced_tracer):
+        with span("parent.op") as parent:
+            context = capture_context()
+        assert context.traced
+        assert context.trace_id == parent.trace_id
+        assert context.parent_span_id == parent.span_id
+
+    def test_traced_without_open_span(self, traced_tracer):
+        context = capture_context()
+        assert context.traced
+        assert context.parent_span_id is None
+
+
+class TestWorkerCapture:
+    def test_baseline_absorbs_prior_state(self):
+        registry = get_registry()
+        registry.counter("snaptest_prior_total").incr(7)
+        capture = begin_worker_capture(TraceContext())
+        registry.counter("snaptest_prior_total").incr(2)
+        snapshot = finish_worker_capture(capture)
+        deltas = {d.name: d for d in snapshot.metrics}
+        assert deltas["snaptest_prior_total"].value == 2
+
+    def test_untraced_capture_ships_no_spans(self):
+        capture = begin_worker_capture(TraceContext(traced=False))
+        with span("invisible"):
+            pass
+        snapshot = finish_worker_capture(capture)
+        assert snapshot.spans == ()
+        assert snapshot.pid == os.getpid()
+
+    def test_traced_capture_ships_span_payloads(self, traced_tracer):
+        context = TraceContext(trace_id="t", parent_span_id=None, traced=True)
+        capture = begin_worker_capture(context)
+        with span("captured.op", shard=3):
+            pass
+        snapshot = finish_worker_capture(capture)
+        names = [payload["name"] for payload in snapshot.spans]
+        assert "captured.op" in names
+        payload = snapshot.spans[names.index("captured.op")]
+        assert payload["attrs"]["shard"] == 3
+        assert payload["end_wall"] >= payload["start_wall"]
+
+    def test_empty_snapshot_property(self):
+        assert TelemetrySnapshot().empty
+        assert not TelemetrySnapshot(
+            metrics=(get_registry().deltas_since({}) or (None,))
+        ).empty
+
+
+class TestMergeSnapshot:
+    def test_metric_deltas_apply_exactly(self):
+        registry = get_registry()
+        capture = begin_worker_capture(TraceContext())
+        registry.counter("snaptest_merge_total").incr(5)
+        registry.histogram("snaptest_merge_values").observe(1.5)
+        snapshot = finish_worker_capture(capture)
+
+        state = registry.state()
+        merge_snapshot(snapshot, TraceContext())
+        merged = _registry_deltas(state)
+        counter_key = ("snaptest_merge_total", ())
+        assert merged[counter_key][1] == 5
+        histogram_key = ("snaptest_merge_values", ())
+        assert merged[histogram_key][2] == 1  # count
+        assert merged[histogram_key][4] == (1.5,)  # samples
+
+    def test_spans_graft_under_parent(self, traced_tracer):
+        with span("parent.op") as parent:
+            context = capture_context()
+        baseline = traced_tracer.finished_count()
+        # Simulate a worker: fresh capture, record a nested pair.
+        capture = begin_worker_capture(context)
+        with span("worker.outer"):
+            with span("worker.inner"):
+                pass
+        snapshot = finish_worker_capture(capture)
+        # Drop the worker-side records so adoption is the only copy
+        # (in a real pool the records die with the worker process).
+        traced_tracer._finished = traced_tracer._finished[:baseline]
+        merge_snapshot(snapshot, context)
+
+        adopted = {
+            s.name: s for s in traced_tracer.spans_since(baseline)
+        }
+        outer, inner = adopted["worker.outer"], adopted["worker.inner"]
+        assert outer.parent_id == parent.span_id
+        assert inner.parent_id == outer.span_id
+        assert outer.trace_id == parent.trace_id
+        span_ids = {parent.span_id, outer.span_id, inner.span_id}
+        assert len(span_ids) == 3  # re-identified, no collisions
+
+
+class TestRunTasksHarvesting:
+    def test_counters_identical_across_worker_counts(self):
+        registry = get_registry()
+        per_run = []
+        for workers in (1, 2, 4):
+            state = registry.state()
+            results = run_tasks(
+                _record_telemetry,
+                list(range(6)),
+                workers=workers,
+                label="snaptest.run",
+            )
+            assert results == [value * 2 for value in range(6)]
+            per_run.append(_registry_deltas(state))
+        assert per_run[0] == per_run[1] == per_run[2]
+        counter_key = ("snaptest_items_total", ())
+        assert per_run[0][counter_key][1] == 6
+        histogram_key = ("snaptest_values", ())
+        # Shard-order merge: the parallel window equals the serial one.
+        assert per_run[0][histogram_key][4] == tuple(
+            float(value) for value in range(6)
+        )
+
+    def test_traced_parallel_run_shows_worker_spans(self, traced_tracer):
+        with span("test.root"):
+            run_tasks(
+                _record_telemetry,
+                [1, 2, 3],
+                workers=2,
+                label="snaptest.graft",
+            )
+        spans = {s.span_id: s for s in traced_tracer.spans_since(0)}
+        by_name: dict[str, list] = {}
+        for item in spans.values():
+            by_name.setdefault(item.name, []).append(item)
+        run_span = by_name["snaptest.graft"][0]
+        task_spans = by_name["snaptest.graft.task"]
+        assert len(task_spans) == 3
+        for task_span in task_spans:
+            assert task_span.parent_id == run_span.span_id
+            assert task_span.trace_id == run_span.trace_id
+            assert task_span.attrs["pid"] != 0
+        work_spans = by_name["snaptest.work"]
+        assert len(work_spans) == 3
+        task_ids = {task_span.span_id for task_span in task_spans}
+        assert {w.parent_id for w in work_spans} <= task_ids
+        shards = sorted(t.attrs["shard"] for t in task_spans)
+        assert shards == [0, 1, 2]
+
+    def test_serial_run_records_in_process(self, traced_tracer):
+        with span("test.root"):
+            run_tasks(
+                _record_telemetry, [5], workers=1, label="snaptest.serial"
+            )
+        names = [s.name for s in traced_tracer.spans_since(0)]
+        assert "snaptest.work" in names
+        # No pooled task wrapper on the serial path.
+        assert "snaptest.serial.task" not in names

@@ -120,3 +120,60 @@ class TestRunTasks:
         # A legitimate None result must not be mistaken for a crashed
         # task and re-run (the completion set, not the value, decides).
         assert run_tasks(_identity, [None, None], workers=2) == [None, None]
+
+
+class TestRetryTelemetry:
+    def test_retries_counted_in_registry(self):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        parent = os.getpid()
+        state = registry.state()
+        run_tasks(
+            _succeed_only_in_parent,
+            [parent, parent, parent],
+            workers=2,
+            label="retrytest.run",
+        )
+        deltas = {
+            (d.name, d.labels): d.value
+            for d in registry.deltas_since(state)
+        }
+        key = (
+            "repro_parallel_shard_retries_total",
+            (("label", "retrytest.run"),),
+        )
+        assert deltas[key] == 3
+
+    def test_retried_shards_recorded_on_span(self):
+        from repro.obs import configure_tracing
+
+        tracer = configure_tracing(True)
+        tracer.reset()
+        try:
+            parent = os.getpid()
+            run_tasks(
+                _succeed_only_in_parent,
+                [parent, parent, parent],
+                workers=2,
+                label="retrytest.span",
+            )
+        finally:
+            configure_tracing(False)
+        spans = {s.name: s for s in tracer.spans_since(0)}
+        tracer.reset()
+        run_span = spans["retrytest.span"]
+        assert run_span.attrs["retried_shards"] == "0,1,2"
+
+    def test_clean_run_records_no_retries(self):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        state = registry.state()
+        run_tasks(_square, [1, 2, 3, 4], workers=2, label="retrytest.clean")
+        retry_deltas = [
+            d
+            for d in registry.deltas_since(state)
+            if d.name == "repro_parallel_shard_retries_total"
+        ]
+        assert retry_deltas == []

@@ -248,6 +248,9 @@ class TestCaching:
         payload = {"ingredients": ["garlic", "onion", "tomato"]}
         _, first = app.dispatch("POST", "/score", payload)
         _, second = app.dispatch("POST", "/score", payload)
+        # Cached bodies are identical apart from the per-response
+        # correlation id, which must be fresh even on a cache hit.
+        assert first.pop("request_id") != second.pop("request_id")
         assert first == second
         _, metrics = app.dispatch("GET", "/metrics")
         assert metrics["endpoints"]["score"]["cache_hits"] == 1
@@ -290,7 +293,8 @@ class TestPrometheusMetrics:
         assert isinstance(body, PlainTextResponse)
         assert body.content_type.startswith("text/plain")
         assert 'repro_requests_total{endpoint="score"} 1' in body.text
-        assert "# TYPE repro_request_seconds summary" in body.text
+        assert "# TYPE repro_request_seconds histogram" in body.text
+        assert 'le="+Inf"' in body.text
         assert "repro_cache_hit_rate" in body.text
 
     def test_json_remains_the_default(self, app):
@@ -424,3 +428,177 @@ class TestMonteCarlo:
         app.dispatch("POST", "/montecarlo", payload)
         _, metrics = app.dispatch("GET", "/metrics")
         assert metrics["endpoints"]["montecarlo"]["cache_hits"] == 1
+
+
+class TestRequestId:
+    def test_generated_when_absent(self, app):
+        _, body = app.dispatch("GET", "/healthz")
+        assert body["request_id"]
+        _, second = app.dispatch("GET", "/healthz")
+        assert second["request_id"] != body["request_id"]
+
+    def test_supplied_id_echoed(self, app):
+        _, body = app.dispatch(
+            "GET", "/healthz", request_id="client-id.42"
+        )
+        assert body["request_id"] == "client-id.42"
+
+    def test_invalid_supplied_id_replaced(self, app):
+        for bad in ("has spaces", "x" * 129, "", 7, None):
+            _, body = app.dispatch("GET", "/healthz", request_id=bad)
+            assert body["request_id"] != bad
+            assert body["request_id"]
+
+    def test_error_envelope_carries_request_id(self, app):
+        status, body = app.dispatch(
+            "GET", "/nope", request_id="err-trace-1"
+        )
+        assert status == 404
+        assert body["request_id"] == "err-trace-1"
+        status, body = app.dispatch(
+            "POST", "/alias", {}, request_id="err-trace-2"
+        )
+        assert status == 400
+        assert body["request_id"] == "err-trace-2"
+
+    def test_request_id_bound_to_log_lines(self, app, monkeypatch):
+        import io
+        import json as json_module
+
+        from repro.obs import configure_logging, get_logger
+
+        stream = io.StringIO()
+        configure_logging(level="info", json_mode=True, stream=stream)
+        try:
+            logger = get_logger("repro.test.rid")
+
+            def logging_healthz(payload):
+                logger.info("handling.request")
+                return {"status": "ok"}
+
+            monkeypatch.setattr(
+                app.service, "handle_healthz", logging_healthz
+            )
+            _, body = app.dispatch(
+                "GET", "/healthz", request_id="log-correl-1"
+            )
+        finally:
+            configure_logging(level="info", json_mode=False, stream=None)
+        row = json_module.loads(stream.getvalue().strip())
+        assert row["event"] == "handling.request"
+        assert row["request_id"] == "log-correl-1"
+        assert body["request_id"] == "log-correl-1"
+
+    def test_traced_dispatch_tags_span(self, app):
+        from repro.obs import configure_tracing, get_tracer
+
+        tracer = configure_tracing(True)
+        tracer.reset()
+        try:
+            app.dispatch("GET", "/healthz", request_id="span-tag-1")
+        finally:
+            configure_tracing(False)
+        spans = {s.name: s for s in tracer.spans_since(0)}
+        tracer.reset()
+        assert spans["service.dispatch"].attrs["request_id"] == "span-tag-1"
+
+
+class TestReadyz:
+    def test_cold_service_reports_503(self, workspace):
+        from repro.service import QueryService, ServiceApp
+
+        cold_app = ServiceApp(QueryService(workspace))
+        status, body = cold_app.dispatch("GET", "/readyz")
+        assert status == 503
+        assert body["ready"] is False
+        assert body["preloaded"] is False
+        assert set(body["components"]) == {
+            "aliasing_pipeline",
+            "classifier",
+            "database",
+        }
+
+    def test_warm_service_reports_ready(self, workspace):
+        from repro.engine import RunConfig
+        from repro.engine.stages import STAGE_ORDER
+        from repro.service import QueryService, ServiceApp
+
+        service = QueryService(
+            workspace,
+            RunConfig(recipe_scale=workspace.recipe_scale),
+        )
+        service.warm()
+        warm_app = ServiceApp(service)
+        status, body = warm_app.dispatch("GET", "/readyz")
+        assert status == 200
+        assert body["ready"] is True
+        assert all(body["components"].values())
+        stages = body["stages"]
+        assert [entry["stage"] for entry in stages] == list(STAGE_ORDER)
+        for entry in stages:
+            assert entry["tier"] in ("memory", "disk", "cold")
+            assert entry["warm"] == (entry["tier"] != "cold")
+            assert len(entry["fingerprint"]) >= 16
+
+    def test_readyz_never_triggers_builds(self, workspace):
+        from repro.obs import get_registry
+        from repro.service import QueryService, ServiceApp
+
+        registry = get_registry()
+        state = registry.state()
+        cold_app = ServiceApp(QueryService(workspace))
+        cold_app.dispatch("GET", "/readyz")
+        built = [
+            delta
+            for delta in registry.deltas_since(state)
+            if delta.name == "engine_stage_build_total"
+        ]
+        assert built == []
+
+
+class TestDebugProfile:
+    def test_returns_speedscope_document(self, app):
+        status, body = app.dispatch(
+            "GET", "/debug/profile", {"seconds": "0.05"}
+        )
+        assert status == 200
+        assert body["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        assert "frames" in body["shared"]
+        assert isinstance(body["profiles"], list)
+        assert body["request_id"]
+
+    def test_numeric_payload_accepted(self, app):
+        status, body = app.dispatch(
+            "GET", "/debug/profile", {"seconds": 0.05}
+        )
+        assert status == 200
+
+    def test_rejects_out_of_range_seconds(self, app):
+        for bad in ("0", "31", "-1", "abc", True):
+            status, body = app.dispatch(
+                "GET", "/debug/profile", {"seconds": bad}
+            )
+            assert status == 400, bad
+            assert body["error"]["code"] == "invalid_field"
+
+    def test_rejects_unknown_fields(self, app):
+        status, body = app.dispatch(
+            "GET", "/debug/profile", {"minutes": 1}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "unknown_field"
+
+    def test_busy_capture_is_409(self, app):
+        from repro.obs import profile as profile_module
+
+        assert profile_module._CAPTURE_LOCK.acquire(blocking=False)
+        try:
+            status, body = app.dispatch(
+                "GET", "/debug/profile", {"seconds": 0.05}
+            )
+        finally:
+            profile_module._CAPTURE_LOCK.release()
+        assert status == 409
+        assert body["error"]["code"] == "profile_busy"

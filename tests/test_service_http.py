@@ -173,6 +173,8 @@ class TestConcurrencyAndCaching:
         )
         _, first = request(server, "POST", "/score", payload)
         _, second = request(server, "POST", "/score", payload)
+        # Same cached result, fresh correlation id per response.
+        assert first.pop("request_id") != second.pop("request_id")
         assert first == second
         _, after = request(server, "GET", "/metrics")
         assert (
@@ -210,3 +212,79 @@ class TestConcurrencyAndCaching:
         status, body = request(server, "GET", "/metrics?format=json")
         assert status == 200
         assert "endpoints" in body
+
+
+class TestRequestIdOverHttp:
+    @staticmethod
+    def _raw(server, path, headers=None, method="GET"):
+        req = urllib.request.Request(
+            server.url + path, headers=headers or {}, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as response:
+                return (
+                    response.status,
+                    response.headers,
+                    json.loads(response.read()),
+                )
+        except urllib.error.HTTPError as error:
+            return error.code, error.headers, json.loads(error.read())
+
+    def test_header_generated_when_absent(self, server):
+        status, headers, body = self._raw(server, "/healthz")
+        assert status == 200
+        rid = headers["X-Request-Id"]
+        assert rid
+        assert body["request_id"] == rid
+
+    def test_supplied_header_echoed(self, server):
+        status, headers, body = self._raw(
+            server, "/healthz", {"X-Request-Id": "curl-abc.1"}
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] == "curl-abc.1"
+        assert body["request_id"] == "curl-abc.1"
+
+    def test_invalid_header_replaced_not_echoed(self, server):
+        status, headers, body = self._raw(
+            server, "/healthz", {"X-Request-Id": "bad id with spaces"}
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] != "bad id with spaces"
+        assert body["request_id"] == headers["X-Request-Id"]
+
+    def test_error_response_carries_header(self, server):
+        status, headers, body = self._raw(
+            server, "/nope", {"X-Request-Id": "err-http-1"}
+        )
+        assert status == 404
+        assert headers["X-Request-Id"] == "err-http-1"
+        assert body["request_id"] == "err-http-1"
+
+    def test_parse_error_carries_header(self, server):
+        req = urllib.request.Request(
+            server.url + "/score",
+            data=b"{broken",
+            headers={
+                "Content-Type": "application/json",
+                "X-Request-Id": "parse-err-1",
+            },
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["request_id"] == "parse-err-1"
+        assert excinfo.value.headers["X-Request-Id"] == "parse-err-1"
+
+
+class TestReadyzOverHttp:
+    def test_warmed_server_is_ready(self, server):
+        # The module fixture serves real traffic before this test runs,
+        # so all lazy artefacts are built by now.
+        server.app.service.warm()
+        status, body = request(server, "GET", "/readyz")
+        assert status == 200
+        assert body["ready"] is True
+        assert body["components"]["database"] is True

@@ -128,7 +128,8 @@ class TestPrometheusExport:
         assert 'repro_requests_total{endpoint="score"} 1' in text
         assert 'repro_request_errors_total{endpoint="sql"} 1' in text
         assert 'repro_cache_hits_total{endpoint="score"} 1' in text
-        assert "# TYPE repro_request_seconds summary" in text
+        assert "# TYPE repro_request_seconds histogram" in text
+        assert 'repro_request_seconds_bucket{endpoint="score",le="+Inf"} 1' in text
         assert 'repro_request_seconds_count{endpoint="score"} 1' in text
 
     def test_instances_are_isolated(self):
