@@ -1,9 +1,14 @@
 """Embedded relational storage engine.
 
-A small, dependency-free database: typed schemas, column-oriented tables
-with primary-key/unique/secondary hash indexes and foreign keys, a fluent
-query builder with hash joins and grouping, a SQL SELECT dialect, and
-CSV+JSON persistence. It hosts the reproduction's CulinaryDB
+A small database: typed schemas, column-oriented tables with
+primary-key/unique/secondary hash indexes and foreign keys, a fluent
+query builder with hash joins and grouping, a SQL dialect with prepared
+statements and a per-database plan cache, and CSV+JSON persistence.
+Supported queries run on a vectorised columnar executor
+(:mod:`repro.db.columnar`, numpy-backed) with the row-at-a-time
+reference executor retained behind ``Query.reference()`` /
+``sql(..., reference=True)``; without numpy the engine falls back to the
+row path everywhere. It hosts the reproduction's CulinaryDB
 (:mod:`repro.culinarydb`) and is usable on its own.
 """
 
@@ -27,7 +32,7 @@ from .errors import (
     SchemaError,
     SqlSyntaxError,
 )
-from .expressions import Expression, col, lit
+from .expressions import Expression, Parameter, col, fold_constants, lit, transform
 from .persistence import load_database, save_database
 from .query import Query
 from .schema import Column, ColumnType, ForeignKey, Schema
@@ -52,8 +57,11 @@ __all__ = [
     "SchemaError",
     "SqlSyntaxError",
     "Expression",
+    "Parameter",
     "col",
+    "fold_constants",
     "lit",
+    "transform",
     "load_database",
     "save_database",
     "Query",

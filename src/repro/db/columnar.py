@@ -1,0 +1,1199 @@
+"""Typed columnar blocks and vectorised query kernels.
+
+This module is the fast half of the storage engine's two executors. A
+:class:`ColumnStore` materialises a table's live rows as typed numpy
+column blocks — ``int64`` / ``float64`` / ``bool`` arrays plus an
+interned-string dictionary encoding for TEXT columns — and the kernels
+below run filter / project / aggregate / group-by / order-by / limit as
+whole-column operations:
+
+* predicates compile to three-valued (Kleene) boolean masks — a pair of
+  "definitely true" and "known" arrays — matching the row evaluator's
+  NULL semantics in :mod:`repro.db.expressions` by construction;
+* group-by factorises key columns into dense codes and picks a **hash**
+  strategy (direct code-grid bincount) when the key-space is small, or a
+  **sort** strategy (``np.unique`` compression) otherwise, always
+  emitting groups in first-seen row order like the row executor;
+* aggregates use sequential in-order accumulation (``np.add.at`` /
+  ``np.bincount`` / ``np.minimum.at``), so float results are produced by
+  the same left-to-right reduction order as the reference fold;
+* order-by builds ``np.lexsort`` keys with an explicit NULLs-last flag
+  and stable tie-breaks, reproducing the row executor's ordering.
+
+Every entry point returns ``None`` (or raises :class:`Unsupported`
+internally) when a query shape falls outside the vectorised subset —
+joins, JSON columns in predicates, stddev/variance/collect aggregates,
+string arithmetic, potential int64 overflow — and the caller falls back
+to the reference row executor, which remains the semantic ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .errors import QueryError
+from .expressions import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+)
+from .schema import ColumnType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .query import Query
+    from .table import Table
+
+#: Int64 magnitude ceiling for vectorised arithmetic/aggregation; inputs
+#: that could overflow past this fall back to the (arbitrary-precision)
+#: row executor.
+_INT_GUARD = 2**62
+
+#: Aggregate kinds the vectorised executor can compute. stddev/variance
+#: (sequential Welford) and collect stay on the reference path.
+SUPPORTED_AGGREGATES = frozenset(
+    {"count_star", "count", "count_distinct", "sum", "avg", "min", "max"}
+)
+
+
+class Unsupported(Exception):
+    """Internal signal: this query shape needs the reference executor."""
+
+
+# ----------------------------------------------------------------------
+# column blocks
+# ----------------------------------------------------------------------
+class ColumnBlock:
+    """One typed column: value array + validity mask (+ dictionary).
+
+    Attributes:
+        kind: ``"int"``, ``"float"``, ``"bool"``, ``"text"`` or
+            ``"object"`` (JSON passthrough).
+        values: ``int64`` / ``float64`` / ``bool`` array; for text, an
+            ``int64`` code array (``-1`` for NULL); for object, the raw
+            Python list.
+        valid: boolean array, ``False`` where the value is NULL.
+        dictionary: interned TEXT values in first-appearance order.
+    """
+
+    __slots__ = ("kind", "values", "valid", "dictionary", "_order")
+
+    def __init__(self, kind, values, valid, dictionary=None):
+        self.kind = kind
+        self.values = values
+        self.valid = valid
+        self.dictionary = dictionary
+        self._order = None
+
+    def order_keys(self):
+        """``(sorted_values, ranks)`` for dictionary-order comparisons.
+
+        ``ranks[code]`` is the position of that code's string in sorted
+        order; ``sorted_values`` is a numpy unicode array usable with
+        ``np.searchsorted``.
+        """
+        if self._order is None:
+            words = np.array(self.dictionary if self.dictionary else [""])
+            order = np.argsort(words, kind="stable")
+            ranks = np.empty(len(words), dtype=np.int64)
+            ranks[order] = np.arange(len(words), dtype=np.int64)
+            self._order = (words[order], ranks)
+        return self._order
+
+    def code_of(self, value: str) -> int:
+        """Dictionary code for ``value`` (``-1`` when not interned)."""
+        if self.dictionary is None:
+            return -1
+        try:
+            return self.dictionary.index(value)
+        except ValueError:
+            return -1
+
+
+def _build_block(column_type: ColumnType, raw: list[Any]) -> ColumnBlock:
+    n = len(raw)
+    valid = np.fromiter(
+        (value is not None for value in raw), dtype=bool, count=n
+    )
+    if column_type is ColumnType.JSON:
+        return ColumnBlock("object", raw, valid)
+    if column_type is ColumnType.TEXT:
+        codes = np.empty(n, dtype=np.int64)
+        interned: dict[str, int] = {}
+        for index, value in enumerate(raw):
+            if value is None:
+                codes[index] = -1
+            else:
+                code = interned.get(value)
+                if code is None:
+                    code = interned.setdefault(value, len(interned))
+                codes[index] = code
+        return ColumnBlock("text", codes, valid, tuple(interned))
+    if column_type is ColumnType.BOOL:
+        values = np.fromiter(
+            (False if value is None else value for value in raw),
+            dtype=bool,
+            count=n,
+        )
+        return ColumnBlock("bool", values, valid)
+    dtype = np.int64 if column_type is ColumnType.INT else np.float64
+    fill = 0 if column_type is ColumnType.INT else 0.0
+    try:
+        values = np.fromiter(
+            (fill if value is None else value for value in raw),
+            dtype=dtype,
+            count=n,
+        )
+    except OverflowError as exc:  # Python ints beyond int64: row path only
+        raise Unsupported("column value outside int64 range") from exc
+    kind = "int" if column_type is ColumnType.INT else "float"
+    return ColumnBlock(kind, values, valid)
+
+
+class ColumnStore:
+    """Lazily-built columnar image of one table's live rows.
+
+    Blocks are built per column on first touch (projection push-down:
+    untouched columns are never materialised) and cached on the owning
+    table until its row data changes (tracked by ``Table.version``).
+    """
+
+    def __init__(self, table: "Table") -> None:
+        self._table = table
+        self.version = table.version
+        self.row_count = len(table)
+        self._blocks: dict[str, ColumnBlock] = {}
+
+    def block(self, name: str) -> ColumnBlock:
+        block = self._blocks.get(name)
+        if block is None:
+            column = self._table.schema.column(name)
+            block = _build_block(
+                column.type, self._table.column_values(name)
+            )
+            self._blocks[name] = block
+        return block
+
+    def resolve(self, name: str) -> ColumnBlock:
+        """Resolve a possibly-qualified column reference to a block."""
+        schema = self._table.schema
+        if name in schema:
+            return self.block(name)
+        if "." in name:
+            bare = name.rsplit(".", 1)[-1]
+            if bare in schema:
+                return self.block(bare)
+        raise Unsupported(f"unknown column {name!r}")
+
+
+# ----------------------------------------------------------------------
+# vectorised expression values
+# ----------------------------------------------------------------------
+class Vec:
+    """A vectorised expression result.
+
+    Either a scalar (``values`` holds the Python value, ``valid`` is
+    ``None``) or an array of ``kind`` with a validity mask. Predicate
+    results are ``kind="bool"`` tri-states: ``values & valid`` is
+    "definitely true", ``valid & ~values`` "definitely false", and
+    ``~valid`` "unknown" (NULL).
+    """
+
+    __slots__ = ("kind", "values", "valid", "dictionary")
+
+    def __init__(self, kind, values, valid, dictionary=None):
+        self.kind = kind
+        self.values = values
+        self.valid = valid
+        self.dictionary = dictionary
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.valid is None
+
+    def take(self, indices) -> "Vec":
+        if self.is_scalar:
+            return self
+        if self.kind == "object":
+            picked = [self.values[int(i)] for i in indices]
+            return Vec("object", picked, self.valid[indices])
+        return Vec(
+            self.kind,
+            self.values[indices],
+            self.valid[indices],
+            self.dictionary,
+        )
+
+    def to_pylist(self) -> list[Any]:
+        """Materialise as Python scalars with ``None`` for NULLs."""
+        if self.is_scalar:
+            raise Unsupported("scalar vec has no length")
+        if self.kind == "object":
+            return [
+                value if ok else None
+                for value, ok in zip(self.values, self.valid.tolist())
+            ]
+        if self.kind == "text":
+            dictionary = self.dictionary or ()
+            return [
+                dictionary[code] if code >= 0 else None
+                for code in self.values.tolist()
+            ]
+        out = self.values.tolist()
+        if not bool(self.valid.all()):
+            flags = self.valid.tolist()
+            out = [
+                value if ok else None for value, ok in zip(out, flags)
+            ]
+        return out
+
+
+def _safe_eval(expr: Expression) -> Any:
+    """Evaluate a constant expression; fallback instead of raising.
+
+    The reference executor raises per-row errors only when rows exist, so
+    a constant subtree that would error must not fail at plan time — it
+    routes the whole query to the reference path instead.
+    """
+    try:
+        return expr.evaluate({})
+    except (QueryError, TypeError) as exc:
+        raise Unsupported(f"constant subtree errors at runtime: {exc}") from exc
+
+
+def _scalar_vec(value: Any) -> Vec:
+    if value is None:
+        kind = "null"
+    elif isinstance(value, bool):
+        kind = "bool"
+    elif isinstance(value, int):
+        kind = "int"
+    elif isinstance(value, float):
+        kind = "float"
+    elif isinstance(value, str):
+        kind = "text"
+    else:
+        kind = "object"
+    return Vec(kind, value, None)
+
+
+def _broadcast_bool(value: bool | None, n: int) -> Vec:
+    if value is None:
+        return Vec("bool", np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
+    values = (
+        np.ones(n, dtype=bool) if value else np.zeros(n, dtype=bool)
+    )
+    return Vec("bool", values, np.ones(n, dtype=bool))
+
+
+_NUMERIC = ("int", "float", "bool")
+
+
+class Compiler:
+    """Compile expression trees into :class:`Vec` columns over a store."""
+
+    def __init__(self, store: ColumnStore) -> None:
+        self._store = store
+        self.n = store.row_count
+        self.touched: set[str] = set()
+
+    # -- entry points ---------------------------------------------------
+    def value(self, expr: Expression) -> Vec:
+        if isinstance(expr, Literal):
+            return _scalar_vec(expr.value)
+        if isinstance(expr, ColumnRef):
+            self.touched.add(expr.name)
+            block = self._store.resolve(expr.name)
+            return Vec(
+                block.kind, block.values, block.valid, block.dictionary
+            )
+        if isinstance(expr, Arithmetic):
+            return self._arithmetic(expr)
+        if isinstance(
+            expr, (Comparison, BooleanOp, Not, InList, IsNull, Like)
+        ):
+            return self.predicate(expr)
+        raise Unsupported(f"cannot vectorise {type(expr).__name__}")
+
+    def predicate(self, expr: Expression) -> Vec:
+        """Compile a predicate into a tri-state boolean Vec."""
+        if isinstance(expr, Comparison):
+            return self._compare(expr)
+        if isinstance(expr, BooleanOp):
+            return self._boolean(expr)
+        if isinstance(expr, Not):
+            inner = self._as_tristate(self.predicate(expr.inner))
+            return Vec("bool", inner.valid & ~inner.values, inner.valid)
+        if isinstance(expr, IsNull):
+            return self._is_null(expr)
+        if isinstance(expr, InList):
+            return self._in_list(expr)
+        if isinstance(expr, Like):
+            return self._like(expr)
+        if isinstance(expr, Literal):
+            return _scalar_vec(expr.value)
+        if isinstance(expr, ColumnRef):
+            # Bare column in boolean position: truthiness of the value.
+            vec = self.value(expr)
+            return self._truthy(vec)
+        raise Unsupported(f"cannot vectorise predicate {type(expr).__name__}")
+
+    def mask(self, expr: Expression | None) -> np.ndarray:
+        """Filter mask: rows where the predicate is definitely true."""
+        if expr is None:
+            return np.ones(self.n, dtype=bool)
+        tri = self._as_tristate(self.predicate(expr))
+        return tri.values & tri.valid
+
+    # -- helpers --------------------------------------------------------
+    def _as_tristate(self, vec: Vec) -> Vec:
+        if vec.is_scalar:
+            value = vec.values
+            truth = None if value is None else bool(value)
+            return _broadcast_bool(truth, self.n)
+        if vec.kind == "bool":
+            return vec
+        return self._truthy(vec)
+
+    def _truthy(self, vec: Vec) -> Vec:
+        if vec.kind in ("int", "float"):
+            return Vec("bool", vec.values != 0, vec.valid)
+        if vec.kind == "bool":
+            return vec
+        if vec.kind == "text":
+            # Non-empty string is truthy; code of "" (if interned) falsy.
+            empty = vec.dictionary.index("") if (
+                vec.dictionary and "" in vec.dictionary
+            ) else -2
+            return Vec("bool", vec.values != empty, vec.valid)
+        raise Unsupported("truthiness of object column")
+
+    # -- comparison -----------------------------------------------------
+    def _compare(self, expr: Comparison) -> Vec:
+        left = self.value(expr.left)
+        right = self.value(expr.right)
+        if left.is_scalar and right.is_scalar:
+            return _broadcast_bool(_safe_eval(expr), self.n)
+        if left.is_scalar:
+            return self._compare_vec(
+                _FLIPPED[expr.op], right, left
+            )
+        return self._compare_vec(expr.op, left, right)
+
+    def _compare_vec(self, op: str, vec: Vec, other: Vec) -> Vec:
+        if other.is_scalar and other.values is None:
+            return _broadcast_bool(None, self.n)
+        if vec.kind == "object" or other.kind == "object":
+            raise Unsupported("comparison over JSON column")
+        if vec.kind == "text" or other.kind == "text":
+            return self._compare_text(op, vec, other)
+        # numeric vs numeric (bool participates via numpy upcast)
+        if other.is_scalar:
+            rhs: Any = other.values
+            if (
+                isinstance(rhs, int)
+                and not isinstance(rhs, bool)
+                and abs(rhs) >= 2**63
+            ):
+                raise Unsupported("comparison literal outside int64 range")
+            both_valid = vec.valid
+        else:
+            rhs = other.values
+            both_valid = vec.valid & other.valid
+        with np.errstate(invalid="ignore"):
+            result = _NUMPY_COMPARATORS[op](vec.values, rhs)
+        return Vec("bool", np.asarray(result, dtype=bool), both_valid)
+
+    def _compare_text(self, op: str, vec: Vec, other: Vec) -> Vec:
+        n = self.n
+        if vec.kind != "text":
+            # numeric column vs text operand
+            if op == "=":
+                return Vec("bool", np.zeros(n, dtype=bool), vec.valid)
+            if op == "!=":
+                valid = (
+                    vec.valid
+                    if other.is_scalar
+                    else vec.valid & other.valid
+                )
+                return Vec("bool", np.ones(n, dtype=bool), valid)
+            raise Unsupported("ordering comparison across types")
+        if other.is_scalar:
+            literal = other.values
+            if not isinstance(literal, str):
+                if op == "=":
+                    return Vec("bool", np.zeros(n, dtype=bool), vec.valid)
+                if op == "!=":
+                    return Vec("bool", np.ones(n, dtype=bool), vec.valid)
+                raise Unsupported("ordering comparison across types")
+            if op in ("=", "!="):
+                code = (
+                    vec.dictionary.index(literal)
+                    if vec.dictionary and literal in vec.dictionary
+                    else -2
+                )
+                hits = vec.values == code
+                values = hits if op == "=" else ~hits
+                return Vec("bool", values, vec.valid)
+            block = ColumnBlock("text", vec.values, vec.valid, vec.dictionary)
+            sorted_values, ranks = block.order_keys()
+            row_ranks = ranks[np.clip(vec.values, 0, None)]
+            low = int(np.searchsorted(sorted_values, literal, side="left"))
+            high = int(np.searchsorted(sorted_values, literal, side="right"))
+            if op == "<":
+                values = row_ranks < low
+            elif op == "<=":
+                values = row_ranks < high
+            elif op == ">":
+                values = row_ranks >= high
+            else:  # >=
+                values = row_ranks >= low
+            return Vec("bool", values, vec.valid)
+        if other.kind != "text":
+            if op == "=":
+                return Vec(
+                    "bool", np.zeros(n, dtype=bool), vec.valid & other.valid
+                )
+            if op == "!=":
+                return Vec(
+                    "bool", np.ones(n, dtype=bool), vec.valid & other.valid
+                )
+            raise Unsupported("ordering comparison across types")
+        # text vs text: compare ranks under a merged vocabulary.
+        vocab = sorted(
+            set(vec.dictionary or ()) | set(other.dictionary or ())
+        )
+        vocab_arr = np.array(vocab if vocab else [""])
+        left_ranks = self._vocab_ranks(vec, vocab_arr)
+        right_ranks = self._vocab_ranks(other, vocab_arr)
+        values = _NUMPY_COMPARATORS[op](left_ranks, right_ranks)
+        return Vec(
+            "bool", np.asarray(values, dtype=bool), vec.valid & other.valid
+        )
+
+    @staticmethod
+    def _vocab_ranks(vec: Vec, vocab: np.ndarray) -> np.ndarray:
+        words = np.array(list(vec.dictionary or ("",)))
+        code_rank = np.searchsorted(vocab, words)
+        return code_rank[np.clip(vec.values, 0, None)]
+
+    # -- boolean connectives --------------------------------------------
+    def _boolean(self, expr: BooleanOp) -> Vec:
+        parts = [
+            self._as_tristate(self.predicate(part)) for part in expr.parts
+        ]
+        true = parts[0].values & parts[0].valid
+        false = parts[0].valid & ~parts[0].values
+        for part in parts[1:]:
+            part_true = part.values & part.valid
+            part_false = part.valid & ~part.values
+            if expr.op == "and":
+                true = true & part_true
+                false = false | part_false
+            else:
+                true = true | part_true
+                false = false & part_false
+        return Vec("bool", true, true | false)
+
+    def _is_null(self, expr: IsNull) -> Vec:
+        vec = self.value(expr.inner)
+        if vec.is_scalar:
+            return _broadcast_bool(_safe_eval(expr), self.n)
+        nulls = ~vec.valid
+        values = ~nulls if expr.negate else nulls
+        return Vec("bool", values, np.ones(self.n, dtype=bool))
+
+    def _in_list(self, expr: InList) -> Vec:
+        vec = self.value(expr.inner)
+        if vec.is_scalar:
+            return _broadcast_bool(_safe_eval(expr), self.n)
+        if any(isinstance(value, Expression) for value in expr.values):
+            raise Unsupported("IN list with unbound expressions")
+        has_null = any(value is None for value in expr.values)
+        if vec.kind == "text":
+            wanted = [
+                vec.dictionary.index(value)
+                for value in expr.values
+                if isinstance(value, str)
+                and vec.dictionary
+                and value in vec.dictionary
+            ]
+            hits = (
+                np.isin(vec.values, np.array(wanted, dtype=np.int64))
+                if wanted
+                else np.zeros(self.n, dtype=bool)
+            )
+        elif vec.kind in _NUMERIC:
+            wanted_values = [
+                value
+                for value in expr.values
+                if isinstance(value, (bool, int, float))
+            ]
+            if wanted_values:
+                try:
+                    if all(
+                        isinstance(value, (bool, int))
+                        for value in wanted_values
+                    ) and vec.kind != "float":
+                        probe = np.array(
+                            [int(value) for value in wanted_values],
+                            dtype=np.int64,
+                        )
+                    else:
+                        probe = np.array(
+                            [float(value) for value in wanted_values],
+                            dtype=np.float64,
+                        )
+                except OverflowError as exc:
+                    raise Unsupported(
+                        "IN literal outside int64 range"
+                    ) from exc
+                hits = np.isin(vec.values, probe)
+            else:
+                hits = np.zeros(self.n, dtype=bool)
+        else:
+            raise Unsupported("IN over JSON column")
+        true = hits & vec.valid
+        if has_null:
+            valid = true  # misses are unknown when the list holds NULL
+        else:
+            valid = vec.valid
+        return Vec("bool", true, valid)
+
+    def _like(self, expr: Like) -> Vec:
+        vec = self.value(expr.inner)
+        if vec.is_scalar:
+            return _broadcast_bool(_safe_eval(expr), self.n)
+        if vec.kind == "text":
+            matched = np.fromiter(
+                (
+                    expr._regex.match(word) is not None
+                    for word in (vec.dictionary or ())
+                ),
+                dtype=bool,
+                count=len(vec.dictionary or ()),
+            )
+            if matched.size == 0:
+                values = np.zeros(self.n, dtype=bool)
+            else:
+                values = matched[np.clip(vec.values, 0, None)]
+            return Vec("bool", values & vec.valid, vec.valid)
+        if vec.kind in _NUMERIC:
+            # Non-string values never match LIKE; NULLs stay unknown.
+            return Vec("bool", np.zeros(self.n, dtype=bool), vec.valid)
+        raise Unsupported("LIKE over JSON column")
+
+    # -- arithmetic -----------------------------------------------------
+    def _arithmetic(self, expr: Arithmetic) -> Vec:
+        left = self.value(expr.left)
+        right = self.value(expr.right)
+        if left.is_scalar and right.is_scalar:
+            return _scalar_vec(_safe_eval(expr))
+        for operand in (left, right):
+            if operand.is_scalar:
+                if operand.values is None:
+                    n = self.n
+                    return Vec(
+                        "float",
+                        np.zeros(n, dtype=np.float64),
+                        np.zeros(n, dtype=bool),
+                    )
+                if not isinstance(operand.values, (bool, int, float)):
+                    raise Unsupported("non-numeric arithmetic operand")
+            elif operand.kind not in _NUMERIC:
+                raise Unsupported("non-numeric arithmetic operand")
+
+        def numeric(operand: Vec) -> tuple[Any, bool]:
+            """(array-or-scalar, is_float)."""
+            if operand.is_scalar:
+                value = operand.values
+                if isinstance(value, bool):
+                    return int(value), False
+                return value, isinstance(value, float)
+            if operand.kind == "bool":
+                return operand.values.astype(np.int64), False
+            return operand.values, operand.kind == "float"
+
+        lhs, lfloat = numeric(left)
+        rhs, rfloat = numeric(right)
+        valid = _joint_valid(left, right, self.n)
+        as_float = lfloat or rfloat or expr.op == "/"
+        if not as_float:
+            self._guard_int_range(lhs, rhs, expr.op)
+        if expr.op == "/":
+            divisor = np.asarray(rhs, dtype=np.float64)
+            dividend = np.asarray(lhs, dtype=np.float64)
+            if divisor.ndim == 0:
+                divisor = np.broadcast_to(divisor, (self.n,))
+            nonzero = divisor != 0.0
+            out = np.zeros(self.n, dtype=np.float64)
+            np.divide(dividend, divisor, out=out, where=nonzero)
+            return Vec("float", out, valid & nonzero)
+        op = _NUMPY_ARITHMETIC[expr.op]
+        if as_float:
+            result = op(
+                np.asarray(lhs, dtype=np.float64),
+                np.asarray(rhs, dtype=np.float64),
+            )
+            return Vec("float", np.asarray(result, dtype=np.float64), valid)
+        result = op(lhs, rhs)
+        return Vec("int", np.asarray(result, dtype=np.int64), valid)
+
+    def _guard_int_range(self, lhs: Any, rhs: Any, op: str) -> None:
+        def magnitude(value: Any) -> int:
+            if isinstance(value, np.ndarray):
+                if value.size == 0:
+                    return 0
+                return int(np.max(np.abs(value)))
+            return abs(int(value))
+
+        left_mag, right_mag = magnitude(lhs), magnitude(rhs)
+        if op == "*":
+            if left_mag * right_mag >= _INT_GUARD:
+                raise Unsupported("int64 overflow risk in multiplication")
+        elif left_mag + right_mag >= _INT_GUARD:
+            raise Unsupported("int64 overflow risk in addition")
+
+
+def _joint_valid(left: Vec, right: Vec, n: int) -> np.ndarray:
+    if left.is_scalar and right.is_scalar:
+        return np.ones(n, dtype=bool)
+    if left.is_scalar:
+        return right.valid.copy()
+    if right.is_scalar:
+        return left.valid.copy()
+    return left.valid & right.valid
+
+
+_FLIPPED = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+_NUMPY_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_NUMPY_ARITHMETIC = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+# ----------------------------------------------------------------------
+# group-by factorisation
+# ----------------------------------------------------------------------
+#: Dense code-grid ("hash") group-by is used while the key-space stays
+#: below this multiple of the row count (with a small absolute floor).
+_HASH_GRID_FACTOR = 4
+_HASH_GRID_FLOOR = 1024
+
+
+def _factorize(vec: Vec, n: int) -> tuple[np.ndarray, int, list[Any]]:
+    """Dense codes for one key column: ``(codes, cardinality, decode)``.
+
+    NULL gets its own trailing code so it groups like any other value;
+    ``decode[code]`` recovers the Python key value (``None`` for NULL).
+    """
+    if vec.is_scalar:
+        raise Unsupported("grouping by a constant")
+    if vec.kind == "text":
+        decode = list(vec.dictionary or ())
+        codes = np.where(vec.valid, vec.values, len(decode))
+        return codes.astype(np.int64), len(decode) + 1, decode + [None]
+    if vec.kind == "bool":
+        codes = np.where(vec.valid, vec.values.astype(np.int64), 2)
+        return codes, 3, [False, True, None]
+    if vec.kind in ("int", "float"):
+        present = vec.values[vec.valid]
+        uniq = np.unique(present)
+        codes = np.empty(n, dtype=np.int64)
+        codes[vec.valid] = np.searchsorted(uniq, present)
+        codes[~vec.valid] = len(uniq)
+        return codes, len(uniq) + 1, uniq.tolist() + [None]
+    raise Unsupported("grouping by JSON column")
+
+
+def _group_rows(
+    key_vecs: list[Vec], n: int
+) -> tuple[np.ndarray, int, list[tuple[Any, ...]], str]:
+    """Assign group ids in first-seen order.
+
+    Returns ``(gids, group_count, group_keys, strategy)`` where
+    ``group_keys[g]`` is the tuple of Python key values for group ``g``.
+    """
+    factorized = [_factorize(vec, n) for vec in key_vecs]
+    combined = np.zeros(n, dtype=np.int64)
+    total = 1
+    for codes, cardinality, _decode in factorized:
+        if total > _INT_GUARD // max(cardinality, 1):
+            raise Unsupported("group key-space too large to combine")
+        total *= cardinality
+        combined = combined * cardinality + codes
+
+    if total <= max(_HASH_GRID_FACTOR * n, _HASH_GRID_FLOOR):
+        strategy = "hash"
+        counts = np.bincount(combined, minlength=total)
+        first = np.full(total, n, dtype=np.int64)
+        np.minimum.at(first, combined, np.arange(n, dtype=np.int64))
+        present = np.flatnonzero(counts)
+        ordered = present[np.argsort(first[present], kind="stable")]
+        gid_of_slot = np.empty(total, dtype=np.int64)
+        gid_of_slot[ordered] = np.arange(len(ordered), dtype=np.int64)
+        gids = gid_of_slot[combined]
+        slots = ordered
+    else:
+        strategy = "sort"
+        slots_arr, inverse = np.unique(combined, return_inverse=True)
+        first = np.full(len(slots_arr), n, dtype=np.int64)
+        np.minimum.at(first, inverse, np.arange(n, dtype=np.int64))
+        reorder = np.argsort(first, kind="stable")
+        rank = np.empty(len(slots_arr), dtype=np.int64)
+        rank[reorder] = np.arange(len(slots_arr), dtype=np.int64)
+        gids = rank[inverse]
+        slots = slots_arr[reorder]
+
+    group_keys: list[tuple[Any, ...]] = []
+    for slot in slots.tolist():
+        key: list[Any] = []
+        for codes, cardinality, decode in reversed(factorized):
+            key.append(decode[slot % cardinality])
+            slot //= cardinality
+        group_keys.append(tuple(reversed(key)))
+    return gids, len(slots), group_keys, strategy
+
+
+# ----------------------------------------------------------------------
+# aggregate kernels
+# ----------------------------------------------------------------------
+def _aggregate(name: str, vec: Vec | None, gids, groups: int) -> list[Any]:
+    """Per-group results for one aggregate, as Python values."""
+    if name == "count_star":
+        return np.bincount(gids, minlength=groups).tolist()
+    assert vec is not None
+    if vec.is_scalar:
+        raise Unsupported("aggregating a constant")
+    valid = vec.valid
+    counts = np.bincount(gids[valid], minlength=groups)
+    if name == "count":
+        return counts.tolist()
+    if name == "count_distinct":
+        return _count_distinct(vec, gids, groups)
+
+    sel = valid
+    picked_gids = gids[sel]
+    if vec.kind == "text":
+        if name not in ("min", "max"):
+            raise Unsupported(f"{name} over text column")
+        block = ColumnBlock("text", vec.values, vec.valid, vec.dictionary)
+        sorted_values, ranks = block.order_keys()
+        row_ranks = ranks[np.clip(vec.values[sel], 0, None)]
+        out = np.full(
+            groups,
+            len(sorted_values) if name == "min" else -1,
+            dtype=np.int64,
+        )
+        reducer = np.minimum if name == "min" else np.maximum
+        reducer.at(out, picked_gids, row_ranks)
+        return [
+            str(sorted_values[rank]) if count else None
+            for rank, count in zip(out.tolist(), counts.tolist())
+        ]
+    if vec.kind == "object":
+        raise Unsupported(f"{name} over JSON column")
+
+    values = vec.values[sel]
+    is_bool = vec.kind == "bool"
+    if is_bool:
+        values = values.astype(np.int64)
+    if name in ("sum", "avg"):
+        if vec.kind == "float":
+            sums = np.zeros(groups, dtype=np.float64)
+            np.add.at(sums, picked_gids, values)
+            totals: list[Any] = sums.tolist()
+        else:
+            if values.size and int(
+                np.max(np.abs(values))
+            ) * max(int(counts.max()), 1) >= _INT_GUARD:
+                raise Unsupported("int64 overflow risk in SUM")
+            sums = np.zeros(groups, dtype=np.int64)
+            np.add.at(sums, picked_gids, values)
+            totals = [int(value) for value in sums.tolist()]
+        if name == "sum":
+            return [
+                total if count else None
+                for total, count in zip(totals, counts.tolist())
+            ]
+        return [
+            total / count if count else None
+            for total, count in zip(totals, counts.tolist())
+        ]
+    if name in ("min", "max"):
+        if vec.kind == "float":
+            sentinel = np.inf if name == "min" else -np.inf
+            out = np.full(groups, sentinel, dtype=np.float64)
+        else:
+            info = np.iinfo(np.int64)
+            out = np.full(
+                groups,
+                info.max if name == "min" else info.min,
+                dtype=np.int64,
+            )
+        reducer = np.minimum if name == "min" else np.maximum
+        reducer.at(out, picked_gids, values)
+        results = out.tolist()
+        converted: list[Any] = []
+        for value, count in zip(results, counts.tolist()):
+            if not count:
+                converted.append(None)
+            elif is_bool:
+                converted.append(bool(value))
+            else:
+                converted.append(value)
+        return converted
+    raise Unsupported(f"unsupported aggregate {name!r}")
+
+
+def _count_distinct(vec: Vec, gids, groups: int) -> list[int]:
+    valid = vec.valid
+    picked_gids = gids[valid]
+    if vec.kind == "text":
+        codes = vec.values[valid]
+        cardinality = len(vec.dictionary or ()) or 1
+    else:
+        values = vec.values[valid]
+        uniq, codes = np.unique(values, return_inverse=True)
+        cardinality = max(len(uniq), 1)
+    pairs = picked_gids * cardinality + codes
+    unique_pairs = np.unique(pairs)
+    return np.bincount(
+        unique_pairs // cardinality, minlength=groups
+    ).tolist()
+
+
+# ----------------------------------------------------------------------
+# ordering
+# ----------------------------------------------------------------------
+def _order_indices(
+    key_specs: list[tuple[Vec, bool]], base: np.ndarray
+) -> np.ndarray:
+    """Stable multi-key sort of ``base`` row indices.
+
+    Each spec is ``(vec, descending)``; vecs are already aligned with
+    ``base`` (same length). NULLs sort last regardless of direction,
+    ties keep the incoming order — matching the row executor.
+    """
+    lex_keys: list[np.ndarray] = []
+    for vec, descending in reversed(key_specs):
+        if vec.is_scalar:
+            raise Unsupported("ordering by a constant")
+        if vec.kind == "text":
+            block = ColumnBlock(
+                "text", vec.values, vec.valid, vec.dictionary
+            )
+            _sorted_values, ranks = block.order_keys()
+            value_key = ranks[np.clip(vec.values, 0, None)]
+        elif vec.kind == "bool":
+            value_key = vec.values.astype(np.int8)
+        elif vec.kind in ("int", "float"):
+            value_key = vec.values
+        else:
+            raise Unsupported("ordering by JSON column")
+        value_key = np.where(vec.valid, value_key, 0)
+        if descending:
+            value_key = -value_key
+        null_key = (~vec.valid).astype(np.int8)
+        lex_keys.append(value_key)
+        lex_keys.append(null_key)
+    order = np.lexsort(lex_keys)
+    return base[order]
+
+
+# ----------------------------------------------------------------------
+# query execution
+# ----------------------------------------------------------------------
+def execute(query: "Query") -> tuple[str, list[dict[str, Any]]] | None:
+    """Try to run ``query`` through the vectorised kernels.
+
+    Returns ``("full", rows)`` when the whole pipeline ran vectorised,
+    ``("grouped", rows)`` when scan/filter/group-by/aggregate ran
+    vectorised and the (small) grouped rows still need the row
+    executor's having/projection/order tail, or ``None`` when the query
+    shape is unsupported and the caller must use the reference path.
+    """
+    try:
+        return _execute(query)
+    except Unsupported:
+        return None
+
+
+def _execute(query: "Query"):
+    if query._joins:
+        raise Unsupported("joins run on the reference executor")
+    table = query._database.table(query._table_name)
+    store = table.columnar()
+    compiler = Compiler(store)
+    mask = compiler.mask(query._where)
+
+    if query._group_columns or query._aggregates:
+        return "grouped", _execute_grouped(query, compiler, mask)
+    return "full", _execute_plain(query, compiler, mask)
+
+
+def _execute_grouped(query: "Query", compiler: Compiler, mask):
+    key_vecs = [
+        compiler.value(ColumnRef(name)) for name in query._group_columns
+    ]
+    agg_specs: list[tuple[str, str, Vec | None]] = []
+    for alias, aggregate in query._aggregates:
+        if aggregate.name not in SUPPORTED_AGGREGATES:
+            raise Unsupported(f"aggregate {aggregate.name}")
+        if aggregate.expr is None:
+            agg_specs.append((alias, aggregate.name, None))
+        else:
+            agg_specs.append(
+                (alias, aggregate.name, compiler.value(aggregate.expr))
+            )
+
+    sel = np.flatnonzero(mask)
+    key_vecs = [vec.take(sel) for vec in key_vecs]
+    agg_specs = [
+        (alias, name, vec.take(sel) if vec is not None else None)
+        for alias, name, vec in agg_specs
+    ]
+    n = len(sel)
+    if n == 0:
+        return []  # the row executor emits no groups for an empty input
+    if key_vecs:
+        gids, groups, group_keys, _strategy = _group_rows(key_vecs, n)
+    else:
+        gids = np.zeros(n, dtype=np.int64)
+        groups, group_keys = 1, [()]
+    columns: dict[str, list[Any]] = {}
+    for position, name in enumerate(query._group_columns):
+        columns[name] = [key[position] for key in group_keys]
+    for alias, agg_name, vec in agg_specs:
+        columns[alias] = _aggregate(agg_name, vec, gids, groups)
+    names = list(query._group_columns) + [
+        alias for alias, _name, _vec in agg_specs
+    ]
+    return [
+        {name: columns[name][g] for name in names} for g in range(groups)
+    ]
+
+
+def _execute_plain(query: "Query", compiler: Compiler, mask):
+    store_table = query._database.table(query._table_name)
+    if query._projections is None:
+        aliases = list(store_table.schema.column_names)
+        vecs = [compiler.value(ColumnRef(name)) for name in aliases]
+    else:
+        aliases = [p.alias for p in query._projections]
+        vecs = [compiler.value(p.expr) for p in query._projections]
+        for vec in vecs:
+            if vec.is_scalar and vec.kind == "object":
+                raise Unsupported("object literal projection")
+
+    sel = np.flatnonzero(mask)
+    n = len(sel)
+    picked = [vec.take(sel) for vec in vecs]
+
+    if query._distinct:
+        if n:
+            key_vecs = [
+                vec if not vec.is_scalar else _materialize(vec, n)
+                for vec in picked
+            ]
+            _gids, groups, _keys, _strategy = _group_rows(key_vecs, n)
+            # First-seen representative row per distinct group.
+            first = np.full(groups, n, dtype=np.int64)
+            np.minimum.at(first, _gids, np.arange(n, dtype=np.int64))
+            keep = np.sort(first)
+            sel = sel[keep]
+            picked = [vec.take(keep) for vec in picked]
+            n = len(sel)
+
+    if query._orderings:
+        key_specs = []
+        for ordering in query._orderings:
+            vec = _resolve_order_key(
+                ordering.key, aliases, picked, compiler, sel
+            )
+            key_specs.append((vec, ordering.descending))
+        local = _order_indices(
+            key_specs, np.arange(n, dtype=np.int64)
+        )
+        picked = [vec.take(local) for vec in picked]
+
+    start = query._offset
+    stop = (
+        None if query._limit is None else query._offset + query._limit
+    )
+    window = slice(start, stop)
+    keep = np.arange(n, dtype=np.int64)[window]
+    out_columns = []
+    for vec in picked:
+        if vec.is_scalar:
+            out_columns.append([vec.values] * len(keep))
+        else:
+            out_columns.append(vec.take(keep).to_pylist())
+    return [
+        dict(zip(aliases, values)) for values in zip(*out_columns)
+    ] if out_columns else []
+
+
+def _materialize(vec: Vec, n: int) -> Vec:
+    """Broadcast a scalar Vec to ``n`` rows."""
+    if not vec.is_scalar:
+        return vec
+    value = vec.values
+    if value is None:
+        return Vec(
+            "float",
+            np.zeros(n, dtype=np.float64),
+            np.zeros(n, dtype=bool),
+        )
+    if isinstance(value, bool):
+        return Vec(
+            "bool",
+            np.full(n, value, dtype=bool),
+            np.ones(n, dtype=bool),
+        )
+    if isinstance(value, int):
+        return Vec(
+            "int",
+            np.full(n, value, dtype=np.int64),
+            np.ones(n, dtype=bool),
+        )
+    if isinstance(value, float):
+        return Vec(
+            "float",
+            np.full(n, value, dtype=np.float64),
+            np.ones(n, dtype=bool),
+        )
+    if isinstance(value, str):
+        return Vec(
+            "text",
+            np.zeros(n, dtype=np.int64),
+            np.ones(n, dtype=bool),
+            (value,),
+        )
+    raise Unsupported("cannot broadcast object scalar")
+
+
+def _resolve_order_key(
+    key: str,
+    aliases: list[str],
+    picked: list[Vec],
+    compiler: Compiler,
+    sel: np.ndarray,
+) -> Vec:
+    """Resolve an ORDER BY key against projected output columns.
+
+    Mirrors :class:`ColumnRef` resolution over a projected row: exact
+    alias, unique qualified-suffix match, or (for qualified keys) the
+    bare suffix. Anything unresolvable falls back to the row executor.
+    """
+    by_alias = dict(zip(aliases, picked))
+    if key in by_alias:
+        vec = by_alias[key]
+    elif "." not in key:
+        matches = [
+            alias for alias in aliases if alias.endswith("." + key)
+        ]
+        if len(matches) != 1:
+            raise Unsupported(f"cannot resolve order key {key!r}")
+        vec = by_alias[matches[0]]
+    else:
+        bare = key.rsplit(".", 1)[1]
+        if bare not in by_alias:
+            raise Unsupported(f"cannot resolve order key {key!r}")
+        vec = by_alias[bare]
+    if vec.is_scalar:
+        vec = _materialize(vec, len(sel))
+    return vec
+
+
+# ----------------------------------------------------------------------
+# plan analysis (EXPLAIN support)
+# ----------------------------------------------------------------------
+def analyze(query: "Query") -> dict[str, Any]:
+    """Static description of how ``query`` would execute.
+
+    Runs the compiler over the table's column kinds without evaluating
+    any kernels on row data beyond block construction, and reports which
+    executor would serve the query, why a fallback would occur, and the
+    columns the scan would touch (projection push-down set).
+    """
+    info: dict[str, Any] = {
+        "table": query._table_name,
+        "executor": "columnar",
+        "reason": None,
+        "columns": [],
+        "where_pushdown": query._where is not None,
+        "group_strategy": None,
+    }
+    if query._use_reference:
+        info["executor"] = "reference"
+        info["reason"] = "reference requested"
+        return info
+    if query._joins:
+        info["executor"] = "reference"
+        info["reason"] = "joins"
+        return info
+    table = query._database.table(query._table_name)
+    compiler = Compiler(table.columnar())
+    try:
+        compiler.mask(query._where)
+        if query._group_columns or query._aggregates:
+            for name in query._group_columns:
+                compiler.value(ColumnRef(name))
+            for _alias, aggregate in query._aggregates:
+                if aggregate.name not in SUPPORTED_AGGREGATES:
+                    raise Unsupported(f"aggregate {aggregate.name}")
+                if aggregate.expr is not None:
+                    compiler.value(aggregate.expr)
+            cardinality = _estimate_cardinality(query, compiler)
+            info["group_strategy"] = (
+                "hash"
+                if cardinality is not None
+                and cardinality
+                <= max(
+                    _HASH_GRID_FACTOR * compiler.n, _HASH_GRID_FLOOR
+                )
+                else "sort"
+            )
+        elif query._projections is not None:
+            for projection in query._projections:
+                compiler.value(projection.expr)
+    except Unsupported as fallback:
+        info["executor"] = "reference"
+        info["reason"] = str(fallback)
+    info["columns"] = sorted(compiler.touched)
+    return info
+
+
+def _estimate_cardinality(
+    query: "Query", compiler: Compiler
+) -> int | None:
+    total = 1
+    for name in query._group_columns:
+        vec = compiler.value(ColumnRef(name))
+        if vec.kind == "text":
+            total *= len(vec.dictionary or ()) + 1
+        elif vec.kind == "bool":
+            total *= 3
+        else:
+            return None  # numeric cardinality only known at run time
+    return total

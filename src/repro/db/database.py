@@ -22,6 +22,7 @@ class Database:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
+        self._plan_cache: Any = None  # built lazily on first sql()
 
     # ------------------------------------------------------------------
     # catalog
@@ -114,16 +115,49 @@ class Database:
         self.table(table_name)  # validate early
         return Query(self, table_name)
 
-    def sql(self, text: str) -> list[dict[str, Any]]:
+    def sql(
+        self,
+        text: str,
+        params: list[Any] | tuple[Any, ...] | None = None,
+        *,
+        reference: bool = False,
+    ) -> list[dict[str, Any]]:
         """Execute a SQL statement (SELECT/INSERT/UPDATE/DELETE).
 
         SELECT returns its result rows; DML statements return
         ``[{"rows": <affected count>}]``. See :mod:`repro.db.sql` for the
-        supported dialect.
+        supported dialect. Statements may contain ``?`` placeholders,
+        bound positionally from ``params``; plans are cached per
+        database (LRU keyed by normalized SQL), so repeated statements
+        skip tokenizing and parsing. ``reference=True`` pins SELECTs to
+        the row-at-a-time executor instead of the vectorised columnar
+        one (for ablations and equivalence checks).
         """
-        from .sql.dml import execute
+        return self.prepare(text).execute(
+            self, params, reference=reference
+        )
 
-        return execute(self, text)
+    def prepare(self, text: str):
+        """Parse ``text`` into a cached, reusable prepared statement.
+
+        Returns:
+            repro.db.sql.plan_cache.PreparedStatement: execute it with
+            ``plan.execute(db, params)``.
+        """
+        if self._plan_cache is None:
+            from .sql.plan_cache import PlanCache
+
+            self._plan_cache = PlanCache()
+        return self._plan_cache.lookup(text)
+
+    def explain(
+        self,
+        text: str,
+        params: list[Any] | tuple[Any, ...] | None = None,
+    ) -> dict[str, Any]:
+        """Describe how a statement would execute (executor, push-down,
+        group-by strategy) without running it."""
+        return self.prepare(text).explain(self, params)
 
     # ------------------------------------------------------------------
     # statistics

@@ -11,6 +11,15 @@ or by the SQL parser, which compiles ``WHERE`` clauses into the same tree.
 Column references support qualified names (``"recipes.region"``). When a row
 produced by a join carries qualified keys, an unqualified reference resolves
 by unique suffix match; ambiguous references raise :class:`QueryError`.
+
+NULL semantics are three-valued, as in SQL: a comparison with a NULL
+operand evaluates to ``None`` (unknown), AND/OR/NOT propagate unknowns
+per Kleene logic, and ``IN`` yields unknown when the probe is NULL or
+when there is no match but the list contains NULL. Filters treat unknown
+as "not true", so ``x = 5``, ``x != 5`` and ``NOT (x = 5)`` all exclude
+rows where ``x`` is NULL. These semantics are shared by the row
+evaluator here and the vectorised kernels in :mod:`repro.db.columnar`,
+so the two executors agree by construction.
 """
 
 from __future__ import annotations
@@ -169,9 +178,9 @@ _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
 
 
 class Comparison(Expression):
-    """Binary comparison. NULL compares as SQL does: any comparison with
-    NULL is false (we have no three-valued logic; false is the practical
-    equivalent for filtering)."""
+    """Binary comparison with SQL's three-valued NULL semantics: a
+    comparison against NULL evaluates to ``None`` (unknown), which
+    filters treat as "not true"."""
 
     __slots__ = ("op", "left", "right")
 
@@ -182,11 +191,11 @@ class Comparison(Expression):
         self.left = left
         self.right = right
 
-    def evaluate(self, row: Mapping[str, Any]) -> bool:
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
         left = self.left.evaluate(row)
         right = self.right.evaluate(row)
         if left is None or right is None:
-            return False
+            return None
         try:
             return _COMPARATORS[self.op](left, right)
         except TypeError as exc:
@@ -199,7 +208,11 @@ class Comparison(Expression):
 
 
 class BooleanOp(Expression):
-    """N-ary AND / OR with short-circuit evaluation."""
+    """N-ary AND / OR: short-circuiting Kleene (three-valued) logic.
+
+    AND returns False as soon as any operand is False, None (unknown) if
+    no operand is False but some is NULL, else True; OR is the dual.
+    """
 
     __slots__ = ("op", "parts")
 
@@ -216,10 +229,18 @@ class BooleanOp(Expression):
         self.op = op
         self.parts = tuple(flattened)
 
-    def evaluate(self, row: Mapping[str, Any]) -> bool:
-        if self.op == "and":
-            return all(bool(part.evaluate(row)) for part in self.parts)
-        return any(bool(part.evaluate(row)) for part in self.parts)
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
+        dominant = self.op == "or"  # True dominates OR, False dominates AND
+        saw_null = False
+        for part in self.parts:
+            value = part.evaluate(row)
+            if value is None:
+                saw_null = True
+            elif bool(value) == dominant:
+                return dominant
+        if saw_null:
+            return None
+        return not dominant
 
     def __repr__(self) -> str:
         joiner = f" {self.op} "
@@ -234,8 +255,11 @@ class Not(Expression):
     def __init__(self, inner: Expression) -> None:
         self.inner = inner
 
-    def evaluate(self, row: Mapping[str, Any]) -> bool:
-        return not bool(self.inner.evaluate(row))
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
+        value = self.inner.evaluate(row)
+        if value is None:
+            return None  # NOT unknown is still unknown
+        return not bool(value)
 
     def __repr__(self) -> str:
         return f"(not {self.inner!r})"
@@ -254,14 +278,24 @@ class InList(Expression):
         except TypeError:  # unhashable values: fall back to linear scan
             self._value_set = None
 
-    def evaluate(self, row: Mapping[str, Any]) -> bool:
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
         value = self.inner.evaluate(row)
+        if value is None:
+            return None  # NULL IN (...) is unknown
         if self._value_set is not None:
             try:
-                return value in self._value_set
+                found = value in self._value_set
             except TypeError:
-                return False
-        return value in self.values
+                found = False
+        else:
+            found = any(
+                item is not None and item == value for item in self.values
+            )
+        if found:
+            return True
+        if any(item is None for item in self.values):
+            return None  # no match, but the list holds NULL: unknown
+        return False
 
     def __repr__(self) -> str:
         return f"({self.inner!r} in {list(self.values)!r})"
@@ -306,8 +340,10 @@ class Like(Expression):
         fragments.append("$")
         self._regex = re.compile("".join(fragments), flags=re.DOTALL)
 
-    def evaluate(self, row: Mapping[str, Any]) -> bool:
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
         value = self.inner.evaluate(row)
+        if value is None:
+            return None  # NULL LIKE ... is unknown
         if not isinstance(value, str):
             return False
         return self._regex.match(value) is not None
@@ -348,6 +384,117 @@ class Arithmetic(Expression):
 
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Parameter(Expression):
+    """A ``?`` placeholder in a prepared statement.
+
+    Parameters are positional (0-based ``index`` in appearance order) and
+    must be bound to literal values before execution; evaluating an
+    unbound parameter is an error.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise QueryError(
+            f"unbound statement parameter ?{self.index + 1}; "
+            "pass params=[...] when executing"
+        )
+
+    def __repr__(self) -> str:
+        return f"param({self.index})"
+
+
+def transform(
+    expr: Expression, fn: Callable[[Expression], Expression]
+) -> Expression:
+    """Bottom-up tree rewrite: rebuild ``expr`` with transformed children,
+    then apply ``fn`` to every node. Leaves (column refs, literals,
+    parameters) are passed to ``fn`` directly."""
+    rebuilt: Expression
+    if isinstance(expr, Comparison):
+        rebuilt = Comparison(
+            expr.op, transform(expr.left, fn), transform(expr.right, fn)
+        )
+    elif isinstance(expr, BooleanOp):
+        rebuilt = BooleanOp(
+            expr.op, tuple(transform(part, fn) for part in expr.parts)
+        )
+    elif isinstance(expr, Not):
+        rebuilt = Not(transform(expr.inner, fn))
+    elif isinstance(expr, Arithmetic):
+        rebuilt = Arithmetic(
+            expr.op, transform(expr.left, fn), transform(expr.right, fn)
+        )
+    elif isinstance(expr, InList):
+        rebuilt = InList(
+            transform(expr.inner, fn),
+            tuple(
+                fn(value) if isinstance(value, Expression) else value
+                for value in expr.values
+            ),
+        )
+    elif isinstance(expr, IsNull):
+        rebuilt = IsNull(transform(expr.inner, fn), negate=expr.negate)
+    elif isinstance(expr, Like):
+        rebuilt = Like(transform(expr.inner, fn), expr.pattern)
+    else:
+        rebuilt = expr
+    return fn(rebuilt)
+
+
+def _fold_node(expr: Expression) -> Expression:
+    """Fold one node whose children are already folded."""
+    if isinstance(expr, (Comparison, Arithmetic)):
+        if isinstance(expr.left, Literal) and isinstance(expr.right, Literal):
+            try:
+                return Literal(expr.evaluate({}))
+            except QueryError:
+                return expr  # e.g. 1 < 'a': leave for runtime semantics
+    elif isinstance(expr, Not):
+        if isinstance(expr.inner, Literal):
+            return Literal(expr.evaluate({}))
+    elif isinstance(expr, BooleanOp):
+        dominant = expr.op == "or"
+        kept: list[Expression] = []
+        for part in expr.parts:
+            if isinstance(part, Literal) and part.value is not None:
+                if bool(part.value) == dominant:
+                    return Literal(dominant)  # TRUE OR ... / FALSE AND ...
+                continue  # neutral element: drop it
+            kept.append(part)
+        if not kept:
+            return Literal(not dominant)
+        if len(kept) == 1 and not any(
+            isinstance(part, Literal) and part.value is None
+            for part in expr.parts
+        ):
+            return kept[0]
+        if len(kept) != len(expr.parts):
+            return BooleanOp(expr.op, tuple(kept))
+    elif isinstance(expr, (InList, Like, IsNull)):
+        if isinstance(expr.inner, Literal) and not any(
+            isinstance(value, Expression)
+            for value in getattr(expr, "values", ())
+        ):
+            return Literal(expr.evaluate({}))
+    return expr
+
+
+def fold_constants(expr: Expression) -> Expression:
+    """Constant-fold an expression tree.
+
+    Literal-only subtrees collapse to :class:`Literal` nodes; AND/OR
+    short-circuit on literal TRUE/FALSE operands. Folding never raises:
+    subtrees whose evaluation would error (e.g. comparing incompatible
+    literal types) are left intact so runtime semantics are unchanged.
+    Unbound :class:`Parameter` nodes are never folded.
+    """
+    return transform(expr, _fold_node)
 
 
 def col(name: str) -> ColumnRef:

@@ -31,6 +31,11 @@ from .aggregates import Aggregate
 from .errors import QueryError
 from .expressions import BooleanOp, ColumnRef, Expression
 
+try:  # numpy-backed vectorised executor; the row path works without it
+    from . import columnar as _columnar
+except ImportError:  # pragma: no cover - numpy not installed
+    _columnar = None  # type: ignore[assignment]
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import Database
 
@@ -71,6 +76,7 @@ class Query:
         self._distinct = False
         self._limit: int | None = None
         self._offset = 0
+        self._use_reference = False
 
     # ------------------------------------------------------------------
     # builder methods (each returns a modified copy)
@@ -87,6 +93,7 @@ class Query:
         clone._distinct = self._distinct
         clone._limit = self._limit
         clone._offset = self._offset
+        clone._use_reference = self._use_reference
         return clone
 
     def join(
@@ -221,6 +228,17 @@ class Query:
         clone._offset = offset
         return clone
 
+    def reference(self, flag: bool = True) -> "Query":
+        """Force the row-at-a-time reference executor.
+
+        The vectorised columnar executor is used automatically whenever a
+        query shape supports it; this switch pins the query to the row
+        path for ablations, debugging, and equivalence testing.
+        """
+        clone = self._copy()
+        clone._use_reference = flag
+        return clone
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -249,17 +267,41 @@ class Query:
     # pipeline internals
     # ------------------------------------------------------------------
     def _execute(self) -> Iterator[dict[str, Any]]:
-        rows = self._scan_base()
-        for join in self._joins:
-            rows = self._apply_join(rows, join)
-        if self._where is not None and (self._joins or not self._pushed_where):
-            predicate = self._where
-            rows = (row for row in rows if bool(predicate.evaluate(row)))
-        if self._group_columns or self._aggregates:
-            rows = iter(self._apply_group_by(rows))
+        grouped_rows: list[dict[str, Any]] | None = None
+        if (
+            _columnar is not None
+            and not self._use_reference
+            and not self._joins
+        ):
+            outcome = _columnar.execute(self)
+            if outcome is not None:
+                kind, produced = outcome
+                if kind == "full":
+                    # Vectorised filter/project/distinct/order/limit ran
+                    # end to end; nothing left to do row-at-a-time.
+                    return iter(produced)
+                grouped_rows = produced  # vectorised up to group-by
+        if grouped_rows is not None:
+            rows: Iterator[dict[str, Any]] = iter(grouped_rows)
             if self._having is not None:
                 having = self._having
                 rows = (row for row in rows if bool(having.evaluate(row)))
+        else:
+            rows = self._scan_base()
+            for join in self._joins:
+                rows = self._apply_join(rows, join)
+            if self._where is not None and (
+                self._joins or not self._pushed_where
+            ):
+                predicate = self._where
+                rows = (row for row in rows if bool(predicate.evaluate(row)))
+            if self._group_columns or self._aggregates:
+                rows = iter(self._apply_group_by(rows))
+                if self._having is not None:
+                    having = self._having
+                    rows = (
+                        row for row in rows if bool(having.evaluate(row))
+                    )
         if self._projections is not None:
             projections = self._projections
             rows = (
@@ -339,13 +381,23 @@ class Query:
     def _apply_order(
         self, rows: list[dict[str, Any]]
     ) -> list[dict[str, Any]]:
-        # Stable multi-key sort: apply keys right-to-left.
+        # Stable multi-key sort: apply keys right-to-left. NULLs sort
+        # last in BOTH directions (SQL "NULLS LAST"), so null rows are
+        # partitioned off before each (stable, possibly reversed) pass.
         for ordering in reversed(self._orderings):
             ref = ColumnRef(ordering.key)
-            rows.sort(
-                key=lambda row: _sort_key(ref.evaluate(row)),
-                reverse=ordering.descending,
+            non_null: list[tuple[Any, dict[str, Any]]] = []
+            nulls: list[dict[str, Any]] = []
+            for row in rows:
+                value = ref.evaluate(row)
+                if value is None:
+                    nulls.append(row)
+                else:
+                    non_null.append((value, row))
+            non_null.sort(
+                key=lambda pair: pair[0], reverse=ordering.descending
             )
+            rows = [row for _value, row in non_null] + nulls
         return rows
 
 
@@ -372,14 +424,6 @@ def _merge_rows(
         else:
             merged[name] = value
     return merged
-
-
-def _sort_key(value: Any) -> tuple[int, Any]:
-    # Sort NULLs last within ascending order; keep values comparable by
-    # separating them from None via the leading flag.
-    if value is None:
-        return (1, 0)
-    return (0, value)
 
 
 def _unique_rows(

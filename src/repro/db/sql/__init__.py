@@ -6,7 +6,12 @@ left equality joins, ``WHERE`` with AND/OR/NOT, comparisons, ``IN``,
 (plus ``COUNT(DISTINCT col)``), ``HAVING``, ``ORDER BY ... ASC|DESC``,
 ``LIMIT ... OFFSET``.
 
-Entry point: :meth:`repro.db.Database.sql` or :func:`execute_sql`.
+Statements may carry ``?`` placeholders, bound positionally at execution
+time; plans (parsed + constant-folded statements) are cached per database
+in an LRU keyed by normalized SQL (see :mod:`repro.db.sql.plan_cache`).
+
+Entry point: :meth:`repro.db.Database.sql` / :meth:`~repro.db.Database.prepare`
+or :func:`execute_sql`.
 """
 
 from .dml import (
@@ -14,10 +19,23 @@ from .dml import (
     InsertStatement,
     UpdateStatement,
     execute,
+    execute_parsed,
     parse_statement,
 )
 from .parser import SelectStatement, parse_select
-from .planner import execute_sql, execute_statement
+from .plan_cache import (
+    PLAN_CACHE_HITS,
+    PLAN_CACHE_MISSES,
+    PlanCache,
+    PreparedStatement,
+)
+from .planner import (
+    bind_statement,
+    execute_sql,
+    execute_statement,
+    explain_statement,
+    fold_statement,
+)
 from .tokenizer import Token, tokenize
 
 __all__ = [
@@ -25,11 +43,19 @@ __all__ = [
     "InsertStatement",
     "UpdateStatement",
     "execute",
+    "execute_parsed",
     "parse_statement",
     "SelectStatement",
     "parse_select",
+    "PLAN_CACHE_HITS",
+    "PLAN_CACHE_MISSES",
+    "PlanCache",
+    "PreparedStatement",
+    "bind_statement",
     "execute_sql",
     "execute_statement",
+    "explain_statement",
+    "fold_statement",
     "Token",
     "tokenize",
 ]

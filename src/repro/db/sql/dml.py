@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Any
 
-from ..errors import SqlSyntaxError
+from ..errors import QueryError, SqlSyntaxError
 from ..expressions import Expression
 from .parser import _Parser  # shared recursive-descent machinery
 from .tokenizer import Token, tokenize
@@ -37,6 +37,7 @@ class InsertStatement:
     table: str
     columns: tuple[str, ...]
     rows: tuple[tuple[Any, ...], ...]
+    params: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,12 +45,14 @@ class UpdateStatement:
     table: str
     assignments: tuple[tuple[str, Expression], ...]
     where: Expression | None
+    params: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
 class DeleteStatement:
     table: str
     where: Expression | None
+    params: int = 0
 
 
 class _DmlParser(_Parser):
@@ -69,7 +72,9 @@ class _DmlParser(_Parser):
         while self._accept_punct(","):
             rows.append(self._parse_value_tuple(len(columns)))
         self._expect_end()
-        return InsertStatement(table, tuple(columns), tuple(rows))
+        return InsertStatement(
+            table, tuple(columns), tuple(rows), params=self._param_count
+        )
 
     def _parse_value_tuple(self, width: int) -> tuple[Any, ...]:
         self._expect_punct("(")
@@ -95,7 +100,9 @@ class _DmlParser(_Parser):
         if self._accept_keyword("WHERE"):
             where = self._parse_expression()
         self._expect_end()
-        return UpdateStatement(table, tuple(assignments), where)
+        return UpdateStatement(
+            table, tuple(assignments), where, params=self._param_count
+        )
 
     def _parse_assignment(self) -> tuple[str, Expression]:
         column = self._expect_ident("column name")
@@ -113,7 +120,7 @@ class _DmlParser(_Parser):
         if self._accept_keyword("WHERE"):
             where = self._parse_expression()
         self._expect_end()
-        return DeleteStatement(table, where)
+        return DeleteStatement(table, where, params=self._param_count)
 
     def _expect_end(self) -> None:
         token = self._current
@@ -150,12 +157,23 @@ def parse_statement(
 
 def execute(database: "Database", text: str) -> list[dict[str, Any]]:
     """Parse and execute any supported statement against ``database``."""
+    return execute_parsed(database, parse_statement(text))
+
+
+def execute_parsed(
+    database: "Database", statement: Any
+) -> list[dict[str, Any]]:
+    """Execute an already-parsed (and parameter-bound) statement."""
     from .parser import SelectStatement
     from .planner import execute_statement
 
-    statement = parse_statement(text)
     if isinstance(statement, SelectStatement):
         return execute_statement(database, statement)
+    if statement.params:
+        raise QueryError(
+            f"statement expects {statement.params} parameter"
+            f"{'s' if statement.params != 1 else ''}, got 0"
+        )
     table = database.table(statement.table)
     if isinstance(statement, InsertStatement):
         inserted = 0

@@ -46,6 +46,7 @@ from ..expressions import (
     Like,
     Literal,
     Not,
+    Parameter,
 )
 from .tokenizer import Token, tokenize
 
@@ -121,12 +122,20 @@ class SelectStatement:
     order_by: tuple[OrderItem, ...]
     limit: int | None
     offset: int
+    #: Number of ``?`` placeholders in the statement (appearance order).
+    params: int = 0
 
 
 class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._param_count = 0
+
+    def _next_parameter(self) -> Parameter:
+        parameter = Parameter(self._param_count)
+        self._param_count += 1
+        return parameter
 
     # -- token helpers ----------------------------------------------------
     @property
@@ -252,6 +261,7 @@ class _Parser:
             order_by=tuple(order_by),
             limit=limit,
             offset=offset,
+            params=self._param_count,
         )
 
     def _expect_int(self, what: str) -> int:
@@ -388,6 +398,9 @@ class _Parser:
         if token.kind in ("NUMBER", "STRING"):
             self._advance()
             return token.value
+        if token.kind == "PARAM":
+            self._advance()
+            return self._next_parameter()
         if self._accept_keyword("TRUE"):
             return True
         if self._accept_keyword("FALSE"):
@@ -440,6 +453,9 @@ class _Parser:
             expr = self._parse_expression()
             self._expect_punct(")")
             return expr
+        if token.kind == "PARAM":
+            self._advance()
+            return self._next_parameter()
         if token.kind == "IDENT":
             name = str(token.value)
             if name in _AGGREGATE_NAMES and self._peek_is_open_paren():

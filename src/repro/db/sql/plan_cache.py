@@ -1,0 +1,217 @@
+"""Prepared statements and a thread-safe LRU plan cache.
+
+``Database.sql`` routes every statement through a per-database
+:class:`PlanCache`, so hot queries are tokenized, parsed, and
+constant-folded exactly once. Two cache keys are maintained:
+
+* a **raw-text fast path** — the exact SQL string maps straight to its
+  plan, skipping even tokenization on repeat queries;
+* a **normalized key** — the token stream ``(kind, value)`` tuple, so
+  whitespace and keyword-case variants of the same statement share one
+  plan entry.
+
+Parameterised statements (``?`` placeholders) make the cache effective
+for templated workloads: the plan for ``... WHERE cuisine = ?`` is
+parsed once and re-executed with fresh bindings per call, which is what
+``POST /sql`` uses to stop re-parsing hot queries on every request.
+
+Cache behaviour is observable: ``repro_sql_plan_cache_hits_total`` /
+``repro_sql_plan_cache_misses_total`` counters and a ``db.sql.plan``
+span (attribute ``cache=hit|miss``) are emitted per lookup.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any
+
+from ...obs import get_registry, span
+from .tokenizer import tokenize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..database import Database
+
+#: Metric names for plan-cache behaviour (exposed via ``/metrics``).
+PLAN_CACHE_HITS = "repro_sql_plan_cache_hits_total"
+PLAN_CACHE_MISSES = "repro_sql_plan_cache_misses_total"
+
+#: Default number of distinct plans kept per database.
+DEFAULT_PLAN_CACHE_SIZE = 128
+
+
+class PreparedStatement:
+    """A parsed, constant-folded statement ready for repeated execution.
+
+    Attributes:
+        sql: the source text the plan was built from.
+        statement: the folded statement AST (never mutated by execution;
+            parameter binding produces bound copies).
+        kind: ``"select"``, ``"insert"``, ``"update"`` or ``"delete"``.
+        params: number of ``?`` placeholders expected at execution.
+    """
+
+    __slots__ = ("sql", "statement", "kind", "params")
+
+    def __init__(self, sql: str, statement: Any) -> None:
+        self.sql = sql
+        self.statement = statement
+        self.kind = type(statement).__name__.removesuffix(
+            "Statement"
+        ).lower()
+        self.params = statement.params
+
+    def execute(
+        self,
+        database: "Database",
+        params: list[Any] | tuple[Any, ...] | None = None,
+        *,
+        reference: bool = False,
+    ) -> list[dict[str, Any]]:
+        """Run the plan against ``database`` with ``params`` bound."""
+        from .dml import execute_parsed
+        from .parser import SelectStatement
+        from .planner import execute_statement, bind_statement
+
+        if isinstance(self.statement, SelectStatement):
+            return execute_statement(
+                database, self.statement, params, reference=reference
+            )
+        return execute_parsed(
+            database, bind_statement(self.statement, params)
+        )
+
+    def explain(
+        self,
+        database: "Database",
+        params: list[Any] | tuple[Any, ...] | None = None,
+    ) -> dict[str, Any]:
+        """Planner's view of how this statement would execute."""
+        from .parser import SelectStatement
+        from .planner import explain_statement
+
+        if isinstance(self.statement, SelectStatement):
+            return explain_statement(database, self.statement, params)
+        return {"table": self.statement.table, "executor": self.kind}
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.kind}, {self.sql!r})"
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`PreparedStatement` objects."""
+
+    def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        self._maxsize = max(1, maxsize)
+        self._lock = threading.Lock()
+        # raw SQL text -> normalized key (fast path on exact repeats)
+        self._raw_keys: OrderedDict[str, tuple[Any, ...]] = OrderedDict()
+        # normalized key -> plan (shared across spelling variants)
+        self._plans: OrderedDict[tuple[Any, ...], PreparedStatement] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def lookup(self, text: str) -> PreparedStatement:
+        """The cached plan for ``text``, parsing and caching on miss.
+
+        Raises:
+            SqlSyntaxError: when ``text`` does not tokenize or parse.
+        """
+        registry = get_registry()
+        with span("db.sql.plan") as plan_span:
+            plan = self._cached_by_raw(text)
+            if plan is None:
+                # Normalize before deciding hit/miss so case/whitespace
+                # variants of a cached statement still count as hits.
+                key = tuple(
+                    (token.kind, token.value) for token in tokenize(text)
+                )
+                plan = self._cached_by_key(text, key)
+            if plan is not None:
+                plan_span.set("cache", "hit")
+                plan_span.set("kind", plan.kind)
+                registry.counter(PLAN_CACHE_HITS).incr()
+                return plan
+            from .dml import parse_statement
+            from .planner import fold_statement
+            from .parser import SelectStatement
+
+            statement = parse_statement(text)
+            if isinstance(statement, SelectStatement):
+                statement = fold_statement(statement)
+            plan = PreparedStatement(text, statement)
+            self._store(text, key, plan)
+            plan_span.set("cache", "miss")
+            plan_span.set("kind", plan.kind)
+            registry.counter(PLAN_CACHE_MISSES).incr()
+            return plan
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _cached_by_raw(self, text: str) -> PreparedStatement | None:
+        with self._lock:
+            key = self._raw_keys.get(text)
+            if key is None:
+                return None
+            plan = self._plans.get(key)
+            if plan is None:  # plan evicted out from under the raw key
+                del self._raw_keys[text]
+                return None
+            self._raw_keys.move_to_end(text)
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def _cached_by_key(
+        self, text: str, key: tuple[Any, ...]
+    ) -> PreparedStatement | None:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                return None
+            self._plans.move_to_end(key)
+            self._remember_raw(text, key)
+            self.hits += 1
+            return plan
+
+    def _store(
+        self, text: str, key: tuple[Any, ...], plan: PreparedStatement
+    ) -> None:
+        with self._lock:
+            self.misses += 1
+            existing = self._plans.get(key)
+            if existing is not None:  # raced with another thread: keep it
+                self._plans.move_to_end(key)
+                self._remember_raw(text, key)
+                return
+            self._plans[key] = plan
+            self._remember_raw(text, key)
+            while len(self._plans) > self._maxsize:
+                evicted_key, _plan = self._plans.popitem(last=False)
+                for raw, raw_key in list(self._raw_keys.items()):
+                    if raw_key == evicted_key:
+                        del self._raw_keys[raw]
+
+    def _remember_raw(self, text: str, key: tuple[Any, ...]) -> None:
+        self._raw_keys[text] = key
+        self._raw_keys.move_to_end(text)
+        # Bound raw aliases independently: many spellings may map to few
+        # plans, and each alias costs one dict slot plus the SQL string.
+        while len(self._raw_keys) > 4 * self._maxsize:
+            self._raw_keys.popitem(last=False)
+
+    def info(self) -> dict[str, int]:
+        """Cache occupancy and hit/miss totals (diagnostics)."""
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -33,7 +33,7 @@ class Token:
 
     Attributes:
         kind: ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``, ``OP``,
-            ``PUNCT`` or ``EOF``.
+            ``PUNCT``, ``PARAM`` (a ``?`` placeholder) or ``EOF``.
         value: normalised token text (or the parsed value for NUMBER/STRING).
         position: character offset in the source text, for error messages.
     """
@@ -88,6 +88,10 @@ def tokenize(text: str) -> list[Token]:
             continue
         if char in _PUNCTUATION:
             tokens.append(Token("PUNCT", char, index))
+            index += 1
+            continue
+        if char == "?":
+            tokens.append(Token("PARAM", "?", index))
             index += 1
             continue
         raise SqlSyntaxError(f"unexpected character {char!r}", index)

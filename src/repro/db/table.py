@@ -44,6 +44,10 @@ class Table:
         }
         self._live: list[bool] = []
         self._live_count = 0
+        # Row-data version: bumped on every mutation so cached columnar
+        # blocks (see :meth:`columnar`) know when they are stale.
+        self._version = 0
+        self._columnar_store: Any = None
         # Unique indexes: column name -> {value: row id}
         self._unique_indexes: dict[str, dict[Any, int]] = {}
         # Secondary (non-unique) indexes: column name -> {value: [row ids]}
@@ -66,6 +70,27 @@ class Table:
     @property
     def primary_key_column(self) -> Column | None:
         return self.schema.primary_key
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of row-data mutations."""
+        return self._version
+
+    def columnar(self):
+        """The table's columnar image, rebuilt lazily after mutations.
+
+        Returns a :class:`repro.db.columnar.ColumnStore` whose blocks are
+        built per column on first touch and cached until the next write.
+        A racing write simply leaves a stale store behind for the garbage
+        collector; readers always re-check the version first.
+        """
+        from .columnar import ColumnStore
+
+        store = self._columnar_store
+        if store is None or store.version != self._version:
+            store = ColumnStore(self)
+            self._columnar_store = store
+        return store
 
     def indexed_columns(self) -> frozenset[str]:
         """Names of columns served by any index (unique or secondary)."""
@@ -91,6 +116,7 @@ class Table:
             values.append(coerced[name])
         self._live.append(True)
         self._live_count += 1
+        self._version += 1
         self._index_row(row_id, coerced)
         return row_id
 
@@ -128,6 +154,8 @@ class Table:
             for name, value in new.items():
                 self._columns[name][row_id] = value
             self._index_row(row_id, new)
+        if touched:
+            self._version += 1
         return len(touched)
 
     def delete(self, where: Expression | None = None) -> int:
@@ -142,6 +170,8 @@ class Table:
             self._unindex_row(row_id, self._row_at(row_id))
             self._live[row_id] = False
         self._live_count -= len(touched)
+        if touched:
+            self._version += 1
         return len(touched)
 
     def compact(self) -> int:
@@ -153,6 +183,7 @@ class Table:
         for name, values in self._columns.items():
             self._columns[name] = [values[row_id] for row_id in keep]
         self._live = [True] * len(keep)
+        self._version += 1
         self._rebuild_indexes()
         return dead
 
@@ -337,5 +368,7 @@ class Table:
                 row_id = self._unique_indexes[bare].get(value)
                 return [] if row_id is None else [row_id]
             if bare in self._secondary_indexes:
-                return list(self._secondary_indexes[bare].get(value, []))
+                # Sorted so index-narrowed scans keep row order (buckets
+                # drift out of order when updates re-append row ids).
+                return sorted(self._secondary_indexes[bare].get(value, []))
         return range(len(self._live))

@@ -53,6 +53,8 @@ def _restore_table(table: Table, snapshot: dict[str, Any]) -> None:
     table._live_count = snapshot["live_count"]
     table._unique_indexes = snapshot["unique"]
     table._secondary_indexes = snapshot["secondary"]
+    # Rollback rewrites row data, so cached columnar blocks are stale.
+    table._version += 1
 
 
 _ACTIVE: set[int] = set()

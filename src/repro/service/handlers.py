@@ -20,7 +20,6 @@ from ..culinarydb import build_culinarydb
 from ..datamodel import REGIONS, Ingredient, ReproError
 from ..db import Database
 from ..db.errors import SqlSyntaxError
-from ..db.sql.tokenizer import tokenize
 from ..engine import RunConfig
 from ..experiments import ExperimentWorkspace
 from ..generation import CuisineClassifier, RecipeDesigner
@@ -766,10 +765,35 @@ class QueryService:
         }
 
     def handle_sql(self, payload: Any) -> dict[str, Any]:
-        """Read-only SELECT against the in-memory CulinaryDB."""
+        """Read-only SELECT against the in-memory CulinaryDB.
+
+        Statements go through the per-database plan cache, so repeated
+        queries (including parameterised ``?`` templates bound from
+        ``params``) skip tokenizing and parsing. ``reference=true`` pins
+        the row-at-a-time executor for ablations.
+        """
         body = _payload_dict(payload)
-        _reject_unknown(body, frozenset({"query", "max_rows"}))
-        query = _string_field(body, "query")
+        _reject_unknown(
+            body,
+            frozenset({"sql", "query", "params", "max_rows", "reference"}),
+        )
+        if ("sql" in body) == ("query" in body):
+            raise RequestError(
+                400,
+                "invalid_field",
+                "provide exactly one of 'sql' or 'query'",
+            )
+        field = "sql" if "sql" in body else "query"
+        query = _string_field(body, field)
+        params = body.get("params", [])
+        if not isinstance(params, list):
+            raise RequestError(
+                400,
+                "invalid_field",
+                f"field 'params' must be a list, got "
+                f"{type(params).__name__}",
+            )
+        reference = _bool_field(body, "reference", default=False)
         max_rows = _int_field(
             body,
             "max_rows",
@@ -777,18 +801,19 @@ class QueryService:
             minimum=1,
             maximum=MAX_SQL_ROWS,
         )
+        database = self.database()
         try:
-            tokens = tokenize(query)
+            plan = database.prepare(query)
         except SqlSyntaxError as error:
             raise RequestError(400, "sql_syntax", str(error)) from error
-        if not tokens or tokens[0].value != "SELECT":
+        if plan.kind != "select":
             raise RequestError(
                 403,
                 "read_only",
                 "only SELECT statements are served; DML is not allowed",
             )
         try:
-            rows = self.database().sql(query)
+            rows = plan.execute(database, params, reference=reference)
         except ReproError as error:
             raise RequestError(400, "sql_error", str(error)) from error
         return {

@@ -1,0 +1,242 @@
+"""Columnar-vs-reference equivalence for the vectorised executor.
+
+Every query shape here runs twice — once through the numpy columnar
+engine, once through the row-at-a-time reference pipeline pinned with
+``Query.reference()`` — and the row lists must match exactly (values,
+order, and key order are all produced by the same projection tail).
+"""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    QueryError,
+    Schema,
+    avg,
+    col,
+    count,
+    count_distinct,
+    lit,
+    max_,
+    min_,
+    stddev,
+    sum_,
+)
+from repro.db import columnar
+
+
+def make_db(rows=None):
+    database = Database()
+    database.create_table(
+        "dishes",
+        Schema(
+            [
+                Column("dish_id", ColumnType.INT, primary_key=True),
+                Column("cuisine", ColumnType.TEXT, nullable=True),
+                Column("size", ColumnType.INT, nullable=True),
+                Column("rating", ColumnType.FLOAT, nullable=True),
+                Column("veg", ColumnType.BOOL, nullable=True),
+                Column("tags", ColumnType.JSON, nullable=True),
+            ]
+        ),
+    )
+    if rows is None:
+        rows = DEFAULT_ROWS
+    database.table("dishes").bulk_insert(rows)
+    return database
+
+
+DEFAULT_ROWS = [
+    {"dish_id": 1, "cuisine": "italian", "size": 7, "rating": 4.5,
+     "veg": True, "tags": ["pasta"]},
+    {"dish_id": 2, "cuisine": "japanese", "size": 12, "rating": 4.8,
+     "veg": False, "tags": None},
+    {"dish_id": 3, "cuisine": "italian", "size": 3, "rating": None,
+     "veg": None, "tags": {"kind": "soup"}},
+    {"dish_id": 4, "cuisine": None, "size": None, "rating": 2.0,
+     "veg": True, "tags": None},
+    {"dish_id": 5, "cuisine": "mexican", "size": 9, "rating": 4.8,
+     "veg": False, "tags": None},
+    {"dish_id": 6, "cuisine": "japanese", "size": 12, "rating": 3.1,
+     "veg": True, "tags": None},
+    {"dish_id": 7, "cuisine": "italian", "size": None, "rating": 4.5,
+     "veg": None, "tags": None},
+]
+
+
+def assert_equivalent(query, *, engaged=True):
+    """Columnar and reference paths agree; optionally require engagement."""
+    if engaged:
+        assert columnar.execute(query) is not None, "columnar did not engage"
+    assert query.all() == query.reference().all()
+
+
+QUERY_SHAPES = [
+    lambda db: db.query("dishes"),
+    lambda db: db.query("dishes").where(col("size") > 5),
+    lambda db: db.query("dishes").where(
+        (col("size") > 5) & (col("veg") == True)  # noqa: E712
+    ),
+    lambda db: db.query("dishes").where(
+        (col("cuisine") == "italian") | col("rating").is_null()
+    ),
+    lambda db: db.query("dishes").where(~(col("size") >= 9)),
+    lambda db: db.query("dishes").where(
+        col("cuisine").isin(["italian", "mexican", None])
+    ),
+    lambda db: db.query("dishes").where(col("cuisine").like("%an%")),
+    lambda db: db.query("dishes").where(col("size") + 1 >= col("dish_id")),
+    lambda db: db.query("dishes").where(col("rating") * 2 > 8.0),
+    lambda db: db.query("dishes").select(
+        "dish_id", (col("size") * 2, "double_size")
+    ),
+    lambda db: db.query("dishes").select("cuisine").distinct(),
+    lambda db: db.query("dishes").order_by("cuisine", ("size", "desc")),
+    lambda db: db.query("dishes").order_by(("rating", "desc"), "dish_id"),
+    lambda db: db.query("dishes").order_by("size").limit(3, offset=1),
+    lambda db: db.query("dishes").order_by("dish_id").limit(0),
+    lambda db: db.query("dishes").group_by("cuisine", n=count()),
+    lambda db: db.query("dishes").group_by(
+        "cuisine",
+        n=count(),
+        total=sum_("size"),
+        mean=avg("rating"),
+        lo=min_("size"),
+        hi=max_("rating"),
+    ),
+    lambda db: db.query("dishes").group_by(
+        "cuisine", "veg", n=count(), sizes=count_distinct("size")
+    ),
+    lambda db: db.query("dishes")
+    .where(col("size") > 2)
+    .group_by("cuisine", n=count(), total=sum_("size"))
+    .having(col("n") >= 1)
+    .order_by(("total", "desc"), "cuisine")
+    .limit(3),
+    lambda db: db.query("dishes").group_by(mean=avg("size"), n=count()),
+]
+
+
+class TestEquivalenceGrid:
+    @pytest.mark.parametrize("shape", range(len(QUERY_SHAPES)))
+    def test_shape_matches_reference(self, shape):
+        db = make_db()
+        assert_equivalent(QUERY_SHAPES[shape](db))
+
+    @pytest.mark.parametrize("shape", range(len(QUERY_SHAPES)))
+    def test_shape_matches_reference_on_empty_table(self, shape):
+        db = make_db(rows=[])
+        assert_equivalent(QUERY_SHAPES[shape](db))
+
+    @pytest.mark.parametrize("shape", range(len(QUERY_SHAPES)))
+    def test_shape_matches_reference_on_all_null_columns(self, shape):
+        rows = [
+            {"dish_id": i, "cuisine": None, "size": None, "rating": None,
+             "veg": None, "tags": None}
+            for i in range(1, 6)
+        ]
+        db = make_db(rows=rows)
+        assert_equivalent(QUERY_SHAPES[shape](db))
+
+
+class TestFallback:
+    """Unsupported shapes return None from execute() and fall back."""
+
+    def test_join_falls_back(self):
+        db = make_db()
+        db.create_table(
+            "origins",
+            Schema(
+                [
+                    Column("cuisine", ColumnType.TEXT, primary_key=True),
+                    Column("region", ColumnType.TEXT),
+                ]
+            ),
+        )
+        db.table("origins").bulk_insert(
+            [
+                {"cuisine": "italian", "region": "europe"},
+                {"cuisine": "japanese", "region": "asia"},
+            ]
+        )
+        query = db.query("dishes").join("origins", on=("cuisine", "cuisine"))
+        assert columnar.execute(query) is None
+        assert query.all() == query.reference().all()
+
+    def test_json_comparison_falls_back(self):
+        db = make_db()
+        query = db.query("dishes").where(col("tags") == "pasta")
+        assert columnar.execute(query) is None
+        assert query.all() == query.reference().all()
+
+    def test_json_is_null_stays_columnar(self):
+        # IS NULL needs only the validity mask, so JSON columns still
+        # run vectorised.
+        db = make_db()
+        query = db.query("dishes").where(col("tags").is_null())
+        assert_equivalent(query)
+
+    def test_stddev_falls_back(self):
+        db = make_db()
+        query = db.query("dishes").group_by("cuisine", spread=stddev("size"))
+        assert columnar.execute(query) is None
+        assert query.all() == query.reference().all()
+
+    def test_huge_int_literal_falls_back(self):
+        db = make_db()
+        query = db.query("dishes").where(col("size") < 2**70)
+        assert columnar.execute(query) is None
+        assert query.all() == query.reference().all()
+
+    def test_error_equivalence_unknown_column(self):
+        db = make_db()
+        with pytest.raises(QueryError):
+            db.query("dishes").where(col("nope") == 1).all()
+        with pytest.raises(QueryError):
+            db.query("dishes").where(col("nope") == 1).reference().all()
+
+
+class TestAnalyze:
+    def test_columnar_plan_reports_pushdown(self):
+        db = make_db()
+        plan = columnar.analyze(
+            db.query("dishes")
+            .where(col("size") > 5)
+            .group_by("cuisine", n=count())
+        )
+        assert plan["executor"] == "columnar"
+        assert plan["where_pushdown"] is True
+        assert plan["group_strategy"] in ("hash", "sort")
+
+    def test_reference_plan_names_reason(self):
+        db = make_db()
+        query = db.query("dishes").group_by("cuisine", spread=stddev("size"))
+        plan = columnar.analyze(query)
+        assert plan["executor"] == "reference"
+        assert plan["reason"]
+
+
+class TestCacheInvalidation:
+    def test_mutations_refresh_column_blocks(self):
+        db = make_db()
+        query = db.query("dishes").where(col("size") > 5)
+        before = query.all()
+        db.table("dishes").insert(
+            {"dish_id": 8, "cuisine": "thai", "size": 99, "rating": 4.0,
+             "veg": False, "tags": None}
+        )
+        after = query.all()
+        assert len(after) == len(before) + 1
+        assert after == query.reference().all()
+        db.table("dishes").delete(col("dish_id") == 8)
+        assert query.all() == before
+
+    def test_update_refreshes_column_blocks(self):
+        db = make_db()
+        query = db.query("dishes").where(col("cuisine") == "thai")
+        assert query.all() == []
+        db.table("dishes").update({"cuisine": "thai"}, col("dish_id") == 1)
+        assert [row["dish_id"] for row in query.all()] == [1]
+        assert query.all() == query.reference().all()

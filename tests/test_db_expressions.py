@@ -22,10 +22,12 @@ class TestComparisons:
         assert (col("a") > 4).evaluate(ROW)
         assert (col("a") >= 5).evaluate(ROW)
 
-    def test_null_comparisons_are_false(self):
-        assert not (col("c") == None).evaluate(ROW)  # noqa: E711
-        assert not (col("c") != 1).evaluate(ROW)
-        assert not (col("c") < 1).evaluate(ROW)
+    def test_null_comparisons_are_unknown(self):
+        # SQL three-valued logic: comparing against NULL is UNKNOWN
+        # (None), which filters treat as non-matching.
+        assert (col("c") == None).evaluate(ROW) is None  # noqa: E711
+        assert (col("c") != 1).evaluate(ROW) is None
+        assert (col("c") < 1).evaluate(ROW) is None
 
     def test_incomparable_types_raise(self):
         with pytest.raises(QueryError):
@@ -50,6 +52,40 @@ class TestBooleanOps:
     def test_and_requires_expression(self):
         with pytest.raises(QueryError):
             (col("a") == 5) & "not an expression"
+
+
+class TestThreeValuedLogic:
+    """Golden Kleene-logic truth tables over NULL operands."""
+
+    def test_and_false_dominates_unknown(self):
+        assert ((col("a") == 0) & (col("c") == 1)).evaluate(ROW) is False
+
+    def test_and_true_with_unknown_is_unknown(self):
+        assert ((col("a") == 5) & (col("c") == 1)).evaluate(ROW) is None
+
+    def test_or_true_dominates_unknown(self):
+        assert ((col("a") == 5) | (col("c") == 1)).evaluate(ROW) is True
+
+    def test_or_false_with_unknown_is_unknown(self):
+        assert ((col("a") == 0) | (col("c") == 1)).evaluate(ROW) is None
+
+    def test_not_unknown_is_unknown(self):
+        assert (~(col("c") == 1)).evaluate(ROW) is None
+
+    def test_in_list_null_member_makes_miss_unknown(self):
+        # 5 IN (1, NULL) is UNKNOWN, but 5 IN (5, NULL) is TRUE.
+        assert col("a").isin([1, None]).evaluate(ROW) is None
+        assert col("a").isin([5, None]).evaluate(ROW) is True
+
+    def test_null_in_list_is_unknown(self):
+        assert col("c").isin([1, 2]).evaluate(ROW) is None
+
+    def test_like_on_null_is_unknown(self):
+        assert col("c").like("%a%").evaluate(ROW) is None
+
+    def test_is_null_stays_two_valued(self):
+        assert col("c").is_null().evaluate(ROW) is True
+        assert col("c").is_not_null().evaluate(ROW) is False
 
 
 class TestPredicates:

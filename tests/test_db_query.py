@@ -242,7 +242,27 @@ class TestOrderLimitDistinct:
 
     def test_nulls_sort_last(self, db):
         titles = db.query("recipes").order_by("title").column("title")
-        assert titles[-1] is None
+        assert titles == ["pasta", "pizza", "ramen", "risotto", None]
+
+    def test_nulls_sort_last_descending_too(self, db):
+        titles = (
+            db.query("recipes")
+            .order_by(("title", "desc"))
+            .column("title")
+        )
+        assert titles == ["risotto", "ramen", "pizza", "pasta", None]
+
+    def test_nulls_last_under_multi_key_order(self, db):
+        rows = (
+            db.query("recipes")
+            .order_by(("title", "desc"), ("size", "asc"))
+            .all()
+        )
+        assert rows[-1]["title"] is None
+
+    def test_reference_matches_columnar_ordering(self, db):
+        query = db.query("recipes").order_by(("title", "desc"), "size")
+        assert query.all() == query.reference().all()
 
     def test_limit(self, db):
         assert db.query("recipes").order_by("recipe_id").limit(2).count() == 2

@@ -1,0 +1,180 @@
+"""Prepared statements and the per-database SQL plan cache."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    QueryError,
+    Schema,
+    SqlSyntaxError,
+)
+from repro.db.sql import (
+    PLAN_CACHE_HITS,
+    PLAN_CACHE_MISSES,
+    PlanCache,
+    PreparedStatement,
+)
+from repro.obs import get_registry
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table(
+        "recipes",
+        Schema(
+            [
+                Column("recipe_id", ColumnType.INT, primary_key=True),
+                Column("region", ColumnType.TEXT, indexed=True),
+                Column("size", ColumnType.INT),
+                Column("title", ColumnType.TEXT, nullable=True),
+            ]
+        ),
+    )
+    database.table("recipes").bulk_insert(
+        [
+            {"recipe_id": 1, "region": "ITA", "size": 5, "title": "pasta"},
+            {"recipe_id": 2, "region": "ITA", "size": 9, "title": "pizza"},
+            {"recipe_id": 3, "region": "JPN", "size": 7, "title": "ramen"},
+            {"recipe_id": 4, "region": "JPN", "size": 3, "title": None},
+        ]
+    )
+    return database
+
+
+class TestPreparedStatements:
+    def test_prepare_once_execute_many(self, db):
+        plan = db.prepare("SELECT * FROM recipes WHERE region = ?")
+        assert isinstance(plan, PreparedStatement)
+        assert plan.kind == "select"
+        assert plan.params == 1
+        ita = plan.execute(db, ["ITA"])
+        jpn = plan.execute(db, ["JPN"])
+        assert [row["recipe_id"] for row in ita] == [1, 2]
+        assert [row["recipe_id"] for row in jpn] == [3, 4]
+
+    def test_params_in_in_list_and_having(self, db):
+        rows = db.sql(
+            "SELECT region, COUNT(*) AS n, SUM(size) AS total "
+            "FROM recipes WHERE region IN (?, ?) "
+            "GROUP BY region HAVING total >= ? ORDER BY region",
+            ["ITA", "JPN", 11],
+        )
+        assert rows == [
+            {"region": "ITA", "n": 2, "total": 14},
+        ]
+
+    def test_param_arithmetic_refolds_after_binding(self, db):
+        # size > ? + 1 folds to a single literal comparison post-bind.
+        rows = db.sql(
+            "SELECT recipe_id FROM recipes WHERE size > ? + 1 "
+            "ORDER BY recipe_id",
+            [5],
+        )
+        assert rows == [{"recipe_id": 2}, {"recipe_id": 3}]
+
+    def test_bound_plans_do_not_leak_between_calls(self, db):
+        plan = db.prepare("SELECT recipe_id FROM recipes WHERE size > ?")
+        big = plan.execute(db, [6])
+        small = plan.execute(db, [0])
+        assert len(small) == 4
+        assert [row["recipe_id"] for row in big] == [2, 3]
+
+    def test_param_count_mismatch(self, db):
+        plan = db.prepare("SELECT * FROM recipes WHERE size > ? AND size < ?")
+        with pytest.raises(QueryError, match="expects 2 parameters, got 1"):
+            plan.execute(db, [1])
+        with pytest.raises(QueryError, match="expects 2 parameters, got 0"):
+            plan.execute(db)
+
+    def test_non_scalar_param_rejected(self, db):
+        with pytest.raises(QueryError, match=r"\?1 must be a scalar"):
+            db.sql("SELECT * FROM recipes WHERE size > ?", [[1, 2]])
+
+    def test_null_param_matches_nothing_via_comparison(self, db):
+        rows = db.sql("SELECT * FROM recipes WHERE title = ?", [None])
+        assert rows == []
+
+    def test_dml_params(self, db):
+        db.sql(
+            "INSERT INTO recipes (recipe_id, region, size, title) "
+            "VALUES (?, ?, ?, ?)",
+            [5, "FRA", 6, "tart"],
+        )
+        db.sql("UPDATE recipes SET size = ? WHERE recipe_id = ?", [8, 5])
+        rows = db.sql("SELECT size FROM recipes WHERE recipe_id = 5")
+        assert rows == [{"size": 8}]
+        db.sql("DELETE FROM recipes WHERE recipe_id = ?", [5])
+        assert len(db.sql("SELECT * FROM recipes")) == 4
+
+    def test_dml_without_required_params_rejected(self, db):
+        with pytest.raises(QueryError, match="expects 1 parameter"):
+            db.sql("DELETE FROM recipes WHERE recipe_id = ?")
+
+    def test_reference_flag_equivalence(self, db):
+        sql = (
+            "SELECT region, COUNT(*) AS n FROM recipes "
+            "WHERE size > ? GROUP BY region ORDER BY region"
+        )
+        assert db.sql(sql, [4]) == db.sql(sql, [4], reference=True)
+
+    def test_explain_reports_executor(self, db):
+        plan = db.explain(
+            "SELECT region, COUNT(*) AS n FROM recipes "
+            "WHERE size > ? GROUP BY region"
+        )
+        assert plan["executor"] == "columnar"
+        assert plan["where_pushdown"] is True
+
+
+class TestPlanCache:
+    def test_raw_hit_and_normalized_hit(self, db):
+        db.sql("SELECT * FROM recipes WHERE size > 4")
+        cache = db._plan_cache
+        assert cache.info()["misses"] == 1
+        db.sql("SELECT * FROM recipes WHERE size > 4")  # raw fast path
+        assert cache.info()["hits"] == 1
+        # Different raw text, same token stream after normalization.
+        db.sql("select   *   from recipes where SIZE > 4")
+        assert cache.info()["hits"] == 2
+        assert cache.info()["misses"] == 1
+        assert len(cache) == 1
+
+    def test_identity_is_stable_across_lookups(self, db):
+        first = db.prepare("SELECT * FROM recipes")
+        second = db.prepare("SELECT * FROM recipes")
+        assert first is second
+
+    def test_distinct_literals_are_distinct_plans(self, db):
+        db.prepare("SELECT * FROM recipes WHERE size > 4")
+        db.prepare("SELECT * FROM recipes WHERE size > 5")
+        assert len(db._plan_cache) == 2
+
+    def test_syntax_errors_do_not_poison_cache(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.prepare("SELECT ~~~ garbage")
+        assert db._plan_cache.info()["size"] == 0
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        cache.lookup("SELECT 1 AS a FROM t")
+        cache.lookup("SELECT 2 AS a FROM t")
+        cache.lookup("SELECT 1 AS a FROM t")  # refresh recency
+        cache.lookup("SELECT 3 AS a FROM t")  # evicts "SELECT 2"
+        assert len(cache) == 2
+        hits_before = cache.info()["hits"]
+        cache.lookup("SELECT 1 AS a FROM t")
+        assert cache.info()["hits"] == hits_before + 1
+        cache.lookup("SELECT 2 AS a FROM t")  # re-parse after eviction
+        assert cache.info()["misses"] == 4
+
+    def test_metrics_counters_advance(self, db):
+        registry = get_registry()
+        hits0 = registry.counter(PLAN_CACHE_HITS).value
+        misses0 = registry.counter(PLAN_CACHE_MISSES).value
+        db.sql("SELECT title FROM recipes WHERE recipe_id = 1")
+        db.sql("SELECT title FROM recipes WHERE recipe_id = 1")
+        assert registry.counter(PLAN_CACHE_MISSES).value == misses0 + 1
+        assert registry.counter(PLAN_CACHE_HITS).value == hits0 + 1

@@ -211,6 +211,84 @@ class TestSql:
         assert body["truncated"] is True
         assert body["row_count"] > 5
 
+    def test_sql_key_is_an_alias_for_query(self, app):
+        status, body = app.dispatch(
+            "POST",
+            "/sql",
+            {"sql": "SELECT COUNT(*) AS n FROM recipes"},
+        )
+        assert status == 200
+        assert body["rows"][0]["n"] > 0
+
+    def test_exactly_one_of_sql_and_query(self, app):
+        for payload in (
+            {},
+            {"sql": "SELECT 1 AS x FROM recipes",
+             "query": "SELECT 1 AS x FROM recipes"},
+        ):
+            status, body = app.dispatch("POST", "/sql", payload)
+            assert status == 400
+            assert body["error"]["code"] == "invalid_field"
+            assert "exactly one" in body["error"]["message"]
+
+    def test_parameterised_statement(self, app):
+        status, body = app.dispatch(
+            "POST",
+            "/sql",
+            {
+                "sql": (
+                    "SELECT COUNT(*) AS n FROM recipes "
+                    "WHERE region_code = ?"
+                ),
+                "params": ["ITA"],
+            },
+        )
+        assert status == 200
+        assert body["rows"][0]["n"] > 0
+
+    def test_param_count_mismatch_is_sql_error(self, app):
+        status, body = app.dispatch(
+            "POST",
+            "/sql",
+            {"sql": "SELECT * FROM recipes WHERE region_code = ?"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "sql_error"
+        assert "parameter" in body["error"]["message"]
+
+    def test_params_must_be_a_list(self, app):
+        status, body = app.dispatch(
+            "POST",
+            "/sql",
+            {
+                "sql": "SELECT * FROM recipes WHERE region_code = ?",
+                "params": "ITA",
+            },
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_field"
+
+    def test_reference_executor_agrees(self, app):
+        sql = (
+            "SELECT region_code, COUNT(*) AS n FROM recipes "
+            "GROUP BY region_code ORDER BY region_code"
+        )
+        _, columnar_body = app.dispatch("POST", "/sql", {"sql": sql})
+        _, reference_body = app.dispatch(
+            "POST", "/sql", {"sql": sql, "reference": True}
+        )
+        assert columnar_body["rows"] == reference_body["rows"]
+
+    def test_parameterised_dml_still_403(self, app):
+        status, body = app.dispatch(
+            "POST",
+            "/sql",
+            {"sql": "DELETE FROM recipes WHERE recipe_id = ?",
+             "params": [1]},
+        )
+        assert status == 403
+        assert body["error"]["code"] == "read_only"
+
 
 class TestDispatchEnvelope:
     def test_unknown_path_is_404(self, app):
