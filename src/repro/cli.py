@@ -10,8 +10,13 @@ Commands:
   and persist it as CSV.
 * ``query --db DIR "SELECT ..."`` — run SQL against a persisted database.
 * ``serve`` — build a workspace once and serve it over the HTTP JSON API
-  (see :mod:`repro.service`); ``--preload`` fully warms the service
-  before the socket binds.
+  (see :mod:`repro.service`); ``--transport async|thread`` picks the
+  event-loop front door (default, with admission control and graceful
+  drain) or the threaded reference; ``--preload`` fully warms the
+  service before the socket binds.
+* ``loadtest URL`` — drive a running server with keep-alive
+  connections (``--mix smoke|hot|spread``) and report throughput and
+  latency percentiles; exits nonzero on any transport error or 5xx.
 * ``similar TARGET`` — top-k flavor-sharing ingredients from the
   retrieval index (``--cuisine`` ranks nearest cuisines instead; see
   :mod:`repro.retrieval`).
@@ -289,6 +294,99 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.add_argument(
+        "--transport",
+        choices=("async", "thread"),
+        default="async",
+        help=(
+            "front door: the asyncio event loop (default) or the "
+            "original one-thread-per-connection server"
+        ),
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=positive_int,
+        default=1024,
+        help="concurrent connections before shedding (async transport)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=positive_int,
+        default=64,
+        help="per-endpoint concurrent executions (async transport)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        help=(
+            "per-endpoint admission queue beyond --max-inflight; "
+            "excess requests get 503 overloaded (async transport)"
+        ),
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=positive_float,
+        default=None,
+        help=(
+            "per-endpoint requests/second token bucket; excess gets "
+            "429 rate_limited (async transport; default: off)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=positive_float,
+        default=10.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    serve.add_argument(
+        "--executor-workers",
+        type=positive_int,
+        default=None,
+        help="dispatch thread-pool size (async transport; default: auto)",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay an endpoint mix against a running server",
+        parents=[obs_flags],
+    )
+    loadtest.add_argument(
+        "url", help="server base URL (e.g. http://127.0.0.1:8080)"
+    )
+    loadtest.add_argument(
+        "--mix",
+        choices=("smoke", "hot", "spread"),
+        default="smoke",
+        help=(
+            "request mix: every endpoint (smoke), one hot cacheable "
+            "key (hot), or distinct cache keys (spread)"
+        ),
+    )
+    loadtest.add_argument(
+        "--connections",
+        type=positive_int,
+        default=8,
+        help="concurrent keep-alive connections",
+    )
+    loadtest.add_argument(
+        "--requests",
+        type=positive_int,
+        default=200,
+        help="total requests across all connections",
+    )
+    loadtest.add_argument(
+        "--timeout",
+        type=positive_float,
+        default=30.0,
+        help="per-request timeout in seconds",
+    )
+    loadtest.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the report as a BENCH-style JSON document",
     )
 
     similar = sub.add_parser(
@@ -578,6 +676,9 @@ def _run_command(args: argparse.Namespace) -> int:
     if args.command == "serve":
         return _run_serve(args)
 
+    if args.command == "loadtest":
+        return _run_loadtest(args)
+
     if args.command == "similar":
         return _run_similar(args)
 
@@ -636,7 +737,7 @@ def _run_obs(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from .service import QueryService, ResultCache, ServiceApp, create_server
+    from .service import QueryService, ResultCache, ServiceApp
 
     config = config_from_args(args)
     started = time.perf_counter()
@@ -654,18 +755,37 @@ def _run_serve(args: argparse.Namespace) -> int:
         service,
         cache=ResultCache(capacity=args.cache_size, ttl=args.ttl),
     )
+
     # Warm-up happens entirely before the socket binds: the first
     # request never pays a build, and with --cache-dir a restart
     # warm-loads the stage artifacts instead of regenerating them.
+    def banner(url: str) -> None:
+        print(
+            f"serving {len(workspace.recipes)} recipes at {url} "
+            f"({warm_seconds:.1f}s to warm, transport={args.transport}); "
+            "Ctrl-C to stop",
+            flush=True,
+        )
+        _print_cache_summary(config)
+
+    if args.transport == "thread":
+        code = _serve_threaded(args, app, banner)
+    else:
+        code = _serve_async(args, app, banner)
+    if args.stats:
+        print("\n" + app.metrics.render_summary())
+    return code
+
+
+def _serve_threaded(
+    args: argparse.Namespace, app: Any, banner: Any
+) -> int:
+    from .service import create_server
+
     server = create_server(
         app, host=args.host, port=args.port, verbose=args.verbose
     )
-    print(
-        f"serving {len(workspace.recipes)} recipes at {server.url} "
-        f"({warm_seconds:.1f}s to warm); Ctrl-C to stop",
-        flush=True,
-    )
-    _print_cache_summary(config)
+    banner(server.url)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -673,9 +793,68 @@ def _run_serve(args: argparse.Namespace) -> int:
     finally:
         server.shutdown()
         server.server_close()
-        if args.stats:
-            print("\n" + app.metrics.render_summary())
     return 0
+
+
+def _serve_async(args: argparse.Namespace, app: Any, banner: Any) -> int:
+    import asyncio
+
+    from .service import AdmissionLimits, AsyncServiceServer
+
+    server = AsyncServiceServer(
+        app,
+        host=args.host,
+        port=args.port,
+        limits=AdmissionLimits(
+            max_inflight=args.max_inflight,
+            max_queue=args.queue_depth,
+            rate_limit=args.rate_limit,
+        ),
+        max_connections=args.max_connections,
+        executor_workers=args.executor_workers,
+        drain_timeout=args.drain_timeout,
+        verbose=args.verbose,
+    )
+    try:
+        clean = asyncio.run(
+            server.run(on_started=lambda: banner(server.url))
+        )
+    except KeyboardInterrupt:
+        # Loops without signal-handler support (or a second Ctrl-C
+        # during drain) land here; the socket is gone either way.
+        return 1
+    print(
+        "drained cleanly"
+        if clean
+        else "drain timed out; in-flight requests were abandoned",
+        flush=True,
+    )
+    return 0 if clean else 1
+
+
+def _run_loadtest(args: argparse.Namespace) -> int:
+    """``repro loadtest`` — replay a mix against a running server."""
+    import json
+
+    from .service.loadtest import run_loadtest
+
+    report = run_loadtest(
+        args.url,
+        mix=args.mix,
+        connections=args.connections,
+        requests=args.requests,
+        timeout=args.timeout,
+    )
+    print(report.render())
+    if args.output:
+        # Mix reports nest under "mixes" so the top level stays free
+        # for the BENCH-doc conventions (e.g. the "smoke" bool flag).
+        doc = {"benchmark": "service_load", "mixes": {args.mix: report.as_dict()}}
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.output}", file=sys.stderr)
+    return 0 if report.errors == 0 else 1
 
 
 def _run_similar(args: argparse.Namespace) -> int:

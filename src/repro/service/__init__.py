@@ -5,23 +5,41 @@ engine are all built for batch experiment runs; this package wraps a warm
 :class:`~repro.experiments.ExperimentWorkspace` behind a request/response
 API so the same capabilities serve interactive, query-driven workloads
 ("Kissing Cuisines" and the world-cuisine evolution papers both treat
-recipe analytics as an online service). Layers:
+recipe analytics as an online service).
 
-* :mod:`repro.service.handlers` — typed request handlers over the
-  workspace (:class:`QueryService`), independent of any transport.
-* :mod:`repro.service.cache` — a thread-safe LRU+TTL result cache keyed
-  on canonicalised requests, shared across handlers.
-* :mod:`repro.service.metrics` — per-endpoint counters and latency
-  histograms, surfaced at ``/metrics``.
-* :mod:`repro.service.app` — routing, request validation, structured
-  error envelopes; maps ``(method, path, payload)`` to a JSON response.
-* :mod:`repro.service.server` — the stdlib HTTP transport
-  (``ThreadingHTTPServer``); adds zero dependencies.
+The serving stack is layered; requests flow top to bottom:
+
+* **transport** — :mod:`repro.service.aio`, the default asyncio
+  HTTP/1.1 front door (keep-alive, pipelining, connection limits,
+  graceful drain), and :mod:`repro.service.server`, the original
+  ``ThreadingHTTPServer`` retained behind ``--transport thread`` as the
+  golden-equivalence reference. Wire-level rules both transports must
+  agree on live in :mod:`repro.service.wire`.
+* **admission** — :mod:`repro.service.admission`: bounded per-endpoint
+  queues; sheds load with structured ``429``/``503`` envelopes.
+* **coalescing** — :mod:`repro.service.coalesce`: N identical in-flight
+  cacheable requests trigger one handler computation.
+* **dispatch** — :mod:`repro.service.app`: routing, caching, metrics,
+  error envelopes; the single sync core both transports call.
+
+Below dispatch sit :mod:`repro.service.handlers` (typed handlers over a
+warm :class:`~repro.experiments.ExperimentWorkspace`),
+:mod:`repro.service.cache` (thread-safe LRU+TTL result cache) and
+:mod:`repro.service.metrics` (per-endpoint counters/latency plus the
+serving gauges). :mod:`repro.service.loadtest` is the matching load
+harness (``repro loadtest``).
 
 ``repro serve`` (see :mod:`repro.cli`) builds the workspace once and
-serves it until interrupted.
+serves it until interrupted; SIGTERM drains gracefully.
 """
 
+from .admission import AdmissionController, AdmissionLimits, AdmissionReject
+from .aio import (
+    AsyncServerHandle,
+    AsyncServiceServer,
+    create_async_server,
+    serve_async_in_thread,
+)
 from .app import (
     ROUTES,
     PlainTextResponse,
@@ -30,17 +48,28 @@ from .app import (
     resolve_request_id,
 )
 from .cache import CacheStats, ResultCache, canonical_key
+from .coalesce import RequestCoalescer
 from .handlers import QueryService, RequestError
+from .loadtest import LoadClient, LoadReport, run_loadtest
 from .metrics import LatencyStats, ServiceMetrics
-from .server import ServiceServer, create_server
+from .server import ServiceServer, create_server, serve_in_thread
 
 __all__ = [
     "ROUTES",
+    "AdmissionController",
+    "AdmissionLimits",
+    "AdmissionReject",
+    "AsyncServerHandle",
+    "AsyncServiceServer",
     "PlainTextResponse",
+    "RequestCoalescer",
     "ServiceApp",
     "CacheStats",
+    "LoadClient",
+    "LoadReport",
     "ResultCache",
     "canonical_key",
+    "create_async_server",
     "QueryService",
     "RequestError",
     "LatencyStats",
@@ -49,4 +78,7 @@ __all__ = [
     "create_server",
     "generate_request_id",
     "resolve_request_id",
+    "run_loadtest",
+    "serve_async_in_thread",
+    "serve_in_thread",
 ]

@@ -1,0 +1,244 @@
+"""Admission control: bounded per-endpoint queues with backpressure.
+
+Sits between the asyncio transport and dispatch. Every endpoint gets a
+small state machine:
+
+* up to ``max_inflight`` requests execute concurrently;
+* up to ``max_queue`` more wait in FIFO order for a slot;
+* beyond that the request is **rejected immediately** with a structured
+  ``503 overloaded`` envelope — shedding load at the front door is what
+  keeps p99 bounded when arrival rate exceeds service rate;
+* an optional token bucket (``rate_limit`` requests/second with
+  ``burst`` headroom) rejects with ``429 rate_limited`` before a slot is
+  even considered.
+
+Everything is observable: ``repro_service_inflight`` and
+``repro_service_queue_depth`` gauges track the live state per endpoint,
+and ``repro_service_rejected_total{endpoint,reason}`` counts every shed
+request — all exported through ``/metrics`` (JSON and Prometheus).
+
+The controller is written for a single event loop: state transitions
+happen on the loop (no locks), waiters are plain ``asyncio.Future``s
+resolved in FIFO order, and a released slot is handed *directly* to the
+oldest waiter so the queue drains without thundering herds. The gauges
+live in a thread-safe registry, so scraping from another thread is safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable
+
+from ..obs.metrics import MetricsRegistry
+from .metrics import INFLIGHT, QUEUE_DEPTH, REJECTED
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionLimits",
+    "AdmissionReject",
+]
+
+#: Defaults: generous enough that a healthy server never queues, tight
+#: enough that one endpoint melting down cannot take the process with it.
+DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_MAX_QUEUE = 256
+
+
+class AdmissionReject(Exception):
+    """A request shed by admission control.
+
+    Attributes:
+        status: HTTP status (429 or 503).
+        code: machine-readable envelope code
+            (``rate_limited`` / ``overloaded``).
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class AdmissionLimits:
+    """The per-endpoint knobs, shared by every endpoint of a controller.
+
+    Args:
+        max_inflight: concurrent executions per endpoint (>= 1).
+        max_queue: waiting requests per endpoint beyond the in-flight
+            limit; 0 disables queueing (excess is shed immediately).
+        rate_limit: sustained requests/second per endpoint; ``None``
+            disables rate limiting.
+        burst: token-bucket capacity; defaults to ``max(rate_limit, 1)``
+            so a full second of traffic can arrive at once.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        rate_limit: float | None = None,
+        burst: float | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError(f"rate_limit must be positive, got {rate_limit}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.rate_limit = rate_limit
+        self.burst = (
+            burst if burst is not None else max(rate_limit or 0.0, 1.0)
+        )
+
+
+class _EndpointGate:
+    """One endpoint's live admission state (event-loop confined)."""
+
+    __slots__ = ("inflight", "waiters", "tokens", "refilled_at")
+
+    def __init__(self, burst: float, now: float) -> None:
+        self.inflight = 0
+        self.waiters: deque[asyncio.Future] = deque()
+        self.tokens = burst
+        self.refilled_at = now
+
+
+class AdmissionController:
+    """Bounded per-endpoint admission for the asyncio transport."""
+
+    def __init__(
+        self,
+        limits: AdmissionLimits | None = None,
+        registry: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.limits = limits if limits is not None else AdmissionLimits()
+        self._registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._clock = clock
+        self._gates: dict[str, _EndpointGate] = {}
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # introspection (tests and /metrics)
+    # ------------------------------------------------------------------
+    def inflight(self, endpoint: str) -> int:
+        gate = self._gates.get(endpoint)
+        return gate.inflight if gate is not None else 0
+
+    def queue_depth(self, endpoint: str) -> int:
+        gate = self._gates.get(endpoint)
+        return len(gate.waiters) if gate is not None else 0
+
+    def rejected_total(self, endpoint: str, reason: str) -> int:
+        return int(
+            self._registry.counter(
+                REJECTED, endpoint=endpoint, reason=reason
+            ).value
+        )
+
+    # ------------------------------------------------------------------
+    # the admission protocol
+    # ------------------------------------------------------------------
+    def _gate(self, endpoint: str) -> _EndpointGate:
+        gate = self._gates.get(endpoint)
+        if gate is None:
+            gate = self._gates[endpoint] = _EndpointGate(
+                self.limits.burst, self._clock()
+            )
+        return gate
+
+    def _reject(
+        self, endpoint: str, status: int, code: str, message: str
+    ) -> AdmissionReject:
+        self._registry.counter(
+            REJECTED, endpoint=endpoint, reason=code
+        ).incr()
+        return AdmissionReject(status, code, message)
+
+    def _take_token(self, endpoint: str, gate: _EndpointGate) -> None:
+        """Refill-then-take on the token bucket; raises 429 when dry."""
+        rate = self.limits.rate_limit
+        if rate is None:
+            return
+        now = self._clock()
+        gate.tokens = min(
+            self.limits.burst, gate.tokens + (now - gate.refilled_at) * rate
+        )
+        gate.refilled_at = now
+        if gate.tokens < 1.0:
+            raise self._reject(
+                endpoint,
+                429,
+                "rate_limited",
+                f"endpoint {endpoint!r} is limited to {rate:g} "
+                f"requests/second; retry later",
+            )
+        gate.tokens -= 1.0
+
+    async def acquire(self, endpoint: str) -> None:
+        """Wait for an execution slot; raises :class:`AdmissionReject`.
+
+        Must be awaited on the controller's event loop. A queued waiter
+        that is cancelled (client hung up) leaves the queue cleanly.
+        """
+        gate = self._gate(endpoint)
+        self._take_token(endpoint, gate)
+        if gate.inflight < self.limits.max_inflight:
+            gate.inflight += 1
+            self._set_gauges(endpoint, gate)
+            return
+        if len(gate.waiters) >= self.limits.max_queue:
+            raise self._reject(
+                endpoint,
+                503,
+                "overloaded",
+                f"endpoint {endpoint!r} has {gate.inflight} requests "
+                f"in flight and {len(gate.waiters)} queued; shedding load",
+            )
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        gate.waiters.append(waiter)
+        self._set_gauges(endpoint, gate)
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            # The slot may already have been handed to us; pass it on.
+            if waiter.cancelled():
+                try:
+                    gate.waiters.remove(waiter)
+                except ValueError:
+                    pass
+            elif waiter.done():
+                self.release(endpoint)
+            self._set_gauges(endpoint, gate)
+            raise
+        self._set_gauges(endpoint, gate)
+
+    def release(self, endpoint: str) -> None:
+        """Free a slot; hands it directly to the oldest queued waiter."""
+        gate = self._gate(endpoint)
+        while gate.waiters:
+            waiter = gate.waiters.popleft()
+            if not waiter.done():
+                # Transfer the slot: inflight count is unchanged.
+                waiter.set_result(None)
+                self._set_gauges(endpoint, gate)
+                return
+        gate.inflight = max(0, gate.inflight - 1)
+        self._set_gauges(endpoint, gate)
+
+    def _set_gauges(self, endpoint: str, gate: _EndpointGate) -> None:
+        self._registry.gauge(INFLIGHT, endpoint=endpoint).set(gate.inflight)
+        self._registry.gauge(QUEUE_DEPTH, endpoint=endpoint).set(
+            len(gate.waiters)
+        )

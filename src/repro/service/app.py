@@ -34,6 +34,7 @@ from ..obs import NOOP_SPAN, bound_log_fields, get_registry, get_tracer, span
 #: ``enabled`` flag in place, so dispatch can check one attribute.
 _TRACER = get_tracer()
 from .cache import MISSING, ResultCache, canonical_key
+from .coalesce import RequestCoalescer
 from .handlers import QueryService, RequestError
 from .metrics import ServiceMetrics
 
@@ -128,11 +129,19 @@ class ServiceApp:
         cache: ResultCache | None = None,
         metrics: ServiceMetrics | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        coalescer: RequestCoalescer | None = None,
     ) -> None:
         self.service = service
         self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._clock = clock
+        # The coalescer registers its counter in this app's registry so
+        # /metrics exports it alongside the request series.
+        self.coalescer = (
+            coalescer
+            if coalescer is not None
+            else RequestCoalescer(self.metrics.registry)
+        )
 
     def dispatch(
         self,
@@ -210,6 +219,7 @@ class ServiceApp:
             return status, body
 
         cache_hit = False
+        coalesced = False
         body: dict[str, Any] | PlainTextResponse
         try:
             if route.handler == "handle_metrics":
@@ -221,13 +231,19 @@ class ServiceApp:
                     cache_hit = True
                     status, body = 200, cached
                 else:
-                    body = getattr(self.service, route.handler)(payload)
-                    self.cache.put(key, body)
-                    status = 200
+                    # Concurrent identical requests coalesce: one leader
+                    # runs the handler (and warms the cache), followers
+                    # receive the leader's completed (status, body).
+                    (status, body), leader = self.coalescer.run(
+                        key,
+                        lambda: self._compute_cacheable(
+                            route, endpoint, key, payload
+                        ),
+                        endpoint=endpoint,
+                    )
+                    coalesced = not leader
             else:
-                status, body = 200, getattr(
-                    self.service, route.handler
-                )(payload)
+                status, body = self._invoke(route, endpoint, payload)
                 if (
                     route.handler == "handle_readyz"
                     and isinstance(body, dict)
@@ -236,14 +252,6 @@ class ServiceApp:
                     # Not an error envelope: the body carries the full
                     # per-stage state; 503 tells load balancers to wait.
                     status = 503
-        except RequestError as error:
-            status, body = error.status, error_body(
-                error.status, error.code, str(error)
-            )
-        except ReproError as error:
-            status, body = 400, error_body(
-                400, type(error).__name__.lower(), str(error)
-            )
         except Exception as error:  # noqa: BLE001 - must not die
             traceback.print_exc()
             status, body = 500, error_body(
@@ -252,6 +260,7 @@ class ServiceApp:
         if traced:
             trace.set("status", status)
             trace.set("cache_hit", cache_hit)
+            trace.set("coalesced", coalesced)
         self.metrics.observe(
             endpoint,
             self._clock() - started,
@@ -259,6 +268,73 @@ class ServiceApp:
             cache_hit=cache_hit,
         )
         return status, body
+
+    def _invoke(
+        self, route: Route, endpoint: str, payload: Any
+    ) -> tuple[int, dict[str, Any]]:
+        """Run one handler with error-envelope mapping; never raises.
+
+        This is the single compute core both the cacheable (coalesced)
+        and non-cacheable paths share; the handler-calls counter makes
+        actual compute distinguishable from cache/coalesce traffic.
+        """
+        self.metrics.handler_call(endpoint)
+        try:
+            return 200, getattr(self.service, route.handler)(payload)
+        except RequestError as error:
+            return error.status, error_body(
+                error.status, error.code, str(error)
+            )
+        except ReproError as error:
+            return 400, error_body(
+                400, type(error).__name__.lower(), str(error)
+            )
+        except Exception as error:  # noqa: BLE001 - must not die
+            traceback.print_exc()
+            return 500, error_body(
+                500, "internal_error", f"{type(error).__name__}: {error}"
+            )
+
+    def _compute_cacheable(
+        self, route: Route, endpoint: str, key: str, payload: Any
+    ) -> tuple[int, dict[str, Any]]:
+        """The leader's computation: invoke, then warm the cache."""
+        status, body = self._invoke(route, endpoint, payload)
+        if status == 200:
+            self.cache.put(key, body)
+        return status, body
+
+    def dispatch_cached(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        request_id: str | None = None,
+    ) -> tuple[int, dict[str, Any]] | None:
+        """Serve a request *only* if it is a clean result-cache hit.
+
+        The asyncio transport probes this on the event loop before
+        paying the executor handoff: a hit costs one lock acquisition
+        and a dict copy, so serving it inline is faster than descending
+        into the thread pool. Anything else — uncached, non-cacheable,
+        wrong method, tracing enabled (spans must stay complete) —
+        returns ``None`` and the caller falls back to full dispatch.
+        """
+        if _TRACER.enabled:
+            return None
+        route = ROUTES.get(path)
+        if route is None or not route.cacheable or method != route.method:
+            return None
+        started = self._clock()
+        endpoint = path.lstrip("/")
+        cached = self.cache.get(canonical_key(endpoint, payload))
+        if cached is MISSING:
+            return None
+        rid = resolve_request_id(request_id)
+        self.metrics.observe(
+            endpoint, self._clock() - started, cache_hit=True
+        )
+        return 200, {**cached, "request_id": rid}
 
     def _dispatch_metrics(
         self, payload: Any
@@ -278,6 +354,7 @@ class ServiceApp:
     def _metrics_body(self) -> dict[str, Any]:
         return {
             "endpoints": self.metrics.snapshot(),
+            "serving": self.metrics.serving_snapshot(),
             "cache": self.cache.stats().as_dict(),
         }
 

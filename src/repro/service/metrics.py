@@ -36,6 +36,22 @@ ERRORS = "repro_request_errors_total"
 CACHE_HITS = "repro_cache_hits_total"
 LATENCY = "repro_request_seconds"
 
+# Serving-layer series (admission + coalescing + dispatch). The names
+# live here so every layer registers into the same conventional set and
+# ``/metrics`` can enumerate them without creating empty series.
+#: Gauge: requests currently executing, per endpoint.
+INFLIGHT = "repro_service_inflight"
+#: Gauge: requests waiting in the admission queue, per endpoint.
+QUEUE_DEPTH = "repro_service_queue_depth"
+#: Counter: requests rejected by admission, per endpoint and reason.
+REJECTED = "repro_service_rejected_total"
+#: Counter: responses served from another request's in-flight
+#: computation (see :mod:`repro.service.coalesce`).
+COALESCED = "repro_service_coalesced_total"
+#: Counter: actual handler invocations, per endpoint — requests minus
+#: cache hits minus coalesced responses; the load test's compute proof.
+HANDLER_CALLS = "repro_service_handler_calls_total"
+
 
 @dataclasses.dataclass(frozen=True)
 class LatencyStats:
@@ -94,8 +110,44 @@ class ServiceMetrics:
             registry.counter(CACHE_HITS, endpoint=endpoint).incr()
         registry.histogram(LATENCY, endpoint=endpoint).observe(seconds)
 
+    def handler_call(self, endpoint: str) -> None:
+        """Record one actual handler invocation against ``endpoint``."""
+        self._registry.counter(HANDLER_CALLS, endpoint=endpoint).incr()
+
     def endpoint_names(self) -> tuple[str, ...]:
         return self._registry.label_values(REQUESTS, "endpoint")
+
+    def serving_snapshot(self) -> dict[str, Any]:
+        """The serving-layer gauges/counters, JSON-ready.
+
+        Enumerates existing series only (never creates empty ones), so
+        a freshly-started server reports empty maps rather than zeros
+        for endpoints it has not seen.
+        """
+        body: dict[str, Any] = {
+            "inflight": {},
+            "queue_depth": {},
+            "coalesced": {},
+            "handler_calls": {},
+            "rejected": {},
+        }
+        keyed = {
+            INFLIGHT: "inflight",
+            QUEUE_DEPTH: "queue_depth",
+            COALESCED: "coalesced",
+            HANDLER_CALLS: "handler_calls",
+        }
+        for series in self._registry.collect():
+            key = keyed.get(series.name)
+            endpoint = series.labels.get("endpoint", "(unknown)")
+            if key is not None:
+                body[key][endpoint] = int(series.metric.value)
+            elif series.name == REJECTED:
+                reason = series.labels.get("reason", "(unknown)")
+                body["rejected"].setdefault(endpoint, {})[reason] = int(
+                    series.metric.value
+                )
+        return body
 
     def _count(self, name: str, endpoint: str) -> int:
         return int(self._registry.counter(name, endpoint=endpoint).value)

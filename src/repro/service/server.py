@@ -9,6 +9,7 @@ dependencies.
 
 from __future__ import annotations
 
+import functools
 import json
 import sys
 import threading
@@ -19,12 +20,17 @@ from urllib.parse import parse_qs
 from .app import (
     PlainTextResponse,
     ServiceApp,
-    error_body,
     resolve_request_id,
 )
+from .wire import MAX_BODY_BYTES, decode_body, frame_body
 
-#: Refuse request bodies beyond this size (1 MiB) before reading them.
-MAX_BODY_BYTES = 1 << 20
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ServiceRequestHandler",
+    "ServiceServer",
+    "create_server",
+    "serve_in_thread",
+]
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -39,6 +45,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         self._serve("POST")
 
+    def __getattr__(self, name: str) -> Any:
+        # BaseHTTPRequestHandler probes ``do_<METHOD>`` with hasattr and
+        # answers a bare HTML 501 when it is missing. Synthesise a
+        # handler for every method instead, so HEAD/PUT/DELETE/... flow
+        # through dispatch and receive the structured 405/404 JSON
+        # envelope with an X-Request-Id like every other response.
+        if name.startswith("do_") and name[3:].isupper():
+            return functools.partial(self._serve, name[3:])
+        raise AttributeError(name)
+
     def _serve(self, method: str) -> None:
         # Resolve the correlation id first: even a malformed-body 400
         # carries it, in the envelope and the X-Request-Id echo.
@@ -46,7 +62,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         payload, parse_error = self._read_payload()
         if parse_error is not None:
             parse_error["request_id"] = request_id
-            self._respond(400, parse_error, request_id)
+            self._respond(parse_error["status"], parse_error, request_id)
             return
         path, _, query = self.path.partition("?")
         if payload is None and query:
@@ -62,31 +78,25 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._respond(status, body, request_id)
 
     def _read_payload(self) -> tuple[Any, dict[str, Any] | None]:
-        """The decoded JSON body, or an error envelope when undecodable."""
-        length_header = self.headers.get("Content-Length")
-        if length_header is None:
+        """The decoded JSON body, or an error envelope when undecodable.
+
+        Framing rules (411 on POST without Content-Length, size limits)
+        are shared with the asyncio transport via
+        :mod:`repro.service.wire`, so the two front doors cannot drift.
+        """
+        length, frame_error = frame_body(
+            self.command,
+            self.headers.get("Content-Length"),
+            self.headers.get("Transfer-Encoding"),
+        )
+        if frame_error is not None:
+            # The body boundary is unknown; answer, then close.
+            self.close_connection = True
+            return None, frame_error
+        if not length:
             return None, None
-        try:
-            length = int(length_header)
-        except ValueError:
-            return None, error_body(
-                400, "invalid_request", "malformed Content-Length"
-            )
-        if length <= 0:
-            return None, None
-        if length > MAX_BODY_BYTES:
-            return None, error_body(
-                400,
-                "payload_too_large",
-                f"request body exceeds {MAX_BODY_BYTES} bytes",
-            )
         raw = self.rfile.read(length)
-        try:
-            return json.loads(raw), None
-        except json.JSONDecodeError as error:
-            return None, error_body(
-                400, "invalid_json", f"request body is not valid JSON: {error}"
-            )
+        return decode_body(raw)
 
     def _respond(
         self,
@@ -105,6 +115,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if request_id is not None:
             self.send_header("X-Request-Id", request_id)
         self.send_header("Content-Length", str(len(encoded)))
+        if self.close_connection:
+            # Framing errors leave the body boundary unknown; tell the
+            # client explicitly that this connection is done.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(encoded)
 
@@ -119,6 +133,10 @@ class ServiceServer(ThreadingHTTPServer):
     """Threading HTTP server bound to one :class:`ServiceApp`."""
 
     daemon_threads = True
+    #: socketserver's default listen backlog is 5, which drops
+    #: connections under any real connect burst (e.g. ``repro loadtest``
+    #: opening hundreds of keep-alive connections at once).
+    request_queue_size = 128
 
     def __init__(
         self,

@@ -1,0 +1,94 @@
+"""Wire-level HTTP rules shared by both transports.
+
+The threaded server (:mod:`repro.service.server`) and the asyncio
+transport (:mod:`repro.service.aio`) have very different I/O models, but
+the *protocol decisions* — how a request body is framed, which framing
+mistakes produce which structured envelope — must be byte-identical
+between them, because the async transport is validated by golden
+equivalence against the threaded one. Those decisions live here, as pure
+functions over header values, so neither transport can drift.
+
+Framing rules (:func:`frame_body`):
+
+* ``Transfer-Encoding`` present → ``411 length_required`` (chunked
+  bodies are not supported; this stack only speaks ``Content-Length``).
+* ``POST`` without ``Content-Length`` → ``411 length_required``. HTTP
+  cannot distinguish "no body" from "body with unknown length" without
+  the header, and guessing "empty" silently drops real payloads.
+* Malformed ``Content-Length`` → ``400 invalid_request``.
+* ``Content-Length`` beyond :data:`MAX_BODY_BYTES` →
+  ``400 payload_too_large``, refused before reading a byte.
+
+After any framing error the connection must close: the body boundary is
+unknown, so the next request cannot be parsed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .app import error_body
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "decode_body",
+    "frame_body",
+]
+
+#: Refuse request bodies beyond this size (1 MiB) before reading them.
+MAX_BODY_BYTES = 1 << 20
+
+
+def frame_body(
+    method: str,
+    length_header: str | None,
+    transfer_encoding: str | None = None,
+) -> tuple[int, dict[str, Any] | None]:
+    """How many body bytes to read, or the framing-error envelope.
+
+    Returns:
+        ``(length, None)`` when the body is well-framed (``length`` may
+        be 0), or ``(0, envelope)`` when the request must be rejected —
+        in which case the transport must also close the connection.
+    """
+    if transfer_encoding is not None:
+        return 0, error_body(
+            411,
+            "length_required",
+            "chunked transfer encoding is not supported; "
+            "send a Content-Length header",
+        )
+    if length_header is None:
+        if method == "POST":
+            return 0, error_body(
+                411,
+                "length_required",
+                "POST requires a Content-Length header",
+            )
+        return 0, None
+    try:
+        length = int(length_header)
+    except ValueError:
+        return 0, error_body(
+            400, "invalid_request", "malformed Content-Length"
+        )
+    if length <= 0:
+        return 0, None
+    if length > MAX_BODY_BYTES:
+        return 0, error_body(
+            400,
+            "payload_too_large",
+            f"request body exceeds {MAX_BODY_BYTES} bytes",
+        )
+    return length, None
+
+
+def decode_body(raw: bytes) -> tuple[Any, dict[str, Any] | None]:
+    """The decoded JSON payload, or the ``invalid_json`` envelope."""
+    try:
+        return json.loads(raw), None
+    except json.JSONDecodeError as error:
+        return None, error_body(
+            400, "invalid_json", f"request body is not valid JSON: {error}"
+        )

@@ -1,0 +1,222 @@
+"""Tests for the admission-control layer (event-loop backpressure)."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    AdmissionReject,
+)
+from repro.service.metrics import INFLIGHT, QUEUE_DEPTH
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make(max_inflight=2, max_queue=2, rate_limit=None, clock=None):
+    kwargs = {"clock": clock} if clock is not None else {}
+    return AdmissionController(
+        AdmissionLimits(
+            max_inflight=max_inflight,
+            max_queue=max_queue,
+            rate_limit=rate_limit,
+        ),
+        registry=MetricsRegistry(),
+        **kwargs,
+    )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestLimitsValidation:
+    def test_rejects_nonpositive_inflight(self):
+        with pytest.raises(ValueError):
+            AdmissionLimits(max_inflight=0)
+
+    def test_rejects_negative_queue(self):
+        with pytest.raises(ValueError):
+            AdmissionLimits(max_queue=-1)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            AdmissionLimits(rate_limit=0)
+
+    def test_burst_defaults_to_rate(self):
+        assert AdmissionLimits(rate_limit=25.0).burst == 25.0
+        assert AdmissionLimits().burst == 1.0
+
+
+class TestSlotAccounting:
+    def test_acquire_release_tracks_inflight(self):
+        async def scenario():
+            controller = make()
+            await controller.acquire("score")
+            await controller.acquire("score")
+            assert controller.inflight("score") == 2
+            gauge = controller.registry.gauge(INFLIGHT, endpoint="score")
+            assert gauge.value == 2
+            controller.release("score")
+            controller.release("score")
+            assert controller.inflight("score") == 0
+            assert gauge.value == 0
+
+        run(scenario())
+
+    def test_endpoints_are_independent(self):
+        async def scenario():
+            controller = make(max_inflight=1, max_queue=0)
+            await controller.acquire("score")
+            # A full /score gate must not affect /healthz.
+            await controller.acquire("healthz")
+            with pytest.raises(AdmissionReject):
+                await controller.acquire("score")
+
+        run(scenario())
+
+    def test_queued_waiter_inherits_released_slot(self):
+        async def scenario():
+            controller = make(max_inflight=1, max_queue=2)
+            await controller.acquire("score")
+            waiter = asyncio.ensure_future(controller.acquire("score"))
+            await asyncio.sleep(0)
+            assert controller.queue_depth("score") == 1
+            assert (
+                controller.registry.gauge(
+                    QUEUE_DEPTH, endpoint="score"
+                ).value
+                == 1
+            )
+            controller.release("score")
+            await waiter  # slot transferred, not re-contested
+            assert controller.inflight("score") == 1
+            assert controller.queue_depth("score") == 0
+            controller.release("score")
+
+        run(scenario())
+
+    def test_waiters_resolve_in_fifo_order(self):
+        async def scenario():
+            controller = make(max_inflight=1, max_queue=4)
+            await controller.acquire("score")
+            order = []
+
+            async def wait(tag):
+                await controller.acquire("score")
+                order.append(tag)
+
+            tasks = [
+                asyncio.ensure_future(wait(n)) for n in range(3)
+            ]
+            await asyncio.sleep(0)
+            for _ in range(3):
+                controller.release("score")
+                await asyncio.sleep(0)
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2]
+
+        run(scenario())
+
+    def test_cancelled_waiter_leaves_the_queue(self):
+        async def scenario():
+            controller = make(max_inflight=1, max_queue=2)
+            await controller.acquire("score")
+            waiter = asyncio.ensure_future(controller.acquire("score"))
+            await asyncio.sleep(0)
+            assert controller.queue_depth("score") == 1
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            assert controller.queue_depth("score") == 0
+            # The slot is still held by the original request.
+            assert controller.inflight("score") == 1
+
+        run(scenario())
+
+
+class TestOverloadShedding:
+    def test_full_queue_rejects_with_503_overloaded(self):
+        async def scenario():
+            controller = make(max_inflight=1, max_queue=1)
+            await controller.acquire("score")
+            waiter = asyncio.ensure_future(controller.acquire("score"))
+            await asyncio.sleep(0)
+            with pytest.raises(AdmissionReject) as excinfo:
+                await controller.acquire("score")
+            assert excinfo.value.status == 503
+            assert excinfo.value.code == "overloaded"
+            assert controller.rejected_total("score", "overloaded") == 1
+            controller.release("score")
+            await waiter
+            controller.release("score")
+
+        run(scenario())
+
+    def test_zero_queue_sheds_immediately(self):
+        async def scenario():
+            controller = make(max_inflight=1, max_queue=0)
+            await controller.acquire("score")
+            with pytest.raises(AdmissionReject) as excinfo:
+                await controller.acquire("score")
+            assert excinfo.value.status == 503
+
+        run(scenario())
+
+
+class TestRateLimiting:
+    def test_token_bucket_rejects_with_429(self):
+        async def scenario():
+            clock = FakeClock()
+            controller = make(
+                max_inflight=8, max_queue=8, rate_limit=1.0, clock=clock
+            )
+            await controller.acquire("score")
+            with pytest.raises(AdmissionReject) as excinfo:
+                await controller.acquire("score")
+            assert excinfo.value.status == 429
+            assert excinfo.value.code == "rate_limited"
+            assert controller.rejected_total("score", "rate_limited") == 1
+
+        run(scenario())
+
+    def test_tokens_refill_with_time(self):
+        async def scenario():
+            clock = FakeClock()
+            controller = make(
+                max_inflight=8, max_queue=8, rate_limit=2.0, clock=clock
+            )
+            await controller.acquire("score")
+            await controller.acquire("score")
+            with pytest.raises(AdmissionReject):
+                await controller.acquire("score")
+            clock.now += 0.5  # one token at 2 req/s
+            await controller.acquire("score")
+            with pytest.raises(AdmissionReject):
+                await controller.acquire("score")
+
+        run(scenario())
+
+    def test_burst_caps_the_bucket(self):
+        async def scenario():
+            clock = FakeClock()
+            controller = AdmissionController(
+                AdmissionLimits(rate_limit=1.0, burst=2.0),
+                registry=MetricsRegistry(),
+                clock=clock,
+            )
+            clock.now += 100.0  # a long idle period must not bank tokens
+            await controller.acquire("score")
+            await controller.acquire("score")
+            with pytest.raises(AdmissionReject):
+                await controller.acquire("score")
+
+        run(scenario())

@@ -1,0 +1,216 @@
+"""Tests for the request-coalescing layer.
+
+The contract: N identical in-flight cacheable requests trigger exactly
+one handler computation; the other N-1 receive the leader's result and
+are counted in ``repro_service_coalesced_total``. Distinct payloads must
+never coalesce. Proven here both on the bare primitive and through
+``ServiceApp.dispatch`` under real thread concurrency with a counting
+stub service.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import ResultCache, ServiceApp
+from repro.service.coalesce import RequestCoalescer
+from repro.service.handlers import RequestError
+
+
+class CountingService:
+    """A /score stub that counts invocations and blocks on a gate.
+
+    The gate holds the leader inside the handler until the test has
+    seen every concurrent caller reach the coalescer — no sleep-based
+    timing, so the coalesce-vs-recompute split is deterministic.
+    """
+
+    def __init__(self):
+        self.calls = 0
+        self.gate = threading.Event()
+        self._lock = threading.Lock()
+
+    def handle_score(self, payload):
+        with self._lock:
+            self.calls += 1
+        assert self.gate.wait(timeout=10), "test gate never opened"
+        return {"score": 1.0, "ingredients": sorted(payload["ingredients"])}
+
+
+class FailingService(CountingService):
+    def handle_score(self, payload):
+        with self._lock:
+            self.calls += 1
+        assert self.gate.wait(timeout=10)
+        raise RequestError(404, "unknown_ingredient", "no such ingredient")
+
+
+class SignallingCoalescer(RequestCoalescer):
+    """Releases a semaphore as each caller enters ``run``.
+
+    Lets the test block until all N threads are inside the coalescer
+    before the leader is allowed to publish — the only way to make
+    "exactly one handler invocation" a deterministic assertion rather
+    than a timing bet.
+    """
+
+    def __init__(self, registry=None):
+        super().__init__(registry)
+        self.entered = threading.Semaphore(0)
+
+    def run(self, key, compute, endpoint="(unknown)"):
+        self.entered.release()
+        return super().run(key, compute, endpoint=endpoint)
+
+
+def _app_with(service):
+    app = ServiceApp(service, cache=ResultCache(capacity=16))
+    coalescer = SignallingCoalescer(app.metrics.registry)
+    app.coalescer = coalescer
+    return app, coalescer
+
+
+def _fire_concurrently(app, payloads):
+    """Dispatch each payload on its own thread; returns threads+slots."""
+    results = [None] * len(payloads)
+
+    def call(index, payload):
+        results[index] = app.dispatch("POST", "/score", payload)
+
+    threads = [
+        threading.Thread(target=call, args=(i, p))
+        for i, p in enumerate(payloads)
+    ]
+    for thread in threads:
+        thread.start()
+    return threads, results
+
+
+def _await_entries(coalescer, count):
+    for _ in range(count):
+        assert coalescer.entered.acquire(timeout=10), (
+            "caller never reached the coalescer"
+        )
+
+
+class TestRequestCoalescer:
+    def test_single_caller_leads(self):
+        coalescer = RequestCoalescer()
+        result, leader = coalescer.run("k", lambda: 42, endpoint="score")
+        assert (result, leader) == (42, True)
+        assert len(coalescer) == 0
+        assert coalescer.coalesced_total("score") == 0
+
+    def test_table_self_cleans_after_error(self):
+        coalescer = RequestCoalescer()
+        with pytest.raises(RuntimeError):
+            coalescer.run("k", self._boom)
+        assert len(coalescer) == 0
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("boom")
+
+    def test_concurrent_identical_keys_compute_once(self):
+        coalescer = SignallingCoalescer()
+        calls = 0
+        gate = threading.Event()
+
+        def compute():
+            nonlocal calls
+            calls += 1
+            assert gate.wait(timeout=10)
+            return "value"
+
+        results = []
+
+        def run():
+            results.append(coalescer.run("k", compute, endpoint="score"))
+
+        threads = [threading.Thread(target=run) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        _await_entries(coalescer, 6)
+        assert len(coalescer) == 1
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert calls == 1
+        assert sorted(leader for _, leader in results) == [False] * 5 + [True]
+        assert all(value == "value" for value, _ in results)
+        assert coalescer.coalesced_total("score") == 5
+        assert len(coalescer) == 0
+
+
+class TestCoalescingThroughDispatch:
+    N = 8
+
+    def test_identical_cold_requests_invoke_handler_once(self):
+        service = CountingService()
+        app, coalescer = _app_with(service)
+        payload = {"ingredients": ["garlic", "onion"]}
+        threads, results = _fire_concurrently(
+            app, [dict(payload) for _ in range(self.N)]
+        )
+        _await_entries(coalescer, self.N)
+        service.gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        assert service.calls == 1
+        assert coalescer.coalesced_total("score") == self.N - 1
+        assert (
+            app.metrics.registry.counter(
+                "repro_service_handler_calls_total", endpoint="score"
+            ).value
+            == 1
+        )
+        bodies = []
+        for status, body in results:
+            assert status == 200
+            body = dict(body)
+            assert body.pop("request_id")
+            bodies.append(body)
+        assert all(body == bodies[0] for body in bodies)
+
+    def test_distinct_payloads_never_coalesce(self):
+        service = CountingService()
+        app, coalescer = _app_with(service)
+        payloads = [
+            {"ingredients": ["garlic", f"item-{n}"]} for n in range(4)
+        ]
+        threads, results = _fire_concurrently(app, payloads)
+        _await_entries(coalescer, len(payloads))
+        service.gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert service.calls == len(payloads)
+        assert coalescer.coalesced_total("score") == 0
+        assert {status for status, _ in results} == {200}
+
+    def test_followers_share_the_leaders_error_envelope(self):
+        service = FailingService()
+        app, coalescer = _app_with(service)
+        payload = {"ingredients": ["kryptonite"]}
+        threads, results = _fire_concurrently(
+            app, [dict(payload) for _ in range(4)]
+        )
+        _await_entries(coalescer, 4)
+        service.gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert service.calls == 1
+        assert coalescer.coalesced_total("score") == 3
+        for status, body in results:
+            assert status == 404
+            assert body["error"]["code"] == "unknown_ingredient"
+
+    def test_sequential_requests_hit_cache_not_coalescer(self):
+        service = CountingService()
+        service.gate.set()
+        app, coalescer = _app_with(service)
+        payload = {"ingredients": ["garlic"]}
+        app.dispatch("POST", "/score", payload)
+        app.dispatch("POST", "/score", payload)
+        assert service.calls == 1
+        assert coalescer.coalesced_total("score") == 0

@@ -1,0 +1,234 @@
+"""Golden-response equivalence: async transport vs threaded transport.
+
+The threaded server is the reference implementation; the asyncio
+transport must return **byte-identical** JSON bodies (modulo the
+``request_id`` value) for the full endpoint mix — success responses and
+every error envelope both transports can produce (404, 405, 411, 400
+framing/parse shapes). Both servers run over the same workspace; raw
+sockets are used so the exchanges (missing Content-Length, arbitrary
+methods) are under full control.
+"""
+
+import json
+import re
+import socket
+
+import pytest
+
+from repro.service import (
+    QueryService,
+    ResultCache,
+    ServiceApp,
+    create_server,
+    serve_async_in_thread,
+    serve_in_thread,
+)
+
+_RID = re.compile(rb'"request_id": "[^"]*"')
+
+
+@pytest.fixture(scope="module")
+def transports(workspace):
+    """((host, port) of threaded, (host, port) of async), same corpus."""
+    service = QueryService(workspace)
+    service.warm()
+    threaded_app = ServiceApp(service, cache=ResultCache(capacity=256))
+    async_app = ServiceApp(service, cache=ResultCache(capacity=256))
+    threaded = create_server(threaded_app, port=0)
+    serve_in_thread(threaded)
+    handle = serve_async_in_thread(async_app)
+    host, port = threaded.server_address[:2]
+    yield (host, port), (handle.server.host, handle.server.port)
+    threaded.shutdown()
+    threaded.server_close()
+    handle.stop()
+
+
+def exchange(address, request_bytes):
+    """One raw HTTP exchange; returns (status, body bytes)."""
+    with socket.create_connection(address, timeout=30) as sock:
+        sock.sendall(request_bytes)
+        reader = sock.makefile("rb")
+        status = int(reader.readline().decode("latin-1").split(" ", 2)[1])
+        headers = {}
+        while True:
+            line = reader.readline().decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        return status, reader.read(length) if length else b""
+
+
+def build(method, path, payload=None, omit_length=False, raw_body=None,
+          extra_headers=()):
+    body = raw_body
+    if body is None:
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else b""
+        )
+    lines = [f"{method} {path} HTTP/1.1", "Host: eq", "Connection: close"]
+    lines.extend(extra_headers)
+    if body and not omit_length:
+        lines.append(f"Content-Length: {len(body)}")
+    return "\r\n".join(lines).encode() + b"\r\n\r\n" + body
+
+
+def normalize(raw):
+    """Blank out the one legitimately-different byte range: the id."""
+    return _RID.sub(b'"request_id": "_"', raw)
+
+
+#: The full mix: every success shape plus every error envelope both
+#: transports can produce. (429/503 admission envelopes exist only on
+#: the async side, so equivalence cannot cover them by construction.)
+MIX = [
+    ("healthz", build("GET", "/healthz")),
+    ("regions", build("GET", "/regions")),
+    ("alias", build("POST", "/alias", {"phrase": "2 cloves garlic"})),
+    (
+        "score",
+        build("POST", "/score", {"ingredients": ["garlic", "onion"]}),
+    ),
+    (
+        "classify",
+        build(
+            "POST",
+            "/classify",
+            {"ingredients": ["soy sauce", "rice"], "top": 3},
+        ),
+    ),
+    (
+        "pairings",
+        build("POST", "/pairings", {"ingredient": "garlic", "limit": 5}),
+    ),
+    (
+        "similar",
+        build("POST", "/similar", {"ingredient": "garlic", "k": 5}),
+    ),
+    (
+        "complete",
+        build(
+            "POST", "/complete", {"ingredients": ["garlic", "onion"], "k": 3}
+        ),
+    ),
+    (
+        "recommend",
+        build(
+            "POST",
+            "/recommend",
+            {"region": "ITA", "count": 2, "seed": 7},
+        ),
+    ),
+    (
+        "sql",
+        build(
+            "POST",
+            "/sql",
+            {"query": "SELECT COUNT(*) AS n FROM recipes"},
+        ),
+    ),
+    (
+        "montecarlo",
+        build(
+            "POST",
+            "/montecarlo",
+            {"region": "ITA", "n_samples": 100, "seed": 7},
+        ),
+    ),
+    # -- error envelopes ------------------------------------------------
+    ("404 unknown_path", build("GET", "/nope")),
+    ("405 wrong method", build("PUT", "/score", {"ingredients": ["x"]})),
+    ("405 head", build("HEAD", "/healthz")),
+    ("405 delete", build("DELETE", "/regions")),
+    (
+        "411 no length",
+        build(
+            "POST",
+            "/score",
+            raw_body=b'{"ingredients": ["garlic"]}',
+            omit_length=True,
+        ),
+    ),
+    (
+        "411 transfer encoding",
+        build(
+            "POST",
+            "/score",
+            extra_headers=("Transfer-Encoding: chunked",),
+        ),
+    ),
+    ("400 invalid_json", build("POST", "/score", raw_body=b"{not json")),
+    (
+        "400 malformed length",
+        build(
+            "POST",
+            "/score",
+            extra_headers=("Content-Length: banana",),
+        ),
+    ),
+    (
+        "400 payload_too_large",
+        build(
+            "POST",
+            "/score",
+            extra_headers=(f"Content-Length: {2 << 20}",),
+        ),
+    ),
+    (
+        "400 invalid_field",
+        build("POST", "/alias", {"phrase": "garlic", "bogus": 1}),
+    ),
+    (
+        "404 unknown_ingredient",
+        build("POST", "/score", {"ingredients": ["kryptonite", "x"]}),
+    ),
+    (
+        "400 invalid payload type",
+        build("POST", "/score", [1, 2, 3]),
+    ),
+]
+
+
+class TestGoldenEquivalence:
+    def test_full_mix_byte_identical_modulo_request_id(self, transports):
+        threaded, asynced = transports
+        mismatches = []
+        for name, request_bytes in MIX:
+            t_status, t_body = exchange(threaded, request_bytes)
+            a_status, a_body = exchange(asynced, request_bytes)
+            if t_status != a_status:
+                mismatches.append(
+                    f"{name}: status {t_status} (thread) != {a_status} "
+                    "(async)"
+                )
+                continue
+            if normalize(t_body) != normalize(a_body):
+                mismatches.append(
+                    f"{name}:\n  thread: {t_body[:300]!r}\n"
+                    f"  async:  {a_body[:300]!r}"
+                )
+        assert not mismatches, "\n".join(mismatches)
+
+    def test_request_ids_are_fresh_per_transport(self, transports):
+        threaded, asynced = transports
+        request_bytes = build("GET", "/healthz")
+        _, t_body = exchange(threaded, request_bytes)
+        _, a_body = exchange(asynced, request_bytes)
+        assert (
+            json.loads(t_body)["request_id"]
+            != json.loads(a_body)["request_id"]
+        )
+
+    def test_supplied_request_id_round_trips_identically(self, transports):
+        threaded, asynced = transports
+        request_bytes = build(
+            "GET", "/healthz", extra_headers=("X-Request-Id: eq-1",)
+        )
+        t_status, t_body = exchange(threaded, request_bytes)
+        a_status, a_body = exchange(asynced, request_bytes)
+        assert t_status == a_status == 200
+        assert t_body == a_body  # identical including the id

@@ -5,6 +5,10 @@ import threading
 import pytest
 
 from repro.service.metrics import (
+    COALESCED,
+    INFLIGHT,
+    QUEUE_DEPTH,
+    REJECTED,
     RESERVOIR_SIZE,
     ServiceMetrics,
     percentile,
@@ -136,3 +140,81 @@ class TestPrometheusExport:
         first, second = ServiceMetrics(), ServiceMetrics()
         first.observe("score", 0.010)
         assert second.snapshot() == {}
+
+
+class TestServingSnapshot:
+    def test_empty_registry_reports_empty_maps(self):
+        metrics = ServiceMetrics()
+        snapshot = metrics.serving_snapshot()
+        assert snapshot == {
+            "inflight": {},
+            "queue_depth": {},
+            "coalesced": {},
+            "handler_calls": {},
+            "rejected": {},
+        }
+
+    def test_serving_series_land_in_their_sections(self):
+        metrics = ServiceMetrics()
+        registry = metrics.registry
+        metrics.handler_call("score")
+        metrics.handler_call("score")
+        registry.gauge(INFLIGHT, endpoint="score").set(3)
+        registry.gauge(QUEUE_DEPTH, endpoint="score").set(1)
+        registry.counter(COALESCED, endpoint="score").incr()
+        registry.counter(
+            REJECTED, endpoint="score", reason="overloaded"
+        ).incr()
+        registry.counter(
+            REJECTED, endpoint="score", reason="rate_limited"
+        ).incr()
+        snapshot = metrics.serving_snapshot()
+        assert snapshot["handler_calls"]["score"] == 2
+        assert snapshot["inflight"]["score"] == 3
+        assert snapshot["queue_depth"]["score"] == 1
+        assert snapshot["coalesced"]["score"] == 1
+        assert snapshot["rejected"]["score"] == {
+            "overloaded": 1,
+            "rate_limited": 1,
+        }
+
+    def test_request_series_do_not_leak_into_serving(self):
+        metrics = ServiceMetrics()
+        metrics.observe("score", 0.010)  # includes a latency histogram
+        snapshot = metrics.serving_snapshot()
+        assert snapshot["handler_calls"] == {}
+        assert snapshot["rejected"] == {}
+
+
+class TestServingPrometheusExposition:
+    def _exposition(self):
+        metrics = ServiceMetrics()
+        registry = metrics.registry
+        metrics.observe("score", 0.010)
+        metrics.handler_call("score")
+        registry.gauge(INFLIGHT, endpoint="score").set(2)
+        registry.gauge(QUEUE_DEPTH, endpoint="score").set(0)
+        registry.counter(COALESCED, endpoint="score").incr()
+        registry.counter(
+            REJECTED, endpoint="score", reason="overloaded"
+        ).incr()
+        return metrics.render_prometheus()
+
+    def test_serving_series_rendered_with_types(self):
+        text = self._exposition()
+        assert "# TYPE repro_service_inflight gauge" in text
+        assert 'repro_service_inflight{endpoint="score"} 2' in text
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "# TYPE repro_service_coalesced_total counter" in text
+        assert 'repro_service_coalesced_total{endpoint="score"} 1' in text
+        assert "# TYPE repro_service_handler_calls_total counter" in text
+        assert (
+            'repro_service_rejected_total{endpoint="score",'
+            'reason="overloaded"} 1' in text
+        )
+
+    def test_exposition_parses_line_by_line(self):
+        for line in self._exposition().strip().splitlines():
+            assert line
+            if not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])
