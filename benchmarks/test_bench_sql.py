@@ -4,17 +4,21 @@ Builds a synthetic ``recipes`` table (200k rows at scale 1.0, shaped like
 the CulinaryDB recipe catalog) and sweeps Table-1-style aggregation
 queries — filter, group by region, COUNT/SUM/AVG/MIN/MAX, order, limit —
 through one prepared statement with varying parameter bindings, once per
-executor. A point-lookup filter sweep and a prepared-vs-reparse loop ride
-along. Numbers land in ``BENCH_sql.json``::
+executor. A recipe→ingredient hash-join sweep, a grouped-tail sweep
+(STDDEV/VARIANCE + HAVING + grouped ORDER BY), a point-lookup filter
+sweep, and a prepared-vs-reparse loop ride along. Numbers land in
+``BENCH_sql.json``::
 
     {"rows": ..., "aggregation": {"reference_seconds": ...,
      "columnar_seconds": ..., "speedup": ...},
-     "filter": {...}, "prepare": {"reparse_seconds": ...,
-     "prepared_seconds": ..., "speedup": ...}}
+     "join": {...}, "grouped_tail": {...}, "filter": {...},
+     "prepare": {"reparse_seconds": ..., "prepared_seconds": ...,
+     "speedup": ...}}
 
 The columnar aggregation sweep must beat the reference executor by at
-least 10x (``MIN_AGG_SPEEDUP``); set ``REPRO_BENCH_SMOKE=1`` to keep the
-measurement but skip the speedup assertion (CI smoke mode on small
+least 10x (``MIN_AGG_SPEEDUP``) and the join sweep by at least 5x
+(``MIN_JOIN_SPEEDUP``); set ``REPRO_BENCH_SMOKE=1`` to keep the
+measurements but skip the speedup assertions (CI smoke mode on small
 runners). ``REPRO_BENCH_SCALE`` scales the row count as for the other
 benches.
 """
@@ -32,6 +36,9 @@ BENCH_OUT = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_sql.json"))
 
 #: Required advantage of the vectorised executor on the aggregation sweep.
 MIN_AGG_SPEEDUP = 10.0
+
+#: Required advantage of the columnar hash join on the join sweep.
+MIN_JOIN_SPEEDUP = 5.0
 
 #: Synthetic catalog size at scale 1.0.
 BASE_ROWS = 200_000
@@ -60,8 +67,34 @@ FILTER_SQL = (
     "ORDER BY recipe_id LIMIT 100"
 )
 
+JOIN_SQL = (
+    "SELECT recipe_id, title, ingredient, grams FROM recipes "
+    "JOIN recipe_ingredients ON recipe_id = recipe_ingredients.recipe_id "
+    "WHERE grams > ? ORDER BY recipe_id LIMIT 500"
+)
+
+GROUPED_SQL = (
+    "SELECT region_code, COUNT(*) AS recipes, "
+    "STDDEV(n_ingredients) AS spread, VARIANCE(n_ingredients) AS var_size, "
+    "AVG(rating) AS mean_rating "
+    "FROM recipes WHERE n_ingredients >= ? GROUP BY region_code "
+    "HAVING recipes > ? ORDER BY spread DESC, region_code LIMIT 10"
+)
+
 AGG_THRESHOLDS = list(range(2, 13))
 AGG_ROUNDS = 3
+
+#: The reference executor re-joins the full catalog per query, so the
+#: join sweep stays short; ratios are per-sweep over identical params.
+JOIN_BOUNDS = [25, 100, 250, 400]
+
+GROUPED_PARAMS = [[t, t * 10] for t in range(2, 13)] * AGG_ROUNDS
+
+INGREDIENTS = [
+    "onion", "garlic", "tomato", "butter", "olive_oil", "cumin", "ginger",
+    "soy_sauce", "rice", "flour", "egg", "milk", "cilantro", "basil",
+    "chili", "lime", "fish_sauce", "paprika", "oregano", "coconut_milk",
+]
 
 
 def build_catalog(n_rows):
@@ -93,6 +126,27 @@ def build_catalog(n_rows):
             for index in range(n_rows)
         ]
     )
+    database.create_table(
+        "recipe_ingredients",
+        Schema(
+            [
+                Column("recipe_id", ColumnType.INT),
+                Column("ingredient", ColumnType.TEXT),
+                Column("grams", ColumnType.INT),
+            ]
+        ),
+    )
+    database.table("recipe_ingredients").bulk_insert(
+        [
+            {
+                "recipe_id": index,
+                "ingredient": rng.choice(INGREDIENTS),
+                "grams": rng.randint(1, 500),
+            }
+            for index in range(n_rows)
+            for _ in range(4)
+        ]
+    )
     return database
 
 
@@ -115,6 +169,16 @@ def test_bench_sql():
     reference_agg = _sweep(agg_plan, database, agg_params, True)
     columnar_agg = _sweep(agg_plan, database, agg_params, False)
 
+    join_plan = database.prepare(JOIN_SQL)
+    join_params = [[bound] for bound in JOIN_BOUNDS]
+    join_plan.execute(database, [JOIN_BOUNDS[0]])  # warm ingredient blocks
+    reference_join = _sweep(join_plan, database, join_params, True)
+    columnar_join = _sweep(join_plan, database, join_params, False)
+
+    grouped_plan = database.prepare(GROUPED_SQL)
+    reference_grouped = _sweep(grouped_plan, database, GROUPED_PARAMS, True)
+    columnar_grouped = _sweep(grouped_plan, database, GROUPED_PARAMS, False)
+
     filter_plan = database.prepare(FILTER_SQL)
     filter_params = [
         [region, bound] for region in REGIONS for bound in (5, 10, 15)
@@ -122,9 +186,15 @@ def test_bench_sql():
     reference_filter = _sweep(filter_plan, database, filter_params, True)
     columnar_filter = _sweep(filter_plan, database, filter_params, False)
 
-    # Equivalence spot-check on the bench corpus itself.
+    # Equivalence spot-checks on the bench corpus itself.
     assert agg_plan.execute(database, [8]) == agg_plan.execute(
         database, [8], reference=True
+    )
+    assert join_plan.execute(database, [200]) == join_plan.execute(
+        database, [200], reference=True
+    )
+    assert grouped_plan.execute(database, [5, 40]) == grouped_plan.execute(
+        database, [5, 40], reference=True
     )
 
     # Prepared-statement reuse vs re-tokenizing + re-parsing every call.
@@ -146,12 +216,25 @@ def test_bench_sql():
     payload = {
         "benchmark": "sql_engine",
         "rows": n_rows,
+        "ingredient_rows": n_rows * 4,
         "agg_queries": len(agg_params),
+        "join_queries": len(join_params),
+        "grouped_queries": len(GROUPED_PARAMS),
         "filter_queries": len(filter_params),
         "aggregation": {
             "reference_seconds": round(reference_agg, 4),
             "columnar_seconds": round(columnar_agg, 4),
             "speedup": ratio(reference_agg, columnar_agg),
+        },
+        "join": {
+            "reference_seconds": round(reference_join, 4),
+            "columnar_seconds": round(columnar_join, 4),
+            "speedup": ratio(reference_join, columnar_join),
+        },
+        "grouped_tail": {
+            "reference_seconds": round(reference_grouped, 4),
+            "columnar_seconds": round(columnar_grouped, 4),
+            "speedup": ratio(reference_grouped, columnar_grouped),
         },
         "filter": {
             "reference_seconds": round(reference_filter, 4),
@@ -172,10 +255,16 @@ def test_bench_sql():
     )
 
     assert columnar_agg < reference_agg
+    assert columnar_join < reference_join
+    assert columnar_grouped < reference_grouped
     assert prepared_seconds < reparse_seconds
     if not SMOKE:
         assert payload["aggregation"]["speedup"] >= MIN_AGG_SPEEDUP, (
             f"columnar aggregation sweep only "
             f"{payload['aggregation']['speedup']}x faster than the "
             f"reference executor"
+        )
+        assert payload["join"]["speedup"] >= MIN_JOIN_SPEEDUP, (
+            f"columnar join sweep only {payload['join']['speedup']}x "
+            f"faster than the reference executor"
         )

@@ -135,14 +135,37 @@ def max_(column: str | Expression) -> Aggregate:
     )
 
 
-def _welford_step(acc: tuple, value: Any) -> tuple:
-    """One Welford update: numerically stable running mean/M2."""
-    count, mean, m2 = acc
-    count += 1
-    delta = value - mean
-    mean += delta / count
-    m2 += delta * (value - mean)
-    return (count, mean, m2)
+def _moments_step(acc: tuple, value: Any) -> tuple:
+    """One ``(count, sum, sum-of-squares)`` accumulation step.
+
+    Both executors compute variance from the same one-pass moments —
+    the row fold here adds values left-to-right, the columnar kernel
+    accumulates the same sums with sequential ``np.add.at`` — so their
+    results agree bit-for-bit (int sums stay exact Python/int64 ints,
+    float sums share the reduction order).
+    """
+    count, total, total_sq = acc
+    return (count + 1, total + value, total_sq + value * value)
+
+
+def variance_from_moments(count: int, total: Any, total_sq: Any) -> Any:
+    """Population variance from one-pass moments; NULL for ``n=0``.
+
+    The ``total_sq/n - mean**2`` form can go slightly negative from
+    rounding on near-constant groups; it is clamped at zero so STDDEV
+    never takes the square root of a negative.
+    """
+    if not count:
+        return None
+    mean = total / count
+    value = total_sq / count - mean * mean
+    return value if value > 0.0 else 0.0
+
+
+def stddev_from_moments(count: int, total: Any, total_sq: Any) -> Any:
+    """Population standard deviation from one-pass moments."""
+    variance = variance_from_moments(count, total, total_sq)
+    return None if variance is None else variance**0.5
 
 
 def variance(column: str | Expression) -> Aggregate:
@@ -150,9 +173,9 @@ def variance(column: str | Expression) -> Aggregate:
     return Aggregate(
         "variance",
         _as_expression(column),
-        initial=lambda: (0, 0.0, 0.0),
-        step=_welford_step,
-        final=lambda acc: acc[2] / acc[0] if acc[0] else None,
+        initial=lambda: (0, 0, 0),
+        step=_moments_step,
+        final=lambda acc: variance_from_moments(*acc),
     )
 
 
@@ -161,9 +184,9 @@ def stddev(column: str | Expression) -> Aggregate:
     return Aggregate(
         "stddev",
         _as_expression(column),
-        initial=lambda: (0, 0.0, 0.0),
-        step=_welford_step,
-        final=lambda acc: (acc[2] / acc[0]) ** 0.5 if acc[0] else None,
+        initial=lambda: (0, 0, 0),
+        step=_moments_step,
+        final=lambda acc: stddev_from_moments(*acc),
     )
 
 

@@ -10,21 +10,35 @@ whole-column operations:
 * predicates compile to three-valued (Kleene) boolean masks — a pair of
   "definitely true" and "known" arrays — matching the row evaluator's
   NULL semantics in :mod:`repro.db.expressions` by construction;
+* equality joins build sorted key runs over the right table and expand
+  left/right row-index **gather arrays** (:func:`_hash_join_gather`), so
+  inner and left joins — NULL keys matching nothing — run as whole-array
+  searchsorted/repeat kernels over a :class:`JoinRelation` whose columns
+  gather lazily from the source tables;
 * group-by factorises key columns into dense codes and picks a **hash**
   strategy (direct code-grid bincount) when the key-space is small, or a
   **sort** strategy (``np.unique`` compression) otherwise, always
   emitting groups in first-seen row order like the row executor;
 * aggregates use sequential in-order accumulation (``np.add.at`` /
-  ``np.bincount`` / ``np.minimum.at``), so float results are produced by
-  the same left-to-right reduction order as the reference fold;
+  ``np.bincount`` / ``np.minimum.at``); float results are produced by
+  the same left-to-right reduction order as the reference fold, and
+  stddev/variance share one-pass count/sum/sumsq moments with the
+  reference aggregates (:mod:`repro.db.aggregates`), so both executors
+  agree bit-for-bit;
+* the grouped tail (HAVING / projection / ORDER BY over aggregate
+  output) re-enters the same mask/projection/lexsort kernels over a
+  :class:`RowsRelation` built from the per-group results — no Python
+  per-group-row loop;
 * order-by builds ``np.lexsort`` keys with an explicit NULLs-last flag
   and stable tie-breaks, reproducing the row executor's ordering.
 
 Every entry point returns ``None`` (or raises :class:`Unsupported`
 internally) when a query shape falls outside the vectorised subset —
-joins, JSON columns in predicates, stddev/variance/collect aggregates,
-string arithmetic, potential int64 overflow — and the caller falls back
-to the reference row executor, which remains the semantic ground truth.
+``collect`` aggregates, JSON columns in predicates or join keys, string
+arithmetic, self-joins, potential int64 overflow — and the caller falls
+back to the reference row executor, which remains the semantic ground
+truth. Fallbacks are counted per reason family in the
+``repro_sql_fallback_total`` metric (see :func:`fallback_family`).
 """
 
 from __future__ import annotations
@@ -33,6 +47,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from .aggregates import stddev_from_moments, variance_from_moments
 from .errors import QueryError
 from .expressions import (
     Arithmetic,
@@ -57,15 +72,69 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: row executor.
 _INT_GUARD = 2**62
 
-#: Aggregate kinds the vectorised executor can compute. stddev/variance
-#: (sequential Welford) and collect stay on the reference path.
+#: Aggregate kinds the vectorised executor can compute. Only collect
+#: (materialising Python lists per group) stays on the reference path.
 SUPPORTED_AGGREGATES = frozenset(
-    {"count_star", "count", "count_distinct", "sum", "avg", "min", "max"}
+    {
+        "count_star",
+        "count",
+        "count_distinct",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "stddev",
+        "variance",
+    }
 )
+
+#: Largest integer magnitude that float64 represents exactly; mixed
+#: int/float join keys beyond it could produce false equalities.
+_FLOAT_EXACT_INT = 2**53
+
+#: Counter name for reference-executor fallbacks, labelled by reason
+#: family (``repro_sql_fallback_total{reason=...}``).
+FALLBACK_TOTAL = "repro_sql_fallback_total"
 
 
 class Unsupported(Exception):
     """Internal signal: this query shape needs the reference executor."""
+
+
+#: Ordered ``(substring, family)`` probes classifying Unsupported
+#: messages into the low-cardinality ``reason`` label of
+#: :data:`FALLBACK_TOTAL`. First match wins, so specific probes
+#: (``int64``, ``json``) come before generic ones (``column``).
+_FALLBACK_FAMILIES = (
+    ("join", "join"),
+    ("aggregat", "aggregate"),
+    ("int64", "int64_range"),
+    ("json", "json"),
+    ("object", "json"),
+    ("column", "unknown_column"),
+    ("order", "ordering"),
+    ("resolve", "unknown_column"),
+    ("group", "grouping"),
+    ("constant", "constant"),
+)
+
+
+def fallback_family(message: str) -> str:
+    """Slug family for one :class:`Unsupported` message (metric label)."""
+    lowered = message.lower()
+    for probe, family in _FALLBACK_FAMILIES:
+        if probe in lowered:
+            return family
+    return "other"
+
+
+def _count_fallback(family: str) -> None:
+    try:
+        from ..obs import get_registry
+
+        get_registry().counter(FALLBACK_TOTAL, reason=family).incr()
+    except Exception:  # pragma: no cover - metrics must never break queries
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -193,6 +262,333 @@ class ColumnStore:
                 return self.block(bare)
         raise Unsupported(f"unknown column {name!r}")
 
+    @property
+    def output_names(self) -> list[str]:
+        return list(self._table.schema.column_names)
+
+
+# ----------------------------------------------------------------------
+# join and grouped relations
+# ----------------------------------------------------------------------
+def _resolve_output_name(name: str, names) -> str:
+    """:class:`ColumnRef` resolution over merged-row output names.
+
+    Mirrors ``ColumnRef.evaluate`` over a dict row: exact key first,
+    unqualified names by unique ``.suffix`` match, qualified names by
+    bare-suffix fallback. Ambiguous/unknown names raise
+    :class:`Unsupported`, routing the query to the reference executor,
+    which raises the user-facing :class:`QueryError` with row context.
+    """
+    if name in names:
+        return name
+    if "." not in name:
+        suffix = "." + name
+        matches = [key for key in names if key.endswith(suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise Unsupported(f"ambiguous column {name!r}")
+    else:
+        bare = name.rsplit(".", 1)[1]
+        if bare in names:
+            return bare
+    raise Unsupported(f"unknown column {name!r}")
+
+
+def _gather_block(block: ColumnBlock, gather: np.ndarray) -> ColumnBlock:
+    """Pick ``gather`` rows from ``block``; ``-1`` entries produce NULL."""
+    n = len(gather)
+    if len(block.valid) == 0:
+        # Empty source table (every slot is a LEFT JOIN null pad).
+        if block.kind == "object":
+            return ColumnBlock("object", [None] * n, np.zeros(n, dtype=bool))
+        if block.kind == "text":
+            return ColumnBlock(
+                "text",
+                np.full(n, -1, dtype=np.int64),
+                np.zeros(n, dtype=bool),
+                block.dictionary,
+            )
+        dtype = {"int": np.int64, "float": np.float64, "bool": bool}[
+            block.kind
+        ]
+        return ColumnBlock(
+            block.kind, np.zeros(n, dtype=dtype), np.zeros(n, dtype=bool)
+        )
+    padded = gather < 0
+    safe = np.where(padded, 0, gather)
+    valid = block.valid[safe] & ~padded
+    if block.kind == "object":
+        source = block.values
+        values = [
+            None if position < 0 else source[position]
+            for position in gather.tolist()
+        ]
+        return ColumnBlock("object", values, valid)
+    values = block.values[safe]
+    if bool(padded.any()):
+        # to_pylist keys text NULLs off code -1, so pads must not alias
+        # a real dictionary code; numeric/bool fills are masked anyway.
+        values[padded] = -1 if block.kind == "text" else 0
+    return ColumnBlock(block.kind, values, valid, block.dictionary)
+
+
+class JoinRelation:
+    """Gather-composed columnar image of a joined row set.
+
+    Each source table contributes its :class:`ColumnStore` plus a
+    row-index gather array aligned with the join output (``None`` means
+    identity; ``-1`` marks the null-padded side of an unmatched LEFT
+    JOIN row). Output column names mirror the reference executor's
+    ``_merge_rows``: base-table names stay bare, joined columns keep
+    their bare name unless it collides, in which case they become
+    ``"table.column"``. Blocks gather lazily per column and are cached,
+    so projection push-down still holds across joins.
+    """
+
+    def __init__(self, row_count, sources, columns) -> None:
+        self.row_count = row_count
+        #: list of ``(ColumnStore, gather array | None)`` per source.
+        self.sources = sources
+        #: output name -> ``(source index, source column name)``.
+        self.columns = columns
+        self._cache: dict[str, ColumnBlock] = {}
+
+    @property
+    def output_names(self) -> list[str]:
+        return list(self.columns)
+
+    def block(self, name: str) -> ColumnBlock:
+        block = self._cache.get(name)
+        if block is None:
+            source_index, column = self.columns[name]
+            store, gather = self.sources[source_index]
+            block = store.block(column)
+            if gather is not None:
+                block = _gather_block(block, gather)
+            self._cache[name] = block
+        return block
+
+    def resolve(self, name: str) -> ColumnBlock:
+        return self.block(_resolve_output_name(name, self.columns))
+
+
+class RowsRelation:
+    """Columnar view over already-materialised grouped output columns."""
+
+    def __init__(self, names, blocks, row_count) -> None:
+        self.output_names = list(names)
+        self._blocks = blocks
+        self.row_count = row_count
+
+    def resolve(self, name: str) -> ColumnBlock:
+        return self._blocks[_resolve_output_name(name, self._blocks)]
+
+
+def _block_from_pylist(values: list[Any]) -> ColumnBlock:
+    """Typed block from per-group Python values (grouped tail input)."""
+    n = len(values)
+    valid = np.fromiter(
+        (value is not None for value in values), dtype=bool, count=n
+    )
+    present = [value for value in values if value is not None]
+    if not present:
+        return ColumnBlock("float", np.zeros(n, dtype=np.float64), valid)
+    if all(isinstance(value, bool) for value in present):
+        data = np.fromiter(
+            (bool(value) for value in values), dtype=bool, count=n
+        )
+        return ColumnBlock("bool", data, valid)
+    if all(
+        isinstance(value, int) and not isinstance(value, bool)
+        for value in present
+    ):
+        if any(abs(value) >= 2**63 for value in present):
+            raise Unsupported("grouped value outside int64 range")
+        data = np.fromiter(
+            (0 if value is None else value for value in values),
+            dtype=np.int64,
+            count=n,
+        )
+        return ColumnBlock("int", data, valid)
+    if all(isinstance(value, float) for value in present):
+        data = np.fromiter(
+            (0.0 if value is None else value for value in values),
+            dtype=np.float64,
+            count=n,
+        )
+        return ColumnBlock("float", data, valid)
+    if all(isinstance(value, str) for value in present):
+        codes = np.empty(n, dtype=np.int64)
+        interned: dict[str, int] = {}
+        for index, value in enumerate(values):
+            if value is None:
+                codes[index] = -1
+            else:
+                code = interned.get(value)
+                if code is None:
+                    code = interned.setdefault(value, len(interned))
+                codes[index] = code
+        return ColumnBlock("text", codes, valid, tuple(interned))
+    raise Unsupported("mixed-type grouped values")
+
+
+def _vocab_codes(block: ColumnBlock, vocab: np.ndarray) -> np.ndarray:
+    """Per-row ranks of a text block's values under a merged vocabulary."""
+    words = np.array(list(block.dictionary or ("",)))
+    ranks = np.searchsorted(vocab, words)
+    return ranks[np.clip(block.values, 0, None)]
+
+
+def _join_codes(
+    left: ColumnBlock, right: ColumnBlock
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Common-domain comparable key arrays for one equality join.
+
+    Returns ``(left_codes, left_valid, right_codes, right_valid)``. Text
+    keys are ranked under a merged vocabulary; numeric keys share int64,
+    or float64 when either side is float (guarded so no exactness is
+    lost). Text-vs-numeric keys can never compare equal — the reference
+    bucket probe misses on type mismatch — so the right side collapses
+    to an empty domain and every left row is unmatched.
+    """
+    for block in (left, right):
+        if block.kind == "object":
+            raise Unsupported("join key over JSON column")
+    if left.kind == "text" or right.kind == "text":
+        if left.kind != right.kind:
+            return (
+                np.zeros(len(left.valid), dtype=np.int64),
+                left.valid,
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=bool),
+            )
+        vocab = np.array(
+            sorted(set(left.dictionary or ()) | set(right.dictionary or ()))
+            or [""]
+        )
+        return (
+            _vocab_codes(left, vocab),
+            left.valid,
+            _vocab_codes(right, vocab),
+            right.valid,
+        )
+    left_values = (
+        left.values.astype(np.int64) if left.kind == "bool" else left.values
+    )
+    right_values = (
+        right.values.astype(np.int64)
+        if right.kind == "bool"
+        else right.values
+    )
+    if left.kind == "float" or right.kind == "float":
+        for block, values in ((left, left_values), (right, right_values)):
+            picked = values[block.valid]
+            if picked.size == 0:
+                continue
+            if picked.dtype == np.int64:
+                if (
+                    int(picked.max()) >= _FLOAT_EXACT_INT
+                    or int(picked.min()) <= -_FLOAT_EXACT_INT
+                ):
+                    raise Unsupported("join key outside exact float range")
+            elif bool(np.isnan(picked).any()):
+                # NaN never equals itself, and its sort position would
+                # corrupt the searchsorted runs; the reference executor
+                # owns this (pathological) shape.
+                raise Unsupported("NaN join key")
+        left_values = left_values.astype(np.float64)
+        right_values = right_values.astype(np.float64)
+    return left_values, left.valid, right_values, right.valid
+
+
+def _hash_join_gather(
+    left_codes: np.ndarray,
+    left_valid: np.ndarray,
+    right_codes: np.ndarray,
+    right_valid: np.ndarray,
+    how: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised equality-join row gather.
+
+    Returns ``(left_take, right_take)`` output row-index arrays over the
+    left relation and the right table; ``right_take`` is ``-1`` on the
+    null-padded side of unmatched LEFT JOIN rows. NULL keys (invalid on
+    either side) match nothing. Output order matches the reference
+    executor — left rows in order, each left row's right matches in
+    right-table row order — because the argsort below is stable, so
+    rows sharing a key keep their original relative order.
+    """
+    n = len(left_codes)
+    candidates = np.flatnonzero(right_valid)
+    order = candidates[
+        np.argsort(right_codes[candidates], kind="stable")
+    ]
+    sorted_codes = right_codes[order]
+    starts = np.searchsorted(sorted_codes, left_codes, side="left")
+    ends = np.searchsorted(sorted_codes, left_codes, side="right")
+    counts = np.where(left_valid, ends - starts, 0)
+    if how == "inner":
+        out_counts = counts
+    else:
+        out_counts = np.maximum(counts, 1)
+    total = int(out_counts.sum())
+    left_take = np.repeat(np.arange(n, dtype=np.int64), out_counts)
+    bases = np.repeat(np.cumsum(out_counts) - out_counts, out_counts)
+    within = np.arange(total, dtype=np.int64) - bases
+    slots = np.repeat(starts, out_counts) + within
+    if how == "inner":
+        return left_take, order[slots]
+    matched = counts[left_take] > 0
+    right_take = np.full(total, -1, dtype=np.int64)
+    if order.size:
+        right_take[matched] = order[slots[matched]]
+    return left_take, right_take
+
+
+def _apply_columnar_join(database, relation: JoinRelation, join):
+    right_table = database.table(join.table_name)
+    right_store = right_table.columnar()
+    if join.right_column not in right_table.schema:
+        # The reference bucket build raises KeyError for this shape.
+        raise Unsupported(f"unknown join column {join.right_column!r}")
+    left_block = relation.resolve(join.left_column)
+    right_block = right_store.block(join.right_column)
+    left_take, right_take = _hash_join_gather(
+        *_join_codes(left_block, right_block), join.how
+    )
+    sources = [
+        (store, gather[left_take] if gather is not None else left_take)
+        for store, gather in relation.sources
+    ]
+    sources.append((right_store, right_take))
+    columns = dict(relation.columns)
+    right_index = len(sources) - 1
+    for name in right_table.schema.column_names:
+        key = name if name not in columns else f"{join.table_name}.{name}"
+        columns[key] = (right_index, name)
+    return JoinRelation(len(left_take), sources, columns)
+
+
+def _build_join_relation(query: "Query") -> JoinRelation:
+    """Lower ``query``'s join chain into one gather-composed relation."""
+    database = query._database
+    seen = {query._table_name}
+    for join in query._joins:
+        if join.table_name in seen:
+            raise Unsupported("self-join or repeated join table")
+        seen.add(join.table_name)
+    base = database.table(query._table_name)
+    store = base.columnar()
+    relation = JoinRelation(
+        store.row_count,
+        [(store, None)],
+        {name: (0, name) for name in base.schema.column_names},
+    )
+    for join in query._joins:
+        relation = _apply_columnar_join(database, relation, join)
+    return relation
+
 
 # ----------------------------------------------------------------------
 # vectorised expression values
@@ -298,9 +694,15 @@ _NUMERIC = ("int", "float", "bool")
 
 
 class Compiler:
-    """Compile expression trees into :class:`Vec` columns over a store."""
+    """Compile expression trees into :class:`Vec` columns over a relation.
 
-    def __init__(self, store: ColumnStore) -> None:
+    The relation is any column provider with ``row_count`` and
+    ``resolve(name) -> ColumnBlock``: a table's :class:`ColumnStore`, a
+    :class:`JoinRelation` over gathered blocks, or the grouped tail's
+    :class:`RowsRelation`.
+    """
+
+    def __init__(self, store) -> None:
         self._store = store
         self.n = store.row_count
         self.touched: set[str] = set()
@@ -795,7 +1197,7 @@ def _aggregate(name: str, vec: Vec | None, gids, groups: int) -> list[Any]:
     picked_gids = gids[sel]
     if vec.kind == "text":
         if name not in ("min", "max"):
-            raise Unsupported(f"{name} over text column")
+            raise Unsupported(f"aggregate {name} over text column")
         block = ColumnBlock("text", vec.values, vec.valid, vec.dictionary)
         sorted_values, ranks = block.order_keys()
         row_ranks = ranks[np.clip(vec.values[sel], 0, None)]
@@ -811,7 +1213,7 @@ def _aggregate(name: str, vec: Vec | None, gids, groups: int) -> list[Any]:
             for rank, count in zip(out.tolist(), counts.tolist())
         ]
     if vec.kind == "object":
-        raise Unsupported(f"{name} over JSON column")
+        raise Unsupported(f"aggregate {name} over JSON column")
 
     values = vec.values[sel]
     is_bool = vec.kind == "bool"
@@ -838,6 +1240,48 @@ def _aggregate(name: str, vec: Vec | None, gids, groups: int) -> list[Any]:
         return [
             total / count if count else None
             for total, count in zip(totals, counts.tolist())
+        ]
+    if name in ("variance", "stddev"):
+        # One-pass count/sum/sumsq moments, finalised by the same
+        # helpers as the reference fold so results match bit-for-bit:
+        # np.add.at accumulates in row order (the reference's
+        # left-to-right order), int sums stay exact, and the per-group
+        # Python values handed to the finaliser are identical.
+        if vec.kind == "float":
+            sums = np.zeros(groups, dtype=np.float64)
+            squares = np.zeros(groups, dtype=np.float64)
+            np.add.at(sums, picked_gids, values)
+            np.add.at(squares, picked_gids, values * values)
+            totals = sums.tolist()
+            total_squares = squares.tolist()
+        else:
+            if values.size:
+                magnitude = max(
+                    abs(int(values.max())), abs(int(values.min()))
+                )
+                if (
+                    magnitude * magnitude * max(int(counts.max()), 1)
+                    >= _INT_GUARD
+                ):
+                    raise Unsupported(
+                        f"int64 overflow risk in {name.upper()}"
+                    )
+            sums = np.zeros(groups, dtype=np.int64)
+            squares = np.zeros(groups, dtype=np.int64)
+            np.add.at(sums, picked_gids, values)
+            np.add.at(squares, picked_gids, values * values)
+            totals = [int(value) for value in sums.tolist()]
+            total_squares = [int(value) for value in squares.tolist()]
+        finalise = (
+            variance_from_moments
+            if name == "variance"
+            else stddev_from_moments
+        )
+        return [
+            finalise(count, total, total_sq)
+            for count, total, total_sq in zip(
+                counts.tolist(), totals, total_squares
+            )
         ]
     if name in ("min", "max"):
         if vec.kind == "float":
@@ -923,32 +1367,39 @@ def _order_indices(
 # ----------------------------------------------------------------------
 # query execution
 # ----------------------------------------------------------------------
-def execute(query: "Query") -> tuple[str, list[dict[str, Any]]] | None:
-    """Try to run ``query`` through the vectorised kernels.
+def execute(query: "Query") -> list[dict[str, Any]] | None:
+    """Try to run ``query`` through the vectorised kernels end to end.
 
-    Returns ``("full", rows)`` when the whole pipeline ran vectorised,
-    ``("grouped", rows)`` when scan/filter/group-by/aggregate ran
-    vectorised and the (small) grouped rows still need the row
-    executor's having/projection/order tail, or ``None`` when the query
-    shape is unsupported and the caller must use the reference path.
+    Returns the result rows when the whole pipeline — scan, joins,
+    filter, group-by/aggregate, having, projection, distinct, order,
+    limit — ran vectorised, or ``None`` when the query shape is
+    unsupported and the caller must use the reference path. On fallback
+    the :class:`Unsupported` reason is recorded on the query
+    (``_fallback_reason`` / ``_fallback_family``) and counted in the
+    ``repro_sql_fallback_total{reason=...}`` metric.
     """
     try:
         return _execute(query)
-    except Unsupported:
+    except Unsupported as fallback:
+        message = str(fallback)
+        family = fallback_family(message)
+        query._fallback_reason = message
+        query._fallback_family = family
+        _count_fallback(family)
         return None
 
 
-def _execute(query: "Query"):
+def _execute(query: "Query") -> list[dict[str, Any]]:
     if query._joins:
-        raise Unsupported("joins run on the reference executor")
-    table = query._database.table(query._table_name)
-    store = table.columnar()
-    compiler = Compiler(store)
+        relation = _build_join_relation(query)
+    else:
+        relation = query._database.table(query._table_name).columnar()
+    compiler = Compiler(relation)
     mask = compiler.mask(query._where)
 
     if query._group_columns or query._aggregates:
-        return "grouped", _execute_grouped(query, compiler, mask)
-    return "full", _execute_plain(query, compiler, mask)
+        return _execute_grouped(query, compiler, mask)
+    return _finish(query, compiler, mask, relation.output_names)
 
 
 def _execute_grouped(query: "Query", compiler: Compiler, mask):
@@ -980,23 +1431,30 @@ def _execute_grouped(query: "Query", compiler: Compiler, mask):
     else:
         gids = np.zeros(n, dtype=np.int64)
         groups, group_keys = 1, [()]
-    columns: dict[str, list[Any]] = {}
-    for position, name in enumerate(query._group_columns):
-        columns[name] = [key[position] for key in group_keys]
-    for alias, agg_name, vec in agg_specs:
-        columns[alias] = _aggregate(agg_name, vec, gids, groups)
+    # Vectorised grouped tail: the per-group results become a
+    # RowsRelation, and having/projection/distinct/order/limit re-enter
+    # the same mask and finish kernels as ungrouped queries.
     names = list(query._group_columns) + [
         alias for alias, _name, _vec in agg_specs
     ]
-    return [
-        {name: columns[name][g] for name in names} for g in range(groups)
-    ]
+    blocks: dict[str, ColumnBlock] = {}
+    for position, name in enumerate(query._group_columns):
+        blocks[name] = _block_from_pylist(
+            [key[position] for key in group_keys]
+        )
+    for alias, agg_name, vec in agg_specs:
+        blocks[alias] = _block_from_pylist(
+            _aggregate(agg_name, vec, gids, groups)
+        )
+    grouped = Compiler(RowsRelation(names, blocks, groups))
+    having_mask = grouped.mask(query._having)
+    return _finish(query, grouped, having_mask, names)
 
 
-def _execute_plain(query: "Query", compiler: Compiler, mask):
-    store_table = query._database.table(query._table_name)
+def _finish(query: "Query", compiler: Compiler, mask, default_names):
+    """Shared vectorised tail: projection/distinct/order/offset/limit."""
     if query._projections is None:
-        aliases = list(store_table.schema.column_names)
+        aliases = list(default_names)
         vecs = [compiler.value(ColumnRef(name)) for name in aliases]
     else:
         aliases = [p.alias for p in query._projections]
@@ -1129,32 +1587,42 @@ def _resolve_order_key(
 # plan analysis (EXPLAIN support)
 # ----------------------------------------------------------------------
 def analyze(query: "Query") -> dict[str, Any]:
-    """Static description of how ``query`` would execute.
+    """Description of how ``query`` would execute.
 
-    Runs the compiler over the table's column kinds without evaluating
-    any kernels on row data beyond block construction, and reports which
-    executor would serve the query, why a fallback would occur, and the
-    columns the scan would touch (projection push-down set).
+    Compiles the query's expressions over the column kinds without
+    evaluating filter or aggregate kernels, and reports which executor
+    would serve the query, why a fallback would occur (message plus
+    metric-label family), the joins lowered into the plan, and the
+    columns the scan would touch (projection push-down set). Joined
+    queries do build their gather arrays — the join shape, not just the
+    column types, decides columnar eligibility — so EXPLAIN over a join
+    costs one key-column pass per join.
     """
     info: dict[str, Any] = {
         "table": query._table_name,
         "executor": "columnar",
         "reason": None,
+        "reason_family": None,
         "columns": [],
         "where_pushdown": query._where is not None,
+        "joins": [
+            {"table": join.table_name, "how": join.how}
+            for join in query._joins
+        ],
         "group_strategy": None,
     }
     if query._use_reference:
         info["executor"] = "reference"
         info["reason"] = "reference requested"
+        info["reason_family"] = "pinned"
         return info
-    if query._joins:
-        info["executor"] = "reference"
-        info["reason"] = "joins"
-        return info
-    table = query._database.table(query._table_name)
-    compiler = Compiler(table.columnar())
+    compiler = None
     try:
+        if query._joins:
+            relation = _build_join_relation(query)
+        else:
+            relation = query._database.table(query._table_name).columnar()
+        compiler = Compiler(relation)
         compiler.mask(query._where)
         if query._group_columns or query._aggregates:
             for name in query._group_columns:
@@ -1180,7 +1648,9 @@ def analyze(query: "Query") -> dict[str, Any]:
     except Unsupported as fallback:
         info["executor"] = "reference"
         info["reason"] = str(fallback)
-    info["columns"] = sorted(compiler.touched)
+        info["reason_family"] = fallback_family(str(fallback))
+    if compiler is not None:
+        info["columns"] = sorted(compiler.touched)
     return info
 
 

@@ -77,6 +77,11 @@ class Query:
         self._limit: int | None = None
         self._offset = 0
         self._use_reference = False
+        # Executor diagnostics from the most recent execution (not
+        # copied by the builder: they describe a run, not the query).
+        self._last_execution: dict[str, Any] | None = None
+        self._fallback_reason: str | None = None
+        self._fallback_family: str | None = None
 
     # ------------------------------------------------------------------
     # builder methods (each returns a modified copy)
@@ -239,6 +244,18 @@ class Query:
         clone._use_reference = flag
         return clone
 
+    @property
+    def last_execution(self) -> dict[str, Any] | None:
+        """Executor diagnostics from the most recent execution.
+
+        ``{"executor": "columnar" | "reference", "reason": ...,
+        "reason_family": ...}`` — the reason is ``None`` on the fast
+        path, the pin/fallback cause otherwise (the family is the
+        low-cardinality slug used as the ``repro_sql_fallback_total``
+        metric label). ``None`` before the first execution.
+        """
+        return self._last_execution
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -267,41 +284,50 @@ class Query:
     # pipeline internals
     # ------------------------------------------------------------------
     def _execute(self) -> Iterator[dict[str, Any]]:
-        grouped_rows: list[dict[str, Any]] | None = None
-        if (
-            _columnar is not None
-            and not self._use_reference
-            and not self._joins
+        if _columnar is not None and not self._use_reference:
+            produced = _columnar.execute(self)
+            if produced is not None:
+                # Vectorised scan/join/filter/group/having/projection/
+                # distinct/order/limit ran end to end; nothing left to
+                # do row-at-a-time.
+                self._last_execution = {
+                    "executor": "columnar",
+                    "reason": None,
+                    "reason_family": None,
+                }
+                return iter(produced)
+            self._last_execution = {
+                "executor": "reference",
+                "reason": self._fallback_reason,
+                "reason_family": self._fallback_family,
+            }
+        elif self._use_reference:
+            self._last_execution = {
+                "executor": "reference",
+                "reason": "reference requested",
+                "reason_family": "pinned",
+            }
+        else:
+            self._last_execution = {
+                "executor": "reference",
+                "reason": "columnar engine unavailable",
+                "reason_family": "unavailable",
+            }
+        rows = self._scan_base()
+        for join in self._joins:
+            rows = self._apply_join(rows, join)
+        if self._where is not None and (
+            self._joins or not self._pushed_where
         ):
-            outcome = _columnar.execute(self)
-            if outcome is not None:
-                kind, produced = outcome
-                if kind == "full":
-                    # Vectorised filter/project/distinct/order/limit ran
-                    # end to end; nothing left to do row-at-a-time.
-                    return iter(produced)
-                grouped_rows = produced  # vectorised up to group-by
-        if grouped_rows is not None:
-            rows: Iterator[dict[str, Any]] = iter(grouped_rows)
+            predicate = self._where
+            rows = (row for row in rows if bool(predicate.evaluate(row)))
+        if self._group_columns or self._aggregates:
+            rows = iter(self._apply_group_by(rows))
             if self._having is not None:
                 having = self._having
-                rows = (row for row in rows if bool(having.evaluate(row)))
-        else:
-            rows = self._scan_base()
-            for join in self._joins:
-                rows = self._apply_join(rows, join)
-            if self._where is not None and (
-                self._joins or not self._pushed_where
-            ):
-                predicate = self._where
-                rows = (row for row in rows if bool(predicate.evaluate(row)))
-            if self._group_columns or self._aggregates:
-                rows = iter(self._apply_group_by(rows))
-                if self._having is not None:
-                    having = self._having
-                    rows = (
-                        row for row in rows if bool(having.evaluate(row))
-                    )
+                rows = (
+                    row for row in rows if bool(having.evaluate(row))
+                )
         if self._projections is not None:
             projections = self._projections
             rows = (
@@ -335,17 +361,20 @@ class Query:
     ) -> Iterator[dict[str, Any]]:
         right_table = self._database.table(join.table_name)
         right_names = right_table.schema.column_names
-        # Build the hash side over the right table.
+        # Build the hash side over the right table. NULL keys never
+        # enter the buckets: per SQL, NULL = NULL is unknown, so a NULL
+        # join key matches nothing (LEFT JOIN emits the null-padded row).
         buckets: dict[Any, list[dict[str, Any]]] = {}
         for right_row in right_table.rows():
-            buckets.setdefault(right_row[join.right_column], []).append(
-                right_row
-            )
+            key = right_row[join.right_column]
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(right_row)
         left_ref = ColumnRef(join.left_column)
         null_right = {name: None for name in right_names}
         for left_row in rows:
             key = left_ref.evaluate(left_row)
-            matches = buckets.get(key, ())
+            matches = () if key is None else buckets.get(key, ())
             if not matches:
                 if join.how == "left":
                     yield _merge_rows(left_row, null_right, join.table_name)

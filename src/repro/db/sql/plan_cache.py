@@ -67,15 +67,24 @@ class PreparedStatement:
         params: list[Any] | tuple[Any, ...] | None = None,
         *,
         reference: bool = False,
+        info_out: dict[str, Any] | None = None,
     ) -> list[dict[str, Any]]:
-        """Run the plan against ``database`` with ``params`` bound."""
+        """Run the plan against ``database`` with ``params`` bound.
+
+        ``info_out`` (SELECT only) receives the executor diagnostics —
+        which engine served the rows and, on fallback, the reason family.
+        """
         from .dml import execute_parsed
         from .parser import SelectStatement
         from .planner import execute_statement, bind_statement
 
         if isinstance(self.statement, SelectStatement):
             return execute_statement(
-                database, self.statement, params, reference=reference
+                database,
+                self.statement,
+                params,
+                reference=reference,
+                info_out=info_out,
             )
         return execute_parsed(
             database, bind_statement(self.statement, params)

@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Any
 
+from ...obs import span
 from ..aggregates import sql_aggregate
 from ..errors import QueryError
 from ..expressions import (
@@ -71,13 +72,32 @@ def execute_statement(
     params: list[Any] | tuple[Any, ...] | None = None,
     *,
     reference: bool = False,
+    info_out: dict[str, Any] | None = None,
 ) -> list[dict[str, Any]]:
-    """Run an already-parsed statement against ``database``."""
+    """Run an already-parsed statement against ``database``.
+
+    When ``info_out`` is given, the executor diagnostics from
+    :attr:`Query.last_execution` (executor name, fallback reason family)
+    are copied into it so callers such as ``POST /sql`` can report which
+    engine actually served the rows.
+    """
     statement = bind_statement(statement, params)
     query = lower_statement(database, statement)
     if reference:
         query = query.reference()
-    return query.all()
+    # The executor choice is only known after execution (the columnar
+    # engine may decline mid-compile), so the span attrs read the
+    # query's post-run diagnostics.
+    with span("db.sql.execute") as execute_span:
+        rows = query.all()
+        info = query.last_execution or {}
+        if info.get("executor"):
+            execute_span.set("executor", info["executor"])
+        if info.get("reason_family"):
+            execute_span.set("fallback", info["reason_family"])
+    if info_out is not None:
+        info_out.update(info)
+    return rows
 
 
 def explain_statement(

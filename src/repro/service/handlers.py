@@ -812,15 +812,22 @@ class QueryService:
                 "read_only",
                 "only SELECT statements are served; DML is not allowed",
             )
+        execution: dict[str, Any] = {}
         try:
-            rows = plan.execute(database, params, reference=reference)
+            rows = plan.execute(
+                database, params, reference=reference, info_out=execution
+            )
         except ReproError as error:
             raise RequestError(400, "sql_error", str(error)) from error
-        return {
+        response = {
             "rows": rows[:max_rows],
             "row_count": len(rows),
             "truncated": len(rows) > max_rows,
+            "executor": execution.get("executor", "reference"),
         }
+        if execution.get("reason_family"):
+            response["fallback"] = execution["reason_family"]
+        return response
 
     def handle_montecarlo(self, payload: Any) -> dict[str, Any]:
         """Null-model Z-score for one region through the parallel engine.

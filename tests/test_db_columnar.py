@@ -16,6 +16,7 @@ from repro.db import (
     Schema,
     avg,
     col,
+    collect,
     count,
     count_distinct,
     lit,
@@ -23,6 +24,7 @@ from repro.db import (
     min_,
     stddev,
     sum_,
+    variance,
 )
 from repro.db import columnar
 
@@ -116,6 +118,30 @@ QUERY_SHAPES = [
     .order_by(("total", "desc"), "cuisine")
     .limit(3),
     lambda db: db.query("dishes").group_by(mean=avg("size"), n=count()),
+    # Vectorised grouped tail: HAVING over aggregate columns, grouped
+    # ORDER BY, projection expressions over the per-group output.
+    lambda db: db.query("dishes").group_by(
+        "cuisine", spread=stddev("size"), var=variance("rating")
+    ),
+    lambda db: db.query("dishes")
+    .group_by("veg", n=count(), spread=stddev("rating"))
+    .having(col("n") >= 2)
+    .order_by(("spread", "desc"), "veg"),
+    lambda db: db.query("dishes")
+    .group_by("cuisine", n=count(), total=sum_("size"))
+    .having((col("total") > 5) | col("total").is_null())
+    .select("cuisine", (col("total") * 2, "double_total"))
+    .order_by("cuisine"),
+    lambda db: db.query("dishes")
+    .group_by("cuisine", n=count())
+    .having(col("n") > 1)
+    .select("n")
+    .distinct()
+    .order_by("n"),
+    lambda db: db.query("dishes")
+    .group_by("cuisine", var=variance(col("size") + 1), lo=min_("size"))
+    .order_by(("var", "desc"), ("cuisine", "asc"))
+    .limit(3, offset=1),
 ]
 
 
@@ -141,10 +167,10 @@ class TestEquivalenceGrid:
         assert_equivalent(QUERY_SHAPES[shape](db))
 
 
-class TestFallback:
-    """Unsupported shapes return None from execute() and fall back."""
+class TestNowColumnar:
+    """Former fallbacks that now run vectorised end to end."""
 
-    def test_join_falls_back(self):
+    def test_join_stays_columnar(self):
         db = make_db()
         db.create_table(
             "origins",
@@ -162,8 +188,51 @@ class TestFallback:
             ]
         )
         query = db.query("dishes").join("origins", on=("cuisine", "cuisine"))
-        assert columnar.execute(query) is None
-        assert query.all() == query.reference().all()
+        assert_equivalent(query)
+        assert query.last_execution["executor"] == "columnar"
+
+    def test_stddev_stays_columnar(self):
+        db = make_db()
+        query = db.query("dishes").group_by("cuisine", spread=stddev("size"))
+        assert_equivalent(query)
+
+    def test_variance_stays_columnar(self):
+        db = make_db()
+        query = db.query("dishes").group_by(
+            "veg", var=variance("rating"), spread=stddev("rating")
+        )
+        assert_equivalent(query)
+
+    def test_stddev_singleton_and_empty_groups(self):
+        # n=1 groups give spread 0.0; all-NULL groups give NULL — on
+        # both executors, bit-for-bit.
+        db = make_db()
+        query = (
+            db.query("dishes")
+            .group_by("cuisine", spread=stddev("rating"), var=variance("rating"))
+            .order_by("cuisine")
+        )
+        assert_equivalent(query)
+        by_cuisine = {row["cuisine"]: row for row in query.all()}
+        assert by_cuisine["mexican"]["spread"] == 0.0  # single row
+        assert by_cuisine["japanese"]["var"] > 0.0
+
+    def test_stddev_all_null_column(self):
+        rows = [
+            {"dish_id": i, "cuisine": "x", "size": None, "rating": None,
+             "veg": None, "tags": None}
+            for i in range(1, 4)
+        ]
+        db = make_db(rows=rows)
+        query = db.query("dishes").group_by(
+            "cuisine", spread=stddev("size"), var=variance("size")
+        )
+        assert_equivalent(query)
+        assert query.all() == [{"cuisine": "x", "spread": None, "var": None}]
+
+
+class TestFallback:
+    """Unsupported shapes return None from execute() and fall back."""
 
     def test_json_comparison_falls_back(self):
         db = make_db()
@@ -178,9 +247,9 @@ class TestFallback:
         query = db.query("dishes").where(col("tags").is_null())
         assert_equivalent(query)
 
-    def test_stddev_falls_back(self):
+    def test_collect_falls_back(self):
         db = make_db()
-        query = db.query("dishes").group_by("cuisine", spread=stddev("size"))
+        query = db.query("dishes").group_by("cuisine", sizes=collect("size"))
         assert columnar.execute(query) is None
         assert query.all() == query.reference().all()
 
@@ -197,6 +266,42 @@ class TestFallback:
         with pytest.raises(QueryError):
             db.query("dishes").where(col("nope") == 1).reference().all()
 
+    def test_fallback_reason_recorded_and_counted(self):
+        from repro.obs import get_registry
+
+        db = make_db()
+        query = db.query("dishes").group_by("cuisine", sizes=collect("size"))
+        counter = get_registry().counter(
+            columnar.FALLBACK_TOTAL, reason="aggregate"
+        )
+        before = counter.value
+        query.all()
+        assert counter.value == before + 1
+        assert query.last_execution["executor"] == "reference"
+        assert "collect" in query.last_execution["reason"]
+        assert query.last_execution["reason_family"] == "aggregate"
+
+    def test_reference_pin_recorded(self):
+        db = make_db()
+        query = db.query("dishes").reference()
+        query.all()
+        assert query.last_execution == {
+            "executor": "reference",
+            "reason": "reference requested",
+            "reason_family": "pinned",
+        }
+
+    def test_fallback_family_slugs(self):
+        assert columnar.fallback_family("NaN join key") == "join"
+        assert columnar.fallback_family("aggregate collect") == "aggregate"
+        assert (
+            columnar.fallback_family("int64 overflow risk in SUM")
+            == "int64_range"
+        )
+        assert columnar.fallback_family("comparison over JSON column") == "json"
+        assert columnar.fallback_family("unknown column 'x'") == "unknown_column"
+        assert columnar.fallback_family("something else entirely") == "other"
+
 
 class TestAnalyze:
     def test_columnar_plan_reports_pushdown(self):
@@ -212,10 +317,41 @@ class TestAnalyze:
 
     def test_reference_plan_names_reason(self):
         db = make_db()
-        query = db.query("dishes").group_by("cuisine", spread=stddev("size"))
+        query = db.query("dishes").group_by("cuisine", sizes=collect("size"))
         plan = columnar.analyze(query)
         assert plan["executor"] == "reference"
         assert plan["reason"]
+        assert plan["reason_family"] == "aggregate"
+
+    def test_join_plan_reports_columnar(self):
+        db = make_db()
+        db.create_table(
+            "origins",
+            Schema(
+                [
+                    Column("cuisine", ColumnType.TEXT, primary_key=True),
+                    Column("region", ColumnType.TEXT),
+                ]
+            ),
+        )
+        db.table("origins").insert(
+            {"cuisine": "italian", "region": "europe"}
+        )
+        query = (
+            db.query("dishes")
+            .join("origins", on=("cuisine", "cuisine"), how="left")
+            .where(col("region") == "europe")
+        )
+        plan = columnar.analyze(query)
+        assert plan["executor"] == "columnar"
+        assert plan["joins"] == [{"table": "origins", "how": "left"}]
+
+    def test_self_join_plan_reports_fallback(self):
+        db = make_db()
+        query = db.query("dishes").join("dishes", on=("dish_id", "dish_id"))
+        plan = columnar.analyze(query)
+        assert plan["executor"] == "reference"
+        assert plan["reason_family"] == "join"
 
 
 class TestCacheInvalidation:

@@ -22,7 +22,9 @@ from repro.db import (
     count_distinct,
     max_,
     min_,
+    stddev,
     sum_,
+    variance,
 )
 
 CUISINES = ["italian", "japanese", "mexican", "indian", "greek"]
@@ -190,6 +192,144 @@ def test_projection_distinct_matches_reference(rows, data):
     )
     query = db.query("dishes").select(*columns).distinct()
     assert_equivalent(query)
+
+
+origin_row_strategy = st.fixed_dictionaries(
+    {
+        "cuisine": st.one_of(st.none(), st.sampled_from(CUISINES)),
+        "continent": st.one_of(
+            st.none(), st.sampled_from(["asia", "europe", "americas"])
+        ),
+        "popularity": st.one_of(
+            st.none(), st.integers(min_value=0, max_value=100)
+        ),
+    }
+)
+
+
+def build_joined_db(rows, origin_rows):
+    database = build_db(rows)
+    database.create_table(
+        "origins",
+        Schema(
+            [
+                Column("cuisine", ColumnType.TEXT, nullable=True),
+                Column("continent", ColumnType.TEXT, nullable=True),
+                Column("popularity", ColumnType.INT, nullable=True),
+            ]
+        ),
+    )
+    database.table("origins").bulk_insert(origin_rows)
+    return database
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy, st.lists(origin_row_strategy, max_size=8), st.data())
+def test_join_matches_reference(rows, origin_rows, data):
+    # Random left/right row sets with NULL and duplicate keys; both join
+    # flavours must gather exactly the reference hash-join row stream.
+    db = build_joined_db(rows, origin_rows)
+    how = data.draw(st.sampled_from(["inner", "left"]))
+    query = db.query("dishes").join(
+        "origins", on=("cuisine", "cuisine"), how=how
+    )
+    if data.draw(st.booleans()):
+        query = query.where(data.draw(predicate_strategy()))
+    assert_equivalent(query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy, st.lists(origin_row_strategy, max_size=8), st.data())
+def test_join_grouped_matches_reference(rows, origin_rows, data):
+    db = build_joined_db(rows, origin_rows)
+    how = data.draw(st.sampled_from(["inner", "left"]))
+    query = (
+        db.query("dishes")
+        .join("origins", on=("dishes.cuisine", "cuisine"), how=how)
+        .group_by(
+            "continent",
+            n=count(),
+            spread=stddev("size"),
+            var_pop=variance("popularity"),
+        )
+        .having(col("n") >= 1)
+        .order_by(("n", "desc"), "continent")
+    )
+    assert_equivalent(query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy, predicate_strategy(), st.data())
+def test_grouped_tail_matches_reference(rows, predicate, data):
+    # HAVING, grouped ORDER BY, and grouped projection over aggregate
+    # outputs — the vectorised tail must match the per-group loop.
+    db = build_db(rows)
+    keys = data.draw(
+        st.lists(
+            st.sampled_from(["cuisine", "veg"]),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        )
+    )
+    threshold = data.draw(st.integers(min_value=0, max_value=4))
+    having = data.draw(
+        st.sampled_from(
+            [
+                col("n") >= threshold,
+                col("spread").is_not_null(),
+                (col("total") > threshold) | col("mean").is_null(),
+            ]
+        )
+    )
+    query = (
+        db.query("dishes")
+        .where(predicate)
+        .group_by(
+            *keys,
+            n=count(),
+            total=sum_("size"),
+            mean=avg("rating"),
+            spread=stddev("size"),
+            var_rating=variance("rating"),
+        )
+        .having(having)
+        .order_by(("spread", "desc"), ("n", "asc"), *keys)
+        .limit(data.draw(st.integers(min_value=0, max_value=10)))
+    )
+    assert_equivalent(query)
+    projected = (
+        db.query("dishes")
+        .group_by(*keys, n=count(), spread=stddev("size"))
+        .having(col("n") >= threshold)
+        .select(*keys, (col("spread") * 1, "spread_scaled"), "n")
+        .order_by(("n", "desc"), *keys)
+    )
+    assert_equivalent(projected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy)
+def test_stddev_variance_bit_identical(rows):
+    # Exact float equality, not approx: both executors fold the same
+    # (count, sum, sum-of-squares) moments in the same order.
+    db = build_db(rows)
+    query = db.query("dishes").group_by(
+        "cuisine",
+        spread_int=stddev("size"),
+        spread_float=stddev("rating"),
+        var_int=variance("size"),
+        var_float=variance("rating"),
+    )
+    produced = columnar.execute(query)
+    assert produced is not None, "columnar did not engage"
+    expected = query.reference().all()
+    assert len(produced) == len(expected)
+    for got, want in zip(produced, expected):
+        assert got == want  # dict equality → bit-identical floats
+        for name in ("spread_int", "spread_float", "var_int", "var_float"):
+            if want[name] is not None:
+                assert repr(got[name]) == repr(want[name])
 
 
 @settings(max_examples=40, deadline=None)

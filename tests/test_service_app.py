@@ -175,6 +175,39 @@ class TestSql:
         assert status == 200
         assert len(body["rows"]) == 3
         assert body["rows"][0]["n"] >= body["rows"][1]["n"]
+        assert body["executor"] == "columnar"
+        assert "fallback" not in body
+
+    def test_reference_pin_reported(self, app):
+        status, body = app.dispatch(
+            "POST",
+            "/sql",
+            {
+                "query": "SELECT COUNT(*) AS n FROM recipes",
+                "reference": True,
+            },
+        )
+        assert status == 200
+        assert body["executor"] == "reference"
+        assert body["fallback"] == "pinned"
+
+    def test_fallback_reason_reported(self, app):
+        # Self-joins are the one join shape still outside the columnar
+        # engine, so they exercise the transparent reference fallback.
+        status, body = app.dispatch(
+            "POST",
+            "/sql",
+            {
+                "query": (
+                    "SELECT recipe_id FROM recipes "
+                    "JOIN recipes ON recipe_id = recipes.recipe_id "
+                    "LIMIT 2"
+                )
+            },
+        )
+        assert status == 200
+        assert body["executor"] == "reference"
+        assert body["fallback"] == "join"
 
     def test_dml_rejected_with_403(self, app):
         for statement in (
